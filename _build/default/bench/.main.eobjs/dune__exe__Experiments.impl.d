@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Bytes Float Format List Qkd_ipsec Qkd_net Qkd_photonics Qkd_protocol Qkd_util

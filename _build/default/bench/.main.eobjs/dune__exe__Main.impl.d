@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Experiments Format Hashtbl Instance List Measure Printf Qkd_crypto Qkd_ipsec Qkd_photonics Qkd_protocol Qkd_util Staged String Sys Test Time Toolkit

@@ -1,0 +1,171 @@
+(* Benchmark & experiment driver.
+
+     dune exec bench/main.exe            -- every experiment table + microbenches
+     dune exec bench/main.exe -- e6      -- one experiment
+     dune exec bench/main.exe -- micro   -- Bechamel microbenches only
+     dune exec bench/main.exe -- tables  -- experiment tables only *)
+
+module Bs = Qkd_util.Bitstring
+module Rng = Qkd_util.Rng
+open Bechamel
+open Toolkit
+
+(* -- Bechamel microbenches: one Test.make per performance-relevant
+   primitive, so regressions in the hot paths are visible. -- *)
+
+let bench_aes_block =
+  let key = Qkd_crypto.Aes.expand_key (Rng.bytes (Rng.create 1L) 16) in
+  let block = Rng.bytes (Rng.create 2L) 16 in
+  Test.make ~name:"aes128-encrypt-block" (Staged.stage (fun () ->
+      ignore (Qkd_crypto.Aes.encrypt_block key block)))
+
+let bench_sha1 =
+  let data = Rng.bytes (Rng.create 3L) 1024 in
+  Test.make ~name:"sha1-1KiB" (Staged.stage (fun () ->
+      ignore (Qkd_crypto.Sha1.digest data)))
+
+let bench_hmac =
+  let key = Rng.bytes (Rng.create 4L) 20 in
+  let data = Rng.bytes (Rng.create 5L) 512 in
+  Test.make ~name:"hmac-sha1-512B" (Staged.stage (fun () ->
+      ignore (Qkd_crypto.Hmac.mac ~hash:Qkd_crypto.Hmac.SHA1 ~key data)))
+
+let bench_gf_mul =
+  let field = Qkd_crypto.Gf2.Field.create 1024 in
+  let rng = Rng.create 6L in
+  let a = Qkd_crypto.Gf2.Field.element_of_bits field (Rng.bits rng 1024) in
+  let b = Qkd_crypto.Gf2.Field.element_of_bits field (Rng.bits rng 1024) in
+  Test.make ~name:"gf2^1024-multiply" (Staged.stage (fun () ->
+      ignore (Qkd_crypto.Gf2.Field.mul field a b)))
+
+let bench_pa_hash =
+  let rng = Rng.create 7L in
+  let bits = Rng.bits rng 1000 in
+  let params = Qkd_crypto.Universal_hash.pa_choose rng ~input_len:1000 ~m:500 in
+  Test.make ~name:"privacy-amp-1000to500" (Staged.stage (fun () ->
+      ignore (Qkd_crypto.Universal_hash.pa_apply params bits)))
+
+let bench_wc_tag =
+  let rng = Rng.create 8L in
+  let key = Rng.bits rng Qkd_crypto.Universal_hash.key_bits_per_tag in
+  let msg = Rng.bytes rng 4096 in
+  Test.make ~name:"wegman-carter-tag-4KiB" (Staged.stage (fun () ->
+      ignore (Qkd_crypto.Universal_hash.wc_tag ~key msg)))
+
+let bench_cascade =
+  let rng = Rng.create 9L in
+  let alice = Rng.bits rng 4096 in
+  let bob = Bs.copy alice in
+  for i = 0 to 4095 do
+    if Rng.bernoulli rng 0.065 then Bs.flip bob i
+  done;
+  Test.make ~name:"cascade-4096@6.5%" (Staged.stage (fun () ->
+      ignore
+        (Qkd_protocol.Cascade.reconcile Qkd_protocol.Cascade.default_config
+           ~alice ~bob)))
+
+let bench_lfsr_subset =
+  Test.make ~name:"lfsr-subset-8192" (Staged.stage (fun () ->
+      ignore (Qkd_util.Lfsr.subset 12345l ~len:8192)))
+
+let bench_rle =
+  let symbols = Array.make 100_000 0 in
+  let rng = Rng.create 10L in
+  for _ = 1 to 300 do
+    symbols.(Rng.int rng 100_000) <- 1 + Rng.int rng 2
+  done;
+  Test.make ~name:"rle-encode-100k-sparse" (Staged.stage (fun () ->
+      ignore (Qkd_util.Rle.encode symbols)))
+
+let bench_link_100k =
+  Test.make ~name:"link-sim-100k-pulses" (Staged.stage (fun () ->
+      ignore
+        (Qkd_photonics.Link.run ~seed:11L Qkd_photonics.Link.darpa_default
+           ~pulses:100_000)))
+
+let bench_esp_roundtrip =
+  let rng = Rng.create 12L in
+  let enc_key = Rng.bytes rng 16 in
+  let auth_key = Rng.bytes rng 20 in
+  let sa () =
+    Qkd_ipsec.Sa.create ~spi:1l ~transform:Qkd_ipsec.Sa.Aes128_cbc ~enc_key
+      ~auth_key
+      ~lifetime:{ Qkd_ipsec.Sa.seconds = 1e9; kilobytes = max_int / 2048 }
+      ~now:0.0 ~keyed_from_qkd:true ()
+  in
+  let tx = sa () and rx = sa () in
+  let seq = ref 0 in
+  let packet =
+    Qkd_ipsec.Packet.make
+      ~src:(Qkd_ipsec.Packet.addr_of_string "10.1.0.5")
+      ~dst:(Qkd_ipsec.Packet.addr_of_string "10.2.0.7")
+      ~protocol:17 (Rng.bytes rng 512)
+  in
+  let outer_src = Qkd_ipsec.Packet.addr_of_string "192.1.99.34" in
+  let outer_dst = Qkd_ipsec.Packet.addr_of_string "192.1.99.35" in
+  Test.make ~name:"esp-tunnel-roundtrip-512B" (Staged.stage (fun () ->
+      incr seq;
+      match Qkd_ipsec.Esp.encapsulate tx ~rng ~outer_src ~outer_dst packet with
+      | Ok outer ->
+          ignore (Qkd_ipsec.Esp.decapsulate rx ~expected_seq:!seq outer)
+      | Error _ -> ()))
+
+let bench_dh =
+  let rng = Rng.create 13L in
+  Test.make ~name:"dh-oakley1-keygen" (Staged.stage (fun () ->
+      ignore (Qkd_crypto.Dh.generate rng Qkd_crypto.Dh.Oakley1)))
+
+let microbenches () =
+  let tests =
+    [
+      bench_aes_block; bench_sha1; bench_hmac; bench_gf_mul; bench_pa_hash;
+      bench_wc_tag; bench_cascade; bench_lfsr_subset; bench_rle;
+      bench_link_100k; bench_esp_roundtrip; bench_dh;
+    ]
+  in
+  Format.printf "@.==== Bechamel microbenches ====@.@.";
+  let run test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance raw)
+        instances
+    in
+    let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+    Hashtbl.iter
+      (fun _meas tbl ->
+        Hashtbl.iter
+          (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ time_ns ] ->
+                let pretty =
+                  if time_ns > 1e6 then Printf.sprintf "%8.2f ms" (time_ns /. 1e6)
+                  else if time_ns > 1e3 then Printf.sprintf "%8.2f us" (time_ns /. 1e3)
+                  else Printf.sprintf "%8.0f ns" time_ns
+                in
+                Format.printf "%-32s %s/op@." name pretty
+            | Some _ | None -> Format.printf "%-32s (no estimate)@." name)
+          tbl)
+      results
+  in
+  List.iter run tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+      Experiments.all ();
+      microbenches ()
+  | [ "micro" ] -> microbenches ()
+  | [ "tables" ] -> Experiments.all ()
+  | [ name ] -> (
+      match Experiments.by_name name with
+      | Some f -> f ()
+      | None ->
+          Format.eprintf "unknown experiment %S; available: %s@." name
+            (String.concat ", " ("micro" :: "tables" :: Experiments.names));
+          exit 1)
+  | _ ->
+      Format.eprintf "usage: main.exe [experiment]@.";
+      exit 1

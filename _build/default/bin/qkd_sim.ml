@@ -1,0 +1,230 @@
+(* qkd_sim — command-line driver for the DARPA Quantum Network
+   simulator.
+
+     qkd_sim link     --pulses 2000000 --length-km 10 --eve 0.1
+     qkd_sim vpn      --duration 120 --transform otp
+     qkd_sim chain    --hops 4 --transform otp
+     qkd_sim network  --nodes 10 --p-fail 0.1
+     qkd_sim system   --duration 60 *)
+
+module Link = Qkd_photonics.Link
+module Fiber = Qkd_photonics.Fiber
+module Source = Qkd_photonics.Source
+module Eve = Qkd_photonics.Eve
+module Engine = Qkd_protocol.Engine
+module Vpn = Qkd_ipsec.Vpn
+module Sa = Qkd_ipsec.Sa
+module Spd = Qkd_ipsec.Spd
+module Topology = Qkd_net.Topology
+module Failure = Qkd_net.Failure
+module System = Qkd_core.System
+open Cmdliner
+
+(* -- link subcommand -- *)
+
+let run_link pulses length_km mu eve_fraction beamsplit seed =
+  let eve =
+    match (eve_fraction, beamsplit) with
+    | 0.0, false -> Eve.Passive
+    | 0.0, true -> Eve.Beamsplit
+    | f, false -> Eve.Intercept_resend f
+    | f, true -> Eve.Intercept_and_beamsplit f
+  in
+  let config =
+    {
+      Link.darpa_default with
+      Link.fiber = Fiber.make ~length_km ~insertion_loss_db:3.0 ();
+      source = Source.weak_coherent ~mu;
+      eve;
+    }
+  in
+  let engine_config = { Engine.default_config with Engine.link = config } in
+  let engine = Engine.create ~seed:(Int64.of_int seed) engine_config in
+  (match Engine.run_round engine ~pulses with
+  | Ok m ->
+      Format.printf "%a@." Engine.pp_round_metrics m;
+      Format.printf "entropy: leak=%.0f multi-photon=%.0f secure=%d@."
+        m.Engine.entropy.Qkd_protocol.Entropy.eavesdrop_leak
+        m.Engine.entropy.Qkd_protocol.Entropy.multiphoton_leak
+        m.Engine.entropy.Qkd_protocol.Entropy.secure_bits;
+      if m.Engine.eve_known_sifted_bits > 0 then
+        Format.printf "eve actually knew %d sifted bits@." m.Engine.eve_known_sifted_bits
+  | Error f -> Format.printf "round failed: %a@." Engine.pp_failure f);
+  0
+
+let link_cmd =
+  let pulses =
+    Arg.(value & opt int 2_000_000 & info [ "pulses" ] ~doc:"Optical pulses to simulate.")
+  in
+  let length =
+    Arg.(value & opt float 10.0 & info [ "length-km" ] ~doc:"Fiber length in km.")
+  in
+  let mu =
+    Arg.(value & opt float 0.1 & info [ "mu" ] ~doc:"Mean photon number per pulse.")
+  in
+  let eve =
+    Arg.(value & opt float 0.0 & info [ "eve" ] ~doc:"Intercept-resend fraction (0-1).")
+  in
+  let beamsplit =
+    Arg.(value & flag & info [ "beamsplit" ] ~doc:"Enable photon-number splitting.")
+  in
+  let seed = Arg.(value & opt int 2003 & info [ "seed" ] ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "link" ~doc:"Run one QKD protocol round over a simulated link")
+    Term.(const run_link $ pulses $ length $ mu $ eve $ beamsplit $ seed)
+
+(* -- vpn subcommand -- *)
+
+let run_vpn duration transform key_rate pps =
+  let transform, qkd =
+    match transform with
+    | "aes" -> (Sa.Aes128_cbc, Spd.Reseed)
+    | "aes256" -> (Sa.Aes256_cbc, Spd.Reseed)
+    | "3des" -> (Sa.Des3_cbc, Spd.Reseed)
+    | "otp" -> (Sa.Otp, Spd.Otp_mode)
+    | other -> failwith (Printf.sprintf "unknown transform %S" other)
+  in
+  let config =
+    {
+      Vpn.default_config with
+      Vpn.transform;
+      qkd;
+      key_source = Vpn.Modeled key_rate;
+      packets_per_second = pps;
+      qblock_bits = (match qkd with Spd.Otp_mode -> 65_536 | _ -> 1024);
+    }
+  in
+  let vpn = Vpn.create config in
+  Vpn.run vpn ~duration ~dt:0.1;
+  let s = Vpn.stats vpn in
+  Format.printf
+    "@[<v>%.0f s of traffic:@ delivered %d/%d packets@ blackholed %d@ dropped \
+     (no key) %d@ rekeys %d (failures %d)@ QKD bits consumed by IKE %d@ pool \
+     levels: %d / %d bits@]@."
+    s.Vpn.elapsed_s s.Vpn.delivered s.Vpn.attempted s.Vpn.blackholed
+    s.Vpn.drop_no_key s.Vpn.rekeys s.Vpn.rekey_failures s.Vpn.qbits_consumed
+    s.Vpn.pool_a_bits s.Vpn.pool_b_bits;
+  0
+
+let vpn_cmd =
+  let duration =
+    Arg.(value & opt float 120.0 & info [ "duration" ] ~doc:"Simulated seconds.")
+  in
+  let transform =
+    Arg.(
+      value & opt string "aes"
+      & info [ "transform" ] ~doc:"Cipher: aes, aes256, 3des or otp.")
+  in
+  let key_rate =
+    Arg.(value & opt float 400.0 & info [ "key-rate" ] ~doc:"QKD delivery rate (b/s).")
+  in
+  let pps =
+    Arg.(value & opt float 50.0 & info [ "pps" ] ~doc:"Traffic rate (packets/s).")
+  in
+  Cmd.v
+    (Cmd.info "vpn" ~doc:"Run a QKD-keyed IPsec VPN with synthetic traffic")
+    Term.(const run_vpn $ duration $ transform $ key_rate $ pps)
+
+(* -- network subcommand -- *)
+
+let run_network nodes degree p_fail trials =
+  let mesh = Topology.random_mesh ~nodes ~degree ~seed:5L ~fiber_km:10.0 in
+  let chain = Topology.chain ~n:(nodes - 2) ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let am = Failure.availability ~trials mesh ~src:0 ~dst:(nodes - 1) ~p_fail in
+  let ac = Failure.availability ~trials chain ~src:0 ~dst:(nodes - 1) ~p_fail in
+  Format.printf
+    "@[<v>%d nodes, link failure probability %.2f:@ mesh (avg degree %.1f): \
+     availability %.4f@ point-to-point chain: availability %.4f@]@."
+    nodes p_fail degree am ac;
+  0
+
+let network_cmd =
+  let nodes = Arg.(value & opt int 10 & info [ "nodes" ] ~doc:"Relay count.") in
+  let degree =
+    Arg.(value & opt float 3.5 & info [ "degree" ] ~doc:"Average mesh degree.")
+  in
+  let p_fail =
+    Arg.(value & opt float 0.1 & info [ "p-fail" ] ~doc:"Per-link failure probability.")
+  in
+  let trials = Arg.(value & opt int 10_000 & info [ "trials" ] ~doc:"Monte Carlo trials.") in
+  Cmd.v
+    (Cmd.info "network" ~doc:"Compare meshed and point-to-point availability")
+    Term.(const run_network $ nodes $ degree $ p_fail $ trials)
+
+(* -- chain subcommand: the section-8 link-encryption variant -- *)
+
+let run_chain hops duration transform key_rate =
+  let transform, qkd =
+    match transform with
+    | "aes" -> (Sa.Aes128_cbc, Spd.Reseed)
+    | "otp" -> (Sa.Otp, Spd.Otp_mode)
+    | other -> failwith (Printf.sprintf "unknown transform %S" other)
+  in
+  let config =
+    {
+      Qkd_ipsec.Link_encryption.default_config with
+      Qkd_ipsec.Link_encryption.hops;
+      transform;
+      qkd;
+      qblock_bits = (match qkd with Spd.Otp_mode -> 65_536 | _ -> 1024);
+      per_link_key_rate_bps = key_rate;
+    }
+  in
+  let t = Qkd_ipsec.Link_encryption.create config in
+  Qkd_ipsec.Link_encryption.advance t ~seconds:30.0;
+  let now = ref 30.0 in
+  let steps = int_of_float duration in
+  for i = 1 to steps do
+    now := !now +. 1.0;
+    Qkd_ipsec.Link_encryption.advance t ~seconds:1.0;
+    ignore (Qkd_ipsec.Link_encryption.send t ~now:!now (Bytes.make 256 (Char.chr (i land 0xFF))))
+  done;
+  let s = Qkd_ipsec.Link_encryption.stats t in
+  Format.printf
+    "@[<v>%d hops, %d messages over %.0f s:@ delivered %d@ dropped (no key)      %d@ hop errors %d@ rekeys %d@ cleartext relays per message %d@]@."
+    hops s.Qkd_ipsec.Link_encryption.sent duration
+    s.Qkd_ipsec.Link_encryption.delivered
+    s.Qkd_ipsec.Link_encryption.dropped_no_key
+    s.Qkd_ipsec.Link_encryption.hop_errors s.Qkd_ipsec.Link_encryption.rekeys
+    s.Qkd_ipsec.Link_encryption.cleartext_relays;
+  0
+
+let chain_cmd =
+  let hops = Arg.(value & opt int 4 & info [ "hops" ] ~doc:"QKD links in the chain.") in
+  let duration =
+    Arg.(value & opt float 60.0 & info [ "duration" ] ~doc:"Seconds of traffic.")
+  in
+  let transform =
+    Arg.(value & opt string "aes" & info [ "transform" ] ~doc:"aes or otp.")
+  in
+  let key_rate =
+    Arg.(value & opt float 350.0 & info [ "key-rate" ] ~doc:"Per-link QKD rate (b/s).")
+  in
+  Cmd.v
+    (Cmd.info "chain" ~doc:"Run traffic across a chain of QKD-encrypted links")
+    Term.(const run_chain $ hops $ duration $ transform $ key_rate)
+
+(* -- system subcommand -- *)
+
+let run_system duration =
+  let sys = System.create System.default_config in
+  System.advance sys ~seconds:duration;
+  Format.printf "%a@." System.pp_report (System.report sys);
+  0
+
+let system_cmd =
+  let duration =
+    Arg.(value & opt float 60.0 & info [ "duration" ] ~doc:"Simulated seconds.")
+  in
+  Cmd.v
+    (Cmd.info "system" ~doc:"Run the full stack: QKD engine feeding an IPsec VPN")
+    Term.(const run_system $ duration)
+
+let () =
+  let info =
+    Cmd.info "qkd_sim" ~version:"1.0.0"
+      ~doc:"Simulator for the DARPA Quantum Network (SIGCOMM 2003)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ link_cmd; vpn_cmd; chain_cmd; network_cmd; system_cmd ]))

@@ -1,0 +1,1 @@
+examples/eavesdropper.ml: Format Printf Qkd_photonics Qkd_protocol

@@ -1,0 +1,1 @@
+examples/quantum_tls_demo.ml: Bytes Format Qkd_ipsec Qkd_protocol Qkd_util

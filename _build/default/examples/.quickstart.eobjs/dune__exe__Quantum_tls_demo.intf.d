@@ -1,0 +1,1 @@
+examples/quantum_tls_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Qkd_protocol Qkd_util

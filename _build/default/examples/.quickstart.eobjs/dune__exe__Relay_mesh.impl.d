@@ -1,0 +1,1 @@
+examples/relay_mesh.ml: Format List Qkd_net

@@ -1,0 +1,1 @@
+examples/secure_vpn.ml: Format List Qkd_core Qkd_ipsec Qkd_protocol String

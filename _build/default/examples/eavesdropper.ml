@@ -1,0 +1,69 @@
+(* Eve versus the DARPA Quantum Network.
+
+   Demonstrates the paper's security story end to end:
+   - intercept-resend eavesdropping raises the QBER towards 25% and the
+     protocols respond by distilling nothing;
+   - photon-number-splitting steals multi-photon pulses silently, and
+     privacy amplification's accounting out-budgets her actual haul;
+   - forging the public channel trips Wegman-Carter authentication.
+
+     dune exec examples/eavesdropper.exe *)
+
+module Engine = Qkd_protocol.Engine
+module Entropy = Qkd_protocol.Entropy
+module Link = Qkd_photonics.Link
+module Eve = Qkd_photonics.Eve
+
+let round_with eve_strategy =
+  let config =
+    {
+      Engine.default_config with
+      Engine.link = { Link.darpa_default with Link.eve = eve_strategy };
+    }
+  in
+  let engine = Engine.create config in
+  Engine.run_round engine ~pulses:2_000_000
+
+let () =
+  Format.printf "=== eavesdropping the quantum channel ===@.@.";
+  Format.printf "%-28s %-8s %-10s %-12s %-10s@." "attack" "QBER" "sifted b/s"
+    "distilled b/s" "Eve knows";
+  let show name strategy =
+    match round_with strategy with
+    | Ok m ->
+        Format.printf "%-28s %-8s %-10.0f %-12.0f %-10d@." name
+          (Printf.sprintf "%.1f%%" (100.0 *. m.Engine.qber))
+          m.Engine.sifted_bps m.Engine.distilled_bps m.Engine.eve_known_sifted_bits
+    | Error f -> Format.printf "%-28s round aborted: %a@." name Engine.pp_failure f
+  in
+  show "none (baseline)" Eve.Passive;
+  show "intercept-resend 10%" (Eve.Intercept_resend 0.10);
+  show "intercept-resend 25%" (Eve.Intercept_resend 0.25);
+  show "intercept-resend 50%" (Eve.Intercept_resend 0.50);
+  show "intercept-resend 100%" (Eve.Intercept_resend 1.0);
+  show "beamsplit (PNS)" Eve.Beamsplit;
+  show "beamsplit + 10% intercept" (Eve.Intercept_and_beamsplit 0.10);
+  Format.printf
+    "@.the QBER climbs ~f/4 with the intercepted fraction f; above the@.\
+     defense function's tolerance the secure-bit budget hits zero and@.\
+     Eve's presence has cost her everything she hoped to steal.@.";
+  (* Beamsplit accounting detail. *)
+  (match round_with Eve.Beamsplit with
+  | Ok m ->
+      Format.printf
+        "@.PNS detail: Eve actually learned %d sifted bits; privacy@.\
+         amplification budgeted %.0f bits for multi-photon leakage@.\
+         (accounting must dominate her haul, and does).@."
+        m.Engine.eve_known_sifted_bits m.Engine.entropy.Entropy.multiphoton_leak
+  | Error _ -> ());
+  (* Public channel forgery. *)
+  Format.printf "@.=== forging the public channel ===@.";
+  let engine = Engine.create Engine.default_config in
+  (match Engine.run_round ~tamper:true engine ~pulses:200_000 with
+  | Error Engine.Auth_tampered ->
+      Format.printf
+        "Eve modified Bob's sift report in flight: the Wegman-Carter tag@.\
+         failed to verify and the round was discarded. woman-in-the-middle@.\
+         defeated.@."
+  | Ok _ -> Format.printf "UNEXPECTED: tampering went unnoticed@."
+  | Error f -> Format.printf "round failed differently: %a@." Engine.pp_failure f)

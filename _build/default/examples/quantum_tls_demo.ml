@@ -1,0 +1,57 @@
+(* The §7 portability claim, demonstrated: "our QKD work is not closely
+   tied to IKE itself.  It is readily portable to ... upper-layer
+   protocols such as SSL in short order."
+
+   A live QKD engine distils key into mirrored pools; a TLS-PSK-shaped
+   handshake pops a qblock from each side and protects an application
+   exchange.  A corrupted pool is caught by the Finished check — the
+   detection the paper notes IKE lacks.
+
+     dune exec examples/quantum_tls_demo.exe *)
+
+module Engine = Qkd_protocol.Engine
+module Key_pool = Qkd_protocol.Key_pool
+module Qtls = Qkd_ipsec.Quantum_tls
+module Bs = Qkd_util.Bitstring
+
+let () =
+  Format.printf "=== SSL-style security keyed by quantum cryptography ===@.@.";
+  let engine = Engine.create Engine.default_config in
+  Format.printf "distilling key (three QKD rounds at the DARPA operating point)...@.";
+  for _ = 1 to 3 do
+    match Engine.run_round engine ~pulses:2_000_000 with
+    | Ok m -> Format.printf "  +%d bits (QBER %.1f%%)@." m.Engine.distilled_bits (100.0 *. m.Engine.qber)
+    | Error f -> Format.printf "  round failed: %a@." Engine.pp_failure f
+  done;
+  let client_pool = Engine.alice_pool engine in
+  let server_pool = Engine.bob_pool engine in
+  Format.printf "pools hold %d quantum bits per side@.@." (Key_pool.available client_pool);
+  let rng = Qkd_util.Rng.create 2026L in
+  (match Qtls.handshake ~client_pool ~server_pool ~rng ~qblock_bits:1024 with
+  | Ok (client, server) ->
+      Format.printf "handshake complete: both ends using qblock #%d@."
+        (Qtls.qblock_id client);
+      let request = Bytes.of_string "GET /secret-plans HTTP/1.0\r\n\r\n" in
+      let record = Qtls.send client request in
+      Format.printf "client -> server: %d-byte record (AES-128-CBC + HMAC-SHA1)@."
+        (Bytes.length record);
+      (match Qtls.receive server record with
+      | Ok data -> Format.printf "server decrypted: %S@." (Bytes.to_string data)
+      | Error _ -> Format.printf "record failed?!@.");
+      let reply = Qtls.send server (Bytes.of_string "HTTP/1.0 200 OK\r\n\r\nall quiet") in
+      (match Qtls.receive client reply with
+      | Ok data -> Format.printf "client decrypted: %S@.@." (Bytes.to_string data)
+      | Error _ -> Format.printf "reply failed?!@.")
+  | Error _ -> Format.printf "handshake failed@.");
+  (* Diverged pools: the Finished check catches what IKE cannot. *)
+  Format.printf "--- corrupted shared bits (cf. the §7 IKE blackhole) ---@.";
+  let rng2 = Qkd_util.Rng.create 9L in
+  let bad_client = Key_pool.create ~initial:(Qkd_util.Rng.bits rng2 2048) () in
+  let bad_server = Key_pool.create ~initial:(Qkd_util.Rng.bits rng2 2048) () in
+  match Qtls.handshake ~client_pool:bad_client ~server_pool:bad_server ~rng ~qblock_bits:1024 with
+  | Error Qtls.Finished_mismatch ->
+      Format.printf
+        "handshake REJECTED: Finished verification caught the mismatched@.\
+         quantum bits immediately — no blackholed traffic, unlike IKE.@."
+  | Ok _ -> Format.printf "divergence missed?!@."
+  | Error (Qtls.Not_enough_qbits _) -> Format.printf "unexpected starvation@."

@@ -1,0 +1,70 @@
+(* A Virtual Private Network protected by quantum cryptography — the
+   paper's headline demonstration (Fig 2, Fig 12).
+
+   A live QKD engine distils key into two gateways' mirrored pools;
+   IKE splices the quantum bits into its Phase-2 KEYMAT ("KEYMAT using
+   N bytes QBITS") and rolls the AES keys every minute; enclave traffic
+   flows through the ESP tunnel.  At the end we print the racoon-style
+   IKE log — compare with the paper's Figure 12.
+
+     dune exec examples/secure_vpn.exe *)
+
+module System = Qkd_core.System
+module Vpn = Qkd_ipsec.Vpn
+module Sa = Qkd_ipsec.Sa
+module Spd = Qkd_ipsec.Spd
+
+let () =
+  Format.printf "=== QKD-keyed IPsec VPN (AES-128 reseeded from qblocks) ===@.@.";
+  let sys = System.create System.default_config in
+  Format.printf "running 90 seconds of simulated time (QKD + IKE + traffic)...@.";
+  System.advance sys ~seconds:90.0;
+  let r = System.report sys in
+  Format.printf "@.%a@.@." System.pp_report r;
+  (match r.System.last_round with
+  | Some m ->
+      Format.printf "steady-state link: QBER %.1f%%, %.0f sifted b/s, %.0f distilled b/s@.@."
+        (100.0 *. m.Qkd_protocol.Engine.qber)
+        m.Qkd_protocol.Engine.sifted_bps m.Qkd_protocol.Engine.distilled_bps
+  | None -> ());
+  Format.printf "--- IKE log (cf. paper Fig 12) ---@.";
+  let log = Vpn.ike_log (System.vpn sys) in
+  let contains line sub =
+    let n = String.length line and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+    go 0
+  in
+  let interesting line =
+    List.exists (contains line)
+      [ "phase 1"; "Qblocks"; "KEYMAT"; "IPsec-SA established"; "QPFS" ]
+  in
+  let shown = ref 0 in
+  List.iter
+    (fun line ->
+      if interesting line && !shown < 14 then begin
+        incr shown;
+        Format.printf "%s@." line
+      end)
+    log;
+  Format.printf "... (%d log lines total)@." (List.length log);
+  (* Now the one-time-pad variant on a pre-loaded pool: the most
+     sensitive enclave pair of §7. *)
+  Format.printf "@.=== one-time-pad VPN (pad pre-positioned, 60 s of traffic) ===@.";
+  let otp_config =
+    {
+      Vpn.default_config with
+      Vpn.transform = Sa.Otp;
+      qkd = Spd.Otp_mode;
+      qblock_bits = 262_144;
+      key_source = Vpn.Static 2_000_000;
+      packets_per_second = 10.0;
+      packet_bytes = 128;
+    }
+  in
+  let vpn = Vpn.create otp_config in
+  Vpn.run vpn ~duration:60.0 ~dt:0.1;
+  let s = Vpn.stats vpn in
+  Format.printf
+    "OTP tunnel: %d/%d packets delivered, %d rekeys, %d qbits consumed, %d pad \
+     bits left in pool@."
+    s.Vpn.delivered s.Vpn.attempted s.Vpn.rekeys s.Vpn.qbits_consumed s.Vpn.pool_a_bits

@@ -1,0 +1,1 @@
+lib/core/system.ml: Float Format Int64 Qkd_ipsec Qkd_photonics Qkd_protocol Qkd_util

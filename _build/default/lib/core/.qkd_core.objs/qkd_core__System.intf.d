@@ -1,0 +1,1 @@
+lib/core/system.mli: Format Qkd_ipsec Qkd_protocol

@@ -1,0 +1,1 @@
+lib/crypto/bignum.ml: Array Bytes Char Format Int64 Qkd_util Seq Stdlib String

@@ -1,0 +1,1 @@
+lib/crypto/dh.ml: Bignum Lazy

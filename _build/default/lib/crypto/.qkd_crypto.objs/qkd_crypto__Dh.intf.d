@@ -1,0 +1,1 @@
+lib/crypto/dh.mli: Bignum Qkd_util

@@ -1,0 +1,1 @@
+lib/crypto/gf2.ml: Array Format Hashtbl Int64 Lazy List Qkd_util

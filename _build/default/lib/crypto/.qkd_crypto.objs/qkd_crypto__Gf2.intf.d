@@ -1,0 +1,1 @@
+lib/crypto/gf2.mli: Format Qkd_util

@@ -1,0 +1,1 @@
+lib/crypto/otp.ml: Bytes Char List Qkd_util

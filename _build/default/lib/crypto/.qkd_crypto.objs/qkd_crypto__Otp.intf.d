@@ -1,0 +1,1 @@
+lib/crypto/otp.mli: Qkd_util

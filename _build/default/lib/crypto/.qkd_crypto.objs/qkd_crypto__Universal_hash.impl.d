@@ -1,0 +1,1 @@
+lib/crypto/universal_hash.ml: Bytes Char Gf2 Lazy Qkd_util

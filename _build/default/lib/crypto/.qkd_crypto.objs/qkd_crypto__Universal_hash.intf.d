@@ -1,0 +1,1 @@
+lib/crypto/universal_hash.mli: Qkd_util

@@ -1,0 +1,35 @@
+(** AES (FIPS 197), key sizes 128/192/256, with CBC and CTR modes.
+
+    The paper's rapid-reseed IPsec extension derives AES session keys
+    from QKD bits and rolls them about once a minute (§7); this module
+    is the cipher those keys drive.  The S-box is derived from the
+    GF(2^8) inverse plus the affine transform rather than transcribed,
+    and the implementation is validated against FIPS-197/SP 800-38A
+    vectors in the test suite. *)
+
+type key
+
+(** [expand_key raw] builds the round-key schedule.
+    @raise Invalid_argument unless [raw] is 16, 24 or 32 bytes. *)
+val expand_key : bytes -> key
+
+(** [key_bits k] is 128, 192 or 256. *)
+val key_bits : key -> int
+
+(** [encrypt_block k src] encrypts one 16-byte block.
+    @raise Invalid_argument unless [src] is 16 bytes. *)
+val encrypt_block : key -> bytes -> bytes
+
+val decrypt_block : key -> bytes -> bytes
+
+(** [encrypt_cbc k ~iv plaintext] applies PKCS#7 padding then CBC.
+    @raise Invalid_argument unless [iv] is 16 bytes. *)
+val encrypt_cbc : key -> iv:bytes -> bytes -> bytes
+
+(** [decrypt_cbc k ~iv ciphertext] inverts [encrypt_cbc].
+    @raise Invalid_argument on bad length or padding. *)
+val decrypt_cbc : key -> iv:bytes -> bytes -> bytes
+
+(** [ctr k ~nonce data] encrypts/decrypts (its own inverse) in counter
+    mode; [nonce] is 16 bytes used as the initial counter block. *)
+val ctr : key -> nonce:bytes -> bytes -> bytes

@@ -1,0 +1,202 @@
+(* Little-endian base-2^24 limbs in a plain int array: limb products
+   (48 bits) plus carries stay far below OCaml's 63-bit int range, and
+   three bytes per limb keeps byte conversion aligned. Canonical form
+   has no trailing zero limbs. *)
+
+type t = int array
+
+let base_bits = 24
+let base_mask = 0xFFFFFF
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let of_int i =
+  if i < 0 then invalid_arg "Bignum.of_int: negative";
+  let rec limbs i = if i = 0 then [] else (i land base_mask) :: limbs (i lsr base_bits) in
+  Array.of_list (limbs i)
+
+let rec bit_length a =
+  let l = Array.length a in
+  if l = 0 then 0
+  else begin
+    let top = a.(l - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((l - 1) * base_bits) + width top 0
+  end
+
+and to_int_opt a =
+  if bit_length a <= 62 then begin
+    let v = ref 0 in
+    for i = Array.length a - 1 downto 0 do
+      v := (!v lsl base_bits) lor a.(i)
+    done;
+    Some !v
+  end
+  else None
+
+let is_zero a = Array.length a = 0
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignum.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base_mask + 1;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let v = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- v land base_mask;
+        carry := v lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let v = r.(!k) + !carry in
+        r.(!k) <- v land base_mask;
+        carry := v lsr base_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let get_bit a i =
+  let limb = i / base_bits in
+  if limb >= Array.length a then false else (a.(limb) lsr (i mod base_bits)) land 1 = 1
+
+(* Shift-subtract long division: O(bits(a) * limbs(b)); adequate for
+   the handful of DH exchanges per simulation. *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    let n = bit_length a in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref zero in
+    for i = n - 1 downto 0 do
+      (* r := r*2 + bit i of a *)
+      let shifted = add !r !r in
+      r := if get_bit a i then add shifted one else shifted;
+      if compare !r b >= 0 then begin
+        r := sub !r b;
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+    done;
+    (normalize q, !r)
+  end
+
+let rem a b = snd (divmod a b)
+
+let mod_pow ~base ~exponent ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  if equal modulus one then zero
+  else begin
+    let result = ref one in
+    let b = ref (rem base modulus) in
+    let n = bit_length exponent in
+    for i = 0 to n - 1 do
+      if get_bit exponent i then result := rem (mul !result !b) modulus;
+      if i < n - 1 then b := rem (mul !b !b) modulus
+    done;
+    !result
+  end
+
+let of_bytes_be bytes =
+  let n = Bytes.length bytes in
+  let limbs = (n + 2) / 3 in
+  let r = Array.make (max limbs 1) 0 in
+  for i = 0 to n - 1 do
+    (* byte i is the (n-1-i)-th least significant byte *)
+    let pos = n - 1 - i in
+    r.(pos / 3) <- r.(pos / 3) lor (Char.code (Bytes.get bytes i) lsl (8 * (pos mod 3)))
+  done;
+  normalize r
+
+let to_bytes_be ~len a =
+  let needed = (bit_length a + 7) / 8 in
+  if needed > len then invalid_arg "Bignum.to_bytes_be: too short";
+  Bytes.init len (fun i ->
+      let pos = len - 1 - i in
+      let limb = pos / 3 in
+      if limb >= Array.length a then '\000'
+      else Char.chr ((a.(limb) lsr (8 * (pos mod 3))) land 0xFF))
+
+let of_hex s =
+  let cleaned =
+    String.to_seq s
+    |> Seq.filter (fun c -> c <> ' ' && c <> '\n' && c <> '\t')
+    |> String.of_seq
+  in
+  let cleaned = if String.length cleaned mod 2 = 1 then "0" ^ cleaned else cleaned in
+  of_bytes_be (Qkd_util.Hex.decode cleaned)
+
+let random rng ~bits =
+  let limbs = (bits + base_bits - 1) / base_bits in
+  let r = Array.make limbs 0 in
+  for i = 0 to limbs - 1 do
+    r.(i) <- Int64.to_int (Int64.logand (Qkd_util.Rng.int64 rng) (Int64.of_int base_mask))
+  done;
+  let extra = (limbs * base_bits) - bits in
+  if extra > 0 && limbs > 0 then r.(limbs - 1) <- r.(limbs - 1) land (base_mask lsr extra);
+  normalize r
+
+let pp ppf a =
+  if is_zero a then Format.pp_print_string ppf "0"
+  else begin
+    let len = (bit_length a + 7) / 8 in
+    Format.fprintf ppf "0x%s" (Qkd_util.Hex.encode (to_bytes_be ~len a))
+  end

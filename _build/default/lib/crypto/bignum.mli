@@ -1,0 +1,57 @@
+(** Arbitrary-precision natural numbers, enough for Diffie–Hellman.
+
+    The baseline (non-QKD) IKE key agreement needs modular
+    exponentiation over the Oakley MODP groups; the sealed environment
+    has no zarith, so this is a small from-scratch natural-number
+    implementation (base 2^32 limbs).  Not constant-time — the threat
+    model for the *baseline* is exactly the paper's point that Eve
+    breaks public-key primitives anyway. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int_opt : t -> int option
+
+(** [of_bytes_be b] interprets big-endian bytes. *)
+val of_bytes_be : bytes -> t
+
+(** [to_bytes_be ~len t] is big-endian, left-padded with zeros.
+    @raise Invalid_argument if [t] needs more than [len] bytes. *)
+val to_bytes_be : len:int -> t -> bytes
+
+(** [of_hex s] parses a big-endian hex string (whitespace ignored). *)
+val of_hex : string -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val add : t -> t -> t
+
+(** [sub a b] is [a - b].  @raise Invalid_argument if [b > a]. *)
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+(** [divmod a b] is [(a / b, a mod b)].  @raise Division_by_zero. *)
+val divmod : t -> t -> t * t
+
+val rem : t -> t -> t
+
+(** [mod_pow ~base ~exponent ~modulus] is modular exponentiation by
+    square-and-multiply. *)
+val mod_pow : base:t -> exponent:t -> modulus:t -> t
+
+(** [bit_length t] is the position of the highest set bit + 1. *)
+val bit_length : t -> int
+
+(** [random rng ~bits] is a uniformly random number below 2^bits. *)
+val random : Qkd_util.Rng.t -> bits:int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,198 @@
+(* Tables from FIPS 46-3.  Bit numbering in the tables is the standard
+   1-based, MSB-first convention of the spec. *)
+
+let ip =
+  [| 58; 50; 42; 34; 26; 18; 10; 2; 60; 52; 44; 36; 28; 20; 12; 4;
+     62; 54; 46; 38; 30; 22; 14; 6; 64; 56; 48; 40; 32; 24; 16; 8;
+     57; 49; 41; 33; 25; 17;  9; 1; 59; 51; 43; 35; 27; 19; 11; 3;
+     61; 53; 45; 37; 29; 21; 13; 5; 63; 55; 47; 39; 31; 23; 15; 7 |]
+
+let fp =
+  [| 40; 8; 48; 16; 56; 24; 64; 32; 39; 7; 47; 15; 55; 23; 63; 31;
+     38; 6; 46; 14; 54; 22; 62; 30; 37; 5; 45; 13; 53; 21; 61; 29;
+     36; 4; 44; 12; 52; 20; 60; 28; 35; 3; 43; 11; 51; 19; 59; 27;
+     34; 2; 42; 10; 50; 18; 58; 26; 33; 1; 41;  9; 49; 17; 57; 25 |]
+
+let expansion =
+  [| 32;  1;  2;  3;  4;  5;  4;  5;  6;  7;  8;  9;
+      8;  9; 10; 11; 12; 13; 12; 13; 14; 15; 16; 17;
+     16; 17; 18; 19; 20; 21; 20; 21; 22; 23; 24; 25;
+     24; 25; 26; 27; 28; 29; 28; 29; 30; 31; 32;  1 |]
+
+let pbox =
+  [| 16;  7; 20; 21; 29; 12; 28; 17;  1; 15; 23; 26;  5; 18; 31; 10;
+      2;  8; 24; 14; 32; 27;  3;  9; 19; 13; 30;  6; 22; 11;  4; 25 |]
+
+let pc1 =
+  [| 57; 49; 41; 33; 25; 17;  9;  1; 58; 50; 42; 34; 26; 18;
+     10;  2; 59; 51; 43; 35; 27; 19; 11;  3; 60; 52; 44; 36;
+     63; 55; 47; 39; 31; 23; 15;  7; 62; 54; 46; 38; 30; 22;
+     14;  6; 61; 53; 45; 37; 29; 21; 13;  5; 28; 20; 12;  4 |]
+
+let pc2 =
+  [| 14; 17; 11; 24;  1;  5;  3; 28; 15;  6; 21; 10;
+     23; 19; 12;  4; 26;  8; 16;  7; 27; 20; 13;  2;
+     41; 52; 31; 37; 47; 55; 30; 40; 51; 45; 33; 48;
+     44; 49; 39; 56; 34; 53; 46; 42; 50; 36; 29; 32 |]
+
+let shifts = [| 1; 1; 2; 2; 2; 2; 2; 2; 1; 2; 2; 2; 2; 2; 2; 1 |]
+
+let sboxes =
+  [|
+    [| 14;  4; 13;  1;  2; 15; 11;  8;  3; 10;  6; 12;  5;  9;  0;  7;
+        0; 15;  7;  4; 14;  2; 13;  1; 10;  6; 12; 11;  9;  5;  3;  8;
+        4;  1; 14;  8; 13;  6;  2; 11; 15; 12;  9;  7;  3; 10;  5;  0;
+       15; 12;  8;  2;  4;  9;  1;  7;  5; 11;  3; 14; 10;  0;  6; 13 |];
+    [| 15;  1;  8; 14;  6; 11;  3;  4;  9;  7;  2; 13; 12;  0;  5; 10;
+        3; 13;  4;  7; 15;  2;  8; 14; 12;  0;  1; 10;  6;  9; 11;  5;
+        0; 14;  7; 11; 10;  4; 13;  1;  5;  8; 12;  6;  9;  3;  2; 15;
+       13;  8; 10;  1;  3; 15;  4;  2; 11;  6;  7; 12;  0;  5; 14;  9 |];
+    [| 10;  0;  9; 14;  6;  3; 15;  5;  1; 13; 12;  7; 11;  4;  2;  8;
+       13;  7;  0;  9;  3;  4;  6; 10;  2;  8;  5; 14; 12; 11; 15;  1;
+       13;  6;  4;  9;  8; 15;  3;  0; 11;  1;  2; 12;  5; 10; 14;  7;
+        1; 10; 13;  0;  6;  9;  8;  7;  4; 15; 14;  3; 11;  5;  2; 12 |];
+    [|  7; 13; 14;  3;  0;  6;  9; 10;  1;  2;  8;  5; 11; 12;  4; 15;
+       13;  8; 11;  5;  6; 15;  0;  3;  4;  7;  2; 12;  1; 10; 14;  9;
+       10;  6;  9;  0; 12; 11;  7; 13; 15;  1;  3; 14;  5;  2;  8;  4;
+        3; 15;  0;  6; 10;  1; 13;  8;  9;  4;  5; 11; 12;  7;  2; 14 |];
+    [|  2; 12;  4;  1;  7; 10; 11;  6;  8;  5;  3; 15; 13;  0; 14;  9;
+       14; 11;  2; 12;  4;  7; 13;  1;  5;  0; 15; 10;  3;  9;  8;  6;
+        4;  2;  1; 11; 10; 13;  7;  8; 15;  9; 12;  5;  6;  3;  0; 14;
+       11;  8; 12;  7;  1; 14;  2; 13;  6; 15;  0;  9; 10;  4;  5;  3 |];
+    [| 12;  1; 10; 15;  9;  2;  6;  8;  0; 13;  3;  4; 14;  7;  5; 11;
+       10; 15;  4;  2;  7; 12;  9;  5;  6;  1; 13; 14;  0; 11;  3;  8;
+        9; 14; 15;  5;  2;  8; 12;  3;  7;  0;  4; 10;  1; 13; 11;  6;
+        4;  3;  2; 12;  9;  5; 15; 10; 11; 14;  1;  7;  6;  0;  8; 13 |];
+    [|  4; 11;  2; 14; 15;  0;  8; 13;  3; 12;  9;  7;  5; 10;  6;  1;
+       13;  0; 11;  7;  4;  9;  1; 10; 14;  3;  5; 12;  2; 15;  8;  6;
+        1;  4; 11; 13; 12;  3;  7; 14; 10; 15;  6;  8;  0;  5;  9;  2;
+        6; 11; 13;  8;  1;  4; 10;  7;  9;  5;  0; 15; 14;  2;  3; 12 |];
+    [| 13;  2;  8;  4;  6; 15; 11;  1; 10;  9;  3; 14;  5;  0; 12;  7;
+        1; 15; 13;  8; 10;  3;  7;  4; 12;  5;  6; 11;  0; 14;  9;  2;
+        7; 11;  4;  1;  9; 12; 14;  2;  0;  6; 10; 13; 15;  3;  5;  8;
+        2;  1; 14;  7;  4; 10;  8; 13; 15; 12;  9;  0;  3;  5;  6; 11 |];
+  |]
+
+(* Values are held in Int64 with bit 1 of the spec = MSB (bit 63 for
+   64-bit values; for an n-bit value, spec bit i = Int64 bit (n - i)). *)
+let permute src src_bits table =
+  let n = Array.length table in
+  let out = ref 0L in
+  for i = 0 to n - 1 do
+    let bit = Int64.(logand (shift_right_logical src (src_bits - table.(i))) 1L) in
+    out := Int64.logor !out (Int64.shift_left bit (n - 1 - i))
+  done;
+  !out
+
+type key = Single of int64 array | Ede3 of int64 array * int64 array * int64 array
+
+let subkeys raw =
+  if Bytes.length raw <> 8 then invalid_arg "Des: key must be 8 bytes";
+  let k64 = ref 0L in
+  Bytes.iter (fun c -> k64 := Int64.(logor (shift_left !k64 8) (of_int (Char.code c)))) raw;
+  let cd = permute !k64 64 pc1 in
+  let c = ref (Int64.shift_right_logical cd 28) in
+  let d = ref (Int64.logand cd 0xFFFFFFFL) in
+  let rot28 v s = Int64.logand (Int64.logor (Int64.shift_left v s) (Int64.shift_right_logical v (28 - s))) 0xFFFFFFFL in
+  Array.map
+    (fun s ->
+      c := rot28 !c s;
+      d := rot28 !d s;
+      permute (Int64.logor (Int64.shift_left !c 28) !d) 56 pc2)
+    shifts
+
+let des_key raw = Single (subkeys raw)
+
+let ede3_key raw =
+  if Bytes.length raw <> 24 then invalid_arg "Des: 3DES key must be 24 bytes";
+  Ede3
+    ( subkeys (Bytes.sub raw 0 8),
+      subkeys (Bytes.sub raw 8 8),
+      subkeys (Bytes.sub raw 16 8) )
+
+let feistel r k =
+  let e = permute r 32 expansion in
+  let x = Int64.logxor e k in
+  let out = ref 0L in
+  for i = 0 to 7 do
+    (* Six bits per S-box, box 0 in the most significant position. *)
+    let six = Int64.to_int (Int64.logand (Int64.shift_right_logical x (42 - (6 * i))) 0x3FL) in
+    let row = ((six lsr 4) land 2) lor (six land 1) in
+    let col = (six lsr 1) land 0xF in
+    out := Int64.logor (Int64.shift_left !out 4) (Int64.of_int sboxes.(i).((row * 16) + col))
+  done;
+  permute !out 32 pbox
+
+let rounds keys block ~decrypt =
+  let v = permute block 64 ip in
+  let l = ref (Int64.shift_right_logical v 32) in
+  let r = ref (Int64.logand v 0xFFFFFFFFL) in
+  for i = 0 to 15 do
+    let k = if decrypt then keys.(15 - i) else keys.(i) in
+    let next_r = Int64.logxor !l (feistel !r k) in
+    l := !r;
+    r := next_r
+  done;
+  (* Swap halves before the final permutation. *)
+  permute (Int64.logor (Int64.shift_left !r 32) !l) 64 fp
+
+let int64_of_block b =
+  let v = ref 0L in
+  Bytes.iter (fun c -> v := Int64.(logor (shift_left !v 8) (of_int (Char.code c)))) b;
+  !v
+
+let block_of_int64 v =
+  Bytes.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (7 - i))) 0xFFL)))
+
+let check_block b = if Bytes.length b <> 8 then invalid_arg "Des: block must be 8 bytes"
+
+let apply key b ~decrypt =
+  check_block b;
+  let v = int64_of_block b in
+  let out =
+    match key with
+    | Single ks -> rounds ks v ~decrypt
+    | Ede3 (k1, k2, k3) ->
+        if decrypt then
+          rounds k1 (rounds k2 (rounds k3 v ~decrypt:true) ~decrypt:false) ~decrypt:true
+        else rounds k3 (rounds k2 (rounds k1 v ~decrypt:false) ~decrypt:true) ~decrypt:false
+  in
+  block_of_int64 out
+
+let encrypt_block key b = apply key b ~decrypt:false
+let decrypt_block key b = apply key b ~decrypt:true
+
+let xor8 a b = Bytes.init 8 (fun i -> Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+
+let encrypt_cbc key ~iv plaintext =
+  check_block iv;
+  let pad = 8 - (Bytes.length plaintext mod 8) in
+  let data = Bytes.cat plaintext (Bytes.make pad (Char.chr pad)) in
+  let out = Bytes.create (Bytes.length data) in
+  let prev = ref iv in
+  for i = 0 to (Bytes.length data / 8) - 1 do
+    let ct = encrypt_block key (xor8 (Bytes.sub data (8 * i) 8) !prev) in
+    Bytes.blit ct 0 out (8 * i) 8;
+    prev := ct
+  done;
+  out
+
+let decrypt_cbc key ~iv ciphertext =
+  check_block iv;
+  let n = Bytes.length ciphertext in
+  if n = 0 || n mod 8 <> 0 then invalid_arg "Des: bad CBC length";
+  let out = Bytes.create n in
+  let prev = ref iv in
+  for i = 0 to (n / 8) - 1 do
+    let ct = Bytes.sub ciphertext (8 * i) 8 in
+    let pt = xor8 (decrypt_block key ct) !prev in
+    Bytes.blit pt 0 out (8 * i) 8;
+    prev := ct
+  done;
+  let pad = Char.code (Bytes.get out (n - 1)) in
+  if pad = 0 || pad > 8 || pad > n then invalid_arg "Des: bad padding";
+  for i = n - pad to n - 1 do
+    if Char.code (Bytes.get out i) <> pad then invalid_arg "Des: bad padding"
+  done;
+  Bytes.sub out 0 (n - pad)

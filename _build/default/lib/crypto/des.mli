@@ -1,0 +1,26 @@
+(** DES and Triple-DES (FIPS 46-3), with CBC mode.
+
+    The paper's VPN baseline uses 3DES for traffic confidentiality
+    (§3); it is provided for fidelity, validated against published
+    test vectors.  New configurations should prefer AES. *)
+
+type key
+
+(** [des_key raw] schedules a single-DES key from 8 bytes (parity bits
+    ignored). @raise Invalid_argument on wrong length. *)
+val des_key : bytes -> key
+
+(** [ede3_key raw] schedules a 3DES EDE key from 24 bytes.
+    @raise Invalid_argument on wrong length. *)
+val ede3_key : bytes -> key
+
+(** [encrypt_block k b] / [decrypt_block k b] process one 8-byte block.
+    @raise Invalid_argument unless [b] is 8 bytes. *)
+val encrypt_block : key -> bytes -> bytes
+
+val decrypt_block : key -> bytes -> bytes
+
+(** CBC with PKCS#7 padding; [iv] must be 8 bytes. *)
+val encrypt_cbc : key -> iv:bytes -> bytes -> bytes
+
+val decrypt_cbc : key -> iv:bytes -> bytes -> bytes

@@ -1,0 +1,47 @@
+type group = Oakley1 | Oakley2
+
+(* RFC 2409 §6.1 / §6.2: 2^n - 2^(n-64) - 1 + 2^64 * (floor(2^(n-130) pi) + k),
+   published as the hex constants below. *)
+let oakley1_prime =
+  lazy
+    (Bignum.of_hex
+       ("FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1"
+      ^ "29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD"
+      ^ "EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245"
+      ^ "E485B576 625E7EC6 F44C42E9 A63A3620 FFFFFFFF FFFFFFFF"))
+
+let oakley2_prime =
+  lazy
+    (Bignum.of_hex
+       ("FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1"
+      ^ "29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD"
+      ^ "EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245"
+      ^ "E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED"
+      ^ "EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE65381"
+      ^ "FFFFFFFF FFFFFFFF"))
+
+let prime = function
+  | Oakley1 -> Lazy.force oakley1_prime
+  | Oakley2 -> Lazy.force oakley2_prime
+
+let generator _ = Bignum.two
+
+let modp_bytes = function Oakley1 -> 96 | Oakley2 -> 128
+
+type keypair = { secret : Bignum.t; public : Bignum.t }
+
+let generate rng g =
+  let p = prime g in
+  (* 256-bit exponents give ~128-bit classical security in these
+     groups, matching 2003 practice. *)
+  let rec draw () =
+    let x = Bignum.random rng ~bits:256 in
+    if Bignum.compare x Bignum.two < 0 then draw () else x
+  in
+  let secret = draw () in
+  { secret; public = Bignum.mod_pow ~base:(generator g) ~exponent:secret ~modulus:p }
+
+let shared_secret g ~secret ~peer_public =
+  let p = prime g in
+  let s = Bignum.mod_pow ~base:peer_public ~exponent:secret ~modulus:p in
+  Bignum.to_bytes_be ~len:(modp_bytes g) s

@@ -1,0 +1,25 @@
+(** Diffie–Hellman over the Oakley MODP groups (RFC 2409 §6).
+
+    This is the key-agreement primitive QKD replaces; the IKE baseline
+    uses it for Phase 1, and experiment E8 contrasts QKD-keyed SAs with
+    DH-keyed ones.  Group 1 (768-bit) and Group 2 (1024-bit) are the
+    groups the 2003-era racoon daemon offered. *)
+
+type group = Oakley1 (** 768-bit MODP *) | Oakley2 (** 1024-bit MODP *)
+
+(** [prime g] and [generator g] expose the group parameters. *)
+val prime : group -> Bignum.t
+
+val generator : group -> Bignum.t
+
+(** [modp_bytes g] is the size of a group element in bytes (96/128). *)
+val modp_bytes : group -> int
+
+type keypair = { secret : Bignum.t; public : Bignum.t }
+
+(** [generate rng g] draws a private exponent and computes g^x mod p. *)
+val generate : Qkd_util.Rng.t -> group -> keypair
+
+(** [shared_secret g ~secret ~peer_public] is the DH shared value,
+    big-endian and zero-padded to the group size. *)
+val shared_secret : group -> secret:Bignum.t -> peer_public:Bignum.t -> bytes

@@ -1,0 +1,382 @@
+module Bitstring = Qkd_util.Bitstring
+
+module Poly = struct
+  type t = int64 array
+  (* Little-endian 64-bit words; leading zero words permitted. *)
+
+  let zero = [||]
+  let one = [| 1L |]
+  let x = [| 2L |]
+
+  let words_for_bits n = (n + 63) / 64
+
+  let get_bit (p : t) i =
+    let w = i lsr 6 in
+    if w >= Array.length p then false
+    else Int64.(logand (shift_right_logical p.(w) (i land 63)) 1L) = 1L
+
+  let flip_bit (p : t) i =
+    let w = i lsr 6 in
+    p.(w) <- Int64.logxor p.(w) (Int64.shift_left 1L (i land 63))
+
+  let of_bitstring b =
+    let n = Bitstring.length b in
+    let p = Array.make (max 1 (words_for_bits n)) 0L in
+    Bitstring.iteri (fun i bit -> if bit then flip_bit p i) b;
+    p
+
+  let to_bitstring ~len p =
+    let b = Bitstring.create len in
+    for i = 0 to len - 1 do
+      Bitstring.set b i (get_bit p i)
+    done;
+    b
+
+  let of_terms ds =
+    match ds with
+    | [] -> zero
+    | _ ->
+        let top = List.fold_left max 0 ds in
+        let p = Array.make (words_for_bits (top + 1)) 0L in
+        List.iter (fun d ->
+            if d < 0 then invalid_arg "Gf2.Poly.of_terms: negative degree";
+            (* of_terms sums x^d over a set; repeated terms cancel. *)
+            flip_bit p d) ds;
+        p
+
+  let top_bit w =
+    (* Index of the highest set bit of a nonzero word. *)
+    let rec go w i = if w = 1L then i else go (Int64.shift_right_logical w 1) (i + 1) in
+    go w 0
+
+  let degree p =
+    let rec scan i =
+      if i < 0 then -1
+      else if p.(i) = 0L then scan (i - 1)
+      else (i * 64) + top_bit p.(i)
+    in
+    scan (Array.length p - 1)
+
+  let is_zero p = degree p = -1
+
+  let equal a b =
+    let da = degree a and db = degree b in
+    da = db
+    &&
+    let words = words_for_bits (da + 1) in
+    let rec check i =
+      i >= words || (a.(i) = b.(i) && check (i + 1))
+    in
+    da = -1 || check 0
+
+  let add a b =
+    let la = Array.length a and lb = Array.length b in
+    let n = max la lb in
+    Array.init n (fun i ->
+        let wa = if i < la then a.(i) else 0L in
+        let wb = if i < lb then b.(i) else 0L in
+        Int64.logxor wa wb)
+
+  (* Carry-less 64x64 -> 128 multiply. *)
+  let clmul64 a b =
+    let lo = ref 0L and hi = ref 0L in
+    for k = 0 to 63 do
+      if Int64.(logand (shift_right_logical b k) 1L) = 1L then begin
+        lo := Int64.logxor !lo (Int64.shift_left a k);
+        if k > 0 then hi := Int64.logxor !hi (Int64.shift_right_logical a (64 - k))
+      end
+    done;
+    (!hi, !lo)
+
+  let mul a b =
+    if is_zero a || is_zero b then zero
+    else begin
+      let la = words_for_bits (degree a + 1) in
+      let lb = words_for_bits (degree b + 1) in
+      let r = Array.make (la + lb) 0L in
+      for i = 0 to la - 1 do
+        let ai = a.(i) in
+        if ai <> 0L then
+          for j = 0 to lb - 1 do
+            let bj = b.(j) in
+            if bj <> 0L then begin
+              let hi, lo = clmul64 ai bj in
+              r.(i + j) <- Int64.logxor r.(i + j) lo;
+              r.(i + j + 1) <- Int64.logxor r.(i + j + 1) hi
+            end
+          done
+      done;
+      r
+    end
+
+  (* Squaring over GF(2) interleaves a zero between consecutive bits:
+     linear time with a byte-spread table. *)
+  let spread_table =
+    lazy
+      (Array.init 256 (fun b ->
+           let rec go i acc =
+             if i = 8 then acc
+             else
+               let acc =
+                 if b land (1 lsl i) <> 0 then acc lor (1 lsl (2 * i)) else acc
+               in
+               go (i + 1) acc
+           in
+           Int64.of_int (go 0 0)))
+
+  let spread32 tbl w32 =
+    (* Spread the low 32 bits of [w32] into 64 bits. *)
+    let byte k = Int64.to_int (Int64.logand (Int64.shift_right_logical w32 (8 * k)) 0xFFL) in
+    let acc = ref 0L in
+    for k = 3 downto 0 do
+      acc := Int64.logor (Int64.shift_left !acc 16) tbl.(byte k)
+    done;
+    !acc
+
+  let square a =
+    if is_zero a then zero
+    else begin
+      let tbl = Lazy.force spread_table in
+      let la = words_for_bits (degree a + 1) in
+      let r = Array.make (2 * la) 0L in
+      for i = 0 to la - 1 do
+        let w = a.(i) in
+        r.(2 * i) <- spread32 tbl (Int64.logand w 0xFFFFFFFFL);
+        r.((2 * i) + 1) <- spread32 tbl (Int64.shift_right_logical w 32)
+      done;
+      r
+    end
+
+  (* [xor_shifted dst src s] does dst ^= src << s, in place. *)
+  let xor_shifted dst src s =
+    let word = s lsr 6 and bit = s land 63 in
+    let ls = Array.length src in
+    if bit = 0 then
+      for i = 0 to ls - 1 do
+        dst.(i + word) <- Int64.logxor dst.(i + word) src.(i)
+      done
+    else begin
+      for i = 0 to ls - 1 do
+        dst.(i + word) <- Int64.logxor dst.(i + word) (Int64.shift_left src.(i) bit);
+        let carry = Int64.shift_right_logical src.(i) (64 - bit) in
+        if i + word + 1 < Array.length dst then
+          dst.(i + word + 1) <- Int64.logxor dst.(i + word + 1) carry
+        else if carry <> 0L then invalid_arg "Gf2: shift overflow"
+      done
+    end
+
+  let rem a m =
+    let dm = degree m in
+    if dm < 0 then raise Division_by_zero;
+    let r = Array.copy a in
+    let mw = Array.sub m 0 (words_for_bits (dm + 1)) in
+    let rec reduce () =
+      let dr = degree r in
+      if dr >= dm then begin
+        xor_shifted r mw (dr - dm);
+        reduce ()
+      end
+    in
+    reduce ();
+    if dm = 0 then zero else Array.sub r 0 (min (Array.length r) (words_for_bits dm))
+
+  let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+  (* Reduction modulo a sparse polynomial given by its term exponents
+     (descending, head = degree).  Linear in (degree of a) x weight —
+     this is what makes thousands of squarings per irreducibility test
+     affordable. *)
+  let rem_sparse terms a =
+    match terms with
+    | [] -> raise Division_by_zero
+    | n :: lower ->
+        let r = Array.copy a in
+        let da = degree r in
+        for i = da downto n do
+          if get_bit r i then begin
+            flip_bit r i;
+            List.iter (fun t -> flip_bit r (i - n + t)) lower
+          end
+        done;
+        if n = 0 then zero else Array.sub r 0 (min (Array.length r) (words_for_bits n))
+
+  let terms_of p =
+    let d = degree p in
+    let rec go i acc = if i > d then List.rev acc else go (i + 1) (if get_bit p i then i :: acc else acc) in
+    List.rev (go 0 [])
+
+  let weight p =
+    Array.fold_left
+      (fun acc w ->
+        let rec pop w acc = if w = 0L then acc else pop Int64.(logand w (sub w 1L)) (acc + 1) in
+        pop w acc)
+      0 p
+
+  let prime_factors n =
+    let rec go n d acc =
+      if n = 1 then acc
+      else if d * d > n then n :: acc
+      else if n mod d = 0 then
+        let rec strip n = if n mod d = 0 then strip (n / d) else n in
+        go (strip n) (d + 1) (d :: acc)
+      else go n (d + 1) acc
+    in
+    go n 2 []
+
+  let is_irreducible f =
+    let n = degree f in
+    if n <= 0 then false
+    else if n = 1 then true
+    else begin
+      let reduce =
+        if weight f <= 8 then rem_sparse (terms_of f) else fun a -> rem a f
+      in
+      let xp = reduce x in
+      (* Walk h_k = x^(2^k) mod f; at k = n/q check gcd(h - x, f) = 1,
+         and at k = n require h = x (Rabin 1980). *)
+      let checkpoints = List.map (fun q -> n / q) (prime_factors n) in
+      let h = ref xp in
+      let ok = ref true in
+      for k = 1 to n do
+        h := reduce (square !h);
+        if List.mem k checkpoints then begin
+          let g = gcd (add !h xp) f in
+          if degree g <> 0 then ok := false
+        end
+      done;
+      !ok && equal !h xp
+    end
+
+  let pp ppf p =
+    if is_zero p then Format.pp_print_string ppf "0"
+    else begin
+      let ts = List.rev (terms_of p) in
+      let term ppf d =
+        if d = 0 then Format.pp_print_string ppf "1"
+        else if d = 1 then Format.pp_print_string ppf "x"
+        else Format.fprintf ppf "x^%d" d
+      in
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+        term ppf ts
+    end
+end
+
+(* Low-weight irreducible moduli for multiples of 32 up to 2048, found
+   by [find_modulus] below and re-verified by the test suite. *)
+let known_moduli : (int * int list) list =
+  [
+    (32, [ 32; 7; 3; 2; 0 ]);
+    (64, [ 64; 4; 3; 1; 0 ]);
+    (96, [ 96; 10; 9; 6; 0 ]);
+    (128, [ 128; 7; 2; 1; 0 ]);
+    (160, [ 160; 5; 3; 2; 0 ]);
+    (192, [ 192; 7; 2; 1; 0 ]);
+    (224, [ 224; 9; 8; 3; 0 ]);
+    (256, [ 256; 10; 5; 2; 0 ]);
+    (288, [ 288; 11; 10; 1; 0 ]);
+    (320, [ 320; 4; 3; 1; 0 ]);
+    (352, [ 352; 13; 11; 6; 0 ]);
+    (384, [ 384; 12; 3; 2; 0 ]);
+    (416, [ 416; 9; 5; 2; 0 ]);
+    (448, [ 448; 11; 6; 4; 0 ]);
+    (480, [ 480; 15; 9; 6; 0 ]);
+    (512, [ 512; 8; 5; 2; 0 ]);
+    (544, [ 544; 8; 3; 1; 0 ]);
+    (576, [ 576; 13; 4; 3; 0 ]);
+    (608, [ 608; 19; 13; 6; 0 ]);
+    (640, [ 640; 14; 3; 2; 0 ]);
+    (672, [ 672; 11; 6; 5; 0 ]);
+    (704, [ 704; 8; 3; 2; 0 ]);
+    (736, [ 736; 13; 8; 6; 0 ]);
+    (768, [ 768; 19; 17; 4; 0 ]);
+    (800, [ 800; 9; 7; 1; 0 ]);
+    (832, [ 832; 13; 5; 2; 0 ]);
+    (864, [ 864; 21; 10; 6; 0 ]);
+    (896, [ 896; 7; 5; 3; 0 ]);
+    (928, [ 928; 10; 3; 2; 0 ]);
+    (960, [ 960; 12; 9; 3; 0 ]);
+    (992, [ 992; 17; 15; 13; 0 ]);
+    (1024, [ 1024; 19; 6; 1; 0 ]);
+    (1152, [ 1152; 15; 3; 2; 0 ]);
+    (1280, [ 1280; 12; 7; 5; 0 ]);
+    (1536, [ 1536; 21; 6; 2; 0 ]);
+    (1792, [ 1792; 17; 14; 3; 0 ]);
+    (2048, [ 2048; 19; 14; 13; 0 ]);
+  ]
+
+let find_modulus n =
+  (* Prefer trinomials; fall back to pentanomials with small exponents.
+     For n divisible by 8 (all our multiples of 32) no trinomial exists,
+     but the loop is cheap relative to the pentanomial search. *)
+  let try_terms terms =
+    let f = Poly.of_terms terms in
+    if Poly.is_irreducible f then Some terms else None
+  in
+  let rec tri k =
+    if k >= n then None
+    else
+      match try_terms [ n; k; 0 ] with
+      | Some t -> Some t
+      | None -> tri (k + 1)
+  in
+  let penta () =
+    let found = ref None in
+    let a = ref 3 in
+    while !found = None && !a < n do
+      let b = ref 2 in
+      while !found = None && !b < !a do
+        let c = ref 1 in
+        while !found = None && !c < !b do
+          (match try_terms [ n; !a; !b; !c; 0 ] with
+          | Some t -> found := Some t
+          | None -> ());
+          incr c
+        done;
+        incr b
+      done;
+      incr a
+    done;
+    !found
+  in
+  match tri 1 with
+  | Some t -> t
+  | None -> (
+      match penta () with
+      | Some t -> t
+      | None -> invalid_arg "Gf2.find_modulus: no low-weight modulus found")
+
+module Field = struct
+  type t = { n : int; terms : int list; modulus : Poly.t }
+
+  let cache : (int, t) Hashtbl.t = Hashtbl.create 16
+
+  let create n =
+    if n < 2 then invalid_arg "Gf2.Field.create: degree must be >= 2";
+    match Hashtbl.find_opt cache n with
+    | Some f -> f
+    | None ->
+        let terms =
+          match List.assoc_opt n known_moduli with
+          | Some terms -> terms
+          | None -> find_modulus n
+        in
+        let f = { n; terms; modulus = Poly.of_terms terms } in
+        Hashtbl.add cache n f;
+        f
+
+  let degree f = f.n
+  let modulus f = f.modulus
+  let modulus_terms f = f.terms
+  let reduce f p = Poly.rem_sparse f.terms p
+
+  let mul f a b = reduce f (Poly.mul (reduce f a) (reduce f b))
+  let add = Poly.add
+
+  let element_of_bits f b =
+    if Bitstring.length b > f.n then
+      invalid_arg "Gf2.Field.element_of_bits: too many bits";
+    Poly.of_bitstring b
+
+  let bits_of_element f p = Poly.to_bitstring ~len:f.n (reduce f p)
+end

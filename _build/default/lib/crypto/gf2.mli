@@ -1,0 +1,105 @@
+(** Arithmetic over GF(2)[x] and the finite fields GF(2^n).
+
+    Privacy amplification (paper §5) hashes the error-corrected bits by
+    a multiply-and-add in GF(2^n), where n is the batch length rounded
+    up to a multiple of 32 — so n is workload-dependent and can be a few
+    thousand bits.  Field elements are dense GF(2) polynomials; the
+    field modulus is a low-weight (trinomial or pentanomial) irreducible
+    polynomial, found at library initialisation by a Rabin
+    irreducibility test and memoised (a table of pre-verified moduli
+    covers common sizes; unit tests re-verify it). *)
+
+module Poly : sig
+  (** A polynomial over GF(2), little-endian 64-bit words.  The
+      representation may carry leading zero words. *)
+  type t
+
+  val zero : t
+  val one : t
+
+  (** [x] is the monomial x. *)
+  val x : t
+
+  (** [of_bitstring b] maps bit i of [b] to the coefficient of x^i. *)
+  val of_bitstring : Qkd_util.Bitstring.t -> t
+
+  (** [to_bitstring ~len t] is the low [len] coefficients. *)
+  val to_bitstring : len:int -> t -> Qkd_util.Bitstring.t
+
+  (** [of_terms ds] is the sum of x^d for [d] in [ds]. *)
+  val of_terms : int list -> t
+
+  (** [degree t] is the degree, or [-1] for the zero polynomial. *)
+  val degree : t -> int
+
+  val is_zero : t -> bool
+  val equal : t -> t -> bool
+
+  (** [add a b] is coefficient-wise XOR. *)
+  val add : t -> t -> t
+
+  (** [mul a b] is the carry-less product. *)
+  val mul : t -> t -> t
+
+  (** [square a] is [mul a a], computed by bit spreading (linear time
+      over GF(2)). *)
+  val square : t -> t
+
+  (** [rem a m] is [a mod m].
+      @raise Division_by_zero if [m] is zero. *)
+  val rem : t -> t -> t
+
+  (** [gcd a b] is the monic greatest common divisor. *)
+  val gcd : t -> t -> t
+
+  (** [is_irreducible f] runs Rabin's irreducibility test. *)
+  val is_irreducible : t -> bool
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Field : sig
+  (** GF(2^n) for a given [n], with a low-weight irreducible modulus. *)
+  type t
+
+  (** [create n] builds GF(2^n).  The modulus is taken from the built-in
+      table when available and otherwise found by search (then
+      memoised).
+      @raise Invalid_argument if [n < 2]. *)
+  val create : int -> t
+
+  (** [degree f] is n. *)
+  val degree : t -> int
+
+  (** [modulus f] is the field's irreducible modulus polynomial. *)
+  val modulus : t -> Poly.t
+
+  (** [modulus_terms f] lists the exponents of the modulus's nonzero
+      terms, highest first — the "sparse primitive polynomial"
+      transmitted in the privacy-amplification message. *)
+  val modulus_terms : t -> int list
+
+  (** [reduce f p] is [p] reduced into the field. *)
+  val reduce : t -> Poly.t -> Poly.t
+
+  (** [mul f a b] multiplies field elements (inputs are reduced first). *)
+  val mul : t -> Poly.t -> Poly.t -> Poly.t
+
+  val add : Poly.t -> Poly.t -> Poly.t
+
+  (** [element_of_bits f b] injects a bit string of length <= n.
+      @raise Invalid_argument if longer than n. *)
+  val element_of_bits : t -> Qkd_util.Bitstring.t -> Poly.t
+
+  (** [bits_of_element f p] is the full n-bit representation. *)
+  val bits_of_element : t -> Poly.t -> Qkd_util.Bitstring.t
+end
+
+(** [known_moduli] lists [(n, terms)] for the pre-verified table. *)
+val known_moduli : (int * int list) list
+
+(** [find_modulus n] searches for a low-weight irreducible polynomial of
+    degree [n] (trinomial, then pentanomial) and returns its term
+    exponents, highest first.  Used to populate [known_moduli] and as
+    the fallback for sizes outside the table. *)
+val find_modulus : int -> int list

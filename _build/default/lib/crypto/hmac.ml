@@ -1,0 +1,33 @@
+type hash = SHA1 | SHA256
+
+let digest = function SHA1 -> Sha1.digest | SHA256 -> Sha256.digest
+let block_size = function SHA1 -> Sha1.block_size | SHA256 -> Sha256.block_size
+
+let mac ~hash ~key msg =
+  let bs = block_size hash in
+  let key = if Bytes.length key > bs then digest hash key else key in
+  let pad fill =
+    let p = Bytes.make bs fill in
+    Bytes.iteri (fun i c -> Bytes.set p i (Char.chr (Char.code c lxor Char.code fill))) key;
+    p
+  in
+  let ipad = pad '\x36' and opad = pad '\x5c' in
+  let inner = digest hash (Bytes.cat ipad msg) in
+  digest hash (Bytes.cat opad inner)
+
+let mac_96 ~hash ~key msg = Bytes.sub (mac ~hash ~key msg) 0 12
+
+let const_time_equal a b =
+  Bytes.length a = Bytes.length b
+  &&
+  let acc = ref 0 in
+  Bytes.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code (Bytes.get b i))) a;
+  !acc = 0
+
+let verify ~hash ~key ~tag msg =
+  let full = mac ~hash ~key msg in
+  let expect =
+    if Bytes.length tag < Bytes.length full then Bytes.sub full 0 (Bytes.length tag)
+    else full
+  in
+  const_time_equal tag expect

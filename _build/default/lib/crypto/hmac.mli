@@ -1,0 +1,16 @@
+(** HMAC (RFC 2104) over SHA-1 or SHA-256.
+
+    HMAC-SHA1 is the IKE PRF (RFC 2409) and the ESP integrity
+    transform; the KEYMAT expansion in [Ike] is built on it. *)
+
+type hash = SHA1 | SHA256
+
+(** [mac ~hash ~key msg] is the full-length HMAC tag (20 or 32 bytes). *)
+val mac : hash:hash -> key:bytes -> bytes -> bytes
+
+(** [mac_96 ~hash ~key msg] truncates to 96 bits, the ESP authenticator
+    size (RFC 2404). *)
+val mac_96 : hash:hash -> key:bytes -> bytes -> bytes
+
+(** [verify ~hash ~key ~tag msg] is constant-time tag comparison. *)
+val verify : hash:hash -> key:bytes -> tag:bytes -> bytes -> bool

@@ -1,0 +1,41 @@
+module Bitstring = Qkd_util.Bitstring
+
+type pad = { mutable chunks : Bitstring.t list (* oldest first *) }
+
+exception Exhausted
+
+let pad_of_bits b = { chunks = (if Bitstring.length b = 0 then [] else [ b ]) }
+
+let remaining p = List.fold_left (fun acc c -> acc + Bitstring.length c) 0 p.chunks
+
+let refill p b = if Bitstring.length b > 0 then p.chunks <- p.chunks @ [ b ]
+
+let take p nbits =
+  if remaining p < nbits then raise Exhausted;
+  let rec go acc need chunks =
+    if need = 0 then (Bitstring.concat_list (List.rev acc), chunks)
+    else
+      match chunks with
+      | [] -> assert false
+      | c :: rest ->
+          let len = Bitstring.length c in
+          if len <= need then go (c :: acc) (need - len) rest
+          else
+            ( Bitstring.concat_list (List.rev (Bitstring.sub c 0 need :: acc)),
+              Bitstring.sub c need (len - need) :: rest )
+  in
+  let bits, rest = go [] nbits p.chunks in
+  p.chunks <- rest;
+  bits
+
+let xor_bytes key data =
+  if Bytes.length key <> Bytes.length data then invalid_arg "Otp.xor_bytes";
+  Bytes.init (Bytes.length data) (fun i ->
+      Char.chr (Char.code (Bytes.get key i) lxor Char.code (Bytes.get data i)))
+
+let encrypt p data =
+  let nbits = 8 * Bytes.length data in
+  let bits = take p nbits in
+  xor_bytes (Bitstring.to_bytes bits) data
+
+let decrypt = encrypt

@@ -1,0 +1,30 @@
+(** One-time pad (Vernam cipher) with explicit pad accounting.
+
+    The paper's strongest IPsec extension encrypts VPN traffic with
+    one-time pads drawn from QKD bits (§7).  A pad must never be
+    reused, so this module wraps the XOR in a consuming reader: each
+    encryption destroys the pad bits it used. *)
+
+type pad
+
+(** [pad_of_bits b] wraps key material as a pad. *)
+val pad_of_bits : Qkd_util.Bitstring.t -> pad
+
+(** [remaining p] is the unconsumed pad length in bits. *)
+val remaining : pad -> int
+
+(** [refill p b] appends fresh key material. *)
+val refill : pad -> Qkd_util.Bitstring.t -> unit
+
+exception Exhausted
+
+(** [encrypt p data] consumes [8 * Bytes.length data] pad bits.
+    @raise Exhausted if the pad is too short (no bits are consumed). *)
+val encrypt : pad -> bytes -> bytes
+
+(** [decrypt] is [encrypt] on the peer's synchronised pad. *)
+val decrypt : pad -> bytes -> bytes
+
+(** [xor_bytes key data] is the raw stateless XOR used internally;
+    lengths must match. *)
+val xor_bytes : bytes -> bytes -> bytes

@@ -1,0 +1,28 @@
+let prf ~key data = Hmac.mac ~hash:Hmac.SHA1 ~key data
+
+let expand ~key ~seed ~len =
+  let out = Buffer.create len in
+  let prev = ref Bytes.empty in
+  let i = ref 1 in
+  while Buffer.length out < len do
+    let block =
+      prf ~key (Bytes.concat Bytes.empty [ !prev; seed; Bytes.make 1 (Char.chr (!i land 0xFF)) ])
+    in
+    Buffer.add_bytes out block;
+    prev := block;
+    incr i
+  done;
+  Bytes.sub (Buffer.to_bytes out) 0 len
+
+let skeyid ~shared ~nonces = prf ~key:nonces shared
+
+let keymat ~skeyid_d ~qbits ~protocol ~spi ~nonces ~len =
+  let spi_bytes =
+    Bytes.init 4 (fun i ->
+        Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical spi (8 * (3 - i))) 0xFFl)))
+  in
+  let seed =
+    Bytes.concat Bytes.empty
+      [ qbits; Bytes.make 1 (Char.chr (protocol land 0xFF)); spi_bytes; nonces ]
+  in
+  expand ~key:skeyid_d ~seed ~len

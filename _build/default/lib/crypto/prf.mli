@@ -1,0 +1,31 @@
+(** IKE pseudo-random function and key-material expansion (RFC 2409).
+
+    SKEYID derivation and the KEYMAT expansion used by Phase 2,
+    including the paper's QKD extension point: the expansion input can
+    mix in distilled QKD bits ("KEYMAT using 128 bytes QBITS", Fig 12)
+    so session keys depend on quantum-delivered secrets. *)
+
+(** [prf ~key data] is HMAC-SHA1. *)
+val prf : key:bytes -> bytes -> bytes
+
+(** [expand ~key ~seed ~len] is the iterated-HMAC expansion
+    K1 = prf(key, seed | 0x01), Ki = prf(key, K(i-1) | seed | i),
+    concatenated and truncated to [len] bytes. *)
+val expand : key:bytes -> seed:bytes -> len:int -> bytes
+
+(** [skeyid ~shared ~nonces] is prf(Ni|Nr, g^xy): the Phase-1 root
+    secret for pre-shared-key-less signature mode, simplified. *)
+val skeyid : shared:bytes -> nonces:bytes -> bytes
+
+(** [keymat ~skeyid_d ~qbits ~protocol ~spi ~nonces ~len] is the
+    Phase-2 key material.  [qbits] is empty for classical IKE; when
+    non-empty the QKD bits are prepended to the expansion seed exactly
+    where the paper splices them into "the IPsec Phase 2 hash". *)
+val keymat :
+  skeyid_d:bytes ->
+  qbits:bytes ->
+  protocol:int ->
+  spi:int32 ->
+  nonces:bytes ->
+  len:int ->
+  bytes

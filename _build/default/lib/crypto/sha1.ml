@@ -1,0 +1,139 @@
+type ctx = {
+  mutable h0 : int32;
+  mutable h1 : int32;
+  mutable h2 : int32;
+  mutable h3 : int32;
+  mutable h4 : int32;
+  block : bytes; (* 64-byte staging buffer *)
+  mutable fill : int; (* bytes currently staged *)
+  mutable total : int64; (* total message bytes *)
+  mutable finished : bool;
+}
+
+let digest_size = 20
+let block_size = 64
+
+let init () =
+  {
+    h0 = 0x67452301l;
+    h1 = 0xEFCDAB89l;
+    h2 = 0x98BADCFEl;
+    h3 = 0x10325476l;
+    h4 = 0xC3D2E1F0l;
+    block = Bytes.create 64;
+    fill = 0;
+    total = 0L;
+    finished = false;
+  }
+
+let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let w = Array.make 80 0l
+
+let compress ctx block pos =
+  for t = 0 to 15 do
+    let b i = Int32.of_int (Char.code (Bytes.get block (pos + (4 * t) + i))) in
+    w.(t) <-
+      Int32.logor
+        (Int32.shift_left (b 0) 24)
+        (Int32.logor
+           (Int32.shift_left (b 1) 16)
+           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+  done;
+  for t = 16 to 79 do
+    w.(t) <- rotl (Int32.logxor (Int32.logxor w.(t - 3) w.(t - 8)) (Int32.logxor w.(t - 14) w.(t - 16))) 1
+  done;
+  let a = ref ctx.h0 and b = ref ctx.h1 and c = ref ctx.h2 in
+  let d = ref ctx.h3 and e = ref ctx.h4 in
+  for t = 0 to 79 do
+    let f, k =
+      if t < 20 then
+        (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), 0x5A827999l)
+      else if t < 40 then (Int32.logxor !b (Int32.logxor !c !d), 0x6ED9EBA1l)
+      else if t < 60 then
+        ( Int32.logor
+            (Int32.logand !b !c)
+            (Int32.logor (Int32.logand !b !d) (Int32.logand !c !d)),
+          0x8F1BBCDCl )
+      else (Int32.logxor !b (Int32.logxor !c !d), 0xCA62C1D6l)
+    in
+    let temp = Int32.add (Int32.add (Int32.add (rotl !a 5) f) (Int32.add !e k)) w.(t) in
+    e := !d;
+    d := !c;
+    c := rotl !b 30;
+    b := !a;
+    a := temp
+  done;
+  ctx.h0 <- Int32.add ctx.h0 !a;
+  ctx.h1 <- Int32.add ctx.h1 !b;
+  ctx.h2 <- Int32.add ctx.h2 !c;
+  ctx.h3 <- Int32.add ctx.h3 !d;
+  ctx.h4 <- Int32.add ctx.h4 !e
+
+let feed ctx b ~pos ~len =
+  if ctx.finished then invalid_arg "Sha1.feed: context finalised";
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then invalid_arg "Sha1.feed";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let p = ref pos and remaining = ref len in
+  (* Top up a partial staging block first. *)
+  if ctx.fill > 0 then begin
+    let take = min !remaining (64 - ctx.fill) in
+    Bytes.blit b !p ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    p := !p + take;
+    remaining := !remaining - take;
+    if ctx.fill = 64 then begin
+      compress ctx ctx.block 0;
+      ctx.fill <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    compress ctx b !p;
+    p := !p + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit b !p ctx.block ctx.fill !remaining;
+    ctx.fill <- ctx.fill + !remaining
+  end
+
+let finalize ctx =
+  if ctx.finished then invalid_arg "Sha1.finalize: context finalised";
+  ctx.finished <- true;
+  let bitlen = Int64.mul ctx.total 8L in
+  let pad_len =
+    let r = (ctx.fill + 1 + 8) mod 64 in
+    if r = 0 then 1 + 8 else 1 + 8 + (64 - r)
+  in
+  let pad = Bytes.make pad_len '\000' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad
+      (pad_len - 1 - i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+  done;
+  (* Bypass the finished flag for the padding feed. *)
+  ctx.finished <- false;
+  feed ctx pad ~pos:0 ~len:pad_len;
+  ctx.finished <- true;
+  let out = Bytes.create 20 in
+  let put i v =
+    for k = 0 to 3 do
+      Bytes.set out
+        ((4 * i) + k)
+        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * (3 - k))) 0xFFl)))
+    done
+  in
+  put 0 ctx.h0;
+  put 1 ctx.h1;
+  put 2 ctx.h2;
+  put 3 ctx.h3;
+  put 4 ctx.h4;
+  out
+
+let digest b =
+  let ctx = init () in
+  feed ctx b ~pos:0 ~len:(Bytes.length b);
+  finalize ctx
+
+let digest_string s = digest (Bytes.of_string s)

@@ -1,0 +1,27 @@
+(** SHA-1 (FIPS 180-1).
+
+    The paper's VPN uses SHA1 for traffic integrity (§3) and the IKE
+    PRF is HMAC-SHA1; this is a from-scratch implementation validated
+    against the FIPS test vectors in the test suite.  SHA-1 is kept for
+    fidelity to the 2003 system — it is not collision-resistant by
+    modern standards. *)
+
+type ctx
+
+val digest_size : int (** 20 bytes *)
+
+val block_size : int (** 64 bytes *)
+
+val init : unit -> ctx
+
+(** [feed ctx b ~pos ~len] absorbs a slice; may be called repeatedly. *)
+val feed : ctx -> bytes -> pos:int -> len:int -> unit
+
+(** [finalize ctx] pads, returns the 20-byte digest and invalidates
+    [ctx] (further [feed] raises). *)
+val finalize : ctx -> bytes
+
+(** [digest b] is the one-shot digest of the whole buffer. *)
+val digest : bytes -> bytes
+
+val digest_string : string -> bytes

@@ -1,0 +1,149 @@
+type ctx = {
+  h : int32 array; (* 8 chaining words *)
+  block : bytes;
+  mutable fill : int;
+  mutable total : int64;
+  mutable finished : bool;
+}
+
+let digest_size = 32
+let block_size = 64
+
+let k =
+  [|
+    0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl; 0x59f111f1l;
+    0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
+    0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l; 0xe49b69c1l; 0xefbe4786l;
+    0x0fc19dc6l; 0x240ca1ccl; 0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
+    0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+    0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
+    0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l; 0xa2bfe8a1l; 0xa81a664bl;
+    0xc24b8b70l; 0xc76c51a3l; 0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
+    0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al;
+    0x5b9cca4fl; 0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+    0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l;
+  |]
+
+let init () =
+  {
+    h =
+      [|
+        0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
+        0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l;
+      |];
+    block = Bytes.create 64;
+    fill = 0;
+    total = 0L;
+    finished = false;
+  }
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let shr = Int32.shift_right_logical
+let ( ^^ ) = Int32.logxor
+let ( &&& ) = Int32.logand
+let ( +% ) = Int32.add
+
+let w = Array.make 64 0l
+
+let compress ctx block pos =
+  for t = 0 to 15 do
+    let b i = Int32.of_int (Char.code (Bytes.get block (pos + (4 * t) + i))) in
+    w.(t) <-
+      Int32.logor (Int32.shift_left (b 0) 24)
+        (Int32.logor (Int32.shift_left (b 1) 16)
+           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+  done;
+  for t = 16 to 63 do
+    let s0 = rotr w.(t - 15) 7 ^^ rotr w.(t - 15) 18 ^^ shr w.(t - 15) 3 in
+    let s1 = rotr w.(t - 2) 17 ^^ rotr w.(t - 2) 19 ^^ shr w.(t - 2) 10 in
+    w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
+  done;
+  let a = ref ctx.h.(0) and b = ref ctx.h.(1) and c = ref ctx.h.(2) in
+  let d = ref ctx.h.(3) and e = ref ctx.h.(4) and f = ref ctx.h.(5) in
+  let g = ref ctx.h.(6) and h = ref ctx.h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 ^^ rotr !e 11 ^^ rotr !e 25 in
+    let ch = (!e &&& !f) ^^ (Int32.lognot !e &&& !g) in
+    let temp1 = !h +% s1 +% ch +% k.(t) +% w.(t) in
+    let s0 = rotr !a 2 ^^ rotr !a 13 ^^ rotr !a 22 in
+    let maj = (!a &&& !b) ^^ (!a &&& !c) ^^ (!b &&& !c) in
+    let temp2 = s0 +% maj in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := !d +% temp1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := temp1 +% temp2
+  done;
+  ctx.h.(0) <- ctx.h.(0) +% !a;
+  ctx.h.(1) <- ctx.h.(1) +% !b;
+  ctx.h.(2) <- ctx.h.(2) +% !c;
+  ctx.h.(3) <- ctx.h.(3) +% !d;
+  ctx.h.(4) <- ctx.h.(4) +% !e;
+  ctx.h.(5) <- ctx.h.(5) +% !f;
+  ctx.h.(6) <- ctx.h.(6) +% !g;
+  ctx.h.(7) <- ctx.h.(7) +% !h
+
+let feed ctx b ~pos ~len =
+  if ctx.finished then invalid_arg "Sha256.feed: context finalised";
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then invalid_arg "Sha256.feed";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let p = ref pos and remaining = ref len in
+  if ctx.fill > 0 then begin
+    let take = min !remaining (64 - ctx.fill) in
+    Bytes.blit b !p ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    p := !p + take;
+    remaining := !remaining - take;
+    if ctx.fill = 64 then begin
+      compress ctx ctx.block 0;
+      ctx.fill <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    compress ctx b !p;
+    p := !p + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit b !p ctx.block ctx.fill !remaining;
+    ctx.fill <- ctx.fill + !remaining
+  end
+
+let finalize ctx =
+  if ctx.finished then invalid_arg "Sha256.finalize: context finalised";
+  ctx.finished <- true;
+  let bitlen = Int64.mul ctx.total 8L in
+  let pad_len =
+    let r = (ctx.fill + 1 + 8) mod 64 in
+    if r = 0 then 1 + 8 else 1 + 8 + (64 - r)
+  in
+  let pad = Bytes.make pad_len '\000' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad
+      (pad_len - 1 - i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+  done;
+  ctx.finished <- false;
+  feed ctx pad ~pos:0 ~len:pad_len;
+  ctx.finished <- true;
+  let out = Bytes.create 32 in
+  Array.iteri
+    (fun i v ->
+      for j = 0 to 3 do
+        Bytes.set out
+          ((4 * i) + j)
+          (Char.chr (Int32.to_int (Int32.logand (shr v (8 * (3 - j))) 0xFFl)))
+      done)
+    ctx.h;
+  out
+
+let digest b =
+  let ctx = init () in
+  feed ctx b ~pos:0 ~len:(Bytes.length b);
+  finalize ctx
+
+let digest_string s = digest (Bytes.of_string s)

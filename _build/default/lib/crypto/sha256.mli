@@ -1,0 +1,17 @@
+(** SHA-256 (FIPS 180-2).
+
+    Offered alongside SHA-1 for security associations that want a
+    modern hash; validated against the FIPS vectors in the test
+    suite. *)
+
+type ctx
+
+val digest_size : int (** 32 bytes *)
+
+val block_size : int (** 64 bytes *)
+
+val init : unit -> ctx
+val feed : ctx -> bytes -> pos:int -> len:int -> unit
+val finalize : ctx -> bytes
+val digest : bytes -> bytes
+val digest_string : string -> bytes

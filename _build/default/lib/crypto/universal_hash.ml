@@ -1,0 +1,85 @@
+module Bitstring = Qkd_util.Bitstring
+module Rng = Qkd_util.Rng
+
+type pa_params = {
+  n : int;
+  m : int;
+  modulus_terms : int list;
+  multiplier : Bitstring.t;
+  addend : Bitstring.t;
+}
+
+let pa_round_up len = max 32 ((len + 31) / 32 * 32)
+
+let pa_choose rng ~input_len ~m =
+  let n = pa_round_up input_len in
+  if m <= 0 || m > n then invalid_arg "Universal_hash.pa_choose: bad output size";
+  let field = Gf2.Field.create n in
+  {
+    n;
+    m;
+    modulus_terms = Gf2.Field.modulus_terms field;
+    multiplier = Rng.bits rng n;
+    addend = Rng.bits rng m;
+  }
+
+let pa_apply params x =
+  if Bitstring.length x > params.n then
+    invalid_arg "Universal_hash.pa_apply: input longer than field degree";
+  let field = Gf2.Field.create params.n in
+  (* Both sides must use the same modulus; [params.modulus_terms] is
+     what travelled on the wire, so check agreement rather than trust
+     the cache blindly. *)
+  if Gf2.Field.modulus_terms field <> params.modulus_terms then
+    invalid_arg "Universal_hash.pa_apply: modulus mismatch";
+  let xe = Gf2.Field.element_of_bits field x in
+  let a = Gf2.Field.element_of_bits field params.multiplier in
+  let product = Gf2.Field.mul field a xe in
+  let truncated = Bitstring.sub (Gf2.Field.bits_of_element field product) 0 params.m in
+  Bitstring.xor truncated params.addend
+
+type wc_tag = Bitstring.t
+
+let tag_bits = 64
+let key_bits_per_tag = 64 + tag_bits
+
+let field64 = lazy (Gf2.Field.create 64)
+
+(* Polynomial-evaluation hash: message split into 64-bit chunks
+   m_1..m_l (last chunk length-padded), evaluated by Horner at the
+   secret point k, with a final multiply so the constant term is never
+   exposed directly:  h = ((m_1 k + m_2) k + ...) k. *)
+let poly_eval k msg =
+  let field = Lazy.force field64 in
+  let nbytes = Bytes.length msg in
+  let chunks = (nbytes + 7) / 8 in
+  let acc = ref Gf2.Poly.zero in
+  for i = 0 to chunks - 1 do
+    let chunk = Bytes.make 8 '\000' in
+    let len = min 8 (nbytes - (8 * i)) in
+    Bytes.blit msg (8 * i) chunk 0 len;
+    let c = Gf2.Poly.of_bitstring (Bitstring.of_bytes chunk 64) in
+    acc := Gf2.Field.mul field (Gf2.Field.add !acc c) k
+  done;
+  (* Fold in the length so messages differing only in trailing zero
+     padding hash differently. *)
+  let len_chunk = Bytes.make 8 '\000' in
+  let v = ref nbytes in
+  for j = 0 to 7 do
+    Bytes.set len_chunk j (Char.chr (!v land 0xFF));
+    v := !v lsr 8
+  done;
+  let c = Gf2.Poly.of_bitstring (Bitstring.of_bytes len_chunk 64) in
+  Gf2.Field.mul field (Gf2.Field.add !acc c) k
+
+let wc_tag ~key msg =
+  if Bitstring.length key <> key_bits_per_tag then
+    invalid_arg "Universal_hash.wc_tag: key must be key_bits_per_tag bits";
+  let field = Lazy.force field64 in
+  let k = Gf2.Field.element_of_bits field (Bitstring.sub key 0 64) in
+  let pad = Bitstring.sub key 64 tag_bits in
+  let h = poly_eval k msg in
+  let hbits = Bitstring.sub (Gf2.Field.bits_of_element field h) 0 tag_bits in
+  Bitstring.xor hbits pad
+
+let wc_verify ~key ~tag msg = Bitstring.equal tag (wc_tag ~key msg)

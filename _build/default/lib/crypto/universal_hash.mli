@@ -1,0 +1,62 @@
+(** Universal hash families.
+
+    Two uses in the paper: privacy amplification compresses the
+    error-corrected key through a linear hash over GF(2^n) (§5), and
+    authentication uses Wegman–Carter hashing keyed from pre-positioned
+    secret bits ([1], [20]). *)
+
+module Bitstring = Qkd_util.Bitstring
+
+(** {1 Privacy-amplification hash}
+
+    The initiating side chooses n (input length rounded up to a
+    multiple of 32), the sparse field modulus, an n-bit multiplier and
+    an m-bit addend, and transmits all four (paper §5).  Both sides
+    compute [truncate_m (multiplier * x) xor addend]. *)
+
+type pa_params = {
+  n : int;  (** field degree, multiple of 32 *)
+  m : int;  (** output length in bits, [0 < m <= n] *)
+  modulus_terms : int list;  (** exponents of the field modulus *)
+  multiplier : Bitstring.t;  (** n bits *)
+  addend : Bitstring.t;  (** m bits *)
+}
+
+(** [pa_round_up len] is [len] rounded up to a multiple of 32 (minimum
+    32), the field degree used for a [len]-bit input. *)
+val pa_round_up : int -> int
+
+(** [pa_choose rng ~input_len ~m] draws fresh hash parameters.
+    @raise Invalid_argument if [m] exceeds the rounded length or is
+    not positive. *)
+val pa_choose : Qkd_util.Rng.t -> input_len:int -> m:int -> pa_params
+
+(** [pa_apply params x] hashes an [input_len]-bit string down to
+    [params.m] bits.  Deterministic in [params], so Alice and Bob agree.
+    @raise Invalid_argument if [x] is longer than [params.n] bits. *)
+val pa_apply : pa_params -> Bitstring.t -> Bitstring.t
+
+(** {1 Wegman–Carter authentication}
+
+    Polynomial-evaluation hashing over GF(2^64) followed by a one-time
+    pad of the truncated output.  Each tag consumes
+    [key_bits_per_tag] fresh secret bits: 64 for the evaluation point
+    and [tag_bits] for the pad; reusing them voids the unconditional
+    security (paper §5, "the secret key bits cannot be re-used"). *)
+
+type wc_tag = Bitstring.t
+
+(** Tags are [tag_bits] long; fixed at 64 to bound the forgery
+    probability near 2^-64 plus message-length slack. *)
+val tag_bits : int
+
+(** Secret bits consumed per authenticated message. *)
+val key_bits_per_tag : int
+
+(** [wc_tag ~key msg] computes the tag for [msg].
+    @raise Invalid_argument unless [key] is exactly
+    [key_bits_per_tag] bits. *)
+val wc_tag : key:Bitstring.t -> bytes -> wc_tag
+
+(** [wc_verify ~key ~tag msg] recomputes and compares. *)
+val wc_verify : key:Bitstring.t -> tag:wc_tag -> bytes -> bool

@@ -1,0 +1,1 @@
+lib/ipsec/esp.ml: Bytes Char Format Int32 Packet Qkd_crypto Qkd_util Sa

@@ -1,0 +1,1 @@
+lib/ipsec/gateway.ml: Bytes Char Esp Format Hashtbl Ike Int32 Packet Printf Qkd_util Sa Spd

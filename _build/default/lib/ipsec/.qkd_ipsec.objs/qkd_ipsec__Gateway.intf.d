@@ -1,0 +1,1 @@
+lib/ipsec/gateway.mli: Ike Packet Qkd_protocol Sa Spd

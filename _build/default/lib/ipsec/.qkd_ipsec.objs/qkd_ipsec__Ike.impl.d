@@ -1,0 +1,1 @@
+lib/ipsec/ike.ml: Bytes Char Format Int32 Isakmp List Packet Printf Qkd_crypto Qkd_protocol Qkd_util Sa Spd

@@ -1,0 +1,1 @@
+lib/ipsec/ike.mli: Format Packet Qkd_protocol Sa Spd

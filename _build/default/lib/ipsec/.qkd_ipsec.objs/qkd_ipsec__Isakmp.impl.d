@@ -1,0 +1,1 @@
+lib/ipsec/isakmp.ml: Buffer Bytes Char Format Int32 Int64 List Printf

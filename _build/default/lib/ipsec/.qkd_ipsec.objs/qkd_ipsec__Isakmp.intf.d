@@ -1,0 +1,1 @@
+lib/ipsec/isakmp.mli: Format

@@ -1,0 +1,1 @@
+lib/ipsec/link_encryption.ml: Array Bytes Esp Format Ike Packet Printf Qkd_protocol Qkd_util Sa Spd

@@ -1,0 +1,1 @@
+lib/ipsec/link_encryption.mli: Sa Spd

@@ -1,0 +1,1 @@
+lib/ipsec/packet.ml: Bytes Char Format Int32 Printf String

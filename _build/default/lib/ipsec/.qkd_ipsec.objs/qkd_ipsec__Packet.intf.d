@@ -1,0 +1,1 @@
+lib/ipsec/packet.mli: Format

@@ -1,0 +1,1 @@
+lib/ipsec/quantum_tls.ml: Bytes Char Int64 Qkd_crypto Qkd_protocol Qkd_util

@@ -1,0 +1,1 @@
+lib/ipsec/quantum_tls.mli: Qkd_protocol Qkd_util

@@ -1,0 +1,1 @@
+lib/ipsec/sa.ml: Bytes Format Qkd_crypto

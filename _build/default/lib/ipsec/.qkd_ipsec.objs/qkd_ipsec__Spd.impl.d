@@ -1,0 +1,1 @@
+lib/ipsec/spd.ml: Format List Packet Sa

@@ -1,0 +1,1 @@
+lib/ipsec/spd.mli: Format Packet Sa

@@ -1,0 +1,1 @@
+lib/ipsec/vpn.ml: Bytes Gateway Ike Packet Qkd_protocol Qkd_util Sa Spd

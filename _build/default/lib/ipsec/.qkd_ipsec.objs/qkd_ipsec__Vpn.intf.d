@@ -1,0 +1,1 @@
+lib/ipsec/vpn.mli: Gateway Qkd_protocol Sa Spd

@@ -1,0 +1,131 @@
+module Aes = Qkd_crypto.Aes
+module Des = Qkd_crypto.Des
+module Hmac = Qkd_crypto.Hmac
+module Otp = Qkd_crypto.Otp
+
+type error =
+  | Auth_failed
+  | Replay of { seq : int }
+  | Pad_exhausted
+  | Decrypt_failed
+  | Wrong_spi of int32
+
+let pp_error ppf = function
+  | Auth_failed -> Format.pp_print_string ppf "ESP authentication failed"
+  | Replay { seq } -> Format.fprintf ppf "ESP replay (seq %d)" seq
+  | Pad_exhausted -> Format.pp_print_string ppf "one-time pad exhausted"
+  | Decrypt_failed -> Format.pp_print_string ppf "ESP decryption failed"
+  | Wrong_spi spi -> Format.fprintf ppf "unknown SPI 0x%lx" spi
+
+let put32 b off (v : int32) =
+  for i = 0 to 3 do
+    Bytes.set b (off + i)
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * (3 - i))) 0xFFl)))
+  done
+
+let get32 b off =
+  let v = ref 0l in
+  for i = 0 to 3 do
+    v := Int32.logor (Int32.shift_left !v 8) (Int32.of_int (Char.code (Bytes.get b (off + i))))
+  done;
+  !v
+
+let encrypt (sa : Sa.t) ~rng plaintext =
+  match sa.Sa.transform with
+  | Sa.Aes128_cbc | Sa.Aes256_cbc ->
+      let iv = Qkd_util.Rng.bytes rng 16 in
+      let key = Aes.expand_key sa.Sa.enc_key in
+      Ok (Bytes.cat iv (Aes.encrypt_cbc key ~iv plaintext))
+  | Sa.Des3_cbc ->
+      let iv = Qkd_util.Rng.bytes rng 8 in
+      let key = Des.ede3_key sa.Sa.enc_key in
+      Ok (Bytes.cat iv (Des.encrypt_cbc key ~iv plaintext))
+  | Sa.Otp -> (
+      match sa.Sa.otp_pad with
+      | None -> assert false
+      | Some pad -> (
+          match Otp.encrypt pad plaintext with
+          | ct ->
+              (* Carry the plaintext length; OTP adds no padding. *)
+              let hdr = Bytes.create 4 in
+              put32 hdr 0 (Int32.of_int (Bytes.length plaintext));
+              Ok (Bytes.cat hdr ct)
+          | exception Otp.Exhausted -> Error Pad_exhausted))
+
+let decrypt (sa : Sa.t) ciphertext =
+  try
+    match sa.Sa.transform with
+    | Sa.Aes128_cbc | Sa.Aes256_cbc ->
+        if Bytes.length ciphertext < 16 then Error Decrypt_failed
+        else begin
+          let iv = Bytes.sub ciphertext 0 16 in
+          let body = Bytes.sub ciphertext 16 (Bytes.length ciphertext - 16) in
+          let key = Aes.expand_key sa.Sa.enc_key in
+          Ok (Aes.decrypt_cbc key ~iv body)
+        end
+    | Sa.Des3_cbc ->
+        if Bytes.length ciphertext < 8 then Error Decrypt_failed
+        else begin
+          let iv = Bytes.sub ciphertext 0 8 in
+          let body = Bytes.sub ciphertext 8 (Bytes.length ciphertext - 8) in
+          let key = Des.ede3_key sa.Sa.enc_key in
+          Ok (Des.decrypt_cbc key ~iv body)
+        end
+    | Sa.Otp -> (
+        match sa.Sa.otp_pad with
+        | None -> assert false
+        | Some pad ->
+            if Bytes.length ciphertext < 4 then Error Decrypt_failed
+            else begin
+              let len = Int32.to_int (get32 ciphertext 0) in
+              let body = Bytes.sub ciphertext 4 (Bytes.length ciphertext - 4) in
+              if len <> Bytes.length body then Error Decrypt_failed
+              else
+                match Otp.decrypt pad body with
+                | pt -> Ok pt
+                | exception Otp.Exhausted -> Error Pad_exhausted
+            end)
+  with Invalid_argument _ -> Error Decrypt_failed
+
+let encapsulate (sa : Sa.t) ~rng ~outer_src ~outer_dst packet =
+  let inner = Packet.serialize packet in
+  match encrypt sa ~rng inner with
+  | Error _ as e -> e
+  | Ok ciphertext ->
+      sa.Sa.seq <- sa.Sa.seq + 1;
+      let header = Bytes.create 8 in
+      put32 header 0 sa.Sa.spi;
+      put32 header 4 (Int32.of_int sa.Sa.seq);
+      let body = Bytes.cat header ciphertext in
+      let icv = Hmac.mac_96 ~hash:Hmac.SHA1 ~key:sa.Sa.auth_key body in
+      let payload = Bytes.cat body icv in
+      Sa.note_bytes sa (Bytes.length payload);
+      Ok
+        (Packet.make ~src:outer_src ~dst:outer_dst ~protocol:Packet.proto_esp
+           ~ident:sa.Sa.seq payload)
+
+let decapsulate (sa : Sa.t) ~expected_seq packet =
+  let payload = packet.Packet.payload in
+  if Bytes.length payload < 8 + 12 then Error Decrypt_failed
+  else begin
+    let body = Bytes.sub payload 0 (Bytes.length payload - 12) in
+    let icv = Bytes.sub payload (Bytes.length payload - 12) 12 in
+    let spi = get32 body 0 in
+    if spi <> sa.Sa.spi then Error (Wrong_spi spi)
+    else if not (Hmac.verify ~hash:Hmac.SHA1 ~key:sa.Sa.auth_key ~tag:icv body)
+    then Error Auth_failed
+    else begin
+      let seq = Int32.to_int (get32 body 4) in
+      if seq < expected_seq then Error (Replay { seq })
+      else begin
+        let ciphertext = Bytes.sub body 8 (Bytes.length body - 8) in
+        match decrypt sa ciphertext with
+        | Error _ as e -> e
+        | Ok inner -> (
+            Sa.note_bytes sa (Bytes.length payload);
+            match Packet.parse inner with
+            | p -> Ok p
+            | exception Packet.Malformed _ -> Error Decrypt_failed)
+      end
+    end
+  end

@@ -1,0 +1,36 @@
+(** ESP tunnel-mode processing (RFC 2406 shape).
+
+    Outbound: the whole inner packet is encrypted under the SA's
+    transform (IV-prefixed CBC, or one-time pad), wrapped in an ESP
+    header [SPI, sequence], authenticated with HMAC-SHA1-96, and
+    carried as the payload of a new outer packet between the two
+    gateways.  Inbound inverts and verifies.
+
+    For OTP SAs the pad bits are consumed in transmission order on
+    both ends; integrity still uses HMAC (the keys for which are
+    themselves QKD-derived when the SA is). *)
+
+type error =
+  | Auth_failed
+  | Replay of { seq : int }
+  | Pad_exhausted  (** OTP pad ran dry — key race lost *)
+  | Decrypt_failed
+  | Wrong_spi of int32
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [encapsulate sa ~rng ~outer_src ~outer_dst packet] builds the
+    tunnel packet.  Consumes pad bits for OTP SAs and bumps the SA's
+    sequence and byte counters. *)
+val encapsulate :
+  Sa.t ->
+  rng:Qkd_util.Rng.t ->
+  outer_src:Packet.addr ->
+  outer_dst:Packet.addr ->
+  Packet.t ->
+  (Packet.t, error) result
+
+(** [decapsulate sa ~expected_seq packet] verifies and unwraps,
+    returning the inner packet.  [expected_seq] implements a strict
+    in-order replay check (the simulator delivers in order). *)
+val decapsulate : Sa.t -> expected_seq:int -> Packet.t -> (Packet.t, error) result

@@ -1,0 +1,172 @@
+module Rng = Qkd_util.Rng
+
+type tunnel = {
+  protect : Spd.protect;
+  mutable out_sa : Sa.t option;
+  mutable in_sa : Sa.t option;
+  mutable expected_seq : int;
+  mutable rekeys : int;
+}
+
+type stats = {
+  sent : int;
+  received : int;
+  dropped : int;
+  esp_errors : int;
+  rekeys : int;
+}
+
+type t = {
+  name : string;
+  wan : Packet.addr;
+  lan : Packet.addr;
+  lan_prefix : int;
+  spd : Spd.t;
+  ike : Ike.endpoint;
+  rng : Rng.t;
+  tunnels : (Packet.addr, tunnel) Hashtbl.t;
+  mutable sent : int;
+  mutable received : int;
+  mutable dropped : int;
+  mutable esp_errors : int;
+}
+
+let create ~name ~wan ~lan ~lan_prefix ~psk ~key_pool ~seed =
+  let wan = Packet.addr_of_string wan in
+  {
+    name;
+    wan;
+    lan = Packet.addr_of_string lan;
+    lan_prefix;
+    spd = Spd.create ();
+    ike = Ike.create_endpoint ~identity:{ Ike.name; addr = wan } ~psk ~key_pool ~seed;
+    rng = Rng.create seed;
+    tunnels = Hashtbl.create 4;
+    sent = 0;
+    received = 0;
+    dropped = 0;
+    esp_errors = 0;
+  }
+
+let name t = t.name
+let wan_addr t = t.wan
+let spd t = t.spd
+let ike t = t.ike
+
+let add_protect_policy t ~lan_remote ~remote_prefix (protect : Spd.protect) =
+  let selector =
+    {
+      Spd.src_net = t.lan;
+      src_prefix = t.lan_prefix;
+      dst_net = Packet.addr_of_string lan_remote;
+      dst_prefix = remote_prefix;
+      protocol = None;
+    }
+  in
+  Spd.add t.spd { Spd.selector; action = Spd.Protect protect };
+  Hashtbl.replace t.tunnels protect.Spd.peer
+    { protect; out_sa = None; in_sa = None; expected_seq = 1; rekeys = 0 }
+
+let install_sas t ~peer ~outbound ~inbound =
+  match Hashtbl.find_opt t.tunnels peer with
+  | None -> invalid_arg "Gateway.install_sas: unknown tunnel"
+  | Some tunnel ->
+      tunnel.out_sa <- Some outbound;
+      tunnel.in_sa <- Some inbound;
+      tunnel.expected_seq <- 1
+
+let note_rekey t ~peer =
+  match Hashtbl.find_opt t.tunnels peer with
+  | None -> ()
+  | Some tunnel -> tunnel.rekeys <- tunnel.rekeys + 1
+
+type outbound_result =
+  | Tunnel of Packet.t
+  | Bypass of Packet.t
+  | Dropped of string
+  | Need_rekey of Spd.protect
+
+let outbound t ~now packet =
+  match Spd.lookup t.spd packet with
+  | None | Some { Spd.action = Spd.Bypass; _ } -> Bypass packet
+  | Some { Spd.action = Spd.Drop; _ } -> Dropped "policy drop"
+  | Some { Spd.action = Spd.Protect protect; _ } -> (
+      match Hashtbl.find_opt t.tunnels protect.Spd.peer with
+      | None -> Dropped "no tunnel state"
+      | Some tunnel -> (
+          match tunnel.out_sa with
+          | Some sa when not (Sa.expired sa ~now) -> (
+              match
+                Esp.encapsulate sa ~rng:t.rng ~outer_src:t.wan
+                  ~outer_dst:protect.Spd.peer packet
+              with
+              | Ok outer ->
+                  t.sent <- t.sent + 1;
+                  Tunnel outer
+              | Error Esp.Pad_exhausted ->
+                  (* Pad ran dry before the lifetime: force rollover. *)
+                  tunnel.out_sa <- None;
+                  Need_rekey protect
+              | Error e ->
+                  t.esp_errors <- t.esp_errors + 1;
+                  Dropped (Format.asprintf "%a" Esp.pp_error e))
+          | Some _ | None -> Need_rekey protect))
+
+type inbound_result =
+  | Deliver of Packet.t
+  | Bypass_in of Packet.t
+  | Rejected of string
+
+let find_tunnel_by_spi t spi =
+  Hashtbl.fold
+    (fun _peer tunnel acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match tunnel.in_sa with
+          | Some sa when sa.Sa.spi = spi -> Some tunnel
+          | Some _ | None -> None))
+    t.tunnels None
+
+let get32 b off =
+  let v = ref 0l in
+  for i = 0 to 3 do
+    v := Int32.logor (Int32.shift_left !v 8) (Int32.of_int (Char.code (Bytes.get b (off + i))))
+  done;
+  !v
+
+let inbound t ~now packet =
+  ignore now;
+  if packet.Packet.protocol <> Packet.proto_esp then Bypass_in packet
+  else if Bytes.length packet.Packet.payload < 8 then Rejected "short ESP"
+  else begin
+    let spi = get32 packet.Packet.payload 0 in
+    match find_tunnel_by_spi t spi with
+    | None ->
+        t.esp_errors <- t.esp_errors + 1;
+        Rejected (Printf.sprintf "unknown SPI 0x%lx" spi)
+    | Some tunnel -> (
+        match tunnel.in_sa with
+        | None -> Rejected "tunnel has no inbound SA"
+        | Some sa -> (
+            match Esp.decapsulate sa ~expected_seq:tunnel.expected_seq packet with
+            | Ok inner ->
+                tunnel.expected_seq <- tunnel.expected_seq + 1;
+                t.received <- t.received + 1;
+                Deliver inner
+            | Error e ->
+                t.esp_errors <- t.esp_errors + 1;
+                Rejected (Format.asprintf "%a" Esp.pp_error e)))
+  end
+
+let stats t =
+  let rekeys =
+    Hashtbl.fold (fun _ (tunnel : tunnel) acc -> acc + tunnel.rekeys) t.tunnels 0
+  in
+  {
+    sent = t.sent;
+    received = t.received;
+    dropped = t.dropped;
+    esp_errors = t.esp_errors;
+    rekeys;
+  }

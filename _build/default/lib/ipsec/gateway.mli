@@ -1,0 +1,66 @@
+(** A VPN gateway: packet filter + SPD/SAD + IKE endpoint (Fig 10/11).
+
+    Outbound LAN traffic is matched against the SPD; protected flows
+    are tunnelled to the peer gateway under the current SA, triggering
+    a rekey request when none exists or the lifetime has expired
+    ("key rollover").  Inbound ESP is looked up by SPI, verified,
+    decapsulated and handed to the LAN side. *)
+
+type t
+
+val create :
+  name:string ->
+  wan:string ->
+  lan:string ->
+  lan_prefix:int ->
+  psk:bytes ->
+  key_pool:Qkd_protocol.Key_pool.t ->
+  seed:int64 ->
+  t
+
+val name : t -> string
+val wan_addr : t -> Packet.addr
+val spd : t -> Spd.t
+val ike : t -> Ike.endpoint
+
+(** [add_protect_policy t ~peer ~lan_remote ~remote_prefix protect]
+    installs the SPD entry and tunnel state for one VPN. *)
+val add_protect_policy :
+  t -> lan_remote:string -> remote_prefix:int -> Spd.protect -> unit
+
+(** [install_sas t ~peer pair] installs a freshly negotiated SA pair
+    for the tunnel to [peer] (outbound, inbound). *)
+val install_sas : t -> peer:Packet.addr -> outbound:Sa.t -> inbound:Sa.t -> unit
+
+type outbound_result =
+  | Tunnel of Packet.t  (** encapsulated, send on the wire *)
+  | Bypass of Packet.t
+  | Dropped of string
+  | Need_rekey of Spd.protect
+      (** no usable SA: negotiate (IKE quick mode) and retry *)
+
+(** [outbound t ~now packet] processes a LAN-side packet. *)
+val outbound : t -> now:float -> Packet.t -> outbound_result
+
+type inbound_result =
+  | Deliver of Packet.t  (** decapsulated inner packet for the LAN *)
+  | Bypass_in of Packet.t
+  | Rejected of string
+
+(** [inbound t ~now packet] processes a WAN-side packet. *)
+val inbound : t -> now:float -> Packet.t -> inbound_result
+
+(** Counters. *)
+type stats = {
+  sent : int;
+  received : int;
+  dropped : int;
+  esp_errors : int;
+  rekeys : int;
+}
+
+val stats : t -> stats
+
+(** [note_rekey t ~peer] bumps the tunnel's rekey counter (called by
+    the orchestrator after a successful quick mode). *)
+val note_rekey : t -> peer:Packet.addr -> unit

@@ -1,0 +1,388 @@
+module Rng = Qkd_util.Rng
+module Bitstring = Qkd_util.Bitstring
+module Key_pool = Qkd_protocol.Key_pool
+module Dh = Qkd_crypto.Dh
+module Prf = Qkd_crypto.Prf
+module Otp = Qkd_crypto.Otp
+
+type identity = { name : string; addr : Packet.addr }
+
+type phase1_state = { skeyid_d : bytes; established_s : float }
+
+type endpoint = {
+  identity : identity;
+  psk : bytes;
+  rng : Rng.t;
+  pool : Key_pool.t;
+  mutable phase1 : phase1_state option;
+  mutable log : string list;  (** newest first *)
+  mutable spi_counter : int;
+  mutable negotiations : int;
+  mutable qbits : int;
+  mutable wire_bytes : int;
+  mutable cookie : int64;
+}
+
+let create_endpoint ~identity ~psk ~key_pool ~seed =
+  {
+    identity;
+    psk;
+    rng = Rng.create seed;
+    pool = key_pool;
+    phase1 = None;
+    log = [];
+    spi_counter = 0x100;
+    negotiations = 0;
+    qbits = 0;
+    wire_bytes = 0;
+    cookie = 0L;
+  }
+
+let identity e = e.identity
+let key_pool e = e.pool
+
+(* Every protocol message really crosses the wire: encode at the
+   sender, parse at the receiver.  A codec bug would break the
+   negotiation, not just a unit test. *)
+let transmit sender receiver msg =
+  let raw = Isakmp.encode msg in
+  sender.wire_bytes <- sender.wire_bytes + Bytes.length raw;
+  ignore receiver;
+  Isakmp.decode raw
+
+let fresh_cookie e =
+  if e.cookie = 0L then e.cookie <- Rng.int64 e.rng;
+  e.cookie
+
+let logf e fmt =
+  Printf.ksprintf
+    (fun s -> e.log <- Printf.sprintf "%s racoon: %s" e.identity.name s :: e.log)
+    fmt
+
+let log e =
+  let lines = List.rev e.log in
+  e.log <- [];
+  lines
+
+type error =
+  | No_phase1
+  | Psk_mismatch
+  | Not_enough_qbits of { wanted : int; available : int }
+
+let pp_error ppf = function
+  | No_phase1 -> Format.pp_print_string ppf "no phase 1 SA"
+  | Psk_mismatch -> Format.pp_print_string ppf "pre-shared key mismatch"
+  | Not_enough_qbits { wanted; available } ->
+      Format.fprintf ppf "not enough QKD bits (wanted %d, have %d)" wanted available
+
+(* The main-mode ISAKMP SA offer: one proposal, one transform (IKE
+   with AES-128 / SHA1 / group 2 in attribute terms). *)
+let main_mode_sa_offer =
+  Isakmp.Sa_payload
+    {
+      doi = 1;
+      proposals =
+        [
+          {
+            Isakmp.proposal_number = 1;
+            protocol_id = 1;
+            spi = Bytes.empty;
+            transforms =
+              [
+                {
+                  Isakmp.transform_number = 1;
+                  transform_id = 1;
+                  attributes = [ (1, 7); (14, 128); (2, 2); (4, 2) ];
+                };
+              ];
+          };
+        ];
+    }
+
+let phase1 ~initiator ~responder ~now =
+  match (initiator.phase1, responder.phase1) with
+  | Some _, Some _ -> Ok ()
+  | _ ->
+      if not (Bytes.equal initiator.psk responder.psk) then Error Psk_mismatch
+      else begin
+        logf initiator "INFO: isakmp.c: initiate new phase 1 negotiation: %s<=>%s"
+          (Packet.addr_to_string initiator.identity.addr)
+          (Packet.addr_to_string responder.identity.addr);
+        let group = Dh.Oakley2 in
+        let icookie = fresh_cookie initiator in
+        let rcookie = fresh_cookie responder in
+        let msg payloads =
+          {
+            Isakmp.initiator_cookie = icookie;
+            responder_cookie = rcookie;
+            exchange = Isakmp.Identity_protection;
+            message_id = 0l;
+            payloads;
+          }
+        in
+        (* messages 1/2: SA negotiation *)
+        let _m1 = transmit initiator responder (msg [ main_mode_sa_offer ]) in
+        let _m2 = transmit responder initiator (msg [ main_mode_sa_offer ]) in
+        (* messages 3/4: KE + nonces.  Each side reads the peer's DH
+           public value and nonce out of the PARSED message, so the
+           codec is load-bearing. *)
+        let ki = Dh.generate initiator.rng group in
+        let kr = Dh.generate responder.rng group in
+        let ni = Rng.bytes initiator.rng 16 and nr = Rng.bytes responder.rng 16 in
+        let ke_bytes kp = Qkd_crypto.Bignum.to_bytes_be ~len:(Dh.modp_bytes group) kp.Dh.public in
+        let m3 =
+          transmit initiator responder
+            (msg [ Isakmp.Ke_payload (ke_bytes ki); Isakmp.Nonce_payload ni ])
+        in
+        let m4 =
+          transmit responder initiator
+            (msg [ Isakmp.Ke_payload (ke_bytes kr); Isakmp.Nonce_payload nr ])
+        in
+        let extract m =
+          let ke = ref Bytes.empty and nonce = ref Bytes.empty in
+          List.iter
+            (function
+              | Isakmp.Ke_payload b -> ke := b
+              | Isakmp.Nonce_payload b -> nonce := b
+              | _ -> ())
+            m.Isakmp.payloads;
+          (!ke, !nonce)
+        in
+        let ke_i_rx, ni_rx = extract m3 (* as seen by the responder *) in
+        let ke_r_rx, nr_rx = extract m4 (* as seen by the initiator *) in
+        let secret_i =
+          Dh.shared_secret group ~secret:ki.Dh.secret
+            ~peer_public:(Qkd_crypto.Bignum.of_bytes_be ke_r_rx)
+        in
+        let secret_r =
+          Dh.shared_secret group ~secret:kr.Dh.secret
+            ~peer_public:(Qkd_crypto.Bignum.of_bytes_be ke_i_rx)
+        in
+        (* prf chain per RFC 2409 (PSK mode): SKEYID = prf(psk, Ni|Nr),
+           SKEYID_d = prf(SKEYID, g^xy | 0). *)
+        let derive psk nonces secret =
+          let skeyid = Prf.prf ~key:psk nonces in
+          Prf.prf ~key:skeyid (Bytes.cat secret (Bytes.make 1 '\000'))
+        in
+        let skeyid_d_i = derive initiator.psk (Bytes.cat ni nr_rx) secret_i in
+        let skeyid_d_r = derive responder.psk (Bytes.cat ni_rx nr) secret_r in
+        (* messages 5/6: identities + authenticating hashes *)
+        let id_of e = Bytes.of_string (Packet.addr_to_string e.identity.addr) in
+        let auth_hash skeyid_d id = Prf.prf ~key:skeyid_d id in
+        let _m5 =
+          transmit initiator responder
+            (msg
+               [
+                 Isakmp.Id_payload { id_type = 1; data = id_of initiator };
+                 Isakmp.Hash_payload (auth_hash skeyid_d_i (id_of initiator));
+               ])
+        in
+        let _m6 =
+          transmit responder initiator
+            (msg
+               [
+                 Isakmp.Id_payload { id_type = 1; data = id_of responder };
+                 Isakmp.Hash_payload (auth_hash skeyid_d_r (id_of responder));
+               ])
+        in
+        initiator.phase1 <- Some { skeyid_d = skeyid_d_i; established_s = now };
+        responder.phase1 <- Some { skeyid_d = skeyid_d_r; established_s = now };
+        logf initiator "INFO: isakmp.c: ISAKMP-SA established %s-%s"
+          (Packet.addr_to_string initiator.identity.addr)
+          (Packet.addr_to_string responder.identity.addr);
+        logf responder "INFO: isakmp.c: respond new phase 1 negotiation: %s<=>%s"
+          (Packet.addr_to_string responder.identity.addr)
+          (Packet.addr_to_string initiator.identity.addr);
+        Ok ()
+      end
+
+type sa_pair = { outbound : Sa.t; inbound : Sa.t }
+
+let fresh_spi e =
+  e.spi_counter <- e.spi_counter + 1;
+  Int32.of_int ((e.spi_counter lsl 8) lor (Char.code (Bytes.get (Bytes.of_string e.identity.name) 0) land 0xFF))
+
+let draw_qbits ~initiator ~responder bits =
+  if bits = 0 then Ok (Bytes.empty, Bytes.empty)
+  else begin
+    let avail_i = Key_pool.available initiator.pool in
+    let avail_r = Key_pool.available responder.pool in
+    if avail_i < bits || avail_r < bits then
+      Error (Not_enough_qbits { wanted = bits; available = min avail_i avail_r })
+    else begin
+      let qi = Bitstring.to_bytes (Key_pool.consume initiator.pool bits) in
+      let qr = Bitstring.to_bytes (Key_pool.consume responder.pool bits) in
+      initiator.qbits <- initiator.qbits + bits;
+      responder.qbits <- responder.qbits + bits;
+      Ok (qi, qr)
+    end
+  end
+
+let phase2 ~initiator ~responder ~now ~(protect : Spd.protect) =
+  match (initiator.phase1, responder.phase1) with
+  | None, _ | _, None -> Error No_phase1
+  | Some p1i, Some p1r ->
+      logf initiator "INFO: isakmp.c: initiate new phase 2 negotiation: %s[0]<=>%s[0]"
+        (Packet.addr_to_string initiator.identity.addr)
+        (Packet.addr_to_string responder.identity.addr);
+      logf responder "INFO: isakmp.c: respond new phase 2 negotiation: %s[0]<=>%s[0]"
+        (Packet.addr_to_string responder.identity.addr)
+        (Packet.addr_to_string initiator.identity.addr);
+      let qblock_bits =
+        match protect.Spd.qkd with
+        | Spd.Disabled -> 0
+        | Spd.Reseed -> protect.Spd.qblock_bits
+        | Spd.Otp_mode ->
+            (* key material for HMAC plus the pad allocation *)
+            protect.Spd.qblock_bits
+      in
+      (match draw_qbits ~initiator ~responder qblock_bits with
+      | Error _ as e -> e
+      | Ok (qbits_i, qbits_r) ->
+          if qblock_bits > 0 then begin
+            logf responder
+              "INFO: proposal.c: RESPONDER setting QPFS encmodesv 1";
+            logf responder
+              "INFO: bbn-qkd-qpd.c: qke_create_reply(): reply 1 Qblocks %d bits %f entropy (offer is 1 Qblocks)"
+              qblock_bits (float_of_int qblock_bits)
+          end;
+          let ni = Rng.bytes initiator.rng 16 and nr = Rng.bytes responder.rng 16 in
+          let spi_out = fresh_spi initiator and spi_in = fresh_spi responder in
+          (* Quick mode really crosses the wire: HASH+SA+Ni+QKD offer,
+             the responder's mirror with Nr and the Qblock reply, and
+             the final acknowledging hash.  The responder reads Ni and
+             the offer from the parsed message, the initiator reads Nr
+             likewise. *)
+          let spi_bytes spi =
+            Bytes.init 4 (fun i ->
+                Char.chr
+                  (Int32.to_int
+                     (Int32.logand (Int32.shift_right_logical spi (8 * (3 - i))) 0xFFl)))
+          in
+          let qm_sa spi =
+            Isakmp.Sa_payload
+              {
+                doi = 1;
+                proposals =
+                  [
+                    {
+                      Isakmp.proposal_number = 1;
+                      protocol_id = 3;
+                      spi = spi_bytes spi;
+                      transforms =
+                        [
+                          {
+                            Isakmp.transform_number = 1;
+                            transform_id =
+                              (match protect.Spd.transform with
+                              | Sa.Aes128_cbc | Sa.Aes256_cbc -> 12
+                              | Sa.Des3_cbc -> 3
+                              | Sa.Otp -> 249 (* private use *));
+                            attributes =
+                              [ (6, 8 * Sa.enc_key_bytes protect.Spd.transform) ];
+                          };
+                        ];
+                    };
+                  ];
+              }
+          in
+          let qkd_payload =
+            Isakmp.Qkd_payload
+              { offered_qblocks = (if qblock_bits > 0 then 1 else 0);
+                bits_per_qblock = qblock_bits }
+          in
+          let qm payloads =
+            {
+              Isakmp.initiator_cookie = fresh_cookie initiator;
+              responder_cookie = fresh_cookie responder;
+              exchange = Isakmp.Quick_mode;
+              message_id = Int32.of_int (initiator.negotiations + 1);
+              payloads;
+            }
+          in
+          let hash = Isakmp.Hash_payload (Prf.prf ~key:p1i.skeyid_d ni) in
+          let qm1 =
+            transmit initiator responder
+              (qm [ hash; qm_sa spi_out; Isakmp.Nonce_payload ni; qkd_payload ])
+          in
+          let qm2 =
+            transmit responder initiator
+              (qm [ hash; qm_sa spi_in; Isakmp.Nonce_payload nr; qkd_payload ])
+          in
+          let _qm3 = transmit initiator responder (qm [ hash ]) in
+          let nonce_of m =
+            List.fold_left
+              (fun acc p ->
+                match p with Isakmp.Nonce_payload b -> b | _ -> acc)
+              Bytes.empty m.Isakmp.payloads
+          in
+          let ni_rx = nonce_of qm1 and nr_rx = nonce_of qm2 in
+          (* both ends concatenate Ni|Nr as received off the wire *)
+          assert (Bytes.equal ni ni_rx && Bytes.equal nr nr_rx);
+          let nonces = Bytes.cat ni_rx nr_rx in
+          let enc_len = Sa.enc_key_bytes protect.Spd.transform in
+          let auth_len = Sa.auth_key_bytes in
+          (* Each side computes KEYMAT from its own SKEYID_d and its
+             own pool's qbits; when pools are in sync the results are
+             identical, and when they have silently diverged the SAs
+             cannot pass traffic — IKE never notices (§7). *)
+          let keymat skeyid_d side_qbits spi =
+            Prf.keymat ~skeyid_d ~qbits:side_qbits ~protocol:Packet.proto_esp
+              ~spi ~nonces ~len:(enc_len + auth_len)
+          in
+          (* For OTP SAs the qblock is split in half: one pad per
+             direction, so the two traffic directions never reuse pad
+             bits. *)
+          let pad_of side_qbits direction =
+            match protect.Spd.transform with
+            | Sa.Otp ->
+                let total = qblock_bits in
+                let half = total / 2 in
+                let all = Bitstring.of_bytes side_qbits total in
+                let slice =
+                  match direction with
+                  | `Out -> Bitstring.sub all 0 half
+                  | `In -> Bitstring.sub all half (total - half)
+                in
+                Some (Otp.pad_of_bits slice)
+            | Sa.Aes128_cbc | Sa.Aes256_cbc | Sa.Des3_cbc -> None
+          in
+          let build skeyid_d side_qbits spi direction =
+            let km = keymat skeyid_d side_qbits spi in
+            let enc_key = Bytes.sub km 0 enc_len in
+            let auth_key = Bytes.sub km enc_len auth_len in
+            Sa.create ~spi ~transform:protect.Spd.transform ~enc_key ~auth_key
+              ?otp_pad:(pad_of side_qbits direction)
+              ~lifetime:protect.Spd.lifetime ~now
+              ~keyed_from_qkd:(protect.Spd.qkd <> Spd.Disabled) ()
+          in
+          (* initiator->responder traffic uses spi_out and the `Out pad
+             slice on both ends; the reverse direction uses spi_in and
+             the `In slice. *)
+          let init_out = build p1i.skeyid_d qbits_i spi_out `Out in
+          let init_in = build p1i.skeyid_d qbits_i spi_in `In in
+          let resp_out = build p1r.skeyid_d qbits_r spi_in `In in
+          let resp_in = build p1r.skeyid_d qbits_r spi_out `Out in
+          if qblock_bits > 0 then begin
+            logf initiator "INFO: oakley.c: oakley_compute_keymat_x(): KEYMAT using %d bytes QBITS"
+              (qblock_bits / 8);
+            logf responder "INFO: oakley.c: oakley_compute_keymat_x(): KEYMAT using %d bytes QBITS"
+              (qblock_bits / 8)
+          end;
+          logf initiator "INFO: pfkey.c: pk_recvupdate(): IPsec-SA established: ESP/Tunnel %s->%s spi=%ld(0x%lx)"
+            (Packet.addr_to_string initiator.identity.addr)
+            (Packet.addr_to_string responder.identity.addr)
+            spi_out spi_out;
+          logf responder "INFO: pfkey.c: pk_recvadd(): IPsec-SA established: ESP/Tunnel %s->%s spi=%ld(0x%lx)"
+            (Packet.addr_to_string responder.identity.addr)
+            (Packet.addr_to_string initiator.identity.addr)
+            spi_in spi_in;
+          initiator.negotiations <- initiator.negotiations + 1;
+          responder.negotiations <- responder.negotiations + 1;
+          Ok
+            ( { outbound = init_out; inbound = init_in },
+              { outbound = resp_out; inbound = resp_in } ))
+
+let negotiations e = e.negotiations
+let qbits_consumed e = e.qbits
+let bytes_on_wire e = e.wire_bytes

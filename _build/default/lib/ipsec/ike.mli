@@ -1,0 +1,79 @@
+(** IKE (RFC 2409, simplified) with the paper's QKD extensions.
+
+    Phase 1 authenticates the two gateways (pre-shared key + Diffie–
+    Hellman, as a 2003 racoon would) and derives SKEYID_d.  Phase 2
+    (quick mode) negotiates an ESP SA pair per tunnel; the QKD
+    extension point is the KEYMAT computation:
+
+    - [Reseed] policies splice a negotiated block of distilled QKD
+      bits ("Qblocks") into the Phase-2 expansion, so session keys are
+      quantum-derived and roll with every lifetime expiry — the log
+      lines mirror Fig 12 ("reply 1 Qblocks 1024 bits", "KEYMAT using
+      N bytes QBITS").
+    - [Otp_mode] policies additionally allocate pad material from the
+      key pool for the SA pair's one-time-pad transform.
+
+    Both endpoints draw from mirrored key pools in lock-step; if the
+    pools cannot pay, negotiation fails with [Not_enough_qbits] — the
+    IKE-timeout hazard §7 discusses.  If the pools have {e diverged}
+    (mismatched secret bits), negotiation still "succeeds" but the SA
+    pair cannot pass traffic, and nothing in IKE notices — the
+    blackhole behaviour the paper points out.  Experiment E8 exercises
+    both. *)
+
+type identity = { name : string; addr : Packet.addr }
+
+type endpoint
+
+(** [create_endpoint ~identity ~psk ~key_pool ~seed] — [psk] is the
+    Phase-1 pre-shared secret; [key_pool] the distilled-QKD pool. *)
+val create_endpoint :
+  identity:identity ->
+  psk:bytes ->
+  key_pool:Qkd_protocol.Key_pool.t ->
+  seed:int64 ->
+  endpoint
+
+val identity : endpoint -> identity
+
+(** [log endpoint] drains accumulated racoon-style log lines. *)
+val log : endpoint -> string list
+
+val key_pool : endpoint -> Qkd_protocol.Key_pool.t
+
+type error =
+  | No_phase1  (** quick mode attempted before main mode *)
+  | Psk_mismatch
+  | Not_enough_qbits of { wanted : int; available : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [phase1 ~initiator ~responder ~now] runs main mode; idempotent if
+    already established. *)
+val phase1 : initiator:endpoint -> responder:endpoint -> now:float -> (unit, error) result
+
+(** SA pair from the initiator's point of view. *)
+type sa_pair = { outbound : Sa.t; inbound : Sa.t }
+
+(** [phase2 ~initiator ~responder ~now ~protect] negotiates one tunnel
+    rekey: fresh SPIs and nonces, QKD bits per the policy's mode, and
+    the SA pair for each end ([initiator_pair.outbound] mirrors
+    [responder_pair.inbound] with identical keys). *)
+val phase2 :
+  initiator:endpoint ->
+  responder:endpoint ->
+  now:float ->
+  protect:Spd.protect ->
+  (sa_pair * sa_pair, error) result
+
+(** Counters: quick-mode negotiations completed and QKD bits consumed
+    by this endpoint's IKE. *)
+val negotiations : endpoint -> int
+
+val qbits_consumed : endpoint -> int
+
+(** [bytes_on_wire endpoint] is the total size of the ISAKMP messages
+    this endpoint has sent — every exchange is actually encoded with
+    [Isakmp.encode] and re-parsed by the receiver, so the figure is
+    real on-the-wire bytes, QKD payload included. *)
+val bytes_on_wire : endpoint -> int

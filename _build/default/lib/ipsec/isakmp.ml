@@ -1,0 +1,321 @@
+type exchange_type = Identity_protection | Quick_mode | Informational
+
+type transform = {
+  transform_number : int;
+  transform_id : int;
+  attributes : (int * int) list;
+}
+
+type proposal = {
+  proposal_number : int;
+  protocol_id : int;
+  spi : bytes;
+  transforms : transform list;
+}
+
+type payload =
+  | Sa_payload of { doi : int; proposals : proposal list }
+  | Ke_payload of bytes
+  | Nonce_payload of bytes
+  | Id_payload of { id_type : int; data : bytes }
+  | Hash_payload of bytes
+  | Vendor_payload of bytes
+  | Qkd_payload of { offered_qblocks : int; bits_per_qblock : int }
+  | Notification_payload of { notify_type : int; data : bytes }
+
+type message = {
+  initiator_cookie : int64;
+  responder_cookie : int64;
+  exchange : exchange_type;
+  message_id : int32;
+  payloads : payload list;
+}
+
+exception Malformed of string
+
+(* RFC 2408 payload type numbers; 128 is in the private-use range for
+   the QKD extension. *)
+let ptype = function
+  | Sa_payload _ -> 1
+  | Ke_payload _ -> 4
+  | Id_payload _ -> 5
+  | Hash_payload _ -> 8
+  | Nonce_payload _ -> 10
+  | Notification_payload _ -> 11
+  | Vendor_payload _ -> 13
+  | Qkd_payload _ -> 128
+
+let exchange_byte = function
+  | Identity_protection -> 2
+  | Informational -> 5
+  | Quick_mode -> 32
+
+let exchange_of_byte = function
+  | 2 -> Identity_protection
+  | 5 -> Informational
+  | 32 -> Quick_mode
+  | b -> raise (Malformed (Printf.sprintf "unknown exchange type %d" b))
+
+(* -- emit helpers -- *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u16 buf v =
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u32 buf v =
+  put_u16 buf (v lsr 16);
+  put_u16 buf (v land 0xFFFF)
+
+let put_u64 buf (v : int64) =
+  for i = 7 downto 0 do
+    put_u8 buf (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+  done
+
+(* -- payload bodies -- *)
+
+let transform_body t =
+  let buf = Buffer.create 16 in
+  put_u8 buf 0 (* next transform: none (single chain simplification) *);
+  put_u8 buf 0;
+  (* placeholder length, patched by caller *)
+  put_u16 buf 0;
+  put_u8 buf t.transform_number;
+  put_u8 buf t.transform_id;
+  put_u16 buf 0 (* reserved *);
+  List.iter
+    (fun (ty, v) ->
+      (* basic attribute, TV format: high bit set *)
+      put_u16 buf (0x8000 lor (ty land 0x7FFF));
+      put_u16 buf v)
+    t.attributes;
+  let b = Buffer.to_bytes buf in
+  Bytes.set b 2 (Char.chr (Bytes.length b lsr 8));
+  Bytes.set b 3 (Char.chr (Bytes.length b land 0xFF));
+  b
+
+let proposal_body p =
+  let buf = Buffer.create 32 in
+  put_u8 buf 0 (* next proposal: none *);
+  put_u8 buf 0;
+  put_u16 buf 0 (* length patched below *);
+  put_u8 buf p.proposal_number;
+  put_u8 buf p.protocol_id;
+  put_u8 buf (Bytes.length p.spi);
+  put_u8 buf (List.length p.transforms);
+  Buffer.add_bytes buf p.spi;
+  List.iter (fun t -> Buffer.add_bytes buf (transform_body t)) p.transforms;
+  let b = Buffer.to_bytes buf in
+  Bytes.set b 2 (Char.chr (Bytes.length b lsr 8));
+  Bytes.set b 3 (Char.chr (Bytes.length b land 0xFF));
+  b
+
+let payload_body = function
+  | Sa_payload { doi; proposals } ->
+      let buf = Buffer.create 64 in
+      put_u32 buf doi;
+      put_u32 buf 1 (* situation: identity only *);
+      List.iter (fun p -> Buffer.add_bytes buf (proposal_body p)) proposals;
+      Buffer.to_bytes buf
+  | Ke_payload b | Nonce_payload b | Hash_payload b | Vendor_payload b -> b
+  | Id_payload { id_type; data } ->
+      let buf = Buffer.create (4 + Bytes.length data) in
+      put_u8 buf id_type;
+      put_u8 buf 0;
+      put_u16 buf 0 (* protocol/port unused *);
+      Buffer.add_bytes buf data;
+      Buffer.to_bytes buf
+  | Qkd_payload { offered_qblocks; bits_per_qblock } ->
+      let buf = Buffer.create 8 in
+      put_u32 buf offered_qblocks;
+      put_u32 buf bits_per_qblock;
+      Buffer.to_bytes buf
+  | Notification_payload { notify_type; data } ->
+      let buf = Buffer.create (4 + Bytes.length data) in
+      put_u32 buf 0 (* DOI *);
+      put_u8 buf 0 (* protocol *);
+      put_u8 buf 0 (* spi size *);
+      put_u16 buf notify_type;
+      Buffer.add_bytes buf data;
+      Buffer.to_bytes buf
+
+let encode msg =
+  let buf = Buffer.create 128 in
+  put_u64 buf msg.initiator_cookie;
+  put_u64 buf msg.responder_cookie;
+  let first_ptype = match msg.payloads with [] -> 0 | p :: _ -> ptype p in
+  put_u8 buf first_ptype;
+  put_u8 buf 0x10 (* version 1.0 *);
+  put_u8 buf (exchange_byte msg.exchange);
+  put_u8 buf 0 (* flags *);
+  put_u32 buf (Int32.to_int (Int32.logand msg.message_id 0xFFFFFFFFl) land 0xFFFFFFFF);
+  put_u32 buf 0 (* total length patched below *);
+  let rec chain = function
+    | [] -> ()
+    | p :: rest ->
+        let body = payload_body p in
+        let next = match rest with [] -> 0 | q :: _ -> ptype q in
+        put_u8 buf next;
+        put_u8 buf 0 (* reserved *);
+        put_u16 buf (4 + Bytes.length body);
+        Buffer.add_bytes buf body;
+        chain rest
+  in
+  chain msg.payloads;
+  let b = Buffer.to_bytes buf in
+  let total = Bytes.length b in
+  Bytes.set b 24 (Char.chr ((total lsr 24) land 0xFF));
+  Bytes.set b 25 (Char.chr ((total lsr 16) land 0xFF));
+  Bytes.set b 26 (Char.chr ((total lsr 8) land 0xFF));
+  Bytes.set b 27 (Char.chr (total land 0xFF));
+  b
+
+(* -- parse helpers -- *)
+
+type reader = { data : bytes; mutable pos : int }
+
+let need r n =
+  if r.pos + n > Bytes.length r.data then raise (Malformed "truncated message")
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code (Bytes.get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  let hi = get_u8 r in
+  (hi lsl 8) lor get_u8 r
+
+let get_u32 r =
+  let hi = get_u16 r in
+  (hi lsl 16) lor get_u16 r
+
+let get_u64 r =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_u8 r))
+  done;
+  !v
+
+let get_bytes r n =
+  need r n;
+  let b = Bytes.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  b
+
+let parse_transform r =
+  let _next = get_u8 r in
+  let _res = get_u8 r in
+  let len = get_u16 r in
+  let transform_number = get_u8 r in
+  let transform_id = get_u8 r in
+  let _res2 = get_u16 r in
+  let remaining = len - 8 in
+  if remaining < 0 || remaining mod 4 <> 0 then raise (Malformed "bad transform");
+  let attributes =
+    List.init (remaining / 4) (fun _ ->
+        let ty = get_u16 r land 0x7FFF in
+        let v = get_u16 r in
+        (ty, v))
+  in
+  { transform_number; transform_id; attributes }
+
+let parse_proposal r =
+  let _next = get_u8 r in
+  let _res = get_u8 r in
+  let _len = get_u16 r in
+  let proposal_number = get_u8 r in
+  let protocol_id = get_u8 r in
+  let spi_size = get_u8 r in
+  let ntransforms = get_u8 r in
+  let spi = get_bytes r spi_size in
+  let transforms = List.init ntransforms (fun _ -> parse_transform r) in
+  { proposal_number; protocol_id; spi; transforms }
+
+let parse_payload ty body =
+  let r = { data = body; pos = 0 } in
+  match ty with
+  | 1 ->
+      let doi = get_u32 r in
+      let _situation = get_u32 r in
+      let proposals = ref [] in
+      while r.pos < Bytes.length body do
+        proposals := parse_proposal r :: !proposals
+      done;
+      Sa_payload { doi; proposals = List.rev !proposals }
+  | 4 -> Ke_payload body
+  | 10 -> Nonce_payload body
+  | 8 -> Hash_payload body
+  | 13 -> Vendor_payload body
+  | 5 ->
+      let id_type = get_u8 r in
+      let _ = get_u8 r in
+      let _ = get_u16 r in
+      Id_payload { id_type; data = get_bytes r (Bytes.length body - 4) }
+  | 128 ->
+      let offered_qblocks = get_u32 r in
+      let bits_per_qblock = get_u32 r in
+      Qkd_payload { offered_qblocks; bits_per_qblock }
+  | 11 ->
+      let _doi = get_u32 r in
+      let _proto = get_u8 r in
+      let _spi_size = get_u8 r in
+      let notify_type = get_u16 r in
+      Notification_payload { notify_type; data = get_bytes r (Bytes.length body - 8) }
+  | ty -> raise (Malformed (Printf.sprintf "unknown payload type %d" ty))
+
+let decode b =
+  let r = { data = b; pos = 0 } in
+  let initiator_cookie = get_u64 r in
+  let responder_cookie = get_u64 r in
+  let first_ptype = get_u8 r in
+  let version = get_u8 r in
+  if version <> 0x10 then raise (Malformed "unsupported ISAKMP version");
+  let exchange = exchange_of_byte (get_u8 r) in
+  let _flags = get_u8 r in
+  let message_id = Int32.of_int (get_u32 r) in
+  let total = get_u32 r in
+  if total <> Bytes.length b then raise (Malformed "length field mismatch");
+  let rec payloads ty acc =
+    if ty = 0 then List.rev acc
+    else begin
+      let next = get_u8 r in
+      let _res = get_u8 r in
+      let len = get_u16 r in
+      if len < 4 then raise (Malformed "payload too short");
+      let body = get_bytes r (len - 4) in
+      payloads next (parse_payload ty body :: acc)
+    end
+  in
+  let payloads = payloads first_ptype [] in
+  if r.pos <> Bytes.length b then raise (Malformed "trailing bytes");
+  { initiator_cookie; responder_cookie; exchange; message_id; payloads }
+
+let encoded_size msg = Bytes.length (encode msg)
+
+let pp_payload ppf = function
+  | Sa_payload { proposals; _ } ->
+      Format.fprintf ppf "SA(%d proposals)" (List.length proposals)
+  | Ke_payload b -> Format.fprintf ppf "KE(%dB)" (Bytes.length b)
+  | Nonce_payload b -> Format.fprintf ppf "Nonce(%dB)" (Bytes.length b)
+  | Id_payload _ -> Format.pp_print_string ppf "ID"
+  | Hash_payload _ -> Format.pp_print_string ppf "HASH"
+  | Vendor_payload _ -> Format.pp_print_string ppf "VID"
+  | Qkd_payload { offered_qblocks; bits_per_qblock } ->
+      Format.fprintf ppf "QKD(%d Qblocks x %d bits)" offered_qblocks bits_per_qblock
+  | Notification_payload { notify_type; _ } ->
+      Format.fprintf ppf "N(%d)" notify_type
+
+let pp ppf msg =
+  let ex =
+    match msg.exchange with
+    | Identity_protection -> "main-mode"
+    | Quick_mode -> "quick-mode"
+    | Informational -> "info"
+  in
+  Format.fprintf ppf "ISAKMP %s id=%ld [%a]" ex msg.message_id
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_payload)
+    msg.payloads

@@ -1,0 +1,61 @@
+(** ISAKMP message encoding (RFC 2408 shape) with the BBN QKD payload.
+
+    The paper modified the `racoon` IKE daemon; its negotiations ride
+    ISAKMP messages.  This module gives those messages a real binary
+    form: the 28-byte header (cookies, exchange type, message id,
+    length), chained payloads with generic payload headers, and — the
+    QKD extension — a private payload type carrying the Qblock
+    offer/reply ("reply 1 Qblocks 1024 bits ... entropy") that Fig 12's
+    `qke_create_reply()` logs.
+
+    [Ike] drives its exchanges through [encode]/[decode], so every
+    negotiation is metered in real on-the-wire bytes and the codec is
+    exercised on the live path, not just in tests. *)
+
+type exchange_type = Identity_protection | Quick_mode | Informational
+
+type transform = {
+  transform_number : int;
+  transform_id : int;  (** e.g. 7 = AES-CBC, 3 = 3DES in DOI terms *)
+  attributes : (int * int) list;  (** (type, value): key length, etc. *)
+}
+
+type proposal = {
+  proposal_number : int;
+  protocol_id : int;  (** 3 = ESP *)
+  spi : bytes;
+  transforms : transform list;
+}
+
+type payload =
+  | Sa_payload of { doi : int; proposals : proposal list }
+  | Ke_payload of bytes  (** Diffie-Hellman public value *)
+  | Nonce_payload of bytes
+  | Id_payload of { id_type : int; data : bytes }
+  | Hash_payload of bytes
+  | Vendor_payload of bytes
+  | Qkd_payload of { offered_qblocks : int; bits_per_qblock : int }
+      (** the BBN extension: how many quantum key blocks this end
+          offers/accepts for the KEYMAT splice *)
+  | Notification_payload of { notify_type : int; data : bytes }
+
+type message = {
+  initiator_cookie : int64;
+  responder_cookie : int64;
+  exchange : exchange_type;
+  message_id : int32;
+  payloads : payload list;
+}
+
+exception Malformed of string
+
+(** [encode msg] emits header + chained payloads. *)
+val encode : message -> bytes
+
+(** [decode b] parses.  @raise Malformed on any framing error. *)
+val decode : bytes -> message
+
+(** [encoded_size msg] without materialising. *)
+val encoded_size : message -> int
+
+val pp : Format.formatter -> message -> unit

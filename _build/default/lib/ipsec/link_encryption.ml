@@ -1,0 +1,225 @@
+module Rng = Qkd_util.Rng
+module Bitstring = Qkd_util.Bitstring
+module Key_pool = Qkd_protocol.Key_pool
+
+type config = {
+  hops : int;
+  transform : Sa.transform;
+  qkd : Spd.qkd_mode;
+  lifetime : Sa.lifetime;
+  qblock_bits : int;
+  per_link_key_rate_bps : float;
+}
+
+let default_config =
+  {
+    hops = 4;
+    transform = Sa.Aes128_cbc;
+    qkd = Spd.Reseed;
+    lifetime = Sa.default_lifetime;
+    qblock_bits = 1024;
+    per_link_key_rate_bps = 350.0;
+  }
+
+(* One QKD-protected link in the chain: mirrored pool, IKE endpoints
+   at both ends, and the current SA pair for the forward direction. *)
+type hop = {
+  index : int;
+  left : Ike.endpoint;
+  right : Ike.endpoint;
+  pool_left : Key_pool.t;  (** the two ends' mirrored pools: *)
+  pool_right : Key_pool.t;  (** identical bits, separate objects *)
+  protect : Spd.protect;
+  left_addr : Packet.addr;
+  right_addr : Packet.addr;
+  mutable forward_sa : Sa.t option;  (** left -> right traffic *)
+  mutable reverse_sa : Sa.t option;  (** right's inbound view *)
+  mutable expected_seq : int;
+  mutable rekeys : int;
+  mutable credit : float;
+  fill_rng : Rng.t;
+}
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  hops : hop array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_no_key : int;
+  mutable hop_errors : int;
+}
+
+let hop_addr i side =
+  Packet.addr_of_string (Printf.sprintf "192.1.%d.%d" (100 + i) side)
+
+let create ?(seed = 77L) (config : config) =
+  if config.hops < 1 then invalid_arg "Link_encryption.create: need >= 1 hop";
+  let rng = Rng.create seed in
+  let psk = Bytes.of_string "link-encryption-chain" in
+  let make_hop index =
+    let pool_left = Key_pool.create () in
+    let pool_right = Key_pool.create () in
+    let left_addr = hop_addr index 1 and right_addr = hop_addr index 2 in
+    let left =
+      Ike.create_endpoint
+        ~identity:{ Ike.name = Printf.sprintf "relay%d" index; addr = left_addr }
+        ~psk ~key_pool:pool_left ~seed:(Rng.int64 rng)
+    in
+    let right =
+      Ike.create_endpoint
+        ~identity:
+          { Ike.name = Printf.sprintf "relay%d" (index + 1); addr = right_addr }
+        ~psk ~key_pool:pool_right ~seed:(Rng.int64 rng)
+    in
+    {
+      index;
+      left;
+      right;
+      pool_left;
+      pool_right;
+      protect =
+        {
+          Spd.transform = config.transform;
+          lifetime = config.lifetime;
+          qkd = config.qkd;
+          peer = right_addr;
+          qblock_bits = config.qblock_bits;
+        };
+      left_addr;
+      right_addr;
+      forward_sa = None;
+      reverse_sa = None;
+      expected_seq = 1;
+      rekeys = 0;
+      credit = 0.0;
+      fill_rng = Rng.split rng;
+    }
+  in
+  {
+    config;
+    rng;
+    hops = Array.init config.hops make_hop;
+    sent = 0;
+    delivered = 0;
+    dropped_no_key = 0;
+    hop_errors = 0;
+  }
+
+let advance t ~seconds =
+  if seconds < 0.0 then invalid_arg "Link_encryption.advance: negative time";
+  Array.iter
+    (fun h ->
+      h.credit <- h.credit +. (t.config.per_link_key_rate_bps *. seconds);
+      let whole = int_of_float h.credit in
+      if whole > 0 then begin
+        h.credit <- h.credit -. float_of_int whole;
+        let material = Rng.bits h.fill_rng whole in
+        Key_pool.offer h.pool_left (Bitstring.copy material);
+        Key_pool.offer h.pool_right material
+      end)
+    t.hops
+
+type send_error =
+  | No_key of { hop : int }
+  | Hop_failed of { hop : int; reason : string }
+
+let rekey t h ~now =
+  ignore t;
+  (match Ike.phase1 ~initiator:h.left ~responder:h.right ~now with
+  | Ok () -> ()
+  | Error _ -> ());
+  let need =
+    match h.protect.Spd.qkd with
+    | Spd.Disabled -> 0
+    | Spd.Reseed | Spd.Otp_mode -> h.protect.Spd.qblock_bits
+  in
+  if Key_pool.available h.pool_left < need || Key_pool.available h.pool_right < need
+  then false
+  else
+    match Ike.phase2 ~initiator:h.left ~responder:h.right ~now ~protect:h.protect with
+    | Ok (left_pair, right_pair) ->
+        h.forward_sa <- Some left_pair.Ike.outbound;
+        h.reverse_sa <- Some right_pair.Ike.inbound;
+        h.expected_seq <- 1;
+        h.rekeys <- h.rekeys + 1;
+        true
+    | Error _ -> false
+
+let send t ~now payload =
+  t.sent <- t.sent + 1;
+  let inner_of payload =
+    Packet.make ~src:(hop_addr 0 1)
+      ~dst:(hop_addr (Array.length t.hops - 1) 2)
+      ~protocol:Packet.proto_udp payload
+  in
+  let rec through i payload =
+    if i >= Array.length t.hops then begin
+      t.delivered <- t.delivered + 1;
+      Ok payload
+    end
+    else begin
+      let h = t.hops.(i) in
+      let usable sa = not (Sa.expired sa ~now) in
+      let ready =
+        match h.forward_sa with
+        | Some sa when usable sa -> true
+        | Some _ | None -> rekey t h ~now
+      in
+      if not ready then begin
+        t.dropped_no_key <- t.dropped_no_key + 1;
+        Error (No_key { hop = i })
+      end
+      else begin
+        match (h.forward_sa, h.reverse_sa) with
+        | Some tx, Some rx -> (
+            match
+              Esp.encapsulate tx ~rng:t.rng ~outer_src:h.left_addr
+                ~outer_dst:h.right_addr (inner_of payload)
+            with
+            | Error Esp.Pad_exhausted ->
+                h.forward_sa <- None;
+                if rekey t h ~now then through i payload
+                else begin
+                  t.dropped_no_key <- t.dropped_no_key + 1;
+                  Error (No_key { hop = i })
+                end
+            | Error e ->
+                t.hop_errors <- t.hop_errors + 1;
+                Error (Hop_failed { hop = i; reason = Format.asprintf "%a" Esp.pp_error e })
+            | Ok outer -> (
+                match Esp.decapsulate rx ~expected_seq:h.expected_seq outer with
+                | Ok inner ->
+                    h.expected_seq <- h.expected_seq + 1;
+                    (* the relay now holds the message in the clear and
+                       forwards it into the next QKD tunnel *)
+                    through (i + 1) inner.Packet.payload
+                | Error e ->
+                    t.hop_errors <- t.hop_errors + 1;
+                    Error
+                      (Hop_failed
+                         { hop = i; reason = Format.asprintf "%a" Esp.pp_error e })))
+        | _ -> Error (Hop_failed { hop = i; reason = "no SA after rekey" })
+      end
+    end
+  in
+  through 0 payload
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_no_key : int;
+  hop_errors : int;
+  rekeys : int;
+  cleartext_relays : int;
+}
+
+let stats (t : t) =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped_no_key = t.dropped_no_key;
+    hop_errors = t.hop_errors;
+    rekeys = Array.fold_left (fun acc (h : hop) -> acc + h.rekeys) 0 t.hops;
+    cleartext_relays = max 0 (Array.length t.hops - 1);
+  }

@@ -1,0 +1,54 @@
+(** Link-encryption QKD networks (§8, second variant).
+
+    "Alternatively, QKD relays may transport both keying material and
+    message traffic.  In essence, this approach uses QKD as a link
+    encryption mechanism, or stitches together an overall end-to-end
+    traffic path from a series of QKD-protected tunnels."
+
+    A chain of gateways; each adjacent pair runs its own QKD (pools
+    filled at the modelled per-link rate) and its own IKE-negotiated
+    ESP tunnel.  A message is encrypted hop by hop: protected on every
+    fiber span, but in the clear inside every intermediate relay — the
+    same trust cost as the key-transport variant, now applied to the
+    traffic itself. *)
+
+type config = {
+  hops : int;  (** number of links; [hops+1] gateways *)
+  transform : Sa.transform;
+  qkd : Spd.qkd_mode;
+  lifetime : Sa.lifetime;
+  qblock_bits : int;
+  per_link_key_rate_bps : float;
+}
+
+(** Four hops of AES-128 reseeded tunnels at the DARPA distilled
+    rate. *)
+val default_config : config
+
+type t
+
+val create : ?seed:int64 -> config -> t
+
+(** [advance t ~seconds] feeds every link's mirrored key pool. *)
+val advance : t -> seconds:float -> unit
+
+type send_error =
+  | No_key of { hop : int }  (** that link's rekey could not pay *)
+  | Hop_failed of { hop : int; reason : string }
+
+(** [send t ~now payload] pushes one message end to end: each hop
+    encapsulates under its current SA (rekeying on expiry) and the next
+    relay decapsulates.  Returns the payload as received at the far
+    end. *)
+val send : t -> now:float -> bytes -> (bytes, send_error) result
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_no_key : int;
+  hop_errors : int;
+  rekeys : int;
+  cleartext_relays : int;  (** relays that see each message in clear *)
+}
+
+val stats : t -> stats

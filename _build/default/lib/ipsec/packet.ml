@@ -1,0 +1,110 @@
+type addr = int32
+
+let addr_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+      let octet x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 -> v
+        | Some _ | None -> invalid_arg "Packet.addr_of_string: bad octet"
+      in
+      Int32.of_int
+        ((octet a lsl 24) lor (octet b lsl 16) lor (octet c lsl 8) lor octet d)
+  | _ -> invalid_arg "Packet.addr_of_string: expected a.b.c.d"
+
+let addr_to_string a =
+  let v = Int32.to_int (Int32.logand a 0xFFFFFFFFl) land 0xFFFFFFFF in
+  Printf.sprintf "%d.%d.%d.%d" ((v lsr 24) land 0xFF) ((v lsr 16) land 0xFF)
+    ((v lsr 8) land 0xFF) (v land 0xFF)
+
+let in_subnet addr ~net ~prefix =
+  if prefix < 0 || prefix > 32 then invalid_arg "Packet.in_subnet: prefix";
+  if prefix = 0 then true
+  else begin
+    let mask = Int32.shift_left (-1l) (32 - prefix) in
+    Int32.logand addr mask = Int32.logand net mask
+  end
+
+let proto_tcp = 6
+let proto_udp = 17
+let proto_esp = 50
+
+type t = {
+  src : addr;
+  dst : addr;
+  protocol : int;
+  ttl : int;
+  ident : int;
+  payload : bytes;
+}
+
+let make ~src ~dst ~protocol ?(ident = 0) payload =
+  { src; dst; protocol; ttl = 64; ident; payload }
+
+let header_len = 20
+
+let length t = header_len + Bytes.length t.payload
+
+(* RFC 791 ones-complement checksum over the header. *)
+let checksum header =
+  let sum = ref 0 in
+  for i = 0 to (header_len / 2) - 1 do
+    let word =
+      (Char.code (Bytes.get header (2 * i)) lsl 8)
+      lor Char.code (Bytes.get header ((2 * i) + 1))
+    in
+    sum := !sum + word
+  done;
+  while !sum > 0xFFFF do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let put16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 1) (Char.chr (v land 0xFF))
+
+let put32 b off (v : int32) =
+  let v = Int32.to_int (Int32.logand v 0xFFFFFFFFl) land 0xFFFFFFFF in
+  put16 b off (v lsr 16);
+  put16 b (off + 2) (v land 0xFFFF)
+
+let get16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let get32 b off = Int32.of_int ((get16 b off lsl 16) lor get16 b (off + 2))
+
+let serialize t =
+  let total = length t in
+  let b = Bytes.make total '\000' in
+  Bytes.set b 0 '\x45' (* version 4, IHL 5 *);
+  put16 b 2 total;
+  put16 b 4 t.ident;
+  Bytes.set b 8 (Char.chr (t.ttl land 0xFF));
+  Bytes.set b 9 (Char.chr (t.protocol land 0xFF));
+  put32 b 12 t.src;
+  put32 b 16 t.dst;
+  let csum = checksum (Bytes.sub b 0 header_len) in
+  put16 b 10 csum;
+  Bytes.blit t.payload 0 b header_len (Bytes.length t.payload);
+  b
+
+exception Malformed of string
+
+let parse b =
+  if Bytes.length b < header_len then raise (Malformed "short packet");
+  if Char.code (Bytes.get b 0) <> 0x45 then raise (Malformed "bad version/IHL");
+  let total = get16 b 2 in
+  if total <> Bytes.length b then raise (Malformed "length mismatch");
+  if checksum (Bytes.sub b 0 header_len) <> 0 then raise (Malformed "bad checksum");
+  {
+    src = get32 b 12;
+    dst = get32 b 16;
+    protocol = Char.code (Bytes.get b 9);
+    ttl = Char.code (Bytes.get b 8);
+    ident = get16 b 4;
+    payload = Bytes.sub b header_len (total - header_len);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s -> %s proto=%d len=%d" (addr_to_string t.src)
+    (addr_to_string t.dst) t.protocol (length t)

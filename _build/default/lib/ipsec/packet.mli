@@ -1,0 +1,49 @@
+(** IPv4 packets, enough of them for a VPN model.
+
+    A 20-byte option-less header with a real checksum, addresses,
+    protocol and payload — what the gateways' packet filters match on
+    and what ESP tunnels encapsulate. *)
+
+type addr = int32
+
+(** [addr_of_string "192.1.99.34"] — @raise Invalid_argument on
+    malformed dotted quads. *)
+val addr_of_string : string -> addr
+
+val addr_to_string : addr -> string
+
+(** [in_subnet addr ~net ~prefix] tests membership of a /[prefix]. *)
+val in_subnet : addr -> net:addr -> prefix:int -> bool
+
+(** Protocol numbers used here. *)
+val proto_tcp : int
+
+val proto_udp : int
+val proto_esp : int
+
+type t = {
+  src : addr;
+  dst : addr;
+  protocol : int;
+  ttl : int;
+  ident : int;
+  payload : bytes;
+}
+
+(** [make ~src ~dst ~protocol payload] builds a packet with default
+    TTL 64. *)
+val make : src:addr -> dst:addr -> protocol:int -> ?ident:int -> bytes -> t
+
+(** [serialize t] emits header (with checksum) + payload. *)
+val serialize : t -> bytes
+
+exception Malformed of string
+
+(** [parse b] — @raise Malformed on short input, bad version or bad
+    checksum. *)
+val parse : bytes -> t
+
+(** [length t] is the total serialized size. *)
+val length : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(** QKD-keyed upper-layer security — the §7 portability claim.
+
+    "Finally we note that our QKD work is not closely tied to IKE
+    itself.  It is readily portable to IKEv2, JFK, or indeed
+    upper-layer protocols such as SSL in short order."
+
+    This module makes the claim concrete with a TLS-PSK-shaped
+    handshake: the "pre-shared key" is a fresh qblock both sides pop
+    from their mirrored QKD pools, identified on the wire by its block
+    sequence number (so the peers agree on {e which} quantum bits they
+    are using — the same negotiation IKE's QKD payload performs).  The
+    handshake derives record keys through an HMAC-based PRF over the
+    qblock and both nonces; the record layer is AES-128-CBC with
+    HMAC-SHA1, mirroring a 2003-era ciphersuite.
+
+    Like the IPsec path, a silently diverged pool yields a handshake
+    that "succeeds" but cannot exchange records — the Finished check
+    catches it here, which is precisely the detection IKE lacks. *)
+
+type session
+
+type handshake_error =
+  | Not_enough_qbits of { wanted : int; available : int }
+  | Finished_mismatch
+      (** the two ends derived different keys — diverged pools *)
+
+(** [handshake ~client_pool ~server_pool ~rng ~qblock_bits] pops one
+    qblock from each pool and runs the handshake.  Returns the paired
+    sessions (client, server). *)
+val handshake :
+  client_pool:Qkd_protocol.Key_pool.t ->
+  server_pool:Qkd_protocol.Key_pool.t ->
+  rng:Qkd_util.Rng.t ->
+  qblock_bits:int ->
+  (session * session, handshake_error) result
+
+type record_error = Bad_mac | Bad_record
+
+(** [send session data] seals one application record. *)
+val send : session -> bytes -> bytes
+
+(** [receive session record] opens it (strict in-order sequencing). *)
+val receive : session -> bytes -> (bytes, record_error) result
+
+(** [qblock_id session] is the block sequence number both ends agreed
+    on during the handshake. *)
+val qblock_id : session -> int

@@ -1,0 +1,62 @@
+type transform = Aes128_cbc | Aes256_cbc | Des3_cbc | Otp
+
+let pp_transform ppf = function
+  | Aes128_cbc -> Format.pp_print_string ppf "AES-128-CBC"
+  | Aes256_cbc -> Format.pp_print_string ppf "AES-256-CBC"
+  | Des3_cbc -> Format.pp_print_string ppf "3DES-CBC"
+  | Otp -> Format.pp_print_string ppf "OTP"
+
+let enc_key_bytes = function
+  | Aes128_cbc -> 16
+  | Aes256_cbc -> 32
+  | Des3_cbc -> 24
+  | Otp -> 0
+
+let auth_key_bytes = 20
+
+type lifetime = { seconds : float; kilobytes : int }
+
+let default_lifetime = { seconds = 60.0; kilobytes = 4096 }
+
+type t = {
+  spi : int32;
+  transform : transform;
+  enc_key : bytes;
+  auth_key : bytes;
+  otp_pad : Qkd_crypto.Otp.pad option;
+  lifetime : lifetime;
+  created_s : float;
+  keyed_from_qkd : bool;
+  mutable seq : int;
+  mutable bytes_processed : int;
+}
+
+let create ~spi ~transform ~enc_key ~auth_key ?otp_pad ~lifetime ~now
+    ~keyed_from_qkd () =
+  if Bytes.length enc_key <> enc_key_bytes transform then
+    invalid_arg "Sa.create: wrong cipher key size";
+  if Bytes.length auth_key <> auth_key_bytes then
+    invalid_arg "Sa.create: wrong auth key size";
+  (match (transform, otp_pad) with
+  | Otp, None -> invalid_arg "Sa.create: OTP transform needs a pad"
+  | Otp, Some _ | (Aes128_cbc | Aes256_cbc | Des3_cbc), None -> ()
+  | (Aes128_cbc | Aes256_cbc | Des3_cbc), Some _ ->
+      invalid_arg "Sa.create: pad given for a cipher transform");
+  {
+    spi;
+    transform;
+    enc_key;
+    auth_key;
+    otp_pad;
+    lifetime;
+    created_s = now;
+    keyed_from_qkd;
+    seq = 0;
+    bytes_processed = 0;
+  }
+
+let expired t ~now =
+  now -. t.created_s >= t.lifetime.seconds
+  || t.bytes_processed >= t.lifetime.kilobytes * 1024
+
+let note_bytes t n = t.bytes_processed <- t.bytes_processed + n

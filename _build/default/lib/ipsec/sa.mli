@@ -1,0 +1,60 @@
+(** Security associations (RFC 2401).
+
+    One SA protects one direction of one tunnel: SPI, cipher transform
+    with its keys, anti-replay sequence number, and the lifetime that
+    drives the paper's key-rollover behaviour — expressible in seconds
+    or kilobytes, whichever trips first. *)
+
+type transform =
+  | Aes128_cbc
+  | Aes256_cbc
+  | Des3_cbc
+  | Otp  (** one-time pad from QKD bits — the §7 extension *)
+
+val pp_transform : Format.formatter -> transform -> unit
+
+(** [enc_key_bytes t] is the cipher key size (0 for OTP: the pad is
+    streamed, not a fixed key). *)
+val enc_key_bytes : transform -> int
+
+(** [auth_key_bytes] — HMAC-SHA1 key size, 20. *)
+val auth_key_bytes : int
+
+type lifetime = { seconds : float; kilobytes : int }
+
+(** A minute of seconds and 4 MB — short, to make rollover visible. *)
+val default_lifetime : lifetime
+
+type t = {
+  spi : int32;
+  transform : transform;
+  enc_key : bytes;
+  auth_key : bytes;
+  otp_pad : Qkd_crypto.Otp.pad option;  (** present iff transform = Otp *)
+  lifetime : lifetime;
+  created_s : float;
+  keyed_from_qkd : bool;  (** true when KEYMAT mixed QKD bits *)
+  mutable seq : int;  (** outbound sequence number *)
+  mutable bytes_processed : int;
+}
+
+(** [create ~spi ~transform ~enc_key ~auth_key ~lifetime ~now
+    ~keyed_from_qkd ()] — @raise Invalid_argument on wrong key sizes
+    or missing pad for OTP. *)
+val create :
+  spi:int32 ->
+  transform:transform ->
+  enc_key:bytes ->
+  auth_key:bytes ->
+  ?otp_pad:Qkd_crypto.Otp.pad ->
+  lifetime:lifetime ->
+  now:float ->
+  keyed_from_qkd:bool ->
+  unit ->
+  t
+
+(** [expired t ~now] — has either lifetime bound tripped? *)
+val expired : t -> now:float -> bool
+
+(** [note_bytes t n] accrues toward the kilobyte lifetime. *)
+val note_bytes : t -> int -> unit

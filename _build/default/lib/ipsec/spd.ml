@@ -1,0 +1,51 @@
+type selector = {
+  src_net : Packet.addr;
+  src_prefix : int;
+  dst_net : Packet.addr;
+  dst_prefix : int;
+  protocol : int option;
+}
+
+let selector_matches sel (p : Packet.t) =
+  Packet.in_subnet p.Packet.src ~net:sel.src_net ~prefix:sel.src_prefix
+  && Packet.in_subnet p.Packet.dst ~net:sel.dst_net ~prefix:sel.dst_prefix
+  && match sel.protocol with None -> true | Some proto -> proto = p.Packet.protocol
+
+type qkd_mode = Disabled | Reseed | Otp_mode
+
+let pp_qkd_mode ppf = function
+  | Disabled -> Format.pp_print_string ppf "no-qkd"
+  | Reseed -> Format.pp_print_string ppf "qkd-reseed"
+  | Otp_mode -> Format.pp_print_string ppf "qkd-otp"
+
+type protect = {
+  transform : Sa.transform;
+  lifetime : Sa.lifetime;
+  qkd : qkd_mode;
+  peer : Packet.addr;
+  qblock_bits : int;
+}
+
+type action = Bypass | Drop | Protect of protect
+
+type policy = { selector : selector; action : action }
+
+type t = { mutable policies : policy list (* reversed insertion order *) }
+
+let create () = { policies = [] }
+
+let add t policy = t.policies <- policy :: t.policies
+
+let policies t = List.rev t.policies
+
+let lookup t packet =
+  List.find_opt (fun p -> selector_matches p.selector packet) (policies t)
+
+let subnet_selector ~src ~src_prefix ~dst ~dst_prefix =
+  {
+    src_net = Packet.addr_of_string src;
+    src_prefix;
+    dst_net = Packet.addr_of_string dst;
+    dst_prefix;
+    protocol = None;
+  }

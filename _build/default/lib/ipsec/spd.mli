@@ -1,0 +1,53 @@
+(** Security Policy Database (RFC 2401).
+
+    Ordered pattern-matching over traffic selectors.  Each protect
+    policy carries the transform, lifetime, and — the §7 extension —
+    its QKD mode: [Disabled] (classical IKE keys only), [Reseed]
+    (QKD bits spliced into the Phase-2 KEYMAT, rolled every lifetime),
+    or [Otp_mode] (traffic one-time-padded from the key pool).
+    Policies are per-tunnel, so one gateway can run AES on one VPN and
+    one-time pads on a more sensitive one, exactly as §7 describes. *)
+
+type selector = {
+  src_net : Packet.addr;
+  src_prefix : int;
+  dst_net : Packet.addr;
+  dst_prefix : int;
+  protocol : int option;  (** [None] = any *)
+}
+
+(** [selector_matches sel packet] *)
+val selector_matches : selector -> Packet.t -> bool
+
+type qkd_mode = Disabled | Reseed | Otp_mode
+
+val pp_qkd_mode : Format.formatter -> qkd_mode -> unit
+
+type protect = {
+  transform : Sa.transform;
+  lifetime : Sa.lifetime;
+  qkd : qkd_mode;
+  peer : Packet.addr;  (** remote tunnel endpoint *)
+  qblock_bits : int;  (** QKD bits per Phase-2 negotiation, e.g. 1024 *)
+}
+
+type action = Bypass | Drop | Protect of protect
+
+type policy = { selector : selector; action : action }
+
+type t
+
+val create : unit -> t
+
+(** [add t policy] appends (policies match in insertion order). *)
+val add : t -> policy -> unit
+
+(** [lookup t packet] is the first matching policy. *)
+val lookup : t -> Packet.t -> policy option
+
+val policies : t -> policy list
+
+(** [any_selector ~src_net ~src_prefix ~dst_net ~dst_prefix] with any
+    protocol. *)
+val subnet_selector :
+  src:string -> src_prefix:int -> dst:string -> dst_prefix:int -> selector

@@ -1,0 +1,244 @@
+module Rng = Qkd_util.Rng
+module Key_pool = Qkd_protocol.Key_pool
+module Bitstring = Qkd_util.Bitstring
+
+type key_source = Modeled of float | Static of int
+
+type config = {
+  transform : Sa.transform;
+  qkd : Spd.qkd_mode;
+  lifetime : Sa.lifetime;
+  qblock_bits : int;
+  key_source : key_source;
+  packet_bytes : int;
+  packets_per_second : float;
+}
+
+let default_config =
+  {
+    transform = Sa.Aes128_cbc;
+    qkd = Spd.Reseed;
+    lifetime = Sa.default_lifetime;
+    qblock_bits = 1024;
+    key_source = Modeled 400.0;
+    packet_bytes = 512;
+    packets_per_second = 50.0;
+  }
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  key_rng : Rng.t;
+  a : Gateway.t;
+  b : Gateway.t;
+  pool_a : Key_pool.t;
+  pool_b : Key_pool.t;
+  mutable now : float;
+  mutable key_credit : float;  (** fractional bits owed to the pools *)
+  mutable traffic_credit : float;
+  mutable attempted : int;
+  mutable delivered : int;
+  mutable blackholed : int;
+  mutable drop_no_key : int;
+  mutable rekey_failures : int;
+  mutable phase1_done : bool;
+}
+
+let lan_a = "10.1.0.0"
+let lan_b = "10.2.0.0"
+
+let create ?(seed = 1999L) config =
+  let rng = Rng.create seed in
+  let key_rng = Rng.split rng in
+  let pool_a = Key_pool.create () in
+  let pool_b = Key_pool.create () in
+  (match config.key_source with
+  | Static bits ->
+      let material = Rng.bits key_rng bits in
+      Key_pool.offer pool_a (Bitstring.copy material);
+      Key_pool.offer pool_b material
+  | Modeled _ -> ());
+  let psk = Bytes.of_string "darpa-quantum-network-psk" in
+  let a =
+    Gateway.create ~name:"alice-gw" ~wan:"192.1.99.34" ~lan:lan_a ~lan_prefix:16
+      ~psk ~key_pool:pool_a ~seed:(Rng.int64 rng)
+  in
+  let b =
+    Gateway.create ~name:"bob-gw" ~wan:"192.1.99.35" ~lan:lan_b ~lan_prefix:16
+      ~psk ~key_pool:pool_b ~seed:(Rng.int64 rng)
+  in
+  let protect peer =
+    {
+      Spd.transform = config.transform;
+      lifetime = config.lifetime;
+      qkd = config.qkd;
+      peer;
+      qblock_bits = config.qblock_bits;
+    }
+  in
+  Gateway.add_protect_policy a ~lan_remote:lan_b ~remote_prefix:16
+    (protect (Gateway.wan_addr b));
+  Gateway.add_protect_policy b ~lan_remote:lan_a ~remote_prefix:16
+    (protect (Gateway.wan_addr a));
+  {
+    config;
+    rng;
+    key_rng;
+    a;
+    b;
+    pool_a;
+    pool_b;
+    now = 0.0;
+    key_credit = 0.0;
+    traffic_credit = 0.0;
+    attempted = 0;
+    delivered = 0;
+    blackholed = 0;
+    drop_no_key = 0;
+    rekey_failures = 0;
+    phase1_done = false;
+  }
+
+let gateway_a t = t.a
+let gateway_b t = t.b
+let pool_a t = t.pool_a
+let pool_b t = t.pool_b
+
+let feed t ~dt =
+  match t.config.key_source with
+  | Static _ -> ()
+  | Modeled rate ->
+      t.key_credit <- t.key_credit +. (rate *. dt);
+      let whole = int_of_float t.key_credit in
+      if whole > 0 then begin
+        t.key_credit <- t.key_credit -. float_of_int whole;
+        let material = Rng.bits t.key_rng whole in
+        Key_pool.offer t.pool_a (Bitstring.copy material);
+        Key_pool.offer t.pool_b material
+      end
+
+let ensure_phase1 t =
+  if not t.phase1_done then begin
+    match
+      Ike.phase1 ~initiator:(Gateway.ike t.a) ~responder:(Gateway.ike t.b)
+        ~now:t.now
+    with
+    | Ok () -> t.phase1_done <- true
+    | Error _ -> ()
+  end
+
+(* Quick mode for the tunnel in the a->b direction; installs the SA
+   pairs on both gateways. *)
+let rekey t ~initiator ~responder protect =
+  ensure_phase1 t;
+  match
+    Ike.phase2 ~initiator:(Gateway.ike initiator) ~responder:(Gateway.ike responder)
+      ~now:t.now ~protect
+  with
+  | Ok (init_pair, resp_pair) ->
+      Gateway.install_sas initiator ~peer:(Gateway.wan_addr responder)
+        ~outbound:init_pair.Ike.outbound ~inbound:init_pair.Ike.inbound;
+      Gateway.install_sas responder ~peer:(Gateway.wan_addr initiator)
+        ~outbound:resp_pair.Ike.outbound ~inbound:resp_pair.Ike.inbound;
+      Gateway.note_rekey initiator ~peer:(Gateway.wan_addr responder);
+      true
+  | Error _ ->
+      t.rekey_failures <- t.rekey_failures + 1;
+      false
+
+let send_one t ~src_gw ~dst_gw packet =
+  t.attempted <- t.attempted + 1;
+  let rec attempt retries =
+    match Gateway.outbound src_gw ~now:t.now packet with
+    | Gateway.Tunnel outer -> (
+        match Gateway.inbound dst_gw ~now:t.now outer with
+        | Gateway.Deliver _ -> t.delivered <- t.delivered + 1
+        | Gateway.Bypass_in _ | Gateway.Rejected _ ->
+            t.blackholed <- t.blackholed + 1)
+    | Gateway.Bypass clear -> (
+        match Gateway.inbound dst_gw ~now:t.now clear with
+        | _ -> t.delivered <- t.delivered + 1)
+    | Gateway.Dropped _ -> ()
+    | Gateway.Need_rekey protect ->
+        if retries > 0 && rekey t ~initiator:src_gw ~responder:dst_gw protect
+        then attempt (retries - 1)
+        else t.drop_no_key <- t.drop_no_key + 1
+  in
+  attempt 1
+
+let step t ~dt =
+  t.now <- t.now +. dt;
+  feed t ~dt;
+  t.traffic_credit <- t.traffic_credit +. (t.config.packets_per_second *. dt);
+  let packets = int_of_float t.traffic_credit in
+  t.traffic_credit <- t.traffic_credit -. float_of_int packets;
+  for i = 1 to packets do
+    let payload = Rng.bytes t.rng t.config.packet_bytes in
+    if i land 1 = 0 then begin
+      let packet =
+        Packet.make
+          ~src:(Packet.addr_of_string "10.1.0.5")
+          ~dst:(Packet.addr_of_string "10.2.0.7")
+          ~protocol:Packet.proto_udp payload
+      in
+      send_one t ~src_gw:t.a ~dst_gw:t.b packet
+    end
+    else begin
+      let packet =
+        Packet.make
+          ~src:(Packet.addr_of_string "10.2.0.7")
+          ~dst:(Packet.addr_of_string "10.1.0.5")
+          ~protocol:Packet.proto_udp payload
+      in
+      send_one t ~src_gw:t.b ~dst_gw:t.a packet
+    end
+  done
+
+let run t ~duration ~dt =
+  let steps = int_of_float (ceil (duration /. dt)) in
+  for _ = 1 to steps do
+    step t ~dt
+  done
+
+let skew_pool t ~bits =
+  (* Corrupt the head of B's pool in place: drain, flip the first
+     [bits], refill.  The two pools stay aligned in length, so exactly
+     the next qblock draw differs — one blackholed SA lifetime, then
+     rollover heals the tunnel, as §7 describes. *)
+  let total = Key_pool.available t.pool_b in
+  if total > 0 then begin
+    let material = Key_pool.consume t.pool_b total in
+    for i = 0 to min bits total - 1 do
+      Bitstring.flip material i
+    done;
+    Key_pool.offer t.pool_b material
+  end
+
+type stats = {
+  elapsed_s : float;
+  attempted : int;
+  delivered : int;
+  blackholed : int;
+  drop_no_key : int;
+  rekeys : int;
+  rekey_failures : int;
+  qbits_consumed : int;
+  pool_a_bits : int;
+  pool_b_bits : int;
+}
+
+let stats t =
+  {
+    elapsed_s = t.now;
+    attempted = t.attempted;
+    delivered = t.delivered;
+    blackholed = t.blackholed;
+    drop_no_key = t.drop_no_key;
+    rekeys = (Gateway.stats t.a).Gateway.rekeys + (Gateway.stats t.b).Gateway.rekeys;
+    rekey_failures = t.rekey_failures;
+    qbits_consumed = Ike.qbits_consumed (Gateway.ike t.a);
+    pool_a_bits = Key_pool.available t.pool_a;
+    pool_b_bits = Key_pool.available t.pool_b;
+  }
+
+let ike_log t = Ike.log (Gateway.ike t.a) @ Ike.log (Gateway.ike t.b)

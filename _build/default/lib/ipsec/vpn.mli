@@ -1,0 +1,78 @@
+(** A complete QKD-keyed VPN between two private enclaves (Fig 2/11).
+
+    Two gateways, mirrored QKD key pools, IKE with the QKD extensions,
+    and a traffic generator.  [step] advances simulated time: key bits
+    flow into the pools (at a modelled distilled rate, or only from a
+    static pre-load), LAN packets are generated, tunnelled, delivered
+    and counted, SAs roll over on lifetime expiry, and failed
+    negotiations (insufficient QKD bits) surface in the statistics —
+    the key race of §2 made measurable.
+
+    [skew_pool] silently corrupts bits in one side's pool, modelling
+    the §7 failure where the two ends believe they share bits but do
+    not: IKE keeps "succeeding", the SA pair cannot carry traffic, and
+    only the next rollover restores the tunnel. *)
+
+type key_source =
+  | Modeled of float  (** identical random bits at this rate (b/s) *)
+  | Static of int  (** a one-time pre-load, no refill *)
+
+type config = {
+  transform : Sa.transform;
+  qkd : Spd.qkd_mode;
+  lifetime : Sa.lifetime;
+  qblock_bits : int;
+  key_source : key_source;
+  packet_bytes : int;
+  packets_per_second : float;
+}
+
+(** AES-128 reseeded from 1024-bit qblocks every 60 s, 512-byte
+    packets at 50 pkt/s, pools fed at 400 b/s (the modelled DARPA
+    distilled rate). *)
+val default_config : config
+
+type t
+
+val create : ?seed:int64 -> config -> t
+
+val gateway_a : t -> Gateway.t
+val gateway_b : t -> Gateway.t
+
+(** The mirrored key pools (gateway A's and B's).  External key
+    producers — e.g. a live QKD engine — may [Key_pool.offer]
+    identical bits to both; use [key_source = Static 0] to disable
+    the internal modelled feed. *)
+val pool_a : t -> Qkd_protocol.Key_pool.t
+
+val pool_b : t -> Qkd_protocol.Key_pool.t
+
+(** [step t ~dt] advances the clock by [dt] seconds. *)
+val step : t -> dt:float -> unit
+
+(** [run t ~duration ~dt] steps until [duration] elapses. *)
+val run : t -> duration:float -> dt:float -> unit
+
+(** [skew_pool t ~bits] corrupts the next [bits] of gateway B's pool
+    (bit flips), modelling residual error-correction failures: the
+    next rekey yields mismatched keys and a blackholed SA lifetime,
+    after which rollover heals the tunnel. *)
+val skew_pool : t -> bits:int -> unit
+
+type stats = {
+  elapsed_s : float;
+  attempted : int;
+  delivered : int;
+  blackholed : int;  (** tunnelled but rejected by the peer *)
+  drop_no_key : int;  (** rekey failed: not enough QKD bits *)
+  rekeys : int;
+  rekey_failures : int;
+  qbits_consumed : int;
+  pool_a_bits : int;
+  pool_b_bits : int;
+}
+
+val stats : t -> stats
+
+(** [ike_log t] drains both gateways' racoon-style logs, in order. *)
+val ike_log : t -> string list

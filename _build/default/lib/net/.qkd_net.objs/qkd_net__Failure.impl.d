@@ -1,0 +1,1 @@
+lib/net/failure.ml: Fun List Qkd_util Routing Sim Topology

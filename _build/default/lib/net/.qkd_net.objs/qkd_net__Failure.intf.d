@@ -1,0 +1,1 @@
+lib/net/failure.mli: Topology

@@ -1,0 +1,1 @@
+lib/net/link_model.ml: Qkd_photonics Qkd_protocol

@@ -1,0 +1,1 @@
+lib/net/link_model.mli: Qkd_photonics Qkd_protocol

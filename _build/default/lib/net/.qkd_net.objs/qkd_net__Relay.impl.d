@@ -1,0 +1,1 @@
+lib/net/relay.ml: Link_model List Qkd_crypto Qkd_photonics Qkd_protocol Qkd_util Routing Topology

@@ -1,0 +1,1 @@
+lib/net/relay.mli: Qkd_photonics Qkd_util Topology

@@ -1,0 +1,1 @@
+lib/net/routing.ml: Array List Qkd_photonics Topology

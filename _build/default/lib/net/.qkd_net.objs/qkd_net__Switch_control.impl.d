@@ -1,0 +1,1 @@
+lib/net/switch_control.ml: Either Hashtbl List Option Routing Topology

@@ -1,0 +1,1 @@
+lib/net/switch_control.mli: Topology

@@ -1,0 +1,1 @@
+lib/net/switch_net.ml: Link_model List Qkd_photonics Routing Topology

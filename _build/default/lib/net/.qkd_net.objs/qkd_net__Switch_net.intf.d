@@ -1,0 +1,1 @@
+lib/net/switch_net.mli: Link_model Qkd_photonics Topology

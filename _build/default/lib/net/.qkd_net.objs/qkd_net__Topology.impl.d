@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array List Printf Qkd_photonics Qkd_util

@@ -1,0 +1,1 @@
+lib/net/trust_analysis.ml: Array Hashtbl List Option Qkd_util Routing Topology

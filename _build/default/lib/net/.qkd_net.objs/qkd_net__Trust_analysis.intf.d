@@ -1,0 +1,1 @@
+lib/net/trust_analysis.mli: Topology

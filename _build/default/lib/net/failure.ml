@@ -1,0 +1,75 @@
+module Rng = Qkd_util.Rng
+
+let connected topo ~src ~dst =
+  Routing.shortest_path topo ~src ~dst ~weight:Routing.Hops <> None
+
+let with_saved_states topo f =
+  let saved = List.map (fun (e : Topology.edge) -> (e, e.Topology.up)) (Topology.edges topo) in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (e, up) -> e.Topology.up <- up) saved)
+    f
+
+let availability ?(trials = 10_000) ?(seed = 31L) topo ~src ~dst ~p_fail =
+  if p_fail < 0.0 || p_fail > 1.0 then invalid_arg "Failure.availability: p_fail";
+  let rng = Rng.create seed in
+  with_saved_states topo (fun () ->
+      let edges = Topology.edges topo in
+      let up_trials = ref 0 in
+      for _ = 1 to trials do
+        List.iter
+          (fun (e : Topology.edge) -> e.Topology.up <- not (Rng.bernoulli rng p_fail))
+          edges;
+        if connected topo ~src ~dst then incr up_trials
+      done;
+      float_of_int !up_trials /. float_of_int trials)
+
+type outage_report = {
+  duration_s : float;
+  connected_s : float;
+  availability : float;
+  outages : int;
+}
+
+let simulate_outages ?(seed = 37L) topo ~src ~dst ~mtbf_s ~mttr_s ~duration_s =
+  if mtbf_s <= 0.0 || mttr_s <= 0.0 || duration_s <= 0.0 then
+    invalid_arg "Failure.simulate_outages: non-positive time";
+  let rng = Rng.create seed in
+  with_saved_states topo (fun () ->
+      let sim = Sim.create () in
+      let connected_s = ref 0.0 in
+      let outages = ref 0 in
+      let last_change = ref 0.0 in
+      let was_connected = ref (connected topo ~src ~dst) in
+      let account now =
+        if !was_connected then connected_s := !connected_s +. (now -. !last_change);
+        last_change := now
+      in
+      let update_connectivity () =
+        let now = Sim.now sim in
+        let c = connected topo ~src ~dst in
+        if c <> !was_connected then begin
+          account now;
+          if not c then incr outages;
+          was_connected := c
+        end
+      in
+      let rec fail_later (e : Topology.edge) =
+        Sim.schedule_in sim ~delay:(Rng.exponential rng (1.0 /. mtbf_s)) (fun () ->
+            e.Topology.up <- false;
+            update_connectivity ();
+            repair_later e)
+      and repair_later e =
+        Sim.schedule_in sim ~delay:(Rng.exponential rng (1.0 /. mttr_s)) (fun () ->
+            e.Topology.up <- true;
+            update_connectivity ();
+            fail_later e)
+      in
+      List.iter fail_later (Topology.edges topo);
+      Sim.run sim ~until:duration_s;
+      account duration_s;
+      {
+        duration_s;
+        connected_s = !connected_s;
+        availability = !connected_s /. duration_s;
+        outages = !outages;
+      })

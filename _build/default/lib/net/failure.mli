@@ -1,0 +1,41 @@
+(** Link-failure studies: the robustness argument of §8.
+
+    A point-to-point QKD system dies with its one link (fiber cut or
+    active eavesdropping); a meshed relay network keeps delivering as
+    long as {e some} path survives.  Two tools: a static Monte-Carlo
+    availability estimate under independent link failures, and a
+    dynamic outage simulation with exponential failure/repair times on
+    the event scheduler. *)
+
+(** [availability ?trials ?seed topo ~src ~dst ~p_fail] estimates
+    P(src and dst still connected) when each link is independently
+    down with probability [p_fail].  Link states are restored. *)
+val availability :
+  ?trials:int ->
+  ?seed:int64 ->
+  Topology.t ->
+  src:int ->
+  dst:int ->
+  p_fail:float ->
+  float
+
+type outage_report = {
+  duration_s : float;
+  connected_s : float;  (** time with a live src-dst path *)
+  availability : float;
+  outages : int;  (** transitions connected -> disconnected *)
+}
+
+(** [simulate_outages ?seed topo ~src ~dst ~mtbf_s ~mttr_s ~duration_s]
+    runs the event-driven model: each link fails after Exp(1/mtbf) up
+    time and repairs after Exp(1/mttr).  Reports end-to-end
+    availability over the run.  Link states are restored. *)
+val simulate_outages :
+  ?seed:int64 ->
+  Topology.t ->
+  src:int ->
+  dst:int ->
+  mtbf_s:float ->
+  mttr_s:float ->
+  duration_s:float ->
+  outage_report

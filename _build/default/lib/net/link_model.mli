@@ -1,0 +1,46 @@
+(** Analytic performance model of one QKD link.
+
+    The network experiments evolve tens of links over simulated hours;
+    running the full photon-level engine for each would be absurd, so
+    this module predicts the steady-state rates from the link
+    configuration with standard closed-form approximations:
+
+    - signal click probability  p_sig = 1 − exp(−μ·T·η)
+    - accidental probability    p_acc = 2·p_dark
+    - detection per pulse       p_det ≈ p_sig + p_acc
+    - QBER ≈ (p_sig·(1−V)/2 + p_dark) / p_det
+    - sifted rate = pulse rate · p_det / 2
+    - distilled rate = sifted · secret fraction from [Entropy] with
+      Cascade disclosure modelled as 1.25·h(QBER) + per-round overhead.
+
+    The [calibrate] test in the suite checks these against the full
+    simulation at the DARPA operating point. *)
+
+type prediction = {
+  p_signal : float;
+  p_detect : float;
+  qber : float;
+  sifted_bps : float;
+  distilled_bps : float;
+  secret_fraction : float;
+}
+
+(** [predict ?defense ?confidence ?block_seconds config] — the entropy
+    estimate is evaluated on a block of [block_seconds] worth of
+    sifted bits (default 4 s, a typical engine round). *)
+val predict :
+  ?defense:Qkd_protocol.Entropy.defense ->
+  ?confidence:float ->
+  ?block_seconds:float ->
+  Qkd_photonics.Link.config ->
+  prediction
+
+(** [binary_entropy p] is h(p) in bits, 0 at the boundary. *)
+val binary_entropy : float -> float
+
+(** [with_length config km] / [with_insertion_db config db] derive
+    configurations for sweeps. *)
+val with_length : Qkd_photonics.Link.config -> float -> Qkd_photonics.Link.config
+
+val with_insertion_db :
+  Qkd_photonics.Link.config -> float -> Qkd_photonics.Link.config

@@ -1,0 +1,138 @@
+module Link = Qkd_photonics.Link
+module Bitstring = Qkd_util.Bitstring
+module Rng = Qkd_util.Rng
+module Key_pool = Qkd_protocol.Key_pool
+module Otp = Qkd_crypto.Otp
+
+(* Each edge runs its own QKD and fills a *real* pairwise key pool:
+   both ends hold identical bits (one [Key_pool.t] models the mirrored
+   pair).  [credit] carries the fractional bits the continuous rate
+   model owes the pool. *)
+type pool = {
+  edge : Topology.edge;
+  rate_bps : float;
+  material : Key_pool.t;
+  mutable credit : float;
+  fill_rng : Rng.t;
+}
+
+type t = {
+  topo : Topology.t;
+  pools : pool list;
+  key_rng : Rng.t;
+  mutable delivered : int;
+  mutable failed : int;
+}
+
+let create ?(base_config = Link.darpa_default) topo =
+  let master = Rng.create 4242L in
+  let pools =
+    List.map
+      (fun (e : Topology.edge) ->
+        let config = { base_config with Link.fiber = e.Topology.fiber } in
+        let p = Link_model.predict config in
+        {
+          edge = e;
+          rate_bps = p.Link_model.distilled_bps;
+          material = Key_pool.create ();
+          credit = 0.0;
+          fill_rng = Rng.split master;
+        })
+      (Topology.edges topo)
+  in
+  { topo; pools; key_rng = Rng.split master; delivered = 0; failed = 0 }
+
+let topology t = t.topo
+
+let advance t ~seconds =
+  if seconds < 0.0 then invalid_arg "Relay.advance: negative time";
+  List.iter
+    (fun p ->
+      if p.edge.Topology.up then begin
+        p.credit <- p.credit +. (p.rate_bps *. seconds);
+        let whole = int_of_float p.credit in
+        if whole > 0 then begin
+          p.credit <- p.credit -. float_of_int whole;
+          Key_pool.offer p.material (Rng.bits p.fill_rng whole)
+        end
+      end)
+    t.pools
+
+let find_pool t a b =
+  match
+    List.find_opt
+      (fun p ->
+        let e = p.edge in
+        (e.Topology.a = a && e.Topology.b = b)
+        || (e.Topology.a = b && e.Topology.b = a))
+      t.pools
+  with
+  | Some p -> p
+  | None -> raise Not_found
+
+let pool_bits t a b = float_of_int (Key_pool.available (find_pool t a b).material)
+let link_rate t a b = (find_pool t a b).rate_bps
+
+type delivery = {
+  path : int list;
+  bits : int;
+  key : Bitstring.t;  (** the end-to-end key as received at [dst] *)
+  cleartext_exposures : int;
+}
+
+type delivery_error =
+  | No_route
+  | Insufficient_key of { edge : int * int; available : float }
+
+let request_key t ~src ~dst ~bits =
+  match Routing.shortest_path t.topo ~src ~dst ~weight:Routing.Hops with
+  | None ->
+      t.failed <- t.failed + 1;
+      Error No_route
+  | Some path ->
+      let rec hops acc = function
+        | a :: (b :: _ as rest) -> hops ((a, b) :: acc) rest
+        | [ _ ] | [] -> List.rev acc
+      in
+      let edges = hops [] path in
+      let shortfall =
+        List.find_opt
+          (fun (a, b) -> Key_pool.available (find_pool t a b).material < bits)
+          edges
+      in
+      (match shortfall with
+      | Some (a, b) ->
+          t.failed <- t.failed + 1;
+          Error
+            (Insufficient_key
+               {
+                 edge = (a, b);
+                 available = float_of_int (Key_pool.available (find_pool t a b).material);
+               })
+      | None ->
+          (* The source endpoint generates the end-to-end key and
+             one-time-pads it across each hop: encrypted with the
+             pairwise key on the wire, decrypted (back to cleartext)
+             inside each relay, re-encrypted for the next hop. *)
+          let key = Rng.bits t.key_rng bits in
+          let in_flight = ref (Bitstring.copy key) in
+          List.iter
+            (fun (a, b) ->
+              let pad = Key_pool.consume (find_pool t a b).material bits in
+              (* encrypt at the hop's sender... *)
+              let ciphertext = Bitstring.xor !in_flight pad in
+              (* ...and decrypt at its receiver (same mirrored pad). *)
+              in_flight := Bitstring.xor ciphertext pad)
+            edges;
+          assert (Bitstring.equal !in_flight key);
+          t.delivered <- t.delivered + bits;
+          Ok
+            {
+              path;
+              bits;
+              key = !in_flight;
+              cleartext_exposures = max 0 (List.length path - 2);
+            })
+
+let delivered_bits t = t.delivered
+let failed_requests t = t.failed

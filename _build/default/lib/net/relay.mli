@@ -1,0 +1,54 @@
+(** Trusted-relay key-transport networks (§8).
+
+    Each link runs its own QKD and fills a pairwise key pool; an
+    end-to-end key travels hop by hop, one-time-pad encrypted and
+    decrypted with each pairwise key in turn.  The key is exposed in
+    the clear inside every intermediate relay — the architecture's
+    acknowledged weakness — so deliveries report their exposure count.
+
+    Pools hold {e real} key bits (both ends of an edge see identical
+    material, modelled by one mirrored pool), filled at the analytic
+    per-link rate as [advance] moves simulated time forward; a
+    delivered key is actually one-time-padded across every hop and
+    arrives bit-identical at the destination. *)
+
+type t
+
+(** [create ?base_config topo] attaches a pairwise pool to every edge.
+    Per-link key rates come from [Link_model.predict] with the edge's
+    fiber substituted into [base_config] (default [darpa_default]). *)
+val create : ?base_config:Qkd_photonics.Link.config -> Topology.t -> t
+
+val topology : t -> Topology.t
+
+(** [advance t ~seconds] grows every up-link's pool by rate·seconds.
+    Down links generate nothing. *)
+val advance : t -> seconds:float -> unit
+
+(** [pool_bits t a b] is the pairwise pool level.
+    @raise Not_found if no such edge. *)
+val pool_bits : t -> int -> int -> float
+
+(** [link_rate t a b] is the modelled distilled rate for the edge. *)
+val link_rate : t -> int -> int -> float
+
+type delivery = {
+  path : int list;
+  bits : int;
+  key : Qkd_util.Bitstring.t;  (** the end-to-end key as received *)
+  cleartext_exposures : int;  (** intermediate relays that saw the key *)
+}
+
+type delivery_error =
+  | No_route
+  | Insufficient_key of { edge : int * int; available : float }
+
+(** [request_key t ~src ~dst ~bits] routes (fewest hops over up links),
+    checks every hop pool, and on success consumes [bits] from each. *)
+val request_key :
+  t -> src:int -> dst:int -> bits:int -> (delivery, delivery_error) result
+
+(** Totals for the experiment harness. *)
+val delivered_bits : t -> int
+
+val failed_requests : t -> int

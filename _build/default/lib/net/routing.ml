@@ -1,0 +1,102 @@
+type weight = Hops | Loss_db | Length_km
+
+let default_switch_insertion_db = 1.5
+
+let edge_weight weight (e : Topology.edge) =
+  match weight with
+  | Hops -> 1.0
+  | Loss_db -> Qkd_photonics.Fiber.total_loss_db e.Topology.fiber
+  | Length_km -> e.Topology.fiber.Qkd_photonics.Fiber.length_km
+
+let transit_ok topo ~src ~dst id =
+  id = src || id = dst
+  ||
+  match (Topology.node topo id).Topology.kind with
+  | Topology.Trusted_relay | Topology.Untrusted_switch -> true
+  | Topology.Endpoint -> false
+
+(* Dijkstra over the up edges; graphs are small (tens of nodes), so a
+   simple scan for the frontier minimum suffices. *)
+let shortest_path topo ~src ~dst ~weight =
+  let n = List.length (Topology.nodes topo) in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Routing.shortest_path: unknown node";
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let visited = Array.make n false in
+  dist.(src) <- 0.0;
+  let rec loop () =
+    let u = ref (-1) in
+    for i = 0 to n - 1 do
+      if (not visited.(i)) && dist.(i) < infinity
+         && (!u = -1 || dist.(i) < dist.(!u))
+      then u := i
+    done;
+    if !u >= 0 && !u <> dst then begin
+      visited.(!u) <- true;
+      List.iter
+        (fun (peer, edge) ->
+          if (not visited.(peer)) && transit_ok topo ~src ~dst peer then begin
+            let alt = dist.(!u) +. edge_weight weight edge in
+            if alt < dist.(peer) then begin
+              dist.(peer) <- alt;
+              prev.(peer) <- !u
+            end
+          end)
+        (Topology.neighbors topo !u);
+      loop ()
+    end
+  in
+  loop ();
+  if dist.(dst) = infinity then None
+  else begin
+    let rec walk acc id = if id = src then src :: acc else walk (id :: acc) prev.(id) in
+    Some (walk [] dst)
+  end
+
+let path_loss_db ?(switch_insertion_db = default_switch_insertion_db) topo path =
+  let rec hops acc = function
+    | a :: (b :: _ as rest) -> (
+        match Topology.edge_between topo a b with
+        | Some e ->
+            hops (acc +. Qkd_photonics.Fiber.total_loss_db e.Topology.fiber) rest
+        | None -> invalid_arg "Routing.path_loss_db: nodes not linked")
+    | [ _ ] | [] -> acc
+  in
+  let fiber = hops 0.0 path in
+  let switches =
+    match path with
+    | [] | [ _ ] -> 0
+    | _ :: rest ->
+        List.fold_left
+          (fun acc id ->
+            match (Topology.node topo id).Topology.kind with
+            | Topology.Untrusted_switch -> acc + 1
+            | Topology.Endpoint | Topology.Trusted_relay -> acc)
+          0
+          (List.filteri (fun i _ -> i < List.length rest - 1) rest)
+  in
+  fiber +. (float_of_int switches *. switch_insertion_db)
+
+let edge_disjoint_paths topo ~src ~dst =
+  (* Greedy: find a shortest path, knock its edges down, repeat;
+     restore states afterwards. *)
+  let taken = ref [] in
+  let downed = ref [] in
+  let rec go acc =
+    match shortest_path topo ~src ~dst ~weight:Hops with
+    | None -> List.rev acc
+    | Some path ->
+        let rec knock = function
+          | a :: (b :: _ as rest) ->
+              Topology.set_edge topo a b ~up:false;
+              downed := (a, b) :: !downed;
+              knock rest
+          | [ _ ] | [] -> ()
+        in
+        knock path;
+        go (path :: acc)
+  in
+  taken := go [];
+  List.iter (fun (a, b) -> Topology.set_edge topo a b ~up:true) !downed;
+  !taken

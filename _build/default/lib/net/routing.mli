@@ -1,0 +1,30 @@
+(** Path selection over a QKD topology.
+
+    Trusted-relay networks route around failed or eavesdropped links
+    (§8: "that link is abandoned and another used instead"); untrusted
+    switch networks must find an all-optical path whose total loss
+    still supports key generation.  Both reduce to shortest path under
+    different weights over the {e up} edges. *)
+
+type weight = Hops | Loss_db | Length_km
+
+(** [shortest_path topo ~src ~dst ~weight] is the minimising node
+    sequence [src ... dst], or [None] when disconnected.  Untrusted
+    switches are transit-eligible for all weights; endpoint nodes
+    other than [src]/[dst] are not used as transit. *)
+val shortest_path :
+  Topology.t -> src:int -> dst:int -> weight:weight -> int list option
+
+(** [path_loss_db topo path] sums fiber and insertion loss along a
+    node sequence, adding [switch_insertion_db] per intermediate
+    untrusted switch.
+    @raise Invalid_argument if consecutive nodes are not linked. *)
+val path_loss_db : ?switch_insertion_db:float -> Topology.t -> int list -> float
+
+(** Default per-switch insertion loss, 1.5 dB (MEMS mirror arrays). *)
+val default_switch_insertion_db : float
+
+(** [edge_disjoint_paths topo ~src ~dst] greedily extracts
+    edge-disjoint shortest paths — the redundancy count behind the
+    availability claims. *)
+val edge_disjoint_paths : Topology.t -> src:int -> dst:int -> int list list

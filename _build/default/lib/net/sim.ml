@@ -1,0 +1,64 @@
+(* Pairing-heap priority queue keyed on (time, sequence): sequence
+   breaks ties so same-time events dispatch in scheduling order. *)
+
+type event = { at : float; seq : int; run : unit -> unit }
+
+type heap = Empty | Node of event * heap list
+
+let merge a b =
+  match (a, b) with
+  | Empty, h | h, Empty -> h
+  | Node (ea, ca), Node (eb, cb) ->
+      if (ea.at, ea.seq) <= (eb.at, eb.seq) then Node (ea, b :: ca)
+      else Node (eb, a :: cb)
+
+let rec merge_pairs = function
+  | [] -> Empty
+  | [ h ] -> h
+  | a :: b :: rest -> merge (merge a b) (merge_pairs rest)
+
+type t = {
+  mutable queue : heap;
+  mutable clock : float;
+  mutable seq : int;
+  mutable size : int;
+}
+
+let create () = { queue = Empty; clock = 0.0; seq = 0; size = 0 }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then invalid_arg "Sim.schedule: time in the past";
+  let ev = { at; seq = t.seq; run = f } in
+  t.seq <- t.seq + 1;
+  t.size <- t.size + 1;
+  t.queue <- merge t.queue (Node (ev, []))
+
+let schedule_in t ~delay f = schedule t ~at:(t.clock +. delay) f
+
+let pop t =
+  match t.queue with
+  | Empty -> None
+  | Node (ev, children) ->
+      t.queue <- merge_pairs children;
+      t.size <- t.size - 1;
+      Some ev
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match t.queue with
+    | Empty -> continue := false
+    | Node (ev, _) when ev.at > until ->
+        t.clock <- until;
+        continue := false
+    | Node _ -> (
+        match pop t with
+        | Some ev ->
+            t.clock <- ev.at;
+            ev.run ()
+        | None -> continue := false)
+  done
+
+let pending t = t.size

@@ -1,0 +1,27 @@
+(** A minimal discrete-event simulator.
+
+    The QKD network experiments (§8) evolve link failures, repairs and
+    key-transport requests over simulated time; this scheduler orders
+    those events.  Events are closures keyed by simulated seconds;
+    scheduling inside a handler is allowed. *)
+
+type t
+
+val create : unit -> t
+
+(** [now t] is the current simulated time in seconds. *)
+val now : t -> float
+
+(** [schedule t ~at f] runs [f] when the clock reaches [at].
+    @raise Invalid_argument if [at] is in the past. *)
+val schedule : t -> at:float -> (unit -> unit) -> unit
+
+(** [schedule_in t ~delay f] is [schedule ~at:(now t +. delay)]. *)
+val schedule_in : t -> delay:float -> (unit -> unit) -> unit
+
+(** [run t ~until] dispatches events in time order until the queue is
+    empty or the clock passes [until]. *)
+val run : t -> until:float -> unit
+
+(** [pending t] is the number of undispatched events. *)
+val pending : t -> int

@@ -1,0 +1,198 @@
+type circuit = {
+  id : int;
+  endpoints : int * int;
+  path : int list;
+  loss_db : float;
+}
+
+type t = {
+  topo : Topology.t;
+  ports : (int, int) Hashtbl.t;  (** switch id -> free mirror pairs *)
+  mutable circuits : circuit list;
+  mutable next_id : int;
+  mutable setups : int;
+  mutable blocked : int;
+  mutable crankbacks : int;
+  mutable teardowns : int;
+  mutable messages : int;
+}
+
+let create ?(ports_per_switch = 8) topo =
+  let ports = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Topology.node) ->
+      match n.Topology.kind with
+      | Topology.Untrusted_switch -> Hashtbl.replace ports n.Topology.id ports_per_switch
+      | Topology.Endpoint | Topology.Trusted_relay -> ())
+    (Topology.nodes topo);
+  {
+    topo;
+    ports;
+    circuits = [];
+    next_id = 1;
+    setups = 0;
+    blocked = 0;
+    crankbacks = 0;
+    teardowns = 0;
+    messages = 0;
+  }
+
+let topology t = t.topo
+
+let switches_on path topo =
+  match path with
+  | [] | [ _ ] -> []
+  | _ :: rest ->
+      List.filteri (fun i _ -> i < List.length rest - 1) rest
+      |> List.filter (fun id ->
+             match (Topology.node topo id).Topology.kind with
+             | Topology.Untrusted_switch -> true
+             | Topology.Endpoint | Topology.Trusted_relay -> false)
+
+type setup_error = No_optical_route | All_routes_blocked of { attempts : int }
+
+(* Hop-by-hop reservation: the probe travels the path (one signaling
+   message per hop) grabbing a mirror pair at each switch; on the first
+   refusal everything grabbed so far is released (crankback, one
+   message per hop back). *)
+let try_reserve t path =
+  let switches = switches_on path t.topo in
+  t.messages <- t.messages + List.length path - 1;
+  let rec grab acc = function
+    | [] ->
+        (* confirm travels back *)
+        t.messages <- t.messages + List.length path - 1;
+        Ok ()
+    | s :: rest ->
+        let free = Option.value (Hashtbl.find_opt t.ports s) ~default:0 in
+        if free > 0 then begin
+          Hashtbl.replace t.ports s (free - 1);
+          grab (s :: acc) rest
+        end
+        else begin
+          (* crankback: release the partial reservation *)
+          t.crankbacks <- t.crankbacks + 1;
+          t.messages <- t.messages + List.length acc;
+          List.iter
+            (fun s' ->
+              Hashtbl.replace t.ports s'
+                (Option.value (Hashtbl.find_opt t.ports s') ~default:0 + 1))
+            acc;
+          Error s
+        end
+  in
+  grab [] switches
+
+let setup t ~src ~dst =
+  let rec attempt n blocked_switches =
+    if n >= 3 then begin
+      t.blocked <- t.blocked + 1;
+      Error (All_routes_blocked { attempts = n })
+    end
+    else begin
+      (* temporarily knock out links adjacent to blocked switches so
+         the next route avoids them *)
+      let saved =
+        List.concat_map
+          (fun s ->
+            List.filter_map
+              (fun (e : Topology.edge) ->
+                if e.Topology.up && (e.Topology.a = s || e.Topology.b = s) then begin
+                  e.Topology.up <- false;
+                  Some e
+                end
+                else None)
+              (Topology.edges t.topo))
+          blocked_switches
+      in
+      let route = Routing.shortest_path t.topo ~src ~dst ~weight:Routing.Loss_db in
+      List.iter (fun (e : Topology.edge) -> e.Topology.up <- true) saved;
+      match route with
+      | None ->
+          if n = 0 && blocked_switches = [] then Error No_optical_route
+          else begin
+            t.blocked <- t.blocked + 1;
+            Error (All_routes_blocked { attempts = n })
+          end
+      | Some path -> (
+          match try_reserve t path with
+          | Ok () ->
+              let circuit =
+                {
+                  id = t.next_id;
+                  endpoints = (src, dst);
+                  path;
+                  loss_db = Routing.path_loss_db t.topo path;
+                }
+              in
+              t.next_id <- t.next_id + 1;
+              t.setups <- t.setups + 1;
+              t.circuits <- circuit :: t.circuits;
+              Ok circuit
+          | Error blocked_switch -> attempt (n + 1) (blocked_switch :: blocked_switches))
+    end
+  in
+  attempt 0 []
+
+let release_ports t circuit =
+  List.iter
+    (fun s ->
+      Hashtbl.replace t.ports s
+        (Option.value (Hashtbl.find_opt t.ports s) ~default:0 + 1))
+    (switches_on circuit.path t.topo)
+
+let teardown t circuit =
+  if List.exists (fun c -> c.id = circuit.id) t.circuits then begin
+    t.circuits <- List.filter (fun c -> c.id <> circuit.id) t.circuits;
+    release_ports t circuit;
+    t.teardowns <- t.teardowns + 1;
+    t.messages <- t.messages + List.length circuit.path - 1
+  end
+
+let active t = t.circuits
+
+let ports_free t switch = Option.value (Hashtbl.find_opt t.ports switch) ~default:0
+
+let crosses circuit a b =
+  let rec go = function
+    | x :: (y :: _ as rest) -> (x = a && y = b) || (x = b && y = a) || go rest
+    | [ _ ] | [] -> false
+  in
+  go circuit.path
+
+let fail_link t a b =
+  Topology.set_edge t.topo a b ~up:false;
+  let broken, alive = List.partition (fun c -> crosses c a b) t.circuits in
+  t.circuits <- alive;
+  List.iter
+    (fun c ->
+      release_ports t c;
+      t.teardowns <- t.teardowns + 1)
+    broken;
+  broken
+
+let reroute_broken t circuits =
+  List.partition_map
+    (fun c ->
+      let src, dst = c.endpoints in
+      match setup t ~src ~dst with
+      | Ok fresh -> Either.Left fresh
+      | Error _ -> Either.Right c)
+    circuits
+
+type stats = {
+  setups : int;
+  blocked : int;
+  crankbacks : int;
+  teardowns : int;
+  signaling_messages : int;
+}
+
+let stats (t : t) =
+  {
+    setups = t.setups;
+    blocked = t.blocked;
+    crankbacks = t.crankbacks;
+    teardowns = t.teardowns;
+    signaling_messages = t.messages;
+  }

@@ -1,0 +1,69 @@
+(** Path setup and teardown for untrusted photonic-switch meshes (§8).
+
+    "We currently anticipate that the QKD switches will be built from
+    MEMS mirror arrays, or equivalents, together with novel distributed
+    protocols and algorithms that allow end-to-end path setup across
+    the network, and that ... provide a robust means for routing around
+    eavesdropping or failed links."
+
+    This is that control plane, simplified to its engineering content:
+    each switch owns a limited pool of mirror ports (an established
+    circuit holds one input/output mirror pair); circuits are set up by
+    a hop-by-hop reserve/confirm exchange along the minimum-loss route,
+    with crankback — a hop that cannot reserve releases the partial
+    reservation and the source retries on the next-best route avoiding
+    the blocked element.  Link failures tear down the circuits crossing
+    them; [reroute_broken] re-establishes what it can.
+
+    Signaling message counts are tracked so the protocol's cost is
+    measurable. *)
+
+type circuit = {
+  id : int;
+  endpoints : int * int;
+  path : int list;
+  loss_db : float;
+}
+
+type t
+
+(** [create ?ports_per_switch topo] — default 8 mirror pairs per
+    switch. *)
+val create : ?ports_per_switch:int -> Topology.t -> t
+
+val topology : t -> Topology.t
+
+type setup_error =
+  | No_optical_route
+  | All_routes_blocked of { attempts : int }
+
+(** [setup t ~src ~dst] reserves an all-optical circuit.  Retries up to
+    three distinct routes on capacity crankback. *)
+val setup : t -> src:int -> dst:int -> (circuit, setup_error) result
+
+(** [teardown t circuit] releases its mirror reservations (idempotent). *)
+val teardown : t -> circuit -> unit
+
+(** [active t] lists live circuits. *)
+val active : t -> circuit list
+
+(** [ports_free t switch] — remaining mirror pairs. *)
+val ports_free : t -> int -> int
+
+(** [fail_link t a b] marks the link down and tears down every circuit
+    crossing it; returns the orphaned circuits. *)
+val fail_link : t -> int -> int -> circuit list
+
+(** [reroute_broken t circuits] attempts a fresh setup for each
+    orphaned circuit; returns (reestablished, lost). *)
+val reroute_broken : t -> circuit list -> circuit list * circuit list
+
+type stats = {
+  setups : int;
+  blocked : int;
+  crankbacks : int;  (** partial reservations released *)
+  teardowns : int;
+  signaling_messages : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,54 @@
+module Link = Qkd_photonics.Link
+module Fiber = Qkd_photonics.Fiber
+
+type path_eval = {
+  path : int list;
+  total_loss_db : float;
+  switches : int;
+  prediction : Link_model.prediction;
+}
+
+let count_switches topo path =
+  match path with
+  | [] | [ _ ] -> 0
+  | _ :: rest ->
+      List.fold_left
+        (fun acc id ->
+          match (Topology.node topo id).Topology.kind with
+          | Topology.Untrusted_switch -> acc + 1
+          | Topology.Trusted_relay ->
+              invalid_arg "Switch_net: trusted relay on an all-optical path"
+          | Topology.Endpoint -> acc)
+        0
+        (List.filteri (fun i _ -> i < List.length rest - 1) rest)
+
+let evaluate_path ?(base_config = Link.darpa_default)
+    ?(switch_insertion_db = Routing.default_switch_insertion_db) topo path =
+  let switches = count_switches topo path in
+  let total_loss_db = Routing.path_loss_db ~switch_insertion_db topo path in
+  (* Fold the path into one virtual fiber with the same loss budget. *)
+  let virtual_fiber =
+    Fiber.make ~length_km:0.0 ~insertion_loss_db:total_loss_db ()
+  in
+  let config = { base_config with Link.fiber = virtual_fiber } in
+  { path; total_loss_db; switches; prediction = Link_model.predict config }
+
+let best_path ?base_config ?switch_insertion_db topo ~src ~dst =
+  match Routing.shortest_path topo ~src ~dst ~weight:Routing.Loss_db with
+  | None -> None
+  | Some path -> Some (evaluate_path ?base_config ?switch_insertion_db topo path)
+
+let max_switches ?(base_config = Link.darpa_default) ~hop_km ~insertion_db () =
+  let rate switches =
+    let loss =
+      (float_of_int (switches + 1) *. hop_km
+       *. base_config.Link.fiber.Fiber.attenuation_db_per_km)
+      +. base_config.Link.fiber.Fiber.insertion_loss_db
+      +. (float_of_int switches *. insertion_db)
+    in
+    let virtual_fiber = Fiber.make ~length_km:0.0 ~insertion_loss_db:loss () in
+    (Link_model.predict { base_config with Link.fiber = virtual_fiber })
+      .Link_model.distilled_bps
+  in
+  let rec climb k = if rate (k + 1) > 0.0 && k < 64 then climb (k + 1) else k in
+  if rate 0 <= 0.0 then -1 else climb 0

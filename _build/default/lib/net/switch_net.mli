@@ -1,0 +1,46 @@
+(** Untrusted photonic-switch networks (§8).
+
+    Switches set up an all-optical path; photons travel unmeasured
+    from source endpoint to destination endpoint, so no relay learns
+    the key — but every switch adds insertion loss, and key rate
+    decays with the total path loss budget.  This module evaluates
+    that tradeoff: end-to-end key rate over a switched path, and the
+    reach limit where the rate hits zero. *)
+
+type path_eval = {
+  path : int list;
+  total_loss_db : float;
+  switches : int;
+  prediction : Link_model.prediction;  (** end-to-end, loss folded in *)
+}
+
+(** [evaluate_path ?base_config ?switch_insertion_db topo path] folds
+    the whole path's loss into a single virtual link and predicts its
+    performance.  No trusted relays may appear mid-path.
+    @raise Invalid_argument if the path crosses a trusted relay. *)
+val evaluate_path :
+  ?base_config:Qkd_photonics.Link.config ->
+  ?switch_insertion_db:float ->
+  Topology.t ->
+  int list ->
+  path_eval
+
+(** [best_path ?base_config topo ~src ~dst] routes by minimum loss and
+    evaluates; [None] when disconnected. *)
+val best_path :
+  ?base_config:Qkd_photonics.Link.config ->
+  ?switch_insertion_db:float ->
+  Topology.t ->
+  src:int ->
+  dst:int ->
+  path_eval option
+
+(** [max_switches ?base_config ~hop_km ~insertion_db ()] is the
+    largest number of cascaded switches (hops of [hop_km] each) that
+    still yields a positive distilled rate — the reach limit. *)
+val max_switches :
+  ?base_config:Qkd_photonics.Link.config ->
+  hop_km:float ->
+  insertion_db:float ->
+  unit ->
+  int

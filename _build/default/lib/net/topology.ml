@@ -1,0 +1,132 @@
+type node_kind = Endpoint | Trusted_relay | Untrusted_switch
+
+type node = { id : int; name : string; kind : node_kind }
+
+type edge = {
+  a : int;
+  b : int;
+  fiber : Qkd_photonics.Fiber.t;
+  mutable up : bool;
+}
+
+type t = { mutable nodes : node list; mutable edges : edge list }
+
+let create () = { nodes = []; edges = [] }
+
+let add_node t ~name ~kind =
+  let id = List.length t.nodes in
+  t.nodes <- t.nodes @ [ { id; name; kind } ];
+  id
+
+let node t id =
+  match List.find_opt (fun n -> n.id = id) t.nodes with
+  | Some n -> n
+  | None -> invalid_arg "Topology.node: unknown id"
+
+let connects e a b = (e.a = a && e.b = b) || (e.a = b && e.b = a)
+
+let edge_between t a b = List.find_opt (fun e -> connects e a b) t.edges
+
+let add_edge t a b fiber =
+  ignore (node t a);
+  ignore (node t b);
+  if a = b then invalid_arg "Topology.add_edge: self-loop";
+  if edge_between t a b <> None then invalid_arg "Topology.add_edge: duplicate";
+  t.edges <- { a; b; fiber; up = true } :: t.edges
+
+let nodes t = t.nodes
+let edges t = t.edges
+
+let neighbors t id =
+  List.filter_map
+    (fun e ->
+      if not e.up then None
+      else if e.a = id then Some (e.b, e)
+      else if e.b = id then Some (e.a, e)
+      else None)
+    t.edges
+
+let set_edge t a b ~up =
+  match edge_between t a b with
+  | Some e -> e.up <- up
+  | None -> raise Not_found
+
+let fiber_of km = Qkd_photonics.Fiber.make ~length_km:km ~insertion_loss_db:4.0 ()
+
+let chain ~n ~kind ~fiber_km =
+  let t = create () in
+  let src = add_node t ~name:"alice" ~kind:Endpoint in
+  let mids = List.init n (fun i -> add_node t ~name:(Printf.sprintf "relay%d" i) ~kind) in
+  let dst = add_node t ~name:"bob" ~kind:Endpoint in
+  let path = (src :: mids) @ [ dst ] in
+  let rec wire = function
+    | a :: (b :: _ as rest) ->
+        add_edge t a b (fiber_of fiber_km);
+        wire rest
+    | [ _ ] | [] -> ()
+  in
+  wire path;
+  t
+
+let star ~leaves ~kind ~fiber_km =
+  let t = create () in
+  let hub = add_node t ~name:"hub" ~kind in
+  for i = 0 to leaves - 1 do
+    let leaf = add_node t ~name:(Printf.sprintf "site%d" i) ~kind:Endpoint in
+    add_edge t hub leaf (fiber_of fiber_km)
+  done;
+  t
+
+let full_mesh ~endpoints ~fiber_km =
+  let t = create () in
+  let ids =
+    List.init endpoints (fun i ->
+        add_node t ~name:(Printf.sprintf "site%d" i) ~kind:Endpoint)
+  in
+  List.iteri
+    (fun i a -> List.iteri (fun j b -> if j > i then add_edge t a b (fiber_of fiber_km)) ids)
+    ids;
+  t
+
+let ring ~n ~fiber_km =
+  if n < 3 then invalid_arg "Topology.ring: need at least 3 relays";
+  let t = create () in
+  let relays =
+    Array.init n (fun i ->
+        add_node t ~name:(Printf.sprintf "relay%d" i) ~kind:Trusted_relay)
+  in
+  for i = 0 to n - 1 do
+    add_edge t relays.(i) relays.((i + 1) mod n) (fiber_of fiber_km)
+  done;
+  let alice = add_node t ~name:"alice" ~kind:Endpoint in
+  let bob = add_node t ~name:"bob" ~kind:Endpoint in
+  add_edge t alice relays.(0) (fiber_of fiber_km);
+  add_edge t bob relays.(n / 2) (fiber_of fiber_km);
+  t
+
+let random_mesh ~nodes:count ~degree ~seed ~fiber_km =
+  if count < 2 then invalid_arg "Topology.random_mesh: need at least 2 nodes";
+  let rng = Qkd_util.Rng.create seed in
+  let t = create () in
+  let ids =
+    Array.init count (fun i ->
+        add_node t ~name:(Printf.sprintf "relay%d" i) ~kind:Trusted_relay)
+  in
+  (* Random spanning tree first (guarantees connectivity), then extra
+     edges until the average degree target is met. *)
+  for i = 1 to count - 1 do
+    let j = Qkd_util.Rng.int rng i in
+    add_edge t ids.(i) ids.(j) (fiber_of fiber_km)
+  done;
+  let target_edges =
+    int_of_float (degree *. float_of_int count /. 2.0)
+  in
+  let attempts = ref 0 in
+  while List.length t.edges < target_edges && !attempts < 100 * count do
+    incr attempts;
+    let a = Qkd_util.Rng.int rng count in
+    let b = Qkd_util.Rng.int rng count in
+    if a <> b && edge_between t ids.(a) ids.(b) = None then
+      add_edge t ids.(a) ids.(b) (fiber_of fiber_km)
+  done;
+  t

@@ -1,0 +1,64 @@
+(** QKD network topologies (§8).
+
+    Nodes are QKD endpoints, trusted relays, or untrusted photonic
+    switches; undirected edges are point-to-point quantum links with a
+    fiber description and an up/down state.  Helpers build the
+    topologies the paper's arguments turn on: the N·(N−1)/2 full mesh
+    of private point-to-point links, the N-link star through a relay
+    or switch, chains for reach, and Erdős–Rényi-ish partial meshes
+    for resilience studies. *)
+
+type node_kind = Endpoint | Trusted_relay | Untrusted_switch
+
+type node = { id : int; name : string; kind : node_kind }
+
+type edge = {
+  a : int;
+  b : int;
+  fiber : Qkd_photonics.Fiber.t;
+  mutable up : bool;
+}
+
+type t
+
+val create : unit -> t
+
+(** [add_node t ~name ~kind] returns the fresh node id. *)
+val add_node : t -> name:string -> kind:node_kind -> int
+
+(** [add_edge t a b fiber] connects two nodes (initially up).
+    @raise Invalid_argument on unknown ids, self-loops or duplicates. *)
+val add_edge : t -> int -> int -> Qkd_photonics.Fiber.t -> unit
+
+val node : t -> int -> node
+val nodes : t -> node list
+val edges : t -> edge list
+
+(** [edge_between t a b] finds the connecting edge if any. *)
+val edge_between : t -> int -> int -> edge option
+
+(** [neighbors t id] lists (peer id, edge) over {e up} edges only. *)
+val neighbors : t -> int -> (int * edge) list
+
+(** [set_edge t a b ~up] flips a link's state.
+    @raise Not_found if no such edge. *)
+val set_edge : t -> int -> int -> up:bool -> unit
+
+(** {1 Builders}.  All links share [fiber_km] per hop. *)
+
+(** [chain n] — endpoints at both ends, [kind] nodes between. *)
+val chain : n:int -> kind:node_kind -> fiber_km:float -> t
+
+(** [star ~leaves] — one hub of [kind], [leaves] endpoints. *)
+val star : leaves:int -> kind:node_kind -> fiber_km:float -> t
+
+(** [full_mesh ~endpoints] — every pair directly linked. *)
+val full_mesh : endpoints:int -> fiber_km:float -> t
+
+(** [ring n] — [n] trusted relays in a cycle, endpoints attached at
+    opposite sides. *)
+val ring : n:int -> fiber_km:float -> t
+
+(** [random_mesh ~nodes ~degree ~seed] — connected random graph of
+    trusted relays with average degree about [degree]. *)
+val random_mesh : nodes:int -> degree:float -> seed:int64 -> fiber_km:float -> t

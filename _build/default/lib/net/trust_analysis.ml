@@ -1,0 +1,108 @@
+module Rng = Qkd_util.Rng
+
+type exposure = {
+  relays_compromised : int;
+  deliveries : int;
+  exposed : int;
+  fraction : float;
+}
+
+let path_between topo src dst =
+  Routing.shortest_path topo ~src ~dst ~weight:Routing.Hops
+
+let intermediate_relays path =
+  match path with
+  | [] | [ _ ] | [ _; _ ] -> []
+  | _ :: rest -> List.filteri (fun i _ -> i < List.length rest - 1) rest
+
+let compromise_exposure ?(seed = 51L) topo ~pairs ~compromised =
+  ignore seed;
+  let bad = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace bad r ()) compromised;
+  let deliveries = ref 0 and exposed = ref 0 in
+  List.iter
+    (fun (src, dst) ->
+      match path_between topo src dst with
+      | None -> ()
+      | Some path ->
+          incr deliveries;
+          if List.exists (Hashtbl.mem bad) (intermediate_relays path) then
+            incr exposed)
+    pairs;
+  {
+    relays_compromised = List.length compromised;
+    deliveries = !deliveries;
+    exposed = !exposed;
+    fraction =
+      (if !deliveries = 0 then 0.0
+       else float_of_int !exposed /. float_of_int !deliveries);
+  }
+
+let relay_ids topo =
+  List.filter_map
+    (fun (n : Topology.node) ->
+      match n.Topology.kind with
+      | Topology.Trusted_relay -> Some n.Topology.id
+      | Topology.Endpoint | Topology.Untrusted_switch -> None)
+    (Topology.nodes topo)
+
+let random_compromise_curve ?(seed = 53L) ?(trials = 200) topo ~pairs
+    ~max_compromised =
+  let rng = Rng.create seed in
+  let relays = Array.of_list (relay_ids topo) in
+  List.init (max_compromised + 1) (fun k ->
+      if k = 0 then (0, 0.0)
+      else begin
+        let total = ref 0.0 in
+        for _ = 1 to trials do
+          let pick = Array.copy relays in
+          Rng.shuffle rng pick;
+          let chosen = Array.to_list (Array.sub pick 0 (min k (Array.length pick))) in
+          let e = compromise_exposure topo ~pairs ~compromised:chosen in
+          total := !total +. e.fraction
+        done;
+        (k, !total /. float_of_int trials)
+      end)
+
+let flow_ambiguity topo ~pairs =
+  (* For each pair's path, find its most-loaded link and count how many
+     candidate pairs also route over that link: that is the anonymity
+     set the observer is left with after watching key flow there. *)
+  let paths =
+    List.filter_map
+      (fun (src, dst) ->
+        Option.map (fun p -> ((src, dst), p)) (path_between topo src dst))
+      pairs
+  in
+  let edges_of path =
+    let rec go acc = function
+      | a :: (b :: _ as rest) -> go ((min a b, max a b) :: acc) rest
+      | [ _ ] | [] -> acc
+    in
+    go [] path
+  in
+  let link_users = Hashtbl.create 64 in
+  List.iter
+    (fun (pair, path) ->
+      List.iter
+        (fun e ->
+          let users = Option.value (Hashtbl.find_opt link_users e) ~default:[] in
+          Hashtbl.replace link_users e (pair :: users))
+        (edges_of path))
+    paths;
+  let ambiguities =
+    List.map
+      (fun (_pair, path) ->
+        let loads =
+          List.map
+            (fun e -> List.length (Option.value (Hashtbl.find_opt link_users e) ~default:[]))
+            (edges_of path)
+        in
+        (* the observer watches the flow's busiest link; everyone
+           sharing it is indistinguishable *)
+        float_of_int (List.fold_left max 1 loads))
+      paths
+  in
+  match ambiguities with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 ambiguities /. float_of_int (List.length ambiguities)

@@ -1,0 +1,58 @@
+(** Trust and traffic-analysis studies of QKD network architectures
+    (§2 "Resistance to Traffic Analysis", §8's trusted-relay caveats).
+
+    Two quantified claims:
+
+    - {b Relay compromise}: in a trusted-relay network "keying material
+      and — directly or indirectly — message traffic are available in
+      the clear in the relays' memories", so an adversary who owns a
+      set of relays learns every key whose delivery path crossed one of
+      them.  [compromise_exposure] measures the fraction of deliveries
+      exposed as a function of how many relays fall.  An untrusted
+      switch network scores zero by construction.
+
+    - {b Traffic analysis}: "most setups have assumed dedicated
+      point-to-point QKD links ... which thus clearly lays out the
+      underlying key distribution relationships."  [flow_ambiguity]
+      measures how well a passive observer of per-link key-material
+      flow can identify which endpoint pairs are exchanging keys: on
+      dedicated links every flow is unambiguous (ambiguity 1); through
+      a shared relay mesh, many pairs share each link, and the hub of a
+      star aggregates everything (ambiguity = number of pairs that
+      could explain the observation). *)
+
+type exposure = {
+  relays_compromised : int;
+  deliveries : int;
+  exposed : int;
+  fraction : float;
+}
+
+(** [compromise_exposure ?seed ?trials topo ~pairs ~compromised]
+    routes key deliveries for each (src, dst) in [pairs] and counts how
+    many paths cross at least one of [compromised] (relay ids, chosen
+    per trial uniformly at random when [trials > 1] to average over
+    adversary choices; the given list is used verbatim when non-empty). *)
+val compromise_exposure :
+  ?seed:int64 ->
+  Topology.t ->
+  pairs:(int * int) list ->
+  compromised:int list ->
+  exposure
+
+(** [random_compromise_curve ?seed ?trials topo ~pairs ~max_compromised]
+    is the averaged exposure fraction for 0..max compromised relays
+    (uniformly random adversary). *)
+val random_compromise_curve :
+  ?seed:int64 ->
+  ?trials:int ->
+  Topology.t ->
+  pairs:(int * int) list ->
+  max_compromised:int ->
+  (int * float) list
+
+(** [flow_ambiguity topo ~pairs] — for each communicating pair's path,
+    how many of the candidate endpoint pairs route over {e exactly the
+    same most-loaded link}?  Returns the mean ambiguity (1.0 = the
+    observer pins every flow uniquely, higher = better hiding). *)
+val flow_ambiguity : Topology.t -> pairs:(int * int) list -> float

@@ -1,0 +1,1 @@
+lib/photonics/detector.ml: Float Format Pulse Qkd_util Qubit

@@ -1,0 +1,1 @@
+lib/photonics/detector.mli: Format Pulse Qkd_util Qubit

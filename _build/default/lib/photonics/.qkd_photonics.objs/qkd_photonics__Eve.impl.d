@@ -1,0 +1,1 @@
+lib/photonics/eve.ml: Float Hashtbl List Pulse Qkd_util Qubit

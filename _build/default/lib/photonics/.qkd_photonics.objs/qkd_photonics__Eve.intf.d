@@ -1,0 +1,1 @@
+lib/photonics/eve.mli: Hashtbl Pulse Qkd_util Qubit

@@ -1,0 +1,1 @@
+lib/photonics/fiber.ml: Pulse Qkd_util

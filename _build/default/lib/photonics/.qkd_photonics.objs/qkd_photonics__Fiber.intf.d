@@ -1,0 +1,1 @@
+lib/photonics/fiber.mli: Pulse Qkd_util

@@ -1,0 +1,1 @@
+lib/photonics/link.ml: Array Detector Eve Fiber List Option Pulse Qkd_util Qubit Source Stabilization Timing

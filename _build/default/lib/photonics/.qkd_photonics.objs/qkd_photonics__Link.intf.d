@@ -1,0 +1,1 @@
+lib/photonics/link.mli: Detector Eve Fiber Qkd_util Qubit Source Stabilization Timing

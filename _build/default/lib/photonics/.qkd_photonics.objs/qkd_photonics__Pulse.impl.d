@@ -1,0 +1,1 @@
+lib/photonics/pulse.ml: Qubit

@@ -1,0 +1,1 @@
+lib/photonics/qubit.ml: Float Format Qkd_util

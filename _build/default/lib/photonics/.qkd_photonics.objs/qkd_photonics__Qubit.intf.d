@@ -1,0 +1,1 @@
+lib/photonics/qubit.mli: Format Qkd_util

@@ -1,0 +1,1 @@
+lib/photonics/source.ml: Pulse Qkd_util Qubit

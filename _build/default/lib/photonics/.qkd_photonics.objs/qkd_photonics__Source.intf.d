@@ -1,0 +1,1 @@
+lib/photonics/source.mli: Pulse Qkd_util Qubit

@@ -1,0 +1,1 @@
+lib/photonics/stabilization.ml: Float Qkd_util

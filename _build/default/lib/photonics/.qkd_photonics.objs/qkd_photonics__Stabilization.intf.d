@@ -1,0 +1,1 @@
+lib/photonics/stabilization.mli: Qkd_util

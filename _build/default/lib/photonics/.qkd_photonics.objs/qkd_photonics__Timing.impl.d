@@ -1,0 +1,1 @@
+lib/photonics/timing.ml: Qkd_util

@@ -1,0 +1,1 @@
+lib/photonics/timing.mli: Qkd_util

@@ -1,0 +1,23 @@
+type t = {
+  length_km : float;
+  attenuation_db_per_km : float;
+  insertion_loss_db : float;
+}
+
+let make ~length_km ?(attenuation_db_per_km = 0.2) ?(insertion_loss_db = 0.0) () =
+  if length_km < 0.0 || attenuation_db_per_km < 0.0 || insertion_loss_db < 0.0
+  then invalid_arg "Fiber.make: negative parameter";
+  { length_km; attenuation_db_per_km; insertion_loss_db }
+
+let total_loss_db t =
+  (t.length_km *. t.attenuation_db_per_km) +. t.insertion_loss_db
+
+let transmittance t = 10.0 ** (-.total_loss_db t /. 10.0)
+
+let transmit t rng (pulse : Pulse.t) =
+  let p = transmittance t in
+  let survivors = ref 0 in
+  for _ = 1 to pulse.Pulse.photons do
+    if Qkd_util.Rng.bernoulli rng p then incr survivors
+  done;
+  Pulse.with_photons pulse !survivors

@@ -1,0 +1,33 @@
+(** Telecom fiber as a photon-loss channel.
+
+    Standard single-mode fiber attenuates 1550 nm light at about
+    0.2 dB/km; connectors, couplers and (for §8's untrusted networks)
+    each photonic switch add fixed insertion loss.  Loss only thins the
+    photon stream — surviving photons keep their phase. *)
+
+type t = {
+  length_km : float;
+  attenuation_db_per_km : float;
+  insertion_loss_db : float;  (** couplers, splices, switches *)
+}
+
+(** [make ~length_km ?attenuation_db_per_km ?insertion_loss_db ()] —
+    attenuation defaults to 0.2 dB/km.
+    @raise Invalid_argument on negative parameters. *)
+val make :
+  length_km:float ->
+  ?attenuation_db_per_km:float ->
+  ?insertion_loss_db:float ->
+  unit ->
+  t
+
+(** [total_loss_db t] is the end-to-end loss budget. *)
+val total_loss_db : t -> float
+
+(** [transmittance t] is the per-photon survival probability,
+    10^(-loss/10). *)
+val transmittance : t -> float
+
+(** [transmit t rng pulse] thins the pulse: each photon independently
+    survives with probability [transmittance t]. *)
+val transmit : t -> Qkd_util.Rng.t -> Pulse.t -> Pulse.t

@@ -1,0 +1,171 @@
+module Bitstring = Qkd_util.Bitstring
+module Rng = Qkd_util.Rng
+
+type config = {
+  source : Source.t;
+  fiber : Fiber.t;
+  detector : Detector.config;
+  timing : Timing.t;
+  eve : Eve.strategy;
+  pulse_rate_hz : float;
+  stabilization : Stabilization.config option;
+}
+
+let darpa_default =
+  {
+    source = Source.weak_coherent ~mu:0.1;
+    (* 10 km spool at 0.2 dB/km plus ~3 dB of receiver interferometer
+       and coupler insertion loss. *)
+    fiber = Fiber.make ~length_km:10.0 ~insertion_loss_db:3.0 ();
+    detector = Detector.default;
+    timing = Timing.make ~pulses_per_frame:4096 ();
+    eve = Eve.Passive;
+    pulse_rate_hz = 1e6;
+    stabilization = None;
+  }
+
+(* Stabilised interferometers and quieter detectors, modelling the
+   plug-and-play systems of refs [3,4] that reached ~70 km. *)
+let research_grade =
+  {
+    darpa_default with
+    fiber = Fiber.make ~length_km:10.0 ~insertion_loss_db:2.0 ();
+    detector =
+      {
+        Detector.default with
+        Detector.visibility = 0.98;
+        dark_count_per_gate = 2e-5;
+      };
+  }
+
+let textbook_example =
+  {
+    source = Source.weak_coherent ~mu:0.1;
+    fiber = Fiber.make ~length_km:0.0 ();
+    detector =
+      {
+        Detector.efficiency = 0.105;
+        dark_count_per_gate = 0.0;
+        afterpulse_probability = 0.0;
+        dead_time_gates = 0;
+        visibility = 1.0;
+        d1_efficiency_factor = 1.0;
+      };
+    timing = Timing.make ~pulses_per_frame:4096 ();
+    eve = Eve.Passive;
+    pulse_rate_hz = 1e6;
+    stabilization = None;
+  }
+
+let entangled_default =
+  { darpa_default with source = Source.entangled_pair ~mu:0.1 }
+
+type detection = {
+  slot : int;
+  bob_basis : Qubit.basis;
+  outcome : Detector.outcome;
+}
+
+type result = {
+  config : config;
+  pulses : int;
+  alice_bases : Bitstring.t;
+  alice_values : Bitstring.t;
+  alice_detected : Bitstring.t;
+  detections : detection array;
+  frames_lost : int;
+  eve : Eve.t;
+  elapsed_s : float;
+}
+
+let run ?(seed = 1L) (config : config) ~pulses =
+  if pulses <= 0 then invalid_arg "Link.run: pulses must be positive";
+  let master = Rng.create seed in
+  (* Independent streams so adding Eve does not perturb Alice's or
+     Bob's random choices. *)
+  let alice_rng = Rng.split master in
+  let bob_rng = Rng.split master in
+  let channel_rng = Rng.split master in
+  let eve_rng = Rng.split master in
+  let frame_rng = Rng.split master in
+  let eve = Eve.create config.eve eve_rng in
+  let receiver = Detector.create config.detector in
+  let drift_rng = Rng.split master in
+  let stabilization = Option.map Stabilization.create config.stabilization in
+  let slot_dt = 1.0 /. config.pulse_rate_hz in
+  let alice_bases = Bitstring.create pulses in
+  let alice_values = Bitstring.create pulses in
+  let alice_detected = Bitstring.create pulses in
+  let entangled =
+    match config.source.Source.kind with
+    | Source.Entangled_pair -> true
+    | Source.Weak_coherent -> false
+  in
+  let detections = ref [] in
+  let frames_lost = ref 0 in
+  let current_frame = ref (-1) in
+  let frame_ok = ref true in
+  for slot = 0 to pulses - 1 do
+    let frame = Timing.frame_of_slot config.timing slot in
+    if frame <> !current_frame then begin
+      current_frame := frame;
+      frame_ok := Timing.frame_alive config.timing frame_rng;
+      if not !frame_ok then incr frames_lost
+    end;
+    let basis = Qubit.random_basis alice_rng in
+    let value = Qubit.random_value alice_rng in
+    Bitstring.set alice_bases slot (basis = Qubit.Basis1);
+    Bitstring.set alice_values slot value;
+    let pulse = Source.emit config.source alice_rng ~basis ~value in
+    (* Weak-coherent: Alice set the modulator, so she always "has" her
+       value.  Entangled: [value] is the outcome her own detector read
+       off her half of the pair(s) — she only has it when that
+       detector fired. *)
+    (if entangled then begin
+       let eta = config.detector.Detector.efficiency in
+       let p_alice =
+         1.0 -. ((1.0 -. eta) ** float_of_int pulse.Pulse.photons)
+       in
+       if Rng.bernoulli alice_rng p_alice then
+         Bitstring.set alice_detected slot true
+     end
+     else Bitstring.set alice_detected slot true);
+    let pulse = Eve.tap eve ~slot pulse in
+    let pulse = Fiber.transmit config.fiber channel_rng pulse in
+    let phase_offset, visibility_scale =
+      match stabilization with
+      | None -> (0.0, 1.0)
+      | Some s ->
+          Stabilization.advance s drift_rng ~dt:slot_dt;
+          (Stabilization.phase_error s, Stabilization.visibility_scale s)
+    in
+    if !frame_ok then begin
+      (* Without the annunciation pulse Bob's APDs are never gated, so
+         a lost frame yields no events (not even dark counts). *)
+      let bob_basis = Qubit.random_basis bob_rng in
+      match
+        Detector.detect receiver bob_rng ~phase_offset ~visibility_scale
+          ~bob_basis pulse
+      with
+      | Detector.No_click -> ()
+      | outcome -> detections := { slot; bob_basis; outcome } :: !detections
+    end
+  done;
+  {
+    config;
+    pulses;
+    alice_bases;
+    alice_values;
+    alice_detected;
+    detections = Array.of_list (List.rev !detections);
+    frames_lost = !frames_lost;
+    eve;
+    elapsed_s = float_of_int pulses /. config.pulse_rate_hz;
+  }
+
+let alice_basis r slot =
+  if Bitstring.get r.alice_bases slot then Qubit.Basis1 else Qubit.Basis0
+
+let alice_value r slot = Bitstring.get r.alice_values slot
+
+let detection_rate r = float_of_int (Array.length r.detections) /. float_of_int r.pulses

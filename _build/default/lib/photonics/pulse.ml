@@ -1,0 +1,10 @@
+type t = {
+  photons : int;
+  phase : float;
+  basis : Qubit.basis;
+  value : Qubit.value;
+}
+
+let vacuum = { photons = 0; phase = 0.0; basis = Qubit.Basis0; value = false }
+let is_vacuum p = p.photons = 0
+let with_photons p n = { p with photons = n }

@@ -1,0 +1,21 @@
+(** Dim optical pulses in flight.
+
+    A pulse is what leaves Alice's interferometer each clock: some
+    number of photons (possibly zero — at mean photon number 0.1 about
+    90 % of pulses are vacuum) all carrying the same encoded phase.
+    Multi-photon pulses are the PNS attack surface (§6). *)
+
+type t = {
+  photons : int;  (** photon number after the attenuator *)
+  phase : float;  (** Alice's encoded phase shift, radians *)
+  basis : Qubit.basis;  (** ground truth, for instrumentation only *)
+  value : Qubit.value;  (** ground truth, for instrumentation only *)
+}
+
+val vacuum : t
+
+(** [is_vacuum p] is true when no photons remain. *)
+val is_vacuum : t -> bool
+
+(** [with_photons p n] is [p] carrying [n] photons. *)
+val with_photons : t -> int -> t

@@ -1,0 +1,26 @@
+type basis = Basis0 | Basis1
+type value = bool
+
+let basis_equal a b =
+  match (a, b) with Basis0, Basis0 | Basis1, Basis1 -> true | _ -> false
+
+let pp_basis ppf = function
+  | Basis0 -> Format.pp_print_string ppf "+"
+  | Basis1 -> Format.pp_print_string ppf "x"
+
+let half_pi = Float.pi /. 2.0
+
+let alice_phase basis value =
+  let b = match basis with Basis0 -> 0.0 | Basis1 -> half_pi in
+  let v = if value then Float.pi else 0.0 in
+  b +. v
+
+let bob_phase = function Basis0 -> 0.0 | Basis1 -> half_pi
+
+let random_basis rng = if Qkd_util.Rng.bool rng then Basis1 else Basis0
+let random_value rng = Qkd_util.Rng.bool rng
+
+let detector_d1_probability ~visibility ~delta =
+  if visibility < 0.0 || visibility > 1.0 then
+    invalid_arg "Qubit.detector_d1_probability: visibility out of range";
+  (1.0 -. (visibility *. cos delta)) /. 2.0

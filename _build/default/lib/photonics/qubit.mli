@@ -1,0 +1,37 @@
+(** Phase-encoded BB84 qubits.
+
+    Alice encodes (basis, value) as one of four interferometer phase
+    shifts (paper §4): basis 0 uses phases {0, π}, basis 1 uses
+    {π/2, 3π/2}.  Bob selects a measurement basis by applying phase 0
+    or π/2 in his interferometer; when the bases agree the phase
+    difference is 0 or π and the outcome is deterministic (up to
+    interferometer visibility), otherwise the photon picks a detector
+    at random. *)
+
+type basis = Basis0 | Basis1
+
+(** A key bit. *)
+type value = bool
+
+val basis_equal : basis -> basis -> bool
+val pp_basis : Format.formatter -> basis -> unit
+
+(** [alice_phase basis value] is the transmitter phase shift in
+    radians: 0, π/2, π or 3π/2 — the four voltages of the summing
+    amplifier in Fig 3. *)
+val alice_phase : basis -> value -> float
+
+(** [bob_phase basis] is the receiver phase shift: 0 or π/2. *)
+val bob_phase : basis -> float
+
+(** [random_basis rng] and [random_value rng] draw uniformly. *)
+val random_basis : Qkd_util.Rng.t -> basis
+
+val random_value : Qkd_util.Rng.t -> value
+
+(** [detector_d1_probability ~visibility ~delta] is the probability
+    that a photon exits toward detector D1 given the phase difference
+    [delta] = alice_phase − bob_phase, with interference [visibility]
+    in [0,1]: (1 − V cos Δ) / 2.  Δ = 0 sends everything to D0
+    (value 0), Δ = π to D1 (value 1), Δ = ±π/2 splits 50/50. *)
+val detector_d1_probability : visibility:float -> delta:float -> float

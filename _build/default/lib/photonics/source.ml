@@ -1,0 +1,20 @@
+type kind = Weak_coherent | Entangled_pair
+
+type t = { kind : kind; mean_photon_number : float }
+
+let make kind ~mu =
+  if mu <= 0.0 then invalid_arg "Source: mean photon number must be positive";
+  { kind; mean_photon_number = mu }
+
+let weak_coherent ~mu = make Weak_coherent ~mu
+let entangled_pair ~mu = make Entangled_pair ~mu
+
+let emit t rng ~basis ~value =
+  let photons = Qkd_util.Rng.poisson rng t.mean_photon_number in
+  { Pulse.photons; phase = Qubit.alice_phase basis value; basis; value }
+
+let p_multiphoton t =
+  let mu = t.mean_photon_number in
+  1.0 -. (exp (-.mu) *. (1.0 +. mu))
+
+let p_nonvacuum t = 1.0 -. exp (-.t.mean_photon_number)

@@ -1,0 +1,28 @@
+(** Weak-coherent and entangled-pair QKD sources.
+
+    The weak-coherent source is an attenuated 1550 nm laser: photon
+    number per pulse is Poissonian with the configured mean (paper
+    operates at 0.1).  The entangled source models the planned
+    second-generation link (§3, §8) only as far as the statistics the
+    protocols care about: the multi-photon exposure scales with
+    received rather than transmitted pulses (§6, Brassard et al.). *)
+
+type kind = Weak_coherent | Entangled_pair
+
+type t = { kind : kind; mean_photon_number : float }
+
+(** [weak_coherent ~mu] — @raise Invalid_argument if [mu <= 0]. *)
+val weak_coherent : mu:float -> t
+
+val entangled_pair : mu:float -> t
+
+(** [emit t rng ~basis ~value] draws one pulse: Poisson photon number,
+    phase from the (basis, value) encoding. *)
+val emit : t -> Qkd_util.Rng.t -> basis:Qubit.basis -> value:Qubit.value -> Pulse.t
+
+(** [p_multiphoton t] is P(n >= 2) = 1 - e^-mu (1 + mu), the fraction
+    of pulses vulnerable to photon-number splitting. *)
+val p_multiphoton : t -> float
+
+(** [p_nonvacuum t] is P(n >= 1) = 1 - e^-mu. *)
+val p_nonvacuum : t -> float

@@ -1,0 +1,75 @@
+type config = {
+  phase_drift_rad_per_sqrt_s : float;
+  polarization_drift_rad_per_sqrt_s : float;
+  control_interval_s : float;
+  control_residual_rad : float;
+}
+
+let default =
+  {
+    phase_drift_rad_per_sqrt_s = 0.35;
+    polarization_drift_rad_per_sqrt_s = 0.1;
+    control_interval_s = 0.1;
+    control_residual_rad = 0.02;
+  }
+
+let uncontrolled = { default with control_interval_s = infinity }
+
+let validate c =
+  if
+    c.phase_drift_rad_per_sqrt_s < 0.0
+    || c.polarization_drift_rad_per_sqrt_s < 0.0
+    || c.control_interval_s <= 0.0
+    || c.control_residual_rad < 0.0
+  then invalid_arg "Stabilization.validate: negative parameter"
+
+type t = {
+  config : config;
+  mutable phase : float;
+  mutable polarization : float;
+  mutable since_control : float;
+  mutable corrections : int;
+}
+
+let create config =
+  validate config;
+  { config; phase = 0.0; polarization = 0.0; since_control = 0.0; corrections = 0 }
+
+(* Box-Muller: the random walks need Gaussian steps. *)
+let gaussian rng =
+  let u1 = Float.max 1e-12 (Qkd_util.Rng.float rng) in
+  let u2 = Qkd_util.Rng.float rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let advance t rng ~dt =
+  if dt < 0.0 then invalid_arg "Stabilization.advance: negative dt";
+  if dt > 0.0 then begin
+    let sqdt = sqrt dt in
+    t.phase <-
+      t.phase +. (t.config.phase_drift_rad_per_sqrt_s *. sqdt *. gaussian rng);
+    t.polarization <-
+      t.polarization
+      +. (t.config.polarization_drift_rad_per_sqrt_s *. sqdt *. gaussian rng);
+    t.since_control <- t.since_control +. dt;
+    if t.since_control >= t.config.control_interval_s then begin
+      t.since_control <- 0.0;
+      t.corrections <- t.corrections + 1;
+      (* The servo re-zeroes both axes down to its residual, with a
+         random sign (it can overshoot either way). *)
+      let residual () =
+        let r = t.config.control_residual_rad in
+        if Qkd_util.Rng.bool rng then r else -.r
+      in
+      t.phase <- residual ();
+      t.polarization <- residual ()
+    end
+  end
+
+let phase_error t = t.phase
+let polarization_error t = t.polarization
+
+let visibility_scale t =
+  let c = cos t.polarization in
+  c *. c
+
+let corrections t = t.corrections

@@ -1,0 +1,11 @@
+type t = { pulses_per_frame : int; frame_loss_probability : float }
+
+let make ~pulses_per_frame ?(frame_loss_probability = 0.0) () =
+  if pulses_per_frame <= 0 then invalid_arg "Timing.make: frame size must be positive";
+  if frame_loss_probability < 0.0 || frame_loss_probability > 1.0 then
+    invalid_arg "Timing.make: probability out of range";
+  { pulses_per_frame; frame_loss_probability }
+
+let frame_of_slot t slot = slot / t.pulses_per_frame
+
+let frame_alive t rng = not (Qkd_util.Rng.bernoulli rng t.frame_loss_probability)

@@ -1,0 +1,25 @@
+(** Bright-pulse timing and framing (paper §4).
+
+    Alice announces every dim pulse with a 1300 nm bright pulse
+    multiplexed on the same fiber; Bob's sync detector gates his APDs
+    from it.  At the protocol level pulses are grouped into numbered
+    qframes.  A frame whose annunciation Bob misses produces no
+    detections and is simply absent from his report — slot numbering
+    stays aligned because frames carry sequence numbers. *)
+
+type t = {
+  pulses_per_frame : int;
+  frame_loss_probability : float;  (** P(sync miss) per frame *)
+}
+
+(** [make ~pulses_per_frame ?frame_loss_probability ()] — loss
+    defaults to 0.  @raise Invalid_argument on non-positive frame size
+    or probability outside [0,1]. *)
+val make : pulses_per_frame:int -> ?frame_loss_probability:float -> unit -> t
+
+(** [frame_of_slot t slot] is the qframe sequence number. *)
+val frame_of_slot : t -> int -> int
+
+(** [frame_alive t rng] draws whether the next frame's annunciation is
+    received. *)
+val frame_alive : t -> Qkd_util.Rng.t -> bool

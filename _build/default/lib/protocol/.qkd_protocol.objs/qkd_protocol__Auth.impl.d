@@ -1,0 +1,1 @@
+lib/protocol/auth.ml: Format Key_pool Qkd_crypto Qkd_util Wire

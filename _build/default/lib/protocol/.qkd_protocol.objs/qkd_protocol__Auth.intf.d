@@ -1,0 +1,1 @@
+lib/protocol/auth.mli: Format Key_pool Qkd_util Stdlib Wire

@@ -1,0 +1,1 @@
+lib/protocol/cascade.ml: Array Float Int64 List Option Qkd_util Wire

@@ -1,0 +1,1 @@
+lib/protocol/cascade.mli: Qkd_util

@@ -1,0 +1,1 @@
+lib/protocol/engine.ml: Array Auth Bytes Cascade Char Entropy Format Key_pool List Option Parity_ec Privacy_amp Qkd_photonics Qkd_util Randomness Result Sifting Wire

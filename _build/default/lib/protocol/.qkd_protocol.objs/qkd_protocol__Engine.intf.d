@@ -1,0 +1,1 @@
+lib/protocol/engine.mli: Auth Cascade Entropy Format Key_pool Qkd_photonics Qkd_util

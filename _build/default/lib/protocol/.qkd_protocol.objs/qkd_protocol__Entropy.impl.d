@@ -1,0 +1,1 @@
+lib/protocol/entropy.ml: Float Format Qkd_photonics

@@ -1,0 +1,1 @@
+lib/protocol/entropy.mli: Format Qkd_photonics

@@ -1,0 +1,1 @@
+lib/protocol/key_pool.ml: List Qkd_util

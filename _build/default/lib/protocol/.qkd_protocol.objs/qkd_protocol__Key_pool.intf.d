@@ -1,0 +1,1 @@
+lib/protocol/key_pool.mli: Qkd_util

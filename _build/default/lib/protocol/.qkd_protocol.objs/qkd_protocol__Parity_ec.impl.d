@@ -1,0 +1,1 @@
+lib/protocol/parity_ec.ml: Array Qkd_util Wire

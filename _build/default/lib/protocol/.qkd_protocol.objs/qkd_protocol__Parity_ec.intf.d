@@ -1,0 +1,1 @@
+lib/protocol/parity_ec.mli: Qkd_util

@@ -1,0 +1,1 @@
+lib/protocol/privacy_amp.ml: Array List Qkd_crypto Qkd_util Wire

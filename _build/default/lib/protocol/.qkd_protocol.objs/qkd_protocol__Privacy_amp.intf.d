@@ -1,0 +1,1 @@
+lib/protocol/privacy_amp.mli: Qkd_util Wire

@@ -1,0 +1,1 @@
+lib/protocol/qframe.ml: Array Buffer Bytes Char Hashtbl Int32 List Qkd_photonics Qkd_util

@@ -1,0 +1,1 @@
+lib/protocol/qframe.mli: Qkd_photonics

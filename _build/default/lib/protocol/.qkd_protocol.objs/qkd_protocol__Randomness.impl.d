@@ -1,0 +1,1 @@
+lib/protocol/randomness.ml: Array Float Format Qkd_util

@@ -1,0 +1,1 @@
+lib/protocol/randomness.mli: Format Qkd_util

@@ -1,0 +1,1 @@
+lib/protocol/sifting.ml: Array Hashtbl List Qkd_photonics Qkd_util Wire

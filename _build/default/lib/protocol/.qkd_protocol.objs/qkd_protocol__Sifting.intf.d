@@ -1,0 +1,1 @@
+lib/protocol/sifting.mli: Qkd_photonics Qkd_util Wire

@@ -1,0 +1,1 @@
+lib/protocol/wire.ml: Array Buffer Bytes Char Format Int32 List Printf Qkd_util String

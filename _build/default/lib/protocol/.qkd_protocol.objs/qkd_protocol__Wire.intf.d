@@ -1,0 +1,1 @@
+lib/protocol/wire.mli: Format Qkd_util

@@ -1,0 +1,54 @@
+module Bitstring = Qkd_util.Bitstring
+module Uh = Qkd_crypto.Universal_hash
+
+type t = {
+  pool : Key_pool.t;
+  mutable consumed : int;
+  mutable replenished : int;
+  mutable tagged : int;
+}
+
+let create ~prepositioned =
+  { pool = Key_pool.create ~initial:prepositioned (); consumed = 0; replenished = 0; tagged = 0 }
+
+let pool t = t.pool
+
+let bits_per_message = Uh.key_bits_per_tag
+
+type error = Pool_exhausted | Tag_mismatch
+
+let pp_error ppf = function
+  | Pool_exhausted -> Format.pp_print_string ppf "authentication pool exhausted"
+  | Tag_mismatch -> Format.pp_print_string ppf "authentication tag mismatch"
+
+let draw_key t =
+  match Key_pool.consume t.pool bits_per_message with
+  | key ->
+      t.consumed <- t.consumed + bits_per_message;
+      Ok key
+  | exception Key_pool.Exhausted _ -> Error Pool_exhausted
+
+let tag t msg =
+  match draw_key t with
+  | Error _ as e -> e
+  | Ok key ->
+      t.tagged <- t.tagged + 1;
+      Ok (Wire.Auth_tag { tag = Uh.wc_tag ~key msg })
+
+let verify t ~tag msg =
+  match tag with
+  | Wire.Auth_tag { tag } -> (
+      match draw_key t with
+      | Error e -> Error e
+      | Ok key ->
+          t.tagged <- t.tagged + 1;
+          if Uh.wc_verify ~key ~tag msg then Ok () else Error Tag_mismatch)
+  | _ -> Error Tag_mismatch
+
+let replenish t bits =
+  Key_pool.offer t.pool bits;
+  t.replenished <- t.replenished + Bitstring.length bits
+
+let consumed_bits t = t.consumed
+let replenished_bits t = t.replenished
+let messages_tagged t = t.tagged

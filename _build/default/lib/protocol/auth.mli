@@ -1,0 +1,49 @@
+(** Continuous Wegman–Carter authentication (paper §5).
+
+    Every QKD protocol message must be authenticated or Eve inserts
+    herself as woman-in-the-middle.  Each tag consumes fresh secret
+    bits from a mirrored pool — bootstrapped by a pre-positioned key
+    and replenished from each round's distilled output ("a complete
+    authenticated conversation can validate a large number of new
+    shared secret bits ... a small number of these may be used to
+    replenish the pool").
+
+    Exhausting the pool is the denial-of-service the paper warns
+    about: authentication stops, and so does key distribution. *)
+
+module Bitstring = Qkd_util.Bitstring
+
+type t
+
+(** [create ~prepositioned] starts an authenticator over a fresh pool
+    holding [prepositioned] bits of out-of-band secret. *)
+val create : prepositioned:Bitstring.t -> t
+
+(** The two ends share the pool state; [clone] gives the peer's view
+    (they evolve in lock-step as long as both tag/verify the same
+    sequence). *)
+val pool : t -> Key_pool.t
+
+(** [bits_per_message] is the secret cost of one tag. *)
+val bits_per_message : int
+
+type error = Pool_exhausted | Tag_mismatch
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [tag t msg] consumes key and produces the authenticator to append.
+    Returns [Error Pool_exhausted] when the pool cannot pay. *)
+val tag : t -> bytes -> (Wire.msg, error) Stdlib.result
+
+(** [verify t ~tag msg] is the receiving side: consumes the same key
+    bits from its mirrored pool and compares. *)
+val verify : t -> tag:Wire.msg -> bytes -> (unit, error) Stdlib.result
+
+(** [replenish t bits] pays distilled bits back into the pool. *)
+val replenish : t -> Bitstring.t -> unit
+
+(** Counters for experiment E12. *)
+val consumed_bits : t -> int
+
+val replenished_bits : t -> int
+val messages_tagged : t -> int

@@ -1,0 +1,64 @@
+(** Error correction: the BBN Cascade variant (paper §5, [19]).
+
+    Alice and Bob hold sifted strings that differ in the error
+    positions.  Each round, Alice draws 64 pseudo-random subsets of the
+    block — each identified on the wire only by the 32-bit seed of the
+    LFSR that regenerates it — and publishes their parities.  Bob
+    compares; a mismatched subset contains an odd number of errors, and
+    a binary search over the subset's (sorted) member positions isolates
+    one, each probe disclosing one more parity bit.  When Bob flips the
+    corrected bit, both sides re-inspect {e all} recorded subsets from
+    every round and toggle those that contained the bit — clearing some
+    discrepancies and possibly exposing new ones, which are then hunted
+    in turn (this cross-round cascading is what makes even-error
+    subsets eventually correctable).
+
+    The protocol is adaptive exactly as the paper claims: with few
+    errors almost nothing beyond the per-round subset parities is
+    disclosed; with many errors disclosure grows as e·log2(b).
+
+    Every disclosed parity is tallied in [disclosed_bits]; entropy
+    estimation later subtracts it from the key budget. *)
+
+module Bitstring = Qkd_util.Bitstring
+
+type config = {
+  subsets_per_round : int;  (** paper: 64 *)
+  max_rounds : int;  (** hard stop on LFSR-subset rounds *)
+  clean_rounds : int;  (** stop after this many all-match rounds *)
+  verify_subsets : int;  (** final confirmation parities *)
+  block_passes : int;
+      (** leading divide-and-conquer parity passes over permuted
+          contiguous blocks (the Appendix's "parity checks" stage),
+          sized from a running QBER estimate; they find the bulk of
+          the errors far more cheaply than whole-block subsets *)
+}
+
+(** 64 subsets/round, up to 16 rounds, 2 clean rounds to stop,
+    16 verification subsets, 2 leading block passes. *)
+val default_config : config
+
+type result = {
+  corrected : Bitstring.t;  (** Bob's string after reconciliation *)
+  errors_corrected : int;
+  disclosed_bits : int;  (** parity bits revealed — the [d] of §6 *)
+  messages : int;  (** protocol messages exchanged *)
+  bytes_on_channel : int;
+  rounds : int;
+  verified : bool;  (** all verification parities matched *)
+}
+
+(** [reconcile ?seed ?estimated_qber config ~alice ~bob] runs the
+    protocol.  [alice] is the reference string (Alice never changes
+    hers); the result's [corrected] is Bob's.  [estimated_qber] sizes
+    the first block pass (e.g. the previous round's measured rate);
+    without it the pass assumes the top of the paper's 6-8 % band.
+    Strings must have equal length.
+    @raise Invalid_argument on length mismatch. *)
+val reconcile :
+  ?seed:int64 ->
+  ?estimated_qber:float ->
+  config ->
+  alice:Bitstring.t ->
+  bob:Bitstring.t ->
+  result

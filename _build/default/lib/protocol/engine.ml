@@ -1,0 +1,276 @@
+module Bitstring = Qkd_util.Bitstring
+module Rng = Qkd_util.Rng
+module Link = Qkd_photonics.Link
+module Eve = Qkd_photonics.Eve
+
+type ec_algorithm = Ec_cascade | Ec_parity_checks
+
+type config = {
+  link : Link.config;
+  cascade : Cascade.config;
+  ec : ec_algorithm;
+  defense : Entropy.defense;
+  accounting : Entropy.multiphoton_accounting;
+  confidence : float;
+  nonrandom_measure : int;
+  randomness_testing : bool;
+  auth_prepositioned_bits : int;
+}
+
+let default_config =
+  {
+    link = Link.darpa_default;
+    cascade = Cascade.default_config;
+    ec = Ec_cascade;
+    defense = Entropy.Bennett;
+    accounting = Entropy.Beamsplit_only;
+    confidence = 5.0;
+    nonrandom_measure = 0;
+    randomness_testing = true;
+    auth_prepositioned_bits = 4096;
+  }
+
+type failure = Auth_exhausted | Auth_tampered | Ec_not_verified
+
+let pp_failure ppf = function
+  | Auth_exhausted -> Format.pp_print_string ppf "authentication key exhausted"
+  | Auth_tampered -> Format.pp_print_string ppf "message forged: tag mismatch"
+  | Ec_not_verified -> Format.pp_print_string ppf "error correction verify failed"
+
+type round_metrics = {
+  pulses : int;
+  detections : int;
+  double_clicks : int;
+  frames_lost : int;
+  sifted_bits : int;
+  qber : float;
+  errors_corrected : int;
+  disclosed_bits : int;
+  entropy : Entropy.estimate;
+  distilled_bits : int;
+  auth_bits_consumed : int;
+  channel_bytes : int;
+  elapsed_s : float;
+  sifted_bps : float;
+  distilled_bps : float;
+  eve_known_sifted_bits : int;
+}
+
+let pp_round_metrics ppf m =
+  Format.fprintf ppf
+    "@[<v>pulses %d; detections %d; sifted %d; QBER %.2f%%;@ corrected %d; \
+     disclosed %d; secure %d; distilled %d;@ channel %d B; sifted %.0f b/s; \
+     distilled %.0f b/s@]"
+    m.pulses m.detections m.sifted_bits (100.0 *. m.qber) m.errors_corrected
+    m.disclosed_bits m.entropy.Entropy.secure_bits m.distilled_bits
+    m.channel_bytes m.sifted_bps m.distilled_bps
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  alice_auth : Auth.t;
+  bob_auth : Auth.t;
+  alice_pool : Key_pool.t;
+  bob_pool : Key_pool.t;
+  mutable round : int;
+  mutable last_qber : float option;  (** running estimate feeding EC *)
+}
+
+let create ?(seed = 2003L) config =
+  let rng = Rng.create seed in
+  let preposition = Rng.bits rng config.auth_prepositioned_bits in
+  {
+    config;
+    rng;
+    alice_auth = Auth.create ~prepositioned:(Bitstring.copy preposition);
+    bob_auth = Auth.create ~prepositioned:preposition;
+    alice_pool = Key_pool.create ();
+    bob_pool = Key_pool.create ();
+    round = 0;
+    last_qber = None;
+  }
+
+let config t = t.config
+let alice_pool t = t.alice_pool
+let bob_pool t = t.bob_pool
+let alice_auth t = t.alice_auth
+let bob_auth t = t.bob_auth
+
+(* Authenticate one direction of a protocol transaction: the sender
+   tags [payload], the receiver verifies.  [tampered] flips a payload
+   byte in flight. *)
+let authenticated_transfer ~sender ~receiver ~tampered payload =
+  match Auth.tag sender payload with
+  | Error Auth.Pool_exhausted -> Error Auth_exhausted
+  | Error Auth.Tag_mismatch -> assert false
+  | Ok tag_msg ->
+      let delivered =
+        if tampered && Bytes.length payload > 0 then begin
+          let b = Bytes.copy payload in
+          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x01));
+          b
+        end
+        else payload
+      in
+      (match Auth.verify receiver ~tag:tag_msg delivered with
+      | Ok () -> Ok (Wire.encoded_size tag_msg)
+      | Error Auth.Tag_mismatch -> Error Auth_tampered
+      | Error Auth.Pool_exhausted -> Error Auth_exhausted)
+
+let ( let* ) = Result.bind
+
+let run_round ?(tamper = false) t ~pulses =
+  t.round <- t.round + 1;
+  let seed = Rng.int64 t.rng in
+  let link = Link.run ~seed t.config.link ~pulses in
+  let sift = Sifting.sift link in
+  let auth_before =
+    Auth.consumed_bits t.alice_auth + Auth.consumed_bits t.bob_auth
+  in
+  (* Error correction on the sifted strings (runs before the tags so
+     each direction's whole round transcript can be authenticated with
+     a single Wegman-Carter tag — "a complete authenticated
+     conversation", amortising the secret-bit cost).  The running QBER
+     estimate from the previous round sizes the first pass. *)
+  let ec_corrected, ec_errors, ec_disclosed, ec_bytes, ec_verified =
+    match t.config.ec with
+    | Ec_cascade ->
+        let r =
+          Cascade.reconcile ~seed:(Rng.int64 t.rng)
+            ?estimated_qber:t.last_qber t.config.cascade
+            ~alice:sift.Sifting.alice_bits ~bob:sift.Sifting.bob_bits
+        in
+        ( r.Cascade.corrected,
+          r.Cascade.errors_corrected,
+          r.Cascade.disclosed_bits,
+          r.Cascade.bytes_on_channel,
+          r.Cascade.verified )
+    | Ec_parity_checks ->
+        let r =
+          Parity_ec.reconcile ~seed:(Rng.int64 t.rng) Parity_ec.default_config
+            ~estimated_qber:(Option.value t.last_qber ~default:0.08)
+            ~alice:sift.Sifting.alice_bits ~bob:sift.Sifting.bob_bits
+        in
+        ( r.Parity_ec.corrected,
+          r.Parity_ec.errors_corrected,
+          r.Parity_ec.disclosed_bits,
+          r.Parity_ec.bytes_on_channel,
+          (* the baseline's only confirmation is a single whole-string
+             parity: even-weight residuals slip through "verified" —
+             which is exactly the §7 hazard the experiments exercise *)
+          not r.Parity_ec.residual_mismatch )
+  in
+  (if Array.length sift.Sifting.slots > 0 then
+     t.last_qber <-
+       Some
+         (float_of_int ec_errors /. float_of_int (Array.length sift.Sifting.slots)));
+  let* () = if ec_verified then Ok () else Error Ec_not_verified in
+  let report_payload =
+    match Sifting.bob_report link with
+    | Wire.Sift_report _ as m -> Wire.encode m
+    | _ -> assert false
+  in
+  (* Bob's side of the conversation: sift report + his EC echoes. *)
+  let* tag1 =
+    authenticated_transfer ~sender:t.bob_auth ~receiver:t.alice_auth
+      ~tampered:tamper report_payload
+  in
+  let response_payload =
+    Wire.encode (Sifting.alice_response link (Sifting.bob_report link))
+  in
+  (* Entropy estimation on what the protocol observed.  The
+     non-randomness measure r comes from live testing of the
+     error-corrected bits when enabled (each side tests its own copy;
+     they agree after reconciliation), plus any configured static
+     charge. *)
+  let r_measured =
+    if t.config.randomness_testing then
+      (Randomness.test ec_corrected).Randomness.shorten_bits
+    else 0
+  in
+  let inputs =
+    {
+      Entropy.b = sift.Sifting.slots |> Array.length;
+      e = ec_errors;
+      n = pulses;
+      d = ec_disclosed;
+      r = t.config.nonrandom_measure + r_measured;
+      source = t.config.link.Link.source;
+    }
+  in
+  let entropy =
+    Entropy.estimate ~defense:t.config.defense ~accounting:t.config.accounting
+      ~confidence:t.config.confidence inputs
+  in
+  (* Privacy amplification: Alice chooses the hash and applies it to
+     HER string; Bob applies the same parameters to his corrected
+     string.  If error correction left undetected residuals the two
+     distillates differ — and everything downstream (auth pools, key
+     pools, the VPN) inherits that divergence honestly. *)
+  let pa =
+    Privacy_amp.amplify t.rng ~bits:sift.Sifting.alice_bits
+      ~secure_bits:entropy.Entropy.secure_bits
+  in
+  let bob_distilled =
+    Privacy_amp.apply_params pa.Privacy_amp.params_messages ec_corrected
+  in
+  let pa_payload =
+    Bytes.concat Bytes.empty (List.map Wire.encode pa.Privacy_amp.params_messages)
+  in
+  (* Alice's side: sift response + her EC parities + PA parameters. *)
+  let* tag2 =
+    authenticated_transfer ~sender:t.alice_auth ~receiver:t.bob_auth
+      ~tampered:false (Bytes.cat response_payload pa_payload)
+  in
+  (* Replenish authentication first, then deliver the remainder; each
+     side pays from its own distillate. *)
+  let alice_distilled = pa.Privacy_amp.distilled in
+  let auth_spent_each =
+    (Auth.consumed_bits t.alice_auth + Auth.consumed_bits t.bob_auth - auth_before) / 2
+  in
+  let replenish_amount = min (Bitstring.length alice_distilled) auth_spent_each in
+  let split side =
+    ( Bitstring.sub side 0 replenish_amount,
+      Bitstring.sub side replenish_amount (Bitstring.length side - replenish_amount) )
+  in
+  let alice_replenish, alice_delivered = split alice_distilled in
+  let bob_replenish, bob_delivered = split bob_distilled in
+  Auth.replenish t.alice_auth alice_replenish;
+  Auth.replenish t.bob_auth bob_replenish;
+  Key_pool.offer t.alice_pool alice_delivered;
+  Key_pool.offer t.bob_pool bob_delivered;
+  let delivered = alice_delivered in
+  let sifted_n = Array.length sift.Sifting.slots in
+  let qber =
+    if sifted_n = 0 then 0.0 else float_of_int ec_errors /. float_of_int sifted_n
+  in
+  let channel_bytes =
+    sift.Sifting.report_bytes + sift.Sifting.response_bytes
+    + ec_bytes + pa.Privacy_amp.bytes_on_channel + tag1 + tag2
+  in
+  let eve_known =
+    Eve.bits_known link.Link.eve
+      ~alice_basis:(Link.alice_basis link)
+      ~alice_value:(Link.alice_value link)
+      ~sifted_slots:(Array.to_list sift.Sifting.slots)
+  in
+  Ok
+    {
+      pulses;
+      detections = sift.Sifting.detections;
+      double_clicks = sift.Sifting.double_clicks;
+      frames_lost = link.Link.frames_lost;
+      sifted_bits = sifted_n;
+      qber;
+      errors_corrected = ec_errors;
+      disclosed_bits = ec_disclosed;
+      entropy;
+      distilled_bits = Bitstring.length delivered;
+      auth_bits_consumed =
+        Auth.consumed_bits t.alice_auth + Auth.consumed_bits t.bob_auth - auth_before;
+      channel_bytes;
+      elapsed_s = link.Link.elapsed_s;
+      sifted_bps = float_of_int sifted_n /. link.Link.elapsed_s;
+      distilled_bps = float_of_int (Bitstring.length delivered) /. link.Link.elapsed_s;
+      eve_known_sifted_bits = eve_known;
+    }

@@ -1,0 +1,53 @@
+module Bitstring = Qkd_util.Bitstring
+
+type t = {
+  mutable chunks : Bitstring.t list;  (** oldest first *)
+  mutable size : int;
+  mutable offered : int;
+  mutable consumed : int;
+}
+
+exception Exhausted of { wanted : int; available : int }
+
+let create ?initial () =
+  match initial with
+  | None -> { chunks = []; size = 0; offered = 0; consumed = 0 }
+  | Some bits ->
+      let n = Bitstring.length bits in
+      { chunks = (if n = 0 then [] else [ bits ]); size = n; offered = n; consumed = 0 }
+
+let available t = t.size
+
+let offer t bits =
+  let n = Bitstring.length bits in
+  if n > 0 then begin
+    t.chunks <- t.chunks @ [ bits ];
+    t.size <- t.size + n;
+    t.offered <- t.offered + n
+  end
+
+let consume t n =
+  if n < 0 then invalid_arg "Key_pool.consume: negative";
+  if n > t.size then raise (Exhausted { wanted = n; available = t.size });
+  let rec go acc need chunks =
+    if need = 0 then (List.rev acc, chunks)
+    else
+      match chunks with
+      | [] -> assert false
+      | c :: rest ->
+          let len = Bitstring.length c in
+          if len <= need then go (c :: acc) (need - len) rest
+          else
+            ( List.rev (Bitstring.sub c 0 need :: acc),
+              Bitstring.sub c need (len - need) :: rest )
+  in
+  let taken, rest = go [] n t.chunks in
+  t.chunks <- rest;
+  t.size <- t.size - n;
+  t.consumed <- t.consumed + n;
+  Bitstring.concat_list taken
+
+let consume_bytes t n = Bitstring.to_bytes (consume t (8 * n))
+
+let total_offered t = t.offered
+let total_consumed t = t.consumed

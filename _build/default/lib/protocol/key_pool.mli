@@ -1,0 +1,35 @@
+(** A pool of shared secret bits.
+
+    Both ends of a link maintain mirrored pools: distilled QKD bits
+    flow in, and consumers (IKE reseeding, one-time-pad SAs,
+    Wegman–Carter authentication) draw from the head in lock-step.
+    The counters feed the key-race experiments (delivery vs
+    consumption, §2 "Sufficiently Rapid Key Delivery"). *)
+
+module Bitstring = Qkd_util.Bitstring
+
+type t
+
+(** [create ?initial ()] starts a pool, optionally pre-positioned with
+    secret bits (the authentication bootstrap of §5). *)
+val create : ?initial:Bitstring.t -> unit -> t
+
+(** [available t] is the number of unconsumed bits. *)
+val available : t -> int
+
+(** [offer t bits] appends freshly distilled bits. *)
+val offer : t -> Bitstring.t -> unit
+
+exception Exhausted of { wanted : int; available : int }
+
+(** [consume t n] removes and returns the oldest [n] bits.
+    @raise Exhausted if fewer than [n] bits remain (pool unchanged). *)
+val consume : t -> int -> Bitstring.t
+
+(** [consume_bytes t n] is [consume t (8 * n)] packed into bytes. *)
+val consume_bytes : t -> int -> bytes
+
+(** Lifetime counters. *)
+val total_offered : t -> int
+
+val total_consumed : t -> int

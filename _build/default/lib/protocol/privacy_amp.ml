@@ -1,0 +1,109 @@
+module Bitstring = Qkd_util.Bitstring
+module Uh = Qkd_crypto.Universal_hash
+
+let max_chunk_bits = 1024
+
+type result = {
+  distilled : Bitstring.t;
+  params_messages : Wire.msg list;
+  bytes_on_channel : int;
+}
+
+(* Cut [len] into near-equal chunks no larger than max_chunk_bits. *)
+let chunk_bounds len =
+  if len = 0 then []
+  else begin
+    let nchunks = (len + max_chunk_bits - 1) / max_chunk_bits in
+    let base = len / nchunks and extra = len mod nchunks in
+    let rec go i off acc =
+      if i = nchunks then List.rev acc
+      else begin
+        let size = base + (if i < extra then 1 else 0) in
+        go (i + 1) (off + size) ((off, size) :: acc)
+      end
+    in
+    go 0 0 []
+  end
+
+let msg_of_params (p : Uh.pa_params) =
+  Wire.Pa_params
+    {
+      n = p.Uh.n;
+      m = p.Uh.m;
+      modulus_terms = p.Uh.modulus_terms;
+      multiplier = p.Uh.multiplier;
+      addend = p.Uh.addend;
+    }
+
+let params_of_msg = function
+  | Wire.Pa_params { n; m; modulus_terms; multiplier; addend } ->
+      { Uh.n; m; modulus_terms; multiplier; addend }
+  | _ -> raise (Wire.Malformed "expected Pa_params")
+
+let amplify rng ~bits ~secure_bits =
+  let len = Bitstring.length bits in
+  let target = max 0 (min secure_bits len) in
+  if target = 0 then { distilled = Bitstring.create 0; params_messages = []; bytes_on_channel = 0 }
+  else begin
+    let bounds = chunk_bounds len in
+    (* Spread the output budget across chunks proportionally, dealing
+       the remainder to the leading chunks. *)
+    let nchunks = List.length bounds in
+    let quotas =
+      let base = Array.make nchunks 0 in
+      let assigned = ref 0 in
+      List.iteri
+        (fun i (_, size) ->
+          base.(i) <- target * size / len;
+          assigned := !assigned + base.(i))
+        bounds;
+      let i = ref 0 in
+      while !assigned < target do
+        (* Never ask a chunk for more bits than it contains. *)
+        let size = snd (List.nth bounds (!i mod nchunks)) in
+        if base.(!i mod nchunks) < size then begin
+          base.(!i mod nchunks) <- base.(!i mod nchunks) + 1;
+          incr assigned
+        end;
+        incr i
+      done;
+      base
+    in
+    let pieces = ref [] and msgs = ref [] and bytes = ref 0 in
+    List.iteri
+      (fun i (off, size) ->
+        let m = quotas.(i) in
+        if m > 0 then begin
+          let chunk = Bitstring.sub bits off size in
+          let params = Uh.pa_choose rng ~input_len:size ~m in
+          let out = Uh.pa_apply params chunk in
+          let msg = msg_of_params params in
+          pieces := out :: !pieces;
+          msgs := msg :: !msgs;
+          bytes := !bytes + Wire.encoded_size msg
+        end)
+      bounds;
+    {
+      distilled = Bitstring.concat_list (List.rev !pieces);
+      params_messages = List.rev !msgs;
+      bytes_on_channel = !bytes;
+    }
+  end
+
+let apply_params msgs bits =
+  let len = Bitstring.length bits in
+  let bounds = chunk_bounds len in
+  let params = List.map params_of_msg msgs in
+  (* Messages correspond, in order, to the chunks that received a
+     non-zero quota; match them up by field degree. *)
+  let rec go bounds params acc =
+    match (bounds, params) with
+    | [], [] -> List.rev acc
+    | [], _ :: _ -> raise (Wire.Malformed "surplus Pa_params")
+    | _ :: _, [] -> List.rev acc
+    | (off, size) :: bounds', p :: params' ->
+        if Uh.pa_round_up size = p.Uh.n then
+          go bounds' params' (Uh.pa_apply p (Bitstring.sub bits off size) :: acc)
+        else go bounds' (p :: params') acc
+  in
+  Bitstring.concat_list (go bounds params [])

@@ -1,0 +1,33 @@
+(** Privacy amplification (paper §5).
+
+    The initiating side chooses a linear hash over GF(2^n) — n the
+    input length rounded up to a multiple of 32 — and transmits the
+    output size m, the sparse field modulus, an n-bit multiplier and an
+    m-bit addend; both sides hash and truncate.  Inputs longer than
+    [max_chunk_bits] are cut into chunks so every field degree stays
+    inside the pre-verified modulus table (an engineering choice the
+    paper leaves open); the m budget is spread across chunks
+    proportionally. *)
+
+module Bitstring = Qkd_util.Bitstring
+
+(** 1024: the largest degree for which every multiple of 32 has a
+    table modulus. *)
+val max_chunk_bits : int
+
+type result = {
+  distilled : Bitstring.t;  (** the final secret bits, length m *)
+  params_messages : Wire.msg list;  (** one [Pa_params] per chunk *)
+  bytes_on_channel : int;
+}
+
+(** [amplify rng ~bits ~secure_bits] compresses [bits] down to
+    [secure_bits] (clamped to the input length; 0 yields the empty
+    string). *)
+val amplify : Qkd_util.Rng.t -> bits:Bitstring.t -> secure_bits:int -> result
+
+(** [apply_params params bits] is the responder side: recompute the
+    distilled bits from received [Pa_params] messages.  Used by tests
+    to confirm both ends agree.
+    @raise Wire.Malformed if a message is not [Pa_params]. *)
+val apply_params : Wire.msg list -> Bitstring.t -> Bitstring.t

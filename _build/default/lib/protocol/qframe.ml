@@ -1,0 +1,141 @@
+module Link = Qkd_photonics.Link
+module Detector = Qkd_photonics.Detector
+module Qubit = Qkd_photonics.Qubit
+module Bs = Qkd_util.Bitstring
+
+type side = Alice_frames | Bob_frames
+
+type t = { side : side; seq : int; first_slot : int; symbols : int array }
+
+let sym_none = 0
+let sym_d0 = 1
+let sym_d1 = 2
+let sym_double = 3
+
+let frames_of_symbols side symbols ~frame_size ~alive =
+  if frame_size <= 0 then invalid_arg "Qframe: frame size must be positive";
+  let n = Array.length symbols in
+  let nframes = (n + frame_size - 1) / frame_size in
+  let rec go seq acc =
+    if seq = nframes then List.rev acc
+    else begin
+      let first_slot = seq * frame_size in
+      let len = min frame_size (n - first_slot) in
+      if alive seq then
+        go (seq + 1)
+          ({ side; seq; first_slot; symbols = Array.sub symbols first_slot len }
+          :: acc)
+      else go (seq + 1) acc
+    end
+  in
+  go 0 []
+
+let alice_frames (link : Link.result) ~frame_size =
+  let symbols =
+    Array.init link.Link.pulses (fun slot ->
+        let basis = if Bs.get link.Link.alice_bases slot then 2 else 0 in
+        let value = if Bs.get link.Link.alice_values slot then 1 else 0 in
+        basis lor value)
+  in
+  frames_of_symbols Alice_frames symbols ~frame_size ~alive:(fun _ -> true)
+
+let bob_frames (link : Link.result) ~frame_size =
+  let symbols = Array.make link.Link.pulses sym_none in
+  Array.iter
+    (fun (d : Link.detection) ->
+      symbols.(d.Link.slot) <-
+        (match d.Link.outcome with
+        | Detector.Double_click -> sym_double
+        | Detector.Click false -> sym_d0
+        | Detector.Click true -> sym_d1
+        | Detector.No_click -> sym_none))
+    link.Link.detections;
+  (* A quiet frame (no detections) still gets emitted — the OPC cannot
+     tell "nothing arrived" from "annunciation lost", so gap handling
+     lives in [missing_frames] over whatever reaches the engine. *)
+  frames_of_symbols Bob_frames symbols ~frame_size ~alive:(fun _ -> true)
+
+exception Malformed of string
+
+let put_u32 buf v =
+  for i = 3 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let encode t =
+  let buf = Buffer.create (16 + (Array.length t.symbols / 4)) in
+  Buffer.add_char buf 'Q';
+  Buffer.add_char buf (match t.side with Alice_frames -> 'A' | Bob_frames -> 'B');
+  put_u32 buf t.seq;
+  put_u32 buf t.first_slot;
+  put_u32 buf (Array.length t.symbols);
+  (* pack 4 two-bit symbols per byte *)
+  let n = Array.length t.symbols in
+  let packed = Bytes.make ((n + 3) / 4) '\000' in
+  Array.iteri
+    (fun i s ->
+      if s < 0 || s > 3 then invalid_arg "Qframe.encode: symbol out of range";
+      let b = Char.code (Bytes.get packed (i / 4)) in
+      Bytes.set packed (i / 4) (Char.chr (b lor (s lsl (2 * (i mod 4))))))
+    t.symbols;
+  Buffer.add_bytes buf packed;
+  let body = Buffer.to_bytes buf in
+  let crc = Qkd_util.Crc32.digest body in
+  let out = Buffer.create (Bytes.length body + 4) in
+  Buffer.add_bytes out body;
+  for i = 3 downto 0 do
+    Buffer.add_char out
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical crc (8 * i)) 0xFFl)))
+  done;
+  Buffer.to_bytes out
+
+let get_u32 b off =
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (off + i))
+  done;
+  !v
+
+let decode b =
+  let total = Bytes.length b in
+  if total < 18 then raise (Malformed "qframe too short");
+  let body = Bytes.sub b 0 (total - 4) in
+  let crc = Qkd_util.Crc32.digest body in
+  let crc_stored = Int32.of_int (get_u32 b (total - 4)) in
+  if Int32.logand crc 0xFFFFFFFFl <> Int32.logand crc_stored 0xFFFFFFFFl then
+    raise (Malformed "qframe CRC mismatch");
+  if Bytes.get b 0 <> 'Q' then raise (Malformed "bad qframe magic");
+  let side =
+    match Bytes.get b 1 with
+    | 'A' -> Alice_frames
+    | 'B' -> Bob_frames
+    | _ -> raise (Malformed "bad qframe side")
+  in
+  let seq = get_u32 b 2 in
+  let first_slot = get_u32 b 6 in
+  let count = get_u32 b 10 in
+  let packed_len = (count + 3) / 4 in
+  if 14 + packed_len <> total - 4 then raise (Malformed "qframe length mismatch");
+  let symbols =
+    Array.init count (fun i ->
+        (Char.code (Bytes.get b (14 + (i / 4))) lsr (2 * (i mod 4))) land 3)
+  in
+  { side; seq; first_slot; symbols }
+
+let missing_frames frames =
+  match frames with
+  | [] -> []
+  | _ ->
+      let seqs = List.map (fun f -> f.seq) frames in
+      let present = Hashtbl.create (List.length seqs) in
+      List.iter (fun s -> Hashtbl.replace present s ()) seqs;
+      let lo = List.fold_left min max_int seqs in
+      let hi = List.fold_left max min_int seqs in
+      let rec gaps s acc =
+        if s > hi then List.rev acc
+        else gaps (s + 1) (if Hashtbl.mem present s then acc else s :: acc)
+      in
+      gaps lo []
+
+let slots_covered frames =
+  List.fold_left (fun acc f -> acc + Array.length f.symbols) 0 frames

@@ -1,0 +1,51 @@
+(** Raw qframes: the VPN/OPC interface at the bottom of Fig 9.
+
+    The Optical Process Control computer hands the protocol engine its
+    raw symbols in framed batches ("Raw Qframes (Symbols)").  A qframe
+    carries a sequence number, the absolute slot of its first symbol,
+    and one packed symbol per slot; a CRC-32 protects the framing (the
+    OPC link is local, but a real-time FIFO can still drop or mangle).
+
+    Alice-side frames carry her modulator settings (2 bits per slot:
+    basis, value); Bob-side frames carry detector outcomes (2 bits per
+    slot: none / D0 / D1 / double).  Lost frames simply never arrive —
+    [missing_frames] finds the sequence gaps so the engine can exclude
+    those slots from sifting. *)
+
+type side = Alice_frames | Bob_frames
+
+type t = {
+  side : side;
+  seq : int;  (** frame sequence number *)
+  first_slot : int;
+  symbols : int array;  (** 2-bit symbols, one per slot *)
+}
+
+(** Bob-side symbol values (match [Sifting]'s conventions). *)
+val sym_none : int
+
+val sym_d0 : int
+val sym_d1 : int
+val sym_double : int
+
+(** [alice_frames link ~frame_size] packs Alice's modulator record. *)
+val alice_frames : Qkd_photonics.Link.result -> frame_size:int -> t list
+
+(** [bob_frames link ~frame_size] packs Bob's detection outcomes.
+    Frames the annunciator lost produce no qframe at all. *)
+val bob_frames : Qkd_photonics.Link.result -> frame_size:int -> t list
+
+(** [encode t] / [decode b] — the OPC FIFO wire format.
+    @raise Malformed on framing or CRC errors. *)
+val encode : t -> bytes
+
+exception Malformed of string
+
+val decode : bytes -> t
+
+(** [missing_frames frames] lists the sequence numbers absent from a
+    sorted-by-seq frame list (gaps between observed min and max). *)
+val missing_frames : t list -> int list
+
+(** [slots_covered frames] is the total symbol count. *)
+val slots_covered : t list -> int

@@ -1,0 +1,150 @@
+module Bs = Qkd_util.Bitstring
+
+type report = {
+  bits_tested : int;
+  monobit_ones : int;
+  poker_statistic : float;
+  max_run : int;
+  runs_total : int;
+  autocorrelation_lag1 : float;
+  passed : bool;
+  shorten_bits : int;
+}
+
+let log2 x = log x /. log 2.0
+
+let binary_entropy p =
+  if p <= 0.0 || p >= 1.0 then 0.0
+  else (-.p *. log2 p) -. ((1.0 -. p) *. log2 (1.0 -. p))
+
+let detector_bias_measure ~zeros ~ones =
+  let n = zeros + ones in
+  if n = 0 then 0
+  else begin
+    let nf = float_of_int n in
+    let p = float_of_int ones /. nf in
+    (* significant at 3 sigma of a fair binomial? *)
+    let sigma = 0.5 *. sqrt nf in
+    if abs_float (float_of_int ones -. (nf /. 2.0)) <= 3.0 *. sigma then 0
+    else begin
+      (* charge the min-entropy deficit of the observed bias *)
+      let deficit = nf *. (1.0 -. binary_entropy p) in
+      int_of_float (ceil deficit)
+    end
+  end
+
+let poker_statistic bits =
+  (* FIPS 140-1: split into 4-bit nibbles, X = 16/k * sum f_i^2 - k *)
+  let n = Bs.length bits in
+  let k = n / 4 in
+  if k = 0 then 0.0
+  else begin
+    let freq = Array.make 16 0 in
+    for i = 0 to k - 1 do
+      let v = ref 0 in
+      for j = 0 to 3 do
+        v := (!v lsl 1) lor (if Bs.get bits ((4 * i) + j) then 1 else 0)
+      done;
+      freq.(!v) <- freq.(!v) + 1
+    done;
+    let sumsq = Array.fold_left (fun acc f -> acc +. (float_of_int f ** 2.0)) 0.0 freq in
+    (16.0 /. float_of_int k *. sumsq) -. float_of_int k
+  end
+
+let run_lengths bits =
+  let n = Bs.length bits in
+  if n = 0 then (0, 0)
+  else begin
+    let max_run = ref 1 and runs = ref 1 and current = ref 1 in
+    for i = 1 to n - 1 do
+      if Bs.get bits i = Bs.get bits (i - 1) then begin
+        incr current;
+        if !current > !max_run then max_run := !current
+      end
+      else begin
+        incr runs;
+        current := 1
+      end
+    done;
+    (!max_run, !runs)
+  end
+
+let autocorrelation_lag1 bits =
+  let n = Bs.length bits in
+  if n < 2 then 0.0
+  else begin
+    let agree = ref 0 in
+    for i = 0 to n - 2 do
+      if Bs.get bits i = Bs.get bits (i + 1) then incr agree
+    done;
+    (* +1 = perfectly sticky, -1 = perfectly alternating, 0 = random *)
+    (2.0 *. float_of_int !agree /. float_of_int (n - 1)) -. 1.0
+  end
+
+let test bits =
+  let n = Bs.length bits in
+  let ones = Bs.popcount bits in
+  let zeros = n - ones in
+  let poker = poker_statistic bits in
+  let max_run, runs_total = run_lengths bits in
+  let ac1 = autocorrelation_lag1 bits in
+  if n < 256 then
+    {
+      bits_tested = n;
+      monobit_ones = ones;
+      poker_statistic = poker;
+      max_run;
+      runs_total;
+      autocorrelation_lag1 = ac1;
+      passed = true;
+      shorten_bits = 0;
+    }
+  else begin
+    let nf = float_of_int n in
+    (* Pass bounds scaled from the FIPS 140-1 20 000-bit battery. *)
+    let monobit_ok =
+      abs_float (float_of_int ones -. (nf /. 2.0)) <= 3.3 *. (0.5 *. sqrt nf)
+    in
+    (* X ~ chi^2 with 15 dof when random: mean 15, sd sqrt(30). *)
+    let poker_ok = poker < 15.0 +. (5.0 *. sqrt 30.0) in
+    (* P(run >= 26 somewhere in n fair bits) is astronomically small *)
+    let longrun_ok = max_run < 26 + int_of_float (log2 (nf /. 20_000.0) |> Float.max 0.0) in
+    (* expected runs = (n+1)/2, sd ~ sqrt(n)/2 *)
+    let runs_ok =
+      abs_float (float_of_int runs_total -. ((nf +. 1.0) /. 2.0))
+      <= 4.0 *. (sqrt nf /. 2.0)
+    in
+    let ac_ok = abs_float ac1 <= 4.0 /. sqrt nf in
+    let passed = monobit_ok && poker_ok && longrun_ok && runs_ok && ac_ok in
+    (* Shortening: bias deficit plus, when serial correlation is
+       significant, the first-order Markov min-entropy deficit. *)
+    let bias = detector_bias_measure ~zeros ~ones in
+    let serial =
+      if ac_ok then 0
+      else begin
+        let p_stick = (ac1 +. 1.0) /. 2.0 in
+        int_of_float (ceil (nf *. (1.0 -. binary_entropy p_stick)))
+      end
+    in
+    {
+      bits_tested = n;
+      monobit_ones = ones;
+      poker_statistic = poker;
+      max_run;
+      runs_total;
+      autocorrelation_lag1 = ac1;
+      passed;
+      shorten_bits = min n (bias + serial);
+    }
+  end
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>randomness over %d bits: %s@ ones %d (%.2f%%); poker X %.1f; max \
+     run %d; runs %d; lag-1 autocorr %+.4f@ shorten by r = %d bits@]"
+    r.bits_tested
+    (if r.passed then "PASS" else "SUSPECT")
+    r.monobit_ones
+    (100.0 *. float_of_int r.monobit_ones /. float_of_int (max 1 r.bits_tested))
+    r.poker_statistic r.max_run r.runs_total r.autocorrelation_lag1
+    r.shorten_bits

@@ -1,0 +1,41 @@
+(** Randomness testing of raw QKD bits.
+
+    §6 lists "an estimate of the information Eve might possess due to
+    non-randomness in the raw QKD bits (detector bias, for example)"
+    and admits the measure "is only a placeholder at the moment, until
+    randomness testing is put into the system.  We assume that this
+    testing will produce a measure in the form of a number of bits by
+    which to shorten the string."  This module puts that testing into
+    the system: the FIPS 140-1 battery (monobit, poker, runs, long-run)
+    plus a first-lag autocorrelation check, converted into exactly such
+    a shortening measure.
+
+    The conversion is deliberately conservative and simple: each test
+    yields an excess statistic above its expectation; the measure
+    charges the key min-entropy deficit implied by the observed bias
+    (e.g. a monobit excess of k ones beyond 3 sigma charges the bits
+    that a bias explaining it would leak). *)
+
+type report = {
+  bits_tested : int;
+  monobit_ones : int;  (** count of ones *)
+  poker_statistic : float;  (** FIPS 140-1 4-bit poker X *)
+  max_run : int;  (** longest run of identical bits *)
+  runs_total : int;  (** number of runs *)
+  autocorrelation_lag1 : float;  (** in [-1, 1] *)
+  passed : bool;  (** all tests within FIPS-style bounds *)
+  shorten_bits : int;  (** the paper's r: bits to discard *)
+}
+
+(** [test bits] runs the battery.  Strings shorter than 256 bits give
+    [shorten_bits = 0] and [passed = true] (too little data to judge,
+    and too little key to matter). *)
+val test : Qkd_util.Bitstring.t -> report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [detector_bias_measure ~zeros ~ones] is the standalone min-entropy
+    deficit (in bits) of a [zeros]/[ones] split: n·(1 − H(p̂)) when the
+    imbalance is statistically significant at 3 sigma, else 0.  Used by
+    [test] and exposed for detector-calibration tooling. *)
+val detector_bias_measure : zeros:int -> ones:int -> int

@@ -1,0 +1,119 @@
+module Bitstring = Qkd_util.Bitstring
+module Link = Qkd_photonics.Link
+module Detector = Qkd_photonics.Detector
+module Qubit = Qkd_photonics.Qubit
+
+let symbol_none = 0
+let symbol_basis0 = 1
+let symbol_basis1 = 2
+let symbol_double = 3
+
+let slot_symbols (link : Link.result) =
+  let symbols = Array.make link.Link.pulses symbol_none in
+  Array.iter
+    (fun (d : Link.detection) ->
+      symbols.(d.Link.slot) <-
+        (match d.Link.outcome with
+        | Detector.Double_click -> symbol_double
+        | Detector.Click _ -> (
+            match d.Link.bob_basis with
+            | Qubit.Basis0 -> symbol_basis0
+            | Qubit.Basis1 -> symbol_basis1)
+        | Detector.No_click -> symbol_none))
+    link.Link.detections;
+  symbols
+
+let bob_report link =
+  Wire.Sift_report { first_slot = 0; symbols = Qkd_util.Rle.encode (slot_symbols link) }
+
+let alice_response (link : Link.result) report =
+  match report with
+  | Wire.Sift_report { first_slot; symbols } ->
+      let symbols = Qkd_util.Rle.decode symbols in
+      (* One accept bit per reported single click, in slot order. *)
+      let accepts = ref [] in
+      Array.iteri
+        (fun i sym ->
+          if sym = symbol_basis0 || sym = symbol_basis1 then begin
+            let slot = first_slot + i in
+            let bob_basis = if sym = symbol_basis1 then Qubit.Basis1 else Qubit.Basis0 in
+            let ok =
+              Qubit.basis_equal bob_basis (Link.alice_basis link slot)
+              (* entangled sources: Alice must have registered her half *)
+              && Qkd_util.Bitstring.get link.Link.alice_detected slot
+            in
+            accepts := (if ok then 1 else 0) :: !accepts
+          end)
+        symbols;
+      let accepted = Array.of_list (List.rev !accepts) in
+      Wire.Sift_response { accepted = Qkd_util.Rle.encode accepted }
+  | _ -> raise (Wire.Malformed "alice_response: expected a sift report")
+
+type outcome = {
+  slots : int array;
+  alice_bits : Bitstring.t;
+  bob_bits : Bitstring.t;
+  detections : int;
+  double_clicks : int;
+  basis_mismatches : int;
+  report_bytes : int;
+  response_bytes : int;
+}
+
+let sift (link : Link.result) =
+  let report = bob_report link in
+  let response = alice_response link report in
+  let accepted =
+    match response with
+    | Wire.Sift_response { accepted } -> Qkd_util.Rle.decode accepted
+    | _ -> assert false
+  in
+  (* Both sides walk their records in slot order against the accept
+     mask; index i of [accepted] corresponds to the i-th single click. *)
+  let detections = ref 0 and doubles = ref 0 and mismatches = ref 0 in
+  let slots = ref [] in
+  Array.iter
+    (fun (d : Link.detection) ->
+      match d.Link.outcome with
+      | Detector.Double_click -> incr doubles
+      | Detector.Click _ ->
+          let i = !detections in
+          incr detections;
+          if i < Array.length accepted && accepted.(i) = 1 then
+            slots := d.Link.slot :: !slots
+          else incr mismatches
+      | Detector.No_click -> ())
+    link.Link.detections;
+  let slots = Array.of_list (List.rev !slots) in
+  let n = Array.length slots in
+  let alice_bits = Bitstring.create n in
+  let bob_bits = Bitstring.create n in
+  let bob_value = Hashtbl.create (Array.length link.Link.detections) in
+  Array.iter
+    (fun (d : Link.detection) ->
+      match d.Link.outcome with
+      | Detector.Click v -> Hashtbl.replace bob_value d.Link.slot v
+      | Detector.Double_click | Detector.No_click -> ())
+    link.Link.detections;
+  Array.iteri
+    (fun i slot ->
+      Bitstring.set alice_bits i (Link.alice_value link slot);
+      Bitstring.set bob_bits i (Hashtbl.find bob_value slot))
+    slots;
+  {
+    slots;
+    alice_bits;
+    bob_bits;
+    detections = !detections;
+    double_clicks = !doubles;
+    basis_mismatches = !mismatches;
+    report_bytes = Wire.encoded_size report;
+    response_bytes = Wire.encoded_size response;
+  }
+
+let qber outcome =
+  let n = Bitstring.length outcome.alice_bits in
+  if n = 0 then 0.0
+  else
+    float_of_int (Bitstring.hamming_distance outcome.alice_bits outcome.bob_bits)
+    /. float_of_int n

@@ -1,0 +1,227 @@
+module Bitstring = Qkd_util.Bitstring
+
+type msg =
+  | Sift_report of { first_slot : int; symbols : bytes }
+  | Sift_response of { accepted : bytes }
+  | Ec_parities of { round : int; seeds : int32 array; parities : Bitstring.t }
+  | Ec_mismatch of { round : int; subset_ids : int array }
+  | Ec_bisect of { subset_id : int; lo : int; hi : int; parity : bool }
+  | Ec_flip of { index : int }
+  | Ec_verify of { seed : int32; parity : bool }
+  | Pa_params of {
+      n : int;
+      m : int;
+      modulus_terms : int list;
+      multiplier : Bitstring.t;
+      addend : Bitstring.t;
+    }
+  | Auth_tag of { tag : Bitstring.t }
+  | Ike_payload of bytes
+
+exception Malformed of string
+
+let pp ppf = function
+  | Sift_report { first_slot; symbols } ->
+      Format.fprintf ppf "Sift_report{first_slot=%d; %d bytes}" first_slot
+        (Bytes.length symbols)
+  | Sift_response { accepted } ->
+      Format.fprintf ppf "Sift_response{%d bytes}" (Bytes.length accepted)
+  | Ec_parities { round; seeds; parities } ->
+      Format.fprintf ppf "Ec_parities{round=%d; %d subsets; %d parity bits}"
+        round (Array.length seeds) (Bitstring.length parities)
+  | Ec_mismatch { round; subset_ids } ->
+      Format.fprintf ppf "Ec_mismatch{round=%d; %d subsets}" round
+        (Array.length subset_ids)
+  | Ec_bisect { subset_id; lo; hi; parity } ->
+      Format.fprintf ppf "Ec_bisect{subset=%d; [%d,%d); parity=%b}" subset_id
+        lo hi parity
+  | Ec_flip { index } -> Format.fprintf ppf "Ec_flip{%d}" index
+  | Ec_verify { seed; parity } ->
+      Format.fprintf ppf "Ec_verify{seed=%ld; parity=%b}" seed parity
+  | Pa_params { n; m; modulus_terms; _ } ->
+      Format.fprintf ppf "Pa_params{n=%d; m=%d; modulus=[%s]}" n m
+        (String.concat ";" (List.map string_of_int modulus_terms))
+  | Auth_tag { tag } -> Format.fprintf ppf "Auth_tag{%d bits}" (Bitstring.length tag)
+  | Ike_payload b -> Format.fprintf ppf "Ike_payload{%d bytes}" (Bytes.length b)
+
+(* -- primitive put/get -- *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let put_u32 buf v =
+  for i = 3 downto 0 do
+    put_u8 buf (v lsr (8 * i))
+  done
+
+let put_i32 buf (v : int32) = put_u32 buf (Int32.to_int (Int32.logand v 0xFFFFFFFFl))
+
+let put_bytes buf b =
+  put_u32 buf (Bytes.length b);
+  Buffer.add_bytes buf b
+
+let put_bits buf bits =
+  put_u32 buf (Bitstring.length bits);
+  Buffer.add_bytes buf (Bitstring.to_bytes bits)
+
+let put_bool buf b = put_u8 buf (if b then 1 else 0)
+
+type reader = { data : bytes; mutable pos : int }
+
+let need r n =
+  if r.pos + n > Bytes.length r.data then raise (Malformed "truncated payload")
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code (Bytes.get r.data r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  need r 4;
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    v := (!v lsl 8) lor Char.code (Bytes.get r.data r.pos);
+    r.pos <- r.pos + 1
+  done;
+  !v
+
+let get_i32 r = Int32.of_int (get_u32 r)
+
+let get_bytes r =
+  let n = get_u32 r in
+  need r n;
+  let b = Bytes.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  b
+
+let get_bits r =
+  let nbits = get_u32 r in
+  let nbytes = (nbits + 7) / 8 in
+  need r nbytes;
+  let b = Bitstring.of_bytes (Bytes.sub r.data r.pos nbytes) nbits in
+  r.pos <- r.pos + nbytes;
+  b
+
+let get_bool r = get_u8 r <> 0
+
+(* -- message payloads -- *)
+
+let type_byte = function
+  | Sift_report _ -> 1
+  | Sift_response _ -> 2
+  | Ec_parities _ -> 3
+  | Ec_mismatch _ -> 4
+  | Ec_bisect _ -> 5
+  | Ec_flip _ -> 6
+  | Ec_verify _ -> 7
+  | Pa_params _ -> 8
+  | Auth_tag _ -> 9
+  | Ike_payload _ -> 10
+
+let encode_payload buf = function
+  | Sift_report { first_slot; symbols } ->
+      put_u32 buf first_slot;
+      put_bytes buf symbols
+  | Sift_response { accepted } -> put_bytes buf accepted
+  | Ec_parities { round; seeds; parities } ->
+      put_u32 buf round;
+      put_u32 buf (Array.length seeds);
+      Array.iter (put_i32 buf) seeds;
+      put_bits buf parities
+  | Ec_mismatch { round; subset_ids } ->
+      put_u32 buf round;
+      put_u32 buf (Array.length subset_ids);
+      Array.iter (put_u32 buf) subset_ids
+  | Ec_bisect { subset_id; lo; hi; parity } ->
+      put_u32 buf subset_id;
+      put_u32 buf lo;
+      put_u32 buf hi;
+      put_bool buf parity
+  | Ec_flip { index } -> put_u32 buf index
+  | Ec_verify { seed; parity } ->
+      put_i32 buf seed;
+      put_bool buf parity
+  | Pa_params { n; m; modulus_terms; multiplier; addend } ->
+      put_u32 buf n;
+      put_u32 buf m;
+      put_u32 buf (List.length modulus_terms);
+      List.iter (put_u32 buf) modulus_terms;
+      put_bits buf multiplier;
+      put_bits buf addend
+  | Auth_tag { tag } -> put_bits buf tag
+  | Ike_payload b -> put_bytes buf b
+
+let decode_payload ty r =
+  match ty with
+  | 1 ->
+      let first_slot = get_u32 r in
+      Sift_report { first_slot; symbols = get_bytes r }
+  | 2 -> Sift_response { accepted = get_bytes r }
+  | 3 ->
+      let round = get_u32 r in
+      let n = get_u32 r in
+      let seeds = Array.init n (fun _ -> get_i32 r) in
+      Ec_parities { round; seeds; parities = get_bits r }
+  | 4 ->
+      let round = get_u32 r in
+      let n = get_u32 r in
+      Ec_mismatch { round; subset_ids = Array.init n (fun _ -> get_u32 r) }
+  | 5 ->
+      let subset_id = get_u32 r in
+      let lo = get_u32 r in
+      let hi = get_u32 r in
+      Ec_bisect { subset_id; lo; hi; parity = get_bool r }
+  | 6 -> Ec_flip { index = get_u32 r }
+  | 7 ->
+      let seed = get_i32 r in
+      Ec_verify { seed; parity = get_bool r }
+  | 8 ->
+      let n = get_u32 r in
+      let m = get_u32 r in
+      let nterms = get_u32 r in
+      let modulus_terms = List.init nterms (fun _ -> get_u32 r) in
+      let multiplier = get_bits r in
+      let addend = get_bits r in
+      Pa_params { n; m; modulus_terms; multiplier; addend }
+  | 9 -> Auth_tag { tag = get_bits r }
+  | 10 -> Ike_payload (get_bytes r)
+  | ty -> raise (Malformed (Printf.sprintf "unknown message type %d" ty))
+
+let encode msg =
+  let payload = Buffer.create 64 in
+  encode_payload payload msg;
+  let payload = Buffer.to_bytes payload in
+  let buf = Buffer.create (Bytes.length payload + 10) in
+  put_u8 buf 0xC5;
+  put_u8 buf (type_byte msg);
+  put_u32 buf (Bytes.length payload);
+  Buffer.add_bytes buf payload;
+  let body = Buffer.to_bytes buf in
+  let crc = Qkd_util.Crc32.digest body in
+  let out = Buffer.create (Bytes.length body + 4) in
+  Buffer.add_bytes out body;
+  put_i32 out crc;
+  Buffer.to_bytes out
+
+let decode b =
+  let total = Bytes.length b in
+  if total < 10 then raise (Malformed "frame too short");
+  if Char.code (Bytes.get b 0) <> 0xC5 then raise (Malformed "bad magic");
+  let body = Bytes.sub b 0 (total - 4) in
+  let crc_read = Bytes.sub b (total - 4) 4 in
+  let crc = Qkd_util.Crc32.digest body in
+  let crc_bytes =
+    Bytes.init 4 (fun i ->
+        Char.chr
+          (Int32.to_int (Int32.logand (Int32.shift_right_logical crc (8 * (3 - i))) 0xFFl)))
+  in
+  if not (Bytes.equal crc_read crc_bytes) then raise (Malformed "CRC mismatch");
+  let r = { data = body; pos = 1 } in
+  let ty = get_u8 r in
+  let len = get_u32 r in
+  if len <> Bytes.length body - 6 then raise (Malformed "length mismatch");
+  let msg = decode_payload ty r in
+  if r.pos <> Bytes.length body then raise (Malformed "trailing bytes");
+  msg
+
+let encoded_size msg = Bytes.length (encode msg)

@@ -1,0 +1,50 @@
+(** Wire format for QKD protocol messages on the public channel.
+
+    Everything Alice and Bob exchange — sift reports, Cascade parities,
+    privacy-amplification parameters, authentication tags — is framed
+    here so the simulator can meter exactly how many public-channel
+    bytes each protocol stage costs (the paper stresses minimising
+    disclosure and compressing sift traffic).
+
+    Frame layout: magic byte, type byte, 4-byte big-endian payload
+    length, payload, CRC-32 of everything before it.  The CRC detects
+    corruption; authenticity is the Wegman–Carter layer's business. *)
+
+type msg =
+  | Sift_report of { first_slot : int; symbols : bytes }
+      (** Bob -> Alice: RLE-encoded per-slot detection symbols
+          (0 none, 1 basis0, 2 basis1, 3 double-click). *)
+  | Sift_response of { accepted : bytes }
+      (** Alice -> Bob: RLE bit per reported single detection. *)
+  | Ec_parities of { round : int; seeds : int32 array; parities : Qkd_util.Bitstring.t }
+      (** parities of LFSR-seeded subsets over the working block. *)
+  | Ec_mismatch of { round : int; subset_ids : int array }
+      (** subsets whose parity disagrees. *)
+  | Ec_bisect of { subset_id : int; lo : int; hi : int; parity : bool }
+      (** one binary-search step inside a mismatched subset. *)
+  | Ec_flip of { index : int }  (** Bob announces the corrected position. *)
+  | Ec_verify of { seed : int32; parity : bool }
+      (** final whole-block check parity. *)
+  | Pa_params of {
+      n : int;
+      m : int;
+      modulus_terms : int list;
+      multiplier : Qkd_util.Bitstring.t;
+      addend : Qkd_util.Bitstring.t;
+    }
+  | Auth_tag of { tag : Qkd_util.Bitstring.t }
+  | Ike_payload of bytes  (** opaque IKE traffic riding the channel *)
+
+val pp : Format.formatter -> msg -> unit
+
+(** [encode msg] frames a message. *)
+val encode : msg -> bytes
+
+exception Malformed of string
+
+(** [decode b] parses a frame.  @raise Malformed on bad magic, length,
+    CRC or payload structure. *)
+val decode : bytes -> msg
+
+(** [encoded_size msg] is [Bytes.length (encode msg)]. *)
+val encoded_size : msg -> int

@@ -1,0 +1,1 @@
+lib/util/bitstring.ml: Array Bytes Char Format List String

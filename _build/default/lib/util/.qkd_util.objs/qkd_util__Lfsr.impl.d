@@ -1,0 +1,1 @@
+lib/util/lfsr.ml: Bitstring Int32

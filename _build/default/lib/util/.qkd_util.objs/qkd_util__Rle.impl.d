@@ -1,0 +1,1 @@
+lib/util/rle.ml: Array Bitstring Buffer Bytes Char

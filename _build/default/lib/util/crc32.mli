@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected).
+
+    Used as the integrity check on QKD wire frames — corruption
+    detection only; authentication is the Wegman–Carter layer's job. *)
+
+(** [digest b] is the CRC-32 of the whole buffer. *)
+val digest : bytes -> int32
+
+(** [digest_sub b ~pos ~len] checksums a slice.
+    @raise Invalid_argument if the slice is out of range. *)
+val digest_sub : bytes -> pos:int -> len:int -> int32

@@ -1,0 +1,11 @@
+(** Hexadecimal rendering and parsing, for logs and test vectors. *)
+
+(** [encode b] is lowercase hex, two characters per byte. *)
+val encode : bytes -> string
+
+(** [encode_string s] is [encode] over a string's bytes. *)
+val encode_string : string -> string
+
+(** [decode s] parses hex (case-insensitive).
+    @raise Invalid_argument on odd length or non-hex characters. *)
+val decode : string -> bytes

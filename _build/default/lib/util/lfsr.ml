@@ -1,0 +1,30 @@
+type t = { mutable state : int32; seed : int32 }
+
+let fixup seed = if seed = 0l then 1l else seed
+
+let create seed =
+  let s = fixup seed in
+  { state = s; seed = s }
+
+let seed t = t.seed
+
+(* Fibonacci LFSR, polynomial x^32 + x^22 + x^2 + x + 1: feedback is the
+   XOR of bits 31, 21, 1 and 0 of the state. *)
+let next_bit t =
+  let s = t.state in
+  let bit p = Int32.to_int (Int32.shift_right_logical s p) land 1 in
+  let out = bit 0 in
+  let fb = bit 31 lxor bit 21 lxor bit 1 lxor bit 0 in
+  t.state <-
+    Int32.logor
+      (Int32.shift_right_logical s 1)
+      (Int32.shift_left (Int32.of_int fb) 31);
+  out = 1
+
+let subset seed ~len =
+  let t = create seed in
+  let mask = Bitstring.create len in
+  for i = 0 to len - 1 do
+    Bitstring.set mask i (next_bit t)
+  done;
+  mask

@@ -1,0 +1,27 @@
+(** 32-bit linear-feedback shift register.
+
+    The BBN Cascade variant (paper §5) identifies each pseudo-random
+    parity subset by the 32-bit seed of an LFSR; both sides regenerate
+    the same subset from the seed, so only 32 bits travel on the public
+    channel per subset.  This is that generator: a Fibonacci LFSR over
+    the primitive polynomial x^32 + x^22 + x^2 + x + 1 (taps 32, 22, 2,
+    1), period 2^32 - 1. *)
+
+type t
+
+(** [create seed] initialises the register.  A zero seed is mapped to 1,
+    since the all-zero state is a fixed point. *)
+val create : int32 -> t
+
+(** [seed t] is the seed the register was created with (after the
+    zero-fixup), i.e. what travels on the wire. *)
+val seed : t -> int32
+
+(** [next_bit t] steps the register once and returns the output bit. *)
+val next_bit : t -> bool
+
+(** [subset seed ~len] is the membership mask over [len] positions
+    produced by running the LFSR from [seed]: position [i] belongs to
+    the subset when the [i]-th output bit is set.  Deterministic in
+    [seed], so Alice and Bob derive identical subsets. *)
+val subset : int32 -> len:int -> Bitstring.t

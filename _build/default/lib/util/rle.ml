@@ -1,0 +1,81 @@
+let put_varint buf n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let low = !n land 0x7F in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr low);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (low lor 0x80))
+  done
+
+let get_varint b pos =
+  let n = ref 0 and shift = ref 0 and p = ref pos and continue = ref true in
+  while !continue do
+    if !p >= Bytes.length b then invalid_arg "Rle: truncated varint";
+    let c = Char.code (Bytes.get b !p) in
+    incr p;
+    n := !n lor ((c land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    if c land 0x80 = 0 then continue := false
+  done;
+  (!n, !p)
+
+let iter_runs symbols f =
+  let n = Array.length symbols in
+  let i = ref 0 in
+  while !i < n do
+    let sym = symbols.(!i) in
+    if sym < 0 || sym > 255 then invalid_arg "Rle: symbol out of byte range";
+    let j = ref (!i + 1) in
+    while !j < n && symbols.(!j) = sym do
+      incr j
+    done;
+    f sym (!j - !i);
+    i := !j
+  done
+
+let encode symbols =
+  let buf = Buffer.create 64 in
+  put_varint buf (Array.length symbols);
+  iter_runs symbols (fun sym run ->
+      Buffer.add_char buf (Char.chr sym);
+      put_varint buf run);
+  Buffer.to_bytes buf
+
+let varint_size n =
+  let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+  go n 1
+
+let encoded_size symbols =
+  let size = ref (varint_size (Array.length symbols)) in
+  iter_runs symbols (fun _ run -> size := !size + 1 + varint_size run);
+  !size
+
+let decode b =
+  let total, pos = get_varint b 0 in
+  let out = Array.make total 0 in
+  let i = ref 0 and p = ref pos in
+  while !i < total do
+    if !p >= Bytes.length b then invalid_arg "Rle: truncated run";
+    let sym = Char.code (Bytes.get b !p) in
+    let run, p' = get_varint b (!p + 1) in
+    if run = 0 || !i + run > total then invalid_arg "Rle: bad run length";
+    Array.fill out !i run sym;
+    i := !i + run;
+    p := p'
+  done;
+  out
+
+let encode_bits bits =
+  encode
+    (Array.init (Bitstring.length bits) (fun i ->
+         if Bitstring.get bits i then 1 else 0))
+
+let decode_bits b =
+  let symbols = decode b in
+  let bits = Bitstring.create (Array.length symbols) in
+  Array.iteri (fun i s -> Bitstring.set bits i (s <> 0)) symbols;
+  bits

@@ -1,0 +1,28 @@
+(** Run-length encoding for sifting messages.
+
+    The paper's Appendix lists run-length encoding as the sifting
+    technique: the detection report Bob sends Alice is overwhelmingly
+    "no detection" (99 % of slots at metro distances), so encoding runs
+    of identical symbols compresses it dramatically.
+
+    The wire format is a sequence of (symbol, run-length) pairs with
+    run-lengths as LEB128-style varints, preceded by the total symbol
+    count. *)
+
+(** [encode symbols] compresses a symbol sequence.  Symbols must fit in
+    a byte (0..255).
+    @raise Invalid_argument otherwise. *)
+val encode : int array -> bytes
+
+(** [decode b] recovers the symbol sequence.
+    @raise Invalid_argument on malformed input. *)
+val decode : bytes -> int array
+
+(** [encoded_size symbols] is [Bytes.length (encode symbols)] without
+    materialising the encoding — used by channel-traffic accounting. *)
+val encoded_size : int array -> int
+
+(** [encode_bits bits] specialises to a bit string (symbols 0/1). *)
+val encode_bits : Bitstring.t -> bytes
+
+val decode_bits : bytes -> Bitstring.t

@@ -1,0 +1,92 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+(* splitmix64 output function (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = int64 t }
+
+let bits t n =
+  let b = Bitstring.create n in
+  let i = ref 0 in
+  while !i < n do
+    let w = ref (int64 t) in
+    let stop = min n (!i + 64) in
+    while !i < stop do
+      Bitstring.set b !i (Int64.logand !w 1L = 1L);
+      w := Int64.shift_right_logical !w 1;
+      incr i
+    done
+  done;
+  b
+
+let float t =
+  (* Top 53 bits scaled to [0,1). *)
+  let x = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int bound64) in
+  let rec draw () =
+    let x = Int64.shift_right_logical (int64 t) 1 in
+    if x >= limit then draw () else Int64.to_int (Int64.rem x bound64)
+  in
+  draw ()
+
+let poisson t mu =
+  if mu < 0.0 then invalid_arg "Rng.poisson: negative mean";
+  if mu = 0.0 then 0
+  else begin
+    (* Inversion by sequential search; fine for the mu <= O(10) used by
+       weak-coherent sources. *)
+    let l = exp (-.mu) in
+    let rec go k p =
+      let p = p *. float t in
+      if p <= l then k else go (k + 1) p
+    in
+    go 0 1.0
+  end
+
+let exponential t rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (1.0 -. float t) /. rate
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let bytes t n =
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let w = ref (int64 t) in
+    let stop = min n (!i + 8) in
+    while !i < stop do
+      Bytes.set b !i (Char.chr (Int64.to_int (Int64.logand !w 0xFFL)));
+      w := Int64.shift_right_logical !w 8;
+      incr i
+    done
+  done;
+  b

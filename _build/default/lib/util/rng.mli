@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic behaviour in the simulator — photon statistics, basis
+    choices, channel loss, failure injection — draws from an explicit
+    [Rng.t] so every experiment is reproducible from a seed.  The
+    generator is splitmix64: small state, good statistical quality, and
+    cheap [split] for giving independent streams to independent
+    subsystems. *)
+
+type t
+
+(** [create seed] is a fresh generator. *)
+val create : int64 -> t
+
+(** [split t] derives an independent generator; [t] advances. *)
+val split : t -> t
+
+(** [int64 t] is the next raw 64-bit output. *)
+val int64 : t -> int64
+
+(** [bits t n] is a uniformly random [n]-bit string, [0 <= n]. *)
+val bits : t -> int -> Bitstring.t
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [bernoulli t p] is true with probability [p] (clamped to [\[0,1\]]). *)
+val bernoulli : t -> float -> bool
+
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [poisson t mu] samples a Poisson random variate with mean [mu],
+    by inversion for small [mu] (the weak-coherent regime, mu <= 30). *)
+val poisson : t -> float -> int
+
+(** [exponential t rate] samples Exp(rate), for event inter-arrivals. *)
+val exponential : t -> float -> float
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [bytes t n] is [n] uniformly random bytes. *)
+val bytes : t -> int -> bytes

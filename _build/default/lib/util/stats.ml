@@ -1,0 +1,62 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    ss /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = rank -. float_of_int lo in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let binomial_ci ~k ~n ~z =
+  if n = 0 then (0.0, 1.0)
+  else begin
+    let nf = float_of_int n in
+    let p = float_of_int k /. nf in
+    let se = sqrt (p *. (1.0 -. p) /. nf) in
+    (max 0.0 (p -. (z *. se)), min 1.0 (p +. (z *. se)))
+  end
+
+let binomial_sd ~p ~n = sqrt (float_of_int n *. p *. (1.0 -. p))
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+let histogram ~bins ~lo ~hi xs =
+  if bins <= 0 || hi <= lo then invalid_arg "Stats.histogram";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  let bucket x =
+    let i = int_of_float ((x -. lo) /. width) in
+    if i < 0 then 0 else if i >= bins then bins - 1 else i
+  in
+  Array.iter (fun x -> counts.(bucket x) <- counts.(bucket x) + 1) xs;
+  { lo; hi; counts }
+
+let pp_histogram ppf h =
+  let bins = Array.length h.counts in
+  let width = (h.hi -. h.lo) /. float_of_int bins in
+  let peak = Array.fold_left max 1 h.counts in
+  Array.iteri
+    (fun i c ->
+      let bar = String.make (c * 40 / peak) '#' in
+      Format.fprintf ppf "[%8.3f, %8.3f) %6d %s@."
+        (h.lo +. (float_of_int i *. width))
+        (h.lo +. (float_of_int (i + 1) *. width))
+        c bar)
+    h.counts

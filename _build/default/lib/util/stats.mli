@@ -1,0 +1,36 @@
+(** Small statistics toolkit for experiment harnesses.
+
+    Everything the benchmark tables need: sample moments, binomial
+    confidence intervals for QBER-style rate estimates, percentiles and
+    fixed-width histograms. *)
+
+val mean : float array -> float
+
+(** [variance xs] is the unbiased sample variance (n-1 denominator);
+    0 for fewer than two samples. *)
+val variance : float array -> float
+
+val stddev : float array -> float
+
+(** [percentile xs p] is the [p]-th percentile (0..100) by linear
+    interpolation on the sorted samples.
+    @raise Invalid_argument on an empty array. *)
+val percentile : float array -> float -> float
+
+(** [binomial_ci ~k ~n ~z] is the Wald interval [(lo, hi)] for a
+    proportion with [k] successes out of [n] trials at [z] standard
+    errors, clamped to [\[0,1\]].  [n = 0] gives [(0., 1.)]. *)
+val binomial_ci : k:int -> n:int -> z:float -> float * float
+
+(** [binomial_sd ~p ~n] is the standard deviation of a count with
+    success probability [p] over [n] trials, [sqrt (n p (1-p))]. *)
+val binomial_sd : p:float -> n:int -> float
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+(** [histogram ~bins ~lo ~hi xs] buckets samples into [bins] equal
+    cells; out-of-range samples clamp to the end cells. *)
+val histogram : bins:int -> lo:float -> hi:float -> float array -> histogram
+
+(** [pp_histogram] renders one line per bucket with a bar. *)
+val pp_histogram : Format.formatter -> histogram -> unit

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Qkd_core Qkd_ipsec Qkd_photonics Qkd_protocol

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char List Printf QCheck QCheck_alcotest Qkd_crypto Qkd_util String

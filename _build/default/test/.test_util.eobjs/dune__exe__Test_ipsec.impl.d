@@ -1,0 +1,1 @@
+test/test_ipsec.ml: Alcotest Bytes Char Int32 List Printf QCheck QCheck_alcotest Qkd_crypto Qkd_ipsec Qkd_protocol Qkd_util String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List Printf Qkd_net Qkd_photonics Qkd_protocol Qkd_util Result

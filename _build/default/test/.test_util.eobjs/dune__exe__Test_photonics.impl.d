@@ -1,0 +1,1 @@
+test/test_photonics.ml: Alcotest Array Float Hashtbl Qkd_photonics Qkd_protocol Qkd_util

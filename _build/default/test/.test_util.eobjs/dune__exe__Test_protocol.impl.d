@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Bytes Hashtbl Int64 List QCheck QCheck_alcotest Qkd_photonics Qkd_protocol Qkd_util

@@ -1,0 +1,108 @@
+(* Tests for qkd_core: the assembled QKD + VPN system. *)
+
+module System = Qkd_core.System
+module Engine = Qkd_protocol.Engine
+module Vpn = Qkd_ipsec.Vpn
+module Link = Qkd_photonics.Link
+module Eve = Qkd_photonics.Eve
+module Key_pool = Qkd_protocol.Key_pool
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The default 2M-pulse rounds: smaller batches cannot amortise the
+   per-round authentication and Cascade overheads and distil almost
+   nothing (that economics is itself asserted below). *)
+let small_config = System.default_config
+
+let test_system_advances_and_delivers () =
+  let sys = System.create small_config in
+  System.advance sys ~seconds:10.0;
+  let r = System.report sys in
+  Alcotest.(check (float 1e-6)) "clock" 10.0 r.System.simulated_s;
+  check "rounds ran" true (r.System.qkd_rounds >= 4);
+  check_int "no failures" 0 r.System.qkd_round_failures;
+  check "key distilled" true (r.System.distilled_bits_total > 0)
+
+let test_system_vpn_carries_traffic () =
+  let sys = System.create small_config in
+  System.advance sys ~seconds:40.0;
+  let r = System.report sys in
+  check "packets attempted" true (r.System.vpn.Vpn.attempted > 1000);
+  (* startup drops are expected while the first key accumulates: at
+     ~100 net distilled bits per 1M-pulse round it takes ~20 s to
+     afford the first 2x1024-bit qblock negotiation *)
+  check "delivers once keyed" true
+    (float_of_int r.System.vpn.Vpn.delivered
+     /. float_of_int r.System.vpn.Vpn.attempted
+    > 0.25);
+  check_int "no blackholes" 0 r.System.vpn.Vpn.blackholed
+
+let test_system_last_round_metrics_sane () =
+  let sys = System.create small_config in
+  System.advance sys ~seconds:5.0;
+  match (System.report sys).System.last_round with
+  | Some m ->
+      check "qber band" true (m.Engine.qber > 0.03 && m.Engine.qber < 0.11);
+      check "sifted" true (m.Engine.sifted_bits > 500)
+  | None -> Alcotest.fail "no round recorded"
+
+let test_system_eavesdropper_starves_vpn () =
+  let config =
+    {
+      small_config with
+      System.engine =
+        {
+          Engine.default_config with
+          Engine.link = { Link.darpa_default with Link.eve = Eve.Intercept_resend 1.0 };
+        };
+    }
+  in
+  let sys = System.create config in
+  System.advance sys ~seconds:20.0;
+  let r = System.report sys in
+  (* Eve's disturbance must stop key delivery entirely... *)
+  check_int "no key distilled" 0 r.System.distilled_bits_total;
+  (* ...and the VPN shows it: every packet dropped for lack of key *)
+  check_int "vpn starved" 0 r.System.vpn.Vpn.delivered
+
+let test_system_small_rounds_uneconomic () =
+  (* the flip side of the default: 250k-pulse rounds pay the fixed
+     costs and distil essentially nothing *)
+  let tiny = { System.default_config with System.pulses_per_round = 250_000 } in
+  let sys = System.create tiny in
+  System.advance sys ~seconds:10.0;
+  let big = System.create small_config in
+  System.advance big ~seconds:10.0;
+  check "small rounds yield less" true
+    ((System.report sys).System.distilled_bits_total
+    < (System.report big).System.distilled_bits_total / 2)
+
+let test_system_negative_time_rejected () =
+  let sys = System.create small_config in
+  Alcotest.check_raises "negative" (Invalid_argument "System.advance: negative time")
+    (fun () -> System.advance sys ~seconds:(-1.0))
+
+let test_system_incremental_advance_equivalent () =
+  (* advancing in pieces must not lose rounds *)
+  let sys = System.create small_config in
+  System.advance sys ~seconds:3.0;
+  System.advance sys ~seconds:3.0;
+  System.advance sys ~seconds:4.0;
+  let r = System.report sys in
+  check "rounds accumulated" true (r.System.qkd_rounds >= 4)
+
+let () =
+  Alcotest.run "qkd_core"
+    [
+      ( "system",
+        [
+          Alcotest.test_case "advances and delivers" `Slow test_system_advances_and_delivers;
+          Alcotest.test_case "vpn carries traffic" `Slow test_system_vpn_carries_traffic;
+          Alcotest.test_case "round metrics sane" `Slow test_system_last_round_metrics_sane;
+          Alcotest.test_case "eve starves vpn" `Slow test_system_eavesdropper_starves_vpn;
+          Alcotest.test_case "small rounds uneconomic" `Slow test_system_small_rounds_uneconomic;
+          Alcotest.test_case "negative time" `Quick test_system_negative_time_rejected;
+          Alcotest.test_case "incremental advance" `Slow test_system_incremental_advance_equivalent;
+        ] );
+    ]

@@ -1,0 +1,846 @@
+(* Tests for qkd_ipsec: packets, SAs, ESP, SPD, IKE with QKD
+   extensions, gateways and the assembled VPN. *)
+
+module Packet = Qkd_ipsec.Packet
+module Sa = Qkd_ipsec.Sa
+module Esp = Qkd_ipsec.Esp
+module Spd = Qkd_ipsec.Spd
+module Ike = Qkd_ipsec.Ike
+module Gateway = Qkd_ipsec.Gateway
+module Vpn = Qkd_ipsec.Vpn
+module Le = Qkd_ipsec.Link_encryption
+module Isakmp = Qkd_ipsec.Isakmp
+module Qtls = Qkd_ipsec.Quantum_tls
+module Key_pool = Qkd_protocol.Key_pool
+module Otp = Qkd_crypto.Otp
+module Bs = Qkd_util.Bitstring
+module Rng = Qkd_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- Packet -- *)
+
+let test_addr_roundtrip () =
+  let a = Packet.addr_of_string "192.1.99.34" in
+  Alcotest.(check string) "roundtrip" "192.1.99.34" (Packet.addr_to_string a)
+
+let test_addr_invalid () =
+  Alcotest.check_raises "octet" (Invalid_argument "Packet.addr_of_string: bad octet")
+    (fun () -> ignore (Packet.addr_of_string "1.2.3.299"));
+  Alcotest.check_raises "shape" (Invalid_argument "Packet.addr_of_string: expected a.b.c.d")
+    (fun () -> ignore (Packet.addr_of_string "1.2.3"))
+
+let test_subnet_match () =
+  let net = Packet.addr_of_string "10.1.0.0" in
+  check "inside /16" true
+    (Packet.in_subnet (Packet.addr_of_string "10.1.77.3") ~net ~prefix:16);
+  check "outside /16" false
+    (Packet.in_subnet (Packet.addr_of_string "10.2.0.1") ~net ~prefix:16);
+  check "/0 matches all" true
+    (Packet.in_subnet (Packet.addr_of_string "8.8.8.8") ~net ~prefix:0)
+
+let test_packet_serialize_parse () =
+  let p =
+    Packet.make
+      ~src:(Packet.addr_of_string "10.1.0.5")
+      ~dst:(Packet.addr_of_string "10.2.0.7")
+      ~protocol:Packet.proto_udp ~ident:42 (Bytes.of_string "payload!")
+  in
+  let p' = Packet.parse (Packet.serialize p) in
+  check "roundtrip" true (p = p')
+
+let test_packet_checksum_detects_corruption () =
+  let p =
+    Packet.make
+      ~src:(Packet.addr_of_string "10.1.0.5")
+      ~dst:(Packet.addr_of_string "10.2.0.7")
+      ~protocol:6 (Bytes.of_string "x")
+  in
+  let b = Packet.serialize p in
+  Bytes.set b 12 '\xAA' (* corrupt source address *);
+  try
+    ignore (Packet.parse b);
+    Alcotest.fail "should reject"
+  with Packet.Malformed _ -> ()
+
+let test_packet_length_check () =
+  Alcotest.check_raises "short" (Packet.Malformed "short packet") (fun () ->
+      ignore (Packet.parse (Bytes.create 10)))
+
+(* -- SA -- *)
+
+let make_sa ?(transform = Sa.Aes128_cbc) ?(lifetime = Sa.default_lifetime)
+    ?(now = 0.0) () =
+  let rng = Rng.create 600L in
+  let enc_key = Rng.bytes rng (Sa.enc_key_bytes transform) in
+  let auth_key = Rng.bytes rng Sa.auth_key_bytes in
+  let otp_pad =
+    match transform with Sa.Otp -> Some (Otp.pad_of_bits (Rng.bits rng 65536)) | _ -> None
+  in
+  Sa.create ~spi:0x1001l ~transform ~enc_key ~auth_key ?otp_pad ~lifetime ~now
+    ~keyed_from_qkd:true ()
+
+let test_sa_lifetime_seconds () =
+  let sa = make_sa ~lifetime:{ Sa.seconds = 60.0; kilobytes = 1_000_000 } () in
+  check "fresh" false (Sa.expired sa ~now:30.0);
+  check "expired by time" true (Sa.expired sa ~now:61.0)
+
+let test_sa_lifetime_kilobytes () =
+  let sa = make_sa ~lifetime:{ Sa.seconds = 1e9; kilobytes = 1 } () in
+  check "fresh" false (Sa.expired sa ~now:0.0);
+  Sa.note_bytes sa 1025;
+  check "expired by volume" true (Sa.expired sa ~now:0.0)
+
+let test_sa_validation () =
+  let rng = Rng.create 601L in
+  Alcotest.check_raises "wrong key size" (Invalid_argument "Sa.create: wrong cipher key size")
+    (fun () ->
+      ignore
+        (Sa.create ~spi:1l ~transform:Sa.Aes128_cbc ~enc_key:(Bytes.create 5)
+           ~auth_key:(Rng.bytes rng 20) ~lifetime:Sa.default_lifetime ~now:0.0
+           ~keyed_from_qkd:false ()));
+  Alcotest.check_raises "otp needs pad" (Invalid_argument "Sa.create: OTP transform needs a pad")
+    (fun () ->
+      ignore
+        (Sa.create ~spi:1l ~transform:Sa.Otp ~enc_key:Bytes.empty
+           ~auth_key:(Rng.bytes rng 20) ~lifetime:Sa.default_lifetime ~now:0.0
+           ~keyed_from_qkd:true ()))
+
+(* -- ESP -- *)
+
+let inner_packet () =
+  Packet.make
+    ~src:(Packet.addr_of_string "10.1.0.5")
+    ~dst:(Packet.addr_of_string "10.2.0.7")
+    ~protocol:Packet.proto_tcp (Bytes.of_string "secret enclave traffic")
+
+let outer_src = Packet.addr_of_string "192.1.99.34"
+let outer_dst = Packet.addr_of_string "192.1.99.35"
+
+(* Build a mirrored SA pair sharing keys (as quick mode would). *)
+let sa_pair ?(transform = Sa.Aes128_cbc) () =
+  let rng = Rng.create 602L in
+  let enc_key = Rng.bytes rng (Sa.enc_key_bytes transform) in
+  let auth_key = Rng.bytes rng Sa.auth_key_bytes in
+  let pad_bits = Rng.bits rng 65536 in
+  let mk () =
+    let otp_pad =
+      match transform with
+      | Sa.Otp -> Some (Otp.pad_of_bits (Bs.copy pad_bits))
+      | _ -> None
+    in
+    Sa.create ~spi:0x2002l ~transform ~enc_key ~auth_key ?otp_pad
+      ~lifetime:Sa.default_lifetime ~now:0.0 ~keyed_from_qkd:true ()
+  in
+  (mk (), mk ())
+
+let test_esp_roundtrip_transforms () =
+  List.iter
+    (fun transform ->
+      let tx, rx = sa_pair ~transform () in
+      let rng = Rng.create 603L in
+      let p = inner_packet () in
+      match Esp.encapsulate tx ~rng ~outer_src ~outer_dst p with
+      | Ok outer -> (
+          check "esp proto" true (outer.Packet.protocol = Packet.proto_esp);
+          match Esp.decapsulate rx ~expected_seq:1 outer with
+          | Ok inner -> check "inner intact" true (inner = p)
+          | Error e -> Alcotest.failf "decap: %a" Esp.pp_error e)
+      | Error e -> Alcotest.failf "encap: %a" Esp.pp_error e)
+    [ Sa.Aes128_cbc; Sa.Aes256_cbc; Sa.Des3_cbc; Sa.Otp ]
+
+let test_esp_auth_failure_on_tamper () =
+  let tx, rx = sa_pair () in
+  let rng = Rng.create 604L in
+  match Esp.encapsulate tx ~rng ~outer_src ~outer_dst (inner_packet ()) with
+  | Ok outer -> (
+      let payload = Bytes.copy outer.Packet.payload in
+      Bytes.set payload 12 '\xFF';
+      let tampered = { outer with Packet.payload = payload } in
+      match Esp.decapsulate rx ~expected_seq:1 tampered with
+      | Error Esp.Auth_failed -> ()
+      | Ok _ -> Alcotest.fail "tamper accepted"
+      | Error e -> Alcotest.failf "unexpected: %a" Esp.pp_error e)
+  | Error e -> Alcotest.failf "encap: %a" Esp.pp_error e
+
+let test_esp_wrong_key_fails () =
+  let tx, _ = sa_pair () in
+  let _, rx2 =
+    let rng = Rng.create 999L in
+    let enc_key = Rng.bytes rng 16 in
+    let auth_key = Rng.bytes rng 20 in
+    let mk () =
+      Sa.create ~spi:0x2002l ~transform:Sa.Aes128_cbc ~enc_key ~auth_key
+        ~lifetime:Sa.default_lifetime ~now:0.0 ~keyed_from_qkd:true ()
+    in
+    (mk (), mk ())
+  in
+  let rng = Rng.create 605L in
+  match Esp.encapsulate tx ~rng ~outer_src ~outer_dst (inner_packet ()) with
+  | Ok outer -> (
+      match Esp.decapsulate rx2 ~expected_seq:1 outer with
+      | Error Esp.Auth_failed -> ()
+      | Ok _ -> Alcotest.fail "wrong key decrypted"
+      | Error e -> Alcotest.failf "unexpected: %a" Esp.pp_error e)
+  | Error e -> Alcotest.failf "encap: %a" Esp.pp_error e
+
+let test_esp_replay_rejected () =
+  let tx, rx = sa_pair () in
+  let rng = Rng.create 606L in
+  match Esp.encapsulate tx ~rng ~outer_src ~outer_dst (inner_packet ()) with
+  | Ok outer -> (
+      (match Esp.decapsulate rx ~expected_seq:1 outer with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "first: %a" Esp.pp_error e);
+      match Esp.decapsulate rx ~expected_seq:2 outer with
+      | Error (Esp.Replay _) -> ()
+      | Ok _ -> Alcotest.fail "replay accepted"
+      | Error e -> Alcotest.failf "unexpected: %a" Esp.pp_error e)
+  | Error e -> Alcotest.failf "encap: %a" Esp.pp_error e
+
+let test_esp_otp_consumes_pad () =
+  let tx, rx = sa_pair ~transform:Sa.Otp () in
+  let rng = Rng.create 607L in
+  let before =
+    match tx.Sa.otp_pad with Some pad -> Otp.remaining pad | None -> 0
+  in
+  (match Esp.encapsulate tx ~rng ~outer_src ~outer_dst (inner_packet ()) with
+  | Ok outer -> (
+      match Esp.decapsulate rx ~expected_seq:1 outer with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "decap: %a" Esp.pp_error e)
+  | Error e -> Alcotest.failf "encap: %a" Esp.pp_error e);
+  let after = match tx.Sa.otp_pad with Some pad -> Otp.remaining pad | None -> 0 in
+  check "pad consumed" true (after < before)
+
+let test_esp_otp_exhaustion () =
+  let rng = Rng.create 608L in
+  let enc_key = Bytes.empty in
+  let auth_key = Rng.bytes rng 20 in
+  let tx =
+    Sa.create ~spi:1l ~transform:Sa.Otp ~enc_key ~auth_key
+      ~otp_pad:(Otp.pad_of_bits (Rng.bits rng 64))
+      ~lifetime:Sa.default_lifetime ~now:0.0 ~keyed_from_qkd:true ()
+  in
+  match Esp.encapsulate tx ~rng ~outer_src ~outer_dst (inner_packet ()) with
+  | Error Esp.Pad_exhausted -> ()
+  | Ok _ -> Alcotest.fail "should exhaust"
+  | Error e -> Alcotest.failf "unexpected: %a" Esp.pp_error e
+
+(* -- SPD -- *)
+
+let test_spd_first_match_order () =
+  let spd = Spd.create () in
+  let sel = Spd.subnet_selector ~src:"10.1.0.0" ~src_prefix:16 ~dst:"10.2.0.0" ~dst_prefix:16 in
+  Spd.add spd { Spd.selector = sel; action = Spd.Drop };
+  Spd.add spd { Spd.selector = sel; action = Spd.Bypass };
+  let p =
+    Packet.make
+      ~src:(Packet.addr_of_string "10.1.0.1")
+      ~dst:(Packet.addr_of_string "10.2.0.1")
+      ~protocol:6 Bytes.empty
+  in
+  (match Spd.lookup spd p with
+  | Some { Spd.action = Spd.Drop; _ } -> ()
+  | _ -> Alcotest.fail "first match should win");
+  let q =
+    Packet.make
+      ~src:(Packet.addr_of_string "172.16.0.1")
+      ~dst:(Packet.addr_of_string "10.2.0.1")
+      ~protocol:6 Bytes.empty
+  in
+  check "no match" true (Spd.lookup spd q = None)
+
+let test_spd_protocol_selector () =
+  let spd = Spd.create () in
+  let sel =
+    {
+      (Spd.subnet_selector ~src:"0.0.0.0" ~src_prefix:0 ~dst:"0.0.0.0" ~dst_prefix:0) with
+      Spd.protocol = Some Packet.proto_udp;
+    }
+  in
+  Spd.add spd { Spd.selector = sel; action = Spd.Drop };
+  let udp = Packet.make ~src:1l ~dst:2l ~protocol:Packet.proto_udp Bytes.empty in
+  let tcp = Packet.make ~src:1l ~dst:2l ~protocol:Packet.proto_tcp Bytes.empty in
+  check "udp matches" true (Spd.lookup spd udp <> None);
+  check "tcp passes" true (Spd.lookup spd tcp = None)
+
+(* -- ISAKMP codec -- *)
+
+let sample_message =
+  {
+    Isakmp.initiator_cookie = 0x0123456789ABCDEFL;
+    responder_cookie = -1L;
+    exchange = Isakmp.Quick_mode;
+    message_id = 42l;
+    payloads =
+      [
+        Isakmp.Hash_payload (Bytes.of_string "20-bytes-of-hash-data");
+        Isakmp.Sa_payload
+          {
+            doi = 1;
+            proposals =
+              [
+                {
+                  Isakmp.proposal_number = 1;
+                  protocol_id = 3;
+                  spi = Bytes.of_string "\x01\x02\x03\x04";
+                  transforms =
+                    [
+                      {
+                        Isakmp.transform_number = 1;
+                        transform_id = 12;
+                        attributes = [ (6, 128); (5, 2) ];
+                      };
+                    ];
+                };
+              ];
+          };
+        Isakmp.Nonce_payload (Bytes.of_string "nonce-bytes-here");
+        Isakmp.Qkd_payload { offered_qblocks = 1; bits_per_qblock = 1024 };
+        Isakmp.Id_payload { id_type = 1; data = Bytes.of_string "192.1.99.34" };
+        Isakmp.Notification_payload { notify_type = 16384; data = Bytes.empty };
+      ];
+  }
+
+let test_isakmp_roundtrip () =
+  let decoded = Isakmp.decode (Isakmp.encode sample_message) in
+  check "roundtrip" true (decoded = sample_message)
+
+let test_isakmp_empty_payloads () =
+  let m = { sample_message with Isakmp.payloads = [] } in
+  check "empty roundtrip" true (Isakmp.decode (Isakmp.encode m) = m)
+
+let test_isakmp_length_enforced () =
+  let b = Isakmp.encode sample_message in
+  Alcotest.check_raises "truncated" (Isakmp.Malformed "length field mismatch")
+    (fun () -> ignore (Isakmp.decode (Bytes.sub b 0 (Bytes.length b - 3))))
+
+let test_isakmp_version_check () =
+  let b = Isakmp.encode sample_message in
+  Bytes.set b 17 '\x20';
+  Alcotest.check_raises "version" (Isakmp.Malformed "unsupported ISAKMP version")
+    (fun () -> ignore (Isakmp.decode b))
+
+let test_isakmp_qkd_payload_values () =
+  match Isakmp.decode (Isakmp.encode sample_message) with
+  | { Isakmp.payloads; _ } ->
+      let found =
+        List.exists
+          (function
+            | Isakmp.Qkd_payload { offered_qblocks = 1; bits_per_qblock = 1024 } -> true
+            | _ -> false)
+          payloads
+      in
+      check "qkd payload survives" true found
+
+let test_isakmp_wire_bytes_counted () =
+  let rng0 = Rng.create 750L in
+  let material = Rng.bits rng0 8192 in
+  let pool_a = Key_pool.create ~initial:(Bs.copy material) () in
+  let pool_b = Key_pool.create ~initial:material () in
+  let ea =
+    Ike.create_endpoint
+      ~identity:{ Ike.name = "a"; addr = Packet.addr_of_string "1.1.1.1" }
+      ~psk:(Bytes.of_string "s") ~key_pool:pool_a ~seed:1L
+  in
+  let eb =
+    Ike.create_endpoint
+      ~identity:{ Ike.name = "b"; addr = Packet.addr_of_string "2.2.2.2" }
+      ~psk:(Bytes.of_string "s") ~key_pool:pool_b ~seed:2L
+  in
+  (match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "phase1: %a" Ike.pp_error e);
+  (* main mode: 6 real messages including two 128-byte KE payloads *)
+  let after_p1 = Ike.bytes_on_wire ea + Ike.bytes_on_wire eb in
+  check "phase1 bytes" true (after_p1 > 400);
+  (match
+     Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0
+       ~protect:
+         {
+           Spd.transform = Sa.Aes128_cbc;
+           lifetime = Sa.default_lifetime;
+           qkd = Spd.Reseed;
+           peer = Packet.addr_of_string "2.2.2.2";
+           qblock_bits = 1024;
+         }
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "phase2: %a" Ike.pp_error e);
+  check "quick mode added bytes" true (Ike.bytes_on_wire ea + Ike.bytes_on_wire eb > after_p1 + 100)
+
+(* -- IKE -- *)
+
+let mirrored_pools bits =
+  let rng = Rng.create 700L in
+  let material = Rng.bits rng bits in
+  ( Key_pool.create ~initial:(Bs.copy material) (),
+    Key_pool.create ~initial:material () )
+
+let endpoints ?(psk_b = "shared-secret") ~qbits () =
+  let pool_a, pool_b = mirrored_pools qbits in
+  let ea =
+    Ike.create_endpoint
+      ~identity:{ Ike.name = "alice-gw"; addr = Packet.addr_of_string "192.1.99.34" }
+      ~psk:(Bytes.of_string "shared-secret") ~key_pool:pool_a ~seed:1L
+  in
+  let eb =
+    Ike.create_endpoint
+      ~identity:{ Ike.name = "bob-gw"; addr = Packet.addr_of_string "192.1.99.35" }
+      ~psk:(Bytes.of_string psk_b) ~key_pool:pool_b ~seed:2L
+  in
+  (ea, eb)
+
+let reseed_protect =
+  {
+    Spd.transform = Sa.Aes128_cbc;
+    lifetime = Sa.default_lifetime;
+    qkd = Spd.Reseed;
+    peer = Packet.addr_of_string "192.1.99.35";
+    qblock_bits = 1024;
+  }
+
+let test_ike_phase1_required () =
+  let ea, eb = endpoints ~qbits:4096 () in
+  match Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect with
+  | Error Ike.No_phase1 -> ()
+  | Ok _ -> Alcotest.fail "phase 2 before phase 1"
+  | Error e -> Alcotest.failf "unexpected: %a" Ike.pp_error e
+
+let test_ike_psk_mismatch () =
+  let ea, eb = endpoints ~psk_b:"wrong" ~qbits:4096 () in
+  match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 with
+  | Error Ike.Psk_mismatch -> ()
+  | Ok () -> Alcotest.fail "psk mismatch accepted"
+  | Error e -> Alcotest.failf "unexpected: %a" Ike.pp_error e
+
+let test_ike_quick_mode_keys_match () =
+  let ea, eb = endpoints ~qbits:4096 () in
+  (match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "phase1: %a" Ike.pp_error e);
+  match Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect with
+  | Ok (pi, pr) ->
+      (* initiator's outbound must mirror responder's inbound *)
+      check "enc keys match" true
+        (Bytes.equal pi.Ike.outbound.Sa.enc_key pr.Ike.inbound.Sa.enc_key);
+      check "auth keys match" true
+        (Bytes.equal pi.Ike.outbound.Sa.auth_key pr.Ike.inbound.Sa.auth_key);
+      check "reverse dir too" true
+        (Bytes.equal pi.Ike.inbound.Sa.enc_key pr.Ike.outbound.Sa.enc_key);
+      check "marked qkd" true pi.Ike.outbound.Sa.keyed_from_qkd;
+      check_int "qbits billed" 1024 (Ike.qbits_consumed ea)
+  | Error e -> Alcotest.failf "phase2: %a" Ike.pp_error e
+
+let test_ike_not_enough_qbits () =
+  let ea, eb = endpoints ~qbits:100 () in
+  (match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "phase1: %a" Ike.pp_error e);
+  match Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect with
+  | Error (Ike.Not_enough_qbits { wanted = 1024; _ }) -> ()
+  | Ok _ -> Alcotest.fail "should starve"
+  | Error e -> Alcotest.failf "unexpected: %a" Ike.pp_error e
+
+let test_ike_diverged_pools_mismatch_keys () =
+  (* pools with different content: negotiation "succeeds", keys differ *)
+  let rng = Rng.create 701L in
+  let pool_a = Key_pool.create ~initial:(Rng.bits rng 4096) () in
+  let pool_b = Key_pool.create ~initial:(Rng.bits rng 4096) () in
+  let ea =
+    Ike.create_endpoint
+      ~identity:{ Ike.name = "a"; addr = Packet.addr_of_string "1.1.1.1" }
+      ~psk:(Bytes.of_string "s") ~key_pool:pool_a ~seed:1L
+  in
+  let eb =
+    Ike.create_endpoint
+      ~identity:{ Ike.name = "b"; addr = Packet.addr_of_string "2.2.2.2" }
+      ~psk:(Bytes.of_string "s") ~key_pool:pool_b ~seed:2L
+  in
+  (match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "phase1: %a" Ike.pp_error e);
+  match Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect with
+  | Ok (pi, pr) ->
+      check "IKE does not notice" true true;
+      check "keys differ silently" false
+        (Bytes.equal pi.Ike.outbound.Sa.enc_key pr.Ike.inbound.Sa.enc_key)
+  | Error e -> Alcotest.failf "phase2: %a" Ike.pp_error e
+
+let test_ike_log_mentions_qblocks () =
+  let ea, eb = endpoints ~qbits:4096 () in
+  ignore (Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0);
+  ignore (Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect);
+  let log = String.concat "\n" (Ike.log ea @ Ike.log eb) in
+  let has sub =
+    let n = String.length log and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub log i m = sub || go (i + 1)) in
+    go 0
+  in
+  check "Qblocks logged" true (has "Qblocks");
+  check "KEYMAT QBITS logged" true (has "QBITS");
+  check "SA established logged" true (has "IPsec-SA established")
+
+(* -- VPN end-to-end -- *)
+
+let test_vpn_reseed_delivers () =
+  let v = Vpn.create Vpn.default_config in
+  Vpn.run v ~duration:120.0 ~dt:0.1;
+  let s = Vpn.stats v in
+  check "most delivered" true
+    (float_of_int s.Vpn.delivered /. float_of_int s.Vpn.attempted > 0.9);
+  check "rekeys happened" true (s.Vpn.rekeys >= 2);
+  check_int "no blackholes" 0 s.Vpn.blackholed
+
+let test_vpn_key_starvation_drops () =
+  let starved = { Vpn.default_config with Vpn.key_source = Vpn.Modeled 10.0 } in
+  let v = Vpn.create starved in
+  Vpn.run v ~duration:120.0 ~dt:0.1;
+  let s = Vpn.stats v in
+  check "mostly dropped for lack of key" true
+    (s.Vpn.drop_no_key > s.Vpn.delivered)
+
+let test_vpn_otp_static_preload () =
+  let cfg =
+    {
+      Vpn.default_config with
+      Vpn.transform = Sa.Otp;
+      qkd = Spd.Otp_mode;
+      qblock_bits = 262_144;
+      key_source = Vpn.Static 2_000_000;
+      packets_per_second = 10.0;
+      packet_bytes = 128;
+    }
+  in
+  let v = Vpn.create cfg in
+  Vpn.run v ~duration:60.0 ~dt:0.1;
+  let s = Vpn.stats v in
+  check "otp carries traffic" true
+    (float_of_int s.Vpn.delivered /. float_of_int (max 1 s.Vpn.attempted) > 0.9)
+
+let test_vpn_otp_pad_race () =
+  (* OTP demand (10 pkt/s x 128 B = 10240 b/s) far beyond supply *)
+  let cfg =
+    {
+      Vpn.default_config with
+      Vpn.transform = Sa.Otp;
+      qkd = Spd.Otp_mode;
+      qblock_bits = 65_536;
+      key_source = Vpn.Modeled 400.0;
+      packets_per_second = 10.0;
+      packet_bytes = 128;
+    }
+  in
+  let v = Vpn.create cfg in
+  Vpn.run v ~duration:120.0 ~dt:0.1;
+  let s = Vpn.stats v in
+  check "key race lost" true (s.Vpn.drop_no_key > s.Vpn.delivered)
+
+let test_vpn_skew_blackhole_then_heal () =
+  let v = Vpn.create Vpn.default_config in
+  Vpn.run v ~duration:30.0 ~dt:0.1;
+  let before = (Vpn.stats v).Vpn.blackholed in
+  Vpn.skew_pool v ~bits:64;
+  Vpn.run v ~duration:180.0 ~dt:0.1;
+  let s = Vpn.stats v in
+  check_int "clean before skew" 0 before;
+  (* roughly one 60 s lifetime of traffic blackholes (50 pkt/s) *)
+  check "blackholed a lifetime" true (s.Vpn.blackholed > 2000 && s.Vpn.blackholed < 4500);
+  (* and the tunnel healed: deliveries continued after *)
+  check "healed" true (s.Vpn.delivered > 4000)
+
+let test_vpn_ike_log_fig12_shape () =
+  let v = Vpn.create Vpn.default_config in
+  Vpn.run v ~duration:20.0 ~dt:0.1;
+  let log = String.concat "\n" (Vpn.ike_log v) in
+  let has sub =
+    let n = String.length log and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub log i m = sub || go (i + 1)) in
+    go 0
+  in
+  check "phase 2 negotiation" true (has "phase 2 negotiation");
+  check "Qblocks offer/reply" true (has "Qblocks");
+  check "KEYMAT QBITS" true (has "KEYMAT using");
+  check "SA established" true (has "IPsec-SA established")
+
+(* -- Link encryption chain (section 8 second variant) -- *)
+
+let test_le_delivers_intact () =
+  let t = Le.create Le.default_config in
+  Le.advance t ~seconds:30.0;
+  let payload = Bytes.of_string "across four QKD tunnels" in
+  (match Le.send t ~now:30.0 payload with
+  | Ok received -> check "intact" true (Bytes.equal received payload)
+  | Error _ -> Alcotest.fail "should deliver");
+  let s = Le.stats t in
+  check_int "delivered" 1 s.Le.delivered;
+  check_int "cleartext relays" 3 s.Le.cleartext_relays;
+  check "each hop rekeyed" true (s.Le.rekeys >= Le.default_config.Le.hops)
+
+let test_le_starves_without_key () =
+  let t = Le.create Le.default_config in
+  (* no advance: pools are empty *)
+  match Le.send t ~now:0.0 (Bytes.of_string "x") with
+  | Error (Le.No_key { hop = 0 }) -> ()
+  | Ok _ -> Alcotest.fail "no key anywhere"
+  | Error e ->
+      Alcotest.failf "wrong error: %s"
+        (match e with
+        | Le.No_key { hop } -> Printf.sprintf "no key at %d" hop
+        | Le.Hop_failed { reason; _ } -> reason)
+
+let test_le_rollover_on_lifetime () =
+  let cfg = { Le.default_config with Le.lifetime = { Sa.seconds = 10.0; kilobytes = 1_000_000 } } in
+  let t = Le.create cfg in
+  Le.advance t ~seconds:60.0;
+  let now = ref 0.0 in
+  for _ = 1 to 50 do
+    now := !now +. 1.0;
+    Le.advance t ~seconds:1.0;
+    ignore (Le.send t ~now:!now (Bytes.of_string "tick"))
+  done;
+  let s = Le.stats t in
+  (* 50 s / 10 s lifetime on 4 hops: several generations of SAs *)
+  check "rolled repeatedly" true (s.Le.rekeys > 3 * 4);
+  check "mostly delivered" true (s.Le.delivered > 40)
+
+let test_le_otp_chain () =
+  let cfg =
+    {
+      Le.default_config with
+      Le.transform = Sa.Otp;
+      qkd = Spd.Otp_mode;
+      qblock_bits = 16_384;
+      per_link_key_rate_bps = 2_000.0;
+    }
+  in
+  let t = Le.create cfg in
+  Le.advance t ~seconds:60.0;
+  let payload = Bytes.of_string "pad me across the mesh" in
+  match Le.send t ~now:60.0 payload with
+  | Ok received -> check "otp chain intact" true (Bytes.equal received payload)
+  | Error (Le.No_key { hop }) -> Alcotest.failf "no key at hop %d" hop
+  | Error (Le.Hop_failed { reason; _ }) -> Alcotest.failf "hop failed: %s" reason
+
+let prop_packet_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"packet serialize/parse roundtrip" ~count:200
+       QCheck.(triple small_nat small_nat string)
+       (fun (s, d, payload) ->
+         let addr v = Int32.of_int (v * 7919) in
+         let p =
+           Packet.make ~src:(addr s) ~dst:(addr d) ~protocol:(s mod 256)
+             (Bytes.of_string payload)
+         in
+         Packet.parse (Packet.serialize p) = p))
+
+let prop_esp_roundtrip_any_payload =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"esp roundtrip any payload" ~count:50 QCheck.string
+       (fun payload ->
+         let tx, rx = sa_pair () in
+         let rng = Rng.create 900L in
+         let p =
+           Packet.make ~src:(Packet.addr_of_string "10.1.0.5")
+             ~dst:(Packet.addr_of_string "10.2.0.7")
+             ~protocol:Packet.proto_udp (Bytes.of_string payload)
+         in
+         match Esp.encapsulate tx ~rng ~outer_src ~outer_dst p with
+         | Ok outer -> (
+             match Esp.decapsulate rx ~expected_seq:1 outer with
+             | Ok inner -> inner = p
+             | Error _ -> false)
+         | Error _ -> false))
+
+(* -- Quantum TLS (the §7 portability claim) -- *)
+
+let qtls_pools bits =
+  let rng = Rng.create 760L in
+  let material = Rng.bits rng bits in
+  ( Key_pool.create ~initial:(Bs.copy material) (),
+    Key_pool.create ~initial:material () )
+
+let test_qtls_handshake_and_records () =
+  let client_pool, server_pool = qtls_pools 4096 in
+  let rng = Rng.create 761L in
+  match Qtls.handshake ~client_pool ~server_pool ~rng ~qblock_bits:1024 with
+  | Ok (client, server) ->
+      check_int "same block id" (Qtls.qblock_id client) (Qtls.qblock_id server);
+      check_int "qblock consumed" 3072 (Key_pool.available client_pool);
+      let msg = Bytes.of_string "GET /quantum HTTP/1.0" in
+      (match Qtls.receive server (Qtls.send client msg) with
+      | Ok data -> check "record intact" true (Bytes.equal data msg)
+      | Error _ -> Alcotest.fail "record failed");
+      (* and the reverse direction *)
+      let reply = Bytes.of_string "200 OK" in
+      (match Qtls.receive client (Qtls.send server reply) with
+      | Ok data -> check "reply intact" true (Bytes.equal data reply)
+      | Error _ -> Alcotest.fail "reply failed")
+  | Error _ -> Alcotest.fail "handshake should succeed"
+
+let test_qtls_starves () =
+  let client_pool, server_pool = qtls_pools 100 in
+  let rng = Rng.create 762L in
+  match Qtls.handshake ~client_pool ~server_pool ~rng ~qblock_bits:1024 with
+  | Error (Qtls.Not_enough_qbits { wanted; _ }) -> check_int "wanted" 1024 wanted
+  | Ok _ -> Alcotest.fail "should starve"
+  | Error Qtls.Finished_mismatch -> Alcotest.fail "wrong error"
+
+let test_qtls_diverged_pools_caught () =
+  (* unlike IKE, the Finished exchange catches mismatched quantum bits *)
+  let rng0 = Rng.create 763L in
+  let client_pool = Key_pool.create ~initial:(Rng.bits rng0 2048) () in
+  let server_pool = Key_pool.create ~initial:(Rng.bits rng0 2048) () in
+  let rng = Rng.create 764L in
+  match Qtls.handshake ~client_pool ~server_pool ~rng ~qblock_bits:1024 with
+  | Error Qtls.Finished_mismatch -> ()
+  | Ok _ -> Alcotest.fail "divergence missed"
+  | Error (Qtls.Not_enough_qbits _) -> Alcotest.fail "wrong error"
+
+let test_qtls_record_tamper () =
+  let client_pool, server_pool = qtls_pools 4096 in
+  let rng = Rng.create 765L in
+  match Qtls.handshake ~client_pool ~server_pool ~rng ~qblock_bits:1024 with
+  | Ok (client, server) -> (
+      let record = Qtls.send client (Bytes.of_string "sensitive") in
+      Bytes.set record 20 (Char.chr (Char.code (Bytes.get record 20) lxor 1));
+      match Qtls.receive server record with
+      | Error (Qtls.Bad_mac | Qtls.Bad_record) -> ()
+      | Ok _ -> Alcotest.fail "tamper accepted")
+  | Error _ -> Alcotest.fail "handshake"
+
+let test_qtls_replay_rejected () =
+  let client_pool, server_pool = qtls_pools 4096 in
+  let rng = Rng.create 766L in
+  match Qtls.handshake ~client_pool ~server_pool ~rng ~qblock_bits:1024 with
+  | Ok (client, server) -> (
+      let record = Qtls.send client (Bytes.of_string "once only") in
+      (match Qtls.receive server record with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "first receive");
+      (* replaying shifts the expected sequence: MAC no longer checks *)
+      match Qtls.receive server record with
+      | Error Qtls.Bad_mac -> ()
+      | Ok _ -> Alcotest.fail "replay accepted"
+      | Error Qtls.Bad_record -> Alcotest.fail "wrong error")
+  | Error _ -> Alcotest.fail "handshake"
+
+let prop_isakmp_roundtrip =
+  let payload_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun s -> Isakmp.Ke_payload (Bytes.of_string s)) (string_size (int_range 0 64));
+          map (fun s -> Isakmp.Nonce_payload (Bytes.of_string s)) (string_size (int_range 0 32));
+          map (fun s -> Isakmp.Hash_payload (Bytes.of_string s)) (string_size (int_range 0 32));
+          map (fun s -> Isakmp.Vendor_payload (Bytes.of_string s)) (string_size (int_range 0 16));
+          map2
+            (fun a b -> Isakmp.Qkd_payload { offered_qblocks = a; bits_per_qblock = b })
+            (int_range 0 1000) (int_range 0 100_000);
+          map2
+            (fun ty s -> Isakmp.Id_payload { id_type = ty; data = Bytes.of_string s })
+            (int_range 0 255) (string_size (int_range 0 24));
+        ])
+  in
+  let msg_gen =
+    QCheck.Gen.(
+      map2
+        (fun payloads mid ->
+          {
+            Isakmp.initiator_cookie = 0x1122334455667788L;
+            responder_cookie = 0x99AABBCCDDEEFF00L;
+            exchange = Isakmp.Quick_mode;
+            message_id = Int32.of_int mid;
+            payloads;
+          })
+        (list_size (int_range 0 6) payload_gen)
+        (int_range 0 1_000_000))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"isakmp roundtrip (generated)" ~count:200
+       (QCheck.make msg_gen)
+       (fun m -> Isakmp.decode (Isakmp.encode m) = m))
+
+let () =
+  Alcotest.run "qkd_ipsec"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "addr roundtrip" `Quick test_addr_roundtrip;
+          Alcotest.test_case "addr invalid" `Quick test_addr_invalid;
+          Alcotest.test_case "subnet" `Quick test_subnet_match;
+          Alcotest.test_case "serialize/parse" `Quick test_packet_serialize_parse;
+          Alcotest.test_case "checksum" `Quick test_packet_checksum_detects_corruption;
+          Alcotest.test_case "length check" `Quick test_packet_length_check;
+        ] );
+      ( "sa",
+        [
+          Alcotest.test_case "lifetime seconds" `Quick test_sa_lifetime_seconds;
+          Alcotest.test_case "lifetime kilobytes" `Quick test_sa_lifetime_kilobytes;
+          Alcotest.test_case "validation" `Quick test_sa_validation;
+        ] );
+      ( "esp",
+        [
+          Alcotest.test_case "roundtrip all transforms" `Quick test_esp_roundtrip_transforms;
+          Alcotest.test_case "tamper" `Quick test_esp_auth_failure_on_tamper;
+          Alcotest.test_case "wrong key" `Quick test_esp_wrong_key_fails;
+          Alcotest.test_case "replay" `Quick test_esp_replay_rejected;
+          Alcotest.test_case "otp consumes pad" `Quick test_esp_otp_consumes_pad;
+          Alcotest.test_case "otp exhaustion" `Quick test_esp_otp_exhaustion;
+        ] );
+      ( "spd",
+        [
+          Alcotest.test_case "first match" `Quick test_spd_first_match_order;
+          Alcotest.test_case "protocol selector" `Quick test_spd_protocol_selector;
+        ] );
+      ( "isakmp",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_isakmp_roundtrip;
+          Alcotest.test_case "empty payloads" `Quick test_isakmp_empty_payloads;
+          Alcotest.test_case "length enforced" `Quick test_isakmp_length_enforced;
+          Alcotest.test_case "version check" `Quick test_isakmp_version_check;
+          Alcotest.test_case "qkd payload" `Quick test_isakmp_qkd_payload_values;
+          Alcotest.test_case "wire bytes counted" `Quick test_isakmp_wire_bytes_counted;
+        ] );
+      ( "ike",
+        [
+          Alcotest.test_case "phase1 required" `Quick test_ike_phase1_required;
+          Alcotest.test_case "psk mismatch" `Quick test_ike_psk_mismatch;
+          Alcotest.test_case "quick mode keys" `Quick test_ike_quick_mode_keys_match;
+          Alcotest.test_case "not enough qbits" `Quick test_ike_not_enough_qbits;
+          Alcotest.test_case "diverged pools" `Quick test_ike_diverged_pools_mismatch_keys;
+          Alcotest.test_case "log mentions qblocks" `Quick test_ike_log_mentions_qblocks;
+        ] );
+      ( "properties",
+        [
+          prop_packet_roundtrip;
+          prop_esp_roundtrip_any_payload;
+          prop_isakmp_roundtrip;
+        ] );
+      ( "quantum-tls",
+        [
+          Alcotest.test_case "handshake + records" `Quick test_qtls_handshake_and_records;
+          Alcotest.test_case "starves" `Quick test_qtls_starves;
+          Alcotest.test_case "diverged pools caught" `Quick test_qtls_diverged_pools_caught;
+          Alcotest.test_case "record tamper" `Quick test_qtls_record_tamper;
+          Alcotest.test_case "replay rejected" `Quick test_qtls_replay_rejected;
+        ] );
+      ( "link-encryption",
+        [
+          Alcotest.test_case "delivers intact" `Quick test_le_delivers_intact;
+          Alcotest.test_case "starves without key" `Quick test_le_starves_without_key;
+          Alcotest.test_case "rollover" `Quick test_le_rollover_on_lifetime;
+          Alcotest.test_case "otp chain" `Quick test_le_otp_chain;
+        ] );
+      ( "vpn",
+        [
+          Alcotest.test_case "reseed delivers" `Slow test_vpn_reseed_delivers;
+          Alcotest.test_case "key starvation" `Slow test_vpn_key_starvation_drops;
+          Alcotest.test_case "otp preload" `Slow test_vpn_otp_static_preload;
+          Alcotest.test_case "otp pad race" `Slow test_vpn_otp_pad_race;
+          Alcotest.test_case "skew blackhole heal" `Slow test_vpn_skew_blackhole_then_heal;
+          Alcotest.test_case "ike log shape" `Quick test_vpn_ike_log_fig12_shape;
+        ] );
+    ]

@@ -1,0 +1,539 @@
+(* Tests for qkd_net: event simulator, topology, routing, link model,
+   trusted relays, untrusted switches, failure studies. *)
+
+module Sim = Qkd_net.Sim
+module Topology = Qkd_net.Topology
+module Routing = Qkd_net.Routing
+module Link_model = Qkd_net.Link_model
+module Relay = Qkd_net.Relay
+module Switch_net = Qkd_net.Switch_net
+module Failure = Qkd_net.Failure
+module Trust = Qkd_net.Trust_analysis
+module Sc = Qkd_net.Switch_control
+module Link = Qkd_photonics.Link
+module Fiber = Qkd_photonics.Fiber
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- Sim -- *)
+
+let test_sim_dispatch_order () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  Sim.schedule sim ~at:2.0 (fun () -> order := 2 :: !order);
+  Sim.schedule sim ~at:1.0 (fun () -> order := 1 :: !order);
+  Sim.schedule sim ~at:3.0 (fun () -> order := 3 :: !order);
+  Sim.run sim ~until:10.0;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_sim_ties_fifo () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  Sim.schedule sim ~at:1.0 (fun () -> order := 'a' :: !order);
+  Sim.schedule sim ~at:1.0 (fun () -> order := 'b' :: !order);
+  Sim.run sim ~until:2.0;
+  Alcotest.(check (list char)) "fifo ties" [ 'a'; 'b' ] (List.rev !order)
+
+let test_sim_until_stops () =
+  let sim = Sim.create () in
+  let ran = ref false in
+  Sim.schedule sim ~at:5.0 (fun () -> ran := true);
+  Sim.run sim ~until:4.0;
+  check "not yet" false !ran;
+  check_int "still pending" 1 (Sim.pending sim);
+  Alcotest.(check (float 1e-9)) "clock at until" 4.0 (Sim.now sim)
+
+let test_sim_schedule_from_handler () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then Sim.schedule_in sim ~delay:1.0 tick
+  in
+  Sim.schedule sim ~at:0.0 tick;
+  Sim.run sim ~until:100.0;
+  check_int "chained" 5 !count
+
+let test_sim_past_rejected () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~at:5.0 (fun () -> ());
+  Sim.run sim ~until:6.0;
+  Alcotest.check_raises "past" (Invalid_argument "Sim.schedule: time in the past")
+    (fun () -> Sim.schedule sim ~at:1.0 (fun () -> ()))
+
+(* -- Topology -- *)
+
+let test_topology_build_and_query () =
+  let t = Topology.create () in
+  let a = Topology.add_node t ~name:"a" ~kind:Topology.Endpoint in
+  let b = Topology.add_node t ~name:"b" ~kind:Topology.Trusted_relay in
+  Topology.add_edge t a b (Fiber.make ~length_km:5.0 ());
+  check_int "two nodes" 2 (List.length (Topology.nodes t));
+  check "edge exists" true (Topology.edge_between t a b <> None);
+  check "symmetric" true (Topology.edge_between t b a <> None);
+  check_int "neighbor" 1 (List.length (Topology.neighbors t a))
+
+let test_topology_rejects_bad_edges () =
+  let t = Topology.create () in
+  let a = Topology.add_node t ~name:"a" ~kind:Topology.Endpoint in
+  let b = Topology.add_node t ~name:"b" ~kind:Topology.Endpoint in
+  Topology.add_edge t a b (Fiber.make ~length_km:1.0 ());
+  Alcotest.check_raises "self loop" (Invalid_argument "Topology.add_edge: self-loop")
+    (fun () -> Topology.add_edge t a a (Fiber.make ~length_km:1.0 ()));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Topology.add_edge: duplicate")
+    (fun () -> Topology.add_edge t b a (Fiber.make ~length_km:1.0 ()))
+
+let test_topology_down_edge_hides_neighbor () =
+  let t = Topology.create () in
+  let a = Topology.add_node t ~name:"a" ~kind:Topology.Endpoint in
+  let b = Topology.add_node t ~name:"b" ~kind:Topology.Endpoint in
+  Topology.add_edge t a b (Fiber.make ~length_km:1.0 ());
+  Topology.set_edge t a b ~up:false;
+  check_int "no neighbors" 0 (List.length (Topology.neighbors t a))
+
+let test_topology_builders () =
+  let chain = Topology.chain ~n:3 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  check_int "chain nodes" 5 (List.length (Topology.nodes chain));
+  check_int "chain edges" 4 (List.length (Topology.edges chain));
+  let star = Topology.star ~leaves:6 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  check_int "star edges = N" 6 (List.length (Topology.edges star));
+  let mesh = Topology.full_mesh ~endpoints:6 ~fiber_km:10.0 in
+  check_int "mesh edges = N(N-1)/2" 15 (List.length (Topology.edges mesh));
+  let ring = Topology.ring ~n:4 ~fiber_km:10.0 in
+  check_int "ring nodes" 6 (List.length (Topology.nodes ring));
+  check_int "ring edges" 6 (List.length (Topology.edges ring))
+
+let test_topology_random_mesh_connected () =
+  let t = Topology.random_mesh ~nodes:12 ~degree:3.0 ~seed:9L ~fiber_km:10.0 in
+  (* spanning tree construction guarantees connectivity *)
+  for dst = 1 to 11 do
+    check "connected" true
+      (Routing.shortest_path t ~src:0 ~dst ~weight:Routing.Hops <> None)
+  done
+
+(* -- Routing -- *)
+
+let test_routing_shortest_hops () =
+  let t = Topology.ring ~n:6 ~fiber_km:10.0 in
+  (* alice at relays.(0), bob at relays.(3): two 4-hop routes around *)
+  let alice = 6 and bob = 7 in
+  match Routing.shortest_path t ~src:alice ~dst:bob ~weight:Routing.Hops with
+  (* alice - relay0 - r1 - r2 - relay3 - bob: six nodes *)
+  | Some path -> check_int "path length" 6 (List.length path)
+  | None -> Alcotest.fail "ring should connect"
+
+let test_routing_avoids_down_links () =
+  let t = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  (* 0 -(1)- 2 with relay 1 in the middle *)
+  Topology.set_edge t 0 1 ~up:false;
+  check "disconnected" true
+    (Routing.shortest_path t ~src:0 ~dst:2 ~weight:Routing.Hops = None)
+
+let test_routing_endpoint_not_transit () =
+  (* a - b - c where b is an ENDPOINT: no transit allowed *)
+  let t = Topology.create () in
+  let a = Topology.add_node t ~name:"a" ~kind:Topology.Endpoint in
+  let b = Topology.add_node t ~name:"b" ~kind:Topology.Endpoint in
+  let c = Topology.add_node t ~name:"c" ~kind:Topology.Endpoint in
+  Topology.add_edge t a b (Fiber.make ~length_km:1.0 ());
+  Topology.add_edge t b c (Fiber.make ~length_km:1.0 ());
+  check "no endpoint transit" true
+    (Routing.shortest_path t ~src:a ~dst:c ~weight:Routing.Hops = None);
+  check "direct still fine" true
+    (Routing.shortest_path t ~src:a ~dst:b ~weight:Routing.Hops <> None)
+
+let test_routing_path_loss () =
+  let t = Topology.star ~leaves:2 ~kind:Topology.Untrusted_switch ~fiber_km:10.0 in
+  (* hub=0, leaves 1,2; per-hop fiber 10km@0.2 + 4 insertion = 6 dB;
+     one switch adds 1.5 dB: total 13.5 *)
+  match Routing.shortest_path t ~src:1 ~dst:2 ~weight:Routing.Loss_db with
+  | Some path ->
+      Alcotest.(check (float 1e-6)) "loss" 13.5 (Routing.path_loss_db t path)
+  | None -> Alcotest.fail "star connects"
+
+let test_routing_edge_disjoint_paths () =
+  let t = Topology.ring ~n:6 ~fiber_km:10.0 in
+  (* between two relays on the ring there are exactly two disjoint
+     ways around; the endpoints' single attachment stubs would
+     bottleneck to one *)
+  let paths = Routing.edge_disjoint_paths t ~src:0 ~dst:3 in
+  check_int "two disjoint routes" 2 (List.length paths);
+  let stub = Routing.edge_disjoint_paths t ~src:6 ~dst:7 in
+  check_int "stub bottleneck" 1 (List.length stub);
+  (* link states restored afterwards *)
+  check "restored" true
+    (List.for_all (fun (e : Topology.edge) -> e.Topology.up) (Topology.edges t))
+
+(* -- Link model -- *)
+
+let test_link_model_darpa_point () =
+  let p = Link_model.predict Link.darpa_default in
+  check "qber band" true (p.Link_model.qber > 0.05 && p.Link_model.qber < 0.085);
+  check "sifted order 1kbps" true
+    (p.Link_model.sifted_bps > 1000.0 && p.Link_model.sifted_bps < 2500.0);
+  check "distills" true (p.Link_model.distilled_bps > 100.0)
+
+let test_link_model_matches_simulation () =
+  (* model vs full simulation at the operating point: within ~20% on
+     detection and sifted rate, ~1.5 points of QBER *)
+  let p = Link_model.predict Link.darpa_default in
+  let r = Link.run ~seed:210L Link.darpa_default ~pulses:1_000_000 in
+  let s = Qkd_protocol.Sifting.sift r in
+  let sim_sifted = float_of_int (Array.length s.Qkd_protocol.Sifting.slots) /. r.Link.elapsed_s in
+  let sim_qber = Qkd_protocol.Sifting.qber s in
+  check "sifted close" true
+    (abs_float (sim_sifted -. p.Link_model.sifted_bps) /. sim_sifted < 0.2);
+  check "qber close" true (abs_float (sim_qber -. p.Link_model.qber) < 0.015)
+
+let test_link_model_distance_decay () =
+  let rate km =
+    (Link_model.predict (Link_model.with_length Link.darpa_default km)).Link_model.distilled_bps
+  in
+  check "monotone decay" true (rate 10.0 > rate 20.0 && rate 20.0 > rate 30.0);
+  check "dies by 60km" true (rate 60.0 = 0.0)
+
+let test_link_model_research_reaches_70km () =
+  let rate km =
+    (Link_model.predict (Link_model.with_length Link.research_grade km)).Link_model.distilled_bps
+  in
+  check "alive at 65km" true (rate 65.0 > 0.0);
+  check "dead by 110km" true (rate 110.0 = 0.0)
+
+let test_binary_entropy () =
+  Alcotest.(check (float 1e-9)) "h(0)" 0.0 (Link_model.binary_entropy 0.0);
+  Alcotest.(check (float 1e-9)) "h(1/2)" 1.0 (Link_model.binary_entropy 0.5);
+  Alcotest.(check (float 1e-6)) "h symmetric" (Link_model.binary_entropy 0.11)
+    (Link_model.binary_entropy 0.89)
+
+(* -- Relay -- *)
+
+let test_relay_pools_fill_and_deliver () =
+  let topo = Topology.chain ~n:2 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create topo in
+  Relay.advance r ~seconds:30.0;
+  check "pools filled" true (Relay.pool_bits r 0 1 > 1000.0);
+  match Relay.request_key r ~src:0 ~dst:3 ~bits:1024 with
+  | Ok d ->
+      check_int "exposures = intermediate relays" 2 d.Relay.cleartext_exposures;
+      check_int "delivered" 1024 (Relay.delivered_bits r);
+      (* every hop paid *)
+      check "hop 0 paid" true (Relay.pool_bits r 0 1 < 30.0 *. Relay.link_rate r 0 1)
+  | Error _ -> Alcotest.fail "should deliver"
+
+let test_relay_insufficient_key () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create topo in
+  Relay.advance r ~seconds:1.0;
+  match Relay.request_key r ~src:0 ~dst:2 ~bits:100_000 with
+  | Error (Relay.Insufficient_key _) -> check_int "failed counted" 1 (Relay.failed_requests r)
+  | Ok _ -> Alcotest.fail "should be short of key"
+  | Error Relay.No_route -> Alcotest.fail "route exists"
+
+let test_relay_no_route_when_cut () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create topo in
+  Relay.advance r ~seconds:60.0;
+  Topology.set_edge topo 1 2 ~up:false;
+  match Relay.request_key r ~src:0 ~dst:2 ~bits:10 with
+  | Error Relay.No_route -> ()
+  | Ok _ | Error (Relay.Insufficient_key _) -> Alcotest.fail "link is cut"
+
+let test_relay_key_arrives_intact () =
+  (* the hop-by-hop OTP must reconstruct the exact key at dst *)
+  let topo = Topology.chain ~n:3 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create topo in
+  Relay.advance r ~seconds:60.0;
+  match Relay.request_key r ~src:0 ~dst:4 ~bits:2048 with
+  | Ok d ->
+      check_int "full length" 2048 (Qkd_util.Bitstring.length d.Relay.key);
+      (* pools on every hop paid exactly 2048 bits *)
+      check "hops paid" true (Relay.pool_bits r 0 1 +. 2048.0 <= 60.0 *. Relay.link_rate r 0 1 +. 1.0)
+  | Error _ -> Alcotest.fail "should deliver"
+
+let test_relay_down_links_generate_nothing () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create topo in
+  Topology.set_edge topo 0 1 ~up:false;
+  Relay.advance r ~seconds:60.0;
+  Alcotest.(check (float 1e-9)) "no fill" 0.0 (Relay.pool_bits r 0 1)
+
+(* -- Switch_net -- *)
+
+let test_switch_path_loss_reduces_rate () =
+  let topo = Topology.star ~leaves:3 ~kind:Topology.Untrusted_switch ~fiber_km:5.0 in
+  match Switch_net.best_path topo ~src:1 ~dst:2 with
+  | Some e ->
+      check_int "one switch" 1 e.Switch_net.switches;
+      let direct = Link_model.predict Link.darpa_default in
+      check "switched path slower" true
+        (e.Switch_net.prediction.Link_model.distilled_bps
+        < direct.Link_model.distilled_bps)
+  | None -> Alcotest.fail "connected"
+
+let test_switch_rejects_trusted_transit () =
+  let topo = Topology.star ~leaves:2 ~kind:Topology.Trusted_relay ~fiber_km:5.0 in
+  Alcotest.check_raises "trusted mid-path"
+    (Invalid_argument "Switch_net: trusted relay on an all-optical path") (fun () ->
+      ignore (Switch_net.evaluate_path topo [ 1; 0; 2 ]))
+
+let test_switch_max_switches_monotone () =
+  let reach_short = Switch_net.max_switches ~hop_km:5.0 ~insertion_db:1.5 () in
+  let reach_long = Switch_net.max_switches ~hop_km:15.0 ~insertion_db:1.5 () in
+  check "shorter hops, more switches" true (reach_short >= reach_long);
+  let lossy = Switch_net.max_switches ~hop_km:5.0 ~insertion_db:6.0 () in
+  check "lossier switches, fewer" true (reach_short >= lossy)
+
+(* -- Failure -- *)
+
+let test_availability_mesh_beats_chain () =
+  let mesh = Topology.random_mesh ~nodes:10 ~degree:3.5 ~seed:5L ~fiber_km:10.0 in
+  let chain = Topology.chain ~n:8 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let a_mesh = Failure.availability ~trials:3000 mesh ~src:0 ~dst:9 ~p_fail:0.1 in
+  let a_chain = Failure.availability ~trials:3000 chain ~src:0 ~dst:9 ~p_fail:0.1 in
+  check "mesh more available" true (a_mesh > a_chain +. 0.15)
+
+let test_availability_bounds () =
+  let chain = Topology.chain ~n:2 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  Alcotest.(check (float 1e-9)) "p=0 perfect" 1.0
+    (Failure.availability ~trials:500 chain ~src:0 ~dst:3 ~p_fail:0.0);
+  Alcotest.(check (float 1e-9)) "p=1 dead" 0.0
+    (Failure.availability ~trials:500 chain ~src:0 ~dst:3 ~p_fail:1.0)
+
+let test_availability_restores_state () =
+  let chain = Topology.chain ~n:2 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  ignore (Failure.availability ~trials:100 chain ~src:0 ~dst:3 ~p_fail:0.5);
+  check "links restored" true
+    (List.for_all (fun (e : Topology.edge) -> e.Topology.up) (Topology.edges chain))
+
+let test_outage_simulation () =
+  let mesh = Topology.random_mesh ~nodes:8 ~degree:3.0 ~seed:6L ~fiber_km:10.0 in
+  let rep =
+    Failure.simulate_outages mesh ~src:0 ~dst:7 ~mtbf_s:3600.0 ~mttr_s:300.0
+      ~duration_s:86_400.0
+  in
+  check "availability sensible" true
+    (rep.Failure.availability > 0.8 && rep.Failure.availability <= 1.0);
+  Alcotest.(check (float 1e-6)) "accounting adds up" rep.Failure.availability
+    (rep.Failure.connected_s /. rep.Failure.duration_s)
+
+let test_outage_chain_flakier_than_mesh () =
+  let chain = Topology.chain ~n:6 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let mesh = Topology.random_mesh ~nodes:8 ~degree:3.5 ~seed:7L ~fiber_km:10.0 in
+  let rc =
+    Failure.simulate_outages chain ~src:0 ~dst:7 ~mtbf_s:1800.0 ~mttr_s:600.0
+      ~duration_s:86_400.0
+  in
+  let rm =
+    Failure.simulate_outages mesh ~src:0 ~dst:7 ~mtbf_s:1800.0 ~mttr_s:600.0
+      ~duration_s:86_400.0
+  in
+  check "mesh wins" true (rm.Failure.availability > rc.Failure.availability)
+
+(* -- Switch control plane -- *)
+
+(* endpoints 1..leaves around an untrusted-switch hub *)
+let switch_star leaves = Topology.star ~leaves ~kind:Topology.Untrusted_switch ~fiber_km:5.0
+
+(* a 2-switch chain: e0 - s1 - s2 - e3 *)
+let switch_chain () = Topology.chain ~n:2 ~kind:Topology.Untrusted_switch ~fiber_km:5.0
+
+let test_sc_setup_and_teardown () =
+  let topo = switch_chain () in
+  let sc = Sc.create ~ports_per_switch:4 topo in
+  match Sc.setup sc ~src:0 ~dst:3 with
+  | Ok c ->
+      check_int "two switches crossed" 2 (List.length c.Sc.path - 2);
+      check_int "port consumed" 3 (Sc.ports_free sc 1);
+      check "loss accounted" true (c.Sc.loss_db > 10.0);
+      Sc.teardown sc c;
+      check_int "port released" 4 (Sc.ports_free sc 1);
+      check_int "no active circuits" 0 (List.length (Sc.active sc))
+  | Error _ -> Alcotest.fail "setup should succeed"
+
+let test_sc_teardown_idempotent () =
+  let sc = Sc.create (switch_chain ()) in
+  match Sc.setup sc ~src:0 ~dst:3 with
+  | Ok c ->
+      Sc.teardown sc c;
+      Sc.teardown sc c;
+      check_int "released once" 8 (Sc.ports_free sc 1)
+  | Error _ -> Alcotest.fail "setup"
+
+let test_sc_capacity_blocking () =
+  let topo = switch_star 4 in
+  let sc = Sc.create ~ports_per_switch:2 topo in
+  (* hub has 2 mirror pairs: two circuits fit, the third blocks *)
+  let ok1 = Sc.setup sc ~src:1 ~dst:2 in
+  let ok2 = Sc.setup sc ~src:3 ~dst:4 in
+  check "first two up" true (Result.is_ok ok1 && Result.is_ok ok2);
+  (match Sc.setup sc ~src:1 ~dst:3 with
+  | Error (Sc.All_routes_blocked _) -> ()
+  | Ok _ -> Alcotest.fail "should block"
+  | Error Sc.No_optical_route -> Alcotest.fail "route exists");
+  check "crankback counted" true ((Sc.stats sc).Sc.crankbacks >= 1);
+  (* releasing one circuit frees the hub *)
+  (match ok1 with Ok c -> Sc.teardown sc c | Error _ -> ());
+  check "now fits" true (Result.is_ok (Sc.setup sc ~src:1 ~dst:3))
+
+let test_sc_fail_link_tears_down_and_reroutes () =
+  (* ring of switches gives an alternate optical route *)
+  let topo = Topology.create () in
+  let e0 = Topology.add_node topo ~name:"e0" ~kind:Topology.Endpoint in
+  let s = Array.init 4 (fun i -> Topology.add_node topo ~name:(Printf.sprintf "s%d" i) ~kind:Topology.Untrusted_switch) in
+  let e1 = Topology.add_node topo ~name:"e1" ~kind:Topology.Endpoint in
+  let fiber = Fiber.make ~length_km:3.0 () in
+  Topology.add_edge topo e0 s.(0) fiber;
+  Topology.add_edge topo s.(0) s.(1) fiber;
+  Topology.add_edge topo s.(1) s.(3) fiber;
+  Topology.add_edge topo s.(0) s.(2) fiber;
+  Topology.add_edge topo s.(2) s.(3) fiber;
+  Topology.add_edge topo s.(3) e1 fiber;
+  let sc = Sc.create topo in
+  (match Sc.setup sc ~src:e0 ~dst:e1 with
+  | Ok c ->
+      (* break a link on its path; the circuit is torn down *)
+      let on_path = c.Sc.path in
+      let a = List.nth on_path 1 and b = List.nth on_path 2 in
+      let broken = Sc.fail_link sc a b in
+      check_int "torn down" 1 (List.length broken);
+      check_int "none active" 0 (List.length (Sc.active sc));
+      let re, lost = Sc.reroute_broken sc broken in
+      check_int "rerouted" 1 (List.length re);
+      check_int "none lost" 0 (List.length lost);
+      (* new path avoids the dead link *)
+      let c' = List.hd re in
+      check "avoids failed link" false
+        (let rec uses = function
+           | x :: (y :: _ as rest) -> (x = a && y = b) || (x = b && y = a) || uses rest
+           | _ -> false
+         in
+         uses c'.Sc.path)
+  | Error _ -> Alcotest.fail "setup")
+
+let test_sc_signaling_counted () =
+  let sc = Sc.create (switch_chain ()) in
+  (match Sc.setup sc ~src:0 ~dst:3 with Ok _ -> () | Error _ -> Alcotest.fail "setup");
+  check "messages flowed" true ((Sc.stats sc).Sc.signaling_messages >= 6)
+
+(* -- Trust analysis -- *)
+
+let test_trust_no_compromise_no_exposure () =
+  let mesh = Topology.random_mesh ~nodes:8 ~degree:3.0 ~seed:8L ~fiber_km:10.0 in
+  let pairs = [ (0, 7); (1, 6); (2, 5) ] in
+  let e = Trust.compromise_exposure mesh ~pairs ~compromised:[] in
+  check_int "no exposure" 0 e.Trust.exposed;
+  check_int "all delivered" 3 e.Trust.deliveries
+
+let test_trust_direct_link_immune () =
+  (* two endpoints directly linked: no intermediate relay to own *)
+  let t = Topology.create () in
+  let a = Topology.add_node t ~name:"a" ~kind:Topology.Endpoint in
+  let b = Topology.add_node t ~name:"b" ~kind:Topology.Endpoint in
+  Topology.add_edge t a b (Fiber.make ~length_km:10.0 ());
+  let e = Trust.compromise_exposure t ~pairs:[ (a, b) ] ~compromised:[ a; b ] in
+  check_int "endpoints are not relays" 0 e.Trust.exposed
+
+let test_trust_chain_single_relay_owns_all () =
+  let chain = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  (* endpoints 0 and 2, relay 1: owning the relay exposes everything *)
+  let e = Trust.compromise_exposure chain ~pairs:[ (0, 2) ] ~compromised:[ 1 ] in
+  Alcotest.(check (float 1e-9)) "all exposed" 1.0 e.Trust.fraction
+
+let test_trust_curve_monotone () =
+  let mesh = Topology.random_mesh ~nodes:10 ~degree:3.5 ~seed:5L ~fiber_km:10.0 in
+  let pairs = [ (0, 9); (1, 8); (2, 7); (3, 6) ] in
+  let curve = Trust.random_compromise_curve ~trials:50 mesh ~pairs ~max_compromised:6 in
+  let fracs = List.map snd curve in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+    | [ _ ] | [] -> true
+  in
+  check "exposure grows with compromise" true (monotone fracs);
+  Alcotest.(check (float 1e-9)) "zero at zero" 0.0 (List.hd fracs)
+
+let test_trust_flow_ambiguity_p2p_vs_star () =
+  (* dedicated point-to-point links: every flow identified (ambiguity 1);
+     a star's hub aggregates all pairs *)
+  let p2p = Topology.full_mesh ~endpoints:4 ~fiber_km:10.0 in
+  let pairs = [ (0, 1); (2, 3); (0, 2) ] in
+  Alcotest.(check (float 1e-9)) "p2p transparent" 1.0 (Trust.flow_ambiguity p2p ~pairs);
+  let star = Topology.star ~leaves:4 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  (* leaves are ids 1..4 *)
+  let star_pairs = [ (1, 2); (3, 4); (1, 3) ] in
+  check "star hides flows" true (Trust.flow_ambiguity star ~pairs:star_pairs > 1.5)
+
+let () =
+  Alcotest.run "qkd_net"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "dispatch order" `Quick test_sim_dispatch_order;
+          Alcotest.test_case "fifo ties" `Quick test_sim_ties_fifo;
+          Alcotest.test_case "until stops" `Quick test_sim_until_stops;
+          Alcotest.test_case "handler scheduling" `Quick test_sim_schedule_from_handler;
+          Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "build/query" `Quick test_topology_build_and_query;
+          Alcotest.test_case "bad edges" `Quick test_topology_rejects_bad_edges;
+          Alcotest.test_case "down edge" `Quick test_topology_down_edge_hides_neighbor;
+          Alcotest.test_case "builders" `Quick test_topology_builders;
+          Alcotest.test_case "random mesh connected" `Quick test_topology_random_mesh_connected;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "shortest hops" `Quick test_routing_shortest_hops;
+          Alcotest.test_case "avoids down" `Quick test_routing_avoids_down_links;
+          Alcotest.test_case "endpoint not transit" `Quick test_routing_endpoint_not_transit;
+          Alcotest.test_case "path loss" `Quick test_routing_path_loss;
+          Alcotest.test_case "disjoint paths" `Quick test_routing_edge_disjoint_paths;
+        ] );
+      ( "link-model",
+        [
+          Alcotest.test_case "darpa point" `Quick test_link_model_darpa_point;
+          Alcotest.test_case "matches simulation" `Slow test_link_model_matches_simulation;
+          Alcotest.test_case "distance decay" `Quick test_link_model_distance_decay;
+          Alcotest.test_case "research 70km" `Quick test_link_model_research_reaches_70km;
+          Alcotest.test_case "binary entropy" `Quick test_binary_entropy;
+        ] );
+      ( "relay",
+        [
+          Alcotest.test_case "fill and deliver" `Quick test_relay_pools_fill_and_deliver;
+          Alcotest.test_case "insufficient key" `Quick test_relay_insufficient_key;
+          Alcotest.test_case "no route when cut" `Quick test_relay_no_route_when_cut;
+          Alcotest.test_case "key intact" `Quick test_relay_key_arrives_intact;
+          Alcotest.test_case "down links idle" `Quick test_relay_down_links_generate_nothing;
+        ] );
+      ( "switch",
+        [
+          Alcotest.test_case "loss reduces rate" `Quick test_switch_path_loss_reduces_rate;
+          Alcotest.test_case "no trusted transit" `Quick test_switch_rejects_trusted_transit;
+          Alcotest.test_case "max switches" `Quick test_switch_max_switches_monotone;
+        ] );
+      ( "switch-control",
+        [
+          Alcotest.test_case "setup/teardown" `Quick test_sc_setup_and_teardown;
+          Alcotest.test_case "teardown idempotent" `Quick test_sc_teardown_idempotent;
+          Alcotest.test_case "capacity blocking" `Quick test_sc_capacity_blocking;
+          Alcotest.test_case "fail + reroute" `Quick test_sc_fail_link_tears_down_and_reroutes;
+          Alcotest.test_case "signaling counted" `Quick test_sc_signaling_counted;
+        ] );
+      ( "trust-analysis",
+        [
+          Alcotest.test_case "no compromise" `Quick test_trust_no_compromise_no_exposure;
+          Alcotest.test_case "direct link immune" `Quick test_trust_direct_link_immune;
+          Alcotest.test_case "chain relay owns all" `Quick test_trust_chain_single_relay_owns_all;
+          Alcotest.test_case "curve monotone" `Quick test_trust_curve_monotone;
+          Alcotest.test_case "p2p vs star ambiguity" `Quick test_trust_flow_ambiguity_p2p_vs_star;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "mesh beats chain" `Quick test_availability_mesh_beats_chain;
+          Alcotest.test_case "bounds" `Quick test_availability_bounds;
+          Alcotest.test_case "state restored" `Quick test_availability_restores_state;
+          Alcotest.test_case "outage sim" `Quick test_outage_simulation;
+          Alcotest.test_case "chain flakier" `Quick test_outage_chain_flakier_than_mesh;
+        ] );
+    ]
