@@ -3,7 +3,10 @@
      dune exec bench/main.exe            -- every experiment table + microbenches
      dune exec bench/main.exe -- e6      -- one experiment
      dune exec bench/main.exe -- micro   -- Bechamel microbenches only
-     dune exec bench/main.exe -- tables  -- experiment tables only *)
+     dune exec bench/main.exe -- tables  -- experiment tables only
+     dune exec bench/main.exe -- obs     -- telemetry overhead check
+
+   Pass --metrics anywhere to dump the telemetry registry at exit. *)
 
 module Bs = Qkd_util.Bitstring
 module Rng = Qkd_util.Rng
@@ -151,21 +154,70 @@ let microbenches () =
   in
   List.iter run tests
 
+(* Telemetry overhead: the acceptance gate for instrumenting the hot
+   path.  Runs Engine.run_round at 10k pulses with the registry live
+   and with Qkd_obs.Control disabled, and reports the wall-clock
+   delta — which must stay under 5%. *)
+let obs_overhead () =
+  let rounds = 40 in
+  let time_rounds ~enabled =
+    Qkd_obs.Control.set_enabled enabled;
+    (* fresh registry so the enabled run pays creation cost too *)
+    let r = Qkd_obs.Registry.create () in
+    Qkd_obs.Registry.with_registry r (fun () ->
+        let engine =
+          Qkd_protocol.Engine.create ~seed:2003L
+            Qkd_protocol.Engine.default_config
+        in
+        (* warm-up round outside the timed region *)
+        ignore (Qkd_protocol.Engine.run_round engine ~pulses:10_000);
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to rounds do
+          ignore (Qkd_protocol.Engine.run_round engine ~pulses:10_000)
+        done;
+        Unix.gettimeofday () -. t0)
+  in
+  (* interleave to be fair to CPU frequency drift *)
+  let disabled1 = time_rounds ~enabled:false in
+  let enabled1 = time_rounds ~enabled:true in
+  let enabled2 = time_rounds ~enabled:true in
+  let disabled2 = time_rounds ~enabled:false in
+  Qkd_obs.Control.set_enabled true;
+  let disabled = disabled1 +. disabled2 and enabled = enabled1 +. enabled2 in
+  let overhead = (enabled -. disabled) /. disabled *. 100.0 in
+  Format.printf
+    "@.==== Telemetry overhead (Engine.run_round, 10k pulses x %d) ====@.@.\
+     instrumentation disabled: %8.2f ms/round@.\
+     instrumentation enabled:  %8.2f ms/round@.\
+     overhead:                 %+8.2f %%  (budget: < 5%%)@."
+    (2 * rounds)
+    (disabled /. float_of_int (2 * rounds) *. 1e3)
+    (enabled /. float_of_int (2 * rounds) *. 1e3)
+    overhead;
+  if overhead >= 5.0 then begin
+    Format.printf "FAIL: overhead budget exceeded@.";
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  let metrics, args = List.partition (( = ) "--metrics") args in
+  (match args with
   | [] ->
       Experiments.all ();
       microbenches ()
   | [ "micro" ] -> microbenches ()
   | [ "tables" ] -> Experiments.all ()
+  | [ "obs" ] -> obs_overhead ()
   | [ name ] -> (
       match Experiments.by_name name with
       | Some f -> f ()
       | None ->
           Format.eprintf "unknown experiment %S; available: %s@." name
-            (String.concat ", " ("micro" :: "tables" :: Experiments.names));
+            (String.concat ", "
+               ("micro" :: "tables" :: "obs" :: Experiments.names));
           exit 1)
   | _ ->
-      Format.eprintf "usage: main.exe [experiment]@.";
-      exit 1
+      Format.eprintf "usage: main.exe [experiment] [--metrics]@.";
+      exit 1);
+  if metrics <> [] then Qkd_obs.Export.print_dump ()

@@ -20,9 +20,20 @@ module Failure = Qkd_net.Failure
 module System = Qkd_core.System
 open Cmdliner
 
+(* Every subcommand accepts --metrics: the run's telemetry registry is
+   dumped at exit (see README "Observability"). *)
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Print the telemetry registry dump at exit.")
+
+let finish_metrics metrics rc =
+  if metrics then Qkd_obs.Export.print_dump ();
+  rc
+
 (* -- link subcommand -- *)
 
-let run_link pulses length_km mu eve_fraction beamsplit seed =
+let run_link metrics pulses length_km mu eve_fraction beamsplit seed =
   let eve =
     match (eve_fraction, beamsplit) with
     | 0.0, false -> Eve.Passive
@@ -50,7 +61,7 @@ let run_link pulses length_km mu eve_fraction beamsplit seed =
       if m.Engine.eve_known_sifted_bits > 0 then
         Format.printf "eve actually knew %d sifted bits@." m.Engine.eve_known_sifted_bits
   | Error f -> Format.printf "round failed: %a@." Engine.pp_failure f);
-  0
+  finish_metrics metrics 0
 
 let link_cmd =
   let pulses =
@@ -71,11 +82,13 @@ let link_cmd =
   let seed = Arg.(value & opt int 2003 & info [ "seed" ] ~doc:"Random seed.") in
   Cmd.v
     (Cmd.info "link" ~doc:"Run one QKD protocol round over a simulated link")
-    Term.(const run_link $ pulses $ length $ mu $ eve $ beamsplit $ seed)
+    Term.(
+      const run_link $ metrics_arg $ pulses $ length $ mu $ eve $ beamsplit
+      $ seed)
 
 (* -- vpn subcommand -- *)
 
-let run_vpn duration transform key_rate pps =
+let run_vpn metrics duration transform key_rate pps =
   let transform, qkd =
     match transform with
     | "aes" -> (Sa.Aes128_cbc, Spd.Reseed)
@@ -104,7 +117,7 @@ let run_vpn duration transform key_rate pps =
     s.Vpn.elapsed_s s.Vpn.delivered s.Vpn.attempted s.Vpn.blackholed
     s.Vpn.drop_no_key s.Vpn.rekeys s.Vpn.rekey_failures s.Vpn.qbits_consumed
     s.Vpn.pool_a_bits s.Vpn.pool_b_bits;
-  0
+  finish_metrics metrics 0
 
 let vpn_cmd =
   let duration =
@@ -123,11 +136,11 @@ let vpn_cmd =
   in
   Cmd.v
     (Cmd.info "vpn" ~doc:"Run a QKD-keyed IPsec VPN with synthetic traffic")
-    Term.(const run_vpn $ duration $ transform $ key_rate $ pps)
+    Term.(const run_vpn $ metrics_arg $ duration $ transform $ key_rate $ pps)
 
 (* -- network subcommand -- *)
 
-let run_network nodes degree p_fail trials =
+let run_network metrics nodes degree p_fail trials =
   let mesh = Topology.random_mesh ~nodes ~degree ~seed:5L ~fiber_km:10.0 in
   let chain = Topology.chain ~n:(nodes - 2) ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
   let am = Failure.availability ~trials mesh ~src:0 ~dst:(nodes - 1) ~p_fail in
@@ -136,7 +149,7 @@ let run_network nodes degree p_fail trials =
     "@[<v>%d nodes, link failure probability %.2f:@ mesh (avg degree %.1f): \
      availability %.4f@ point-to-point chain: availability %.4f@]@."
     nodes p_fail degree am ac;
-  0
+  finish_metrics metrics 0
 
 let network_cmd =
   let nodes = Arg.(value & opt int 10 & info [ "nodes" ] ~doc:"Relay count.") in
@@ -149,11 +162,11 @@ let network_cmd =
   let trials = Arg.(value & opt int 10_000 & info [ "trials" ] ~doc:"Monte Carlo trials.") in
   Cmd.v
     (Cmd.info "network" ~doc:"Compare meshed and point-to-point availability")
-    Term.(const run_network $ nodes $ degree $ p_fail $ trials)
+    Term.(const run_network $ metrics_arg $ nodes $ degree $ p_fail $ trials)
 
 (* -- chain subcommand: the section-8 link-encryption variant -- *)
 
-let run_chain hops duration transform key_rate =
+let run_chain metrics hops duration transform key_rate =
   let transform, qkd =
     match transform with
     | "aes" -> (Sa.Aes128_cbc, Spd.Reseed)
@@ -187,7 +200,7 @@ let run_chain hops duration transform key_rate =
     s.Qkd_ipsec.Link_encryption.dropped_no_key
     s.Qkd_ipsec.Link_encryption.hop_errors s.Qkd_ipsec.Link_encryption.rekeys
     s.Qkd_ipsec.Link_encryption.cleartext_relays;
-  0
+  finish_metrics metrics 0
 
 let chain_cmd =
   let hops = Arg.(value & opt int 4 & info [ "hops" ] ~doc:"QKD links in the chain.") in
@@ -202,15 +215,16 @@ let chain_cmd =
   in
   Cmd.v
     (Cmd.info "chain" ~doc:"Run traffic across a chain of QKD-encrypted links")
-    Term.(const run_chain $ hops $ duration $ transform $ key_rate)
+    Term.(
+      const run_chain $ metrics_arg $ hops $ duration $ transform $ key_rate)
 
 (* -- system subcommand -- *)
 
-let run_system duration =
+let run_system metrics duration =
   let sys = System.create System.default_config in
   System.advance sys ~seconds:duration;
   Format.printf "%a@." System.pp_report (System.report sys);
-  0
+  finish_metrics metrics 0
 
 let system_cmd =
   let duration =
@@ -218,7 +232,7 @@ let system_cmd =
   in
   Cmd.v
     (Cmd.info "system" ~doc:"Run the full stack: QKD engine feeding an IPsec VPN")
-    Term.(const run_system $ duration)
+    Term.(const run_system $ metrics_arg $ duration)
 
 let () =
   let info =

@@ -187,6 +187,9 @@ let phase1 ~initiator ~responder ~now =
         in
         initiator.phase1 <- Some { skeyid_d = skeyid_d_i; established_s = now };
         responder.phase1 <- Some { skeyid_d = skeyid_d_r; established_s = now };
+        Qkd_obs.Counter.incr
+          (Qkd_obs.Registry.counter "ike_phase1_negotiations_total"
+             ~help:"ISAKMP phase 1 (main mode) SAs established");
         logf initiator "INFO: isakmp.c: ISAKMP-SA established %s-%s"
           (Packet.addr_to_string initiator.identity.addr)
           (Packet.addr_to_string responder.identity.addr);
@@ -214,6 +217,10 @@ let draw_qbits ~initiator ~responder bits =
       let qr = Bitstring.to_bytes (Key_pool.consume responder.pool bits) in
       initiator.qbits <- initiator.qbits + bits;
       responder.qbits <- responder.qbits + bits;
+      Qkd_obs.Counter.add
+        (Qkd_obs.Registry.counter "ike_qbits_consumed_total"
+           ~help:"QKD bits drawn from the key pools by IKE (both ends)")
+        (2 * bits);
       Ok (qi, qr)
     end
   end
@@ -379,6 +386,14 @@ let phase2 ~initiator ~responder ~now ~(protect : Spd.protect) =
             spi_in spi_in;
           initiator.negotiations <- initiator.negotiations + 1;
           responder.negotiations <- responder.negotiations + 1;
+          Qkd_obs.Counter.incr
+            (Qkd_obs.Registry.counter "ike_phase2_negotiations_total"
+               ~help:"Quick-mode negotiations completed");
+          (* one inbound/outbound ESP SA pair per endpoint *)
+          Qkd_obs.Counter.add
+            (Qkd_obs.Registry.counter "ipsec_sas_established_total"
+               ~help:"ESP security associations installed")
+            2;
           Ok
             ( { outbound = init_out; inbound = init_in },
               { outbound = resp_out; inbound = resp_in } ))

@@ -141,10 +141,21 @@ let rekey t ~initiator ~responder protect =
       Gateway.install_sas responder ~peer:(Gateway.wan_addr initiator)
         ~outbound:resp_pair.Ike.outbound ~inbound:resp_pair.Ike.inbound;
       Gateway.note_rekey initiator ~peer:(Gateway.wan_addr responder);
+      Qkd_obs.Counter.incr
+        (Qkd_obs.Registry.counter "ipsec_rekeys_total"
+           ~help:"Successful quick-mode re-keys of the VPN tunnel");
       true
   | Error _ ->
       t.rekey_failures <- t.rekey_failures + 1;
+      Qkd_obs.Counter.incr
+        (Qkd_obs.Registry.counter "ipsec_rekey_failures_total"
+           ~help:"Re-key attempts that failed (usually key-pool underrun)");
       false
+
+let packet_counter outcome =
+  Qkd_obs.Registry.counter "ipsec_packets_total"
+    ~labels:[ ("outcome", outcome) ]
+    ~help:"VPN packets by delivery outcome"
 
 let send_one t ~src_gw ~dst_gw packet =
   t.attempted <- t.attempted + 1;
@@ -152,9 +163,12 @@ let send_one t ~src_gw ~dst_gw packet =
     match Gateway.outbound src_gw ~now:t.now packet with
     | Gateway.Tunnel outer -> (
         match Gateway.inbound dst_gw ~now:t.now outer with
-        | Gateway.Deliver _ -> t.delivered <- t.delivered + 1
+        | Gateway.Deliver _ ->
+            t.delivered <- t.delivered + 1;
+            Qkd_obs.Counter.incr (packet_counter "delivered")
         | Gateway.Bypass_in _ | Gateway.Rejected _ ->
-            t.blackholed <- t.blackholed + 1)
+            t.blackholed <- t.blackholed + 1;
+            Qkd_obs.Counter.incr (packet_counter "blackholed"))
     | Gateway.Bypass clear -> (
         match Gateway.inbound dst_gw ~now:t.now clear with
         | _ -> t.delivered <- t.delivered + 1)
@@ -162,13 +176,23 @@ let send_one t ~src_gw ~dst_gw packet =
     | Gateway.Need_rekey protect ->
         if retries > 0 && rekey t ~initiator:src_gw ~responder:dst_gw protect
         then attempt (retries - 1)
-        else t.drop_no_key <- t.drop_no_key + 1
+        else begin
+          t.drop_no_key <- t.drop_no_key + 1;
+          Qkd_obs.Counter.incr (packet_counter "dropped_no_key")
+        end
   in
   attempt 1
+
+let pool_gauge which =
+  Qkd_obs.Registry.gauge "ipsec_key_pool_bits"
+    ~labels:[ ("pool", which) ]
+    ~help:"Distilled key bits currently available to IKE, per gateway pool"
 
 let step t ~dt =
   t.now <- t.now +. dt;
   feed t ~dt;
+  Qkd_obs.Gauge.set (pool_gauge "a") (float_of_int (Key_pool.available t.pool_a));
+  Qkd_obs.Gauge.set (pool_gauge "b") (float_of_int (Key_pool.available t.pool_b));
   t.traffic_credit <- t.traffic_credit +. (t.config.packets_per_second *. dt);
   let packets = int_of_float t.traffic_credit in
   t.traffic_credit <- t.traffic_credit -. float_of_int packets;

@@ -84,10 +84,16 @@ type delivery_error =
   | No_route
   | Insufficient_key of { edge : int * int; available : float }
 
+let request_counter result =
+  Qkd_obs.Registry.counter "net_relay_requests_total"
+    ~labels:[ ("result", result) ]
+    ~help:"End-to-end key requests through the relay mesh, by outcome"
+
 let request_key t ~src ~dst ~bits =
   match Routing.shortest_path t.topo ~src ~dst ~weight:Routing.Hops with
   | None ->
       t.failed <- t.failed + 1;
+      Qkd_obs.Counter.incr (request_counter "no_route");
       Error No_route
   | Some path ->
       let rec hops acc = function
@@ -103,6 +109,7 @@ let request_key t ~src ~dst ~bits =
       (match shortfall with
       | Some (a, b) ->
           t.failed <- t.failed + 1;
+          Qkd_obs.Counter.incr (request_counter "insufficient_key");
           Error
             (Insufficient_key
                {
@@ -126,6 +133,15 @@ let request_key t ~src ~dst ~bits =
             edges;
           assert (Bitstring.equal !in_flight key);
           t.delivered <- t.delivered + bits;
+          Qkd_obs.Counter.incr (request_counter "delivered");
+          Qkd_obs.Counter.add
+            (Qkd_obs.Registry.counter "net_relay_bits_delivered_total"
+               ~help:"End-to-end key bits delivered across the mesh")
+            bits;
+          Qkd_obs.Counter.add
+            (Qkd_obs.Registry.counter "net_relay_hops_total"
+               ~help:"Hops traversed by delivered key requests")
+            (List.length edges);
           Ok
             {
               path;

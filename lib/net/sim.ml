@@ -47,6 +47,7 @@ let pop t =
 
 let run t ~until =
   let continue = ref true in
+  let dispatched = ref 0 in
   while !continue do
     match t.queue with
     | Empty -> continue := false
@@ -57,8 +58,13 @@ let run t ~until =
         match pop t with
         | Some ev ->
             t.clock <- ev.at;
+            incr dispatched;
             ev.run ()
         | None -> continue := false)
-  done
+  done;
+  Qkd_obs.Counter.add
+    (Qkd_obs.Registry.counter "net_sim_events_total"
+       ~help:"Discrete events dispatched by the network simulator")
+    !dispatched
 
 let pending t = t.size

@@ -1,0 +1,7 @@
+(* One process-wide switch gates every metric mutation and span clock
+   read, so a disabled registry costs a single branch per call site —
+   the bench's "uninstrumented" baseline. *)
+
+let flag = ref true
+let set_enabled b = flag := b
+let enabled () = !flag

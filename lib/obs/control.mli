@@ -1,0 +1,9 @@
+(** Global instrumentation switch.
+
+    When disabled, counter/gauge/histogram mutations and span timing
+    become no-ops (metric {i creation} and reads still work).  The
+    bench uses this to measure instrumentation overhead against a true
+    baseline. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool

@@ -1,0 +1,11 @@
+type t = { mutable value : int }
+
+let make () = { value = 0 }
+
+let add t n =
+  if n < 0 then invalid_arg "Counter.add: counters are monotone";
+  if Control.enabled () then t.value <- t.value + n
+
+let incr t = if Control.enabled () then t.value <- t.value + 1
+let value t = t.value
+let reset t = t.value <- 0

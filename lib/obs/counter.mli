@@ -1,0 +1,16 @@
+(** Monotone integer counter. *)
+
+type t
+
+val make : unit -> t
+(** Prefer {!Registry.counter}, which names and deduplicates. *)
+
+val incr : t -> unit
+
+val add : t -> int -> unit
+(** @raise Invalid_argument on a negative increment, enabled or not. *)
+
+val value : t -> int
+
+val reset : t -> unit
+(** Test helper; resets regardless of the {!Control} switch. *)

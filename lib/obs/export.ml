@@ -1,0 +1,90 @@
+(* Two exporters over Registry.to_list's sorted view:
+
+   - [snapshot]: a stable line protocol, `name{label="v"} value`, made
+     for golden tests and machine diffing.  Histograms expand to
+     Prometheus-style `_bucket{le=..}` / `_sum` / `_count` series.
+   - [pp_dump]: the human dump behind `qkd_sim --metrics`. *)
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Integral values print as integers, everything else as shortest
+   round-trippable-enough %.9g — deterministic for a given binary. *)
+let format_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let format_bound b = if b = infinity then "+Inf" else format_float b
+
+let format_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+let metric_lines (key : Registry.key) metric =
+  let labels = format_labels key.Registry.labels in
+  match metric with
+  | Registry.Counter c ->
+      [ Printf.sprintf "%s%s %d" key.Registry.name labels (Counter.value c) ]
+  | Registry.Gauge g ->
+      [ Printf.sprintf "%s%s %s" key.Registry.name labels
+          (format_float (Gauge.value g)) ]
+  | Registry.Histogram h ->
+      let bucket (bound, cum) =
+        Printf.sprintf "%s_bucket%s %d" key.Registry.name
+          (format_labels (key.Registry.labels @ [ ("le", format_bound bound) ]))
+          cum
+      in
+      List.map bucket (Histogram.cumulative h)
+      @ [
+          Printf.sprintf "%s_sum%s %s" key.Registry.name labels
+            (format_float (Histogram.sum h));
+          Printf.sprintf "%s_count%s %d" key.Registry.name labels
+            (Histogram.count h);
+        ]
+
+let snapshot ?registry () =
+  let r = match registry with Some r -> r | None -> Registry.default () in
+  let lines =
+    List.concat_map (fun (key, m) -> metric_lines key m) (Registry.to_list r)
+  in
+  String.concat "\n" lines ^ if lines = [] then "" else "\n"
+
+let pp_dump ?registry () ppf =
+  let r = match registry with Some r -> r | None -> Registry.default () in
+  let entries = Registry.to_list r in
+  if entries = [] then Format.fprintf ppf "(no metrics recorded)@."
+  else begin
+    Format.fprintf ppf "== telemetry (%d series) ==@." (List.length entries);
+    List.iter
+      (fun ((key : Registry.key), m) ->
+        let name = key.Registry.name ^ format_labels key.Registry.labels in
+        match m with
+        | Registry.Counter c ->
+            Format.fprintf ppf "counter   %-52s %d@." name (Counter.value c)
+        | Registry.Gauge g ->
+            Format.fprintf ppf "gauge     %-52s %s@." name
+              (format_float (Gauge.value g))
+        | Registry.Histogram h ->
+            Format.fprintf ppf "histogram %-52s count=%d sum=%s mean=%s@." name
+              (Histogram.count h)
+              (format_float (Histogram.sum h))
+              (format_float (Histogram.mean h)))
+      entries
+  end
+
+let print_dump ?registry () = pp_dump ?registry () Format.std_formatter

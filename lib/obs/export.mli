@@ -1,0 +1,18 @@
+(** Registry exporters.  Both walk {!Registry.to_list}'s sorted view,
+    so output order is deterministic. *)
+
+val snapshot : ?registry:Registry.t -> unit -> string
+(** Stable line protocol: one [name{label="v"} value] line per counter
+    and gauge; histograms expand to cumulative [_bucket{le="b"}]
+    lines (ending at [le="+Inf"]) plus [_sum] and [_count].  Intended
+    for golden tests — renaming or dropping a metric changes this
+    string. *)
+
+val pp_dump : ?registry:Registry.t -> unit -> Format.formatter -> unit
+(** Human-readable dump (the [--metrics] output). *)
+
+val print_dump : ?registry:Registry.t -> unit -> unit
+(** {!pp_dump} to stdout. *)
+
+val format_float : float -> string
+(** The deterministic value formatting both exporters use. *)

@@ -1,0 +1,6 @@
+type t = { mutable value : float }
+
+let make () = { value = 0.0 }
+let set t v = if Control.enabled () then t.value <- v
+let add t v = if Control.enabled () then t.value <- t.value +. v
+let value t = t.value

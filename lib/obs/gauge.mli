@@ -1,0 +1,10 @@
+(** Instantaneous float value (pool depths, rates). *)
+
+type t
+
+val make : unit -> t
+(** Prefer {!Registry.gauge}, which names and deduplicates. *)
+
+val set : t -> float -> unit
+val add : t -> float -> unit
+val value : t -> float

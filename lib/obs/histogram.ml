@@ -1,0 +1,82 @@
+type t = {
+  upper_bounds : float array;  (** strictly increasing, finite *)
+  counts : int array;  (** length = bounds + 1; last slot is the +Inf overflow *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+(* Decade-ish bucket ladders.  [default_time_buckets] spans microsecond
+   CPU spans to multi-second reconciliations; [default_sim_buckets]
+   spans simulated link/round durations. *)
+let default_time_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0 |]
+
+let default_sim_buckets =
+  [| 1e-3; 1e-2; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0; 300.0 |]
+
+let ratio_buckets =
+  [| 0.01; 0.02; 0.03; 0.04; 0.05; 0.06; 0.08; 0.10; 0.12; 0.15; 0.25; 0.5 |]
+
+(* Roughly logarithmic 1..1M, for bit counts and rates. *)
+let size_buckets =
+  [| 1.0; 10.0; 100.0; 500.0; 1_000.0; 5_000.0; 10_000.0; 50_000.0;
+     100_000.0; 1_000_000.0 |]
+
+let validate_bounds bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Histogram.make: at least one bucket bound";
+  Array.iter
+    (fun b ->
+      if not (Float.is_finite b) then
+        invalid_arg "Histogram.make: bounds must be finite")
+    bounds;
+  for i = 1 to Array.length bounds - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Histogram.make: bounds must be strictly increasing"
+  done
+
+let make ~buckets =
+  validate_bounds buckets;
+  {
+    upper_bounds = Array.copy buckets;
+    counts = Array.make (Array.length buckets + 1) 0;
+    sum = 0.0;
+    count = 0;
+  }
+
+let observe t v =
+  if Control.enabled () then begin
+    let n = Array.length t.upper_bounds in
+    let i = ref 0 in
+    while !i < n && v > t.upper_bounds.(!i) do
+      incr i
+    done;
+    t.counts.(!i) <- t.counts.(!i) + 1;
+    t.sum <- t.sum +. v;
+    t.count <- t.count + 1
+  end
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let upper_bounds t = Array.copy t.upper_bounds
+
+let bucket_counts t =
+  (* per-bucket (not cumulative); the final pair is the +Inf overflow *)
+  Array.to_list
+    (Array.mapi
+       (fun i c ->
+         let bound =
+           if i < Array.length t.upper_bounds then t.upper_bounds.(i)
+           else infinity
+         in
+         (bound, c))
+       t.counts)
+
+let cumulative t =
+  let acc = ref 0 in
+  List.map
+    (fun (bound, c) ->
+      acc := !acc + c;
+      (bound, !acc))
+    (bucket_counts t)

@@ -1,0 +1,36 @@
+(** Fixed-bucket histogram: observations are counted into the first
+    bucket whose upper bound is [>=] the value, with an implicit [+Inf]
+    overflow bucket, plus a running sum and count. *)
+
+type t
+
+val make : buckets:float array -> t
+(** Prefer {!Registry.histogram}, which names and deduplicates.
+    @raise Invalid_argument unless bounds are finite, non-empty and
+    strictly increasing. *)
+
+val observe : t -> float -> unit
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val upper_bounds : t -> float array
+
+val bucket_counts : t -> (float * int) list
+(** Per-bucket [(upper_bound, observations)] pairs in bound order; the
+    final pair has bound [infinity] (the overflow bucket).  The counts
+    sum to {!count}. *)
+
+val cumulative : t -> (float * int) list
+(** Prometheus-style cumulative [le] counts, ending with [infinity]
+    whose count equals {!count}. *)
+
+(** Canned bucket ladders. *)
+
+val default_time_buckets : float array  (** wall-clock span seconds *)
+
+val default_sim_buckets : float array  (** simulated-time seconds *)
+
+val ratio_buckets : float array  (** QBER-style ratios, 0..1 *)
+
+val size_buckets : float array  (** bit counts / rates, ~log 1..1M *)

@@ -1,0 +1,123 @@
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+type key = { name : string; labels : (string * string) list }
+
+type t = {
+  metrics : (key, metric) Hashtbl.t;
+  help : (string, string) Hashtbl.t;  (** per metric name, first wins *)
+}
+
+let create () = { metrics = Hashtbl.create 64; help = Hashtbl.create 16 }
+
+(* The process-global registry.  [use] swaps the registry that
+   label-site lookups resolve against, so a test (or a second engine)
+   can collect into a private registry without threading a handle
+   through every layer. *)
+let global = create ()
+let current = ref global
+let default () = !current
+let use r = current := r
+
+let valid_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let canonical_labels name labels =
+  List.iter
+    (fun (k, _) ->
+      if not (valid_name k) then
+        invalid_arg (Printf.sprintf "Registry: bad label name %S on %s" k name);
+      if k = "le" then
+        invalid_arg (Printf.sprintf "Registry: label \"le\" is reserved (%s)" name))
+    labels;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if a = b then
+          invalid_arg (Printf.sprintf "Registry: duplicate label %S on %s" a name)
+        else dup rest
+    | _ -> ()
+  in
+  dup sorted;
+  sorted
+
+let lookup r ?help name labels make describe =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Registry: bad metric name %S" name);
+  let key = { name; labels = canonical_labels name labels } in
+  match Hashtbl.find_opt r.metrics key with
+  | Some m ->
+      if not (describe m) then
+        invalid_arg
+          (Printf.sprintf "Registry: %s already registered with another type"
+             name);
+      m
+  | None ->
+      (* The same name must keep one metric type across all label sets. *)
+      Hashtbl.iter
+        (fun k m ->
+          if k.name = name && describe m = false then
+            invalid_arg
+              (Printf.sprintf "Registry: %s already registered with another type"
+                 name))
+        r.metrics;
+      (match help with
+      | Some h when not (Hashtbl.mem r.help name) -> Hashtbl.add r.help name h
+      | _ -> ());
+      let m = make () in
+      Hashtbl.add r.metrics key m;
+      m
+
+let counter ?registry ?help ?(labels = []) name =
+  let r = match registry with Some r -> r | None -> !current in
+  match
+    lookup r ?help name labels
+      (fun () -> Counter (Counter.make ()))
+      (function Counter _ -> true | _ -> false)
+  with
+  | Counter c -> c
+  | _ -> assert false
+
+let gauge ?registry ?help ?(labels = []) name =
+  let r = match registry with Some r -> r | None -> !current in
+  match
+    lookup r ?help name labels
+      (fun () -> Gauge (Gauge.make ()))
+      (function Gauge _ -> true | _ -> false)
+  with
+  | Gauge g -> g
+  | _ -> assert false
+
+let histogram ?registry ?help ?(buckets = Histogram.default_time_buckets)
+    ?(labels = []) name =
+  let r = match registry with Some r -> r | None -> !current in
+  match
+    lookup r ?help name labels
+      (fun () -> Histogram (Histogram.make ~buckets))
+      (function Histogram _ -> true | _ -> false)
+  with
+  | Histogram h -> h
+  | _ -> assert false
+
+let help r name = Hashtbl.find_opt r.help name
+
+let to_list r =
+  Hashtbl.fold (fun key m acc -> (key, m) :: acc) r.metrics []
+  |> List.sort (fun (a, _) (b, _) -> compare (a.name, a.labels) (b.name, b.labels))
+
+let cardinality r = Hashtbl.length r.metrics
+
+let clear r =
+  Hashtbl.reset r.metrics;
+  Hashtbl.reset r.help
+
+let with_registry r f =
+  let previous = !current in
+  current := r;
+  Fun.protect ~finally:(fun () -> current := previous) f

@@ -1,0 +1,60 @@
+(** Named-metric registry.
+
+    A metric is identified by [(name, labels)]: the first call creates
+    it, every later call with the same identity returns the same
+    handle, so instrumentation sites just re-ask by name.  Names and
+    label keys must match [[A-Za-z_][A-Za-z0-9_]*]; the repo convention
+    is [<layer>_<thing>_<unit>] (see README "Observability").
+
+    Lookups resolve against the {e current} registry — the process
+    global unless {!use}/{!with_registry} swapped in an explicit one —
+    or against [?registry] when passed. *)
+
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+type key = { name : string; labels : (string * string) list }
+(** [labels] is canonically sorted by label name. *)
+
+type t
+
+val create : unit -> t
+
+val default : unit -> t
+(** The current registry (the process global unless swapped). *)
+
+val use : t -> unit
+(** Make [r] the current registry for subsequent label-site lookups. *)
+
+val with_registry : t -> (unit -> 'a) -> 'a
+(** Run [f] with [r] current, restoring the previous registry on exit
+    (including exceptional exit). *)
+
+val counter :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list -> string ->
+  Counter.t
+
+val gauge :
+  ?registry:t -> ?help:string -> ?labels:(string * string) list -> string ->
+  Gauge.t
+
+val histogram :
+  ?registry:t -> ?help:string -> ?buckets:float array ->
+  ?labels:(string * string) list -> string -> Histogram.t
+(** [buckets] defaults to {!Histogram.default_time_buckets} and is
+    only consulted on first creation.
+
+    All three constructors raise [Invalid_argument] on a malformed
+    name/labels, a duplicate or reserved ([le]) label, or a name
+    already registered as a different metric type. *)
+
+val help : t -> string -> string option
+
+val to_list : t -> (key * metric) list
+(** All metrics, sorted by [(name, labels)] — the exporters' order. *)
+
+val cardinality : t -> int
+
+val clear : t -> unit

@@ -1,0 +1,41 @@
+(* Span durations land in two histograms keyed by a [span] label:
+
+     span_wall_seconds{span="cascade"}  — host clock, nondeterministic
+     span_sim_seconds{span="round"}     — simulated time, reproducible
+
+   Golden tests filter the wall series and pin the sim series. *)
+
+(* [Sys.time] keeps the library dependency-free; callers that want
+   real wall-clock (e.g. a driver linking unix) can install
+   [Unix.gettimeofday]. *)
+let clock = ref Sys.time
+let set_clock f = clock := f
+
+let wall_metric = "span_wall_seconds"
+let sim_metric = "span_sim_seconds"
+
+let wall_histogram ?registry ?(labels = []) name =
+  Registry.histogram ?registry ~buckets:Histogram.default_time_buckets
+    ~labels:(("span", name) :: labels)
+    wall_metric
+
+let with_span ?registry ?labels name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let h = wall_histogram ?registry ?labels name in
+    let t0 = !clock () in
+    match f () with
+    | v ->
+        Histogram.observe h (!clock () -. t0);
+        v
+    | exception e ->
+        Histogram.observe h (!clock () -. t0);
+        raise e
+  end
+
+let record_sim ?registry ?(labels = []) name seconds =
+  Histogram.observe
+    (Registry.histogram ?registry ~buckets:Histogram.default_sim_buckets
+       ~labels:(("span", name) :: labels)
+       sim_metric)
+    seconds

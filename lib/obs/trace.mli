@@ -1,0 +1,25 @@
+(** Lightweight span tracing on top of histograms.
+
+    [with_span "cascade" f] times [f] on the host clock and records
+    the duration into [span_wall_seconds{span="cascade"}] (recorded
+    even when [f] raises).  {!record_sim} is its reproducible sibling
+    for {e simulated} durations, recorded into [span_sim_seconds]. *)
+
+val with_span :
+  ?registry:Registry.t -> ?labels:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+
+val record_sim :
+  ?registry:Registry.t -> ?labels:(string * string) list -> string -> float ->
+  unit
+
+val set_clock : (unit -> float) -> unit
+(** Replace the span clock (default [Sys.time], processor seconds —
+    the zero-dependency choice).  Install [Unix.gettimeofday] from a
+    driver for true wall-clock spans. *)
+
+val wall_metric : string
+(** ["span_wall_seconds"] — the nondeterministic series golden tests
+    must filter out. *)
+
+val sim_metric : string

@@ -32,7 +32,14 @@ let validate c =
    clicked (for afterpulsing). *)
 type apd = { mutable dead : int; mutable clicked_last : bool }
 
-type t = { config : config; d0 : apd; d1 : apd }
+type t = {
+  config : config;
+  d0 : apd;
+  d1 : apd;
+  mutable dark_clicks : int;
+      (** clicks attributable to dark counts alone: no photons arrived
+          and no afterpulse was armed, so nothing else could fire *)
+}
 
 let create config =
   validate config;
@@ -40,7 +47,10 @@ let create config =
     config;
     d0 = { dead = 0; clicked_last = false };
     d1 = { dead = 0; clicked_last = false };
+    dark_clicks = 0;
   }
+
+let dark_clicks t = t.dark_clicks
 
 type outcome = No_click | Click of Qubit.value | Double_click
 
@@ -61,6 +71,11 @@ let gate t rng apd ~efficiency ~photons_here =
       (1.0 -. p_signal) *. (1.0 -. c.dark_count_per_gate) *. (1.0 -. p_after)
     in
     let clicked = Qkd_util.Rng.bernoulli rng (1.0 -. p_noclick) in
+    (* Attribution without extra RNG draws (which would perturb the
+       seeded streams): a click on an empty, afterpulse-free gate can
+       only be a dark count. *)
+    if clicked && p_signal = 0.0 && p_after = 0.0 then
+      t.dark_clicks <- t.dark_clicks + 1;
     apd.clicked_last <- clicked;
     if clicked then apd.dead <- c.dead_time_gates;
     clicked

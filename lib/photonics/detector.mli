@@ -59,3 +59,9 @@ val detect :
   outcome
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val dark_clicks : t -> int
+(** Clicks that fired on a gate with no arriving photons and no armed
+    afterpulse — attributable to dark counts alone.  (Dark counts that
+    coincide with a live pulse are not separable without extra random
+    draws, so this undercounts slightly.) *)

@@ -151,13 +151,42 @@ let run ?(seed = 1L) (config : config) ~pulses =
       | outcome -> detections := { slot; bob_basis; outcome } :: !detections
     end
   done;
+  let detections = Array.of_list (List.rev !detections) in
+  let double_clicks =
+    Array.fold_left
+      (fun n d ->
+        match d.outcome with Detector.Double_click -> n + 1 | _ -> n)
+      0 detections
+  in
+  let open Qkd_obs in
+  Counter.add
+    (Registry.counter "photonics_pulses_total"
+       ~help:"Optical pulses emitted by Alice's source")
+    pulses;
+  Counter.add
+    (Registry.counter "photonics_detections_total"
+       ~help:"Gates on which at least one of Bob's APDs fired")
+    (Array.length detections);
+  Counter.add
+    (Registry.counter "photonics_double_clicks_total"
+       ~help:"Gates on which both APDs fired (discarded by sifting)")
+    double_clicks;
+  Counter.add
+    (Registry.counter "photonics_dark_counts_total"
+       ~help:"Clicks attributable to dark counts alone")
+    (Detector.dark_clicks receiver);
+  Counter.add
+    (Registry.counter "photonics_frames_lost_total"
+       ~help:"Transmission frames lost to missed annunciation")
+    !frames_lost;
+  Trace.record_sim "link_run" (float_of_int pulses /. config.pulse_rate_hz);
   {
     config;
     pulses;
     alice_bases;
     alice_values;
     alice_detected;
-    detections = Array.of_list (List.rev !detections);
+    detections;
     frames_lost = !frames_lost;
     eve;
     elapsed_s = float_of_int pulses /. config.pulse_rate_hz;

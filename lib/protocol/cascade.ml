@@ -80,6 +80,7 @@ let range_parity bits positions lo hi =
   !p
 
 let reconcile ?(seed = 7L) ?estimated_qber config ~alice ~bob =
+  Qkd_obs.Trace.with_span "cascade" @@ fun () ->
   if Bitstring.length alice <> Bitstring.length bob then
     invalid_arg "Cascade.reconcile: length mismatch";
   let len = Bitstring.length alice in
@@ -193,6 +194,26 @@ let reconcile ?(seed = 7L) ?estimated_qber config ~alice ~bob =
     bytes := !bytes + verify_msg_bytes;
     if s.alice_parity <> s.bob_parity then verified := false
   done;
+  let open Qkd_obs in
+  Counter.incr
+    (Registry.counter "cascade_reconciliations_total"
+       ~help:"Cascade reconciliation runs");
+  Counter.add
+    (Registry.counter "cascade_errors_corrected_total"
+       ~help:"Bit errors fixed by Cascade bisection")
+    !errors;
+  Counter.add
+    (Registry.counter "cascade_disclosed_bits_total"
+       ~help:"Parity bits Cascade disclosed on the public channel")
+    !disclosed;
+  Counter.add
+    (Registry.counter "cascade_channel_bytes_total"
+       ~help:"Cascade bytes on the classical channel")
+    !bytes;
+  Histogram.observe
+    (Registry.histogram "cascade_rounds" ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32. |]
+       ~help:"Reconciliation passes used per run")
+    (float_of_int !rounds_used);
   {
     corrected = bob;
     errors_corrected = !errors;

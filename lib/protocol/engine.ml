@@ -2,6 +2,7 @@ module Bitstring = Qkd_util.Bitstring
 module Rng = Qkd_util.Rng
 module Link = Qkd_photonics.Link
 module Eve = Qkd_photonics.Eve
+module Obs = Qkd_obs
 
 type ec_algorithm = Ec_cascade | Ec_parity_checks
 
@@ -119,11 +120,13 @@ let authenticated_transfer ~sender ~receiver ~tampered payload =
 
 let ( let* ) = Result.bind
 
-let run_round ?(tamper = false) t ~pulses =
+let run_round_bare ~tamper t ~pulses =
   t.round <- t.round + 1;
   let seed = Rng.int64 t.rng in
-  let link = Link.run ~seed t.config.link ~pulses in
-  let sift = Sifting.sift link in
+  let link =
+    Obs.Trace.with_span "engine_link" (fun () -> Link.run ~seed t.config.link ~pulses)
+  in
+  let sift = Obs.Trace.with_span "engine_sift" (fun () -> Sifting.sift link) in
   let auth_before =
     Auth.consumed_bits t.alice_auth + Auth.consumed_bits t.bob_auth
   in
@@ -133,6 +136,7 @@ let run_round ?(tamper = false) t ~pulses =
      conversation", amortising the secret-bit cost).  The running QBER
      estimate from the previous round sizes the first pass. *)
   let ec_corrected, ec_errors, ec_disclosed, ec_bytes, ec_verified =
+    Obs.Trace.with_span "engine_ec" @@ fun () ->
     match t.config.ec with
     | Ec_cascade ->
         let r =
@@ -207,12 +211,13 @@ let run_round ?(tamper = false) t ~pulses =
      string.  If error correction left undetected residuals the two
      distillates differ — and everything downstream (auth pools, key
      pools, the VPN) inherits that divergence honestly. *)
-  let pa =
-    Privacy_amp.amplify t.rng ~bits:sift.Sifting.alice_bits
-      ~secure_bits:entropy.Entropy.secure_bits
-  in
-  let bob_distilled =
-    Privacy_amp.apply_params pa.Privacy_amp.params_messages ec_corrected
+  let pa, bob_distilled =
+    Obs.Trace.with_span "engine_pa" @@ fun () ->
+    let pa =
+      Privacy_amp.amplify t.rng ~bits:sift.Sifting.alice_bits
+        ~secure_bits:entropy.Entropy.secure_bits
+    in
+    (pa, Privacy_amp.apply_params pa.Privacy_amp.params_messages ec_corrected)
   in
   let pa_payload =
     Bytes.concat Bytes.empty (List.map Wire.encode pa.Privacy_amp.params_messages)
@@ -274,3 +279,68 @@ let run_round ?(tamper = false) t ~pulses =
       distilled_bps = float_of_int (Bitstring.length delivered) /. link.Link.elapsed_s;
       eve_known_sifted_bits = eve_known;
     }
+
+let failure_reason = function
+  | Auth_exhausted -> "auth_exhausted"
+  | Auth_tampered -> "auth_tampered"
+  | Ec_not_verified -> "ec_not_verified"
+
+(* Throughput/quality series are fed only from completed rounds, so a
+   tampered or exhausted round can never skew them — its trace is the
+   [engine_rounds_failed{reason}] counter. *)
+let observe_round (m : round_metrics) =
+  let open Obs in
+  Counter.add
+    (Registry.counter "protocol_sifted_bits_total"
+       ~help:"Sifted bits accumulated over completed rounds")
+    m.sifted_bits;
+  Counter.add
+    (Registry.counter "protocol_errors_corrected_total"
+       ~help:"Bit errors corrected by error correction")
+    m.errors_corrected;
+  Counter.add
+    (Registry.counter "protocol_disclosed_bits_total"
+       ~help:"Parity bits disclosed on the public channel")
+    m.disclosed_bits;
+  Counter.add
+    (Registry.counter "protocol_distilled_bits_total"
+       ~help:"Distilled key bits delivered to the key pools")
+    m.distilled_bits;
+  Counter.add
+    (Registry.counter "protocol_auth_bits_consumed_total"
+       ~help:"Wegman-Carter authentication bits spent")
+    m.auth_bits_consumed;
+  Counter.add
+    (Registry.counter "protocol_channel_bytes_total"
+       ~help:"Bytes exchanged on the classical channel")
+    m.channel_bytes;
+  Histogram.observe
+    (Registry.histogram "protocol_qber_ratio"
+       ~buckets:Histogram.ratio_buckets
+       ~help:"Per-round quantum bit error rate")
+    m.qber;
+  Histogram.observe
+    (Registry.histogram "protocol_sifted_bps" ~buckets:Histogram.size_buckets
+       ~help:"Per-round sifted throughput (bits per simulated second)")
+    m.sifted_bps;
+  Histogram.observe
+    (Registry.histogram "protocol_distilled_bps"
+       ~buckets:Histogram.size_buckets
+       ~help:"Per-round distilled throughput (bits per simulated second)")
+    m.distilled_bps;
+  Trace.record_sim "engine_round" m.elapsed_s
+
+let run_round ?(tamper = false) t ~pulses =
+  Obs.Counter.incr
+    (Obs.Registry.counter "engine_rounds_total"
+       ~help:"Protocol rounds attempted");
+  match run_round_bare ~tamper t ~pulses with
+  | Ok m ->
+      observe_round m;
+      Ok m
+  | Error f ->
+      Obs.Counter.incr
+        (Obs.Registry.counter "engine_rounds_failed"
+           ~labels:[ ("reason", failure_reason f) ]
+           ~help:"Protocol rounds aborted, by failure reason");
+      Error f

@@ -48,6 +48,9 @@ type failure =
 
 val pp_failure : Format.formatter -> failure -> unit
 
+val failure_reason : failure -> string
+(** The [reason] label value used on [engine_rounds_failed]. *)
+
 type round_metrics = {
   pulses : int;
   detections : int;

@@ -41,9 +41,22 @@ let params_of_msg = function
   | _ -> raise (Wire.Malformed "expected Pa_params")
 
 let amplify rng ~bits ~secure_bits =
+  Qkd_obs.Trace.with_span "privacy_amp" @@ fun () ->
+  let observe (r : result) =
+    let open Qkd_obs in
+    Counter.incr
+      (Registry.counter "pa_amplifications_total"
+         ~help:"Privacy-amplification runs");
+    Counter.add
+      (Registry.counter "pa_distilled_bits_total"
+         ~help:"Bits output by privacy amplification")
+      (Bitstring.length r.distilled);
+    r
+  in
   let len = Bitstring.length bits in
   let target = max 0 (min secure_bits len) in
-  if target = 0 then { distilled = Bitstring.create 0; params_messages = []; bytes_on_channel = 0 }
+  if target = 0 then
+    observe { distilled = Bitstring.create 0; params_messages = []; bytes_on_channel = 0 }
   else begin
     let bounds = chunk_bounds len in
     (* Spread the output budget across chunks proportionally, dealing
@@ -83,11 +96,12 @@ let amplify rng ~bits ~secure_bits =
           bytes := !bytes + Wire.encoded_size msg
         end)
       bounds;
-    {
-      distilled = Bitstring.concat_list (List.rev !pieces);
-      params_messages = List.rev !msgs;
-      bytes_on_channel = !bytes;
-    }
+    observe
+      {
+        distilled = Bitstring.concat_list (List.rev !pieces);
+        params_messages = List.rev !msgs;
+        bytes_on_channel = !bytes;
+      }
   end
 
 let apply_params msgs bits =

@@ -1,0 +1,447 @@
+(* Tests for Qkd_obs: metric primitives, registry identity/validation,
+   exporter formats (property-tested for determinism), span tracing,
+   the engine's failure-path accounting, and the golden registry
+   snapshot that pins the line-protocol format.
+
+   Regenerate the golden file after an intentional metric change with:
+
+     QKD_OBS_GOLDEN_WRITE=test/golden_round_metrics.expected \
+       ./_build/default/test/test_obs.exe test golden *)
+
+module Obs = Qkd_obs
+module Counter = Qkd_obs.Counter
+module Gauge = Qkd_obs.Gauge
+module Histogram = Qkd_obs.Histogram
+module Registry = Qkd_obs.Registry
+module Trace = Qkd_obs.Trace
+module Export = Qkd_obs.Export
+module Control = Qkd_obs.Control
+module Engine = Qkd_protocol.Engine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let qcheck = QCheck_alcotest.to_alcotest
+
+let counter_value r ?(labels = []) name =
+  Counter.value (Registry.counter ~registry:r ~labels name)
+
+let hist_count r ?(labels = []) name =
+  Histogram.count (Registry.histogram ~registry:r ~labels name)
+
+(* -- primitives -- *)
+
+let test_counter_basics () =
+  let c = Counter.make () in
+  Counter.incr c;
+  Counter.add c 41;
+  check_int "value" 42 (Counter.value c);
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Counter.add: counters are monotone") (fun () ->
+      Counter.add c (-1))
+
+let test_gauge_basics () =
+  let g = Gauge.make () in
+  Gauge.set g 3.5;
+  Gauge.add g 1.0;
+  check "value" true (Gauge.value g = 4.5)
+
+let test_histogram_placement () =
+  let h = Histogram.make ~buckets:[| 1.0; 2.0; 4.0 |] in
+  List.iter (Histogram.observe h) [ 0.5; 1.0; 1.5; 3.0; 100.0 ];
+  check_int "count" 5 (Histogram.count h);
+  check "sum" true (Histogram.sum h = 106.0);
+  (* <=1 catches 0.5 and the boundary 1.0; +Inf catches 100 *)
+  check "per-bucket" true
+    (Histogram.bucket_counts h
+    = [ (1.0, 2); (2.0, 1); (4.0, 1); (infinity, 1) ]);
+  check "cumulative" true
+    (Histogram.cumulative h = [ (1.0, 2); (2.0, 3); (4.0, 4); (infinity, 5) ])
+
+let test_histogram_bad_buckets () =
+  List.iter
+    (fun buckets ->
+      try
+        ignore (Histogram.make ~buckets);
+        Alcotest.fail "should raise"
+      with Invalid_argument _ -> ())
+    [ [||]; [| 2.0; 1.0 |]; [| 1.0; 1.0 |]; [| 0.0; infinity |] ]
+
+(* -- registry -- *)
+
+let test_registry_identity () =
+  let r = Registry.create () in
+  let a = Registry.counter ~registry:r "x_total" ~labels:[ ("k", "v"); ("a", "b") ] in
+  (* label order must not matter *)
+  let b = Registry.counter ~registry:r "x_total" ~labels:[ ("a", "b"); ("k", "v") ] in
+  check "same handle" true (a == b);
+  let c = Registry.counter ~registry:r "x_total" ~labels:[ ("a", "b") ] in
+  check "different labels, different series" true (a != c);
+  check_int "cardinality" 2 (Registry.cardinality r)
+
+let test_registry_validation () =
+  let r = Registry.create () in
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check "bad name" true (raises (fun () -> Registry.counter ~registry:r "1bad"));
+  check "empty name" true (raises (fun () -> Registry.counter ~registry:r ""));
+  check "bad label key" true
+    (raises (fun () -> Registry.counter ~registry:r "ok" ~labels:[ ("0k", "v") ]));
+  check "reserved le" true
+    (raises (fun () -> Registry.counter ~registry:r "ok" ~labels:[ ("le", "v") ]));
+  check "duplicate label" true
+    (raises (fun () ->
+         Registry.counter ~registry:r "ok" ~labels:[ ("a", "1"); ("a", "2") ]));
+  ignore (Registry.counter ~registry:r "typed_total");
+  check "type clash" true
+    (raises (fun () -> Registry.gauge ~registry:r "typed_total"));
+  check "type clash across labels" true
+    (raises (fun () ->
+         Registry.histogram ~registry:r "typed_total" ~labels:[ ("a", "b") ]))
+
+let test_registry_with_registry_restores () =
+  let outer = Registry.default () in
+  let r = Registry.create () in
+  Registry.with_registry r (fun () ->
+      check "swapped" true (Registry.default () == r));
+  check "restored" true (Registry.default () == outer);
+  (try
+     Registry.with_registry r (fun () -> raise Exit)
+   with Exit -> ());
+  check "restored after raise" true (Registry.default () == outer)
+
+(* -- control switch -- *)
+
+let test_control_disables_mutation () =
+  let r = Registry.create () in
+  let c = Registry.counter ~registry:r "c_total" in
+  let g = Registry.gauge ~registry:r "g" in
+  let h = Registry.histogram ~registry:r "h_seconds" in
+  Control.set_enabled false;
+  Fun.protect ~finally:(fun () -> Control.set_enabled true) @@ fun () ->
+  Counter.incr c;
+  Counter.add c 7;
+  Gauge.set g 9.0;
+  Histogram.observe h 1.0;
+  let v = Trace.with_span ~registry:r "off" (fun () -> 11) in
+  check_int "span value" 11 v;
+  check_int "counter untouched" 0 (Counter.value c);
+  check "gauge untouched" true (Gauge.value g = 0.0);
+  check_int "histogram untouched" 0 (Histogram.count h);
+  check_int "no span series" 0 (Registry.cardinality r - 3)
+
+(* -- tracing -- *)
+
+let test_trace_with_span () =
+  let r = Registry.create () in
+  let v = Trace.with_span ~registry:r "work" (fun () -> 7) in
+  check_int "result" 7 v;
+  check_int "recorded" 1
+    (hist_count r ~labels:[ ("span", "work") ] Trace.wall_metric);
+  (try
+     Trace.with_span ~registry:r "work" (fun () -> raise Exit)
+   with Exit -> ());
+  check_int "recorded on raise" 2
+    (hist_count r ~labels:[ ("span", "work") ] Trace.wall_metric)
+
+let test_trace_record_sim () =
+  let r = Registry.create () in
+  Trace.record_sim ~registry:r "round" 2.0;
+  Trace.record_sim ~registry:r "round" 3.0;
+  let h =
+    Registry.histogram ~registry:r ~labels:[ ("span", "round") ] Trace.sim_metric
+  in
+  check_int "count" 2 (Histogram.count h);
+  check "sum" true (Histogram.sum h = 5.0)
+
+(* -- exporters -- *)
+
+let test_snapshot_format () =
+  let r = Registry.create () in
+  Counter.add (Registry.counter ~registry:r "a_total") 3;
+  Gauge.set (Registry.gauge ~registry:r "g_bits" ~labels:[ ("pool", "a") ]) 7.5;
+  let h = Registry.histogram ~registry:r "h_seconds" ~buckets:[| 1.0; 2.0 |] in
+  Histogram.observe h 0.5;
+  Histogram.observe h 3.0;
+  check_string "line protocol"
+    "a_total 3\n\
+     g_bits{pool=\"a\"} 7.5\n\
+     h_seconds_bucket{le=\"1\"} 1\n\
+     h_seconds_bucket{le=\"2\"} 1\n\
+     h_seconds_bucket{le=\"+Inf\"} 2\n\
+     h_seconds_sum 3.5\n\
+     h_seconds_count 2\n"
+    (Export.snapshot ~registry:r ())
+
+let test_snapshot_label_escaping () =
+  let r = Registry.create () in
+  Counter.incr
+    (Registry.counter ~registry:r "esc_total"
+       ~labels:[ ("l", "a\"b\\c\nd") ]);
+  check_string "escaped" "esc_total{l=\"a\\\"b\\\\c\\nd\"} 1\n"
+    (Export.snapshot ~registry:r ())
+
+let test_dump_mentions_every_series () =
+  let r = Registry.create () in
+  Counter.incr (Registry.counter ~registry:r "one_total");
+  Gauge.set (Registry.gauge ~registry:r "two_bits") 5.0;
+  ignore (Registry.histogram ~registry:r "three_seconds");
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Export.pp_dump ~registry:r () ppf;
+  Format.pp_print_flush ppf ();
+  let dump = Buffer.contents buf in
+  List.iter
+    (fun name ->
+      check (name ^ " in dump") true
+        (let len = String.length dump and n = String.length name in
+         let rec scan i =
+           i + n <= len && (String.sub dump i n = name || scan (i + 1))
+         in
+         scan 0))
+    [ "one_total"; "two_bits"; "three_seconds" ]
+
+(* -- qcheck properties -- *)
+
+let prop_counter_adds_commute =
+  QCheck.Test.make ~name:"counter adds commute" ~count:200
+    QCheck.(list small_nat)
+    (fun ns ->
+      let c1 = Counter.make () and c2 = Counter.make () in
+      List.iter (Counter.add c1) ns;
+      List.iter (Counter.add c2) (List.rev ns);
+      Counter.value c1 = Counter.value c2
+      && Counter.value c1 = List.fold_left ( + ) 0 ns)
+
+let prop_histogram_buckets_sum_to_count =
+  QCheck.Test.make ~name:"histogram buckets sum to count" ~count:200
+    QCheck.(list float)
+    (fun vs ->
+      let h = Histogram.make ~buckets:[| -1.0; 0.0; 1.0; 100.0 |] in
+      List.iter (Histogram.observe h) vs;
+      let per_bucket = List.fold_left (fun a (_, c) -> a + c) 0
+          (Histogram.bucket_counts h)
+      in
+      per_bucket = List.length vs
+      && Histogram.count h = List.length vs
+      && snd (List.nth (Histogram.cumulative h)
+                (List.length (Histogram.cumulative h) - 1))
+         = List.length vs)
+
+(* A registry spec: each (kind, name#, label#, value) creates/updates
+   one series.  Kind picks the metric type so names never clash. *)
+let registry_of_spec spec =
+  let r = Registry.create () in
+  List.iter
+    (fun (kind, name_i, label_i, v) ->
+      let labels =
+        if label_i mod 3 = 0 then []
+        else [ ("l", string_of_int (label_i mod 3)) ]
+      in
+      match kind mod 3 with
+      | 0 ->
+          Counter.add
+            (Registry.counter ~registry:r ~labels
+               (Printf.sprintf "c%d_total" (name_i mod 4)))
+            v
+      | 1 ->
+          Gauge.set
+            (Registry.gauge ~registry:r ~labels
+               (Printf.sprintf "g%d_bits" (name_i mod 4)))
+            (float_of_int v)
+      | _ ->
+          Histogram.observe
+            (Registry.histogram ~registry:r ~labels
+               ~buckets:[| 1.0; 10.0; 100.0 |]
+               (Printf.sprintf "h%d_seconds" (name_i mod 4)))
+            (float_of_int v))
+    spec;
+  r
+
+let spec_gen =
+  QCheck.(list (quad small_nat small_nat small_nat small_nat))
+
+let prop_snapshot_deterministic =
+  QCheck.Test.make ~name:"snapshot deterministic" ~count:100 spec_gen
+    (fun spec ->
+      let r = registry_of_spec spec in
+      String.equal (Export.snapshot ~registry:r ()) (Export.snapshot ~registry:r ()))
+
+let prop_snapshot_sorted =
+  QCheck.Test.make ~name:"snapshot sorted by (name, labels)" ~count:100 spec_gen
+    (fun spec ->
+      let r = registry_of_spec spec in
+      let keys =
+        List.map
+          (fun ((k : Registry.key), _) -> (k.Registry.name, k.Registry.labels))
+          (Registry.to_list r)
+      in
+      keys = List.sort_uniq compare keys)
+
+let prop_counter_registry_order_independent =
+  QCheck.Test.make ~name:"registry counter order independent" ~count:100
+    QCheck.(list (pair small_nat small_nat))
+    (fun ops ->
+      let build ops =
+        let r = Registry.create () in
+        List.iter
+          (fun (name_i, v) ->
+            Counter.add
+              (Registry.counter ~registry:r
+                 (Printf.sprintf "c%d_total" (name_i mod 5)))
+              v)
+          ops;
+        Export.snapshot ~registry:r ()
+      in
+      String.equal (build ops) (build (List.rev ops)))
+
+(* -- engine failure paths -- *)
+
+let run_isolated ?(seed = 2003L) ?(tamper = false) ?config ~pulses () =
+  let config = Option.value config ~default:Engine.default_config in
+  let r = Registry.create () in
+  let result =
+    Registry.with_registry r (fun () ->
+        let engine = Engine.create ~seed config in
+        Engine.run_round ~tamper engine ~pulses)
+  in
+  (r, result)
+
+let test_engine_tamper_counted () =
+  let r, result = run_isolated ~tamper:true ~pulses:100_000 () in
+  (match result with
+  | Error Engine.Auth_tampered -> ()
+  | Ok _ -> Alcotest.fail "tampered round accepted"
+  | Error f -> Alcotest.failf "unexpected failure: %a" Engine.pp_failure f);
+  check_int "rounds total" 1 (counter_value r "engine_rounds_total");
+  check_int "failed{auth_tampered}" 1
+    (counter_value r "engine_rounds_failed"
+       ~labels:[ ("reason", "auth_tampered") ]);
+  check_int "failed{auth_exhausted} untouched" 0
+    (counter_value r "engine_rounds_failed"
+       ~labels:[ ("reason", "auth_exhausted") ])
+
+let test_engine_exhaustion_counted () =
+  let config =
+    { Engine.default_config with Engine.auth_prepositioned_bits = 32 }
+  in
+  let r, result = run_isolated ~config ~pulses:100_000 () in
+  (match result with
+  | Error Engine.Auth_exhausted -> ()
+  | Ok _ -> Alcotest.fail "round succeeded on an empty auth pool"
+  | Error f -> Alcotest.failf "unexpected failure: %a" Engine.pp_failure f);
+  check_int "failed{auth_exhausted}" 1
+    (counter_value r "engine_rounds_failed"
+       ~labels:[ ("reason", "auth_exhausted") ])
+
+let test_engine_failure_does_not_leak () =
+  let r, result = run_isolated ~tamper:true ~pulses:100_000 () in
+  check "round failed" true (Result.is_error result);
+  (* quality/throughput series are success-only *)
+  check_int "qber histogram empty" 0 (hist_count r "protocol_qber_ratio");
+  check_int "sifted bps empty" 0 (hist_count r "protocol_sifted_bps");
+  check_int "distilled bps empty" 0 (hist_count r "protocol_distilled_bps");
+  check_int "distilled counter zero" 0
+    (counter_value r "protocol_distilled_bits_total");
+  check_int "sim round span empty" 0
+    (hist_count r ~labels:[ ("span", "engine_round") ] Trace.sim_metric);
+  (* ...while the layers below still report what physically happened *)
+  check "photonics still counted" true
+    (counter_value r "photonics_pulses_total" = 100_000)
+
+let test_engine_success_observes () =
+  let r, result = run_isolated ~pulses:200_000 () in
+  (match result with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "round failed: %a" Engine.pp_failure f);
+  check_int "qber histogram" 1 (hist_count r "protocol_qber_ratio");
+  check_int "distilled bps" 1 (hist_count r "protocol_distilled_bps");
+  check "sifted counted" true (counter_value r "protocol_sifted_bits_total" > 0);
+  check "cascade ran" true (counter_value r "cascade_reconciliations_total" = 1);
+  check "pa ran" true (counter_value r "pa_amplifications_total" = 1);
+  check_int "no failures" 0
+    (counter_value r "engine_rounds_failed"
+       ~labels:[ ("reason", "auth_tampered") ])
+
+(* -- golden snapshot -- *)
+
+let golden_file = "golden_round_metrics.expected"
+
+(* Wall-clock spans are the one nondeterministic series; everything
+   else in a seeded round is reproducible and pinned. *)
+let filtered_snapshot r =
+  Export.snapshot ~registry:r ()
+  |> String.split_on_char '\n'
+  |> List.filter (fun l ->
+         not (String.length l >= String.length Trace.wall_metric
+             && String.sub l 0 (String.length Trace.wall_metric)
+                = Trace.wall_metric))
+  |> String.concat "\n"
+
+let test_golden_snapshot () =
+  let r, result = run_isolated ~seed:2003L ~pulses:500_000 () in
+  (match result with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "golden round failed: %a" Engine.pp_failure f);
+  let actual = filtered_snapshot r in
+  match Sys.getenv_opt "QKD_OBS_GOLDEN_WRITE" with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc actual;
+      close_out oc
+  | None ->
+      let ic = open_in golden_file in
+      let expected = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      if not (String.equal expected actual) then
+        Alcotest.failf
+          "registry snapshot drifted from %s (metric renamed/dropped?).\n\
+           -- expected --\n%s\n-- actual --\n%s"
+          golden_file expected actual
+
+let () =
+  Alcotest.run "qkd_obs"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_basics;
+          Alcotest.test_case "gauge" `Quick test_gauge_basics;
+          Alcotest.test_case "histogram placement" `Quick test_histogram_placement;
+          Alcotest.test_case "bad buckets" `Quick test_histogram_bad_buckets;
+          qcheck prop_counter_adds_commute;
+          qcheck prop_histogram_buckets_sum_to_count;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "identity" `Quick test_registry_identity;
+          Alcotest.test_case "validation" `Quick test_registry_validation;
+          Alcotest.test_case "with_registry restores" `Quick
+            test_registry_with_registry_restores;
+          Alcotest.test_case "control switch" `Quick test_control_disables_mutation;
+          qcheck prop_counter_registry_order_independent;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "with_span" `Quick test_trace_with_span;
+          Alcotest.test_case "record_sim" `Quick test_trace_record_sim;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "snapshot format" `Quick test_snapshot_format;
+          Alcotest.test_case "label escaping" `Quick test_snapshot_label_escaping;
+          Alcotest.test_case "dump covers series" `Quick
+            test_dump_mentions_every_series;
+          qcheck prop_snapshot_deterministic;
+          qcheck prop_snapshot_sorted;
+        ] );
+      ( "engine failure paths",
+        [
+          Alcotest.test_case "tamper counted" `Slow test_engine_tamper_counted;
+          Alcotest.test_case "exhaustion counted" `Quick
+            test_engine_exhaustion_counted;
+          Alcotest.test_case "failure does not leak" `Slow
+            test_engine_failure_does_not_leak;
+          Alcotest.test_case "success observes" `Slow test_engine_success_observes;
+        ] );
+      ( "golden",
+        [ Alcotest.test_case "golden" `Slow test_golden_snapshot ] );
+    ]
