@@ -5,6 +5,8 @@
      dune exec bench/main.exe -- micro   -- Bechamel microbenches only
      dune exec bench/main.exe -- tables  -- experiment tables only
      dune exec bench/main.exe -- obs     -- telemetry overhead check
+     dune exec bench/main.exe -- json [--quick] [--out FILE]
+                                         -- machine-readable bench record
 
    Pass --metrics anywhere to dump the telemetry registry at exit. *)
 
@@ -158,8 +160,7 @@ let microbenches () =
    path.  Runs Engine.run_round at 10k pulses with the registry live
    and with Qkd_obs.Control disabled, and reports the wall-clock
    delta — which must stay under 5%. *)
-let obs_overhead () =
-  let rounds = 40 in
+let measure_obs_overhead ~rounds =
   let time_rounds ~enabled =
     Qkd_obs.Control.set_enabled enabled;
     (* fresh registry so the enabled run pays creation cost too *)
@@ -183,7 +184,11 @@ let obs_overhead () =
   let enabled2 = time_rounds ~enabled:true in
   let disabled2 = time_rounds ~enabled:false in
   Qkd_obs.Control.set_enabled true;
-  let disabled = disabled1 +. disabled2 and enabled = enabled1 +. enabled2 in
+  (enabled1 +. enabled2, disabled1 +. disabled2)
+
+let obs_overhead () =
+  let rounds = 40 in
+  let enabled, disabled = measure_obs_overhead ~rounds in
   let overhead = (enabled -. disabled) /. disabled *. 100.0 in
   Format.printf
     "@.==== Telemetry overhead (Engine.run_round, 10k pulses x %d) ====@.@.\
@@ -199,6 +204,133 @@ let obs_overhead () =
     exit 1
   end
 
+(* -- Recorded bench trajectory: machine-readable numbers every future
+   PR extends.  `main.exe -- json [--quick] [--out FILE]` writes the
+   link fast-path timings (reference vs batched x domain count, with a
+   bit-identity check across domain counts), a seeded protocol round's
+   throughput, and the telemetry overhead ratio.  The obs gate applies
+   here too: a ratio >= 1.05 fails the run. -- *)
+
+module Link = Qkd_photonics.Link
+module Engine = Qkd_protocol.Engine
+
+let time_best ~reps f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let bench_json ~quick ~out () =
+  let reps = if quick then 1 else 3 in
+  let sizes = if quick then [ 100_000 ] else [ 100_000; 1_000_000 ] in
+  let domain_counts = [ 1; 2; 4 ] in
+  let buf = Buffer.create 4096 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"pr\": 2,\n";
+  bpf "  \"preset\": %S,\n" (if quick then "quick" else "full");
+  (* Parallel speedup is only observable with real cores: on a 1-core
+     container the extra domains time-slice and pay minor-GC
+     rendezvous, so record the hardware so readers can interpret the
+     batched rows. *)
+  bpf "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  bpf "  \"link_run\": [\n";
+  List.iteri
+    (fun i pulses ->
+      Format.printf "link %d pulses: reference...@." pulses;
+      let _, ref_s =
+        time_best ~reps (fun () ->
+            Link.run ~seed:42L ~mode:Link.Reference Link.darpa_default ~pulses)
+      in
+      let batched =
+        List.map
+          (fun domains ->
+            Format.printf "link %d pulses: batched x%d domains...@." pulses
+              domains;
+            let r, s =
+              time_best ~reps (fun () ->
+                  Link.run ~seed:42L
+                    ~mode:(Link.Batched { domains })
+                    Link.darpa_default ~pulses)
+            in
+            (domains, s, r))
+          domain_counts
+      in
+      let first = match batched with (_, _, r) :: _ -> r | [] -> assert false in
+      let identical =
+        List.for_all
+          (fun (_, _, r) ->
+            Bs.equal r.Link.alice_bases first.Link.alice_bases
+            && Bs.equal r.Link.alice_values first.Link.alice_values
+            && r.Link.detections = first.Link.detections
+            && r.Link.frames_lost = first.Link.frames_lost
+            && r.Link.gated_pulses = first.Link.gated_pulses)
+          batched
+      in
+      bpf "    {\n      \"pulses\": %d,\n      \"reference_s\": %.6f,\n"
+        pulses ref_s;
+      bpf "      \"reference_pulses_per_s\": %.0f,\n"
+        (float_of_int pulses /. ref_s);
+      bpf "      \"bit_identical_across_domains\": %b,\n" identical;
+      bpf "      \"batched\": [\n";
+      List.iteri
+        (fun j (domains, s, _) ->
+          bpf
+            "        { \"domains\": %d, \"seconds\": %.6f, \"pulses_per_s\": \
+             %.0f, \"speedup_vs_reference\": %.2f }%s\n"
+            domains s
+            (float_of_int pulses /. s)
+            (ref_s /. s)
+            (if j < List.length batched - 1 then "," else ""))
+        batched;
+      bpf "      ]\n    }%s\n" (if i < List.length sizes - 1 then "," else "");
+      if not identical then begin
+        Format.eprintf
+          "FAIL: batched results differ across domain counts at %d pulses@."
+          pulses;
+        exit 1
+      end)
+    sizes;
+  bpf "  ],\n";
+  let engine_pulses = if quick then 100_000 else 500_000 in
+  Format.printf "engine round: %d pulses...@." engine_pulses;
+  let engine = Engine.create ~seed:2003L Engine.default_config in
+  (match Engine.run_round engine ~pulses:engine_pulses with
+  | Ok m ->
+      bpf "  \"engine_round\": {\n";
+      bpf "    \"pulses\": %d,\n" m.Engine.pulses;
+      bpf "    \"gated_pulses\": %d,\n" m.Engine.gated_pulses;
+      bpf "    \"sifted_bits\": %d,\n" m.Engine.sifted_bits;
+      bpf "    \"distilled_bits\": %d,\n" m.Engine.distilled_bits;
+      bpf "    \"qber\": %.5f,\n" m.Engine.qber;
+      bpf "    \"sifted_bps\": %.1f,\n" m.Engine.sifted_bps;
+      bpf "    \"distilled_bps\": %.1f\n" m.Engine.distilled_bps;
+      bpf "  },\n"
+  | Error f ->
+      Format.eprintf "FAIL: seeded engine round failed: %a@." Engine.pp_failure f;
+      exit 1);
+  Format.printf "telemetry overhead...@.";
+  let enabled, disabled =
+    measure_obs_overhead ~rounds:(if quick then 10 else 40)
+  in
+  let ratio = enabled /. disabled in
+  bpf "  \"obs_overhead_ratio\": %.4f\n" ratio;
+  bpf "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." out;
+  if ratio >= 1.05 then begin
+    Format.eprintf "FAIL: obs overhead ratio %.4f >= 1.05@." ratio;
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let metrics, args = List.partition (( = ) "--metrics") args in
@@ -209,13 +341,27 @@ let () =
   | [ "micro" ] -> microbenches ()
   | [ "tables" ] -> Experiments.all ()
   | [ "obs" ] -> obs_overhead ()
+  | "json" :: rest ->
+      let rec parse ~quick ~out = function
+        | [] -> (quick, out)
+        | "--quick" :: tl -> parse ~quick:true ~out tl
+        | "--out" :: file :: tl -> parse ~quick ~out:file tl
+        | arg :: _ ->
+            Format.eprintf
+              "unknown json option %S; usage: main.exe json [--quick] [--out \
+               FILE]@."
+              arg;
+            exit 1
+      in
+      let quick, out = parse ~quick:false ~out:"BENCH_pr2.json" rest in
+      bench_json ~quick ~out ()
   | [ name ] -> (
       match Experiments.by_name name with
       | Some f -> f ()
       | None ->
           Format.eprintf "unknown experiment %S; available: %s@." name
             (String.concat ", "
-               ("micro" :: "tables" :: "obs" :: Experiments.names));
+               ("micro" :: "tables" :: "obs" :: "json" :: Experiments.names));
           exit 1)
   | _ ->
       Format.eprintf "usage: main.exe [experiment] [--metrics]@.";

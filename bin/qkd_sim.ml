@@ -33,7 +33,8 @@ let finish_metrics metrics rc =
 
 (* -- link subcommand -- *)
 
-let run_link metrics pulses length_km mu eve_fraction beamsplit seed =
+let run_link metrics pulses length_km mu eve_fraction beamsplit seed domains =
+  if domains < 1 then failwith "--domains must be >= 1";
   let eve =
     match (eve_fraction, beamsplit) with
     | 0.0, false -> Eve.Passive
@@ -49,7 +50,13 @@ let run_link metrics pulses length_km mu eve_fraction beamsplit seed =
       eve;
     }
   in
-  let engine_config = { Engine.default_config with Engine.link = config } in
+  let engine_config =
+    {
+      Engine.default_config with
+      Engine.link = config;
+      link_mode = Link.Batched { domains };
+    }
+  in
   let engine = Engine.create ~seed:(Int64.of_int seed) engine_config in
   (match Engine.run_round engine ~pulses with
   | Ok m ->
@@ -80,11 +87,19 @@ let link_cmd =
     Arg.(value & flag & info [ "beamsplit" ] ~doc:"Enable photon-number splitting.")
   in
   let seed = Arg.(value & opt int 2003 & info [ "seed" ] ~doc:"Random seed.") in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "OCaml domains for the photonics fast path; the result is \
+             bit-identical for any count.")
+  in
   Cmd.v
     (Cmd.info "link" ~doc:"Run one QKD protocol round over a simulated link")
     Term.(
       const run_link $ metrics_arg $ pulses $ length $ mu $ eve $ beamsplit
-      $ seed)
+      $ seed $ domains)
 
 (* -- vpn subcommand -- *)
 

@@ -50,6 +50,13 @@ let create config =
     dark_clicks = 0;
   }
 
+let reset t =
+  t.d0.dead <- 0;
+  t.d0.clicked_last <- false;
+  t.d1.dead <- 0;
+  t.d1.clicked_last <- false;
+  t.dark_clicks <- 0
+
 let dark_clicks t = t.dark_clicks
 
 type outcome = No_click | Click of Qubit.value | Double_click

@@ -35,6 +35,13 @@ type t
 
 val create : config -> t
 
+(** [reset t] returns the receiver to its post-[create] state: both
+    APDs live, afterpulse memory and the dark-count tally cleared.
+    The batched link kernel calls this at each frame boundary — the
+    annunciation gap is long enough for the APDs to recover, so frames
+    are independent acquisitions. *)
+val reset : t -> unit
+
 (** Outcome of one gate. *)
 type outcome =
   | No_click

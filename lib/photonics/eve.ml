@@ -94,6 +94,12 @@ let tap t ~slot pulse =
       let pulse = beamsplit t ~slot pulse in
       if Qkd_util.Rng.bernoulli t.rng f then intercept t ~slot pulse else pulse
 
+let absorb t src =
+  if t.strategy <> src.strategy then invalid_arg "Eve.absorb: strategy mismatch";
+  Hashtbl.iter (fun slot k -> Hashtbl.replace t.knowledge slot k) src.knowledge;
+  t.stored <- t.stored + src.stored;
+  t.intercepted <- t.intercepted + src.intercepted
+
 let knowledge t = t.knowledge
 let stored_photons t = t.stored
 let intercepted t = t.intercepted

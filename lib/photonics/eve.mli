@@ -37,6 +37,14 @@ val strategy : t -> strategy
     returns what continues toward Bob. *)
 val tap : t -> slot:int -> Pulse.t -> Pulse.t
 
+(** [absorb t src] folds the knowledge and counters gathered by [src]
+    into [t].  The batched link kernel gives each transmission frame
+    its own Eve instance (so frames can run on any domain) and merges
+    them; slots never overlap between frames, so the merge is
+    order-independent.
+    @raise Invalid_argument if the strategies differ. *)
+val absorb : t -> t -> unit
+
 (** What Eve ends up knowing about one slot. *)
 type slot_knowledge =
   | Stored_photon  (** PNS: exact bit once the basis is announced *)

@@ -60,6 +60,10 @@ let textbook_example =
 let entangled_default =
   { darpa_default with source = Source.entangled_pair ~mu:0.1 }
 
+type mode = Reference | Batched of { domains : int }
+
+let default_mode = Batched { domains = 1 }
+
 type detection = {
   slot : int;
   bob_basis : Qubit.basis;
@@ -69,6 +73,7 @@ type detection = {
 type result = {
   config : config;
   pulses : int;
+  gated_pulses : int;
   alice_bases : Bitstring.t;
   alice_values : Bitstring.t;
   alice_detected : Bitstring.t;
@@ -78,8 +83,71 @@ type result = {
   elapsed_s : float;
 }
 
-let run ?(seed = 1L) (config : config) ~pulses =
-  if pulses <= 0 then invalid_arg "Link.run: pulses must be positive";
+let is_entangled config =
+  match config.source.Source.kind with
+  | Source.Entangled_pair -> true
+  | Source.Weak_coherent -> false
+
+(* Alice's own half of an entangled pair: she holds the bit only when
+   her local detector (same efficiency as Bob's) fired on it. *)
+let alice_coincidence config rng (pulse : Pulse.t) =
+  let eta = config.detector.Detector.efficiency in
+  let p_alice = 1.0 -. ((1.0 -. eta) ** float_of_int pulse.Pulse.photons) in
+  Rng.bernoulli rng p_alice
+
+(* Obs emission + result assembly shared by both execution modes. *)
+let finish config ~pulses ~gated_pulses ~alice_bases ~alice_values
+    ~alice_detected ~detections ~frames_lost ~dark_clicks ~eve =
+  let double_clicks =
+    Array.fold_left
+      (fun n d ->
+        match d.outcome with Detector.Double_click -> n + 1 | _ -> n)
+      0 detections
+  in
+  let open Qkd_obs in
+  Counter.add
+    (Registry.counter "photonics_pulses_total"
+       ~help:"Optical pulses emitted by Alice's source")
+    pulses;
+  Counter.add
+    (Registry.counter "photonics_gated_pulses_total"
+       ~help:"Pulses in frames whose annunciation arrived (Bob gated)")
+    gated_pulses;
+  Counter.add
+    (Registry.counter "photonics_detections_total"
+       ~help:"Gates on which at least one of Bob's APDs fired")
+    (Array.length detections);
+  Counter.add
+    (Registry.counter "photonics_double_clicks_total"
+       ~help:"Gates on which both APDs fired (discarded by sifting)")
+    double_clicks;
+  Counter.add
+    (Registry.counter "photonics_dark_counts_total"
+       ~help:"Clicks attributable to dark counts alone")
+    dark_clicks;
+  Counter.add
+    (Registry.counter "photonics_frames_lost_total"
+       ~help:"Transmission frames lost to missed annunciation")
+    frames_lost;
+  Trace.record_sim "link_run" (float_of_int pulses /. config.pulse_rate_hz);
+  {
+    config;
+    pulses;
+    gated_pulses;
+    alice_bases;
+    alice_values;
+    alice_detected;
+    detections;
+    frames_lost;
+    eve;
+    elapsed_s = float_of_int pulses /. config.pulse_rate_hz;
+  }
+
+(* -- Reference implementation: one pulse at a time, one RNG lineage.
+   Kept as the semantic baseline the batched kernel's property tests
+   compare against (statistically — the draw orders differ). -- *)
+
+let run_reference ~seed (config : config) ~pulses =
   let master = Rng.create seed in
   (* Independent streams so adding Eve does not perturb Alice's or
      Bob's random choices. *)
@@ -96,13 +164,10 @@ let run ?(seed = 1L) (config : config) ~pulses =
   let alice_bases = Bitstring.create pulses in
   let alice_values = Bitstring.create pulses in
   let alice_detected = Bitstring.create pulses in
-  let entangled =
-    match config.source.Source.kind with
-    | Source.Entangled_pair -> true
-    | Source.Weak_coherent -> false
-  in
+  let entangled = is_entangled config in
   let detections = ref [] in
   let frames_lost = ref 0 in
+  let gated_pulses = ref 0 in
   let current_frame = ref (-1) in
   let frame_ok = ref true in
   for slot = 0 to pulses - 1 do
@@ -122,11 +187,7 @@ let run ?(seed = 1L) (config : config) ~pulses =
        off her half of the pair(s) — she only has it when that
        detector fired. *)
     (if entangled then begin
-       let eta = config.detector.Detector.efficiency in
-       let p_alice =
-         1.0 -. ((1.0 -. eta) ** float_of_int pulse.Pulse.photons)
-       in
-       if Rng.bernoulli alice_rng p_alice then
+       if alice_coincidence config alice_rng pulse then
          Bitstring.set alice_detected slot true
      end
      else Bitstring.set alice_detected slot true);
@@ -140,6 +201,7 @@ let run ?(seed = 1L) (config : config) ~pulses =
           (Stabilization.phase_error s, Stabilization.visibility_scale s)
     in
     if !frame_ok then begin
+      incr gated_pulses;
       (* Without the annunciation pulse Bob's APDs are never gated, so
          a lost frame yields no events (not even dark counts). *)
       let bob_basis = Qubit.random_basis bob_rng in
@@ -152,49 +214,208 @@ let run ?(seed = 1L) (config : config) ~pulses =
     end
   done;
   let detections = Array.of_list (List.rev !detections) in
-  let double_clicks =
-    Array.fold_left
-      (fun n d ->
-        match d.outcome with Detector.Double_click -> n + 1 | _ -> n)
-      0 detections
+  finish config ~pulses ~gated_pulses:!gated_pulses ~alice_bases ~alice_values
+    ~alice_detected ~detections ~frames_lost:!frames_lost
+    ~dark_clicks:(Detector.dark_clicks receiver)
+    ~eve
+
+(* -- Batched, domain-parallel fast path.
+
+   Determinism contract: every transmission frame draws from its own
+   splitmix stream, [Rng.derive seed frame_index], so a frame's output
+   depends only on (seed, config, frame index) — never on which domain
+   ran it or in what order.  Results are bit-identical for any domain
+   count, including 1.  Auxiliary whole-run streams (stabilization
+   walk, the merged Eve's own entropy) use negative indexes no frame
+   can occupy.
+
+   Per-frame independence is also physical: the annunciation gap
+   between frames re-arms the APDs (dead time and afterpulse memory do
+   not cross a frame boundary) and is when the interferometer servo
+   snapshot applies, so the stabilization walk advances frame-by-frame
+   (a Gaussian walk over dt is distributionally the same as its
+   per-pulse refinement) and holds within a frame (4 ms at the DARPA
+   operating point, where the walk moves ~0.02 rad). *)
+
+let stab_stream = -1L
+let eve_stream = -2L
+
+type frame_out = {
+  fo_lost : bool;
+  fo_bases : Bitstring.t;
+  fo_values : Bitstring.t;
+  fo_detected : Bitstring.t;
+  fo_detections : detection array;
+  fo_dark : int;
+  fo_eve : Eve.t option;
+}
+
+let no_detection =
+  { slot = 0; bob_basis = Qubit.Basis0; outcome = Detector.No_click }
+
+(* Simulate frame [frame] covering slots [first .. first+len-1].
+   [receiver] is reused across a worker's frames and reset here. *)
+let simulate_frame (config : config) ~seed ~entangled ~receiver ~frame ~first ~len ~stab =
+  Detector.reset receiver;
+  let rng = Rng.derive seed (Int64.of_int frame) in
+  let alive = Timing.frame_alive config.timing rng in
+  let alice_rng = Rng.split rng in
+  let bob_rng = Rng.split rng in
+  let channel_rng = Rng.split rng in
+  let eve_rng = Rng.split rng in
+  (* Bulk draws: one 64-bit word fills 64 basis or value bits. *)
+  let bases = Rng.bits alice_rng len in
+  let values = Rng.bits alice_rng len in
+  let detected = Bitstring.create len in
+  let eve =
+    match config.eve with
+    | Eve.Passive -> None
+    | strategy -> Some (Eve.create strategy eve_rng)
   in
-  let open Qkd_obs in
-  Counter.add
-    (Registry.counter "photonics_pulses_total"
-       ~help:"Optical pulses emitted by Alice's source")
-    pulses;
-  Counter.add
-    (Registry.counter "photonics_detections_total"
-       ~help:"Gates on which at least one of Bob's APDs fired")
-    (Array.length detections);
-  Counter.add
-    (Registry.counter "photonics_double_clicks_total"
-       ~help:"Gates on which both APDs fired (discarded by sifting)")
-    double_clicks;
-  Counter.add
-    (Registry.counter "photonics_dark_counts_total"
-       ~help:"Clicks attributable to dark counts alone")
-    (Detector.dark_clicks receiver);
-  Counter.add
-    (Registry.counter "photonics_frames_lost_total"
-       ~help:"Transmission frames lost to missed annunciation")
-    !frames_lost;
-  Trace.record_sim "link_run" (float_of_int pulses /. config.pulse_rate_hz);
+  let bob_bases = if alive then Rng.bits bob_rng len else bases in
+  let dets = Array.make (if alive then len else 0) no_detection in
+  let n_dets = ref 0 in
+  let phase_offset, visibility_scale = stab in
+  for i = 0 to len - 1 do
+    let basis = if Bitstring.get bases i then Qubit.Basis1 else Qubit.Basis0 in
+    let value = Bitstring.get values i in
+    let pulse = Source.emit config.source alice_rng ~basis ~value in
+    (if entangled then begin
+       if alice_coincidence config alice_rng pulse then
+         Bitstring.set detected i true
+     end
+     else Bitstring.set detected i true);
+    let pulse =
+      match eve with
+      | None -> pulse
+      | Some e -> Eve.tap e ~slot:(first + i) pulse
+    in
+    if alive then begin
+      let pulse = Fiber.transmit config.fiber channel_rng pulse in
+      let bob_basis =
+        if Bitstring.get bob_bases i then Qubit.Basis1 else Qubit.Basis0
+      in
+      match
+        Detector.detect receiver bob_rng ~phase_offset ~visibility_scale
+          ~bob_basis pulse
+      with
+      | Detector.No_click -> ()
+      | outcome ->
+          dets.(!n_dets) <- { slot = first + i; bob_basis; outcome };
+          incr n_dets
+    end
+  done;
   {
-    config;
-    pulses;
-    alice_bases;
-    alice_values;
-    alice_detected;
-    detections;
-    frames_lost = !frames_lost;
-    eve;
-    elapsed_s = float_of_int pulses /. config.pulse_rate_hz;
+    fo_lost = not alive;
+    fo_bases = bases;
+    fo_values = values;
+    fo_detected = detected;
+    fo_detections = Array.sub dets 0 !n_dets;
+    fo_dark = Detector.dark_clicks receiver;
+    fo_eve = eve;
   }
+
+let run_batched ~seed ~domains (config : config) ~pulses =
+  let ppf = config.timing.Timing.pulses_per_frame in
+  let n_frames = (pulses + ppf - 1) / ppf in
+  let domains = max 1 (min domains n_frames) in
+  let entangled = is_entangled config in
+  (* The stabilization walk is sequential across frames by nature; it
+     is cheap at frame granularity, so precompute the per-frame
+     (phase, visibility) snapshots before fanning out. *)
+  let stab_table =
+    match config.stabilization with
+    | None -> None
+    | Some scfg ->
+        let s = Stabilization.create scfg in
+        let rng = Rng.derive seed stab_stream in
+        let frame_dt = float_of_int ppf /. config.pulse_rate_hz in
+        Some
+          (Array.init n_frames (fun _ ->
+               let snap =
+                 (Stabilization.phase_error s, Stabilization.visibility_scale s)
+               in
+               Stabilization.advance s rng ~dt:frame_dt;
+               snap))
+  in
+  let stab_of frame =
+    match stab_table with None -> (0.0, 1.0) | Some t -> t.(frame)
+  in
+  let out = Array.make n_frames None in
+  (* Contiguous frame ranges per worker; each [out] index is written by
+     exactly one domain, and [Domain.join] publishes them to the merge. *)
+  let worker d =
+    let base = n_frames / domains and extra = n_frames mod domains in
+    let lo = (d * base) + min d extra in
+    let hi = lo + base + if d < extra then 1 else 0 in
+    let receiver = Detector.create config.detector in
+    for frame = lo to hi - 1 do
+      let first = frame * ppf in
+      let len = min ppf (pulses - first) in
+      out.(frame) <-
+        Some
+          (simulate_frame config ~seed ~entangled ~receiver ~frame ~first ~len
+             ~stab:(stab_of frame))
+    done
+  in
+  (if domains = 1 then worker 0
+   else begin
+     let spawned =
+       List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+     in
+     worker 0;
+     List.iter Domain.join spawned
+   end);
+  (* Deterministic sequential merge, in frame order. *)
+  let alice_bases = Bitstring.create pulses in
+  let alice_values = Bitstring.create pulses in
+  let alice_detected = Bitstring.create pulses in
+  let eve = Eve.create config.eve (Rng.derive seed eve_stream) in
+  let frames_lost = ref 0 in
+  let gated_pulses = ref 0 in
+  let dark_clicks = ref 0 in
+  let total_dets = ref 0 in
+  Array.iter
+    (fun fo ->
+      total_dets := !total_dets + Array.length (Option.get fo).fo_detections)
+    out;
+  let detections = Array.make !total_dets no_detection in
+  let off = ref 0 in
+  Array.iteri
+    (fun frame fo ->
+      let fo = Option.get fo in
+      let first = frame * ppf in
+      let len = Bitstring.length fo.fo_bases in
+      Bitstring.blit ~src:fo.fo_bases ~src_pos:0 alice_bases ~dst_pos:first ~len;
+      Bitstring.blit ~src:fo.fo_values ~src_pos:0 alice_values ~dst_pos:first
+        ~len;
+      Bitstring.blit ~src:fo.fo_detected ~src_pos:0 alice_detected
+        ~dst_pos:first ~len;
+      if fo.fo_lost then incr frames_lost else gated_pulses := !gated_pulses + len;
+      dark_clicks := !dark_clicks + fo.fo_dark;
+      let n = Array.length fo.fo_detections in
+      Array.blit fo.fo_detections 0 detections !off n;
+      off := !off + n;
+      match fo.fo_eve with None -> () | Some e -> Eve.absorb eve e)
+    out;
+  finish config ~pulses ~gated_pulses:!gated_pulses ~alice_bases ~alice_values
+    ~alice_detected ~detections ~frames_lost:!frames_lost
+    ~dark_clicks:!dark_clicks ~eve
+
+let run ?(seed = 1L) ?(mode = default_mode) (config : config) ~pulses =
+  if pulses <= 0 then invalid_arg "Link.run: pulses must be positive";
+  match mode with
+  | Reference -> run_reference ~seed config ~pulses
+  | Batched { domains } -> run_batched ~seed ~domains config ~pulses
 
 let alice_basis r slot =
   if Bitstring.get r.alice_bases slot then Qubit.Basis1 else Qubit.Basis0
 
 let alice_value r slot = Bitstring.get r.alice_values slot
 
-let detection_rate r = float_of_int (Array.length r.detections) /. float_of_int r.pulses
+let detection_rate r =
+  if r.gated_pulses = 0 then 0.0
+  else float_of_int (Array.length r.detections) /. float_of_int r.gated_pulses
+
+let raw_detection_rate r =
+  float_of_int (Array.length r.detections) /. float_of_int r.pulses

@@ -44,6 +44,27 @@ val entangled_default : config
     ~1 % of transmitted photons detected, negligible noise. *)
 val textbook_example : config
 
+(** Execution strategy for [run].
+
+    - [Reference]: the original one-pulse-at-a-time loop over a single
+      split RNG lineage.  Kept as the semantic baseline; slow.
+    - [Batched { domains }]: the frame-batched fast path.  Each
+      transmission frame draws from its own stream,
+      [Rng.derive seed frame_index], frames are sharded across
+      [domains] OCaml domains (clamped to [\[1, frames\]]), and the
+      per-frame outputs are merged in frame order — so the result is
+      {b bit-identical for any domain count, including 1}.  Within a
+      frame the kernel bulk-fills basis/value bits 64 per RNG word and
+      preallocates the detection buffer.  Frame boundaries re-arm the
+      APDs ([Detector.reset]) and advance the stabilization walk at
+      frame granularity; both match the reference statistically, not
+      draw-for-draw, so the two modes agree in distribution but not
+      bit-for-bit. *)
+type mode = Reference | Batched of { domains : int }
+
+(** [Batched { domains = 1 }] — the fast path, single-domain. *)
+val default_mode : mode
+
 (** One detection event on Bob's side. *)
 type detection = {
   slot : int;
@@ -54,6 +75,10 @@ type detection = {
 type result = {
   config : config;
   pulses : int;
+  gated_pulses : int;
+      (** pulses in frames whose annunciation arrived — the only slots
+          on which Bob's APDs were gated at all.  [pulses] minus the
+          slots of lost frames. *)
   alice_bases : Qkd_util.Bitstring.t;  (** bit i set = Basis1 *)
   alice_values : Qkd_util.Bitstring.t;
   alice_detected : Qkd_util.Bitstring.t;
@@ -66,14 +91,22 @@ type result = {
   elapsed_s : float;  (** simulated wall-clock, pulses / rate *)
 }
 
-(** [run ?seed config ~pulses] simulates a batch.
+(** [run ?seed ?mode config ~pulses] simulates a batch.  [mode]
+    defaults to [default_mode].
     @raise Invalid_argument if [pulses <= 0]. *)
-val run : ?seed:int64 -> config -> pulses:int -> result
+val run : ?seed:int64 -> ?mode:mode -> config -> pulses:int -> result
 
 (** [alice_basis r slot] / [alice_value r slot] decode Alice's record. *)
 val alice_basis : result -> int -> Qubit.basis
 
 val alice_value : result -> int -> Qubit.value
 
-(** [detection_rate r] is detections per transmitted pulse. *)
+(** [detection_rate r] is detections per {e gated} pulse — the
+    channel + receiver yield, with frame loss factored out.  0 if every
+    frame was lost. *)
 val detection_rate : result -> float
+
+(** [raw_detection_rate r] is detections per {e emitted} pulse,
+    conflating frame loss with channel loss — the figure a naive
+    counter on Bob's side would report. *)
+val raw_detection_rate : result -> float

@@ -8,6 +8,9 @@ type ec_algorithm = Ec_cascade | Ec_parity_checks
 
 type config = {
   link : Link.config;
+  link_mode : Link.mode;
+      (** execution strategy for the photonics hot path; the default
+          batched mode is bit-identical for any domain count *)
   cascade : Cascade.config;
   ec : ec_algorithm;
   defense : Entropy.defense;
@@ -21,6 +24,7 @@ type config = {
 let default_config =
   {
     link = Link.darpa_default;
+    link_mode = Link.default_mode;
     cascade = Cascade.default_config;
     ec = Ec_cascade;
     defense = Entropy.Bennett;
@@ -40,6 +44,7 @@ let pp_failure ppf = function
 
 type round_metrics = {
   pulses : int;
+  gated_pulses : int;
   detections : int;
   double_clicks : int;
   frames_lost : int;
@@ -124,7 +129,8 @@ let run_round_bare ~tamper t ~pulses =
   t.round <- t.round + 1;
   let seed = Rng.int64 t.rng in
   let link =
-    Obs.Trace.with_span "engine_link" (fun () -> Link.run ~seed t.config.link ~pulses)
+    Obs.Trace.with_span "engine_link" (fun () ->
+        Link.run ~seed ~mode:t.config.link_mode t.config.link ~pulses)
   in
   let sift = Obs.Trace.with_span "engine_sift" (fun () -> Sifting.sift link) in
   let auth_before =
@@ -262,6 +268,7 @@ let run_round_bare ~tamper t ~pulses =
   Ok
     {
       pulses;
+      gated_pulses = link.Link.gated_pulses;
       detections = sift.Sifting.detections;
       double_clicks = sift.Sifting.double_clicks;
       frames_lost = link.Link.frames_lost;

@@ -19,6 +19,11 @@ type ec_algorithm = Ec_cascade | Ec_parity_checks
 
 type config = {
   link : Qkd_photonics.Link.config;
+  link_mode : Qkd_photonics.Link.mode;
+      (** execution strategy for the photonics hot path
+          ([Link.default_mode] = batched, single domain); raise the
+          domain count to shard frame simulation across cores with
+          bit-identical output *)
   cascade : Cascade.config;
   ec : ec_algorithm;
   defense : Entropy.defense;
@@ -53,6 +58,7 @@ val failure_reason : failure -> string
 
 type round_metrics = {
   pulses : int;
+  gated_pulses : int;  (** pulses in frames Bob actually gated *)
   detections : int;
   double_clicks : int;
   frames_lost : int;

@@ -29,6 +29,56 @@ let set t i b =
   check t i;
   unsafe_set t i b
 
+let blit_int64 t ~pos ~bits w =
+  if bits < 0 || bits > 64 then
+    invalid_arg "Bitstring.blit_int64: bits must be within [0, 64]";
+  if pos < 0 || pos + bits > t.len then
+    invalid_arg "Bitstring.blit_int64: range out of bounds";
+  if bits > 0 then
+    if pos land 7 = 0 then begin
+      (* Byte-aligned fast path: the word's little-endian bytes land
+         directly, LSB-first matching the bit order above. *)
+      let j0 = pos lsr 3 in
+      let full = bits lsr 3 in
+      let w' = ref w in
+      for k = 0 to full - 1 do
+        Bytes.unsafe_set t.bits (j0 + k)
+          (Char.unsafe_chr (Int64.to_int !w' land 0xFF));
+        w' := Int64.shift_right_logical !w' 8
+      done;
+      let rem = bits land 7 in
+      if rem <> 0 then begin
+        let j = j0 + full in
+        let keep = Char.code (Bytes.unsafe_get t.bits j) land lnot ((1 lsl rem) - 1) in
+        Bytes.unsafe_set t.bits j
+          (Char.unsafe_chr (keep lor (Int64.to_int !w' land ((1 lsl rem) - 1))))
+      end
+    end
+    else begin
+      let w' = ref w in
+      for i = 0 to bits - 1 do
+        unsafe_set t (pos + i) (Int64.logand !w' 1L = 1L);
+        w' := Int64.shift_right_logical !w' 1
+      done
+    end
+
+let blit ~src ~src_pos dst ~dst_pos ~len =
+  if
+    len < 0 || src_pos < 0 || dst_pos < 0
+    || src_pos + len > src.len
+    || dst_pos + len > dst.len
+  then invalid_arg "Bitstring.blit: range out of bounds";
+  if src_pos land 7 = 0 && dst_pos land 7 = 0 then begin
+    Bytes.blit src.bits (src_pos lsr 3) dst.bits (dst_pos lsr 3) (len lsr 3);
+    for i = len land lnot 7 to len - 1 do
+      unsafe_set dst (dst_pos + i) (unsafe_get src (src_pos + i))
+    done
+  end
+  else
+    for i = 0 to len - 1 do
+      unsafe_set dst (dst_pos + i) (unsafe_get src (src_pos + i))
+    done
+
 let flip t i =
   check t i;
   unsafe_set t i (not (unsafe_get t i))

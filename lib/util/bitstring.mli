@@ -24,6 +24,19 @@ val set : t -> int -> bool -> unit
 (** [flip t i] inverts bit [i] in place. *)
 val flip : t -> int -> unit
 
+(** [blit_int64 t ~pos ~bits w] writes the low [bits] bits of [w] into
+    [t] starting at [pos], least-significant bit first — the word-level
+    counterpart of [bits] calls to [set].  Byte-aligned [pos] takes a
+    whole-byte fast path.
+    @raise Invalid_argument if [bits] is outside [\[0, 64\]] or the
+    range [pos .. pos + bits - 1] is out of bounds. *)
+val blit_int64 : t -> pos:int -> bits:int -> int64 -> unit
+
+(** [blit ~src ~src_pos dst ~dst_pos ~len] copies [len] bits from
+    [src] into [dst].  When both offsets are byte-aligned the copy is
+    byte-wise.  @raise Invalid_argument on an out-of-bounds range. *)
+val blit : src:t -> src_pos:int -> t -> dst_pos:int -> len:int -> unit
+
 (** [copy t] is a fresh bit string equal to [t]. *)
 val copy : t -> t
 

@@ -4,40 +4,45 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create seed = { state = seed }
 
-(* splitmix64 output function (Steele, Lea & Flood 2014). *)
-let mix z =
+(* splitmix64 output function (Steele, Lea & Flood 2014).  Inlined so
+   the native compiler keeps the Int64 intermediates unboxed in the
+   per-pulse hot loops — only the state store and the returned word
+   allocate. *)
+let[@inline] mix z =
   let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
   let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
   Int64.(logxor z (shift_right_logical z 31))
 
-let int64 t =
+let[@inline] int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
 let split t = { state = int64 t }
 
+(* Double-mixing decorrelates nearby (seed, index) pairs: distinct
+   indexes land ~one golden-gamma apart before mixing, exactly the
+   spacing splitmix64 is designed to scramble. *)
+let derive seed index =
+  { state = mix (Int64.add (mix seed) (Int64.mul golden_gamma index)) }
+
 let bits t n =
   let b = Bitstring.create n in
   let i = ref 0 in
   while !i < n do
-    let w = ref (int64 t) in
-    let stop = min n (!i + 64) in
-    while !i < stop do
-      Bitstring.set b !i (Int64.logand !w 1L = 1L);
-      w := Int64.shift_right_logical !w 1;
-      incr i
-    done
+    let nb = min 64 (n - !i) in
+    Bitstring.blit_int64 b ~pos:!i ~bits:nb (int64 t);
+    i := !i + nb
   done;
   b
 
-let float t =
+let[@inline] float t =
   (* Top 53 bits scaled to [0,1). *)
   let x = Int64.shift_right_logical (int64 t) 11 in
   Int64.to_float x *. (1.0 /. 9007199254740992.0)
 
 let bool t = Int64.logand (int64 t) 1L = 1L
 
-let bernoulli t p =
+let[@inline] bernoulli t p =
   if p <= 0.0 then false else if p >= 1.0 then true else float t < p
 
 let int t bound =

@@ -15,10 +15,20 @@ val create : int64 -> t
 (** [split t] derives an independent generator; [t] advances. *)
 val split : t -> t
 
+(** [derive seed index] is an independent generator determined only by
+    [(seed, index)] — unlike [split] it involves no shared mutable
+    lineage, so callers can hand stream [i] of a family to any worker
+    in any order and reproduce the same draws.  This is the anchor of
+    the photonics fast path's determinism contract: one stream per
+    transmission frame, identical output for any domain count. *)
+val derive : int64 -> int64 -> t
+
 (** [int64 t] is the next raw 64-bit output. *)
 val int64 : t -> int64
 
-(** [bits t n] is a uniformly random [n]-bit string, [0 <= n]. *)
+(** [bits t n] is a uniformly random [n]-bit string, [0 <= n], filled
+    64 bits per underlying draw (one draw per word, same stream
+    consumption and bit order as the historical bit-at-a-time fill). *)
 val bits : t -> int -> Bitstring.t
 
 (** [float t] is uniform in [\[0, 1)]. *)

@@ -16,21 +16,36 @@ let stddev xs = sqrt (variance xs)
 let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile: p outside [0, 100]";
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Stats.percentile: NaN sample")
+    xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: no boxing on the hot
+     comparison and a total order we have already guarded. *)
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
   let hi = min (n - 1) (lo + 1) in
   let frac = rank -. float_of_int lo in
   (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
 
+(* Wilson score interval: unlike Wald it keeps nonzero width at the
+   k = 0 and k = n boundaries, where QBER estimates actually live. *)
 let binomial_ci ~k ~n ~z =
+  if k < 0 || n < 0 || k > n then invalid_arg "Stats.binomial_ci: bad counts";
   if n = 0 then (0.0, 1.0)
   else begin
     let nf = float_of_int n in
     let p = float_of_int k /. nf in
-    let se = sqrt (p *. (1.0 -. p) /. nf) in
-    (max 0.0 (p -. (z *. se)), min 1.0 (p +. (z *. se)))
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. nf) in
+    let center = (p +. (z2 /. (2.0 *. nf))) /. denom in
+    let half =
+      z /. denom *. sqrt ((p *. (1.0 -. p) /. nf) +. (z2 /. (4.0 *. nf *. nf)))
+    in
+    (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
   end
 
 let binomial_sd ~p ~n = sqrt (float_of_int n *. p *. (1.0 -. p))

@@ -13,13 +13,17 @@ val variance : float array -> float
 val stddev : float array -> float
 
 (** [percentile xs p] is the [p]-th percentile (0..100) by linear
-    interpolation on the sorted samples.
-    @raise Invalid_argument on an empty array. *)
+    interpolation on the sorted samples ([p = 0] is the minimum,
+    [p = 100] the maximum).
+    @raise Invalid_argument on an empty array, a NaN sample, or [p]
+    outside [\[0, 100\]]. *)
 val percentile : float array -> float -> float
 
-(** [binomial_ci ~k ~n ~z] is the Wald interval [(lo, hi)] for a
-    proportion with [k] successes out of [n] trials at [z] standard
-    errors, clamped to [\[0,1\]].  [n = 0] gives [(0., 1.)]. *)
+(** [binomial_ci ~k ~n ~z] is the Wilson score interval [(lo, hi)] for
+    a proportion with [k] successes out of [n] trials at [z] standard
+    errors, clamped to [\[0,1\]].  Unlike the Wald interval it has
+    nonzero width at [k = 0] and [k = n].  [n = 0] gives [(0., 1.)].
+    @raise Invalid_argument unless [0 <= k <= n]. *)
 val binomial_ci : k:int -> n:int -> z:float -> float * float
 
 (** [binomial_sd ~p ~n] is the standard deviation of a count with

@@ -544,6 +544,145 @@ let test_link_invalid_pulses () =
     (Invalid_argument "Link.run: pulses must be positive") (fun () ->
       ignore (Link.run Link.darpa_default ~pulses:0))
 
+(* -- Link fast path: the batched kernel's determinism contract -- *)
+
+let same_result (a : Link.result) (b : Link.result) =
+  Qkd_util.Bitstring.equal a.Link.alice_bases b.Link.alice_bases
+  && Qkd_util.Bitstring.equal a.Link.alice_values b.Link.alice_values
+  && Qkd_util.Bitstring.equal a.Link.alice_detected b.Link.alice_detected
+  && a.Link.detections = b.Link.detections
+  && a.Link.frames_lost = b.Link.frames_lost
+  && a.Link.gated_pulses = b.Link.gated_pulses
+
+(* Sharding across domains must not change a single bit: every frame
+   draws from its own [Rng.derive] stream and results merge in frame
+   order, so the domain count is pure execution policy. *)
+let check_domain_invariance ?(pulses = 50_000) ?(seeds = [ 1L; 7L ]) config =
+  List.iter
+    (fun seed ->
+      let base =
+        Link.run ~seed ~mode:(Link.Batched { domains = 1 }) config ~pulses
+      in
+      List.iter
+        (fun domains ->
+          let r = Link.run ~seed ~mode:(Link.Batched { domains }) config ~pulses in
+          check
+            (Printf.sprintf "seed %Ld x%d domains bit-identical" seed domains)
+            true (same_result base r);
+          check
+            (Printf.sprintf "seed %Ld x%d eve state" seed domains)
+            true
+            (Eve.intercepted r.Link.eve = Eve.intercepted base.Link.eve
+            && Eve.stored_photons r.Link.eve = Eve.stored_photons base.Link.eve
+            && Hashtbl.length (Eve.knowledge r.Link.eve)
+               = Hashtbl.length (Eve.knowledge base.Link.eve)))
+        [ 2; 3; 4 ])
+    seeds
+
+let test_fastpath_domains_darpa () = check_domain_invariance Link.darpa_default
+
+let test_fastpath_domains_frame_loss () =
+  (* odd frame size (not a multiple of 8) exercises the unaligned merge
+     path; heavy frame loss exercises the gating bookkeeping *)
+  check_domain_invariance
+    {
+      Link.darpa_default with
+      Link.timing =
+        Timing.make ~pulses_per_frame:37 ~frame_loss_probability:0.3 ();
+    }
+
+let test_fastpath_domains_entangled () =
+  check_domain_invariance Link.entangled_default
+
+let test_fastpath_domains_stabilized () =
+  check_domain_invariance
+    {
+      Link.darpa_default with
+      Link.stabilization = Some Stabilization.default;
+    }
+
+let test_fastpath_domains_eve () =
+  check_domain_invariance
+    { Link.darpa_default with Link.eve = Eve.Intercept_resend 0.5 }
+
+let test_fastpath_partial_last_frame () =
+  (* pulses not a multiple of the frame size: last frame is short *)
+  let config =
+    { Link.darpa_default with Link.timing = Timing.make ~pulses_per_frame:64 () }
+  in
+  check_domain_invariance ~pulses:1000 config;
+  let r = Link.run ~seed:3L config ~pulses:1000 in
+  check_int "all pulses recorded" 1000
+    (Qkd_util.Bitstring.length r.Link.alice_bases)
+
+let test_fastpath_more_domains_than_frames () =
+  let config =
+    { Link.darpa_default with Link.timing = Timing.make ~pulses_per_frame:512 () }
+  in
+  (* 2 frames, 8 requested domains: must clamp, not crash or diverge *)
+  let a = Link.run ~seed:5L ~mode:(Link.Batched { domains = 1 }) config ~pulses:1024 in
+  let b = Link.run ~seed:5L ~mode:(Link.Batched { domains = 8 }) config ~pulses:1024 in
+  check "clamped domains bit-identical" true (same_result a b)
+
+let test_fastpath_gated_pulses () =
+  let config =
+    {
+      Link.darpa_default with
+      Link.timing =
+        Timing.make ~pulses_per_frame:100 ~frame_loss_probability:0.25 ();
+    }
+  in
+  let pulses = 40_000 in
+  let r = Link.run ~seed:11L config ~pulses in
+  (* pulses is a multiple of the frame size, so gating is exact *)
+  check_int "gated = pulses - lost frames x frame size"
+    (pulses - (r.Link.frames_lost * 100))
+    r.Link.gated_pulses;
+  check "some frames lost" true (r.Link.frames_lost > 0);
+  check "rates ordered" true
+    (Link.detection_rate r >= Link.raw_detection_rate r);
+  let no_loss = Link.run ~seed:11L Link.darpa_default ~pulses in
+  check_int "no frame loss: gated = emitted" pulses no_loss.Link.gated_pulses;
+  checkf "no frame loss: rates equal"
+    (Link.detection_rate no_loss)
+    (Link.raw_detection_rate no_loss)
+
+(* The reference loop and the batched kernel draw randomness in
+   different orders, so they agree statistically, not bit-for-bit:
+   same operating point within Monte Carlo tolerance. *)
+let test_fastpath_reference_equivalence () =
+  let pulses = 400_000 in
+  let ref_r = Link.run ~seed:17L ~mode:Link.Reference Link.darpa_default ~pulses in
+  let bat_r =
+    Link.run ~seed:17L ~mode:(Link.Batched { domains = 2 }) Link.darpa_default
+      ~pulses
+  in
+  let rate_ref = Link.detection_rate ref_r in
+  let rate_bat = Link.detection_rate bat_r in
+  check "detection rates agree" true
+    (abs_float (rate_ref -. rate_bat) /. rate_ref < 0.15);
+  let _, qber_ref = measure_qber ref_r in
+  let _, qber_bat = measure_qber bat_r in
+  check "qber band agrees" true (abs_float (qber_ref -. qber_bat) < 0.03)
+
+let test_fastpath_reference_equivalence_eve () =
+  let config =
+    { Link.darpa_default with Link.eve = Eve.Intercept_resend 1.0 }
+  in
+  let pulses = 400_000 in
+  let ref_r = Link.run ~seed:23L ~mode:Link.Reference config ~pulses in
+  let bat_r =
+    Link.run ~seed:23L ~mode:(Link.Batched { domains = 2 }) config ~pulses
+  in
+  let _, qber_ref = measure_qber ref_r in
+  let _, qber_bat = measure_qber bat_r in
+  (* full intercept-resend: both must sit at the ~25% QBER signature *)
+  check "reference sees eve" true (qber_ref > 0.18 && qber_ref < 0.32);
+  check "batched sees eve" true (qber_bat > 0.18 && qber_bat < 0.32);
+  let frac r = float_of_int (Eve.intercepted r.Link.eve) /. float_of_int pulses in
+  check "intercept volumes agree" true
+    (abs_float (frac ref_r -. frac bat_r) < 0.02)
+
 let () =
   Alcotest.run "qkd_photonics"
     [
@@ -623,5 +762,27 @@ let () =
           Alcotest.test_case "wcp alice detected" `Quick test_link_wcp_alice_always_detected;
           Alcotest.test_case "entangled qber" `Slow test_link_entangled_low_qber;
           Alcotest.test_case "invalid pulses" `Quick test_link_invalid_pulses;
+        ] );
+      ( "link fast path",
+        [
+          Alcotest.test_case "domains invariant: darpa" `Quick
+            test_fastpath_domains_darpa;
+          Alcotest.test_case "domains invariant: frame loss" `Quick
+            test_fastpath_domains_frame_loss;
+          Alcotest.test_case "domains invariant: entangled" `Quick
+            test_fastpath_domains_entangled;
+          Alcotest.test_case "domains invariant: stabilized" `Quick
+            test_fastpath_domains_stabilized;
+          Alcotest.test_case "domains invariant: eve" `Quick
+            test_fastpath_domains_eve;
+          Alcotest.test_case "partial last frame" `Quick
+            test_fastpath_partial_last_frame;
+          Alcotest.test_case "more domains than frames" `Quick
+            test_fastpath_more_domains_than_frames;
+          Alcotest.test_case "gated pulses" `Quick test_fastpath_gated_pulses;
+          Alcotest.test_case "reference equivalence" `Slow
+            test_fastpath_reference_equivalence;
+          Alcotest.test_case "reference equivalence with eve" `Slow
+            test_fastpath_reference_equivalence_eve;
         ] );
     ]

@@ -155,6 +155,74 @@ let prop_bytes_roundtrip =
       let b = Bs.of_bool_list xs in
       Bs.equal b (Bs.of_bytes (Bs.to_bytes b) (Bs.length b)))
 
+(* -- Bitstring bulk primitives: the word-fill and range-copy paths
+   must agree with the definitional bit-at-a-time versions on every
+   alignment, since the fast paths switch strategy at byte
+   boundaries. -- *)
+
+let naive_blit_int64 b ~pos ~bits w =
+  for k = 0 to bits - 1 do
+    Bs.set b (pos + k) (Int64.logand (Int64.shift_right_logical w k) 1L = 1L)
+  done
+
+let test_blit_int64_aligned () =
+  let a = Bs.create 128 and b = Bs.create 128 in
+  let w = 0xDEADBEEFCAFEF00DL in
+  Bs.blit_int64 a ~pos:64 ~bits:64 w;
+  naive_blit_int64 b ~pos:64 ~bits:64 w;
+  check "aligned full word" true (Bs.equal a b);
+  let a = Bs.create 30 and b = Bs.create 30 in
+  Bs.blit_int64 a ~pos:8 ~bits:13 w;
+  naive_blit_int64 b ~pos:8 ~bits:13 w;
+  check "aligned partial word" true (Bs.equal a b)
+
+let test_blit_int64_preserves_neighbours () =
+  (* bits outside [pos, pos+bits) must survive the write *)
+  let a = Bs.create 24 in
+  for i = 0 to 23 do
+    Bs.set a i true
+  done;
+  Bs.blit_int64 a ~pos:8 ~bits:5 0L;
+  for i = 0 to 23 do
+    let expect = i < 8 || i >= 13 in
+    check (Printf.sprintf "bit %d" i) expect (Bs.get a i)
+  done
+
+let test_blit_int64_bounds () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Bitstring.blit_int64: range out of bounds") (fun () ->
+      Bs.blit_int64 (Bs.create 10) ~pos:8 ~bits:3 0L);
+  Alcotest.check_raises "bits > 64"
+    (Invalid_argument "Bitstring.blit_int64: bits must be within [0, 64]")
+    (fun () -> Bs.blit_int64 (Bs.create 100) ~pos:0 ~bits:65 0L)
+
+let prop_blit_int64_matches_naive =
+  QCheck.Test.make ~name:"blit_int64 = per-bit fill" ~count:500
+    QCheck.(triple (int_bound 150) (int_bound 64) int64)
+    (fun (pos, bits, w) ->
+      let a = Bs.create 256 and b = Bs.create 256 in
+      Bs.blit_int64 a ~pos ~bits w;
+      naive_blit_int64 b ~pos ~bits w;
+      Bs.equal a b)
+
+let prop_blit_matches_naive =
+  QCheck.Test.make ~name:"blit = per-bit copy" ~count:500
+    QCheck.(quad (int_bound 100) (int_bound 100) (int_bound 100) int64)
+    (fun (src_pos, dst_pos, len, seed) ->
+      let src = Rng.bits (Rng.create seed) 256 in
+      let a = Rng.bits (Rng.create (Int64.lognot seed)) 256 in
+      let b = Bs.copy a in
+      Bs.blit ~src ~src_pos a ~dst_pos ~len;
+      for k = 0 to len - 1 do
+        Bs.set b (dst_pos + k) (Bs.get src (src_pos + k))
+      done;
+      Bs.equal a b)
+
+let test_blit_bounds () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Bitstring.blit: range out of bounds") (fun () ->
+      Bs.blit ~src:(Bs.create 8) ~src_pos:0 (Bs.create 8) ~dst_pos:4 ~len:8)
+
 (* -- Rng -- *)
 
 let test_rng_deterministic () =
@@ -246,6 +314,57 @@ let test_rng_shuffle_permutes () =
 
 let test_rng_bytes_length () =
   check_int "13 bytes" 13 (Bytes.length (Rng.bytes (Rng.create 13L) 13))
+
+(* The word-fill [Rng.bits] must reproduce the original per-bit fill
+   exactly: one [int64] draw per 64 bits, LSB first.  Golden data and
+   sifting results all depend on this stream staying put. *)
+let legacy_bits seed n =
+  let t = Rng.create seed in
+  let b = Bs.create n in
+  let i = ref 0 in
+  while !i < n do
+    let w = ref (Rng.int64 t) in
+    let stop = min n (!i + 64) in
+    while !i < stop do
+      Bs.set b !i (Int64.logand !w 1L = 1L);
+      w := Int64.shift_right_logical !w 1;
+      incr i
+    done
+  done;
+  b
+
+let prop_rng_bits_matches_legacy =
+  QCheck.Test.make ~name:"bits = legacy per-bit fill" ~count:200
+    QCheck.(pair int64 (int_bound 400))
+    (fun (seed, n) ->
+      let fast = Rng.bits (Rng.create seed) n in
+      Bs.equal fast (legacy_bits seed n))
+
+let test_rng_bits_same_stream_position () =
+  (* after [bits], both fills must leave the generator at the same
+     point, so downstream draws agree too *)
+  let a = Rng.create 21L and b = Rng.create 21L in
+  ignore (Rng.bits a 129);
+  ignore (legacy_bits 21L 129);
+  (* legacy_bits consumed its own rng; replicate on [b] *)
+  ignore (Rng.int64 b);
+  ignore (Rng.int64 b);
+  ignore (Rng.int64 b);
+  Alcotest.(check int64) "next draw" (Rng.int64 b) (Rng.int64 a)
+
+let test_rng_derive_order_independent () =
+  (* derive is a pure function of (seed, index): deriving frame 5
+     before frame 2 or after must give identical streams *)
+  let a = Rng.derive 99L 5L in
+  let _ = Rng.derive 99L 2L in
+  let b = Rng.derive 99L 5L in
+  Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_derive_distinct () =
+  let a = Rng.derive 99L 0L and b = Rng.derive 99L 1L in
+  check "indexes differ" false (Rng.int64 a = Rng.int64 b);
+  let c = Rng.derive 98L 0L and d = Rng.derive 99L 0L in
+  check "seeds differ" false (Rng.int64 c = Rng.int64 d)
 
 (* -- Lfsr -- *)
 
@@ -351,6 +470,53 @@ let test_stats_binomial_ci () =
   Alcotest.(check (float 1e-9)) "no data lo" 0.0 lo0;
   Alcotest.(check (float 1e-9)) "no data hi" 1.0 hi0
 
+let test_stats_binomial_ci_boundaries () =
+  (* The Wald interval degenerates to a point at k = 0 and k = n; the
+     Wilson interval must stay informative there. *)
+  let lo, hi = Stats.binomial_ci ~k:0 ~n:100 ~z:2.0 in
+  Alcotest.(check (float 1e-9)) "k=0 lower" 0.0 lo;
+  check "k=0 upper nonzero" true (hi > 0.0 && hi < 0.2);
+  let lo, hi = Stats.binomial_ci ~k:100 ~n:100 ~z:2.0 in
+  Alcotest.(check (float 1e-9)) "k=n upper" 1.0 hi;
+  check "k=n lower below one" true (lo < 1.0 && lo > 0.8);
+  (* symmetric cases mirror *)
+  let lo1, hi1 = Stats.binomial_ci ~k:3 ~n:20 ~z:1.96 in
+  let lo2, hi2 = Stats.binomial_ci ~k:17 ~n:20 ~z:1.96 in
+  Alcotest.(check (float 1e-9)) "mirror lo" lo1 (1.0 -. hi2);
+  Alcotest.(check (float 1e-9)) "mirror hi" hi1 (1.0 -. lo2)
+
+let test_stats_binomial_ci_invalid () =
+  Alcotest.check_raises "k > n" (Invalid_argument "Stats.binomial_ci: bad counts")
+    (fun () -> ignore (Stats.binomial_ci ~k:5 ~n:4 ~z:2.0));
+  Alcotest.check_raises "negative" (Invalid_argument "Stats.binomial_ci: bad counts")
+    (fun () -> ignore (Stats.binomial_ci ~k:(-1) ~n:4 ~z:2.0))
+
+let test_stats_percentile_invalid () =
+  let xs = [| 1.0; 2.0 |] in
+  Alcotest.check_raises "p < 0"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (Stats.percentile xs (-0.5)));
+  Alcotest.check_raises "p > 100"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (Stats.percentile xs 100.5));
+  Alcotest.check_raises "p NaN"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (Stats.percentile xs Float.nan));
+  Alcotest.check_raises "NaN sample"
+    (Invalid_argument "Stats.percentile: NaN sample") (fun () ->
+      ignore (Stats.percentile [| 1.0; Float.nan |] 50.0));
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.percentile [||] 50.0))
+
+let test_stats_percentile_extremes () =
+  (* p = 0 and p = 100 are exactly min and max, on unsorted input *)
+  let xs = [| 7.0; -3.0; 12.5; 0.25 |] in
+  Alcotest.(check (float 1e-9)) "p0 = min" (-3.0) (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100 = max" 12.5 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "single sample" 4.0
+    (Stats.percentile [| 4.0 |] 73.0)
+
 let test_stats_histogram () =
   let h = Stats.histogram ~bins:4 ~lo:0.0 ~hi:4.0 [| 0.5; 1.5; 1.6; 3.9; -1.0; 9.0 |] in
   check_int "bin 0 (with clamp)" 2 h.Stats.counts.(0);
@@ -406,10 +572,17 @@ let () =
           Alcotest.test_case "append bit" `Quick test_append_bit;
           Alcotest.test_case "equal diff len" `Quick test_equal_diff_len;
           Alcotest.test_case "foldi/iteri" `Quick test_foldi_iteri;
+          Alcotest.test_case "blit_int64 aligned" `Quick test_blit_int64_aligned;
+          Alcotest.test_case "blit_int64 neighbours" `Quick
+            test_blit_int64_preserves_neighbours;
+          Alcotest.test_case "blit_int64 bounds" `Quick test_blit_int64_bounds;
+          Alcotest.test_case "blit bounds" `Quick test_blit_bounds;
           qcheck prop_xor_involution;
           qcheck prop_popcount_matches_list;
           qcheck prop_sub_concat_id;
           qcheck prop_bytes_roundtrip;
+          qcheck prop_blit_int64_matches_naive;
+          qcheck prop_blit_matches_naive;
         ] );
       ( "rng",
         [
@@ -427,6 +600,12 @@ let () =
           Alcotest.test_case "bits balanced" `Quick test_rng_bits_balanced;
           Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
           Alcotest.test_case "bytes length" `Quick test_rng_bytes_length;
+          Alcotest.test_case "bits stream position" `Quick
+            test_rng_bits_same_stream_position;
+          Alcotest.test_case "derive order independent" `Quick
+            test_rng_derive_order_independent;
+          Alcotest.test_case "derive distinct" `Quick test_rng_derive_distinct;
+          qcheck prop_rng_bits_matches_legacy;
         ] );
       ( "lfsr",
         [
@@ -454,7 +633,15 @@ let () =
           Alcotest.test_case "mean empty" `Quick test_stats_mean_empty;
           Alcotest.test_case "variance" `Quick test_stats_variance;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile invalid" `Quick
+            test_stats_percentile_invalid;
+          Alcotest.test_case "percentile extremes" `Quick
+            test_stats_percentile_extremes;
           Alcotest.test_case "binomial ci" `Quick test_stats_binomial_ci;
+          Alcotest.test_case "binomial ci boundaries" `Quick
+            test_stats_binomial_ci_boundaries;
+          Alcotest.test_case "binomial ci invalid" `Quick
+            test_stats_binomial_ci_invalid;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
         ] );
       ( "crc-hex",
