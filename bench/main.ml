@@ -331,6 +331,83 @@ let bench_json ~quick ~out () =
     exit 1
   end
 
+(* -- PR 4 resilience record: the failure-churn experiment, no-retry
+   baseline vs resilient scheduler on the same seed, written as
+   machine-readable JSON.  The acceptance gates run here too: the
+   resilient delivery ratio must strictly exceed the baseline's, and
+   both runs must conserve pad bits exactly. -- *)
+
+module Topology = Qkd_net.Topology
+module Relay = Qkd_net.Relay
+module Failure = Qkd_net.Failure
+module Scheduler = Qkd_net.Scheduler
+
+let churn_record ~quick scheduler =
+  let topo = Topology.random_mesh ~nodes:10 ~degree:3.5 ~seed:5L ~fiber_km:10.0 in
+  let relay = Relay.create ~low_watermark:2048 ~high_watermark:200_000 topo in
+  Relay.advance relay ~seconds:30.0;
+  let cfg =
+    {
+      Failure.default_churn_config with
+      Failure.pairs = [ (0, 9); (1, 8); (2, 7) ];
+      duration_s = (if quick then 150.0 else 600.0);
+      mtbf_s = 120.0;
+      mttr_s = 40.0;
+      request_bits = 512;
+      request_interval_s = 0.5;
+      scheduler;
+    }
+  in
+  Failure.churn ~seed:77L relay cfg
+
+let bench_resilience ~quick ~out () =
+  Format.printf "churn baseline (no retry, static routes)...@.";
+  let base = churn_record ~quick None in
+  Format.printf "churn resilient (scheduler + key-aware reroute)...@.";
+  let res = churn_record ~quick (Some Scheduler.default_config) in
+  let buf = Buffer.create 2048 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"pr\": 4,\n";
+  bpf "  \"preset\": %S,\n" (if quick then "quick" else "full");
+  let record label (r : Failure.churn_report) =
+    bpf "  %S: {\n" label;
+    bpf "    \"submitted\": %d,\n" r.Failure.submitted;
+    bpf "    \"delivered\": %d,\n" r.Failure.delivered;
+    bpf "    \"gave_up\": %d,\n" r.Failure.gave_up;
+    bpf "    \"retries\": %d,\n" r.Failure.retries;
+    bpf "    \"reroutes\": %d,\n" r.Failure.reroutes;
+    bpf "    \"link_failures\": %d,\n" r.Failure.link_failures;
+    bpf "    \"delivery_ratio\": %.4f,\n" r.Failure.delivery_ratio;
+    bpf "    \"p50_latency_s\": %.4f,\n" r.Failure.p50_latency_s;
+    bpf "    \"p95_latency_s\": %.4f,\n" r.Failure.p95_latency_s;
+    bpf "    \"consumed_bits\": %d,\n" r.Failure.consumed_bits;
+    bpf "    \"expected_consumed_bits\": %d,\n" r.Failure.expected_consumed_bits;
+    bpf "    \"conservation_ok\": %b\n" r.Failure.conservation_ok;
+    bpf "  },\n"
+  in
+  record "baseline" base;
+  record "resilient" res;
+  bpf "  \"resilient_beats_baseline\": %b\n"
+    (res.Failure.delivery_ratio > base.Failure.delivery_ratio);
+  bpf "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf
+    "wrote %s@.baseline ratio %.4f, resilient ratio %.4f (%d retries, %d \
+     reroutes, %d link failures)@."
+    out base.Failure.delivery_ratio res.Failure.delivery_ratio
+    res.Failure.retries res.Failure.reroutes res.Failure.link_failures;
+  if res.Failure.delivery_ratio <= base.Failure.delivery_ratio then begin
+    Format.eprintf "FAIL: resilient delivery ratio does not beat baseline@.";
+    exit 1
+  end;
+  if not (base.Failure.conservation_ok && res.Failure.conservation_ok) then begin
+    Format.eprintf "FAIL: pad conservation violated@.";
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let metrics, args = List.partition (( = ) "--metrics") args in
@@ -341,6 +418,20 @@ let () =
   | [ "micro" ] -> microbenches ()
   | [ "tables" ] -> Experiments.all ()
   | [ "obs" ] -> obs_overhead ()
+  | "resilience" :: rest ->
+      let rec parse ~quick ~out = function
+        | [] -> (quick, out)
+        | "--quick" :: tl -> parse ~quick:true ~out tl
+        | "--out" :: file :: tl -> parse ~quick ~out:file tl
+        | arg :: _ ->
+            Format.eprintf
+              "unknown resilience option %S; usage: main.exe resilience \
+               [--quick] [--out FILE]@."
+              arg;
+            exit 1
+      in
+      let quick, out = parse ~quick:false ~out:"BENCH_pr4.json" rest in
+      bench_resilience ~quick ~out ()
   | "json" :: rest ->
       let rec parse ~quick ~out = function
         | [] -> (quick, out)

@@ -86,13 +86,17 @@ type outbound_result =
   | Dropped of string
   | Need_rekey of Spd.protect
 
+let drop t reason =
+  t.dropped <- t.dropped + 1;
+  Dropped reason
+
 let outbound t ~now packet =
   match Spd.lookup t.spd packet with
   | None | Some { Spd.action = Spd.Bypass; _ } -> Bypass packet
-  | Some { Spd.action = Spd.Drop; _ } -> Dropped "policy drop"
+  | Some { Spd.action = Spd.Drop; _ } -> drop t "policy drop"
   | Some { Spd.action = Spd.Protect protect; _ } -> (
       match Hashtbl.find_opt t.tunnels protect.Spd.peer with
-      | None -> Dropped "no tunnel state"
+      | None -> drop t "no tunnel state"
       | Some tunnel -> (
           match tunnel.out_sa with
           | Some sa when not (Sa.expired sa ~now) -> (
@@ -109,7 +113,7 @@ let outbound t ~now packet =
                   Need_rekey protect
               | Error e ->
                   t.esp_errors <- t.esp_errors + 1;
-                  Dropped (Format.asprintf "%a" Esp.pp_error e))
+                  drop t (Format.asprintf "%a" Esp.pp_error e))
           | Some _ | None -> Need_rekey protect))
 
 type inbound_result =
@@ -135,19 +139,29 @@ let get32 b off =
   done;
   !v
 
+let reject t reason =
+  t.dropped <- t.dropped + 1;
+  Rejected reason
+
 let inbound t ~now packet =
-  ignore now;
   if packet.Packet.protocol <> Packet.proto_esp then Bypass_in packet
-  else if Bytes.length packet.Packet.payload < 8 then Rejected "short ESP"
+  else if Bytes.length packet.Packet.payload < 8 then reject t "short ESP"
   else begin
     let spi = get32 packet.Packet.payload 0 in
     match find_tunnel_by_spi t spi with
     | None ->
         t.esp_errors <- t.esp_errors + 1;
-        Rejected (Printf.sprintf "unknown SPI 0x%lx" spi)
+        reject t (Printf.sprintf "unknown SPI 0x%lx" spi)
     | Some tunnel -> (
         match tunnel.in_sa with
-        | None -> Rejected "tunnel has no inbound SA"
+        | None -> reject t "tunnel has no inbound SA"
+        | Some sa when Sa.expired sa ~now ->
+            (* Mirror the outbound rollover: an expired inbound SA
+               stops accepting traffic, and clearing the pair makes the
+               next outbound packet trigger the rekey path. *)
+            tunnel.in_sa <- None;
+            tunnel.out_sa <- None;
+            reject t "inbound SA expired"
         | Some sa -> (
             match Esp.decapsulate sa ~expected_seq:tunnel.expected_seq packet with
             | Ok inner ->
@@ -156,7 +170,7 @@ let inbound t ~now packet =
                 Deliver inner
             | Error e ->
                 t.esp_errors <- t.esp_errors + 1;
-                Rejected (Format.asprintf "%a" Esp.pp_error e)))
+                reject t (Format.asprintf "%a" Esp.pp_error e)))
   end
 
 let stats t =

@@ -47,10 +47,14 @@ type inbound_result =
   | Bypass_in of Packet.t
   | Rejected of string
 
-(** [inbound t ~now packet] processes a WAN-side packet. *)
+(** [inbound t ~now packet] processes a WAN-side packet.  A packet
+    arriving on an {e expired} inbound SA is rejected and the SA pair
+    is cleared, so the next outbound packet triggers the rekey path —
+    the inbound mirror of outbound key rollover. *)
 val inbound : t -> now:float -> Packet.t -> inbound_result
 
-(** Counters. *)
+(** Counters.  [dropped] counts every outbound [Dropped] and inbound
+    [Rejected] verdict. *)
 type stats = {
   sent : int;
   received : int;

@@ -12,6 +12,8 @@ type config = {
   key_source : key_source;
   packet_bytes : int;
   packets_per_second : float;
+  rekey_backoff_base_s : float;
+  rekey_backoff_max_s : float;
 }
 
 let default_config =
@@ -23,6 +25,8 @@ let default_config =
     key_source = Modeled 400.0;
     packet_bytes = 512;
     packets_per_second = 50.0;
+    rekey_backoff_base_s = 1.0;
+    rekey_backoff_max_s = 16.0;
   }
 
 type t = {
@@ -42,6 +46,8 @@ type t = {
   mutable drop_no_key : int;
   mutable rekey_failures : int;
   mutable phase1_done : bool;
+  mutable rekey_backoff_until : float;
+  mutable rekey_backoff_s : float;
 }
 
 let lan_a = "10.1.0.0"
@@ -97,6 +103,8 @@ let create ?(seed = 1999L) config =
     drop_no_key = 0;
     rekey_failures = 0;
     phase1_done = false;
+    rekey_backoff_until = 0.0;
+    rekey_backoff_s = config.rekey_backoff_base_s;
   }
 
 let gateway_a t = t.a
@@ -170,13 +178,37 @@ let send_one t ~src_gw ~dst_gw packet =
             t.blackholed <- t.blackholed + 1;
             Qkd_obs.Counter.incr (packet_counter "blackholed"))
     | Gateway.Bypass clear -> (
+        (* Cleartext path: only an actual delivery verdict counts;
+           rejects surface in the packet counter, not as delivered. *)
         match Gateway.inbound dst_gw ~now:t.now clear with
-        | _ -> t.delivered <- t.delivered + 1)
+        | Gateway.Deliver _ ->
+            t.delivered <- t.delivered + 1;
+            Qkd_obs.Counter.incr (packet_counter "delivered")
+        | Gateway.Bypass_in _ ->
+            Qkd_obs.Counter.incr (packet_counter "bypassed_clear")
+        | Gateway.Rejected _ ->
+            Qkd_obs.Counter.incr (packet_counter "rejected"))
     | Gateway.Dropped _ -> ()
     | Gateway.Need_rekey protect ->
-        if retries > 0 && rekey t ~initiator:src_gw ~responder:dst_gw protect
-        then attempt (retries - 1)
+        (* Negotiations are gated by an exponential backoff window: a
+           failed quick mode opens it (doubling up to the cap), and
+           while it is open Need_rekey packets drop without hammering
+           IKE against a pool that cannot have refilled yet. *)
+        if t.now < t.rekey_backoff_until then begin
+          t.drop_no_key <- t.drop_no_key + 1;
+          Qkd_obs.Counter.incr (packet_counter "dropped_backoff")
+        end
+        else if retries > 0 && rekey t ~initiator:src_gw ~responder:dst_gw protect
+        then begin
+          t.rekey_backoff_s <- t.config.rekey_backoff_base_s;
+          attempt (retries - 1)
+        end
         else begin
+          if retries > 0 then begin
+            t.rekey_backoff_until <- t.now +. t.rekey_backoff_s;
+            t.rekey_backoff_s <-
+              Float.min (t.rekey_backoff_s *. 2.0) t.config.rekey_backoff_max_s
+          end;
           t.drop_no_key <- t.drop_no_key + 1;
           Qkd_obs.Counter.incr (packet_counter "dropped_no_key")
         end

@@ -25,11 +25,15 @@ type config = {
   key_source : key_source;
   packet_bytes : int;
   packets_per_second : float;
+  rekey_backoff_base_s : float;
+      (** backoff window opened by a failed rekey *)
+  rekey_backoff_max_s : float;
+      (** ceiling for the doubling backoff window *)
 }
 
 (** AES-128 reseeded from 1024-bit qblocks every 60 s, 512-byte
     packets at 50 pkt/s, pools fed at 400 b/s (the modelled DARPA
-    distilled rate). *)
+    distilled rate), rekey backoff 1 s doubling to 16 s. *)
 val default_config : config
 
 type t
@@ -64,7 +68,9 @@ type stats = {
   attempted : int;
   delivered : int;
   blackholed : int;  (** tunnelled but rejected by the peer *)
-  drop_no_key : int;  (** rekey failed: not enough QKD bits *)
+  drop_no_key : int;
+      (** dropped for lack of key: a rekey failed (insufficient QKD
+          bits) or the post-failure backoff window was still open *)
   rekeys : int;
   rekey_failures : int;
   qbits_consumed : int;

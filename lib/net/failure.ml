@@ -30,6 +30,23 @@ type outage_report = {
   outages : int;
 }
 
+(* Shared failure/repair process: every edge alternates Exp(1/mtbf) up
+   time and Exp(1/mttr) down time on [sim], with [on_change] invoked
+   after each flip. *)
+let drive_outages sim rng topo ~mtbf_s ~mttr_s ~on_change =
+  let rec fail_later (e : Topology.edge) =
+    Sim.schedule_in sim ~delay:(Rng.exponential rng (1.0 /. mtbf_s)) (fun () ->
+        e.Topology.up <- false;
+        on_change e;
+        repair_later e)
+  and repair_later e =
+    Sim.schedule_in sim ~delay:(Rng.exponential rng (1.0 /. mttr_s)) (fun () ->
+        e.Topology.up <- true;
+        on_change e;
+        fail_later e)
+  in
+  List.iter fail_later (Topology.edges topo)
+
 let simulate_outages ?(seed = 37L) topo ~src ~dst ~mtbf_s ~mttr_s ~duration_s =
   if mtbf_s <= 0.0 || mttr_s <= 0.0 || duration_s <= 0.0 then
     invalid_arg "Failure.simulate_outages: non-positive time";
@@ -53,18 +70,8 @@ let simulate_outages ?(seed = 37L) topo ~src ~dst ~mtbf_s ~mttr_s ~duration_s =
           was_connected := c
         end
       in
-      let rec fail_later (e : Topology.edge) =
-        Sim.schedule_in sim ~delay:(Rng.exponential rng (1.0 /. mtbf_s)) (fun () ->
-            e.Topology.up <- false;
-            update_connectivity ();
-            repair_later e)
-      and repair_later e =
-        Sim.schedule_in sim ~delay:(Rng.exponential rng (1.0 /. mttr_s)) (fun () ->
-            e.Topology.up <- true;
-            update_connectivity ();
-            fail_later e)
-      in
-      List.iter fail_later (Topology.edges topo);
+      drive_outages sim rng topo ~mtbf_s ~mttr_s ~on_change:(fun _ ->
+          update_connectivity ());
       Sim.run sim ~until:duration_s;
       account duration_s;
       {
@@ -72,4 +79,144 @@ let simulate_outages ?(seed = 37L) topo ~src ~dst ~mtbf_s ~mttr_s ~duration_s =
         connected_s = !connected_s;
         availability = !connected_s /. duration_s;
         outages = !outages;
+      })
+
+(* -- Failure churn: outages, pool replenishment and request load in
+   one simulation — the end-to-end resilience experiment. -- *)
+
+type churn_config = {
+  mtbf_s : float;
+  mttr_s : float;
+  duration_s : float;
+  request_bits : int;
+  request_interval_s : float;
+  pairs : (int * int) list;
+  advance_dt_s : float;
+  scheduler : Scheduler.config option;
+}
+
+let default_churn_config =
+  {
+    mtbf_s = 120.0;
+    mttr_s = 30.0;
+    duration_s = 600.0;
+    request_bits = 256;
+    request_interval_s = 1.0;
+    pairs = [];
+    advance_dt_s = 1.0;
+    scheduler = Some Scheduler.default_config;
+  }
+
+type churn_report = {
+  submitted : int;
+  delivered : int;
+  gave_up : int;
+  retries : int;
+  reroutes : int;
+  link_failures : int;
+  delivery_ratio : float;
+  p50_latency_s : float;
+  p95_latency_s : float;
+  consumed_bits : int;
+  expected_consumed_bits : int;
+  conservation_ok : bool;
+}
+
+let churn_gauge name help = Qkd_obs.Registry.gauge name ~help
+
+let churn ?(seed = 41L) relay cfg =
+  if cfg.pairs = [] then invalid_arg "Failure.churn: no src/dst pairs";
+  if cfg.duration_s <= 0.0 || cfg.request_interval_s <= 0.0
+     || cfg.advance_dt_s <= 0.0
+  then invalid_arg "Failure.churn: non-positive time";
+  let topo = Relay.topology relay in
+  let reroutes_before = Relay.reroutes relay in
+  let consumed_before = Relay.total_consumed_bits relay in
+  with_saved_states topo (fun () ->
+      let sim = Sim.create () in
+      let rng = Rng.create seed in
+      let link_failures = ref 0 in
+      drive_outages sim rng topo ~mtbf_s:cfg.mtbf_s ~mttr_s:cfg.mttr_s
+        ~on_change:(fun (e : Topology.edge) ->
+          if not e.Topology.up then incr link_failures);
+      let sched =
+        Option.map (fun c -> Scheduler.create ~config:c ~sim relay) cfg.scheduler
+      in
+      (* Baseline bookkeeping when no scheduler is attached. *)
+      let base_submitted = ref 0 in
+      let base_delivered = ref 0 in
+      let expected = ref 0 in
+      let pairs = Array.of_list cfg.pairs in
+      let rec arrive () =
+        let src, dst = pairs.(Rng.int rng (Array.length pairs)) in
+        (match sched with
+        | Some s -> Scheduler.submit s ~src ~dst ~bits:cfg.request_bits
+        | None -> (
+            incr base_submitted;
+            match
+              Relay.request_key ~policy:Relay.Static relay ~src ~dst
+                ~bits:cfg.request_bits
+            with
+            | Ok d ->
+                incr base_delivered;
+                expected := !expected + (cfg.request_bits * (List.length d.Relay.path - 1))
+            | Error _ -> ()));
+        let at = Sim.now sim +. cfg.request_interval_s in
+        if at <= cfg.duration_s then Sim.schedule sim ~at arrive
+      in
+      let rec replenish () =
+        Relay.advance relay ~seconds:cfg.advance_dt_s;
+        let at = Sim.now sim +. cfg.advance_dt_s in
+        if at <= cfg.duration_s then Sim.schedule sim ~at replenish
+      in
+      Sim.schedule sim ~at:cfg.request_interval_s arrive;
+      Sim.schedule sim ~at:cfg.advance_dt_s replenish;
+      Sim.run sim ~until:cfg.duration_s;
+      let submitted, delivered, gave_up, retries, p50, p95 =
+        match sched with
+        | Some s ->
+            let st = Scheduler.stats s in
+            List.iter
+              (fun (r : Scheduler.report) ->
+                match r.Scheduler.outcome with
+                | Scheduler.Delivered d ->
+                    expected :=
+                      !expected + (r.Scheduler.bits * (List.length d.Relay.path - 1))
+                | Scheduler.Gave_up _ -> ())
+              (Scheduler.reports s);
+            ( st.Scheduler.submitted,
+              st.Scheduler.delivered,
+              st.Scheduler.gave_up,
+              st.Scheduler.retries,
+              st.Scheduler.p50_latency_s,
+              st.Scheduler.p95_latency_s )
+        | None ->
+            (!base_submitted, !base_delivered, !base_submitted - !base_delivered, 0, 0.0, 0.0)
+      in
+      let consumed_bits = Relay.total_consumed_bits relay - consumed_before in
+      let delivery_ratio =
+        if submitted = 0 then 0.0
+        else float_of_int delivered /. float_of_int submitted
+      in
+      Qkd_obs.Gauge.set
+        (churn_gauge "net_churn_delivery_ratio"
+           "Delivered fraction of key requests in the last churn run")
+        delivery_ratio;
+      Qkd_obs.Gauge.set
+        (churn_gauge "net_churn_link_failures"
+           "Link failure events in the last churn run")
+        (float_of_int !link_failures);
+      {
+        submitted;
+        delivered;
+        gave_up;
+        retries;
+        reroutes = Relay.reroutes relay - reroutes_before;
+        link_failures = !link_failures;
+        delivery_ratio;
+        p50_latency_s = p50;
+        p95_latency_s = p95;
+        consumed_bits;
+        expected_consumed_bits = !expected;
+        conservation_ok = consumed_bits = !expected;
       })

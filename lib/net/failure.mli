@@ -39,3 +39,55 @@ val simulate_outages :
   mttr_s:float ->
   duration_s:float ->
   outage_report
+
+(** {1 Failure churn}
+
+    The end-to-end resilience experiment: link outages
+    (Exp(1/mtbf)/Exp(1/mttr), as in {!simulate_outages}), pool
+    replenishment ([Relay.advance] every [advance_dt_s]) and a request
+    load all interleave on one event simulator.  With
+    [scheduler = Some cfg] requests go through the retrying
+    {!Scheduler}; with [None] each request is a single
+    [Relay.request_key ~policy:Static] attempt — the no-retry,
+    no-reroute baseline the resilient run must beat on the same
+    seed. *)
+
+type churn_config = {
+  mtbf_s : float;
+  mttr_s : float;
+  duration_s : float;
+  request_bits : int;  (** end-to-end key size per request *)
+  request_interval_s : float;  (** deterministic arrival spacing *)
+  pairs : (int * int) list;  (** (src, dst) drawn uniformly per request *)
+  advance_dt_s : float;  (** replenishment tick *)
+  scheduler : Scheduler.config option;  (** [None] = baseline *)
+}
+
+(** 2 min MTBF, 30 s MTTR, 10 min, 256-bit requests every second,
+    1 s replenishment, default scheduler; [pairs] must be filled in. *)
+val default_churn_config : churn_config
+
+type churn_report = {
+  submitted : int;
+  delivered : int;
+  gave_up : int;  (** resolved unfavourably (baseline: single failure) *)
+  retries : int;
+  reroutes : int;  (** deliveries off the hop-shortest route *)
+  link_failures : int;  (** edge down-transitions during the run *)
+  delivery_ratio : float;  (** delivered / submitted *)
+  p50_latency_s : float;  (** submit→delivery, simulated seconds *)
+  p95_latency_s : float;
+  consumed_bits : int;  (** Σ per-edge pool consumption during the run *)
+  expected_consumed_bits : int;  (** Σ bits·hops over delivered requests *)
+  conservation_ok : bool;
+      (** [consumed_bits = expected_consumed_bits]: no pad was
+          double-spent and no failed request half-spent a path *)
+}
+
+(** [churn ?seed relay cfg] runs the churn experiment on [relay]'s
+    topology.  Deterministic for a given [seed] and relay state; link
+    states are restored afterwards (pool levels are not — key material
+    really was consumed).
+    @raise Invalid_argument on an empty [pairs] or non-positive
+    times. *)
+val churn : ?seed:int64 -> Relay.t -> churn_config -> churn_report

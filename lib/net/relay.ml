@@ -18,13 +18,23 @@ type pool = {
 
 type t = {
   topo : Topology.t;
-  pools : pool list;
+  pools : pool list;  (** stable order: drives deterministic fill *)
+  by_pair : (int * int, pool) Hashtbl.t;  (** keyed (min a b, max a b) *)
   key_rng : Rng.t;
+  low_watermark : int;
+  high_watermark : int;
   mutable delivered : int;
   mutable failed : int;
+  mutable reroutes : int;
 }
 
-let create ?(base_config = Link.darpa_default) topo =
+let pair_key a b = (min a b, max a b)
+
+let create ?(base_config = Link.darpa_default) ?(low_watermark = 0)
+    ?(high_watermark = max_int) topo =
+  if low_watermark < 0 then invalid_arg "Relay.create: negative low watermark";
+  if high_watermark < low_watermark then
+    invalid_arg "Relay.create: high watermark below low watermark";
   let master = Rng.create 4242L in
   let pools =
     List.map
@@ -40,12 +50,37 @@ let create ?(base_config = Link.darpa_default) topo =
         })
       (Topology.edges topo)
   in
-  { topo; pools; key_rng = Rng.split master; delivered = 0; failed = 0 }
+  let by_pair = Hashtbl.create (List.length pools) in
+  List.iter
+    (fun p -> Hashtbl.replace by_pair (pair_key p.edge.Topology.a p.edge.Topology.b) p)
+    pools;
+  {
+    topo;
+    pools;
+    by_pair;
+    key_rng = Rng.split master;
+    low_watermark;
+    high_watermark;
+    delivered = 0;
+    failed = 0;
+    reroutes = 0;
+  }
 
 let topology t = t.topo
 
+let fill p bits = if bits > 0 then Key_pool.offer p.material (Rng.bits p.fill_rng bits)
+
+let watermark_gauge which =
+  Qkd_obs.Registry.gauge "net_relay_pools_below_low_watermark"
+    ~labels:[ ("stage", which) ]
+    ~help:"Pairwise pools below the low watermark, before/after a replenishment pass"
+
 let advance t ~seconds =
   if seconds < 0.0 then invalid_arg "Relay.advance: negative time";
+  (* Pass 1: every up link accrues at its own modelled rate, capped at
+     the high watermark (a finite pool buffer).  Capacity stranded by
+     the cap pools into a surplus. *)
+  let surplus = ref 0 in
   List.iter
     (fun p ->
       if p.edge.Topology.up then begin
@@ -53,102 +88,285 @@ let advance t ~seconds =
         let whole = int_of_float p.credit in
         if whole > 0 then begin
           p.credit <- p.credit -. float_of_int whole;
-          Key_pool.offer p.material (Rng.bits p.fill_rng whole)
+          let granted =
+            if t.high_watermark = max_int then whole
+            else min whole (max 0 (t.high_watermark - Key_pool.available p.material))
+          in
+          fill p granted;
+          surplus := !surplus + (whole - granted)
         end
       end)
-    t.pools
+    t.pools;
+  (* Pass 2: replenishment priority — the surplus goes to up links
+     still below the low watermark, proportionally to their modelled
+     rates, so depleted pools refill first when capacity is scarce. *)
+  if !surplus > 0 then begin
+    let starved =
+      List.filter
+        (fun p ->
+          p.edge.Topology.up && Key_pool.available p.material < t.low_watermark)
+        t.pools
+    in
+    Qkd_obs.Gauge.set (watermark_gauge "before_priority")
+      (float_of_int (List.length starved));
+    let total_rate = List.fold_left (fun acc p -> acc +. p.rate_bps) 0.0 starved in
+    if total_rate > 0.0 then
+      List.iter
+        (fun p ->
+          let share =
+            int_of_float (float_of_int !surplus *. p.rate_bps /. total_rate)
+          in
+          let gap = t.low_watermark - Key_pool.available p.material in
+          fill p (min share gap))
+        starved;
+    Qkd_obs.Gauge.set (watermark_gauge "after_priority")
+      (float_of_int
+         (List.length
+            (List.filter
+               (fun p ->
+                 p.edge.Topology.up
+                 && Key_pool.available p.material < t.low_watermark)
+               t.pools)))
+  end
 
 let find_pool t a b =
-  match
-    List.find_opt
-      (fun p ->
-        let e = p.edge in
-        (e.Topology.a = a && e.Topology.b = b)
-        || (e.Topology.a = b && e.Topology.b = a))
-      t.pools
-  with
+  match Hashtbl.find_opt t.by_pair (pair_key a b) with
   | Some p -> p
-  | None -> raise Not_found
+  | None ->
+      invalid_arg (Printf.sprintf "Relay: no edge between nodes %d and %d" a b)
 
 let pool_bits t a b = float_of_int (Key_pool.available (find_pool t a b).material)
 let link_rate t a b = (find_pool t a b).rate_bps
+
+let total_consumed_bits t =
+  List.fold_left (fun acc p -> acc + Key_pool.total_consumed p.material) 0 t.pools
 
 type delivery = {
   path : int list;
   bits : int;
   key : Bitstring.t;  (** the end-to-end key as received at [dst] *)
   cleartext_exposures : int;
+  rerouted : bool;
 }
 
 type delivery_error =
   | No_route
   | Insufficient_key of { edge : int * int; available : float }
 
+type route_policy = Static | Resilient
+
 let request_counter result =
   Qkd_obs.Registry.counter "net_relay_requests_total"
     ~labels:[ ("result", result) ]
     ~help:"End-to-end key requests through the relay mesh, by outcome"
 
-let request_key t ~src ~dst ~bits =
-  match Routing.shortest_path t.topo ~src ~dst ~weight:Routing.Hops with
-  | None ->
-      t.failed <- t.failed + 1;
-      Qkd_obs.Counter.incr (request_counter "no_route");
-      Error No_route
-  | Some path ->
-      let rec hops acc = function
-        | a :: (b :: _ as rest) -> hops ((a, b) :: acc) rest
-        | [ _ ] | [] -> List.rev acc
-      in
-      let edges = hops [] path in
-      let shortfall =
+let hops_of_path path =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go ((a, b) :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  go [] path
+
+(* Key-aware edge score: hop count dominates, with a depth penalty in
+   (0, 1] that steers ties toward deeper pools; edges that cannot pay
+   [bits] (or are down) are excluded outright. *)
+let depth_weight t ~bits (e : Topology.edge) =
+  match Hashtbl.find_opt t.by_pair (pair_key e.Topology.a e.Topology.b) with
+  | None -> infinity
+  | Some p ->
+      let avail = Key_pool.available p.material in
+      if (not e.Topology.up) || avail < bits then infinity
+      else 1.0 +. (float_of_int bits /. float_of_int (max avail 1))
+
+(* Reserve-then-commit: draw the pad on every hop in path order; if
+   any hop cannot pay (drained pool, downed link), every reservation
+   already taken is pushed back — [Key_pool.restore] reverses the
+   consumption counters too — so a mid-path failure never half-spends
+   the mesh.  [taken] is newest-first, which is exactly the restore
+   order that rebuilds each pool head. *)
+let try_reserve t edges ~bits =
+  let rollback taken =
+    List.iter (fun (p, pad) -> Key_pool.restore p.material pad) taken
+  in
+  let rec go taken = function
+    | [] -> Ok (List.rev taken)
+    | (a, b) :: rest -> (
+        let p = find_pool t a b in
+        if not p.edge.Topology.up then begin
+          rollback taken;
+          Error (a, b)
+        end
+        else
+          match Key_pool.consume p.material bits with
+          | pad -> go ((p, pad) :: taken) rest
+          | exception Key_pool.Exhausted _ ->
+              rollback taken;
+              Error (a, b))
+  in
+  go [] edges
+
+(* The source endpoint generates the end-to-end key and one-time-pads
+   it across each hop: encrypted with the pairwise key on the wire,
+   decrypted (back to cleartext) inside each relay, re-encrypted for
+   the next hop. *)
+let commit t path pads ~bits ~rerouted =
+  let key = Rng.bits t.key_rng bits in
+  let in_flight = ref (Bitstring.copy key) in
+  List.iter
+    (fun (_pool, pad) ->
+      (* encrypt at the hop's sender... *)
+      let ciphertext = Bitstring.xor !in_flight pad in
+      (* ...and decrypt at its receiver (same mirrored pad). *)
+      in_flight := Bitstring.xor ciphertext pad)
+    pads;
+  assert (Bitstring.equal !in_flight key);
+  t.delivered <- t.delivered + bits;
+  if rerouted then begin
+    t.reroutes <- t.reroutes + 1;
+    Qkd_obs.Counter.incr
+      (Qkd_obs.Registry.counter "net_relay_reroutes_total"
+         ~help:"Deliveries that routed around a depleted or downed link")
+  end;
+  Qkd_obs.Counter.incr (request_counter "delivered");
+  Qkd_obs.Counter.add
+    (Qkd_obs.Registry.counter "net_relay_bits_delivered_total"
+       ~help:"End-to-end key bits delivered across the mesh")
+    bits;
+  Qkd_obs.Counter.add
+    (Qkd_obs.Registry.counter "net_relay_hops_total"
+       ~help:"Hops traversed by delivered key requests")
+    (List.length pads);
+  {
+    path;
+    bits;
+    key = !in_flight;
+    cleartext_exposures = max 0 (List.length path - 2);
+    rerouted;
+  }
+
+let fail_no_route t =
+  t.failed <- t.failed + 1;
+  Qkd_obs.Counter.incr (request_counter "no_route");
+  Error No_route
+
+let fail_insufficient t (a, b) =
+  t.failed <- t.failed + 1;
+  Qkd_obs.Counter.incr (request_counter "insufficient_key");
+  Error
+    (Insufficient_key
+       {
+         edge = (a, b);
+         available = float_of_int (Key_pool.available (find_pool t a b).material);
+       })
+
+(* Hop count of the shortest route ignoring link state — the nominal
+   route a delivery is judged against.  [Routing.shortest_path] only
+   sees up edges, so after an outage the "shortest available" path
+   quietly becomes the detour itself; comparing against the nominal
+   hop count keeps down-link detours counted as reroutes. *)
+let nominal_hops t ~src ~dst =
+  let n = List.length (Topology.nodes t.topo) in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (e : Topology.edge) ->
+      adj.(e.Topology.a) <- e.Topology.b :: adj.(e.Topology.a);
+      adj.(e.Topology.b) <- e.Topology.a :: adj.(e.Topology.b))
+    (Topology.edges t.topo);
+  let transit id =
+    id = src || id = dst
+    || (Topology.node t.topo id).Topology.kind <> Topology.Endpoint
+  in
+  let dist = Array.make n (-1) in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  let rec bfs () =
+    match Queue.take_opt q with
+    | None -> None
+    | Some u ->
+        if u = dst then Some dist.(u)
+        else begin
+          List.iter
+            (fun v ->
+              if dist.(v) < 0 && transit v then begin
+                dist.(v) <- dist.(u) + 1;
+                Queue.add v q
+              end)
+            adj.(u);
+          bfs ()
+        end
+  in
+  bfs ()
+
+let request_key ?(policy = Resilient) t ~src ~dst ~bits =
+  let static_path = Routing.shortest_path t.topo ~src ~dst ~weight:Routing.Hops in
+  match (policy, static_path) with
+  | Static, None -> fail_no_route t
+  | Static, Some path -> (
+      let edges = hops_of_path path in
+      match
         List.find_opt
           (fun (a, b) -> Key_pool.available (find_pool t a b).material < bits)
           edges
+      with
+      | Some shortfall -> fail_insufficient t shortfall
+      | None -> (
+          match try_reserve t edges ~bits with
+          | Ok pads -> Ok (commit t path pads ~bits ~rerouted:false)
+          | Error shortfall -> fail_insufficient t shortfall))
+  | Resilient, _ -> (
+      (* Could the nominal route have carried this?  It must still be
+         nominal-length (no down link forced a longer "shortest"
+         path) and every hop must pay; deliveries that only succeed
+         otherwise count as reroutes. *)
+      let static_ok =
+        match static_path with
+        | None -> false
+        | Some path ->
+            let hops = hops_of_path path in
+            (match nominal_hops t ~src ~dst with
+            | Some h -> List.length hops = h
+            | None -> true)
+            && List.for_all
+                 (fun (a, b) ->
+                   Key_pool.available (find_pool t a b).material >= bits)
+                 hops
       in
-      (match shortfall with
-      | Some (a, b) ->
-          t.failed <- t.failed + 1;
-          Qkd_obs.Counter.incr (request_counter "insufficient_key");
-          Error
-            (Insufficient_key
-               {
-                 edge = (a, b);
-                 available = float_of_int (Key_pool.available (find_pool t a b).material);
-               })
-      | None ->
-          (* The source endpoint generates the end-to-end key and
-             one-time-pads it across each hop: encrypted with the
-             pairwise key on the wire, decrypted (back to cleartext)
-             inside each relay, re-encrypted for the next hop. *)
-          let key = Rng.bits t.key_rng bits in
-          let in_flight = ref (Bitstring.copy key) in
-          List.iter
-            (fun (a, b) ->
-              let pad = Key_pool.consume (find_pool t a b).material bits in
-              (* encrypt at the hop's sender... *)
-              let ciphertext = Bitstring.xor !in_flight pad in
-              (* ...and decrypt at its receiver (same mirrored pad). *)
-              in_flight := Bitstring.xor ciphertext pad)
-            edges;
-          assert (Bitstring.equal !in_flight key);
-          t.delivered <- t.delivered + bits;
-          Qkd_obs.Counter.incr (request_counter "delivered");
-          Qkd_obs.Counter.add
-            (Qkd_obs.Registry.counter "net_relay_bits_delivered_total"
-               ~help:"End-to-end key bits delivered across the mesh")
-            bits;
-          Qkd_obs.Counter.add
-            (Qkd_obs.Registry.counter "net_relay_hops_total"
-               ~help:"Hops traversed by delivered key requests")
-            (List.length edges);
-          Ok
-            {
-              path;
-              bits;
-              key = !in_flight;
-              cleartext_exposures = max 0 (List.length path - 2);
-            })
+      let key_aware =
+        Routing.shortest_path t.topo ~src ~dst
+          ~weight:(Routing.Custom (depth_weight t ~bits))
+      in
+      (* Candidate routes, best first: the key-aware path (every edge
+         can pay right now), then each greedy edge-disjoint fallback. *)
+      let candidates =
+        let fallbacks = Routing.edge_disjoint_paths t.topo ~src ~dst in
+        match key_aware with
+        | None -> fallbacks
+        | Some p -> p :: List.filter (fun q -> q <> p) fallbacks
+      in
+      let rec attempt last_shortfall = function
+        | [] -> (
+            match (static_path, last_shortfall) with
+            | None, _ -> fail_no_route t
+            | Some path, None -> (
+                (* static route exists; name its first dry hop *)
+                match
+                  List.find_opt
+                    (fun (a, b) ->
+                      Key_pool.available (find_pool t a b).material < bits)
+                    (hops_of_path path)
+                with
+                | Some shortfall -> fail_insufficient t shortfall
+                | None -> fail_insufficient t (List.hd (hops_of_path path)))
+            | Some _, Some shortfall -> fail_insufficient t shortfall)
+        | path :: rest -> (
+            match try_reserve t (hops_of_path path) ~bits with
+            | Ok pads ->
+                Ok (commit t path pads ~bits ~rerouted:(not static_ok))
+            | Error shortfall -> attempt (Some shortfall) rest)
+      in
+      attempt None candidates)
 
 let delivered_bits t = t.delivered
 let failed_requests t = t.failed
+let reroutes t = t.reroutes

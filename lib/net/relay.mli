@@ -10,45 +10,101 @@
     material, modelled by one mirrored pool), filled at the analytic
     per-link rate as [advance] moves simulated time forward; a
     delivered key is actually one-time-padded across every hop and
-    arrives bit-identical at the destination. *)
+    arrives bit-identical at the destination.
+
+    Pools are indexed by an internal [(min a b, max a b)]-keyed hash
+    table, so per-hop lookups are O(1) regardless of mesh size; any
+    query naming a node pair with no edge raises [Invalid_argument]
+    with the offending pair (the old bare [Not_found] escape is gone).
+
+    Requests are resilient by default: routing is {e key-aware} (edges
+    are scored by current pool depth and edges that cannot pay the
+    request are excluded), with greedy edge-disjoint paths as
+    fallbacks, and per-hop consumption is reserve-then-commit — a
+    mid-path failure rolls every already-drawn pad back, so the mesh
+    is never half-spent. *)
 
 type t
 
-(** [create ?base_config topo] attaches a pairwise pool to every edge.
-    Per-link key rates come from [Link_model.predict] with the edge's
-    fiber substituted into [base_config] (default [darpa_default]). *)
-val create : ?base_config:Qkd_photonics.Link.config -> Topology.t -> t
+(** [create ?base_config ?low_watermark ?high_watermark topo] attaches
+    a pairwise pool to every edge.  Per-link key rates come from
+    [Link_model.predict] with the edge's fiber substituted into
+    [base_config] (default [darpa_default]).
+
+    [high_watermark] (default unbounded) caps each pool: generation
+    capacity stranded by a full pool becomes surplus.  [low_watermark]
+    (default 0) drives replenishment priority: on each [advance], the
+    surplus is redistributed to up-links still below the low mark,
+    proportionally to their modelled rates.  With the defaults both
+    passes are inert and filling is bit-identical to the unwatermarked
+    behaviour.
+    @raise Invalid_argument if [low_watermark < 0] or
+    [high_watermark < low_watermark]. *)
+val create :
+  ?base_config:Qkd_photonics.Link.config ->
+  ?low_watermark:int ->
+  ?high_watermark:int ->
+  Topology.t ->
+  t
 
 val topology : t -> Topology.t
 
-(** [advance t ~seconds] grows every up-link's pool by rate·seconds.
-    Down links generate nothing. *)
+(** [advance t ~seconds] grows every up-link's pool by rate·seconds,
+    subject to the watermark passes described at [create].  Down links
+    generate nothing. *)
 val advance : t -> seconds:float -> unit
 
 (** [pool_bits t a b] is the pairwise pool level.
-    @raise Not_found if no such edge. *)
+    @raise Invalid_argument if no such edge. *)
 val pool_bits : t -> int -> int -> float
 
-(** [link_rate t a b] is the modelled distilled rate for the edge. *)
+(** [link_rate t a b] is the modelled distilled rate for the edge.
+    @raise Invalid_argument if no such edge. *)
 val link_rate : t -> int -> int -> float
+
+(** [total_consumed_bits t] sums [Key_pool.total_consumed] over every
+    pairwise pool — the conservation invariant's left-hand side: it
+    must equal Σ bits·hops over delivered requests, because rolled-back
+    reservations restore their consumption counters. *)
+val total_consumed_bits : t -> int
 
 type delivery = {
   path : int list;
   bits : int;
   key : Qkd_util.Bitstring.t;  (** the end-to-end key as received *)
   cleartext_exposures : int;  (** intermediate relays that saw the key *)
+  rerouted : bool;
+      (** delivered off the hop-shortest route because that route was
+          depleted or down *)
 }
 
 type delivery_error =
   | No_route
   | Insufficient_key of { edge : int * int; available : float }
 
-(** [request_key t ~src ~dst ~bits] routes (fewest hops over up links),
-    checks every hop pool, and on success consumes [bits] from each. *)
+(** [Static] reproduces the pre-resilience behaviour — hop-shortest
+    route only, fail on its first dry hop — and is the baseline the
+    churn experiments compare against.  [Resilient] (the default)
+    routes key-aware with edge-disjoint fallbacks. *)
+type route_policy = Static | Resilient
+
+(** [request_key ?policy t ~src ~dst ~bits] routes, reserves [bits] on
+    every hop of the chosen path (rolling back on mid-path failure)
+    and commits.  [Error Insufficient_key] names a dry hop; with
+    [Resilient] it is reported only after every candidate path has
+    failed to pay. *)
 val request_key :
-  t -> src:int -> dst:int -> bits:int -> (delivery, delivery_error) result
+  ?policy:route_policy ->
+  t ->
+  src:int ->
+  dst:int ->
+  bits:int ->
+  (delivery, delivery_error) result
 
 (** Totals for the experiment harness. *)
 val delivered_bits : t -> int
 
 val failed_requests : t -> int
+
+(** [reroutes t] counts deliveries with [rerouted = true]. *)
+val reroutes : t -> int

@@ -1,4 +1,8 @@
-type weight = Hops | Loss_db | Length_km
+type weight =
+  | Hops
+  | Loss_db
+  | Length_km
+  | Custom of (Topology.edge -> float)
 
 let default_switch_insertion_db = 1.5
 
@@ -7,6 +11,7 @@ let edge_weight weight (e : Topology.edge) =
   | Hops -> 1.0
   | Loss_db -> Qkd_photonics.Fiber.total_loss_db e.Topology.fiber
   | Length_km -> e.Topology.fiber.Qkd_photonics.Fiber.length_km
+  | Custom f -> f e
 
 let transit_ok topo ~src ~dst id =
   id = src || id = dst

@@ -6,7 +6,14 @@
     still supports key generation.  Both reduce to shortest path under
     different weights over the {e up} edges. *)
 
-type weight = Hops | Loss_db | Length_km
+type weight =
+  | Hops
+  | Loss_db
+  | Length_km
+  | Custom of (Topology.edge -> float)
+      (** Caller-supplied edge scoring, e.g. key-pool depth.  Must be
+          non-negative (Dijkstra); return [infinity] to exclude an
+          edge from consideration entirely. *)
 
 (** [shortest_path topo ~src ~dst ~weight] is the minimising node
     sequence [src ... dst], or [None] when disconnected.  Untrusted

@@ -1,0 +1,168 @@
+module Stats = Qkd_util.Stats
+
+type config = {
+  max_attempts : int;
+  base_backoff_s : float;
+  backoff_factor : float;
+  max_backoff_s : float;
+  deadline_s : float;
+  max_pending : int;
+}
+
+let default_config =
+  {
+    max_attempts = 6;
+    base_backoff_s = 0.5;
+    backoff_factor = 2.0;
+    max_backoff_s = 8.0;
+    deadline_s = 30.0;
+    max_pending = 256;
+  }
+
+type give_up_reason = Queue_full | Deadline_exceeded | Attempts_exhausted
+
+type outcome = Delivered of Relay.delivery | Gave_up of give_up_reason
+
+type report = {
+  src : int;
+  dst : int;
+  bits : int;
+  submitted_s : float;
+  completed_s : float;
+  attempts : int;
+  outcome : outcome;
+}
+
+type t = {
+  sim : Sim.t;
+  relay : Relay.t;
+  config : config;
+  mutable pending : int;
+  mutable submitted : int;
+  mutable delivered : int;
+  mutable gave_up : int;
+  mutable retries : int;
+  mutable reports : report list;  (** newest first *)
+}
+
+let create ?(config = default_config) ~sim relay =
+  if config.max_attempts < 1 then invalid_arg "Scheduler.create: max_attempts < 1";
+  if config.base_backoff_s <= 0.0 || config.backoff_factor < 1.0 then
+    invalid_arg "Scheduler.create: bad backoff parameters";
+  if config.max_pending < 1 then invalid_arg "Scheduler.create: max_pending < 1";
+  {
+    sim;
+    relay;
+    config;
+    pending = 0;
+    submitted = 0;
+    delivered = 0;
+    gave_up = 0;
+    retries = 0;
+    reports = [];
+  }
+
+let request_counter result =
+  Qkd_obs.Registry.counter "net_scheduler_requests_total"
+    ~labels:[ ("result", result) ]
+    ~help:"Scheduled end-to-end key requests, by final outcome"
+
+let retry_counter () =
+  Qkd_obs.Registry.counter "net_scheduler_retries_total"
+    ~help:"Backoff retries of failed key requests"
+
+let latency_histogram () =
+  Qkd_obs.Registry.histogram "net_scheduler_latency_seconds"
+    ~buckets:Qkd_obs.Histogram.default_sim_buckets
+    ~help:"Simulated submit-to-delivery latency of scheduled key requests"
+
+let reason_label = function
+  | Queue_full -> "queue_full"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Attempts_exhausted -> "attempts_exhausted"
+
+let finish t ~src ~dst ~bits ~submitted_s ~attempts outcome =
+  let completed_s = Sim.now t.sim in
+  (match outcome with
+  | Delivered _ ->
+      t.delivered <- t.delivered + 1;
+      Qkd_obs.Counter.incr (request_counter "delivered");
+      Qkd_obs.Histogram.observe (latency_histogram ()) (completed_s -. submitted_s)
+  | Gave_up reason ->
+      t.gave_up <- t.gave_up + 1;
+      Qkd_obs.Counter.incr (request_counter (reason_label reason)));
+  t.reports <-
+    { src; dst; bits; submitted_s; completed_s; attempts; outcome } :: t.reports
+
+let submit t ~src ~dst ~bits =
+  t.submitted <- t.submitted + 1;
+  let submitted_s = Sim.now t.sim in
+  if t.pending >= t.config.max_pending then
+    (* Bounded queue: shedding beats unbounded retry pile-up. *)
+    finish t ~src ~dst ~bits ~submitted_s ~attempts:0 (Gave_up Queue_full)
+  else begin
+    t.pending <- t.pending + 1;
+    let rec attempt n backoff () =
+      match Relay.request_key t.relay ~src ~dst ~bits with
+      | Ok d ->
+          t.pending <- t.pending - 1;
+          finish t ~src ~dst ~bits ~submitted_s ~attempts:n (Delivered d)
+      | Error (Relay.No_route | Relay.Insufficient_key _) ->
+          (* Both failure modes are transient under churn: links repair
+             and pools refill, so both back off and retry. *)
+          if n >= t.config.max_attempts then begin
+            t.pending <- t.pending - 1;
+            finish t ~src ~dst ~bits ~submitted_s ~attempts:n
+              (Gave_up Attempts_exhausted)
+          end
+          else if Sim.now t.sim +. backoff -. submitted_s > t.config.deadline_s
+          then begin
+            t.pending <- t.pending - 1;
+            finish t ~src ~dst ~bits ~submitted_s ~attempts:n
+              (Gave_up Deadline_exceeded)
+          end
+          else begin
+            t.retries <- t.retries + 1;
+            Qkd_obs.Counter.incr (retry_counter ());
+            Sim.schedule_in t.sim ~delay:backoff
+              (attempt (n + 1)
+                 (Float.min (backoff *. t.config.backoff_factor)
+                    t.config.max_backoff_s))
+          end
+    in
+    attempt 1 t.config.base_backoff_s ()
+  end
+
+type stats = {
+  submitted : int;
+  delivered : int;
+  gave_up : int;
+  retries : int;
+  pending : int;
+  p50_latency_s : float;
+  p95_latency_s : float;
+}
+
+let latencies t =
+  List.filter_map
+    (fun r ->
+      match r.outcome with
+      | Delivered _ -> Some (r.completed_s -. r.submitted_s)
+      | Gave_up _ -> None)
+    t.reports
+  |> Array.of_list
+
+let stats t =
+  let lats = latencies t in
+  let pct p = if Array.length lats = 0 then 0.0 else Stats.percentile lats p in
+  {
+    submitted = t.submitted;
+    delivered = t.delivered;
+    gave_up = t.gave_up;
+    retries = t.retries;
+    pending = t.pending;
+    p50_latency_s = pct 50.0;
+    p95_latency_s = pct 95.0;
+  }
+
+let reports t = List.rev t.reports

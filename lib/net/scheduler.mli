@@ -1,0 +1,62 @@
+(** Retrying key-request scheduler over the relay mesh.
+
+    The paper's fault-tolerance claim is about {e continuity}: when a
+    link fails or a pairwise pool runs dry, traffic is re-keyed along
+    another path rather than dropped.  [Relay.request_key] already
+    reroutes within one attempt; this scheduler adds the time axis —
+    failed requests enter a bounded retry queue and are re-attempted
+    with exponential backoff on the event simulator, until they
+    deliver, exhaust their attempts, or pass their deadline. *)
+
+type config = {
+  max_attempts : int;  (** total attempts, including the first *)
+  base_backoff_s : float;  (** delay before the first retry *)
+  backoff_factor : float;  (** multiplier per retry, >= 1 *)
+  max_backoff_s : float;  (** backoff ceiling *)
+  deadline_s : float;  (** give up once the next retry would pass this *)
+  max_pending : int;  (** bounded queue: excess submissions are shed *)
+}
+
+(** 6 attempts, 0.5 s doubling to 8 s, 30 s deadline, 256 pending. *)
+val default_config : config
+
+type give_up_reason = Queue_full | Deadline_exceeded | Attempts_exhausted
+
+type outcome = Delivered of Relay.delivery | Gave_up of give_up_reason
+
+type report = {
+  src : int;
+  dst : int;
+  bits : int;
+  submitted_s : float;
+  completed_s : float;
+  attempts : int;
+  outcome : outcome;
+}
+
+type t
+
+(** [create ?config ~sim relay] — retries are scheduled on [sim]; the
+    caller drives [Sim.run] (and [Relay.advance] replenishment).
+    @raise Invalid_argument on nonsensical config. *)
+val create : ?config:config -> sim:Sim.t -> Relay.t -> t
+
+(** [submit t ~src ~dst ~bits] attempts the request immediately; on
+    failure it backs off and retries via the simulator.  Outcomes are
+    recorded in [reports]/[stats] when they resolve. *)
+val submit : t -> src:int -> dst:int -> bits:int -> unit
+
+type stats = {
+  submitted : int;
+  delivered : int;
+  gave_up : int;
+  retries : int;
+  pending : int;  (** submitted but not yet resolved *)
+  p50_latency_s : float;  (** over delivered requests, simulated time *)
+  p95_latency_s : float;
+}
+
+val stats : t -> stats
+
+(** [reports t] — resolved requests, oldest first. *)
+val reports : t -> report list

@@ -1,7 +1,14 @@
 module Bitstring = Qkd_util.Bitstring
 
+(* Chunks live in a two-list queue: [front] holds the oldest chunks in
+   consumption order, [back] the newest in reverse arrival order.
+   [offer] conses onto [back]; when [front] runs dry the whole of
+   [back] is reversed across at once, so every operation is amortised
+   O(1) and offering many small chunks no longer degrades
+   quadratically the way the old [chunks @ [bits]] append did. *)
 type t = {
-  mutable chunks : Bitstring.t list;  (** oldest first *)
+  mutable front : Bitstring.t list;
+  mutable back : Bitstring.t list;
   mutable size : int;
   mutable offered : int;
   mutable consumed : int;
@@ -11,43 +18,69 @@ exception Exhausted of { wanted : int; available : int }
 
 let create ?initial () =
   match initial with
-  | None -> { chunks = []; size = 0; offered = 0; consumed = 0 }
+  | None -> { front = []; back = []; size = 0; offered = 0; consumed = 0 }
   | Some bits ->
       let n = Bitstring.length bits in
-      { chunks = (if n = 0 then [] else [ bits ]); size = n; offered = n; consumed = 0 }
+      {
+        front = (if n = 0 then [] else [ bits ]);
+        back = [];
+        size = n;
+        offered = n;
+        consumed = 0;
+      }
 
 let available t = t.size
 
 let offer t bits =
   let n = Bitstring.length bits in
   if n > 0 then begin
-    t.chunks <- t.chunks @ [ bits ];
+    t.back <- bits :: t.back;
     t.size <- t.size + n;
     t.offered <- t.offered + n
   end
 
+let pop_front t =
+  match t.front with
+  | c :: rest ->
+      t.front <- rest;
+      c
+  | [] -> (
+      match List.rev t.back with
+      | c :: rest ->
+          t.front <- rest;
+          t.back <- [];
+          c
+      | [] -> assert false)
+
 let consume t n =
   if n < 0 then invalid_arg "Key_pool.consume: negative";
   if n > t.size then raise (Exhausted { wanted = n; available = t.size });
-  let rec go acc need chunks =
-    if need = 0 then (List.rev acc, chunks)
-    else
-      match chunks with
-      | [] -> assert false
-      | c :: rest ->
-          let len = Bitstring.length c in
-          if len <= need then go (c :: acc) (need - len) rest
-          else
-            ( List.rev (Bitstring.sub c 0 need :: acc),
-              Bitstring.sub c need (len - need) :: rest )
+  let rec go acc need =
+    if need = 0 then List.rev acc
+    else begin
+      let c = pop_front t in
+      let len = Bitstring.length c in
+      if len <= need then go (c :: acc) (need - len)
+      else begin
+        t.front <- Bitstring.sub c need (len - need) :: t.front;
+        List.rev (Bitstring.sub c 0 need :: acc)
+      end
+    end
   in
-  let taken, rest = go [] n t.chunks in
-  t.chunks <- rest;
+  let taken = go [] n in
   t.size <- t.size - n;
   t.consumed <- t.consumed + n;
   Bitstring.concat_list taken
 
 let consume_bytes t n = Bitstring.to_bytes (consume t (8 * n))
+
+let restore t bits =
+  let n = Bitstring.length bits in
+  if n > 0 then begin
+    t.front <- bits :: t.front;
+    t.size <- t.size + n;
+    t.consumed <- t.consumed - n
+  end
 
 let total_offered t = t.offered
 let total_consumed t = t.consumed

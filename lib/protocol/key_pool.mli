@@ -17,7 +17,9 @@ val create : ?initial:Bitstring.t -> unit -> t
 (** [available t] is the number of unconsumed bits. *)
 val available : t -> int
 
-(** [offer t bits] appends freshly distilled bits. *)
+(** [offer t bits] appends freshly distilled bits.  Amortised O(1):
+    chunks are queued, not list-appended, so pools fed in many small
+    increments stay cheap. *)
 val offer : t -> Bitstring.t -> unit
 
 exception Exhausted of { wanted : int; available : int }
@@ -25,6 +27,14 @@ exception Exhausted of { wanted : int; available : int }
 (** [consume t n] removes and returns the oldest [n] bits.
     @raise Exhausted if fewer than [n] bits remain (pool unchanged). *)
 val consume : t -> int -> Bitstring.t
+
+(** [restore t bits] pushes [bits] back onto the {e head} of the pool,
+    exactly undoing a [consume] that returned them: the next [consume]
+    sees the same bits in the same order, and [total_consumed] is
+    decremented so a rolled-back reservation never counts as spend.
+    Both ends of a mirrored pool must restore identically (in reverse
+    consumption order) or they fall out of lock-step. *)
+val restore : t -> Bitstring.t -> unit
 
 (** [consume_bytes t n] is [consume t (8 * n)] packed into bytes. *)
 val consume_bytes : t -> int -> bytes

@@ -483,6 +483,76 @@ let test_ike_log_mentions_qblocks () =
   check "KEYMAT QBITS logged" true (has "QBITS");
   check "SA established logged" true (has "IPsec-SA established")
 
+(* -- Gateway counters and inbound expiry -- *)
+
+let udp ~src ~dst bytes =
+  Packet.make
+    ~src:(Packet.addr_of_string src)
+    ~dst:(Packet.addr_of_string dst)
+    ~protocol:Packet.proto_udp (Bytes.create bytes)
+
+let test_gateway_dropped_counts_policy_drop () =
+  let v = Vpn.create Vpn.default_config in
+  let gw = Vpn.gateway_a v in
+  let selector =
+    {
+      Spd.src_net = Packet.addr_of_string "10.1.0.0";
+      src_prefix = 16;
+      dst_net = Packet.addr_of_string "10.9.0.0";
+      dst_prefix = 16;
+      protocol = None;
+    }
+  in
+  Spd.add (Gateway.spd gw) { Spd.selector; action = Spd.Drop };
+  (match Gateway.outbound gw ~now:0.0 (udp ~src:"10.1.0.5" ~dst:"10.9.0.1" 32) with
+  | Gateway.Dropped _ -> ()
+  | Gateway.Tunnel _ | Gateway.Bypass _ | Gateway.Need_rekey _ ->
+      Alcotest.fail "policy says drop");
+  check_int "dropped counted" 1 (Gateway.stats gw).Gateway.dropped
+
+let test_gateway_dropped_counts_inbound_rejects () =
+  let v = Vpn.create Vpn.default_config in
+  let gw = Vpn.gateway_a v in
+  let esp payload_bytes =
+    Packet.make
+      ~src:(Packet.addr_of_string "192.1.99.35")
+      ~dst:(Packet.addr_of_string "192.1.99.34")
+      ~protocol:Packet.proto_esp (Bytes.create payload_bytes)
+  in
+  (match Gateway.inbound gw ~now:0.0 (esp 4) with
+  | Gateway.Rejected _ -> ()
+  | Gateway.Deliver _ | Gateway.Bypass_in _ -> Alcotest.fail "short ESP must reject");
+  (match Gateway.inbound gw ~now:0.0 (esp 16) with
+  | Gateway.Rejected _ -> ()
+  | Gateway.Deliver _ | Gateway.Bypass_in _ -> Alcotest.fail "unknown SPI must reject");
+  check_int "both rejects counted" 2 (Gateway.stats gw).Gateway.dropped
+
+let test_gateway_inbound_sa_expiry_forces_rekey () =
+  let v = Vpn.create Vpn.default_config in
+  Vpn.run v ~duration:10.0 ~dt:0.1;
+  let a = Vpn.gateway_a v and b = Vpn.gateway_b v in
+  let outer =
+    match Gateway.outbound a ~now:10.0 (udp ~src:"10.1.0.5" ~dst:"10.2.0.7" 64) with
+    | Gateway.Tunnel outer -> outer
+    | Gateway.Bypass _ | Gateway.Dropped _ | Gateway.Need_rekey _ ->
+        Alcotest.fail "live SA should tunnel"
+  in
+  let dropped_before = (Gateway.stats b).Gateway.dropped in
+  (* The packet arrives long after the inbound SA's lifetime: it must
+     be rejected, counted, and the SA pair cleared. *)
+  (match Gateway.inbound b ~now:1000.0 outer with
+  | Gateway.Rejected reason ->
+      Alcotest.(check string) "names expiry" "inbound SA expired" reason
+  | Gateway.Deliver _ | Gateway.Bypass_in _ ->
+      Alcotest.fail "expired inbound SA must reject");
+  check_int "reject counted" (dropped_before + 1) (Gateway.stats b).Gateway.dropped;
+  (* Mirror of outbound rollover: the cleared pair sends the next
+     outbound packet down the rekey path. *)
+  match Gateway.outbound b ~now:1000.0 (udp ~src:"10.2.0.7" ~dst:"10.1.0.5" 64) with
+  | Gateway.Need_rekey _ -> ()
+  | Gateway.Tunnel _ | Gateway.Bypass _ | Gateway.Dropped _ ->
+      Alcotest.fail "cleared pair must renegotiate"
+
 (* -- VPN end-to-end -- *)
 
 let test_vpn_reseed_delivers () =
@@ -833,6 +903,15 @@ let () =
           Alcotest.test_case "starves without key" `Quick test_le_starves_without_key;
           Alcotest.test_case "rollover" `Quick test_le_rollover_on_lifetime;
           Alcotest.test_case "otp chain" `Quick test_le_otp_chain;
+        ] );
+      ( "gateway",
+        [
+          Alcotest.test_case "dropped counts policy drop" `Quick
+            test_gateway_dropped_counts_policy_drop;
+          Alcotest.test_case "dropped counts inbound rejects" `Quick
+            test_gateway_dropped_counts_inbound_rejects;
+          Alcotest.test_case "inbound expiry forces rekey" `Quick
+            test_gateway_inbound_sa_expiry_forces_rekey;
         ] );
       ( "vpn",
         [

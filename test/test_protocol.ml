@@ -423,6 +423,62 @@ let test_pool_counters () =
   check_int "consumed" 60 (Key_pool.total_consumed p);
   check_int "available" 40 (Key_pool.available p)
 
+let test_pool_restore_round_trip () =
+  let p = Key_pool.create () in
+  Key_pool.offer p (Bs.of_string "110100101");
+  let head = Key_pool.consume p 5 in
+  Key_pool.restore p head;
+  check_int "level back" 9 (Key_pool.available p);
+  check_int "spend undone" 0 (Key_pool.total_consumed p);
+  Alcotest.(check string) "same bits, same order" "110100101"
+    (Bs.to_string (Key_pool.consume p 9))
+
+(* Offer an arbitrary series of chunks, consume the total in arbitrary
+   splits: the concatenated output must equal the concatenated input,
+   and the counters must conserve exactly. *)
+let prop_pool_round_trip_and_conservation =
+  QCheck.Test.make ~name:"pool offer/consume round-trip + conservation" ~count:100
+    QCheck.(pair (small_list (int_bound 50)) (int_bound 1000))
+    (fun (chunk_sizes, seed) ->
+      let rng = Rng.create (Int64.of_int (seed + 1)) in
+      let p = Key_pool.create () in
+      let offered =
+        List.map
+          (fun n ->
+            let bits = Rng.bits rng n in
+            Key_pool.offer p (Bs.copy bits);
+            bits)
+          chunk_sizes
+      in
+      let total = List.fold_left (fun acc b -> acc + Bs.length b) 0 offered in
+      QCheck.assume (Key_pool.total_offered p = total);
+      let out = ref [] in
+      let left = ref total in
+      while !left > 0 do
+        let n = min !left (1 + Rng.int rng 17) in
+        out := Key_pool.consume p n :: !out;
+        left := !left - n
+      done;
+      Bs.equal (Bs.concat_list offered) (Bs.concat_list (List.rev !out))
+      && Key_pool.total_consumed p = total
+      && Key_pool.available p = 0)
+
+(* The amortised-O(1) offer: a pool fed in very many small increments
+   must stay cheap (the old list-append implementation was O(n^2) and
+   takes minutes at this size). *)
+let test_pool_many_small_chunks_fast () =
+  let t0 = Sys.time () in
+  let p = Key_pool.create () in
+  let chunk = Bs.create 8 in
+  for _ = 1 to 100_000 do
+    Key_pool.offer p (Bs.copy chunk)
+  done;
+  while Key_pool.available p >= 12_800 do
+    ignore (Key_pool.consume p 12_800)
+  done;
+  check_int "all offered" 800_000 (Key_pool.total_offered p);
+  check "fast enough" true (Sys.time () -. t0 < 5.0)
+
 (* -- Auth -- *)
 
 let mirrored_auths bits =
@@ -799,6 +855,10 @@ let () =
           Alcotest.test_case "split chunks" `Quick test_pool_split_chunks;
           Alcotest.test_case "exhausted atomic" `Quick test_pool_exhausted_atomic;
           Alcotest.test_case "counters" `Quick test_pool_counters;
+          Alcotest.test_case "restore round-trip" `Quick test_pool_restore_round_trip;
+          qcheck prop_pool_round_trip_and_conservation;
+          Alcotest.test_case "many small chunks fast" `Quick
+            test_pool_many_small_chunks_fast;
         ] );
       ( "auth",
         [

@@ -1,0 +1,373 @@
+(* Tests for the PR 4 resilience layer: key-aware rerouting with
+   reserve-then-commit, pool watermarks, the retrying scheduler, and
+   the failure-churn experiment (resilient vs no-retry baseline). *)
+
+module Sim = Qkd_net.Sim
+module Topology = Qkd_net.Topology
+module Relay = Qkd_net.Relay
+module Scheduler = Qkd_net.Scheduler
+module Failure = Qkd_net.Failure
+module Fiber = Qkd_photonics.Fiber
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Nodes 0-1-2 in a chain plus a longer 0-3-4-2 detour: the unique
+   hop-shortest route 0-2 is via 1, with one disjoint fallback. *)
+let detour_topology () =
+  let t = Topology.create () in
+  for i = 0 to 4 do
+    ignore (Topology.add_node t ~name:(Printf.sprintf "n%d" i) ~kind:Topology.Trusted_relay)
+  done;
+  List.iter
+    (fun (a, b) -> Topology.add_edge t a b (Fiber.make ~length_km:10.0 ()))
+    [ (0, 1); (1, 2); (0, 3); (3, 4); (4, 2) ];
+  t
+
+(* Drain the pairwise pool on (a, b) down to [leave] bits via a direct
+   single-hop request. *)
+let drain relay a b ~leave =
+  let avail = int_of_float (Relay.pool_bits relay a b) in
+  if avail > leave then
+    match Relay.request_key relay ~src:a ~dst:b ~bits:(avail - leave) with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "drain request should succeed"
+
+(* -- Key-aware rerouting -- *)
+
+let test_reroute_around_depleted_edge () =
+  let topo = detour_topology () in
+  let r = Relay.create topo in
+  Relay.advance r ~seconds:60.0;
+  drain r 0 1 ~leave:100;
+  (* Static: the hop-shortest route 0-1-2 cannot pay 256 bits. *)
+  (match Relay.request_key ~policy:Relay.Static r ~src:0 ~dst:2 ~bits:256 with
+  | Error (Relay.Insufficient_key { edge; _ }) ->
+      check "dry hop named" true (edge = (0, 1) || edge = (1, 2))
+  | Ok _ -> Alcotest.fail "static route should be depleted"
+  | Error Relay.No_route -> Alcotest.fail "route exists");
+  (* Resilient: same request is rerouted over the 0-3-4-2 detour. *)
+  match Relay.request_key r ~src:0 ~dst:2 ~bits:256 with
+  | Ok d ->
+      Alcotest.(check (list int)) "detour path" [ 0; 3; 4; 2 ] d.Relay.path;
+      check "flagged rerouted" true d.Relay.rerouted;
+      check_int "reroute counted" 1 (Relay.reroutes r);
+      check_int "full key" 256 (Qkd_util.Bitstring.length d.Relay.key)
+  | Error _ -> Alcotest.fail "detour should deliver"
+
+let test_reroute_around_down_edge () =
+  let topo = detour_topology () in
+  let r = Relay.create topo in
+  Relay.advance r ~seconds:60.0;
+  Topology.set_edge topo 0 1 ~up:false;
+  match Relay.request_key r ~src:0 ~dst:2 ~bits:256 with
+  | Ok d ->
+      Alcotest.(check (list int)) "detour path" [ 0; 3; 4; 2 ] d.Relay.path;
+      check "flagged rerouted" true d.Relay.rerouted
+  | Error _ -> Alcotest.fail "detour should deliver around the cut"
+
+let test_shortest_route_not_flagged_rerouted () =
+  let topo = detour_topology () in
+  let r = Relay.create topo in
+  Relay.advance r ~seconds:60.0;
+  match Relay.request_key r ~src:0 ~dst:2 ~bits:256 with
+  | Ok d ->
+      check "not rerouted" false d.Relay.rerouted;
+      check_int "no reroutes counted" 0 (Relay.reroutes r)
+  | Error _ -> Alcotest.fail "healthy mesh should deliver"
+
+(* -- Reserve-then-commit rollback -- *)
+
+let test_rollback_restores_pools () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create topo in
+  Relay.advance r ~seconds:60.0;
+  (* Deplete the second hop only; the first hop can still pay. *)
+  drain r 1 2 ~leave:10;
+  let first_hop_before = Relay.pool_bits r 0 1 in
+  let consumed_before = Relay.total_consumed_bits r in
+  (match Relay.request_key r ~src:0 ~dst:2 ~bits:256 with
+  | Error (Relay.Insufficient_key _) -> ()
+  | Ok _ -> Alcotest.fail "second hop cannot pay"
+  | Error Relay.No_route -> Alcotest.fail "route exists");
+  Alcotest.(check (float 1e-9))
+    "first hop rolled back" first_hop_before (Relay.pool_bits r 0 1);
+  check_int "no half-spend counted" consumed_before (Relay.total_consumed_bits r);
+  (* The rolled-back pad is re-consumable: a 1-hop request still works. *)
+  match Relay.request_key r ~src:0 ~dst:1 ~bits:256 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "rolled-back bits should be reusable"
+
+let test_conservation_over_mixed_requests () =
+  let topo = detour_topology () in
+  let r = Relay.create topo in
+  Relay.advance r ~seconds:60.0;
+  let expected = ref 0 in
+  for i = 0 to 19 do
+    let bits = 64 + (i * 16) in
+    match Relay.request_key r ~src:0 ~dst:2 ~bits with
+    | Ok d -> expected := !expected + (bits * (List.length d.Relay.path - 1))
+    | Error _ -> ()
+  done;
+  check_int "consumed = bits x hops of deliveries" !expected
+    (Relay.total_consumed_bits r)
+
+(* -- Watermarks -- *)
+
+let test_high_watermark_caps_pools () =
+  let topo = detour_topology () in
+  let r = Relay.create ~high_watermark:1000 topo in
+  Relay.advance r ~seconds:120.0;
+  List.iter
+    (fun (e : Topology.edge) ->
+      check "pool capped" true (Relay.pool_bits r e.Topology.a e.Topology.b <= 1000.0))
+    (Topology.edges topo)
+
+let test_low_watermark_redistributes_surplus () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create ~low_watermark:10_000 ~high_watermark:12_000 topo in
+  let rate = Relay.link_rate r 0 1 in
+  (* Fill both edges to the high-watermark cap, then empty one. *)
+  Relay.advance r ~seconds:(14_000.0 /. rate);
+  Alcotest.(check (float 1.0)) "capped" 12_000.0 (Relay.pool_bits r 1 2);
+  drain r 0 1 ~leave:0;
+  (* The capped edge's stranded generation is redistributed to the
+     drained edge (below the low mark), so it refills at roughly twice
+     its own rate. *)
+  Relay.advance r ~seconds:10.0;
+  let refilled = Relay.pool_bits r 0 1 in
+  check "priority refill beats own rate" true (refilled > 1.5 *. rate *. 10.0);
+  check "but not more than both rates" true (refilled <= 2.0 *. rate *. 10.0 +. 2.0);
+  Alcotest.(check (float 1.0)) "donor stays capped" 12_000.0 (Relay.pool_bits r 1 2)
+
+let test_default_watermarks_inert () =
+  let mk watermarked =
+    let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+    let r =
+      if watermarked then Relay.create ~low_watermark:0 topo else Relay.create topo
+    in
+    Relay.advance r ~seconds:37.0;
+    Relay.pool_bits r 0 1
+  in
+  Alcotest.(check (float 1e-9)) "identical fill" (mk false) (mk true)
+
+(* -- Scheduler -- *)
+
+let test_scheduler_delivers_after_retry () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create topo in
+  (* Pools start empty; replenishment lands at t = 1 s, so the first
+     attempt and the 0.5 s retry fail, the 1.5 s retry delivers. *)
+  let sim = Sim.create () in
+  let sched = Scheduler.create ~sim r in
+  Sim.schedule sim ~at:1.0 (fun () -> Relay.advance r ~seconds:30.0);
+  Scheduler.submit sched ~src:0 ~dst:2 ~bits:256;
+  Sim.run sim ~until:60.0;
+  let s = Scheduler.stats sched in
+  check_int "delivered" 1 s.Scheduler.delivered;
+  check_int "nothing pending" 0 s.Scheduler.pending;
+  check "retried" true (s.Scheduler.retries >= 1);
+  match Scheduler.reports sched with
+  | [ rep ] ->
+      check "multiple attempts" true (rep.Scheduler.attempts >= 2);
+      check "positive latency" true (rep.Scheduler.completed_s > rep.Scheduler.submitted_s);
+      (match rep.Scheduler.outcome with
+      | Scheduler.Delivered d ->
+          check_int "full key" 256 (Qkd_util.Bitstring.length d.Relay.key)
+      | Scheduler.Gave_up _ -> Alcotest.fail "should deliver")
+  | _ -> Alcotest.fail "exactly one report"
+
+let test_scheduler_queue_full_sheds () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create topo in
+  let sim = Sim.create () in
+  let config = { Scheduler.default_config with Scheduler.max_pending = 1 } in
+  let sched = Scheduler.create ~config ~sim r in
+  (* Empty pools: the first submission stays pending on backoff, the
+     second hits the bounded queue and is shed immediately. *)
+  Scheduler.submit sched ~src:0 ~dst:2 ~bits:256;
+  Scheduler.submit sched ~src:0 ~dst:2 ~bits:256;
+  let shed =
+    List.filter
+      (fun rep -> rep.Scheduler.outcome = Scheduler.Gave_up Scheduler.Queue_full)
+      (Scheduler.reports sched)
+  in
+  check_int "one shed" 1 (List.length shed);
+  check_int "still one pending" 1 (Scheduler.stats sched).Scheduler.pending
+
+let test_scheduler_attempts_exhausted () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create topo in
+  let sim = Sim.create () in
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.max_attempts = 3;
+      base_backoff_s = 0.1;
+      max_backoff_s = 1.0;
+      deadline_s = 100.0;
+    }
+  in
+  let sched = Scheduler.create ~config ~sim r in
+  Scheduler.submit sched ~src:0 ~dst:2 ~bits:256;
+  Sim.run sim ~until:50.0;
+  match Scheduler.reports sched with
+  | [ rep ] ->
+      check "attempts exhausted" true
+        (rep.Scheduler.outcome = Scheduler.Gave_up Scheduler.Attempts_exhausted);
+      check_int "all attempts used" 3 rep.Scheduler.attempts;
+      check_int "retries = attempts - 1" 2 (Scheduler.stats sched).Scheduler.retries
+  | _ -> Alcotest.fail "exactly one report"
+
+let test_scheduler_deadline_exceeded () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create topo in
+  let sim = Sim.create () in
+  let config = { Scheduler.default_config with Scheduler.deadline_s = 2.0 } in
+  let sched = Scheduler.create ~config ~sim r in
+  (* Backoffs 0.5, 1.0 fit inside the 2 s deadline; the 2.0 backoff
+     after the third failure would land at 3.5 s, so it gives up. *)
+  Scheduler.submit sched ~src:0 ~dst:2 ~bits:256;
+  Sim.run sim ~until:50.0;
+  match Scheduler.reports sched with
+  | [ rep ] ->
+      check "deadline exceeded" true
+        (rep.Scheduler.outcome = Scheduler.Gave_up Scheduler.Deadline_exceeded);
+      check_int "three attempts made" 3 rep.Scheduler.attempts
+  | _ -> Alcotest.fail "exactly one report"
+
+(* -- Failure churn: the acceptance experiment -- *)
+
+let churn_run scheduler =
+  let topo = Topology.random_mesh ~nodes:10 ~degree:3.5 ~seed:5L ~fiber_km:10.0 in
+  let relay = Relay.create ~low_watermark:2048 ~high_watermark:200_000 topo in
+  Relay.advance relay ~seconds:30.0;
+  let cfg =
+    {
+      Failure.default_churn_config with
+      Failure.pairs = [ (0, 9); (1, 8); (2, 7) ];
+      duration_s = 150.0;
+      mtbf_s = 120.0;
+      mttr_s = 40.0;
+      request_bits = 512;
+      request_interval_s = 0.5;
+      scheduler;
+    }
+  in
+  Failure.churn ~seed:77L relay cfg
+
+let test_churn_resilient_beats_baseline () =
+  let base = churn_run None in
+  let res = churn_run (Some Scheduler.default_config) in
+  check "baseline lossy under churn" true (base.Failure.delivery_ratio < 1.0);
+  check "resilient strictly better" true
+    (res.Failure.delivery_ratio > base.Failure.delivery_ratio);
+  check "failures actually happened" true (res.Failure.link_failures > 0);
+  check "retries used" true (res.Failure.retries > 0)
+
+let test_churn_conserves_pads () =
+  let base = churn_run None in
+  let res = churn_run (Some Scheduler.default_config) in
+  check "baseline conserves" true base.Failure.conservation_ok;
+  check "resilient conserves" true res.Failure.conservation_ok;
+  check_int "baseline exact" base.Failure.expected_consumed_bits
+    base.Failure.consumed_bits;
+  check_int "resilient exact" res.Failure.expected_consumed_bits
+    res.Failure.consumed_bits
+
+let test_churn_deterministic_under_seed () =
+  let a = churn_run (Some Scheduler.default_config) in
+  let b = churn_run (Some Scheduler.default_config) in
+  check "identical reports" true (a = b)
+
+let test_churn_restores_link_states () =
+  let topo = Topology.random_mesh ~nodes:10 ~degree:3.5 ~seed:5L ~fiber_km:10.0 in
+  let relay = Relay.create topo in
+  Relay.advance relay ~seconds:30.0;
+  let cfg =
+    {
+      Failure.default_churn_config with
+      Failure.pairs = [ (0, 9) ];
+      duration_s = 60.0;
+    }
+  in
+  ignore (Failure.churn relay cfg);
+  List.iter
+    (fun (e : Topology.edge) -> check "edge restored up" true e.Topology.up)
+    (Topology.edges topo)
+
+let test_churn_rejects_bad_config () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let relay = Relay.create topo in
+  check "empty pairs rejected" true
+    (try
+       ignore (Failure.churn relay Failure.default_churn_config);
+       false
+     with Invalid_argument _ -> true)
+
+(* -- Relay pool index -- *)
+
+let test_find_pool_error_names_pair () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create topo in
+  check "missing edge raises Invalid_argument" true
+    (try
+       ignore (Relay.pool_bits r 0 2);
+       false
+     with Invalid_argument msg ->
+       (* The message names the offending pair, not a bare Not_found. *)
+       String.length msg > 0)
+
+let () =
+  Alcotest.run "qkd_resilience"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "reroute around depleted edge" `Quick
+            test_reroute_around_depleted_edge;
+          Alcotest.test_case "reroute around down edge" `Quick
+            test_reroute_around_down_edge;
+          Alcotest.test_case "shortest route not flagged" `Quick
+            test_shortest_route_not_flagged_rerouted;
+        ] );
+      ( "reserve-commit",
+        [
+          Alcotest.test_case "rollback restores pools" `Quick
+            test_rollback_restores_pools;
+          Alcotest.test_case "conservation over mixed requests" `Quick
+            test_conservation_over_mixed_requests;
+        ] );
+      ( "watermarks",
+        [
+          Alcotest.test_case "high watermark caps pools" `Quick
+            test_high_watermark_caps_pools;
+          Alcotest.test_case "low watermark redistributes" `Quick
+            test_low_watermark_redistributes_surplus;
+          Alcotest.test_case "defaults inert" `Quick test_default_watermarks_inert;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "delivers after retry" `Quick
+            test_scheduler_delivers_after_retry;
+          Alcotest.test_case "queue full sheds" `Quick test_scheduler_queue_full_sheds;
+          Alcotest.test_case "attempts exhausted" `Quick
+            test_scheduler_attempts_exhausted;
+          Alcotest.test_case "deadline exceeded" `Quick
+            test_scheduler_deadline_exceeded;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "resilient beats baseline" `Slow
+            test_churn_resilient_beats_baseline;
+          Alcotest.test_case "conserves pads" `Slow test_churn_conserves_pads;
+          Alcotest.test_case "deterministic under seed" `Slow
+            test_churn_deterministic_under_seed;
+          Alcotest.test_case "restores link states" `Quick
+            test_churn_restores_link_states;
+          Alcotest.test_case "rejects bad config" `Quick test_churn_rejects_bad_config;
+        ] );
+      ( "pool-index",
+        [
+          Alcotest.test_case "missing edge error" `Quick test_find_pool_error_names_pair;
+        ] );
+    ]
