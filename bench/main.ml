@@ -186,6 +186,60 @@ let measure_obs_overhead ~rounds =
   Qkd_obs.Control.set_enabled true;
   (enabled1 +. enabled2, disabled1 +. disabled2)
 
+(* Alert-engine overhead: the same interleaved protocol-round loop,
+   with and without a default health monitor ticking (series sampling
+   + rule evaluation) once per round.  The PR-5 gate: ratio < 1.05. *)
+let measure_alert_overhead ~rounds =
+  let time ~with_monitor =
+    let r = Qkd_obs.Registry.create () in
+    Qkd_obs.Registry.with_registry r (fun () ->
+        let engine =
+          Qkd_protocol.Engine.create ~seed:2003L
+            Qkd_protocol.Engine.default_config
+        in
+        let monitor =
+          if with_monitor then Some (Qkd_obs.Health.default ()) else None
+        in
+        Option.iter (fun m -> Qkd_obs.Health.tick m ~now:0.0) monitor;
+        ignore (Qkd_protocol.Engine.run_round engine ~pulses:10_000);
+        let t0 = Unix.gettimeofday () in
+        for i = 1 to rounds do
+          ignore (Qkd_protocol.Engine.run_round engine ~pulses:10_000);
+          Option.iter
+            (fun m -> Qkd_obs.Health.tick m ~now:(float_of_int i))
+            monitor
+        done;
+        Unix.gettimeofday () -. t0)
+  in
+  let without1 = time ~with_monitor:false in
+  let with1 = time ~with_monitor:true in
+  let with2 = time ~with_monitor:true in
+  let without2 = time ~with_monitor:false in
+  (with1 +. with2) /. (without1 +. without2)
+
+(* Eavesdropper-alarm determinism: the same seed with and without an
+   intercept-resend Eve.  The Wilson-bounded QBER rule must fire on
+   the attacked run and stay silent on the clean one. *)
+let qber_alarm_fires eve =
+  let r = Qkd_obs.Registry.create () in
+  Qkd_obs.Registry.with_registry r (fun () ->
+      let base = Qkd_protocol.Engine.default_config in
+      let config =
+        {
+          base with
+          Qkd_protocol.Engine.link =
+            { base.Qkd_protocol.Engine.link with Qkd_photonics.Link.eve };
+        }
+      in
+      let engine = Qkd_protocol.Engine.create ~seed:2003L config in
+      let monitor = Qkd_obs.Health.default () in
+      Qkd_obs.Health.tick monitor ~now:0.0;
+      for i = 1 to 4 do
+        ignore (Qkd_protocol.Engine.run_round engine ~pulses:50_000);
+        Qkd_obs.Health.tick monitor ~now:(float_of_int i)
+      done;
+      Qkd_obs.Alert.is_firing (Qkd_obs.Health.engine monitor) "qber_above_budget")
+
 let obs_overhead () =
   let rounds = 40 in
   let enabled, disabled = measure_obs_overhead ~rounds in
@@ -383,7 +437,9 @@ let bench_resilience ~quick ~out () =
     bpf "    \"p95_latency_s\": %.4f,\n" r.Failure.p95_latency_s;
     bpf "    \"consumed_bits\": %d,\n" r.Failure.consumed_bits;
     bpf "    \"expected_consumed_bits\": %d,\n" r.Failure.expected_consumed_bits;
-    bpf "    \"conservation_ok\": %b\n" r.Failure.conservation_ok;
+    bpf "    \"conservation_ok\": %b,\n" r.Failure.conservation_ok;
+    bpf "    \"slo_attainment\": %.6f,\n" r.Failure.slo_attainment;
+    bpf "    \"alerts_fired\": %d\n" r.Failure.alerts_fired;
     bpf "  },\n"
   in
   record "baseline" base;
@@ -408,6 +464,98 @@ let bench_resilience ~quick ~out () =
     exit 1
   end
 
+(* -- PR 5 health-monitoring record: instrumentation + alert-engine
+   overhead ratios, the eavesdropper-alarm separation (attacked run
+   fires, clean run on the same seed stays silent), and the churn SLO
+   cross-check (the alert engine's windowed attainment must equal the
+   scheduler's exact delivered/submitted counts).  All four are
+   acceptance gates: any miss exits non-zero. -- *)
+
+let median3 a b c =
+  match List.sort compare [ a; b; c ] with
+  | [ _; m; _ ] -> m
+  | _ -> assert false
+
+let bench_obs ~quick ~out () =
+  (* The overhead gates need stable timings even in --quick CI runs, so
+     they always use the full round count and a median of three
+     interleaved measurements; --quick only shortens the churn run. *)
+  let rounds = 40 in
+  Format.printf "instrumentation overhead (%d rounds x2, median of 3)...@."
+    rounds;
+  let obs_ratio =
+    let once () =
+      let enabled, disabled = measure_obs_overhead ~rounds in
+      enabled /. disabled
+    in
+    median3 (once ()) (once ()) (once ())
+  in
+  Format.printf "alert-engine overhead (%d rounds x2, median of 3)...@." rounds;
+  let alert_ratio =
+    median3
+      (measure_alert_overhead ~rounds)
+      (measure_alert_overhead ~rounds)
+      (measure_alert_overhead ~rounds)
+  in
+  Format.printf "eavesdropper alarm: clean vs intercept-resend, same seed...@.";
+  let clean_fired = qber_alarm_fires Qkd_photonics.Eve.Passive in
+  let attacked_fired =
+    qber_alarm_fires (Qkd_photonics.Eve.Intercept_resend 1.0)
+  in
+  Format.printf "churn SLO attainment (resilient scheduler)...@.";
+  let res = churn_record ~quick (Some Scheduler.default_config) in
+  let exact_ratio =
+    float_of_int res.Failure.delivered /. float_of_int res.Failure.submitted
+  in
+  let slo_matches = res.Failure.slo_attainment = exact_ratio in
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"pr\": 5,\n";
+  bpf "  \"preset\": %S,\n" (if quick then "quick" else "full");
+  bpf "  \"obs_overhead_ratio\": %.4f,\n" obs_ratio;
+  bpf "  \"alert_overhead_ratio\": %.4f,\n" alert_ratio;
+  bpf "  \"qber_alert_fired\": %b,\n" attacked_fired;
+  bpf "  \"clean_alert_fired\": %b,\n" clean_fired;
+  bpf "  \"slo_attainment\": %.6f,\n" res.Failure.slo_attainment;
+  bpf "  \"slo_matches_delivered\": %b,\n" slo_matches;
+  bpf "  \"alerts_fired\": %d\n" res.Failure.alerts_fired;
+  bpf "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf
+    "wrote %s@.obs ratio %.4f, alert ratio %.4f, alarm attacked=%b clean=%b, \
+     slo %.6f (exact %.6f)@."
+    out obs_ratio alert_ratio attacked_fired clean_fired
+    res.Failure.slo_attainment exact_ratio;
+  let fail = ref false in
+  if obs_ratio >= 1.05 then begin
+    Format.eprintf "FAIL: instrumentation overhead ratio %.4f >= 1.05@."
+      obs_ratio;
+    fail := true
+  end;
+  if alert_ratio >= 1.05 then begin
+    Format.eprintf "FAIL: alert-engine overhead ratio %.4f >= 1.05@."
+      alert_ratio;
+    fail := true
+  end;
+  if not attacked_fired then begin
+    Format.eprintf "FAIL: intercept-resend run did not fire the QBER alarm@.";
+    fail := true
+  end;
+  if clean_fired then begin
+    Format.eprintf "FAIL: clean run fired the QBER alarm@.";
+    fail := true
+  end;
+  if not slo_matches then begin
+    Format.eprintf
+      "FAIL: alert-engine SLO attainment %.6f != delivered/submitted %.6f@."
+      res.Failure.slo_attainment exact_ratio;
+    fail := true
+  end;
+  if !fail then exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let metrics, args = List.partition (( = ) "--metrics") args in
@@ -418,6 +566,20 @@ let () =
   | [ "micro" ] -> microbenches ()
   | [ "tables" ] -> Experiments.all ()
   | [ "obs" ] -> obs_overhead ()
+  | "obs" :: rest ->
+      let rec parse ~quick ~out = function
+        | [] -> (quick, out)
+        | "--quick" :: tl -> parse ~quick:true ~out tl
+        | "--out" :: file :: tl -> parse ~quick ~out:file tl
+        | arg :: _ ->
+            Format.eprintf
+              "unknown obs option %S; usage: main.exe obs [--quick] [--out \
+               FILE]@."
+              arg;
+            exit 1
+      in
+      let quick, out = parse ~quick:false ~out:"BENCH_pr5.json" rest in
+      bench_obs ~quick ~out ()
   | "resilience" :: rest ->
       let rec parse ~quick ~out = function
         | [] -> (quick, out)

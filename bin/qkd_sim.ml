@@ -20,21 +20,54 @@ module Failure = Qkd_net.Failure
 module System = Qkd_core.System
 open Cmdliner
 
-(* Every subcommand accepts --metrics: the run's telemetry registry is
-   dumped at exit (see README "Observability"). *)
+(* Every subcommand accepts --metrics (telemetry dump at exit),
+   --metrics-out FILE (line-protocol snapshot to a file) and --health
+   (install the standard health monitor, tick it over the run, print
+   the status report at exit — see README "Health monitoring"). *)
 let metrics_arg =
   Arg.(
     value & flag
     & info [ "metrics" ] ~doc:"Print the telemetry registry dump at exit.")
 
-let finish_metrics metrics rc =
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the line-protocol metrics snapshot to $(docv) at exit.")
+
+let health_arg =
+  Arg.(
+    value & flag
+    & info [ "health" ]
+        ~doc:
+          "Monitor the run with the standard alert rules (QBER eavesdropper \
+           alarm, delivery SLO, stabilization drift) and print the health \
+           report at exit.")
+
+let make_monitor health =
+  if health then Some (Qkd_obs.Health.default ()) else None
+
+let tick_monitor monitor ~now =
+  Option.iter (fun m -> Qkd_obs.Health.tick m ~now) monitor
+
+let finish ~metrics ~metrics_out ~monitor ~now rc =
+  Option.iter
+    (fun m ->
+      Qkd_obs.Health.tick m ~now;
+      Qkd_obs.Health.print_report m ~now)
+    monitor;
   if metrics then Qkd_obs.Export.print_dump ();
+  Option.iter (fun path -> Qkd_obs.Export.write_file path) metrics_out;
   rc
 
 (* -- link subcommand -- *)
 
-let run_link metrics pulses length_km mu eve_fraction beamsplit seed domains =
+let run_link metrics metrics_out health pulses length_km mu eve_fraction
+    beamsplit seed domains =
   if domains < 1 then failwith "--domains must be >= 1";
+  let monitor = make_monitor health in
+  tick_monitor monitor ~now:0.0;
   let eve =
     match (eve_fraction, beamsplit) with
     | 0.0, false -> Eve.Passive
@@ -68,7 +101,9 @@ let run_link metrics pulses length_km mu eve_fraction beamsplit seed domains =
       if m.Engine.eve_known_sifted_bits > 0 then
         Format.printf "eve actually knew %d sifted bits@." m.Engine.eve_known_sifted_bits
   | Error f -> Format.printf "round failed: %a@." Engine.pp_failure f);
-  finish_metrics metrics 0
+  finish ~metrics ~metrics_out ~monitor
+    ~now:(float_of_int pulses /. config.Link.pulse_rate_hz)
+    0
 
 let link_cmd =
   let pulses =
@@ -98,12 +133,12 @@ let link_cmd =
   Cmd.v
     (Cmd.info "link" ~doc:"Run one QKD protocol round over a simulated link")
     Term.(
-      const run_link $ metrics_arg $ pulses $ length $ mu $ eve $ beamsplit
-      $ seed $ domains)
+      const run_link $ metrics_arg $ metrics_out_arg $ health_arg $ pulses
+      $ length $ mu $ eve $ beamsplit $ seed $ domains)
 
 (* -- vpn subcommand -- *)
 
-let run_vpn metrics duration transform key_rate pps =
+let run_vpn metrics metrics_out health duration transform key_rate pps =
   let transform, qkd =
     match transform with
     | "aes" -> (Sa.Aes128_cbc, Spd.Reseed)
@@ -123,7 +158,15 @@ let run_vpn metrics duration transform key_rate pps =
     }
   in
   let vpn = Vpn.create config in
-  Vpn.run vpn ~duration ~dt:0.1;
+  let monitor = make_monitor health in
+  (* Step manually so the monitor samples once per simulated second. *)
+  let dt = 0.1 in
+  let steps = int_of_float (ceil (duration /. dt)) in
+  tick_monitor monitor ~now:0.0;
+  for i = 1 to steps do
+    Vpn.step vpn ~dt;
+    if i mod 10 = 0 then tick_monitor monitor ~now:(float_of_int i *. dt)
+  done;
   let s = Vpn.stats vpn in
   Format.printf
     "@[<v>%.0f s of traffic:@ delivered %d/%d packets@ blackholed %d@ dropped \
@@ -132,7 +175,7 @@ let run_vpn metrics duration transform key_rate pps =
     s.Vpn.elapsed_s s.Vpn.delivered s.Vpn.attempted s.Vpn.blackholed
     s.Vpn.drop_no_key s.Vpn.rekeys s.Vpn.rekey_failures s.Vpn.qbits_consumed
     s.Vpn.pool_a_bits s.Vpn.pool_b_bits;
-  finish_metrics metrics 0
+  finish ~metrics ~metrics_out ~monitor ~now:s.Vpn.elapsed_s 0
 
 let vpn_cmd =
   let duration =
@@ -151,11 +194,13 @@ let vpn_cmd =
   in
   Cmd.v
     (Cmd.info "vpn" ~doc:"Run a QKD-keyed IPsec VPN with synthetic traffic")
-    Term.(const run_vpn $ metrics_arg $ duration $ transform $ key_rate $ pps)
+    Term.(
+      const run_vpn $ metrics_arg $ metrics_out_arg $ health_arg $ duration
+      $ transform $ key_rate $ pps)
 
 (* -- network subcommand -- *)
 
-let run_network metrics nodes degree p_fail trials =
+let run_network metrics metrics_out nodes degree p_fail trials =
   let mesh = Topology.random_mesh ~nodes ~degree ~seed:5L ~fiber_km:10.0 in
   let chain = Topology.chain ~n:(nodes - 2) ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
   let am = Failure.availability ~trials mesh ~src:0 ~dst:(nodes - 1) ~p_fail in
@@ -164,7 +209,7 @@ let run_network metrics nodes degree p_fail trials =
     "@[<v>%d nodes, link failure probability %.2f:@ mesh (avg degree %.1f): \
      availability %.4f@ point-to-point chain: availability %.4f@]@."
     nodes p_fail degree am ac;
-  finish_metrics metrics 0
+  finish ~metrics ~metrics_out ~monitor:None ~now:0.0 0
 
 let network_cmd =
   let nodes = Arg.(value & opt int 10 & info [ "nodes" ] ~doc:"Relay count.") in
@@ -177,11 +222,13 @@ let network_cmd =
   let trials = Arg.(value & opt int 10_000 & info [ "trials" ] ~doc:"Monte Carlo trials.") in
   Cmd.v
     (Cmd.info "network" ~doc:"Compare meshed and point-to-point availability")
-    Term.(const run_network $ metrics_arg $ nodes $ degree $ p_fail $ trials)
+    Term.(
+      const run_network $ metrics_arg $ metrics_out_arg $ nodes $ degree
+      $ p_fail $ trials)
 
 (* -- chain subcommand: the section-8 link-encryption variant -- *)
 
-let run_chain metrics hops duration transform key_rate =
+let run_chain metrics metrics_out health hops duration transform key_rate =
   let transform, qkd =
     match transform with
     | "aes" -> (Sa.Aes128_cbc, Spd.Reseed)
@@ -199,13 +246,16 @@ let run_chain metrics hops duration transform key_rate =
     }
   in
   let t = Qkd_ipsec.Link_encryption.create config in
+  let monitor = make_monitor health in
+  tick_monitor monitor ~now:0.0;
   Qkd_ipsec.Link_encryption.advance t ~seconds:30.0;
   let now = ref 30.0 in
   let steps = int_of_float duration in
   for i = 1 to steps do
     now := !now +. 1.0;
     Qkd_ipsec.Link_encryption.advance t ~seconds:1.0;
-    ignore (Qkd_ipsec.Link_encryption.send t ~now:!now (Bytes.make 256 (Char.chr (i land 0xFF))))
+    ignore (Qkd_ipsec.Link_encryption.send t ~now:!now (Bytes.make 256 (Char.chr (i land 0xFF))));
+    tick_monitor monitor ~now:!now
   done;
   let s = Qkd_ipsec.Link_encryption.stats t in
   Format.printf
@@ -215,7 +265,7 @@ let run_chain metrics hops duration transform key_rate =
     s.Qkd_ipsec.Link_encryption.dropped_no_key
     s.Qkd_ipsec.Link_encryption.hop_errors s.Qkd_ipsec.Link_encryption.rekeys
     s.Qkd_ipsec.Link_encryption.cleartext_relays;
-  finish_metrics metrics 0
+  finish ~metrics ~metrics_out ~monitor ~now:!now 0
 
 let chain_cmd =
   let hops = Arg.(value & opt int 4 & info [ "hops" ] ~doc:"QKD links in the chain.") in
@@ -231,15 +281,26 @@ let chain_cmd =
   Cmd.v
     (Cmd.info "chain" ~doc:"Run traffic across a chain of QKD-encrypted links")
     Term.(
-      const run_chain $ metrics_arg $ hops $ duration $ transform $ key_rate)
+      const run_chain $ metrics_arg $ metrics_out_arg $ health_arg $ hops
+      $ duration $ transform $ key_rate)
 
 (* -- system subcommand -- *)
 
-let run_system metrics duration =
+let run_system metrics metrics_out health duration =
   let sys = System.create System.default_config in
-  System.advance sys ~seconds:duration;
+  let monitor = make_monitor health in
+  tick_monitor monitor ~now:0.0;
+  (* Advance in 1 s slices so the monitor gets a time axis to window
+     over; a single big advance would give it only two samples. *)
+  let whole = int_of_float duration in
+  for i = 1 to whole do
+    System.advance sys ~seconds:1.0;
+    tick_monitor monitor ~now:(float_of_int i)
+  done;
+  let rest = duration -. float_of_int whole in
+  if rest > 0.0 then System.advance sys ~seconds:rest;
   Format.printf "%a@." System.pp_report (System.report sys);
-  finish_metrics metrics 0
+  finish ~metrics ~metrics_out ~monitor ~now:duration 0
 
 let system_cmd =
   let duration =
@@ -247,7 +308,7 @@ let system_cmd =
   in
   Cmd.v
     (Cmd.info "system" ~doc:"Run the full stack: QKD engine feeding an IPsec VPN")
-    Term.(const run_system $ metrics_arg $ duration)
+    Term.(const run_system $ metrics_arg $ metrics_out_arg $ health_arg $ duration)
 
 let () =
   let info =

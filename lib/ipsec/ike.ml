@@ -99,7 +99,7 @@ let main_mode_sa_offer =
         ];
     }
 
-let phase1 ~initiator ~responder ~now =
+let phase1_run ~initiator ~responder ~now =
   match (initiator.phase1, responder.phase1) with
   | Some _, Some _ -> Ok ()
   | _ ->
@@ -199,6 +199,29 @@ let phase1 ~initiator ~responder ~now =
         Ok ()
       end
 
+(* Causal span around a negotiation phase, timestamped in the caller's
+   simulated clock.  A null [trace] keeps the fast path span-free. *)
+let traced ~trace ~now name pp_err run =
+  if trace = Qkd_obs.Trace.null_id then run ()
+  else begin
+    let span = Qkd_obs.Trace.span_begin ~parent:trace ~at:now name in
+    let result = run () in
+    (match result with
+    | Ok _ -> Qkd_obs.Trace.span_note span "result" "ok"
+    | Error e -> Qkd_obs.Trace.span_note span "result" (pp_err e));
+    Qkd_obs.Trace.span_end span ~at:now;
+    result
+  end
+
+let error_label = function
+  | No_phase1 -> "no_phase1"
+  | Psk_mismatch -> "psk_mismatch"
+  | Not_enough_qbits _ -> "not_enough_qbits"
+
+let phase1 ?(trace = Qkd_obs.Trace.null_id) ~initiator ~responder ~now () =
+  traced ~trace ~now "ike_phase1" error_label (fun () ->
+      phase1_run ~initiator ~responder ~now)
+
 type sa_pair = { outbound : Sa.t; inbound : Sa.t }
 
 let fresh_spi e =
@@ -225,7 +248,7 @@ let draw_qbits ~initiator ~responder bits =
     end
   end
 
-let phase2 ~initiator ~responder ~now ~(protect : Spd.protect) =
+let phase2_run ~initiator ~responder ~now ~(protect : Spd.protect) =
   match (initiator.phase1, responder.phase1) with
   | None, _ | _, None -> Error No_phase1
   | Some p1i, Some p1r ->
@@ -397,6 +420,10 @@ let phase2 ~initiator ~responder ~now ~(protect : Spd.protect) =
           Ok
             ( { outbound = init_out; inbound = init_in },
               { outbound = resp_out; inbound = resp_in } ))
+
+let phase2 ?(trace = Qkd_obs.Trace.null_id) ~initiator ~responder ~now ~protect () =
+  traced ~trace ~now "ike_phase2" error_label (fun () ->
+      phase2_run ~initiator ~responder ~now ~protect)
 
 let negotiations e = e.negotiations
 let qbits_consumed e = e.qbits

@@ -48,9 +48,13 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-(** [phase1 ~initiator ~responder ~now] runs main mode; idempotent if
-    already established. *)
-val phase1 : initiator:endpoint -> responder:endpoint -> now:float -> (unit, error) result
+(** [phase1 ?trace ~initiator ~responder ~now] runs main mode;
+    idempotent if already established.  A non-null [trace] records an
+    [ike_phase1] child span at [now] with the result. *)
+val phase1 :
+  ?trace:Qkd_obs.Trace.id ->
+  initiator:endpoint -> responder:endpoint -> now:float -> unit ->
+  (unit, error) result
 
 (** SA pair from the initiator's point of view. *)
 type sa_pair = { outbound : Sa.t; inbound : Sa.t }
@@ -60,10 +64,12 @@ type sa_pair = { outbound : Sa.t; inbound : Sa.t }
     the SA pair for each end ([initiator_pair.outbound] mirrors
     [responder_pair.inbound] with identical keys). *)
 val phase2 :
+  ?trace:Qkd_obs.Trace.id ->
   initiator:endpoint ->
   responder:endpoint ->
   now:float ->
   protect:Spd.protect ->
+  unit ->
   (sa_pair * sa_pair, error) result
 
 (** Counters: quick-mode negotiations completed and QKD bits consumed

@@ -126,7 +126,7 @@ type send_error =
 
 let rekey t h ~now =
   ignore t;
-  (match Ike.phase1 ~initiator:h.left ~responder:h.right ~now with
+  (match Ike.phase1 ~initiator:h.left ~responder:h.right ~now () with
   | Ok () -> ()
   | Error _ -> ());
   let need =
@@ -137,7 +137,7 @@ let rekey t h ~now =
   if Key_pool.available h.pool_left < need || Key_pool.available h.pool_right < need
   then false
   else
-    match Ike.phase2 ~initiator:h.left ~responder:h.right ~now ~protect:h.protect with
+    match Ike.phase2 ~initiator:h.left ~responder:h.right ~now ~protect:h.protect () with
     | Ok (left_pair, right_pair) ->
         h.forward_sa <- Some left_pair.Ike.outbound;
         h.reverse_sa <- Some right_pair.Ike.inbound;

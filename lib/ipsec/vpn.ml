@@ -125,40 +125,48 @@ let feed t ~dt =
         Key_pool.offer t.pool_b material
       end
 
-let ensure_phase1 t =
+let ensure_phase1 ?trace t =
   if not t.phase1_done then begin
     match
-      Ike.phase1 ~initiator:(Gateway.ike t.a) ~responder:(Gateway.ike t.b)
-        ~now:t.now
+      Ike.phase1 ?trace ~initiator:(Gateway.ike t.a) ~responder:(Gateway.ike t.b)
+        ~now:t.now ()
     with
     | Ok () -> t.phase1_done <- true
     | Error _ -> ()
   end
 
 (* Quick mode for the tunnel in the a->b direction; installs the SA
-   pairs on both gateways. *)
+   pairs on both gateways.  The re-key is the causal root of its own
+   trace: the IKE phases hang off a [vpn_rekey] span timestamped in
+   simulated tunnel time. *)
 let rekey t ~initiator ~responder protect =
-  ensure_phase1 t;
-  match
-    Ike.phase2 ~initiator:(Gateway.ike initiator) ~responder:(Gateway.ike responder)
-      ~now:t.now ~protect
-  with
-  | Ok (init_pair, resp_pair) ->
-      Gateway.install_sas initiator ~peer:(Gateway.wan_addr responder)
-        ~outbound:init_pair.Ike.outbound ~inbound:init_pair.Ike.inbound;
-      Gateway.install_sas responder ~peer:(Gateway.wan_addr initiator)
-        ~outbound:resp_pair.Ike.outbound ~inbound:resp_pair.Ike.inbound;
-      Gateway.note_rekey initiator ~peer:(Gateway.wan_addr responder);
-      Qkd_obs.Counter.incr
-        (Qkd_obs.Registry.counter "ipsec_rekeys_total"
-           ~help:"Successful quick-mode re-keys of the VPN tunnel");
-      true
-  | Error _ ->
-      t.rekey_failures <- t.rekey_failures + 1;
-      Qkd_obs.Counter.incr
-        (Qkd_obs.Registry.counter "ipsec_rekey_failures_total"
-           ~help:"Re-key attempts that failed (usually key-pool underrun)");
-      false
+  let span = Qkd_obs.Trace.span_begin ~at:t.now "vpn_rekey" in
+  ensure_phase1 ~trace:span t;
+  let ok =
+    match
+      Ike.phase2 ~trace:span ~initiator:(Gateway.ike initiator)
+        ~responder:(Gateway.ike responder) ~now:t.now ~protect ()
+    with
+    | Ok (init_pair, resp_pair) ->
+        Gateway.install_sas initiator ~peer:(Gateway.wan_addr responder)
+          ~outbound:init_pair.Ike.outbound ~inbound:init_pair.Ike.inbound;
+        Gateway.install_sas responder ~peer:(Gateway.wan_addr initiator)
+          ~outbound:resp_pair.Ike.outbound ~inbound:resp_pair.Ike.inbound;
+        Gateway.note_rekey initiator ~peer:(Gateway.wan_addr responder);
+        Qkd_obs.Counter.incr
+          (Qkd_obs.Registry.counter "ipsec_rekeys_total"
+             ~help:"Successful quick-mode re-keys of the VPN tunnel");
+        true
+    | Error _ ->
+        t.rekey_failures <- t.rekey_failures + 1;
+        Qkd_obs.Counter.incr
+          (Qkd_obs.Registry.counter "ipsec_rekey_failures_total"
+             ~help:"Re-key attempts that failed (usually key-pool underrun)");
+        false
+  in
+  Qkd_obs.Trace.span_note span "outcome" (if ok then "rekeyed" else "failed");
+  Qkd_obs.Trace.span_end span ~at:t.now;
+  ok
 
 let packet_counter outcome =
   Qkd_obs.Registry.counter "ipsec_packets_total"

@@ -120,6 +120,8 @@ type churn_report = {
   consumed_bits : int;
   expected_consumed_bits : int;
   conservation_ok : bool;
+  slo_attainment : float;
+  alerts_fired : int;
 }
 
 let churn_gauge name help = Qkd_obs.Registry.gauge name ~help
@@ -146,6 +148,49 @@ let churn ?(seed = 41L) relay cfg =
       let base_submitted = ref 0 in
       let base_delivered = ref 0 in
       let expected = ref 0 in
+      (* Health monitoring rides the same event clock: series are
+         sampled at t=0, on every replenishment tick and at the end,
+         so alert state and SLO attainment are deterministic under the
+         seed.  The ring is sized to retain the whole run, which makes
+         [Alert.slo_attainment] exactly delivered/submitted. *)
+      let module Obs = Qkd_obs in
+      let samples = int_of_float (cfg.duration_s /. cfg.advance_dt_s) + 3 in
+      let monitor = Obs.Health.create ~capacity:samples () in
+      let delivered_series_name =
+        Obs.Series.labelled_name "net_scheduler_requests_total"
+          [ ("result", "delivered") ]
+      in
+      (match sched with
+      | Some _ ->
+          ignore
+            (Obs.Health.watch_counter monitor "net_scheduler_requests_total"
+               ~labels:[ ("result", "delivered") ]);
+          ignore (Obs.Health.watch_counter monitor "net_scheduler_submitted_total")
+      | None ->
+          (* The baseline has no scheduler counters; feed the same
+             canonical series names from the local tallies so the SLO
+             rule reads identically in both modes. *)
+          ignore
+            (Obs.Health.watch_fn monitor delivered_series_name (fun () ->
+                 float_of_int !base_delivered));
+          ignore
+            (Obs.Health.watch_fn monitor "net_scheduler_submitted_total"
+               (fun () -> float_of_int !base_submitted)));
+      Obs.Health.add_rule monitor
+        (Obs.Alert.delivery_slo_burn ~window_s:(10.0 *. cfg.advance_dt_s) ());
+      List.iter
+        (fun (e : Topology.edge) ->
+          let a = min e.Topology.a e.Topology.b
+          and b = max e.Topology.a e.Topology.b in
+          let edge = Printf.sprintf "%d-%d" a b in
+          ignore
+            (Obs.Health.watch_gauge monitor "net_relay_pool_bits"
+               ~labels:[ ("edge", edge) ]);
+          Obs.Health.add_rule monitor
+            (Obs.Alert.pool_below_watermark ~edge
+               ~watermark:(Relay.low_watermark relay)
+               ~window_s:(2.0 *. cfg.advance_dt_s) ()))
+        (Topology.edges topo);
       let pairs = Array.of_list cfg.pairs in
       let rec arrive () =
         let src, dst = pairs.(Rng.int rng (Array.length pairs)) in
@@ -166,12 +211,15 @@ let churn ?(seed = 41L) relay cfg =
       in
       let rec replenish () =
         Relay.advance relay ~seconds:cfg.advance_dt_s;
+        Obs.Health.tick monitor ~now:(Sim.now sim);
         let at = Sim.now sim +. cfg.advance_dt_s in
         if at <= cfg.duration_s then Sim.schedule sim ~at replenish
       in
+      Obs.Health.tick monitor ~now:0.0;
       Sim.schedule sim ~at:cfg.request_interval_s arrive;
       Sim.schedule sim ~at:cfg.advance_dt_s replenish;
       Sim.run sim ~until:cfg.duration_s;
+      Obs.Health.tick monitor ~now:cfg.duration_s;
       let submitted, delivered, gave_up, retries, p50, p95 =
         match sched with
         | Some s ->
@@ -206,6 +254,11 @@ let churn ?(seed = 41L) relay cfg =
         (churn_gauge "net_churn_link_failures"
            "Link failure events in the last churn run")
         (float_of_int !link_failures);
+      let slo_attainment =
+        Option.value ~default:0.0
+          (Obs.Alert.slo_attainment (Obs.Health.engine monitor)
+             "delivery_slo_burn")
+      in
       {
         submitted;
         delivered;
@@ -219,4 +272,6 @@ let churn ?(seed = 41L) relay cfg =
         consumed_bits;
         expected_consumed_bits = !expected;
         conservation_ok = consumed_bits = !expected;
+        slo_attainment;
+        alerts_fired = Obs.Alert.fired_count (Obs.Health.engine monitor);
       })

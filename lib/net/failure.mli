@@ -82,6 +82,14 @@ type churn_report = {
   conservation_ok : bool;
       (** [consumed_bits = expected_consumed_bits]: no pad was
           double-spent and no failed request half-spent a path *)
+  slo_attainment : float;
+      (** delivered/submitted as computed by the health monitor's
+          {!Qkd_obs.Alert.slo_attainment} over the run's whole sampled
+          series — equal to [delivery_ratio] by construction, which the
+          bench asserts *)
+  alerts_fired : int;
+      (** alert transitions to [Firing] during the run (SLO burn and
+          per-edge pool-below-watermark rules) *)
 }
 
 (** [churn ?seed relay cfg] runs the churn experiment on [relay]'s

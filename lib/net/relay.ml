@@ -67,6 +67,7 @@ let create ?(base_config = Link.darpa_default) ?(low_watermark = 0)
   }
 
 let topology t = t.topo
+let low_watermark t = t.low_watermark
 
 let fill p bits = if bits > 0 then Key_pool.offer p.material (Rng.bits p.fill_rng bits)
 
@@ -74,6 +75,23 @@ let watermark_gauge which =
   Qkd_obs.Registry.gauge "net_relay_pools_below_low_watermark"
     ~labels:[ ("stage", which) ]
     ~help:"Pairwise pools below the low watermark, before/after a replenishment pass"
+
+(* Per-edge pool depth, refreshed on every [advance] — the series the
+   per-edge [Alert.pool_below_watermark] rules watch.  Edge names are
+   "min-max" so the label is stable whichever way the pair is given. *)
+let edge_label (e : Topology.edge) =
+  let a, b = pair_key e.Topology.a e.Topology.b in
+  Printf.sprintf "%d-%d" a b
+
+let record_pool_depths t =
+  List.iter
+    (fun p ->
+      Qkd_obs.Gauge.set
+        (Qkd_obs.Registry.gauge "net_relay_pool_bits"
+           ~labels:[ ("edge", edge_label p.edge) ]
+           ~help:"Pairwise key pool depth per mesh edge")
+        (float_of_int (Key_pool.available p.material)))
+    t.pools
 
 let advance t ~seconds =
   if seconds < 0.0 then invalid_arg "Relay.advance: negative time";
@@ -127,7 +145,8 @@ let advance t ~seconds =
                  p.edge.Topology.up
                  && Key_pool.available p.material < t.low_watermark)
                t.pools)))
-  end
+  end;
+  record_pool_depths t
 
 let find_pool t a b =
   match Hashtbl.find_opt t.by_pair (pair_key a b) with
@@ -298,7 +317,7 @@ let nominal_hops t ~src ~dst =
   in
   bfs ()
 
-let request_key ?(policy = Resilient) t ~src ~dst ~bits =
+let request_key_routed ~policy t ~src ~dst ~bits =
   let static_path = Routing.shortest_path t.topo ~src ~dst ~weight:Routing.Hops in
   match (policy, static_path) with
   | Static, None -> fail_no_route t
@@ -366,6 +385,24 @@ let request_key ?(policy = Resilient) t ~src ~dst ~bits =
             | Error shortfall -> attempt (Some shortfall) rest)
       in
       attempt None candidates)
+
+(* The relay has no clock of its own, so tracing here only annotates
+   the caller's span (a scheduler attempt, a VPN request): outcome,
+   path taken, whether the delivery was a reroute. *)
+let request_key ?(policy = Resilient) ?(trace = Qkd_obs.Trace.null_id) t ~src
+    ~dst ~bits =
+  let result = request_key_routed ~policy t ~src ~dst ~bits in
+  (match result with
+  | Ok d ->
+      Qkd_obs.Trace.span_note trace "relay" "delivered";
+      Qkd_obs.Trace.span_note trace "path"
+        (String.concat "-" (List.map string_of_int d.path));
+      if d.rerouted then Qkd_obs.Trace.span_note trace "rerouted" "true"
+  | Error No_route -> Qkd_obs.Trace.span_note trace "relay" "no_route"
+  | Error (Insufficient_key { edge = (a, b); _ }) ->
+      Qkd_obs.Trace.span_note trace "relay"
+        (Printf.sprintf "insufficient_key:%d-%d" a b));
+  result
 
 let delivered_bits t = t.delivered
 let failed_requests t = t.failed

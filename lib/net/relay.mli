@@ -49,6 +49,9 @@ val create :
 
 val topology : t -> Topology.t
 
+(** The low watermark given at [create] (0 when unset). *)
+val low_watermark : t -> int
+
 (** [advance t ~seconds] grows every up-link's pool by rate·seconds,
     subject to the watermark passes described at [create].  Down links
     generate nothing. *)
@@ -88,13 +91,16 @@ type delivery_error =
     routes key-aware with edge-disjoint fallbacks. *)
 type route_policy = Static | Resilient
 
-(** [request_key ?policy t ~src ~dst ~bits] routes, reserves [bits] on
-    every hop of the chosen path (rolling back on mid-path failure)
-    and commits.  [Error Insufficient_key] names a dry hop; with
-    [Resilient] it is reported only after every candidate path has
-    failed to pay. *)
+(** [request_key ?policy ?trace t ~src ~dst ~bits] routes, reserves
+    [bits] on every hop of the chosen path (rolling back on mid-path
+    failure) and commits.  [Error Insufficient_key] names a dry hop;
+    with [Resilient] it is reported only after every candidate path
+    has failed to pay.  [trace] is a causal span to annotate with the
+    outcome, path and reroute flag (the relay opens no span of its
+    own — it has no clock). *)
 val request_key :
   ?policy:route_policy ->
+  ?trace:Qkd_obs.Trace.id ->
   t ->
   src:int ->
   dst:int ->

@@ -81,44 +81,63 @@ let reason_label = function
   | Deadline_exceeded -> "deadline_exceeded"
   | Attempts_exhausted -> "attempts_exhausted"
 
-let finish t ~src ~dst ~bits ~submitted_s ~attempts outcome =
+let finish t ~span ~src ~dst ~bits ~submitted_s ~attempts outcome =
   let completed_s = Sim.now t.sim in
   (match outcome with
   | Delivered _ ->
       t.delivered <- t.delivered + 1;
       Qkd_obs.Counter.incr (request_counter "delivered");
-      Qkd_obs.Histogram.observe (latency_histogram ()) (completed_s -. submitted_s)
+      Qkd_obs.Histogram.observe (latency_histogram ()) (completed_s -. submitted_s);
+      Qkd_obs.Trace.span_note span "outcome" "delivered"
   | Gave_up reason ->
       t.gave_up <- t.gave_up + 1;
-      Qkd_obs.Counter.incr (request_counter (reason_label reason)));
+      Qkd_obs.Counter.incr (request_counter (reason_label reason));
+      Qkd_obs.Trace.span_note span "outcome" (reason_label reason));
+  Qkd_obs.Trace.span_note span "attempts" (string_of_int attempts);
+  Qkd_obs.Trace.span_end span ~at:completed_s;
   t.reports <-
     { src; dst; bits; submitted_s; completed_s; attempts; outcome } :: t.reports
 
 let submit t ~src ~dst ~bits =
   t.submitted <- t.submitted + 1;
+  Qkd_obs.Counter.incr
+    (Qkd_obs.Registry.counter "net_scheduler_submitted_total"
+       ~help:"Key requests submitted to the scheduler, including shed ones");
   let submitted_s = Sim.now t.sim in
+  (* Root of the request's causal trace: every retry attempt, relay
+     routing decision and (in richer harnesses) engine round hangs off
+     this span, timestamped in simulated seconds. *)
+  let span = Qkd_obs.Trace.span_begin ~at:submitted_s "sched_request" in
+  Qkd_obs.Trace.span_note span "src" (string_of_int src);
+  Qkd_obs.Trace.span_note span "dst" (string_of_int dst);
+  Qkd_obs.Trace.span_note span "bits" (string_of_int bits);
   if t.pending >= t.config.max_pending then
     (* Bounded queue: shedding beats unbounded retry pile-up. *)
-    finish t ~src ~dst ~bits ~submitted_s ~attempts:0 (Gave_up Queue_full)
+    finish t ~span ~src ~dst ~bits ~submitted_s ~attempts:0 (Gave_up Queue_full)
   else begin
     t.pending <- t.pending + 1;
     let rec attempt n backoff () =
-      match Relay.request_key t.relay ~src ~dst ~bits with
+      let at = Sim.now t.sim in
+      let attempt_span = Qkd_obs.Trace.span_begin ~parent:span ~at "attempt" in
+      Qkd_obs.Trace.span_note attempt_span "n" (string_of_int n);
+      let result = Relay.request_key t.relay ~trace:attempt_span ~src ~dst ~bits in
+      Qkd_obs.Trace.span_end attempt_span ~at:(Sim.now t.sim);
+      match result with
       | Ok d ->
           t.pending <- t.pending - 1;
-          finish t ~src ~dst ~bits ~submitted_s ~attempts:n (Delivered d)
+          finish t ~span ~src ~dst ~bits ~submitted_s ~attempts:n (Delivered d)
       | Error (Relay.No_route | Relay.Insufficient_key _) ->
           (* Both failure modes are transient under churn: links repair
              and pools refill, so both back off and retry. *)
           if n >= t.config.max_attempts then begin
             t.pending <- t.pending - 1;
-            finish t ~src ~dst ~bits ~submitted_s ~attempts:n
+            finish t ~span ~src ~dst ~bits ~submitted_s ~attempts:n
               (Gave_up Attempts_exhausted)
           end
           else if Sim.now t.sim +. backoff -. submitted_s > t.config.deadline_s
           then begin
             t.pending <- t.pending - 1;
-            finish t ~src ~dst ~bits ~submitted_s ~attempts:n
+            finish t ~span ~src ~dst ~bits ~submitted_s ~attempts:n
               (Gave_up Deadline_exceeded)
           end
           else begin

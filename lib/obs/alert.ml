@@ -1,0 +1,310 @@
+(* Declarative alerting over Series sets.
+
+   A rule names the series it reads; the engine resolves names at
+   evaluation time, so rules can be registered before the metrics that
+   feed them exist.  Each rule runs a small state machine:
+
+     Ok --breach--> Pending --held for_s--> Firing --clear--> Ok
+
+   with a [Fired]/[Resolved] event appended to the log on each edge.
+   Evaluation with insufficient data (missing series, empty window,
+   zero denominator) leaves the state untouched — sparse sampling must
+   not flap alerts. *)
+
+type severity = Info | Warning | Critical
+
+let severity_label = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Critical -> "critical"
+
+type condition = Above of float | Below of float
+
+type kind =
+  | Threshold of { series : string; window_s : float; condition : condition }
+  | Ratio of {
+      num : string;
+      den : string;
+      window_s : float;
+      condition : condition;
+      min_den : float;
+      z : float option;
+    }
+  | Drift of {
+      series : string;
+      window_s : float;
+      alpha : float;
+      max_delta : float;
+    }
+  | Burn_rate of {
+      good : string;
+      total : string;
+      objective : float;
+      window_s : float;
+      max_burn : float;
+    }
+
+type rule = {
+  name : string;
+  severity : severity;
+  message : string;
+  for_s : float;
+  kind : kind;
+}
+
+type state = Ok | Pending of float | Firing of float
+type transition = Fired | Resolved
+
+type event = {
+  at : float;
+  rule : string;
+  transition : transition;
+  value : float;
+}
+
+type entry = { rule : rule; mutable state : state; mutable last_value : float }
+
+type engine = {
+  set : Series.set;
+  mutable entries : entry list;  (** newest first *)
+  mutable events : event list;  (** newest first *)
+}
+
+let create set = { set; entries = []; events = [] }
+
+let add_rule t rule =
+  if List.exists (fun e -> e.rule.name = rule.name) t.entries then
+    invalid_arg (Printf.sprintf "Alert.add_rule: duplicate rule %S" rule.name);
+  t.entries <- { rule; state = Ok; last_value = Float.nan } :: t.entries
+
+let rules t = List.rev_map (fun e -> e.rule) t.entries
+
+let breaches condition v =
+  match condition with Above limit -> v > limit | Below limit -> v < limit
+
+(* (breach?, observed value), or None when the rule cannot be decided
+   yet.  [None] never changes alert state. *)
+let decide t kind =
+  let series n = Series.find t.set n in
+  match kind with
+  | Threshold { series = n; window_s; condition } -> (
+      match series n with
+      | None -> None
+      | Some s ->
+          if Series.length s = 0 then None
+          else
+            let v = Series.windowed_mean s ~seconds:window_s in
+            Some (breaches condition v, v))
+  | Ratio { num; den; window_s; condition; min_den; z } -> (
+      match (series num, series den) with
+      | Some num, Some den -> (
+          if Series.delta den ~seconds:window_s < min_den then None
+          else
+            match Series.ratio ~num ~den ~seconds:window_s with
+            | None -> None
+            | Some v ->
+                let breach =
+                  match z with
+                  | None -> breaches condition v
+                  | Some z -> (
+                      (* conservative: fire only when the whole Wilson
+                         interval sits beyond the limit *)
+                      match
+                        Series.wilson_ratio_ci ~num ~den ~seconds:window_s ~z
+                      with
+                      | None -> false
+                      | Some (lo, hi) -> (
+                          match condition with
+                          | Above limit -> lo > limit
+                          | Below limit -> hi < limit))
+                in
+                Some (breach, v))
+      | _ -> None)
+  | Drift { series = n; window_s; alpha; max_delta } -> (
+      match series n with
+      | None -> None
+      | Some s ->
+          if Series.length s < 2 then None
+          else
+            let baseline = Series.ewma s ~alpha in
+            let v =
+              Float.abs (Series.windowed_mean s ~seconds:window_s -. baseline)
+            in
+            Some (v > max_delta, v))
+  | Burn_rate { good; total; objective; window_s; max_burn } -> (
+      match (series good, series total) with
+      | Some good, Some total -> (
+          match Series.ratio ~num:good ~den:total ~seconds:window_s with
+          | None -> None
+          | Some attainment ->
+              (* burn 1.0 = failing exactly at the error budget; >1
+                 burns budget faster than the objective allows *)
+              let budget = 1.0 -. objective in
+              let burn =
+                if budget <= 0.0 then
+                  if attainment < 1.0 then Float.infinity else 0.0
+                else (1.0 -. attainment) /. budget
+              in
+              Some (burn > max_burn, burn))
+      | _ -> None)
+
+let evaluate t ~now =
+  if Control.enabled () then
+    List.iter
+      (fun e ->
+        match decide t e.rule.kind with
+        | None -> ()
+        | Some (breach, v) -> (
+            e.last_value <- v;
+            match (e.state, breach) with
+            | Ok, true ->
+                if e.rule.for_s <= 0.0 then begin
+                  e.state <- Firing now;
+                  t.events <-
+                    { at = now; rule = e.rule.name; transition = Fired; value = v }
+                    :: t.events
+                end
+                else e.state <- Pending now
+            | Pending since, true ->
+                if now -. since >= e.rule.for_s then begin
+                  e.state <- Firing now;
+                  t.events <-
+                    { at = now; rule = e.rule.name; transition = Fired; value = v }
+                    :: t.events
+                end
+            | (Ok | Pending _), false -> e.state <- Ok
+            | Firing _, true -> ()
+            | Firing _, false ->
+                e.state <- Ok;
+                t.events <-
+                  {
+                    at = now;
+                    rule = e.rule.name;
+                    transition = Resolved;
+                    value = v;
+                  }
+                  :: t.events))
+      (List.rev t.entries)
+
+let find t name = List.find_opt (fun e -> e.rule.name = name) t.entries
+
+let state t name = Option.map (fun e -> e.state) (find t name)
+
+let is_firing t name =
+  match state t name with Some (Firing _) -> true | _ -> false
+
+let last_value t name =
+  match find t name with
+  | Some e when not (Float.is_nan e.last_value) -> Some e.last_value
+  | _ -> None
+
+let firing t =
+  List.rev_map (fun e -> e.rule)
+    (List.filter (fun e -> match e.state with Firing _ -> true | _ -> false)
+       t.entries)
+
+let log t = List.rev t.events
+let fired_count t = List.length (List.filter (fun e -> e.transition = Fired) t.events)
+
+(* Attainment over the rule's whole retained series, not just its
+   window: Δgood / Δtotal from the first to the last sample.  With a
+   ring sized to the run this is exactly delivered/submitted. *)
+let slo_attainment t name =
+  match find t name with
+  | Some { rule = { kind = Burn_rate { good; total; _ }; _ }; _ } -> (
+      match (Series.find t.set good, Series.find t.set total) with
+      | Some good, Some total ->
+          let span s =
+            if Series.length s < 1 then 0.0
+            else snd (Series.nth s (Series.length s - 1)) -. snd (Series.nth s 0)
+          in
+          let dt = span total in
+          if dt <= 0.0 then None else Some (span good /. dt)
+      | _ -> None)
+  | _ -> None
+
+(* -- built-in rules: the DARPA-network operator questions.  Series
+   names follow [Series.labelled_name]; the conventional feeders are
+   listed per rule in the mli. -- *)
+
+let qber_above_budget ?(budget = 0.11) ?(window_s = 30.0) ?(for_s = 0.0)
+    ?(z = 4.0) () =
+  {
+    name = "qber_above_budget";
+    severity = Critical;
+    message =
+      Printf.sprintf
+        "windowed QBER above the %.1f%% defense budget: possible eavesdropper"
+        (100.0 *. budget);
+    for_s;
+    kind =
+      Ratio
+        {
+          num = "protocol_errors_corrected_total";
+          den = "protocol_sifted_bits_total";
+          window_s;
+          condition = Above budget;
+          min_den = 64.0;
+          z = Some z;
+        };
+  }
+
+let pool_series_name ~edge = Series.labelled_name "net_relay_pool_bits" [ ("edge", edge) ]
+
+let pool_below_watermark ~edge ~watermark ?(window_s = 5.0) ?(for_s = 0.0) () =
+  {
+    name = "pool_low_" ^ edge;
+    severity = Warning;
+    message =
+      Printf.sprintf "pairwise pool %s below the %d-bit low watermark" edge
+        watermark;
+    for_s;
+    kind =
+      Threshold
+        {
+          series = pool_series_name ~edge;
+          window_s;
+          condition = Below (float_of_int watermark);
+        };
+  }
+
+let delivery_slo_burn ?(objective = 0.95) ?(window_s = 60.0) ?(max_burn = 1.0)
+    ?(for_s = 0.0) () =
+  {
+    name = "delivery_slo_burn";
+    severity = Critical;
+    message =
+      Printf.sprintf
+        "key-delivery SLO burning error budget faster than the %.0f%% objective"
+        (100.0 *. objective);
+    for_s;
+    kind =
+      Burn_rate
+        {
+          good =
+            Series.labelled_name "net_scheduler_requests_total"
+              [ ("result", "delivered") ];
+          total = "net_scheduler_submitted_total";
+          objective;
+          window_s;
+          max_burn;
+        };
+  }
+
+let stabilization_drift ?(max_rad = 0.5) ?(window_s = 10.0) ?(for_s = 0.0) () =
+  {
+    name = "stabilization_drift";
+    severity = Warning;
+    message =
+      Printf.sprintf
+        "interferometer phase error drifting past %.2f rad: servo losing lock"
+        max_rad;
+    for_s;
+    kind =
+      Threshold
+        {
+          series = "photonics_stabilization_phase_error_rad";
+          window_s;
+          condition = Above max_rad;
+        };
+  }

@@ -1,0 +1,141 @@
+(** Declarative alerting over {!Series} sets.
+
+    The DARPA network's only defense signal is statistics — a QBER
+    shift is how an eavesdropper is "detected", pool exhaustion is how
+    the VPN degrades — so the alert engine is where those statistics
+    become operator-facing state.  Rules name the series they read and
+    are resolved at evaluation time; each runs a
+    [Ok -> Pending -> Firing -> Ok] state machine with [Fired] /
+    [Resolved] events appended to a log.
+
+    Evaluations that cannot be decided (missing series, empty window,
+    denominator below its floor) leave alert state untouched, so
+    sparse sampling never flaps an alarm. *)
+
+type severity = Info | Warning | Critical
+
+val severity_label : severity -> string
+
+type condition = Above of float | Below of float
+
+type kind =
+  | Threshold of { series : string; window_s : float; condition : condition }
+      (** windowed mean of a gauge-style series vs a limit *)
+  | Ratio of {
+      num : string;
+      den : string;
+      window_s : float;
+      condition : condition;
+      min_den : float;  (** undecidable until Δden reaches this *)
+      z : float option;
+          (** with [Some z], fire only when the whole Wilson interval
+              of the windowed Δnum/Δden sits beyond the limit *)
+    }  (** windowed ratio of two cumulative series (QBER-style) *)
+  | Drift of {
+      series : string;
+      window_s : float;
+      alpha : float;  (** EWMA weight for the long-run baseline *)
+      max_delta : float;
+    }
+      (** |windowed mean − EWMA baseline| exceeding [max_delta] *)
+  | Burn_rate of {
+      good : string;
+      total : string;
+      objective : float;  (** SLO, e.g. 0.95 delivered *)
+      window_s : float;
+      max_burn : float;  (** 1.0 = burning exactly at budget *)
+    }
+      (** windowed error-budget burn: (1 − Δgood/Δtotal) / (1 − objective) *)
+
+type rule = {
+  name : string;
+  severity : severity;
+  message : string;
+  for_s : float;  (** breach must hold this long before firing *)
+  kind : kind;
+}
+
+type state = Ok | Pending of float | Firing of float
+(** [Pending since] / [Firing since] carry the transition time. *)
+
+type transition = Fired | Resolved
+
+type event = {
+  at : float;
+  rule : string;
+  transition : transition;
+  value : float;  (** the observed value at the transition *)
+}
+
+type engine
+
+val create : Series.set -> engine
+
+val add_rule : engine -> rule -> unit
+(** @raise Invalid_argument on a duplicate rule name. *)
+
+val rules : engine -> rule list
+
+val evaluate : engine -> now:float -> unit
+(** Run every rule against the current series contents.  Gated on
+    {!Control.enabled}, like metric mutation. *)
+
+val state : engine -> string -> state option
+val is_firing : engine -> string -> bool
+
+val last_value : engine -> string -> float option
+(** Most recent decidable observation for the rule, if any. *)
+
+val firing : engine -> rule list
+(** Rules currently in [Firing], in registration order. *)
+
+val log : engine -> event list
+(** Fired/resolved transitions, oldest first. *)
+
+val fired_count : engine -> int
+
+val slo_attainment : engine -> string -> float option
+(** For a [Burn_rate] rule: Δgood/Δtotal over the {e whole} retained
+    series, not just the window — with a ring sized to the run this is
+    exactly delivered/submitted.  [None] for other kinds or before any
+    traffic. *)
+
+(** {1 Built-in rules}
+
+    The paper's operator questions, wired to the repo's conventional
+    series names (see README "Health monitoring").  All fields have
+    defaults; series must be watched under the same names
+    ({!Series.labelled_name}) for the rules to decide. *)
+
+val qber_above_budget :
+  ?budget:float -> ?window_s:float -> ?for_s:float -> ?z:float -> unit -> rule
+(** Possible-eavesdropper alarm: windowed
+    Δ[protocol_errors_corrected_total] / Δ[protocol_sifted_bits_total]
+    confidently (Wilson lower bound at [z], default 4) above [budget]
+    (default 0.11, the BB84 abort region).  Fed by {!Qkd_protocol.Engine}
+    over {!Qkd_photonics.Link} rounds. *)
+
+val pool_series_name : edge:string -> string
+(** The per-edge pool-depth series name [Relay.advance] feeds,
+    [net_relay_pool_bits{edge="a-b"}]. *)
+
+val pool_below_watermark :
+  edge:string -> watermark:int -> ?window_s:float -> ?for_s:float -> unit -> rule
+(** Windowed mean of the edge's pool depth below [watermark] bits. *)
+
+val delivery_slo_burn :
+  ?objective:float ->
+  ?window_s:float ->
+  ?max_burn:float ->
+  ?for_s:float ->
+  unit ->
+  rule
+(** Delivery-deadline SLO burn over the scheduler counters
+    ([net_scheduler_requests_total{result="delivered"}] /
+    [net_scheduler_submitted_total]), fed by {!Qkd_net.Scheduler}. *)
+
+val stabilization_drift :
+  ?max_rad:float -> ?window_s:float -> ?for_s:float -> unit -> rule
+(** Interferometer drift: windowed mean of
+    [photonics_stabilization_phase_error_rad] above [max_rad], fed by
+    {!Qkd_photonics.Link} when stabilization is modelled. *)

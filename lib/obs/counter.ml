@@ -1,11 +1,15 @@
-type t = { mutable value : int }
+(* Atomic, not a plain ref: PR 2's batched [Link.run] shards frames
+   across OCaml domains, and any counter touched from a frame worker
+   would race a mutable field.  [fetch_and_add] keeps increments exact
+   under any interleaving. *)
+type t = { value : int Atomic.t }
 
-let make () = { value = 0 }
+let make () = { value = Atomic.make 0 }
 
 let add t n =
   if n < 0 then invalid_arg "Counter.add: counters are monotone";
-  if Control.enabled () then t.value <- t.value + n
+  if Control.enabled () then ignore (Atomic.fetch_and_add t.value n)
 
-let incr t = if Control.enabled () then t.value <- t.value + 1
-let value t = t.value
-let reset t = t.value <- 0
+let incr t = if Control.enabled () then ignore (Atomic.fetch_and_add t.value 1)
+let value t = Atomic.get t.value
+let reset t = Atomic.set t.value 0

@@ -1,4 +1,7 @@
-(** Monotone integer counter. *)
+(** Monotone integer counter.
+
+    Domain-safe: increments are atomic, so counters shared across the
+    multi-domain photonics fast path never lose updates. *)
 
 type t
 

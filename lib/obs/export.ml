@@ -13,6 +13,8 @@ let escape_label_value s =
       | '\\' -> Buffer.add_string buf "\\\\"
       | '"' -> Buffer.add_string buf "\\\""
       | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
@@ -63,6 +65,12 @@ let snapshot ?registry () =
     List.concat_map (fun (key, m) -> metric_lines key m) (Registry.to_list r)
   in
   String.concat "\n" lines ^ if lines = [] then "" else "\n"
+
+let write_file ?registry path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (snapshot ?registry ()))
 
 let pp_dump ?registry () ppf =
   let r = match registry with Some r -> r | None -> Registry.default () in

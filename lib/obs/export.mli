@@ -8,6 +8,9 @@ val snapshot : ?registry:Registry.t -> unit -> string
     for golden tests — renaming or dropping a metric changes this
     string. *)
 
+val write_file : ?registry:Registry.t -> string -> unit
+(** Write {!snapshot} to a file (the [--metrics-out] sink). *)
+
 val pp_dump : ?registry:Registry.t -> unit -> Format.formatter -> unit
 (** Human-readable dump (the [--metrics] output). *)
 

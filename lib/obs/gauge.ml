@@ -1,6 +1,14 @@
-type t = { mutable value : float }
+(* Atomic for the same reason as [Counter]: gauges may be set from
+   domain workers.  [add] needs a CAS loop since there is no float
+   fetch-and-add. *)
+type t = { value : float Atomic.t }
 
-let make () = { value = 0.0 }
-let set t v = if Control.enabled () then t.value <- v
-let add t v = if Control.enabled () then t.value <- t.value +. v
-let value t = t.value
+let make () = { value = Atomic.make 0.0 }
+let set t v = if Control.enabled () then Atomic.set t.value v
+
+let rec cas_add t v =
+  let current = Atomic.get t.value in
+  if not (Atomic.compare_and_set t.value current (current +. v)) then cas_add t v
+
+let add t v = if Control.enabled () then cas_add t v
+let value t = Atomic.get t.value

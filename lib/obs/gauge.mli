@@ -1,4 +1,7 @@
-(** Instantaneous float value (pool depths, rates). *)
+(** Instantaneous float value (pool depths, rates).
+
+    Domain-safe: [set] is an atomic store and [add] a compare-and-set
+    loop, so concurrent updates never tear or lose an addition. *)
 
 type t
 

@@ -1,0 +1,132 @@
+(* Health monitor: a Series set and an Alert engine ticked together.
+
+   [watch_counter]/[watch_gauge] resolve metric handles against the
+   current Registry at watch time, so a monitor installed at process
+   start observes the same handles every layer later increments. *)
+
+type monitor = {
+  set : Series.set;
+  engine : Alert.engine;
+  mutable last_tick : float;
+}
+
+let create ?capacity () =
+  let set = Series.create_set ?capacity () in
+  { set; engine = Alert.create set; last_tick = Float.nan }
+
+let set m = m.set
+let engine m = m.engine
+
+let watch_fn m ?capacity name f = Series.watch m.set ?capacity name f
+
+let watch_counter m ?capacity ?(labels = []) name =
+  Series.watch_counter m.set ?capacity
+    (Series.labelled_name name labels)
+    (Registry.counter ~labels name)
+
+let watch_gauge m ?capacity ?(labels = []) name =
+  Series.watch_gauge m.set ?capacity
+    (Series.labelled_name name labels)
+    (Registry.gauge ~labels name)
+
+let add_rule m rule = Alert.add_rule m.engine rule
+
+let tick m ~now =
+  Series.tick m.set ~now;
+  Alert.evaluate m.engine ~now;
+  m.last_tick <- now
+
+(* The standard pipeline monitor: QBER (eavesdropper alarm), delivery
+   SLO, stabilization drift, plus throughput series for the report.
+   Per-edge pool watches depend on a concrete relay topology, so
+   callers that have one add them via [Alert.pool_below_watermark] and
+   [watch_gauge ~labels:[("edge", ...)] "net_relay_pool_bits"]. *)
+let default ?budget ?slo_objective ?capacity () =
+  let m = create ?capacity () in
+  ignore (watch_counter m "protocol_errors_corrected_total");
+  ignore (watch_counter m "protocol_sifted_bits_total");
+  ignore (watch_counter m "protocol_distilled_bits_total");
+  ignore
+    (watch_counter m "net_scheduler_requests_total"
+       ~labels:[ ("result", "delivered") ]);
+  ignore (watch_counter m "net_scheduler_submitted_total");
+  ignore (watch_gauge m "photonics_stabilization_phase_error_rad");
+  ignore (watch_gauge m "ipsec_key_pool_bits" ~labels:[ ("pool", "a") ]);
+  ignore (watch_gauge m "ipsec_key_pool_bits" ~labels:[ ("pool", "b") ]);
+  add_rule m (Alert.qber_above_budget ?budget ());
+  add_rule m (Alert.delivery_slo_burn ?objective:slo_objective ());
+  add_rule m (Alert.stabilization_drift ());
+  m
+
+let pp_report ?(top = 12) m ~now ppf =
+  let firing = Alert.firing m.engine in
+  Format.fprintf ppf "== health @@ t=%.1fs ==@." now;
+  (* alerts *)
+  (if firing = [] then
+     Format.fprintf ppf "alerts: all clear (%d rules ok)@."
+       (List.length (Alert.rules m.engine))
+   else begin
+     Format.fprintf ppf "alerts: %d FIRING@." (List.length firing);
+     List.iter
+       (fun (r : Alert.rule) ->
+         let since =
+           match Alert.state m.engine r.Alert.name with
+           | Some (Alert.Firing since) -> since
+           | _ -> now
+         in
+         let value =
+           match Alert.last_value m.engine r.Alert.name with
+           | Some v -> Printf.sprintf "%.4g" v
+           | None -> "-"
+         in
+         Format.fprintf ppf "  [%s] %-24s since t=%.1fs value=%s  %s@."
+           (Alert.severity_label r.Alert.severity)
+           r.Alert.name since value r.Alert.message)
+       firing
+   end);
+  (* SLO attainment per burn-rate rule *)
+  List.iter
+    (fun (r : Alert.rule) ->
+      match r.Alert.kind with
+      | Alert.Burn_rate { objective; _ } -> (
+          match Alert.slo_attainment m.engine r.Alert.name with
+          | Some a ->
+              Format.fprintf ppf "slo %s: attainment %.2f%% (objective %.0f%%)@."
+                r.Alert.name (100.0 *. a) (100.0 *. objective)
+          | None ->
+              Format.fprintf ppf "slo %s: no traffic yet@." r.Alert.name)
+      | _ -> ())
+    (Alert.rules m.engine);
+  (* top series: last value + short-window rate *)
+  let series = Series.all m.set in
+  let shown = List.filteri (fun i _ -> i < top) series in
+  Format.fprintf ppf "series (%d of %d):@." (List.length shown)
+    (List.length series);
+  List.iter
+    (fun s ->
+      match Series.last s with
+      | None -> Format.fprintf ppf "  %-56s (no samples)@." (Series.name s)
+      | Some (_, v) ->
+          Format.fprintf ppf "  %-56s last=%-12s rate=%.4g/s@." (Series.name s)
+            (Export.format_float v)
+            (Series.rate s ~seconds:60.0))
+    shown;
+  (* recent transitions *)
+  let events = Alert.log m.engine in
+  let recent =
+    let n = List.length events in
+    List.filteri (fun i _ -> i >= n - 8) events
+  in
+  if recent <> [] then begin
+    Format.fprintf ppf "recent transitions:@.";
+    List.iter
+      (fun (e : Alert.event) ->
+        Format.fprintf ppf "  t=%-8.1f %-9s %s (value %.4g)@." e.Alert.at
+          (match e.Alert.transition with
+          | Alert.Fired -> "FIRED"
+          | Alert.Resolved -> "resolved")
+          e.Alert.rule e.Alert.value)
+      recent
+  end
+
+let print_report ?top m ~now = pp_report ?top m ~now Format.std_formatter

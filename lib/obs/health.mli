@@ -1,0 +1,56 @@
+(** Health monitoring: a {!Series} sampler set and an {!Alert} engine
+    ticked together against the metric registry.
+
+    A monitor is the operator-facing composition: watch the counters
+    and gauges the pipeline already maintains, sample them into
+    windowed series on each simulation tick, evaluate alert rules, and
+    render a status report ([qkd_sim --health]).  All sampling is
+    driven by the caller's clock — simulated seconds in experiments —
+    so health data is deterministic under a fixed seed. *)
+
+type monitor
+
+val create : ?capacity:int -> unit -> monitor
+(** An empty monitor; [capacity] is the default ring size for watched
+    series. *)
+
+val set : monitor -> Series.set
+val engine : monitor -> Alert.engine
+
+val watch_fn : monitor -> ?capacity:int -> string -> Series.source -> Series.t
+(** Watch an arbitrary sampled function under [name]. *)
+
+val watch_counter :
+  monitor -> ?capacity:int -> ?labels:(string * string) list -> string ->
+  Series.t
+(** Watch the registry counter [name]/[labels] (created if absent, so
+    a monitor can be installed before the pipeline first increments
+    it).  The series is named with {!Series.labelled_name}, the
+    convention the built-in {!Alert} rules resolve against. *)
+
+val watch_gauge :
+  monitor -> ?capacity:int -> ?labels:(string * string) list -> string ->
+  Series.t
+
+val add_rule : monitor -> Alert.rule -> unit
+
+val tick : monitor -> now:float -> unit
+(** Sample every watched source at [now], then evaluate every rule. *)
+
+val default :
+  ?budget:float -> ?slo_objective:float -> ?capacity:int -> unit -> monitor
+(** The standard pipeline monitor: QBER eavesdropper alarm
+    ({!Alert.qber_above_budget} at [budget]), delivery SLO burn, and
+    stabilization drift, watching the conventional series those rules
+    read plus throughput/pool series for the report.  Per-edge relay
+    pool rules need a concrete topology and are added by the caller
+    (see {!Alert.pool_below_watermark}). *)
+
+val pp_report : ?top:int -> monitor -> now:float -> Format.formatter -> unit
+(** Text status report: firing alerts (severity, since, value,
+    message), SLO attainment per burn-rate rule, the first [top]
+    (default 12) series with last value and 60 s rate, and recent
+    alert transitions. *)
+
+val print_report : ?top:int -> monitor -> now:float -> unit
+(** {!pp_report} to stdout. *)

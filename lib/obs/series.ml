@@ -1,0 +1,155 @@
+module Stats = Qkd_util.Stats
+
+(* Fixed-capacity ring buffer of (time, value) samples.  [head] is the
+   next write slot; the logical order is oldest-first.  Pushes are
+   gated on the Control switch like every other metric mutation, so a
+   disabled monitor costs one branch per tick. *)
+type t = {
+  name : string;
+  capacity : int;
+  times : float array;
+  values : float array;
+  mutable len : int;
+  mutable head : int;
+}
+
+let create ?(capacity = 512) name =
+  if capacity <= 0 then invalid_arg "Series.create: capacity must be positive";
+  {
+    name;
+    capacity;
+    times = Array.make capacity 0.0;
+    values = Array.make capacity 0.0;
+    len = 0;
+    head = 0;
+  }
+
+let name s = s.name
+let capacity s = s.capacity
+let length s = s.len
+
+let push s ~t v =
+  if Control.enabled () then begin
+    s.times.(s.head) <- t;
+    s.values.(s.head) <- v;
+    s.head <- (s.head + 1) mod s.capacity;
+    if s.len < s.capacity then s.len <- s.len + 1
+  end
+
+(* i = 0 is the oldest retained sample. *)
+let nth s i =
+  if i < 0 || i >= s.len then invalid_arg "Series.nth: index out of range";
+  let idx = (s.head - s.len + i + (2 * s.capacity)) mod s.capacity in
+  (s.times.(idx), s.values.(idx))
+
+let samples s = Array.init s.len (nth s)
+let last s = if s.len = 0 then None else Some (nth s (s.len - 1))
+
+(* All samples no older than [seconds] before the newest one, oldest
+   first.  Sample times are assumed non-decreasing (the tick clock). *)
+let window s ~seconds =
+  if s.len = 0 then [||]
+  else begin
+    let t_last, _ = nth s (s.len - 1) in
+    let cutoff = t_last -. seconds in
+    let first = ref 0 in
+    while !first < s.len - 1 && fst (nth s !first) < cutoff do
+      incr first
+    done;
+    Array.init (s.len - !first) (fun i -> nth s (!first + i))
+  end
+
+let windowed_mean s ~seconds =
+  let w = window s ~seconds in
+  if Array.length w = 0 then 0.0 else Stats.mean (Array.map snd w)
+
+(* Increase of a cumulative series across the window: newest minus
+   oldest retained value.  Meaningful for counter-backed series. *)
+let delta s ~seconds =
+  let w = window s ~seconds in
+  if Array.length w < 2 then 0.0
+  else snd w.(Array.length w - 1) -. snd w.(0)
+
+let rate s ~seconds =
+  let w = window s ~seconds in
+  if Array.length w < 2 then 0.0
+  else begin
+    let t0, v0 = w.(0) and t1, v1 = w.(Array.length w - 1) in
+    if t1 <= t0 then 0.0 else (v1 -. v0) /. (t1 -. t0)
+  end
+
+let ewma s ~alpha =
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Series.ewma: alpha in (0, 1]";
+  if s.len = 0 then 0.0
+  else begin
+    let acc = ref (snd (nth s 0)) in
+    for i = 1 to s.len - 1 do
+      acc := (alpha *. snd (nth s i)) +. ((1.0 -. alpha) *. !acc)
+    done;
+    !acc
+  end
+
+(* Windowed ratio of two cumulative series sampled on the same ticks:
+   Δnum / Δden, None until both deltas are defined and Δden > 0. *)
+let ratio ~num ~den ~seconds =
+  let dn = delta num ~seconds and dd = delta den ~seconds in
+  if dd <= 0.0 then None else Some (dn /. dd)
+
+(* Wilson interval on the windowed ratio, treating Δnum of Δden as k
+   successes of n binomial trials — the QBER-style estimate. *)
+let wilson_ratio_ci ~num ~den ~seconds ~z =
+  let dn = delta num ~seconds and dd = delta den ~seconds in
+  let n = int_of_float (Float.round dd) in
+  if n <= 0 then None
+  else begin
+    let k = max 0 (min n (int_of_float (Float.round dn))) in
+    Some (Stats.binomial_ci ~k ~n ~z)
+  end
+
+(* -- sampled sets: bind series to metric sources, advance on ticks -- *)
+
+type source = unit -> float
+type watched = { series : t; source : source }
+
+type set = {
+  mutable watched : watched list;  (** newest first *)
+  default_capacity : int;
+}
+
+let create_set ?(capacity = 512) () =
+  if capacity <= 0 then invalid_arg "Series.create_set: capacity must be positive";
+  { watched = []; default_capacity = capacity }
+
+(* Canonical series name for a labelled metric, matching the
+   exporter's [name{k="v"}] rendering (labels sorted by key). *)
+let labelled_name metric_name labels =
+  match labels with
+  | [] -> metric_name
+  | labels ->
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+      metric_name ^ "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) sorted)
+      ^ "}"
+
+let find set n = List.find_opt (fun w -> w.series.name = n) set.watched
+
+let watch set ?capacity n source =
+  match find set n with
+  | Some w -> w.series
+  | None ->
+      let capacity = Option.value capacity ~default:set.default_capacity in
+      let s = create ~capacity n in
+      set.watched <- { series = s; source } :: set.watched;
+      s
+
+let watch_counter set ?capacity n c =
+  watch set ?capacity n (fun () -> float_of_int (Counter.value c))
+
+let watch_gauge set ?capacity n g = watch set ?capacity n (fun () -> Gauge.value g)
+
+let tick set ~now =
+  List.iter (fun w -> push w.series ~t:now (w.source ())) (List.rev set.watched)
+
+let find set n = Option.map (fun w -> w.series) (find set n)
+let all set = List.rev_map (fun w -> w.series) set.watched

@@ -1,0 +1,97 @@
+(** Windowed time-series over the metric registry.
+
+    A {!t} is a fixed-capacity ring buffer of [(time, value)] samples;
+    once full, each push evicts the oldest sample.  Series are the
+    substrate the {!Alert} engine evaluates rules over: counters and
+    gauges give point-in-time numbers, a series gives them a time
+    axis — windowed means, rates and confidence intervals.
+
+    Sampling is pull-based: a {!set} binds each series to a source
+    (usually a registry counter or gauge) and {!tick} snapshots every
+    source at the caller's clock — simulated seconds in the network
+    experiments, so sampled health data stays deterministic under a
+    fixed seed.  Pushes are gated on {!Control.enabled}, like every
+    other metric mutation. *)
+
+type t
+
+val create : ?capacity:int -> string -> t
+(** [capacity] defaults to 512 samples.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val name : t -> string
+val capacity : t -> int
+val length : t -> int
+(** Retained samples, at most [capacity]. *)
+
+val push : t -> t:float -> float -> unit
+(** Append a sample.  Times are expected non-decreasing. *)
+
+val nth : t -> int -> float * float
+(** [(time, value)]; index 0 is the oldest retained sample.
+    @raise Invalid_argument out of range. *)
+
+val samples : t -> (float * float) array
+(** All retained samples, oldest first. *)
+
+val last : t -> (float * float) option
+
+val window : t -> seconds:float -> (float * float) array
+(** Samples no older than [seconds] before the newest one. *)
+
+val windowed_mean : t -> seconds:float -> float
+(** Mean value over the window; 0 when empty.  The gauge-style read. *)
+
+val delta : t -> seconds:float -> float
+(** Newest minus oldest value in the window; 0 with fewer than two
+    samples.  The cumulative-counter read. *)
+
+val rate : t -> seconds:float -> float
+(** [delta] per second of window actually covered; 0 when degenerate. *)
+
+val ewma : t -> alpha:float -> float
+(** Exponentially-weighted moving average over all retained samples,
+    oldest first; 0 when empty.
+    @raise Invalid_argument unless [alpha] is in (0, 1]. *)
+
+val ratio : num:t -> den:t -> seconds:float -> float option
+(** Windowed [delta num / delta den]; [None] until [delta den > 0].
+    E.g. QBER = Δerrors / Δsifted over the window. *)
+
+val wilson_ratio_ci :
+  num:t -> den:t -> seconds:float -> z:float -> (float * float) option
+(** Wilson score interval (via {!Qkd_util.Stats.binomial_ci}) for the
+    windowed ratio, treating the deltas as k-of-n binomial counts.
+    [None] until the denominator delta rounds to a positive count. *)
+
+(** {1 Sampled sets} *)
+
+type source = unit -> float
+
+type set
+
+val create_set : ?capacity:int -> unit -> set
+(** [capacity] is the default ring size for series added to this set. *)
+
+val labelled_name : string -> (string * string) list -> string
+(** Canonical series name for a labelled metric —
+    [name{k="v",...}] with labels sorted by key, matching the
+    exporter's rendering.  The naming convention shared by
+    {!watch_counter}/{!watch_gauge} callers and {!Alert} rules. *)
+
+val watch : set -> ?capacity:int -> string -> source -> t
+(** Register (or return the existing) series named [name], sampled
+    from [source] on every {!tick}.  First registration wins: a second
+    [watch] of the same name returns the original series and ignores
+    the new source. *)
+
+val watch_counter : set -> ?capacity:int -> string -> Counter.t -> t
+val watch_gauge : set -> ?capacity:int -> string -> Gauge.t -> t
+
+val tick : set -> now:float -> unit
+(** Sample every watched source at time [now], in registration order. *)
+
+val find : set -> string -> t option
+
+val all : set -> t list
+(** Watched series in registration order. *)

@@ -7,9 +7,13 @@
 
 (* [Sys.time] keeps the library dependency-free; callers that want
    real wall-clock (e.g. a driver linking unix) can install
-   [Unix.gettimeofday]. *)
-let clock = ref Sys.time
+   [Unix.gettimeofday].  NOTE: the clock is process-global mutable
+   state — a [set_clock] leaks into every later span in the process,
+   so tests must restore it ([reset_clock]) in teardown. *)
+let default_clock = Sys.time
+let clock = ref default_clock
 let set_clock f = clock := f
+let reset_clock () = clock := default_clock
 
 let wall_metric = "span_wall_seconds"
 let sim_metric = "span_sim_seconds"
@@ -24,12 +28,16 @@ let with_span ?registry ?labels name f =
   else begin
     let h = wall_histogram ?registry ?labels name in
     let t0 = !clock () in
+    (* Clamped at zero: an installed clock is allowed to go backwards
+       (NTP step, a test double), and a histogram of durations must
+       never absorb a negative sample. *)
+    let observe () = Histogram.observe h (Float.max 0.0 (!clock () -. t0)) in
     match f () with
     | v ->
-        Histogram.observe h (!clock () -. t0);
+        observe ();
         v
     | exception e ->
-        Histogram.observe h (!clock () -. t0);
+        observe ();
         raise e
   end
 
@@ -39,3 +47,167 @@ let record_sim ?registry ?(labels = []) name seconds =
        ~labels:(("span", name) :: labels)
        sim_metric)
     seconds
+
+(* -- Causal spans: parent-linked events for request tracing.
+
+   Histogram spans answer "how long does this phase take in
+   aggregate"; causal spans answer "what happened to THIS request" —
+   a key request fans out into scheduler retries, relay attempts,
+   engine rounds and IKE re-keys, and the span tree keeps the causal
+   chain.  Ids are small ints; id 0 is the null span, accepted and
+   ignored everywhere, so instrumentation sites can thread
+   [?trace:Trace.id] without caring whether tracing is live.
+
+   Like the registry, the tracer is process-global but swappable, and
+   the buffer is bounded: past [capacity], new spans are dropped (and
+   counted) rather than growing without limit under churn. -- *)
+
+type id = int
+
+let null_id = 0
+
+type span = {
+  id : id;
+  parent : id option;
+  name : string;
+  start_s : float;
+  mutable end_s : float;
+  mutable finished : bool;
+  mutable notes : (string * string) list;  (** newest first *)
+}
+
+type tracer = {
+  tracer_capacity : int;
+  mutable recorded : span list;  (** newest first *)
+  mutable count : int;
+  mutable next_id : int;
+  mutable dropped : int;
+}
+
+let tracer_create ?(capacity = 8192) () =
+  if capacity <= 0 then invalid_arg "Trace.tracer_create: capacity must be positive";
+  { tracer_capacity = capacity; recorded = []; count = 0; next_id = 1; dropped = 0 }
+
+let global_tracer = tracer_create ()
+let current_tracer = ref global_tracer
+let default_tracer () = !current_tracer
+let use_tracer t = current_tracer := t
+
+let with_tracer t f =
+  let previous = !current_tracer in
+  current_tracer := t;
+  Fun.protect ~finally:(fun () -> current_tracer := previous) f
+
+let tracer_reset t =
+  t.recorded <- [];
+  t.count <- 0;
+  t.next_id <- 1;
+  t.dropped <- 0
+
+let dropped_spans t = t.dropped
+
+let resolve = function Some t -> t | None -> !current_tracer
+
+let span_find t id = List.find_opt (fun s -> s.id = id) t.recorded
+
+let span_begin ?tracer ?parent ?at name =
+  if not (Control.enabled ()) then null_id
+  else begin
+    let t = resolve tracer in
+    if t.count >= t.tracer_capacity then begin
+      t.dropped <- t.dropped + 1;
+      null_id
+    end
+    else begin
+      let at = match at with Some at -> at | None -> !clock () in
+      let parent =
+        match parent with Some p when p <> null_id -> Some p | _ -> None
+      in
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      t.count <- t.count + 1;
+      t.recorded <-
+        { id; parent; name; start_s = at; end_s = at; finished = false; notes = [] }
+        :: t.recorded;
+      id
+    end
+  end
+
+let span_end ?tracer ?at id =
+  if Control.enabled () && id <> null_id then
+    match span_find (resolve tracer) id with
+    | None -> ()
+    | Some s ->
+        let at = match at with Some at -> at | None -> !clock () in
+        (* clamp: a clock stepping backwards must not invert a span *)
+        s.end_s <- Float.max s.start_s at;
+        s.finished <- true
+
+let span_note ?tracer id key value =
+  if Control.enabled () && id <> null_id then
+    match span_find (resolve tracer) id with
+    | None -> ()
+    | Some s -> s.notes <- (key, value) :: s.notes
+
+let spans ?tracer () = List.rev (resolve tracer).recorded
+
+(* Chrome trace_event JSON ("X" complete events, microsecond
+   timestamps).  Load in chrome://tracing or Perfetto.  Deterministic:
+   spans in id order, notes in recording order. *)
+let export_chrome ?tracer () =
+  let buf = Buffer.create 4096 in
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",";
+      Printf.bprintf buf
+        "\n  {\"name\":\"%s\",\"cat\":\"qkd\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"id\":%d,\"args\":{"
+        (escape s.name) (s.start_s *. 1e6)
+        ((s.end_s -. s.start_s) *. 1e6)
+        s.id;
+      let args =
+        (match s.parent with
+        | Some p -> [ ("parent", string_of_int p) ]
+        | None -> [])
+        @ List.rev s.notes
+      in
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_string buf ",";
+          Printf.bprintf buf "\"%s\":\"%s\"" (escape k) (escape v))
+        args;
+      Buffer.add_string buf "}}")
+    (spans ?tracer ());
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let pp_tree ?tracer () ppf =
+  let all = spans ?tracer () in
+  let children p =
+    List.filter (fun s -> s.parent = Some p.id) all
+  in
+  let pp_notes ppf s =
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) (List.rev s.notes)
+  in
+  let rec pp depth s =
+    Format.fprintf ppf "%s%s#%d [%.3fs..%.3fs%s]%a@."
+      (String.make (2 * depth) ' ')
+      s.name s.id s.start_s s.end_s
+      (if s.finished then "" else " open")
+      pp_notes s;
+    List.iter (pp (depth + 1)) (children s)
+  in
+  let roots = List.filter (fun s -> s.parent = None) all in
+  if roots = [] then Format.fprintf ppf "(no spans recorded)@."
+  else List.iter (pp 0) roots

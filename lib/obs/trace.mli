@@ -1,13 +1,25 @@
-(** Lightweight span tracing on top of histograms.
+(** Span tracing: aggregate histograms and causal request trees.
 
-    [with_span "cascade" f] times [f] on the host clock and records
-    the duration into [span_wall_seconds{span="cascade"}] (recorded
-    even when [f] raises).  {!record_sim} is its reproducible sibling
-    for {e simulated} durations, recorded into [span_sim_seconds]. *)
+    {b Histogram spans} — [with_span "cascade" f] times [f] on the
+    host clock and records the duration into
+    [span_wall_seconds{span="cascade"}] (recorded even when [f]
+    raises).  {!record_sim} is its reproducible sibling for
+    {e simulated} durations, recorded into [span_sim_seconds].
+
+    {b Causal spans} — parent-linked events for a single request's
+    journey: a key request fans out into scheduler retries, relay
+    attempts, engine rounds and IKE re-keys, and the span tree keeps
+    the chain.  Instrumentation sites thread [?trace:Trace.id]; the
+    null id 0 is accepted and ignored everywhere, so propagation costs
+    nothing when tracing is off.  Timestamps are whatever clock the
+    recording layer passed via [?at] — simulated seconds in the
+    network and IPsec layers — or the {!set_clock} clock otherwise. *)
 
 val with_span :
   ?registry:Registry.t -> ?labels:(string * string) list -> string ->
   (unit -> 'a) -> 'a
+(** Durations are clamped at zero, so a clock stepping backwards
+    mid-span records 0 rather than a negative sample. *)
 
 val record_sim :
   ?registry:Registry.t -> ?labels:(string * string) list -> string -> float ->
@@ -16,10 +28,80 @@ val record_sim :
 val set_clock : (unit -> float) -> unit
 (** Replace the span clock (default [Sys.time], processor seconds —
     the zero-dependency choice).  Install [Unix.gettimeofday] from a
-    driver for true wall-clock spans. *)
+    driver for true wall-clock spans.
+
+    {b Process-global mutable state}: the installed clock applies to
+    every subsequent span anywhere in the process, including causal
+    spans recorded without [?at].  Tests that install a clock must
+    restore it in teardown — [Fun.protect ~finally:Trace.reset_clock] —
+    or every later test inherits the double. *)
+
+val reset_clock : unit -> unit
+(** Restore the default [Sys.time] clock. *)
 
 val wall_metric : string
 (** ["span_wall_seconds"] — the nondeterministic series golden tests
     must filter out. *)
 
 val sim_metric : string
+
+(** {1 Causal spans} *)
+
+type id = int
+(** Span identity.  {!null_id} (0) is the null span: every operation
+    accepts and ignores it. *)
+
+val null_id : id
+
+type span = {
+  id : id;
+  parent : id option;
+  name : string;
+  start_s : float;
+  mutable end_s : float;
+  mutable finished : bool;
+  mutable notes : (string * string) list;  (** newest first *)
+}
+
+type tracer
+
+val tracer_create : ?capacity:int -> unit -> tracer
+(** Bounded buffer: past [capacity] (default 8192) spans, new
+    [span_begin]s return {!null_id} and count as dropped.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val default_tracer : unit -> tracer
+(** The current tracer (the process global unless swapped). *)
+
+val use_tracer : tracer -> unit
+
+val with_tracer : tracer -> (unit -> 'a) -> 'a
+(** Run [f] with [t] current, restoring the previous tracer on exit
+    (including exceptional exit). *)
+
+val tracer_reset : tracer -> unit
+val dropped_spans : tracer -> int
+
+val span_begin : ?tracer:tracer -> ?parent:id -> ?at:float -> string -> id
+(** Open a span.  [at] defaults to the {!set_clock} clock; pass
+    simulated time from layers that have one.  A [parent] of
+    {!null_id} means no parent.  Returns {!null_id} when tracing is
+    disabled ({!Control}) or the buffer is full. *)
+
+val span_end : ?tracer:tracer -> ?at:float -> id -> unit
+(** Close a span; end times earlier than the start clamp to it. *)
+
+val span_note : ?tracer:tracer -> id -> string -> string -> unit
+(** Attach a key/value annotation (outcome, path, QBER, ...). *)
+
+val spans : ?tracer:tracer -> unit -> span list
+(** Recorded spans, oldest first. *)
+
+val export_chrome : ?tracer:tracer -> unit -> string
+(** Chrome [trace_event] JSON (["X"] complete events, microsecond
+    timestamps, parent and notes under [args]) — load in
+    chrome://tracing or Perfetto.  Deterministic for a fixed tracer
+    content. *)
+
+val pp_tree : ?tracer:tracer -> unit -> Format.formatter -> unit
+(** Indented text rendering of the span forest with annotations. *)

@@ -95,6 +95,24 @@ let alice_coincidence config rng (pulse : Pulse.t) =
   let p_alice = 1.0 -. ((1.0 -. eta) ** float_of_int pulse.Pulse.photons) in
   Rng.bernoulli rng p_alice
 
+(* Final servo state → health series.  The gauge carries |phase error|
+   at the end of the run — the signal the stabilization-drift alert
+   watches — and the counter accumulates servo actuations.  Nothing is
+   recorded when stabilization is not modelled, so default-config runs
+   leave the registry (and the golden snapshot) untouched. *)
+let record_stabilization = function
+  | None -> ()
+  | Some s ->
+      let open Qkd_obs in
+      Gauge.set
+        (Registry.gauge "photonics_stabilization_phase_error_rad"
+           ~help:"Interferometer phase error at end of last run (abs, rad)")
+        (Float.abs (Stabilization.phase_error s));
+      Counter.add
+        (Registry.counter "photonics_stabilization_corrections_total"
+           ~help:"Optical-process-control servo actuations")
+        (Stabilization.corrections s)
+
 (* Obs emission + result assembly shared by both execution modes. *)
 let finish config ~pulses ~gated_pulses ~alice_bases ~alice_values
     ~alice_detected ~detections ~frames_lost ~dark_clicks ~eve =
@@ -214,6 +232,7 @@ let run_reference ~seed (config : config) ~pulses =
     end
   done;
   let detections = Array.of_list (List.rev !detections) in
+  record_stabilization stabilization;
   finish config ~pulses ~gated_pulses:!gated_pulses ~alice_bases ~alice_values
     ~alice_detected ~detections ~frames_lost:!frames_lost
     ~dark_clicks:(Detector.dark_clicks receiver)
@@ -323,20 +342,22 @@ let run_batched ~seed ~domains (config : config) ~pulses =
   (* The stabilization walk is sequential across frames by nature; it
      is cheap at frame granularity, so precompute the per-frame
      (phase, visibility) snapshots before fanning out. *)
-  let stab_table =
+  let stab_state, stab_table =
     match config.stabilization with
-    | None -> None
+    | None -> (None, None)
     | Some scfg ->
         let s = Stabilization.create scfg in
         let rng = Rng.derive seed stab_stream in
         let frame_dt = float_of_int ppf /. config.pulse_rate_hz in
-        Some
-          (Array.init n_frames (fun _ ->
-               let snap =
-                 (Stabilization.phase_error s, Stabilization.visibility_scale s)
-               in
-               Stabilization.advance s rng ~dt:frame_dt;
-               snap))
+        let table =
+          Array.init n_frames (fun _ ->
+              let snap =
+                (Stabilization.phase_error s, Stabilization.visibility_scale s)
+              in
+              Stabilization.advance s rng ~dt:frame_dt;
+              snap)
+        in
+        (Some s, Some table)
   in
   let stab_of frame =
     match stab_table with None -> (0.0, 1.0) | Some t -> t.(frame)
@@ -398,6 +419,7 @@ let run_batched ~seed ~domains (config : config) ~pulses =
       off := !off + n;
       match fo.fo_eve with None -> () | Some e -> Eve.absorb eve e)
     out;
+  record_stabilization stab_state;
   finish config ~pulses ~gated_pulses:!gated_pulses ~alice_bases ~alice_values
     ~alice_detected ~detections ~frames_lost:!frames_lost
     ~dark_clicks:!dark_clicks ~eve

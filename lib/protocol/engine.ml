@@ -337,17 +337,30 @@ let observe_round (m : round_metrics) =
     m.distilled_bps;
   Trace.record_sim "engine_round" m.elapsed_s
 
-let run_round ?(tamper = false) t ~pulses =
+let run_round ?(tamper = false) ?(trace = Obs.Trace.null_id) t ~pulses =
   Obs.Counter.incr
     (Obs.Registry.counter "engine_rounds_total"
        ~help:"Protocol rounds attempted");
+  (* Causal span: child of whatever request (scheduler attempt, VPN
+     re-key) triggered this round.  Only recorded when a parent was
+     threaded in — engine rounds outside a traced request stay silent. *)
+  let span =
+    if trace = Obs.Trace.null_id then Obs.Trace.null_id
+    else Obs.Trace.span_begin ~parent:trace "engine_round"
+  in
   match run_round_bare ~tamper t ~pulses with
   | Ok m ->
       observe_round m;
+      Obs.Trace.span_note span "qber" (Printf.sprintf "%.4f" m.qber);
+      Obs.Trace.span_note span "distilled_bits"
+        (string_of_int m.distilled_bits);
+      Obs.Trace.span_end span;
       Ok m
   | Error f ->
       Obs.Counter.incr
         (Obs.Registry.counter "engine_rounds_failed"
            ~labels:[ ("reason", failure_reason f) ]
            ~help:"Protocol rounds aborted, by failure reason");
+      Obs.Trace.span_note span "failed" (failure_reason f);
+      Obs.Trace.span_end span;
       Error f

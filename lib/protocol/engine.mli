@@ -86,10 +86,15 @@ val create : ?seed:int64 -> config -> t
 
 val config : t -> config
 
-(** [run_round ?tamper t ~pulses] plays one batch.  [tamper] simulates
-    Eve forging a public-channel message: authentication must catch it
-    and the round is discarded. *)
-val run_round : ?tamper:bool -> t -> pulses:int -> (round_metrics, failure) result
+(** [run_round ?tamper ?trace t ~pulses] plays one batch.  [tamper]
+    simulates Eve forging a public-channel message: authentication
+    must catch it and the round is discarded.  [trace] is a causal
+    parent span: when non-null, the round records an [engine_round]
+    child span annotated with its QBER and distilled bits (or failure
+    reason). *)
+val run_round :
+  ?tamper:bool -> ?trace:Qkd_obs.Trace.id -> t -> pulses:int ->
+  (round_metrics, failure) result
 
 (** Distilled key delivered so far, per end.  The two pools always
     hold identical bits (that is the point of the system); they are

@@ -1,0 +1,185 @@
+(* End-to-end health monitoring: the eavesdropper alarm's determinism
+   (an intercept-resend run fires the QBER rule, a clean run on the
+   same seed stays silent), the churn SLO cross-check (the alert
+   engine's windowed attainment equals the scheduler's exact
+   delivered/submitted counts), and causal trace propagation from a
+   scheduler submission down through the relay. *)
+
+module Registry = Qkd_obs.Registry
+module Alert = Qkd_obs.Alert
+module Health = Qkd_obs.Health
+module Trace = Qkd_obs.Trace
+module Engine = Qkd_protocol.Engine
+module Link = Qkd_photonics.Link
+module Eve = Qkd_photonics.Eve
+module Topology = Qkd_net.Topology
+module Relay = Qkd_net.Relay
+module Sim = Qkd_net.Sim
+module Scheduler = Qkd_net.Scheduler
+module Failure = Qkd_net.Failure
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let len = String.length hay and n = String.length needle in
+  let rec scan i = i + n <= len && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+(* -- eavesdropper alarm -- *)
+
+let qber_alarm_fires eve =
+  let r = Registry.create () in
+  Registry.with_registry r (fun () ->
+      let base = Engine.default_config in
+      let config =
+        { base with Engine.link = { base.Engine.link with Link.eve } }
+      in
+      let engine = Engine.create ~seed:2003L config in
+      let monitor = Health.default () in
+      Health.tick monitor ~now:0.0;
+      for i = 1 to 4 do
+        ignore (Engine.run_round engine ~pulses:50_000);
+        Health.tick monitor ~now:(float_of_int i)
+      done;
+      Alert.is_firing (Health.engine monitor) "qber_above_budget")
+
+let test_qber_alarm_separates () =
+  check "intercept-resend fires the alarm" true
+    (qber_alarm_fires (Eve.Intercept_resend 1.0));
+  check "clean run on the same seed stays silent" false
+    (qber_alarm_fires Eve.Passive)
+
+(* -- churn SLO cross-check -- *)
+
+let churn ~scheduler =
+  let r = Registry.create () in
+  Registry.with_registry r (fun () ->
+      let topo =
+        Topology.random_mesh ~nodes:8 ~degree:3.0 ~seed:9L ~fiber_km:10.0
+      in
+      let relay = Relay.create ~low_watermark:1024 ~high_watermark:100_000 topo in
+      Relay.advance relay ~seconds:20.0;
+      let cfg =
+        {
+          Failure.default_churn_config with
+          Failure.pairs = [ (0, 7); (1, 6) ];
+          duration_s = 60.0;
+          mtbf_s = 45.0;
+          mttr_s = 15.0;
+          request_bits = 256;
+          request_interval_s = 0.5;
+          scheduler;
+        }
+      in
+      Failure.churn ~seed:11L relay cfg)
+
+let check_slo_exact (r : Failure.churn_report) =
+  check "saw traffic" true (r.Failure.submitted > 0);
+  let exact =
+    float_of_int r.Failure.delivered /. float_of_int r.Failure.submitted
+  in
+  check "alert-engine attainment equals delivered/submitted exactly" true
+    (r.Failure.slo_attainment = exact);
+  check "attainment equals delivery_ratio" true
+    (r.Failure.slo_attainment = r.Failure.delivery_ratio)
+
+let test_churn_slo_resilient () =
+  check_slo_exact (churn ~scheduler:(Some Scheduler.default_config))
+
+let test_churn_slo_baseline () = check_slo_exact (churn ~scheduler:None)
+
+(* -- causal trace propagation -- *)
+
+let test_scheduler_trace_tree () =
+  let r = Registry.create () in
+  Registry.with_registry r @@ fun () ->
+  let topo = Topology.chain ~n:3 ~kind:Topology.Trusted_relay ~fiber_km:5.0 in
+  let relay = Relay.create ~low_watermark:1024 ~high_watermark:100_000 topo in
+  Relay.advance relay ~seconds:30.0;
+  let sim = Sim.create () in
+  let sched = Scheduler.create ~sim relay in
+  let tracer = Trace.tracer_create () in
+  Trace.with_tracer tracer (fun () ->
+      Scheduler.submit sched ~src:0 ~dst:2 ~bits:128;
+      Sim.run sim ~until:40.0);
+  let spans = Trace.spans ~tracer () in
+  let root =
+    match List.find_opt (fun s -> s.Trace.name = "sched_request") spans with
+    | Some s -> s
+    | None -> Alcotest.fail "no sched_request root span recorded"
+  in
+  check "root has no parent" true (root.Trace.parent = None);
+  check "root finished" true root.Trace.finished;
+  check "outcome noted on the root" true
+    (List.assoc_opt "outcome" root.Trace.notes = Some "delivered");
+  check "src noted" true (List.assoc_opt "src" root.Trace.notes = Some "0");
+  let attempts = List.filter (fun s -> s.Trace.name = "attempt") spans in
+  check "at least one attempt span" true (attempts <> []);
+  List.iter
+    (fun a ->
+      check "attempt parented to the request" true
+        (a.Trace.parent = Some root.Trace.id))
+    attempts;
+  let delivered =
+    List.find_opt
+      (fun a -> List.assoc_opt "relay" a.Trace.notes = Some "delivered")
+      attempts
+  in
+  (match delivered with
+  | Some a ->
+      check "delivering attempt records the path" true
+        (List.assoc_opt "path" a.Trace.notes <> None)
+  | None -> Alcotest.fail "no attempt carries the relay delivery note");
+  let json = Trace.export_chrome ~tracer () in
+  check "chrome export names the request" true (contains json "sched_request");
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Trace.pp_tree ~tracer () ppf;
+  Format.pp_print_flush ppf ();
+  check "text tree names the attempt" true (contains (Buffer.contents buf) "attempt")
+
+(* -- default monitor wiring -- *)
+
+let test_default_monitor_reports () =
+  let r = Registry.create () in
+  Registry.with_registry r @@ fun () ->
+  let monitor = Health.default () in
+  let engine = Engine.create ~seed:2003L Engine.default_config in
+  Health.tick monitor ~now:0.0;
+  ignore (Engine.run_round engine ~pulses:100_000);
+  Health.tick monitor ~now:1.0;
+  check_int "no alerts on a clean round" 0
+    (List.length (Alert.firing (Health.engine monitor)));
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  Health.pp_report monitor ~now:1.0 ppf;
+  Format.pp_print_flush ppf ();
+  let report = Buffer.contents buf in
+  check "report shows all-clear" true (contains report "all clear");
+  check "report lists the sifted series" true
+    (contains report "protocol_sifted_bits_total")
+
+let () =
+  Alcotest.run "qkd_health"
+    [
+      ( "alarms",
+        [
+          Alcotest.test_case "eavesdropper alarm separates" `Slow
+            test_qber_alarm_separates;
+          Alcotest.test_case "default monitor clean report" `Slow
+            test_default_monitor_reports;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "churn slo exact (resilient)" `Slow
+            test_churn_slo_resilient;
+          Alcotest.test_case "churn slo exact (baseline)" `Slow
+            test_churn_slo_baseline;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "scheduler trace tree" `Quick
+            test_scheduler_trace_tree;
+        ] );
+    ]

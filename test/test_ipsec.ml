@@ -350,7 +350,7 @@ let test_isakmp_wire_bytes_counted () =
       ~identity:{ Ike.name = "b"; addr = Packet.addr_of_string "2.2.2.2" }
       ~psk:(Bytes.of_string "s") ~key_pool:pool_b ~seed:2L
   in
-  (match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 with
+  (match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 () with
   | Ok () -> ()
   | Error e -> Alcotest.failf "phase1: %a" Ike.pp_error e);
   (* main mode: 6 real messages including two 128-byte KE payloads *)
@@ -366,6 +366,7 @@ let test_isakmp_wire_bytes_counted () =
            peer = Packet.addr_of_string "2.2.2.2";
            qblock_bits = 1024;
          }
+       ()
    with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "phase2: %a" Ike.pp_error e);
@@ -404,24 +405,24 @@ let reseed_protect =
 
 let test_ike_phase1_required () =
   let ea, eb = endpoints ~qbits:4096 () in
-  match Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect with
+  match Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect () with
   | Error Ike.No_phase1 -> ()
   | Ok _ -> Alcotest.fail "phase 2 before phase 1"
   | Error e -> Alcotest.failf "unexpected: %a" Ike.pp_error e
 
 let test_ike_psk_mismatch () =
   let ea, eb = endpoints ~psk_b:"wrong" ~qbits:4096 () in
-  match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 with
+  match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 () with
   | Error Ike.Psk_mismatch -> ()
   | Ok () -> Alcotest.fail "psk mismatch accepted"
   | Error e -> Alcotest.failf "unexpected: %a" Ike.pp_error e
 
 let test_ike_quick_mode_keys_match () =
   let ea, eb = endpoints ~qbits:4096 () in
-  (match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 with
+  (match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 () with
   | Ok () -> ()
   | Error e -> Alcotest.failf "phase1: %a" Ike.pp_error e);
-  match Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect with
+  match Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect () with
   | Ok (pi, pr) ->
       (* initiator's outbound must mirror responder's inbound *)
       check "enc keys match" true
@@ -436,10 +437,10 @@ let test_ike_quick_mode_keys_match () =
 
 let test_ike_not_enough_qbits () =
   let ea, eb = endpoints ~qbits:100 () in
-  (match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 with
+  (match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 () with
   | Ok () -> ()
   | Error e -> Alcotest.failf "phase1: %a" Ike.pp_error e);
-  match Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect with
+  match Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect () with
   | Error (Ike.Not_enough_qbits { wanted = 1024; _ }) -> ()
   | Ok _ -> Alcotest.fail "should starve"
   | Error e -> Alcotest.failf "unexpected: %a" Ike.pp_error e
@@ -459,10 +460,10 @@ let test_ike_diverged_pools_mismatch_keys () =
       ~identity:{ Ike.name = "b"; addr = Packet.addr_of_string "2.2.2.2" }
       ~psk:(Bytes.of_string "s") ~key_pool:pool_b ~seed:2L
   in
-  (match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 with
+  (match Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 () with
   | Ok () -> ()
   | Error e -> Alcotest.failf "phase1: %a" Ike.pp_error e);
-  match Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect with
+  match Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect () with
   | Ok (pi, pr) ->
       check "IKE does not notice" true true;
       check "keys differ silently" false
@@ -471,8 +472,8 @@ let test_ike_diverged_pools_mismatch_keys () =
 
 let test_ike_log_mentions_qblocks () =
   let ea, eb = endpoints ~qbits:4096 () in
-  ignore (Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0);
-  ignore (Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect);
+  ignore (Ike.phase1 ~initiator:ea ~responder:eb ~now:0.0 ());
+  ignore (Ike.phase2 ~initiator:ea ~responder:eb ~now:0.0 ~protect:reseed_protect ());
   let log = String.concat "\n" (Ike.log ea @ Ike.log eb) in
   let has sub =
     let n = String.length log and m = String.length sub in

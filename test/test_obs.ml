@@ -9,6 +9,8 @@
        ./_build/default/test/test_obs.exe test golden *)
 
 module Obs = Qkd_obs
+module Series = Qkd_obs.Series
+module Alert = Qkd_obs.Alert
 module Counter = Qkd_obs.Counter
 module Gauge = Qkd_obs.Gauge
 module Histogram = Qkd_obs.Histogram
@@ -22,6 +24,11 @@ let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
 let qcheck = QCheck_alcotest.to_alcotest
+
+let contains hay needle =
+  let len = String.length hay and n = String.length needle in
+  let rec scan i = i + n <= len && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
 
 let counter_value r ?(labels = []) name =
   Counter.value (Registry.counter ~registry:r ~labels name)
@@ -294,6 +301,338 @@ let prop_counter_registry_order_independent =
       in
       String.equal (build ops) (build (List.rev ops)))
 
+(* -- domain safety: counters and gauges are Atomic-backed, so
+   concurrent mutation from several domains must never lose an
+   update -- *)
+
+let prop_metrics_domain_safe =
+  QCheck.Test.make ~name:"counter/gauge safe across domains" ~count:10
+    QCheck.(pair (int_range 1 4) (int_range 0 2_000))
+    (fun (doms, n) ->
+      let c = Counter.make () in
+      let g = Gauge.make () in
+      let ds =
+        List.init doms (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to n do
+                  Counter.incr c;
+                  Gauge.add g 1.0
+                done))
+      in
+      List.iter Domain.join ds;
+      Counter.value c = doms * n && Gauge.value g = float_of_int (doms * n))
+
+(* -- windowed series -- *)
+
+let test_series_ring () =
+  let s = Series.create ~capacity:4 "s" in
+  for i = 1 to 6 do
+    Series.push s ~t:(float_of_int i) (float_of_int (10 * i))
+  done;
+  check_int "length" 4 (Series.length s);
+  check "oldest evicted" true (Series.nth s 0 = (3.0, 30.0));
+  check "last" true (Series.last s = Some (6.0, 60.0));
+  check_int "window" 3 (Array.length (Series.window s ~seconds:2.0));
+  check "delta" true (Series.delta s ~seconds:10.0 = 30.0);
+  check "rate" true (Series.rate s ~seconds:10.0 = 10.0);
+  check "mean" true (Series.windowed_mean s ~seconds:10.0 = 45.0);
+  check "ewma alpha=1 is last" true (Series.ewma s ~alpha:1.0 = 60.0)
+
+let test_series_ratio () =
+  let num = Series.create "n" and den = Series.create "d" in
+  Series.push num ~t:0.0 0.0;
+  Series.push den ~t:0.0 0.0;
+  check "no traffic" true (Series.ratio ~num ~den ~seconds:10.0 = None);
+  Series.push num ~t:1.0 25.0;
+  Series.push den ~t:1.0 100.0;
+  check "ratio" true (Series.ratio ~num ~den ~seconds:10.0 = Some 0.25);
+  match Series.wilson_ratio_ci ~num ~den ~seconds:10.0 ~z:2.0 with
+  | Some (lo, hi) -> check "ci brackets ratio" true (0.0 < lo && lo < 0.25 && 0.25 < hi)
+  | None -> Alcotest.fail "wilson undecidable with 100 trials"
+
+let test_labelled_name () =
+  check_string "sorted" "m{a=\"1\",b=\"2\"}"
+    (Series.labelled_name "m" [ ("b", "2"); ("a", "1") ]);
+  check_string "no labels" "m" (Series.labelled_name "m" [])
+
+let test_series_set_tick () =
+  let set = Series.create_set ~capacity:8 () in
+  let v = ref 0.0 in
+  let s = Series.watch set "x" (fun () -> !v) in
+  let s2 = Series.watch set "x" (fun () -> 99.0) in
+  check "first registration wins" true (s == s2);
+  v := 1.0;
+  Series.tick set ~now:0.0;
+  v := 2.0;
+  Series.tick set ~now:1.0;
+  check "sampled at ticks" true
+    (Series.samples s = [| (0.0, 1.0); (1.0, 2.0) |]);
+  check "find" true
+    (match Series.find set "x" with Some s' -> s' == s | None -> false);
+  check_int "one series" 1 (List.length (Series.all set))
+
+let test_series_control_gated () =
+  let s = Series.create "c" in
+  Control.set_enabled false;
+  Fun.protect ~finally:(fun () -> Control.set_enabled true) (fun () ->
+      Series.push s ~t:0.0 1.0);
+  check_int "no sample while disabled" 0 (Series.length s)
+
+let prop_series_eviction =
+  QCheck.Test.make ~name:"series evicts oldest first" ~count:200
+    QCheck.(pair (int_range 1 16) (int_range 0 64))
+    (fun (cap, n) ->
+      let s = Series.create ~capacity:cap "p" in
+      for i = 0 to n - 1 do
+        Series.push s ~t:(float_of_int i) (float_of_int i)
+      done;
+      Series.length s = min n cap
+      && (n = 0
+         || fst (Series.nth s 0) = float_of_int (max 0 (n - cap))
+            && Series.last s
+               = Some (float_of_int (n - 1), float_of_int (n - 1))))
+
+(* -- alert engine -- *)
+
+let test_alert_threshold_lifecycle () =
+  let set = Series.create_set () in
+  let v = ref 0.0 in
+  ignore (Series.watch set "g" (fun () -> !v));
+  let e = Alert.create set in
+  Alert.add_rule e
+    {
+      Alert.name = "hot";
+      severity = Alert.Warning;
+      message = "too hot";
+      for_s = 1.5;
+      kind =
+        Alert.Threshold
+          { series = "g"; window_s = 1.0; condition = Alert.Above 10.0 };
+    };
+  let step now value =
+    v := value;
+    Series.tick set ~now;
+    Alert.evaluate e ~now
+  in
+  step 0.0 5.0;
+  check "ok" true (Alert.state e "hot" = Some Alert.Ok);
+  step 1.0 20.0;
+  check "pending on first breach" true
+    (match Alert.state e "hot" with Some (Alert.Pending _) -> true | _ -> false);
+  check "not firing before for_s" false (Alert.is_firing e "hot");
+  step 2.0 20.0;
+  step 3.0 20.0;
+  check "firing after hold" true (Alert.is_firing e "hot");
+  check_int "fired once" 1 (Alert.fired_count e);
+  check "listed as firing" true
+    (List.exists (fun (r : Alert.rule) -> r.Alert.name = "hot") (Alert.firing e));
+  (* the 1 s window at t=4 still averages the t=3 breach sample, so
+     recovery needs a second healthy tick *)
+  step 4.0 5.0;
+  step 5.0 5.0;
+  check "resolved" true (Alert.state e "hot" = Some Alert.Ok);
+  match Alert.log e with
+  | [ f; r ] ->
+      check "fired then resolved" true
+        (f.Alert.transition = Alert.Fired
+        && r.Alert.transition = Alert.Resolved
+        && f.Alert.rule = "hot")
+  | l -> Alcotest.failf "expected 2 log events, got %d" (List.length l)
+
+let test_alert_duplicate_name_rejected () =
+  let set = Series.create_set () in
+  let e = Alert.create set in
+  let rule =
+    {
+      Alert.name = "dup";
+      severity = Alert.Info;
+      message = "";
+      for_s = 0.0;
+      kind =
+        Alert.Threshold
+          { series = "g"; window_s = 1.0; condition = Alert.Above 0.0 };
+    }
+  in
+  Alert.add_rule e rule;
+  check "duplicate raises" true
+    (try
+       Alert.add_rule e rule;
+       false
+     with Invalid_argument _ -> true)
+
+let test_alert_undecidable_keeps_state () =
+  let set = Series.create_set () in
+  let e = Alert.create set in
+  Alert.add_rule e
+    {
+      Alert.name = "r";
+      severity = Alert.Critical;
+      message = "";
+      for_s = 0.0;
+      kind =
+        Alert.Ratio
+          {
+            num = "n";
+            den = "d";
+            window_s = 10.0;
+            condition = Alert.Above 0.5;
+            min_den = 4.0;
+            z = None;
+          };
+    };
+  (* missing series: undecidable, state untouched *)
+  Alert.evaluate e ~now:0.0;
+  check "ok with missing series" true (Alert.state e "r" = Some Alert.Ok);
+  check "no observation" true (Alert.last_value e "r" = None);
+  let nv = ref 0.0 and dv = ref 0.0 in
+  ignore (Series.watch set "n" (fun () -> !nv));
+  ignore (Series.watch set "d" (fun () -> !dv));
+  Series.tick set ~now:1.0;
+  nv := 2.0;
+  dv := 2.0;
+  Series.tick set ~now:2.0;
+  Alert.evaluate e ~now:2.0;
+  (* Δden = 2 below min_den 4: still undecidable *)
+  check "below min_den keeps ok" true
+    (Alert.state e "r" = Some Alert.Ok && Alert.last_value e "r" = None);
+  nv := 6.0;
+  dv := 8.0;
+  Series.tick set ~now:3.0;
+  Alert.evaluate e ~now:3.0;
+  (* Δnum/Δden = 6/8 over the limit, for_s 0 fires at once *)
+  check "fires once decidable" true (Alert.is_firing e "r");
+  check "observed value" true (Alert.last_value e "r" = Some 0.75)
+
+let test_alert_burn_rate_slo () =
+  let set = Series.create_set () in
+  let good = ref 0.0 and total = ref 0.0 in
+  ignore (Series.watch set "good" (fun () -> !good));
+  ignore (Series.watch set "total" (fun () -> !total));
+  let e = Alert.create set in
+  Alert.add_rule e
+    {
+      Alert.name = "slo";
+      severity = Alert.Warning;
+      message = "";
+      for_s = 0.0;
+      kind =
+        Alert.Burn_rate
+          {
+            good = "good";
+            total = "total";
+            objective = 0.9;
+            window_s = 10.0;
+            max_burn = 1.0;
+          };
+    };
+  Series.tick set ~now:0.0;
+  Alert.evaluate e ~now:0.0;
+  check "no attainment before traffic" true (Alert.slo_attainment e "slo" = None);
+  good := 8.0;
+  total := 10.0;
+  Series.tick set ~now:1.0;
+  Alert.evaluate e ~now:1.0;
+  (* attainment 0.8 burns at 2x budget *)
+  check "burning fires" true (Alert.is_firing e "slo");
+  check "attainment 0.8" true (Alert.slo_attainment e "slo" = Some 0.8);
+  check "attainment is None for other kinds" true
+    (Alert.slo_attainment e "nope" = None)
+
+(* -- causal spans -- *)
+
+let test_causal_spans () =
+  let tr = Trace.tracer_create () in
+  let root = Trace.span_begin ~tracer:tr ~at:1.0 "root" in
+  check "root id live" true (root <> Trace.null_id);
+  let child = Trace.span_begin ~tracer:tr ~parent:root ~at:2.0 "child" in
+  Trace.span_note ~tracer:tr child "k" "v";
+  (* end time before start clamps to the start *)
+  Trace.span_end ~tracer:tr child ~at:1.5;
+  Trace.span_end ~tracer:tr root ~at:5.0;
+  (* the null id is accepted and ignored everywhere *)
+  Trace.span_note ~tracer:tr Trace.null_id "a" "b";
+  Trace.span_end ~tracer:tr Trace.null_id;
+  let spans = Trace.spans ~tracer:tr () in
+  check_int "two spans" 2 (List.length spans);
+  let c = List.find (fun s -> s.Trace.name = "child") spans in
+  check "parent link" true (c.Trace.parent = Some root);
+  check "finished" true c.Trace.finished;
+  check "clamped duration" true (c.Trace.end_s = c.Trace.start_s);
+  check "note kept" true (List.assoc_opt "k" c.Trace.notes = Some "v");
+  let json = Trace.export_chrome ~tracer:tr () in
+  check "chrome export has both spans" true
+    (contains json "root" && contains json "child");
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Trace.pp_tree ~tracer:tr () ppf;
+  Format.pp_print_flush ppf ();
+  let tree = Buffer.contents buf in
+  check "tree has both spans" true (contains tree "root" && contains tree "child")
+
+let test_tracer_bounded () =
+  let tr = Trace.tracer_create ~capacity:2 () in
+  let a = Trace.span_begin ~tracer:tr "a" in
+  let b = Trace.span_begin ~tracer:tr "b" in
+  let c = Trace.span_begin ~tracer:tr "c" in
+  check "within capacity live" true (a <> Trace.null_id && b <> Trace.null_id);
+  check "over capacity dropped" true (c = Trace.null_id);
+  check_int "dropped counted" 1 (Trace.dropped_spans tr);
+  Trace.tracer_reset tr;
+  check_int "reset clears" 0 (List.length (Trace.spans ~tracer:tr ()));
+  check "usable after reset" true (Trace.span_begin ~tracer:tr "d" <> Trace.null_id)
+
+let test_trace_control_disabled () =
+  let tr = Trace.tracer_create () in
+  Control.set_enabled false;
+  Fun.protect ~finally:(fun () -> Control.set_enabled true) (fun () ->
+      check "null id when disabled" true
+        (Trace.span_begin ~tracer:tr "x" = Trace.null_id));
+  check_int "nothing recorded" 0 (List.length (Trace.spans ~tracer:tr ()))
+
+let test_with_span_clamps_backwards_clock () =
+  let r = Registry.create () in
+  (* a clock that steps backwards mid-span: start 100, end 50 *)
+  let times = ref [ 100.0; 50.0 ] in
+  Trace.set_clock (fun () ->
+      match !times with
+      | [ t ] -> t
+      | t :: rest ->
+          times := rest;
+          t
+      | [] -> 0.0);
+  Fun.protect ~finally:Trace.reset_clock (fun () ->
+      Trace.with_span ~registry:r "clamp" (fun () -> ()));
+  let h =
+    Registry.histogram ~registry:r ~labels:[ ("span", "clamp") ]
+      Trace.wall_metric
+  in
+  check_int "recorded" 1 (Histogram.count h);
+  check "negative duration clamped to zero" true (Histogram.sum h = 0.0)
+
+(* -- exporter round-trips -- *)
+
+let test_escaping_golden () =
+  let r = Registry.create () in
+  Counter.incr
+    (Registry.counter ~registry:r "esc_total"
+       ~labels:[ ("l", "sp ace,comma\"quote\\back\nnl\ttab\rcr") ]);
+  (* spaces and commas pass through; quote, backslash, newline, tab and
+     carriage return are escaped — pinned exactly *)
+  check_string "escaping golden"
+    "esc_total{l=\"sp ace,comma\\\"quote\\\\back\\nnl\\ttab\\rcr\"} 1\n"
+    (Export.snapshot ~registry:r ())
+
+let test_export_write_file () =
+  let r = Registry.create () in
+  Counter.add (Registry.counter ~registry:r "f_total") 2;
+  let path = Filename.temp_file "qkd_obs" ".prom" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Export.write_file ~registry:r path;
+      let ic = open_in path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      check_string "file holds the snapshot" "f_total 2\n" s)
+
 (* -- engine failure paths -- *)
 
 let run_isolated ?(seed = 2003L) ?(tamper = false) ?config ~pulses () =
@@ -409,6 +748,27 @@ let () =
           Alcotest.test_case "bad buckets" `Quick test_histogram_bad_buckets;
           qcheck prop_counter_adds_commute;
           qcheck prop_histogram_buckets_sum_to_count;
+          qcheck prop_metrics_domain_safe;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "ring window stats" `Quick test_series_ring;
+          Alcotest.test_case "ratio and wilson" `Quick test_series_ratio;
+          Alcotest.test_case "labelled name" `Quick test_labelled_name;
+          Alcotest.test_case "set tick sampling" `Quick test_series_set_tick;
+          Alcotest.test_case "control gates push" `Quick
+            test_series_control_gated;
+          qcheck prop_series_eviction;
+        ] );
+      ( "alerts",
+        [
+          Alcotest.test_case "threshold lifecycle" `Quick
+            test_alert_threshold_lifecycle;
+          Alcotest.test_case "duplicate name rejected" `Quick
+            test_alert_duplicate_name_rejected;
+          Alcotest.test_case "undecidable keeps state" `Quick
+            test_alert_undecidable_keeps_state;
+          Alcotest.test_case "burn rate slo" `Quick test_alert_burn_rate_slo;
         ] );
       ( "registry",
         [
@@ -423,11 +783,19 @@ let () =
         [
           Alcotest.test_case "with_span" `Quick test_trace_with_span;
           Alcotest.test_case "record_sim" `Quick test_trace_record_sim;
+          Alcotest.test_case "causal spans" `Quick test_causal_spans;
+          Alcotest.test_case "bounded tracer" `Quick test_tracer_bounded;
+          Alcotest.test_case "control disables spans" `Quick
+            test_trace_control_disabled;
+          Alcotest.test_case "backwards clock clamps" `Quick
+            test_with_span_clamps_backwards_clock;
         ] );
       ( "export",
         [
           Alcotest.test_case "snapshot format" `Quick test_snapshot_format;
           Alcotest.test_case "label escaping" `Quick test_snapshot_label_escaping;
+          Alcotest.test_case "escaping golden" `Quick test_escaping_golden;
+          Alcotest.test_case "write_file" `Quick test_export_write_file;
           Alcotest.test_case "dump covers series" `Quick
             test_dump_mentions_every_series;
           qcheck prop_snapshot_deterministic;
