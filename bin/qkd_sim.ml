@@ -5,7 +5,8 @@
      qkd_sim vpn      --duration 120 --transform otp
      qkd_sim chain    --hops 4 --transform otp
      qkd_sim network  --nodes 10 --p-fail 0.1
-     qkd_sim system   --duration 60 *)
+     qkd_sim system   --duration 60
+     qkd_sim campaign intercept-resend --quick *)
 
 module Link = Qkd_photonics.Link
 module Fiber = Qkd_photonics.Fiber
@@ -284,6 +285,187 @@ let chain_cmd =
       const run_chain $ metrics_arg $ metrics_out_arg $ health_arg $ hops
       $ duration $ transform $ key_rate)
 
+(* -- campaign subcommand -- *)
+
+module Scenario = Qkd_scenario.Scenario
+module Campaign = Qkd_scenario.Campaign
+module Checkpoint = Qkd_scenario.Checkpoint
+
+let print_campaign c =
+  let r = Campaign.report c in
+  Format.printf
+    "@[<v>campaign %s: %d steps / %.0f s simulated@ rounds: %d ok, %d failed@ \
+     sifted %d bits, distilled %d bits@ mean QBER %.4f@ alarms fired: %d%s@]@."
+    r.Campaign.scenario r.Campaign.steps r.Campaign.duration_s
+    r.Campaign.rounds_ok r.Campaign.rounds_failed r.Campaign.sifted_bits
+    r.Campaign.distilled_bits r.Campaign.mean_qber r.Campaign.alerts_fired
+    (match r.Campaign.fired_rules with
+    | [] -> ""
+    | rules -> Printf.sprintf " (%s)" (String.concat ", " rules));
+  if r.Campaign.submitted > 0 then
+    Format.printf "key delivery: %d/%d requests, %d link failures@."
+      r.Campaign.delivered r.Campaign.submitted r.Campaign.link_failures;
+  List.iter
+    (fun (d : Campaign.detection) ->
+      match d.latency_s with
+      | Some l ->
+          Format.printf "%s: detected %.0f s after injection (SLO %.0f s) — %s@."
+            d.alarm l d.slo_s
+            (if d.within_slo then "ok" else "MISSED")
+      | None -> Format.printf "%s: NOT DETECTED (SLO %.0f s)@." d.alarm d.slo_s)
+    r.Campaign.detections;
+  r
+
+(* Exit status is the campaign verdict: an attacked scenario must meet
+   every detection-latency SLO; a clean control must stay silent. *)
+let grade (spec : Scenario.t) (r : Campaign.report) =
+  if spec.Scenario.injections = [] then
+    if r.Campaign.alerts_fired = 0 then begin
+      Format.printf "clean control: zero alarms — pass@.";
+      0
+    end
+    else begin
+      Format.printf "clean control: %d false alarms — FAIL@."
+        r.Campaign.alerts_fired;
+      1
+    end
+  else if
+    List.for_all
+      (fun (d : Campaign.detection) -> d.Campaign.within_slo)
+      r.Campaign.detections
+  then begin
+    Format.printf "all detection-latency SLOs met@.";
+    0
+  end
+  else begin
+    Format.printf "detection-latency SLO MISSED@.";
+    1
+  end
+
+let run_campaign metrics metrics_out list_scenarios name clean quick seed
+    checkpoint checkpoint_at resume =
+  if list_scenarios then begin
+    List.iter print_endline (Scenario.names ());
+    0
+  end
+  else
+    let campaign =
+      match resume with
+      | Some file ->
+          let c = Checkpoint.load file in
+          Format.printf "resumed %s at t=%.0f s (step %d)@."
+            (Campaign.spec c).Scenario.name (Campaign.now_s c)
+            (Campaign.steps_done c);
+          c
+      | None ->
+          let name =
+            match name with
+            | Some n -> n
+            | None -> failwith "scenario NAME required (or --list / --resume)"
+          in
+          let spec =
+            match Scenario.find ~quick name with
+            | Some s -> s
+            | None ->
+                failwith (Printf.sprintf "unknown scenario %S; try --list" name)
+          in
+          let spec =
+            match seed with
+            | Some s -> Scenario.with_seed spec (Int64.of_int s)
+            | None -> spec
+          in
+          let spec = if clean then Scenario.clean spec else spec in
+          Campaign.create spec
+    in
+    match checkpoint with
+    | Some file ->
+        let at =
+          match checkpoint_at with
+          | Some s -> s
+          | None -> (Campaign.spec campaign).Scenario.duration_s /. 2.0
+        in
+        Campaign.run_until campaign ~now:at;
+        Checkpoint.save campaign file;
+        Format.printf
+          "checkpoint written to %s at t=%.0f s (step %d); continue with \
+           --resume %s@."
+          file (Campaign.now_s campaign)
+          (Campaign.steps_done campaign)
+          file;
+        finish ~metrics ~metrics_out ~monitor:None
+          ~now:(Campaign.now_s campaign) 0
+    | None ->
+        Campaign.run campaign;
+        let r = print_campaign campaign in
+        let rc = grade (Campaign.spec campaign) r in
+        finish ~metrics ~metrics_out ~monitor:None
+          ~now:(Campaign.now_s campaign) rc
+
+let campaign_cmd =
+  let scenario_name =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Built-in scenario name (see $(b,--list)).")
+  in
+  let list_scenarios =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the built-in scenarios.")
+  in
+  let clean =
+    Arg.(
+      value & flag
+      & info [ "clean" ]
+          ~doc:
+            "Run the clean control twin: same seed and conditions, no \
+             injections; exits non-zero if any alarm fires.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Shortened durations for smoke runs.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~doc:"Override the scenario seed.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Run to $(b,--checkpoint-at) (default: half the duration), save \
+             the campaign state to $(docv) and stop.")
+  in
+  let checkpoint_at =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "checkpoint-at" ] ~docv:"SECONDS"
+          ~doc:"Simulated time at which to write the checkpoint.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint file and run to completion — \
+             bit-identical to the uninterrupted run.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run an adversarial campaign scenario graded against its \
+          detection-latency SLOs")
+    Term.(
+      const run_campaign $ metrics_arg $ metrics_out_arg $ list_scenarios
+      $ scenario_name $ clean $ quick $ seed $ checkpoint $ checkpoint_at
+      $ resume)
+
 (* -- system subcommand -- *)
 
 let run_system metrics metrics_out health duration =
@@ -317,4 +499,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ link_cmd; vpn_cmd; chain_cmd; network_cmd; system_cmd ]))
+       (Cmd.group info
+          [ link_cmd; vpn_cmd; chain_cmd; network_cmd; system_cmd; campaign_cmd ]))

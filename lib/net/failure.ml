@@ -107,6 +107,20 @@ let default_churn_config =
     scheduler = Some Scheduler.default_config;
   }
 
+(* Builders over the immutable config.  Every field of [churn_config]
+   is immutable, so sharing the default record is safe — these exist
+   so call sites never feel tempted to reach for mutation, and so the
+   campaign harness composes configs without `{ ... with }` sprawl. *)
+let with_outage_process c ~mtbf_s ~mttr_s = { c with mtbf_s; mttr_s }
+let with_duration c duration_s = { c with duration_s }
+
+let with_request_load c ~bits ~interval_s =
+  { c with request_bits = bits; request_interval_s = interval_s }
+
+let with_pairs c pairs = { c with pairs }
+let with_advance_dt c advance_dt_s = { c with advance_dt_s }
+let with_scheduler c scheduler = { c with scheduler }
+
 type churn_report = {
   submitted : int;
   delivered : int;

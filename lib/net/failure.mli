@@ -67,6 +67,20 @@ type churn_config = {
     1 s replenishment, default scheduler; [pairs] must be filled in. *)
 val default_churn_config : churn_config
 
+(** {2 Builders}
+
+    [churn_config] is an immutable value — every field is immutable,
+    so sharing [default_churn_config] between runs cannot bleed state.
+    The builders keep call sites declarative; chain them left to
+    right. *)
+
+val with_outage_process : churn_config -> mtbf_s:float -> mttr_s:float -> churn_config
+val with_duration : churn_config -> float -> churn_config
+val with_request_load : churn_config -> bits:int -> interval_s:float -> churn_config
+val with_pairs : churn_config -> (int * int) list -> churn_config
+val with_advance_dt : churn_config -> float -> churn_config
+val with_scheduler : churn_config -> Scheduler.config option -> churn_config
+
 type churn_report = {
   submitted : int;
   delivered : int;

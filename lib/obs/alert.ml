@@ -66,11 +66,34 @@ type entry = { rule : rule; mutable state : state; mutable last_value : float }
 
 type engine = {
   set : Series.set;
+  max_events : int;
   mutable entries : entry list;  (** newest first *)
   mutable events : event list;  (** newest first *)
+  mutable events_len : int;
+  mutable fired_total : int;  (** exact, survives event-log trimming *)
 }
 
-let create set = { set; entries = []; events = [] }
+let create ?(max_events = 4096) set =
+  if max_events <= 0 then invalid_arg "Alert.create: max_events must be positive";
+  { set; max_events; entries = []; events = []; events_len = 0; fired_total = 0 }
+
+(* Transitions are rare (state-machine edges, not samples), so the
+   O(max_events) trim on overflow is cheap; the log stays bounded over
+   weeks-long campaign runs. *)
+let record t ev =
+  if ev.transition = Fired then t.fired_total <- t.fired_total + 1;
+  if t.events_len >= t.max_events then begin
+    let rec take n = function
+      | x :: tl when n > 0 -> x :: take (n - 1) tl
+      | _ -> []
+    in
+    t.events <- ev :: take (t.max_events - 1) t.events;
+    t.events_len <- t.max_events
+  end
+  else begin
+    t.events <- ev :: t.events;
+    t.events_len <- t.events_len + 1
+  end
 
 let add_rule t rule =
   if List.exists (fun e -> e.rule.name = rule.name) t.entries then
@@ -160,30 +183,27 @@ let evaluate t ~now =
             | Ok, true ->
                 if e.rule.for_s <= 0.0 then begin
                   e.state <- Firing now;
-                  t.events <-
+                  record t
                     { at = now; rule = e.rule.name; transition = Fired; value = v }
-                    :: t.events
                 end
                 else e.state <- Pending now
             | Pending since, true ->
                 if now -. since >= e.rule.for_s then begin
                   e.state <- Firing now;
-                  t.events <-
+                  record t
                     { at = now; rule = e.rule.name; transition = Fired; value = v }
-                    :: t.events
                 end
             | (Ok | Pending _), false -> e.state <- Ok
             | Firing _, true -> ()
             | Firing _, false ->
                 e.state <- Ok;
-                t.events <-
+                record t
                   {
                     at = now;
                     rule = e.rule.name;
                     transition = Resolved;
                     value = v;
-                  }
-                  :: t.events))
+                  }))
       (List.rev t.entries)
 
 let find t name = List.find_opt (fun e -> e.rule.name = name) t.entries
@@ -204,7 +224,38 @@ let firing t =
        t.entries)
 
 let log t = List.rev t.events
-let fired_count t = List.length (List.filter (fun e -> e.transition = Fired) t.events)
+let fired_count t = t.fired_total
+
+(* -- state dump/restore: the alert half of a campaign checkpoint.
+   The rule set itself is wiring, not state — a restore target must be
+   built with the same rules, then [restore] re-injects the per-rule
+   state machines and the event log. -- *)
+
+type dump = {
+  d_rules : (string * state * float) list;  (** registration order *)
+  d_events : event list;  (** oldest first *)
+  d_fired_total : int;
+}
+
+let dump t =
+  {
+    d_rules = List.rev_map (fun e -> (e.rule.name, e.state, e.last_value)) t.entries;
+    d_events = List.rev t.events;
+    d_fired_total = t.fired_total;
+  }
+
+let restore t d =
+  List.iter
+    (fun (name, state, last_value) ->
+      match List.find_opt (fun e -> e.rule.name = name) t.entries with
+      | None -> invalid_arg (Printf.sprintf "Alert.restore: unknown rule %S" name)
+      | Some e ->
+          e.state <- state;
+          e.last_value <- last_value)
+    d.d_rules;
+  t.events <- List.rev d.d_events;
+  t.events_len <- List.length d.d_events;
+  t.fired_total <- d.d_fired_total
 
 (* Attainment over the rule's whole retained series, not just its
    window: Δgood / Δtotal from the first to the last sample.  With a
@@ -288,6 +339,49 @@ let delivery_slo_burn ?(objective = 0.95) ?(window_s = 60.0) ?(max_burn = 1.0)
           objective;
           window_s;
           max_burn;
+        };
+  }
+
+let classical_dos ?(max_failure_ratio = 0.5) ?(window_s = 300.0)
+    ?(min_rounds = 3.0) ?(for_s = 0.0) () =
+  {
+    name = "classical_channel_dos";
+    severity = Critical;
+    message =
+      Printf.sprintf
+        "more than %.0f%% of protocol rounds failing: classical channel \
+         jammed or authentication under attack"
+        (100.0 *. max_failure_ratio);
+    for_s;
+    kind =
+      Ratio
+        {
+          num = "protocol_rounds_failed_total";
+          den = "protocol_rounds_total";
+          window_s;
+          condition = Above max_failure_ratio;
+          min_den = min_rounds;
+          z = None;
+        };
+  }
+
+let detection_rate_low ~expected ?(tolerance = 0.08) ?(window_s = 300.0)
+    ?(for_s = 0.0) () =
+  {
+    name = "detection_rate_low";
+    severity = Critical;
+    message =
+      Printf.sprintf
+        "detection rate more than %.0f%% below the calibrated %.4g per gated \
+         pulse: possible photon-number-splitting tap"
+        (100.0 *. tolerance) expected;
+    for_s;
+    kind =
+      Threshold
+        {
+          series = "photonics_detection_rate";
+          window_s;
+          condition = Below (expected *. (1.0 -. tolerance));
         };
   }
 

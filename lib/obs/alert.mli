@@ -69,7 +69,11 @@ type event = {
 
 type engine
 
-val create : Series.set -> engine
+val create : ?max_events:int -> Series.set -> engine
+(** [max_events] (default 4096) bounds the retained transition log;
+    older events are dropped once it is full.  {!fired_count} stays
+    exact across trimming.
+    @raise Invalid_argument if [max_events <= 0]. *)
 
 val add_rule : engine -> rule -> unit
 (** @raise Invalid_argument on a duplicate rule name. *)
@@ -90,9 +94,32 @@ val firing : engine -> rule list
 (** Rules currently in [Firing], in registration order. *)
 
 val log : engine -> event list
-(** Fired/resolved transitions, oldest first. *)
+(** Fired/resolved transitions, oldest first; at most the engine's
+    [max_events] newest are retained. *)
 
 val fired_count : engine -> int
+(** Total [Fired] transitions over the engine's lifetime — exact even
+    after the event log has trimmed older entries. *)
+
+(** {1 State dump/restore}
+
+    The alert half of a campaign checkpoint.  The rule set is wiring,
+    not state: a restore target must be created with the same rules
+    (in any order), after which [restore] re-injects every rule's
+    state machine, the event log and the fired total. *)
+
+type dump = {
+  d_rules : (string * state * float) list;
+      (** (rule name, state, last observed value), registration order *)
+  d_events : event list;  (** oldest first *)
+  d_fired_total : int;
+}
+
+val dump : engine -> dump
+
+val restore : engine -> dump -> unit
+(** @raise Invalid_argument if the dump names a rule the target engine
+    does not have. *)
 
 val slo_attainment : engine -> string -> float option
 (** For a [Burn_rate] rule: Δgood/Δtotal over the {e whole} retained
@@ -133,6 +160,34 @@ val delivery_slo_burn :
 (** Delivery-deadline SLO burn over the scheduler counters
     ([net_scheduler_requests_total{result="delivered"}] /
     [net_scheduler_submitted_total]), fed by {!Qkd_net.Scheduler}. *)
+
+val classical_dos :
+  ?max_failure_ratio:float ->
+  ?window_s:float ->
+  ?min_rounds:float ->
+  ?for_s:float ->
+  unit ->
+  rule
+(** Classical-channel denial of service (the DoS §2 concedes
+    authentication cannot prevent): windowed
+    Δ[protocol_rounds_failed_total] / Δ[protocol_rounds_total] above
+    [max_failure_ratio] (default 0.5), undecidable until the window
+    holds [min_rounds] (default 3) round attempts.  Detects the
+    symptom — rounds failing — whatever the jamming mechanism. *)
+
+val detection_rate_low :
+  expected:float ->
+  ?tolerance:float ->
+  ?window_s:float ->
+  ?for_s:float ->
+  unit ->
+  rule
+(** Photon-number-splitting tell-tale: windowed mean of
+    [photonics_detection_rate] (detections per gated pulse) more than
+    [tolerance] (default 8%) below the calibrated [expected] rate.  A
+    beamsplitting Eve removes one photon from every multi-photon
+    pulse, dimming the channel without touching QBER — the detection
+    rate is the only statistic that moves. *)
 
 val stabilization_drift :
   ?max_rad:float -> ?window_s:float -> ?for_s:float -> unit -> rule

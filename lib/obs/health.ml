@@ -10,9 +10,9 @@ type monitor = {
   mutable last_tick : float;
 }
 
-let create ?capacity () =
+let create ?capacity ?max_events () =
   let set = Series.create_set ?capacity () in
-  { set; engine = Alert.create set; last_tick = Float.nan }
+  { set; engine = Alert.create ?max_events set; last_tick = Float.nan }
 
 let set m = m.set
 let engine m = m.engine

@@ -10,9 +10,10 @@
 
 type monitor
 
-val create : ?capacity:int -> unit -> monitor
+val create : ?capacity:int -> ?max_events:int -> unit -> monitor
 (** An empty monitor; [capacity] is the default ring size for watched
-    series. *)
+    series, [max_events] bounds the alert engine's transition log
+    (see {!Alert.create}). *)
 
 val set : monitor -> Series.set
 val engine : monitor -> Alert.engine

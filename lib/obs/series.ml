@@ -43,6 +43,23 @@ let nth s i =
   (s.times.(idx), s.values.(idx))
 
 let samples s = Array.init s.len (nth s)
+
+(* Replace the retained contents with [samples] (oldest first) — the
+   series half of a checkpoint restore.  Deliberately not gated on
+   Control: restore is state surgery, not metric mutation.  The ring
+   is rebuilt from slot 0; logical reads and future pushes behave
+   identically whatever the donor ring's head offset was. *)
+let restore s samples =
+  let n = Array.length samples in
+  if n > s.capacity then
+    invalid_arg "Series.restore: more samples than capacity";
+  Array.iteri
+    (fun i (t, v) ->
+      s.times.(i) <- t;
+      s.values.(i) <- v)
+    samples;
+  s.len <- n;
+  s.head <- n mod s.capacity
 let last s = if s.len = 0 then None else Some (nth s (s.len - 1))
 
 (* All samples no older than [seconds] before the newest one, oldest

@@ -34,6 +34,12 @@ val nth : t -> int -> float * float
 val samples : t -> (float * float) array
 (** All retained samples, oldest first. *)
 
+val restore : t -> (float * float) array -> unit
+(** Replace the retained contents with the given samples (oldest
+    first) — the series half of a checkpoint restore.  Not gated on
+    {!Control.enabled}: restore is state surgery, not sampling.
+    @raise Invalid_argument if given more samples than [capacity]. *)
+
 val last : t -> (float * float) option
 
 val window : t -> seconds:float -> (float * float) array

@@ -72,7 +72,7 @@ let pp_round_metrics ppf m =
     m.channel_bytes m.sifted_bps m.distilled_bps
 
 type t = {
-  config : config;
+  mutable config : config;
   rng : Rng.t;
   alice_auth : Auth.t;
   bob_auth : Auth.t;
@@ -97,6 +97,12 @@ let create ?(seed = 2003L) config =
   }
 
 let config t = t.config
+
+(* Campaign harnesses swap the optical conditions between rounds —
+   eavesdropper on/off, drift residuals, source brightness — while the
+   protocol state (auth pools, key pools, RNG lineage) persists. *)
+let set_link t link = t.config <- { t.config with link }
+
 let alice_pool t = t.alice_pool
 let bob_pool t = t.bob_pool
 let alice_auth t = t.alice_auth

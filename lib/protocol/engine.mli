@@ -86,6 +86,12 @@ val create : ?seed:int64 -> config -> t
 
 val config : t -> config
 
+val set_link : t -> Qkd_photonics.Link.config -> unit
+(** Swap the optical-link conditions for subsequent rounds while the
+    protocol state (auth pools, key pools, RNG lineage) persists —
+    how campaign harnesses turn attacks and drift on and off
+    mid-run. *)
+
 (** [run_round ?tamper ?trace t ~pulses] plays one batch.  [tamper]
     simulates Eve forging a public-channel message: authentication
     must catch it and the round is discarded.  [trace] is a causal

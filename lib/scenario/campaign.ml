@@ -1,0 +1,623 @@
+(* Campaign runner: executes a Scenario as a fixed-step loop.
+
+   Why not the Sim event scheduler?  Sim's queue holds closures, which
+   cannot be marshaled — and checkpointability is a tentpole
+   requirement here.  So the campaign advances simulated time in fixed
+   steps (one protocol round per step) and keeps ALL of its mutable
+   state in one closure-free [core] record: the engine, the relay, the
+   RNG streams, the churn process (as explicit next-flip times rather
+   than scheduled events) and the statistic accumulators.  The health
+   monitor is wiring around that record — watch closures read core
+   fields — so a restore rebuilds the monitor deterministically from
+   the spec and re-injects the sampled series and alert state.
+
+   The same discipline gives restart-equivalence a precise meaning:
+   [fingerprint] hashes a canonical snapshot of the core plus the
+   logical series/alert contents, and a checkpointed-and-resumed run
+   must reach the same fingerprint as an uninterrupted one. *)
+
+module Rng = Qkd_util.Rng
+module Link = Qkd_photonics.Link
+module Eve = Qkd_photonics.Eve
+module Stabilization = Qkd_photonics.Stabilization
+module Engine = Qkd_protocol.Engine
+module Topology = Qkd_net.Topology
+module Relay = Qkd_net.Relay
+module Series = Qkd_obs.Series
+module Alert = Qkd_obs.Alert
+module Health = Qkd_obs.Health
+
+type edge_churn = {
+  ec_edge : Topology.edge;
+  mutable ec_up : bool;  (** the churn process's intent for the edge *)
+  mutable ec_next_flip_s : float;
+}
+
+type net_state = {
+  ns_relay : Relay.t;
+  ns_topo : Topology.t;
+  ns_churn : edge_churn array;  (** empty when churn is off *)
+  mutable ns_submitted : int;
+  mutable ns_delivered : int;
+  mutable ns_link_failures : int;
+  mutable ns_req_credit : float;
+}
+
+(* Everything a checkpoint must capture.  No closures anywhere below
+   this record — that is the invariant that makes Marshal legal. *)
+type core = {
+  spec : Scenario.t;
+  engine : Engine.t;
+  churn_rng : Rng.t;
+  req_rng : Rng.t;
+  drift_rng : Rng.t;
+  net : net_state option;
+  calibrated_rate : float option;
+      (** clean detections per gated pulse, measured at create time
+          when the spec watches the detection rate *)
+  mutable now_s : float;
+  mutable step : int;
+  mutable phase_rad : float;  (** interferometer phase error *)
+  mutable rounds_ok : int;
+  mutable rounds_failed : int;
+  mutable acc_sifted : int;
+  mutable acc_errors : int;
+  mutable acc_distilled : int;
+  mutable qber_sum : float;
+  mutable qber_samples : int;
+  mutable det_rate_last : float;
+  mutable det_rate_sum : float;
+  mutable det_rate_samples : int;
+  mutable max_series_len : int;
+}
+
+type t = { core : core; monitor : Health.monitor }
+
+let total_steps (spec : Scenario.t) =
+  int_of_float (ceil ((spec.duration_s /. spec.step_s) -. 1e-9))
+
+let sub_seed seed index = Rng.int64 (Rng.derive seed index)
+
+(* Two Wegman-Carter tags per direction per round; provision the
+   bootstrap secret for the whole campaign so auth exhaustion is an
+   attack outcome, never a harness artifact. *)
+let engine_config (spec : Scenario.t) =
+  let base = Engine.default_config in
+  {
+    base with
+    Engine.link = { spec.link with Link.eve = Eve.Passive };
+    link_mode = spec.link_mode;
+    auth_prepositioned_bits = 4096 + (1024 * total_steps spec);
+  }
+
+(* Clean-channel calibration for the PNS alarm: a throwaway engine on
+   a derived seed measures the expected detections per gated pulse.
+   Deterministic, so the attacked run and its clean twin arm the same
+   threshold. *)
+let calibrate (spec : Scenario.t) =
+  let config =
+    {
+      (engine_config spec) with
+      Engine.auth_prepositioned_bits = 65_536;
+      link =
+        { spec.link with Link.eve = Eve.Passive; stabilization = None };
+    }
+  in
+  let engine = Engine.create ~seed:(sub_seed spec.seed 9L) config in
+  let rate_sum = ref 0.0 and n = ref 0 in
+  for _ = 1 to 8 do
+    match Engine.run_round engine ~pulses:spec.pulses_per_step with
+    | Ok m when m.Engine.gated_pulses > 0 ->
+        rate_sum :=
+          !rate_sum
+          +. (float_of_int m.Engine.detections
+             /. float_of_int m.Engine.gated_pulses);
+        incr n
+    | _ -> ()
+  done;
+  if !n = 0 then invalid_arg "Campaign: detection-rate calibration saw no rounds";
+  !rate_sum /. float_of_int !n
+
+let build_net (spec : Scenario.t) ~churn_rng =
+  Option.map
+    (fun (n : Scenario.net_spec) ->
+      let topo =
+        if n.degree <= 0.0 then
+          Topology.chain ~n:n.nodes ~kind:Topology.Trusted_relay
+            ~fiber_km:n.fiber_km
+        else
+          Topology.random_mesh ~nodes:n.nodes ~degree:n.degree
+            ~seed:(sub_seed spec.seed 5L) ~fiber_km:n.fiber_km
+      in
+      let relay =
+        Relay.create ~low_watermark:1024 ~high_watermark:200_000 topo
+      in
+      Relay.advance relay ~seconds:120.0;
+      let churn =
+        match n.churn with
+        | None -> [||]
+        | Some (mtbf_s, _) ->
+            Array.of_list
+              (List.map
+                 (fun e ->
+                   {
+                     ec_edge = e;
+                     ec_up = true;
+                     ec_next_flip_s = Rng.exponential churn_rng (1.0 /. mtbf_s);
+                   })
+                 (Topology.edges topo))
+      in
+      {
+        ns_relay = relay;
+        ns_topo = topo;
+        ns_churn = churn;
+        ns_submitted = 0;
+        ns_delivered = 0;
+        ns_link_failures = 0;
+        ns_req_credit = 0.0;
+      })
+    spec.net
+
+(* Rebuild the monitor around a core: watch closures read core fields,
+   rules come from the spec.  Registration order is fixed, so a
+   restored monitor is wired identically to the original. *)
+let wire (core : core) =
+  let spec = core.spec in
+  let m =
+    Health.create ~capacity:spec.series_capacity ~max_events:spec.max_events ()
+  in
+  let watch name f = ignore (Health.watch_fn m name f) in
+  watch "protocol_errors_corrected_total" (fun () ->
+      float_of_int core.acc_errors);
+  watch "protocol_sifted_bits_total" (fun () -> float_of_int core.acc_sifted);
+  watch "protocol_distilled_bits_total" (fun () ->
+      float_of_int core.acc_distilled);
+  watch "protocol_rounds_total" (fun () ->
+      float_of_int (core.rounds_ok + core.rounds_failed));
+  watch "protocol_rounds_failed_total" (fun () ->
+      float_of_int core.rounds_failed);
+  watch "photonics_detection_rate" (fun () -> core.det_rate_last);
+  watch "photonics_stabilization_phase_error_rad" (fun () ->
+      Float.abs core.phase_rad);
+  (match core.net with
+  | None -> ()
+  | Some ns ->
+      watch
+        (Series.labelled_name "net_scheduler_requests_total"
+           [ ("result", "delivered") ])
+        (fun () -> float_of_int ns.ns_delivered);
+      watch "net_scheduler_submitted_total" (fun () ->
+          float_of_int ns.ns_submitted));
+  Health.add_rule m
+    (Alert.qber_above_budget ~budget:spec.qber_budget
+       ~window_s:spec.qber_window_s ());
+  Health.add_rule m (Alert.classical_dos ~window_s:(5.0 *. spec.step_s) ());
+  (match spec.drift with
+  | Some _ ->
+      Health.add_rule m
+        (Alert.stabilization_drift ~window_s:(3.0 *. spec.step_s) ())
+  | None -> ());
+  (match core.calibrated_rate with
+  | Some expected ->
+      Health.add_rule m
+        (Alert.detection_rate_low ~expected
+           ~tolerance:spec.detection_tolerance
+           ~window_s:(5.0 *. spec.step_s) ())
+  | None -> ());
+  (match spec.net with
+  | Some n when n.watch_delivery ->
+      Health.add_rule m
+        (Alert.delivery_slo_burn ~window_s:(5.0 *. spec.step_s) ())
+  | _ -> ());
+  m
+
+let create (spec : Scenario.t) =
+  Scenario.validate spec;
+  let calibrated_rate =
+    if spec.watch_detection_rate then Some (calibrate spec) else None
+  in
+  let churn_rng = Rng.derive spec.seed 2L in
+  let core =
+    {
+      spec;
+      engine = Engine.create ~seed:(sub_seed spec.seed 1L) (engine_config spec);
+      churn_rng;
+      req_rng = Rng.derive spec.seed 3L;
+      drift_rng = Rng.derive spec.seed 4L;
+      net = build_net spec ~churn_rng;
+      calibrated_rate;
+      now_s = 0.0;
+      step = 0;
+      phase_rad = 0.0;
+      rounds_ok = 0;
+      rounds_failed = 0;
+      acc_sifted = 0;
+      acc_errors = 0;
+      acc_distilled = 0;
+      qber_sum = 0.0;
+      qber_samples = 0;
+      (* seed the gauge with the calibrated expectation so the t=0
+         sample cannot trip the low-rate alarm before any round ran *)
+      det_rate_last = Option.value calibrated_rate ~default:0.0;
+      det_rate_sum = 0.0;
+      det_rate_samples = 0;
+      max_series_len = 0;
+    }
+  in
+  let monitor = wire core in
+  Health.tick monitor ~now:0.0;
+  { core; monitor }
+
+let spec t = t.core.spec
+let monitor t = t.monitor
+let now_s t = t.core.now_s
+let steps_done t = t.core.step
+let finished t = t.core.step >= total_steps t.core.spec
+let calibrated_rate t = t.core.calibrated_rate
+
+(* -- the step -- *)
+
+let gaussian rng =
+  let u1 = Float.max 1e-12 (Rng.float rng) in
+  let u2 = Rng.float rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let active (spec : Scenario.t) ~now =
+  List.filter
+    (fun (i : Scenario.injection) -> now >= i.from_s && now < i.until_s)
+    spec.injections
+
+(* The between-rounds interferometer model.  Servo locked: the phase
+   error sits at the residual, scaled by the day/night factor (warm
+   daytime plant drifts faster than the servo fully cancels).  Servo
+   sabotaged (Calibration_drift): free-running drift accumulates — a
+   secular thermal component at the multiplied rate with Gaussian
+   jitter on top, and nothing re-zeroes it.  (A zero-mean walk would
+   model the residual, not an uncompensated plant: it revisits zero
+   and can dodge the alarm indefinitely.) *)
+let advance_drift (core : core) act ~now =
+  match core.spec.drift with
+  | None -> ()
+  | Some d ->
+      let rate_mult, servo_off =
+        match
+          List.find_opt
+            (fun (i : Scenario.injection) ->
+              match i.attack with
+              | Scenario.Calibration_drift _ -> true
+              | _ -> false)
+            act
+        with
+        | Some { attack = Scenario.Calibration_drift { rate_mult }; _ } ->
+            (rate_mult, true)
+        | _ -> (1.0, false)
+      in
+      let diurnal =
+        1.0
+        +. (d.diurnal_amplitude *. sin (2.0 *. Float.pi *. now /. d.period_s))
+      in
+      if servo_off then
+        core.phase_rad <-
+          core.phase_rad
+          +. d.base_rate_rad_per_sqrt_s *. rate_mult *. diurnal
+             *. sqrt core.spec.step_s
+             *. (1.0 +. (0.5 *. gaussian core.drift_rng))
+      else begin
+        let sign = if Rng.bool core.drift_rng then 1.0 else -1.0 in
+        core.phase_rad <- sign *. d.residual_rad *. diurnal
+      end
+
+(* The optical conditions for one round: the active Eve strategy and,
+   when drift is modeled, a stabilization config that pins the
+   within-round phase error to the campaign's current value (drift 0,
+   per-frame servo to |phase_rad| residual — the link then sees
+   exactly the campaign's interferometer state). *)
+let step_link (core : core) act =
+  let spec = core.spec in
+  let eve =
+    match
+      List.find_opt
+        (fun (i : Scenario.injection) ->
+          match i.attack with
+          | Scenario.Intercept_resend _ | Scenario.Pns_beamsplit -> true
+          | _ -> false)
+        act
+    with
+    | Some { attack = Scenario.Intercept_resend { fraction; ramp_s }; from_s; _ }
+      ->
+        let f =
+          if ramp_s <= 0.0 then fraction
+          else fraction *. Float.min 1.0 ((core.now_s -. from_s) /. ramp_s)
+        in
+        Eve.Intercept_resend f
+    | Some { attack = Scenario.Pns_beamsplit; _ } -> Eve.Beamsplit
+    | _ -> spec.link.Link.eve
+  in
+  let stabilization =
+    match spec.drift with
+    | None -> spec.link.Link.stabilization
+    | Some _ ->
+        Some
+          {
+            Stabilization.phase_drift_rad_per_sqrt_s = 0.0;
+            polarization_drift_rad_per_sqrt_s = 0.0;
+            control_interval_s = 1e-4;
+            control_residual_rad = Float.min 1.0 (Float.abs core.phase_rad);
+          }
+  in
+  { spec.link with Link.eve; stabilization }
+
+let run_round (core : core) act =
+  let dos =
+    List.exists
+      (fun (i : Scenario.injection) -> i.attack = Scenario.Classical_dos)
+      act
+  in
+  if dos then core.rounds_failed <- core.rounds_failed + 1
+  else begin
+    Engine.set_link core.engine (step_link core act);
+    match Engine.run_round core.engine ~pulses:core.spec.pulses_per_step with
+    | Ok m ->
+        core.rounds_ok <- core.rounds_ok + 1;
+        core.acc_sifted <- core.acc_sifted + m.Engine.sifted_bits;
+        core.acc_errors <- core.acc_errors + m.Engine.errors_corrected;
+        core.acc_distilled <- core.acc_distilled + m.Engine.distilled_bits;
+        if m.Engine.sifted_bits > 0 then begin
+          core.qber_sum <- core.qber_sum +. m.Engine.qber;
+          core.qber_samples <- core.qber_samples + 1
+        end;
+        if m.Engine.gated_pulses > 0 then begin
+          let rate =
+            float_of_int m.Engine.detections
+            /. float_of_int m.Engine.gated_pulses
+          in
+          core.det_rate_last <- rate;
+          core.det_rate_sum <- core.det_rate_sum +. rate;
+          core.det_rate_samples <- core.det_rate_samples + 1
+        end
+    | Error _ -> core.rounds_failed <- core.rounds_failed + 1
+  end
+
+let forced_down act a b =
+  let key = (min a b, max a b) in
+  List.exists
+    (fun (i : Scenario.injection) ->
+      match i.attack with
+      | Scenario.Link_outage { a; b } -> (min a b, max a b) = key
+      | _ -> false)
+    act
+
+let advance_net (core : core) act ~until =
+  match core.net with
+  | None -> ()
+  | Some ns -> (
+      match core.spec.net with
+      | None -> ()
+      | Some n ->
+          (* churn flips due in this step, per edge in array order *)
+          (match n.churn with
+          | None -> ()
+          | Some (mtbf_s, mttr_s) ->
+              Array.iter
+                (fun e ->
+                  while e.ec_next_flip_s <= until do
+                    if e.ec_up then begin
+                      e.ec_up <- false;
+                      ns.ns_link_failures <- ns.ns_link_failures + 1;
+                      e.ec_next_flip_s <-
+                        e.ec_next_flip_s
+                        +. Rng.exponential core.churn_rng (1.0 /. mttr_s)
+                    end
+                    else begin
+                      e.ec_up <- true;
+                      e.ec_next_flip_s <-
+                        e.ec_next_flip_s
+                        +. Rng.exponential core.churn_rng (1.0 /. mtbf_s)
+                    end
+                  done)
+                ns.ns_churn);
+          (* effective edge state: churn intent minus forced outages *)
+          let churn_up e =
+            match
+              Array.find_opt (fun c -> c.ec_edge == e) ns.ns_churn
+            with
+            | Some c -> c.ec_up
+            | None -> true
+          in
+          List.iter
+            (fun (e : Topology.edge) ->
+              e.Topology.up <-
+                churn_up e && not (forced_down act e.Topology.a e.Topology.b))
+            (Topology.edges ns.ns_topo);
+          Relay.advance ns.ns_relay ~seconds:core.spec.step_s;
+          (* request load *)
+          ns.ns_req_credit <-
+            ns.ns_req_credit +. (core.spec.step_s /. n.request_interval_s);
+          let npairs = List.length n.pairs in
+          while ns.ns_req_credit >= 1.0 do
+            ns.ns_req_credit <- ns.ns_req_credit -. 1.0;
+            let src, dst = List.nth n.pairs (Rng.int core.req_rng npairs) in
+            ns.ns_submitted <- ns.ns_submitted + 1;
+            match
+              Relay.request_key ~policy:Relay.Resilient ns.ns_relay ~src ~dst
+                ~bits:n.request_bits
+            with
+            | Ok _ -> ns.ns_delivered <- ns.ns_delivered + 1
+            | Error _ -> ()
+          done)
+
+let step t =
+  let core = t.core in
+  if finished t then invalid_arg "Campaign.step: campaign already finished";
+  let now = core.now_s in
+  let act = active core.spec ~now in
+  advance_drift core act ~now;
+  run_round core act;
+  advance_net core act ~until:(now +. core.spec.step_s);
+  core.now_s <- now +. core.spec.step_s;
+  core.step <- core.step + 1;
+  Health.tick t.monitor ~now:core.now_s;
+  List.iter
+    (fun s -> core.max_series_len <- max core.max_series_len (Series.length s))
+    (Series.all (Health.set t.monitor))
+
+let run t =
+  while not (finished t) do
+    step t
+  done
+
+let run_until t ~now =
+  while (not (finished t)) && t.core.now_s < now do
+    step t
+  done
+
+(* -- grading -- *)
+
+type detection = {
+  alarm : string;
+  injected_at_s : float;
+  detected_at_s : float option;
+  latency_s : float option;
+  slo_s : float;
+  within_slo : bool;
+}
+
+type report = {
+  scenario : string;
+  duration_s : float;
+  steps : int;
+  rounds_ok : int;
+  rounds_failed : int;
+  sifted_bits : int;
+  distilled_bits : int;
+  mean_qber : float;
+  mean_detection_rate : float;
+  submitted : int;
+  delivered : int;
+  link_failures : int;
+  alerts_fired : int;
+  fired_rules : string list;
+  detections : detection list;
+  max_series_len : int;
+  series_capacity : int;
+}
+
+let detections t =
+  let spec = t.core.spec in
+  let events = Alert.log (Health.engine t.monitor) in
+  let injected_at =
+    List.fold_left
+      (fun acc (i : Scenario.injection) -> Float.min acc i.from_s)
+      infinity spec.injections
+  in
+  List.map
+    (fun (slo : Scenario.slo) ->
+      let detected_at =
+        List.find_opt
+          (fun (e : Alert.event) ->
+            e.Alert.rule = slo.alarm
+            && e.Alert.transition = Alert.Fired
+            && e.Alert.at >= injected_at)
+          events
+        |> Option.map (fun (e : Alert.event) -> e.Alert.at)
+      in
+      let latency_s = Option.map (fun d -> d -. injected_at) detected_at in
+      {
+        alarm = slo.alarm;
+        injected_at_s = injected_at;
+        detected_at_s = detected_at;
+        latency_s;
+        slo_s = slo.within_s;
+        within_slo =
+          (match latency_s with Some l -> l <= slo.within_s | None -> false);
+      })
+    spec.slos
+
+let report t =
+  let core = t.core in
+  let engine = Health.engine t.monitor in
+  let fired_rules =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (e : Alert.event) ->
+           if e.Alert.transition = Alert.Fired then Some e.Alert.rule else None)
+         (Alert.log engine))
+  in
+  let submitted, delivered, link_failures =
+    match core.net with
+    | None -> (0, 0, 0)
+    | Some ns -> (ns.ns_submitted, ns.ns_delivered, ns.ns_link_failures)
+  in
+  {
+    scenario = core.spec.name;
+    duration_s = core.now_s;
+    steps = core.step;
+    rounds_ok = core.rounds_ok;
+    rounds_failed = core.rounds_failed;
+    sifted_bits = core.acc_sifted;
+    distilled_bits = core.acc_distilled;
+    mean_qber =
+      (if core.qber_samples = 0 then 0.0
+       else core.qber_sum /. float_of_int core.qber_samples);
+    mean_detection_rate =
+      (if core.det_rate_samples = 0 then 0.0
+       else core.det_rate_sum /. float_of_int core.det_rate_samples);
+    submitted;
+    delivered;
+    link_failures;
+    alerts_fired = Alert.fired_count engine;
+    fired_rules;
+    detections = detections t;
+    max_series_len = core.max_series_len;
+    series_capacity = core.spec.series_capacity;
+  }
+
+(* -- snapshots: the checkpoint payload and the equivalence
+   fingerprint.  The series are captured logically (oldest-first
+   sample arrays), not as raw rings, so the fingerprint is insensitive
+   to ring head offsets that differ between a restored and an
+   uninterrupted run. -- *)
+
+type snapshot = {
+  sn_core : core;
+  sn_series : (string * (float * float) array) list;
+  sn_alerts : Alert.dump;
+}
+
+let snapshot t =
+  {
+    sn_core = t.core;
+    sn_series =
+      List.map
+        (fun s -> (Series.name s, Series.samples s))
+        (Series.all (Health.set t.monitor));
+    sn_alerts = Alert.dump (Health.engine t.monitor);
+  }
+
+(* The caller must hand over an unshared snapshot (Checkpoint does:
+   its payload goes through Marshal, which deep-copies).  The monitor
+   is rebuilt from the spec, then the sampled series and alert state
+   machines are re-injected. *)
+let of_snapshot sn =
+  let core = sn.sn_core in
+  let monitor = wire core in
+  List.iter
+    (fun (name, samples) ->
+      match Series.find (Health.set monitor) name with
+      | Some s -> Series.restore s samples
+      | None -> ())
+    sn.sn_series;
+  Alert.restore (Health.engine monitor) sn.sn_alerts;
+  { core; monitor }
+
+(* No_sharing: the fingerprint must hash the VALUE state, not the heap
+   graph — a marshal round-trip rebuilds sharing slightly differently
+   than in-place mutation left it, and that difference is not state.
+   (The graph is acyclic, so No_sharing terminates; the blowup is
+   bounded by the few shared edge records.)  Checkpoint serialization
+   keeps default sharing for the opposite reason: the churn entries
+   alias the relay's topology edges and must still alias them after
+   restore. *)
+let fingerprint t =
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (snapshot t) [ Marshal.No_sharing ]))

@@ -1,0 +1,52 @@
+(* Checkpoint framing: magic + version + CRC32 + marshaled snapshot.
+
+   The payload is a Campaign.snapshot — the closure-free core state
+   record plus logical series contents and alert state.  What is NOT
+   captured: the monitor's watch closures and alert rule set (rebuilt
+   deterministically from the spec inside the snapshot), and any
+   global metric registry contents (campaigns deliberately feed their
+   alarms from campaign-local accumulators, so restart equivalence
+   never depends on process-global state).  The CRC guards against
+   truncated or corrupted files; Marshal alone would segfault-or-worse
+   on garbage. *)
+
+let magic = "QKDCKPT\x01"
+
+let to_bytes t =
+  let payload = Marshal.to_bytes (Campaign.snapshot t) [] in
+  let crc = Qkd_util.Crc32.digest payload in
+  let b = Buffer.create (Bytes.length payload + 16) in
+  Buffer.add_string b magic;
+  Buffer.add_int32_be b crc;
+  Buffer.add_int64_be b (Int64.of_int (Bytes.length payload));
+  Buffer.add_bytes b payload;
+  Buffer.to_bytes b
+
+let of_bytes b =
+  let fail msg = invalid_arg ("Checkpoint.of_bytes: " ^ msg) in
+  let mlen = String.length magic in
+  if Bytes.length b < mlen + 12 then fail "truncated header";
+  if Bytes.sub_string b 0 mlen <> magic then fail "bad magic or version";
+  let crc = Bytes.get_int32_be b mlen in
+  let len = Int64.to_int (Bytes.get_int64_be b (mlen + 4)) in
+  if len < 0 || Bytes.length b <> mlen + 12 + len then fail "bad payload length";
+  let payload = Bytes.sub b (mlen + 12) len in
+  if Qkd_util.Crc32.digest payload <> crc then fail "CRC mismatch";
+  let sn : Campaign.snapshot = Marshal.from_bytes payload 0 in
+  Campaign.of_snapshot sn
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (to_bytes t))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let b = Bytes.create len in
+      really_input ic b 0 len;
+      of_bytes b)

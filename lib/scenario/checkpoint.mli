@@ -1,0 +1,26 @@
+(** Campaign checkpoints: resumable, restart-equivalent saves.
+
+    A checkpoint is a framed, CRC-guarded serialization of a
+    {!Campaign.snapshot}: the engine (RNG lineage, auth and key
+    pools), the relay network (pools, topology, churn process state as
+    explicit next-flip times), the campaign RNG streams and
+    accumulators, the drift phase, the sampled health series and the
+    alert state machines.  NOT captured — and rebuilt
+    deterministically from the spec on load — are the monitor's watch
+    closures and rule set, and anything in the process-global metric
+    registry.  See DESIGN.md "Campaign checkpoints" for the format.
+
+    The contract (enforced by the qcheck suite and the PR 6 bench):
+    saving at any step and resuming yields bit-identical state to the
+    uninterrupted run — [Campaign.fingerprint] equal at completion. *)
+
+val to_bytes : Campaign.t -> bytes
+val of_bytes : bytes -> Campaign.t
+(** @raise Invalid_argument on bad magic/version, truncation or CRC
+    mismatch. *)
+
+val save : Campaign.t -> string -> unit
+(** Write a checkpoint file. *)
+
+val load : string -> Campaign.t
+(** Read a checkpoint file and rebuild the running campaign. *)

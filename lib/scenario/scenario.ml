@@ -1,0 +1,306 @@
+(* Declarative adversarial campaigns.
+
+   A scenario is a pure value: a seeded description of an optical
+   link, an optional relay network, an optional drift model, a list of
+   timed attack injections and the detection-latency SLOs the run must
+   meet.  Everything mutable lives in the Campaign runner; specs can
+   be shared, stored and replayed without any cross-run bleed — the
+   lesson of the Failure.churn config audit, enforced here by
+   construction (every field is immutable, composition goes through
+   [with_] builders). *)
+
+module Link = Qkd_photonics.Link
+
+type attack =
+  | Intercept_resend of { fraction : float; ramp_s : float }
+      (** Eve measures and resends [fraction] of pulses; the fraction
+          ramps linearly from 0 over [ramp_s] (0 = step on) *)
+  | Pns_beamsplit
+      (** photon-number splitting: steal one photon from every
+          multi-photon pulse — no QBER change, detection-rate dip *)
+  | Calibration_drift of { rate_mult : float }
+      (** stabilization servo loses lock; phase random-walks at
+          [rate_mult] x the scenario's base drift rate *)
+  | Classical_dos
+      (** classical channel jammed: protocol rounds cannot complete *)
+  | Link_outage of { a : int; b : int }  (** forced edge failure *)
+
+type injection = { attack : attack; from_s : float; until_s : float }
+
+type drift_spec = {
+  base_rate_rad_per_sqrt_s : float;  (** free-running walk rate *)
+  residual_rad : float;  (** servo-locked phase error magnitude *)
+  diurnal_amplitude : float;  (** 0..1 day/night modulation depth *)
+  period_s : float;  (** diurnal period, 86_400 for a real day *)
+}
+
+type net_spec = {
+  nodes : int;
+  degree : float;  (** <= 0: chain of [nodes]; else random mesh *)
+  fiber_km : float;
+  churn : (float * float) option;  (** (mtbf_s, mttr_s) background churn *)
+  pairs : (int * int) list;  (** request endpoints, drawn uniformly *)
+  request_bits : int;
+  request_interval_s : float;
+  watch_delivery : bool;  (** arm the delivery SLO burn alarm *)
+}
+
+type slo = { alarm : string; within_s : float }
+
+type t = {
+  name : string;
+  seed : int64;
+  duration_s : float;
+  step_s : float;
+  pulses_per_step : int;
+  link : Link.config;
+  link_mode : Link.mode;
+  drift : drift_spec option;
+  net : net_spec option;
+  injections : injection list;
+  slos : slo list;
+  qber_budget : float;
+  qber_window_s : float;
+  watch_detection_rate : bool;
+      (** calibrate the clean detection rate at campaign start and arm
+          {!Qkd_obs.Alert.detection_rate_low} against it *)
+  detection_tolerance : float;
+  series_capacity : int;  (** health ring size — the memory bound *)
+  max_events : int;  (** alert transition-log bound *)
+}
+
+let default_drift =
+  {
+    base_rate_rad_per_sqrt_s = 0.004;
+    residual_rad = 0.08;
+    diurnal_amplitude = 0.8;
+    period_s = 86_400.0;
+  }
+
+let base name =
+  {
+    name;
+    seed = 2003L;
+    duration_s = 3_600.0;
+    step_s = 60.0;
+    pulses_per_step = 50_000;
+    link = Link.darpa_default;
+    link_mode = Link.default_mode;
+    drift = None;
+    net = None;
+    injections = [];
+    slos = [];
+    qber_budget = 0.11;
+    qber_window_s = 600.0;
+    watch_detection_rate = false;
+    detection_tolerance = 0.08;
+    series_capacity = 512;
+    max_events = 4096;
+  }
+
+(* -- builders -- *)
+
+let with_seed t seed = { t with seed }
+let with_duration t duration_s = { t with duration_s }
+
+let with_step t ~step_s ~pulses_per_step =
+  { t with step_s; pulses_per_step; qber_window_s = 10.0 *. step_s }
+
+let with_link t link = { t with link }
+let with_link_mode t link_mode = { t with link_mode }
+
+let with_mu t mu =
+  {
+    t with
+    link =
+      { t.link with Link.source = Qkd_photonics.Source.weak_coherent ~mu };
+  }
+
+let with_drift t d = { t with drift = Some d }
+let with_net t n = { t with net = Some n }
+let with_injections t injections = { t with injections }
+let with_slos t slos = { t with slos }
+let with_qber_budget t qber_budget = { t with qber_budget }
+let with_qber_window t qber_window_s = { t with qber_window_s }
+
+let with_detection_watch t ~tolerance =
+  { t with watch_detection_rate = true; detection_tolerance = tolerance }
+
+let with_series_capacity t series_capacity = { t with series_capacity }
+let with_max_events t max_events = { t with max_events }
+
+(* The control twin: same seed, same conditions, no attacks.  The SLO
+   list is dropped too — a clean run's contract is zero alarms, not
+   detection latency. *)
+let clean t = { t with name = t.name ^ "-clean"; injections = []; slos = [] }
+
+let validate t =
+  if t.duration_s <= 0.0 then invalid_arg "Scenario: duration_s must be positive";
+  if t.step_s <= 0.0 then invalid_arg "Scenario: step_s must be positive";
+  if t.pulses_per_step <= 0 then
+    invalid_arg "Scenario: pulses_per_step must be positive";
+  if t.series_capacity <= 0 then
+    invalid_arg "Scenario: series_capacity must be positive";
+  List.iter
+    (fun i ->
+      if i.until_s <= i.from_s then
+        invalid_arg "Scenario: injection with until_s <= from_s";
+      match i.attack with
+      | Intercept_resend { fraction; ramp_s } ->
+          if fraction < 0.0 || fraction > 1.0 then
+            invalid_arg "Scenario: intercept fraction outside [0, 1]";
+          if ramp_s < 0.0 then invalid_arg "Scenario: negative ramp_s"
+      | Calibration_drift { rate_mult } ->
+          if rate_mult <= 0.0 then
+            invalid_arg "Scenario: rate_mult must be positive"
+      | Pns_beamsplit | Classical_dos | Link_outage _ -> ())
+    t.injections;
+  match t.net with
+  | Some n ->
+      if n.nodes < 2 then invalid_arg "Scenario: net needs >= 2 nodes";
+      if n.pairs = [] then invalid_arg "Scenario: net needs request pairs";
+      if n.request_interval_s <= 0.0 then
+        invalid_arg "Scenario: request_interval_s must be positive"
+  | None -> ()
+
+(* -- the built-in campaign matrix: one scenario per modeled attack,
+   each with the alarm it must trip and the latency budget.  [quick]
+   halves durations for CI smoke runs; injection times scale with the
+   duration so the clean baseline window stays proportionate. -- *)
+
+let mesh_net =
+  {
+    nodes = 8;
+    degree = 3.0;
+    fiber_km = 10.0;
+    churn = Some (900.0, 60.0);
+    pairs = [ (0, 7); (1, 6) ];
+    request_bits = 256;
+    request_interval_s = 5.0;
+    watch_delivery = false;
+  }
+
+let intercept_resend ~quick =
+  let dur = if quick then 1_800.0 else 3_600.0 in
+  let at = dur /. 2.0 in
+  let t = base "intercept-resend" in
+  let t =
+    { t with duration_s = dur; drift = Some default_drift; net = Some mesh_net }
+  in
+  let t =
+    with_injections t
+      [
+        {
+          attack = Intercept_resend { fraction = 1.0; ramp_s = 300.0 };
+          from_s = at;
+          until_s = dur;
+        };
+      ]
+  in
+  with_slos t [ { alarm = "qber_above_budget"; within_s = 900.0 } ]
+
+let pns_beamsplit ?(mu = 0.5) ~quick () =
+  let dur = if quick then 1_800.0 else 3_600.0 in
+  let at = dur /. 2.0 in
+  let t = base (Printf.sprintf "pns-beamsplit-mu%.1f" mu) in
+  let t = with_mu t mu in
+  let t = with_detection_watch t ~tolerance:0.08 in
+  let t = { t with duration_s = dur } in
+  let t =
+    with_injections t
+      [ { attack = Pns_beamsplit; from_s = at; until_s = dur } ]
+  in
+  with_slos t [ { alarm = "detection_rate_low"; within_s = 900.0 } ]
+
+let calibration_drift ~quick =
+  let dur = if quick then 1_800.0 else 3_600.0 in
+  let at = dur /. 2.0 in
+  let t = base "calibration-drift" in
+  let t = { t with duration_s = dur; drift = Some default_drift } in
+  let t =
+    with_injections t
+      [
+        {
+          attack = Calibration_drift { rate_mult = 10.0 };
+          from_s = at;
+          until_s = dur;
+        };
+      ]
+  in
+  with_slos t [ { alarm = "stabilization_drift"; within_s = 600.0 } ]
+
+let classical_dos ~quick =
+  let dur = if quick then 1_800.0 else 3_600.0 in
+  let at = dur /. 2.0 in
+  let t = base "classical-dos" in
+  let t = { t with duration_s = dur } in
+  let t =
+    with_injections t [ { attack = Classical_dos; from_s = at; until_s = dur } ]
+  in
+  with_slos t [ { alarm = "classical_channel_dos"; within_s = 360.0 } ]
+
+let link_outage ~quick =
+  let dur = if quick then 1_800.0 else 3_600.0 in
+  let at = dur /. 2.0 in
+  let t = base "link-outage" in
+  let t =
+    with_net t
+      {
+        nodes = 3;
+        degree = 0.0;
+        fiber_km = 10.0;
+        churn = None;
+        pairs = [ (0, 2) ];
+        request_bits = 256;
+        request_interval_s = 20.0;
+        watch_delivery = true;
+      }
+  in
+  let t = { t with duration_s = dur } in
+  let t =
+    with_injections t
+      [
+        {
+          attack = Link_outage { a = 0; b = 1 };
+          from_s = at;
+          until_s = at +. 600.0;
+        };
+      ]
+  in
+  with_slos t [ { alarm = "delivery_slo_burn"; within_s = 300.0 } ]
+
+let long_horizon ~quick =
+  let day = 86_400.0 in
+  let dur = if quick then 2.0 *. day else 14.0 *. day in
+  let at = if quick then day else 10.0 *. day in
+  let t = base "long-horizon" in
+  let t = with_step t ~step_s:300.0 ~pulses_per_step:20_000 in
+  let t =
+    { t with duration_s = dur; drift = Some default_drift; net = Some mesh_net }
+  in
+  let t =
+    with_injections t
+      [
+        {
+          attack = Intercept_resend { fraction = 1.0; ramp_s = 600.0 };
+          from_s = at;
+          until_s = dur;
+        };
+      ]
+  in
+  with_slos t [ { alarm = "qber_above_budget"; within_s = 3_600.0 } ]
+
+let builtins ?(quick = false) () =
+  [
+    intercept_resend ~quick;
+    pns_beamsplit ~quick ();
+    calibration_drift ~quick;
+    classical_dos ~quick;
+    link_outage ~quick;
+    long_horizon ~quick;
+  ]
+
+let find ?quick name =
+  List.find_opt (fun t -> t.name = name) (builtins ?quick ())
+
+let names () = List.map (fun t -> t.name) (builtins ())

@@ -1,0 +1,144 @@
+(** Declarative adversarial campaign scenarios.
+
+    The DARPA network's defense story is statistical: every attack it
+    can model must move an observable statistic past an alarm, and
+    must do so {e quickly}.  A scenario is the pure description of one
+    such experiment — a seeded link, optional relay network and drift
+    model, timed attack injections, and the detection-latency SLOs the
+    run is graded against.  {!Campaign} executes scenarios; this
+    module only builds values.
+
+    Scenarios are immutable.  Composition goes through [with_]
+    builders, so two runs can share a spec — or the built-in matrix —
+    with no possibility of cross-run bleed through a mutated default
+    record (the {!Qkd_net.Failure.churn} config lesson). *)
+
+module Link = Qkd_photonics.Link
+
+(** The modeled attack taxonomy, each paired with the alarm expected
+    to catch it (see {!builtins}). *)
+type attack =
+  | Intercept_resend of { fraction : float; ramp_s : float }
+      (** intercept-resend on [fraction] of pulses, ramping linearly
+          over [ramp_s]; caught by [qber_above_budget] *)
+  | Pns_beamsplit
+      (** photon-number splitting — steals one photon from every
+          multi-photon pulse, leaving QBER untouched; caught by
+          [detection_rate_low] *)
+  | Calibration_drift of { rate_mult : float }
+      (** servo loses lock, phase walks at [rate_mult] x base rate;
+          caught by [stabilization_drift] *)
+  | Classical_dos
+      (** classical channel jammed — rounds cannot complete; caught by
+          [classical_channel_dos] *)
+  | Link_outage of { a : int; b : int }
+      (** forced edge failure; caught by [delivery_slo_burn] *)
+
+type injection = { attack : attack; from_s : float; until_s : float }
+
+type drift_spec = {
+  base_rate_rad_per_sqrt_s : float;
+  residual_rad : float;  (** servo-locked phase error magnitude *)
+  diurnal_amplitude : float;  (** 0..1 day/night modulation depth *)
+  period_s : float;
+}
+
+type net_spec = {
+  nodes : int;
+  degree : float;  (** <= 0: chain of [nodes]; else random mesh *)
+  fiber_km : float;
+  churn : (float * float) option;  (** (mtbf_s, mttr_s) *)
+  pairs : (int * int) list;
+  request_bits : int;
+  request_interval_s : float;
+  watch_delivery : bool;  (** arm the delivery SLO burn alarm *)
+}
+
+type slo = { alarm : string; within_s : float }
+(** The injected attack must put [alarm] into [Firing] within
+    [within_s] simulated seconds of its injection time. *)
+
+type t = {
+  name : string;
+  seed : int64;
+  duration_s : float;
+  step_s : float;  (** fixed protocol-round cadence *)
+  pulses_per_step : int;
+  link : Link.config;
+  link_mode : Link.mode;
+  drift : drift_spec option;
+  net : net_spec option;
+  injections : injection list;
+  slos : slo list;
+  qber_budget : float;
+  qber_window_s : float;
+  watch_detection_rate : bool;
+  detection_tolerance : float;
+  series_capacity : int;  (** health ring size — the memory bound *)
+  max_events : int;
+}
+
+val default_drift : drift_spec
+(** Day/night interferometer model: 0.004 rad/sqrt(s) free-running,
+    0.08 rad locked residual, 80% diurnal modulation, 24 h period. *)
+
+val base : string -> t
+(** A named clean scenario: DARPA link, 1 h at one 50k-pulse round per
+    simulated minute, no net, no drift, no injections. *)
+
+(** {1 Builders} *)
+
+val with_seed : t -> int64 -> t
+val with_duration : t -> float -> t
+
+val with_step : t -> step_s:float -> pulses_per_step:int -> t
+(** Also rescales the QBER window to 10 steps. *)
+
+val with_link : t -> Link.config -> t
+val with_link_mode : t -> Link.mode -> t
+
+val with_mu : t -> float -> t
+(** Replace the source with a weak-coherent source at mean photon
+    number [mu] — the PNS sweep axis. *)
+
+val with_drift : t -> drift_spec -> t
+val with_net : t -> net_spec -> t
+val with_injections : t -> injection list -> t
+val with_slos : t -> slo list -> t
+val with_qber_budget : t -> float -> t
+val with_qber_window : t -> float -> t
+
+val with_detection_watch : t -> tolerance:float -> t
+(** Calibrate the clean detection rate at campaign start and arm
+    {!Qkd_obs.Alert.detection_rate_low} at [tolerance] below it. *)
+
+val with_series_capacity : t -> int -> t
+val with_max_events : t -> int -> t
+
+val clean : t -> t
+(** The control twin: same seed and conditions, no injections, no
+    SLOs.  Its contract is zero alarms over the whole run. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on non-positive times, malformed
+    injections or an unusable net spec. *)
+
+(** {1 The built-in campaign matrix}
+
+    One scenario per modeled attack, each asserting its alarm and
+    latency budget; [quick] halves durations for CI smoke runs. *)
+
+val intercept_resend : quick:bool -> t
+val pns_beamsplit : ?mu:float -> quick:bool -> unit -> t
+val calibration_drift : quick:bool -> t
+val classical_dos : quick:bool -> t
+val link_outage : quick:bool -> t
+
+val long_horizon : quick:bool -> t
+(** Two weeks of simulated time (quick: two days) at five-minute
+    rounds under churn and diurnal drift, intercept-resend injected on
+    day 10 — the bounded-memory, checkpointable endurance run. *)
+
+val builtins : ?quick:bool -> unit -> t list
+val find : ?quick:bool -> string -> t option
+val names : unit -> string list

@@ -139,6 +139,192 @@ let test_scheduler_trace_tree () =
   Format.pp_print_flush ppf ();
   check "text tree names the attempt" true (contains (Buffer.contents buf) "attempt")
 
+(* -- alert edge cases: the state machine under adversarial inputs --
+
+   A monitor wired from mutable refs: each test drives the series by
+   hand and asserts the exact state-machine behaviour at the edges —
+   values sitting exactly on thresholds, undecidable evaluations
+   during for_s holds, empty burn-rate windows, and the bounded
+   transition log. *)
+
+let ref_monitor ?max_events () =
+  let m = Health.create ?max_events () in
+  let v = ref 0.0 in
+  ignore (Health.watch_fn m "gauge" (fun () -> !v));
+  (m, v)
+
+let test_exact_threshold_no_flap () =
+  let m, v = ref_monitor () in
+  Health.add_rule m
+    {
+      Alert.name = "at_limit";
+      severity = Alert.Warning;
+      message = "";
+      for_s = 0.0;
+      kind =
+        Alert.Threshold
+          { series = "gauge"; window_s = 1.0; condition = Alert.Above 1.0 };
+    };
+  (* sitting exactly ON the limit is not a breach: Above is strict,
+     so a gauge pinned at the threshold must never flap *)
+  v := 1.0;
+  for i = 0 to 19 do
+    Health.tick m ~now:(float_of_int i)
+  done;
+  check "exactly at the limit never fires" false
+    (Alert.is_firing (Health.engine m) "at_limit");
+  check_int "no transitions logged at the exact threshold" 0
+    (List.length (Alert.log (Health.engine m)));
+  (* strictly above fires; returning to the exact limit resolves *)
+  v := 1.0001;
+  Health.tick m ~now:20.0;
+  check "strictly above fires" true
+    (Alert.is_firing (Health.engine m) "at_limit");
+  v := 1.0;
+  Health.tick m ~now:21.0;
+  Health.tick m ~now:22.0;
+  check "back at the limit resolves" false
+    (Alert.is_firing (Health.engine m) "at_limit");
+  check_int "exactly one fire/resolve pair" 2
+    (List.length (Alert.log (Health.engine m)))
+
+let test_for_s_hold_across_undecidable_gaps () =
+  let m = Health.create () in
+  let num = ref 0.0 and den = ref 0.0 in
+  ignore (Health.watch_fn m "num" (fun () -> !num));
+  ignore (Health.watch_fn m "den" (fun () -> !den));
+  Health.add_rule m
+    {
+      Alert.name = "held";
+      severity = Alert.Critical;
+      message = "";
+      for_s = 10.0;
+      kind =
+        Alert.Ratio
+          {
+            num = "num";
+            den = "den";
+            window_s = 2.0;
+            condition = Alert.Above 0.5;
+            min_den = 10.0;
+            z = None;
+          };
+    };
+  let engine = Health.engine m in
+  Health.tick m ~now:0.0;
+  (* decidable breach at t=1 starts the hold *)
+  num := 100.0;
+  den := 100.0;
+  Health.tick m ~now:1.0;
+  check "breach enters Pending, not Firing (for_s hold)" true
+    (Alert.state engine "held" = Some (Alert.Pending 1.0));
+  (* no traffic for a while: the 2 s window sees Δden = 0, the rule is
+     undecidable — the hold must neither fire, reset nor resolve *)
+  for i = 3 to 9 do
+    Health.tick m ~now:(float_of_int i)
+  done;
+  check "undecidable gap leaves the Pending hold untouched" true
+    (Alert.state engine "held" = Some (Alert.Pending 1.0));
+  (* decidable breach again at t=12: held since t=1, 11 s >= for_s *)
+  num := 200.0;
+  den := 200.0;
+  Health.tick m ~now:11.0;
+  Health.tick m ~now:12.0;
+  check "fires once the hold elapses across the gap" true
+    (Alert.is_firing engine "held");
+  (match Alert.state engine "held" with
+  | Some (Alert.Firing since) ->
+      check "hold measured from the original breach" true (since >= 11.0)
+  | _ -> Alcotest.fail "expected Firing state")
+
+let test_burn_rate_empty_window () =
+  let m = Health.create () in
+  let good = ref 0.0 and total = ref 0.0 in
+  ignore (Health.watch_fn m "good" (fun () -> !good));
+  ignore (Health.watch_fn m "total" (fun () -> !total));
+  Health.add_rule m
+    {
+      Alert.name = "burn";
+      severity = Alert.Critical;
+      message = "";
+      for_s = 0.0;
+      kind =
+        Alert.Burn_rate
+          {
+            good = "good";
+            total = "total";
+            objective = 0.9;
+            window_s = 2.0;
+            max_burn = 1.0;
+          };
+    };
+  let engine = Health.engine m in
+  (* empty series: no decision, state Ok, nothing logged *)
+  Health.tick m ~now:0.0;
+  check "no burn decision before any traffic" true
+    (Alert.state engine "burn" = Some Alert.Ok);
+  (* failing traffic fires *)
+  total := 10.0;
+  Health.tick m ~now:1.0;
+  check "total failure burns past budget" true (Alert.is_firing engine "burn");
+  (* traffic stops entirely: Δtotal = 0 over the window — undecidable,
+     the alert must stay latched rather than silently resolve *)
+  for i = 3 to 8 do
+    Health.tick m ~now:(float_of_int i)
+  done;
+  check "empty window leaves the burn alert firing" true
+    (Alert.is_firing engine "burn");
+  check_int "no spurious resolve during the quiet spell" 1
+    (List.length (Alert.log engine));
+  (* healthy traffic resumes and resolves it *)
+  good := !good +. 100.0;
+  total := !total +. 100.0;
+  Health.tick m ~now:9.0;
+  Health.tick m ~now:10.0;
+  check "healthy traffic resolves" false (Alert.is_firing engine "burn")
+
+let test_event_log_bounding () =
+  let m, v = ref_monitor ~max_events:4 () in
+  Health.add_rule m
+    {
+      Alert.name = "toggler";
+      severity = Alert.Info;
+      message = "";
+      for_s = 0.0;
+      kind =
+        Alert.Threshold
+          { series = "gauge"; window_s = 0.5; condition = Alert.Above 1.0 };
+    };
+  for i = 0 to 39 do
+    (v := if i mod 2 = 0 then 2.0 else 0.0);
+    Health.tick m ~now:(float_of_int i)
+  done;
+  let engine = Health.engine m in
+  let events = Alert.log engine in
+  check_int "log bounded at max_events" 4 (List.length events);
+  check_int "fired_count stays exact across trimming" 20
+    (Alert.fired_count engine);
+  (match List.rev events with
+  | newest :: _ ->
+      check "newest events are the ones retained" true (newest.Alert.at >= 36.0)
+  | [] -> Alcotest.fail "empty log");
+  (* dump/restore round-trips the bounded log and the exact counter *)
+  let d = Alert.dump engine in
+  let m2, _ = ref_monitor ~max_events:4 () in
+  Health.add_rule m2
+    {
+      Alert.name = "toggler";
+      severity = Alert.Info;
+      message = "";
+      for_s = 0.0;
+      kind =
+        Alert.Threshold
+          { series = "gauge"; window_s = 0.5; condition = Alert.Above 1.0 };
+    };
+  Alert.restore (Health.engine m2) d;
+  check_int "restored fired_count" 20 (Alert.fired_count (Health.engine m2));
+  check "restored log equal" true (Alert.log (Health.engine m2) = events)
+
 (* -- default monitor wiring -- *)
 
 let test_default_monitor_reports () =
@@ -169,6 +355,17 @@ let () =
             test_qber_alarm_separates;
           Alcotest.test_case "default monitor clean report" `Slow
             test_default_monitor_reports;
+        ] );
+      ( "alert edge cases",
+        [
+          Alcotest.test_case "exact threshold never flaps" `Quick
+            test_exact_threshold_no_flap;
+          Alcotest.test_case "for_s hold across undecidable gaps" `Quick
+            test_for_s_hold_across_undecidable_gaps;
+          Alcotest.test_case "burn rate over empty windows" `Quick
+            test_burn_rate_empty_window;
+          Alcotest.test_case "event log bounding" `Quick
+            test_event_log_bounding;
         ] );
       ( "slo",
         [

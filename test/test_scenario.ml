@@ -1,0 +1,219 @@
+(* The campaign harness's three contracts.
+
+   1. Checkpoint restart-equivalence (qcheck): save -> restore -> run
+      is bit-identical to an uninterrupted run, across seeds, domain
+      counts and checkpoint positions — the PR 2 reproducibility
+      contract extended to full simulator state.
+   2. No cross-run bleed: scenario specs are immutable values; running
+      a campaign twice from one spec, or interleaving with another
+      campaign, yields identical fingerprints, and Failure.churn on a
+      shared default config stays reproducible.
+   3. Drift does not mask attacks: a drifting clean link stays below
+      the 4-sigma QBER alarm while the same drift plus
+      intercept-resend still trips it. *)
+
+module Scenario = Qkd_scenario.Scenario
+module Campaign = Qkd_scenario.Campaign
+module Checkpoint = Qkd_scenario.Checkpoint
+module Link = Qkd_photonics.Link
+module Topology = Qkd_net.Topology
+module Relay = Qkd_net.Relay
+module Failure = Qkd_net.Failure
+module Alert = Qkd_obs.Alert
+module Health = Qkd_obs.Health
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* A miniature spec exercising every moving part — mesh + churn,
+   drift, intercept + DoS injections — small enough for property
+   iteration. *)
+let mini_spec ~seed ~domains =
+  let t = Scenario.intercept_resend ~quick:true in
+  let t = Scenario.with_seed t seed in
+  let t = Scenario.with_duration t 600.0 in
+  let t = Scenario.with_step t ~step_s:60.0 ~pulses_per_step:5_000 in
+  let t = Scenario.with_link_mode t (Link.Batched { domains }) in
+  Scenario.with_injections t
+    [
+      {
+        Scenario.attack = Scenario.Intercept_resend { fraction = 1.0; ramp_s = 0.0 };
+        from_s = 180.0;
+        until_s = 600.0;
+      };
+      { attack = Scenario.Classical_dos; from_s = 360.0; until_s = 480.0 };
+    ]
+
+let run_uninterrupted spec =
+  let c = Campaign.create spec in
+  Campaign.run c;
+  c
+
+(* -- 1. checkpoint restart-equivalence -- *)
+
+let checkpoint_equivalence =
+  QCheck.Test.make ~count:12 ~name:"checkpoint restart-equivalence"
+    QCheck.(
+      triple (int_bound 1000) (int_range 1 3)
+        (int_bound (Campaign.total_steps (mini_spec ~seed:0L ~domains:1) - 1)))
+    (fun (seed, domains, position) ->
+      let spec = mini_spec ~seed:(Int64.of_int (seed + 7)) ~domains in
+      let reference = run_uninterrupted spec in
+      let interrupted = Campaign.create spec in
+      for _ = 1 to position do
+        Campaign.step interrupted
+      done;
+      let resumed = Checkpoint.of_bytes (Checkpoint.to_bytes interrupted) in
+      Campaign.run resumed;
+      Campaign.fingerprint resumed = Campaign.fingerprint reference
+      && Campaign.report resumed = Campaign.report reference)
+
+(* Bit-identity across domain counts: the frame-sharded link is the
+   only parallel component, and its PR 2 contract lifts to whole
+   campaign reports (the spec itself differs, so fingerprints are
+   compared via the domain-independent report). *)
+let test_cross_domain_reports () =
+  let r1 = Campaign.report (run_uninterrupted (mini_spec ~seed:3L ~domains:1)) in
+  let r3 = Campaign.report (run_uninterrupted (mini_spec ~seed:3L ~domains:3)) in
+  check "domains=1 and domains=3 produce identical campaign reports" true
+    (r1 = r3)
+
+let test_checkpoint_rejects_corruption () =
+  let c = Campaign.create (mini_spec ~seed:5L ~domains:1) in
+  Campaign.step c;
+  let b = Checkpoint.to_bytes c in
+  let flipped = Bytes.copy b in
+  Bytes.set flipped (Bytes.length flipped - 1)
+    (Char.chr (Char.code (Bytes.get flipped (Bytes.length flipped - 1)) lxor 1));
+  let rejects name bad =
+    match Checkpoint.of_bytes bad with
+    | _ -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  rejects "flipped payload byte" flipped;
+  rejects "truncated" (Bytes.sub b 0 (Bytes.length b / 2));
+  rejects "bad magic" (Bytes.cat (Bytes.of_string "NOTACKPT") b);
+  (* and the original still loads *)
+  let restored = Checkpoint.of_bytes b in
+  check_str "round-trip preserves the fingerprint"
+    (Campaign.fingerprint c)
+    (Campaign.fingerprint restored)
+
+(* -- 2. cross-run bleed regression -- *)
+
+let test_no_cross_run_bleed () =
+  let spec = mini_spec ~seed:11L ~domains:1 in
+  let f1 = Campaign.fingerprint (run_uninterrupted spec) in
+  (* interleave an unrelated campaign that mutates its own topology
+     and relay; the shared spec value must be unaffected *)
+  let other = Scenario.clean (mini_spec ~seed:99L ~domains:1) in
+  ignore (run_uninterrupted other);
+  let f2 = Campaign.fingerprint (run_uninterrupted spec) in
+  check_str "same spec, same fingerprint, despite interleaved runs" f1 f2
+
+let test_builders_do_not_mutate () =
+  let a = Scenario.base "a" in
+  let b = Scenario.with_duration (Scenario.with_seed a 42L) 120.0 in
+  check "builder returns a fresh value" true (a.Scenario.seed = 2003L);
+  check "original duration untouched" true (a.Scenario.duration_s = 3_600.0);
+  check "derived value carries the changes" true
+    (b.Scenario.seed = 42L && b.Scenario.duration_s = 120.0)
+
+let test_churn_config_sharing_safe () =
+  (* Failure.churn on a config derived from the shared default must be
+     reproducible run-to-run: nothing in the default record can have
+     been mutated by the first run. *)
+  let run () =
+    let topo =
+      Topology.random_mesh ~nodes:6 ~degree:3.0 ~seed:17L ~fiber_km:10.0
+    in
+    let relay = Relay.create ~low_watermark:512 ~high_watermark:50_000 topo in
+    Relay.advance relay ~seconds:15.0;
+    let cfg = Failure.default_churn_config in
+    let cfg = Failure.with_pairs cfg [ (0, 5) ] in
+    let cfg = Failure.with_duration cfg 30.0 in
+    let cfg = Failure.with_outage_process cfg ~mtbf_s:20.0 ~mttr_s:8.0 in
+    let cfg = Failure.with_request_load cfg ~bits:128 ~interval_s:1.0 in
+    Failure.churn ~seed:23L relay cfg
+  in
+  let r1 = run () and r2 = run () in
+  check "identical churn reports from a shared default config" true (r1 = r2);
+  check "edge states restored (second run saw failures too)" true
+    (r2.Failure.link_failures > 0)
+
+(* -- 3. drift must not mask attacks -- *)
+
+let drift_campaign ~attacked =
+  let t = Scenario.base "drift-interaction" in
+  let t = Scenario.with_duration t 1_200.0 in
+  let t = Scenario.with_drift t Scenario.default_drift in
+  let t =
+    if attacked then
+      Scenario.with_injections t
+        [
+          {
+            Scenario.attack =
+              Scenario.Intercept_resend { fraction = 1.0; ramp_s = 0.0 };
+            from_s = 600.0;
+            until_s = 1_200.0;
+          };
+        ]
+    else t
+  in
+  let c = Campaign.create t in
+  Campaign.run c;
+  Alert.is_firing (Health.engine (Campaign.monitor c)) "qber_above_budget"
+
+let test_drift_does_not_mask_attacks () =
+  check "drifting clean link stays below the 4-sigma QBER alarm" false
+    (drift_campaign ~attacked:false);
+  check "same drift plus intercept-resend still trips it" true
+    (drift_campaign ~attacked:true)
+
+(* -- campaign SLO grading sanity -- *)
+
+let test_detection_grading () =
+  let spec = mini_spec ~seed:2L ~domains:1 in
+  let c = run_uninterrupted spec in
+  let r = Campaign.report c in
+  (match r.Campaign.detections with
+  | [ d ] ->
+      check_str "graded alarm" "qber_above_budget" d.Campaign.alarm;
+      check "injection time is the earliest injection" true
+        (d.Campaign.injected_at_s = 180.0);
+      check "attack detected" true (d.Campaign.detected_at_s <> None)
+  | ds -> Alcotest.failf "expected 1 graded SLO, got %d" (List.length ds));
+  let clean = run_uninterrupted (Scenario.clean spec) in
+  let rc = Campaign.report clean in
+  check_int "clean twin fires zero alarms" 0 rc.Campaign.alerts_fired;
+  check_int "clean twin grades no SLOs" 0 (List.length rc.Campaign.detections);
+  check "memory stays bounded by the ring capacity" true
+    (r.Campaign.max_series_len <= r.Campaign.series_capacity)
+
+let () =
+  Alcotest.run "qkd_scenario"
+    [
+      ( "checkpoint",
+        [
+          QCheck_alcotest.to_alcotest ~long:true checkpoint_equivalence;
+          Alcotest.test_case "cross-domain report equality" `Slow
+            test_cross_domain_reports;
+          Alcotest.test_case "corrupted checkpoints rejected" `Quick
+            test_checkpoint_rejects_corruption;
+        ] );
+      ( "immutability",
+        [
+          Alcotest.test_case "no cross-run bleed" `Slow test_no_cross_run_bleed;
+          Alcotest.test_case "builders do not mutate" `Quick
+            test_builders_do_not_mutate;
+          Alcotest.test_case "churn config sharing safe" `Quick
+            test_churn_config_sharing_safe;
+        ] );
+      ( "alarms",
+        [
+          Alcotest.test_case "drift does not mask attacks" `Slow
+            test_drift_does_not_mask_attacks;
+          Alcotest.test_case "detection grading" `Slow test_detection_grading;
+        ] );
+    ]
