@@ -101,7 +101,7 @@ let bench_esp_roundtrip =
       ~now:0.0 ~keyed_from_qkd:true ()
   in
   let tx = sa () and rx = sa () in
-  let seq = ref 0 in
+  let replay = Qkd_ipsec.Replay.create () in
   let packet =
     Qkd_ipsec.Packet.make
       ~src:(Qkd_ipsec.Packet.addr_of_string "10.1.0.5")
@@ -111,10 +111,8 @@ let bench_esp_roundtrip =
   let outer_src = Qkd_ipsec.Packet.addr_of_string "192.1.99.34" in
   let outer_dst = Qkd_ipsec.Packet.addr_of_string "192.1.99.35" in
   Test.make ~name:"esp-tunnel-roundtrip-512B" (Staged.stage (fun () ->
-      incr seq;
       match Qkd_ipsec.Esp.encapsulate tx ~rng ~outer_src ~outer_dst packet with
-      | Ok outer ->
-          ignore (Qkd_ipsec.Esp.decapsulate rx ~expected_seq:!seq outer)
+      | Ok outer -> ignore (Qkd_ipsec.Esp.decapsulate rx ~replay outer)
       | Error _ -> ()))
 
 let bench_dh =
@@ -761,6 +759,395 @@ let bench_campaign ~quick ~out () =
   end;
   if !fail then exit 1
 
+(* ==== "dataplane" preset (PR 7): batched zero-allocation ESP
+   forwarding vs the scalar reference path.  Two gateways with
+   directly installed SAs forward synthetic LAN traffic; the batch leg
+   runs entirely in pool buffers through the [_into] kernels, the
+   scalar leg round-trips [Packet.t] values (including the wire
+   serialize/parse at each gateway boundary that the batch path
+   performs implicitly by operating on wire bytes in place). ==== *)
+
+module Gateway = Qkd_ipsec.Gateway
+module Pktbuf = Qkd_ipsec.Pktbuf
+module Traffic = Qkd_ipsec.Traffic
+module Sa = Qkd_ipsec.Sa
+module Esp = Qkd_ipsec.Esp
+module Replay = Qkd_ipsec.Replay
+module Ip = Qkd_ipsec.Packet
+
+(* Long enough that the bench never expires an SA mid-run. *)
+let dataplane_lifetime = { Sa.seconds = 1e9; kilobytes = max_int / 2048 }
+
+(* Mirrored SA pair sharing keys, as quick mode would install. *)
+let dataplane_sa_pair ?(transform = Sa.Aes128_cbc) () =
+  let rng = Rng.create 702L in
+  let enc_key = Rng.bytes rng (Sa.enc_key_bytes transform) in
+  let auth_key = Rng.bytes rng Sa.auth_key_bytes in
+  let pad_bits =
+    match transform with
+    | Sa.Otp -> Some (Rng.bits rng (1 lsl 21))
+    | _ -> None
+  in
+  let mk () =
+    let otp_pad =
+      Option.map (fun bits -> Qkd_crypto.Otp.pad_of_bits (Bs.copy bits)) pad_bits
+    in
+    Sa.create ~spi:0x7007l ~transform ~enc_key ~auth_key ?otp_pad
+      ~lifetime:dataplane_lifetime ~now:0.0 ~keyed_from_qkd:true ()
+  in
+  (mk (), mk ())
+
+let dataplane_gateways () =
+  let mk ~name ~wan ~lan ~peer ~lan_remote ~seed =
+    let gw =
+      Gateway.create ~name ~wan ~lan ~lan_prefix:16
+        ~psk:(Bytes.of_string "dataplane-bench")
+        ~key_pool:(Qkd_protocol.Key_pool.create ()) ~seed
+    in
+    Gateway.add_protect_policy gw ~lan_remote ~remote_prefix:16
+      {
+        Qkd_ipsec.Spd.transform = Sa.Aes128_cbc;
+        lifetime = dataplane_lifetime;
+        qkd = Qkd_ipsec.Spd.Reseed;
+        peer = Ip.addr_of_string peer;
+        qblock_bits = 1024;
+      };
+    gw
+  in
+  let a =
+    mk ~name:"dpA" ~wan:"192.1.99.34" ~lan:"10.1.0.0" ~peer:"192.1.99.35"
+      ~lan_remote:"10.2.0.0" ~seed:701L
+  in
+  let b =
+    mk ~name:"dpB" ~wan:"192.1.99.35" ~lan:"10.2.0.0" ~peer:"192.1.99.34"
+      ~lan_remote:"10.1.0.0" ~seed:703L
+  in
+  let tx, rx_unused = dataplane_sa_pair () in
+  let tx_unused, rx = dataplane_sa_pair () in
+  Gateway.install_sas a
+    ~peer:(Ip.addr_of_string "192.1.99.35")
+    ~outbound:tx ~inbound:rx_unused;
+  Gateway.install_sas b
+    ~peer:(Ip.addr_of_string "192.1.99.34")
+    ~outbound:tx_unused ~inbound:rx;
+  (a, b)
+
+let dataplane_traffic ~flows ~payload_len =
+  Traffic.create ~seed:711L ~src_net:"10.1.5.0" ~dst_net:"10.2.9.0" ~flows
+    ~payload_len ()
+
+(* Scalar leg: pps through outbound/inbound on [Packet.t] values, with
+   the wire boundary crossed explicitly on both hops. *)
+let dataplane_scalar ~payload_len ~flows ~packets =
+  let a, b = dataplane_gateways () in
+  let traffic = dataplane_traffic ~flows ~payload_len in
+  let forward n =
+    for _ = 1 to n do
+      let p = Traffic.next_packet traffic in
+      match Gateway.outbound a ~now:0.0 p with
+      | Gateway.Tunnel outer -> (
+          let wire = Ip.serialize outer in
+          match Gateway.inbound b ~now:0.0 (Ip.parse wire) with
+          | Gateway.Deliver inner -> ignore (Ip.serialize inner)
+          | Gateway.Bypass_in _ | Gateway.Rejected _ ->
+              failwith "dataplane: scalar inbound did not deliver")
+      | Gateway.Bypass _ | Gateway.Dropped _ | Gateway.Need_rekey _ ->
+          failwith "dataplane: scalar outbound did not tunnel"
+    done
+  in
+  forward (max 1 (packets / 10));
+  let t0 = Unix.gettimeofday () in
+  forward packets;
+  let dt = Unix.gettimeofday () -. t0 in
+  float_of_int packets /. dt
+
+(* Seed leg: the baseline the 3x gate compares against — the scalar
+   path exactly as the growth seed shipped it (see [Seed_path]):
+   per-packet AES key expansion, byte-wise cipher rounds, [Bytes.cat]
+   assembly and the generic allocating HMAC.  Conservative in the
+   seed's favour: the seed gateway's O(tunnels) SPI scan and SPD walk
+   are not charged here. *)
+let dataplane_seed ~payload_len ~flows ~packets =
+  let tx, _ = dataplane_sa_pair () in
+  let _, rx = dataplane_sa_pair () in
+  let rng = Rng.create 731L in
+  let traffic = dataplane_traffic ~flows ~payload_len in
+  let outer_src = Ip.addr_of_string "192.1.99.34" in
+  let outer_dst = Ip.addr_of_string "192.1.99.35" in
+  let expected = ref 1 in
+  let forward n =
+    for _ = 1 to n do
+      let p = Traffic.next_packet traffic in
+      let outer = Seed_path.encapsulate tx ~rng ~outer_src ~outer_dst p in
+      let wire = Ip.serialize outer in
+      let inner, seq =
+        Seed_path.decapsulate rx ~expected_seq:!expected (Ip.parse wire)
+      in
+      expected := seq + 1;
+      ignore (Ip.serialize inner)
+    done
+  in
+  forward (max 1 (packets / 10));
+  let t0 = Unix.gettimeofday () in
+  forward packets;
+  let dt = Unix.gettimeofday () -. t0 in
+  float_of_int packets /. dt
+
+(* The seed-path reproduction must emit the very bytes the current
+   reference path emits (the ESP wire format never changed, only its
+   cost), or the baseline would be measuring something else. *)
+let dataplane_seed_faithful () =
+  let tx_seed, tx_ref = dataplane_sa_pair () in
+  let rx_seed, _ = dataplane_sa_pair () in
+  let rng_seed = Rng.create 741L and rng_ref = Rng.create 741L in
+  let traffic_seed = dataplane_traffic ~flows:3 ~payload_len:64 in
+  let traffic_ref = dataplane_traffic ~flows:3 ~payload_len:64 in
+  let outer_src = Ip.addr_of_string "192.1.99.34" in
+  let outer_dst = Ip.addr_of_string "192.1.99.35" in
+  let ok = ref true in
+  let expected = ref 1 in
+  for _ = 1 to 32 do
+    let p = Traffic.next_packet traffic_seed in
+    let p' = Traffic.next_packet traffic_ref in
+    let seed_wire =
+      Ip.serialize
+        (Seed_path.encapsulate tx_seed ~rng:rng_seed ~outer_src ~outer_dst p)
+    in
+    let ref_wire =
+      match Esp.encapsulate tx_ref ~rng:rng_ref ~outer_src ~outer_dst p' with
+      | Ok o -> Ip.serialize o
+      | Error _ -> Bytes.empty
+    in
+    if not (Bytes.equal seed_wire ref_wire) then ok := false;
+    let inner, seq =
+      Seed_path.decapsulate rx_seed ~expected_seq:!expected (Ip.parse seed_wire)
+    in
+    expected := seq + 1;
+    if inner <> p then ok := false
+  done;
+  !ok
+
+(* Batch leg: pps and steady-state minor-heap words per packet. *)
+let dataplane_batch_size = 64
+
+let dataplane_batched ~payload_len ~flows ~packets =
+  let a, b = dataplane_gateways () in
+  let traffic = dataplane_traffic ~flows ~payload_len in
+  let batch = dataplane_batch_size in
+  let pool = Pktbuf.create ~capacity:2048 (3 * batch) in
+  let src = Array.init batch (fun _ -> Pktbuf.alloc pool) in
+  let mid = Array.init batch (fun _ -> Pktbuf.alloc pool) in
+  let out = Array.init batch (fun _ -> Pktbuf.alloc pool) in
+  let forward batches =
+    for _ = 1 to batches do
+      for i = 0 to batch - 1 do
+        ignore (Traffic.next_into traffic src.(i))
+      done;
+      let o = Gateway.outbound_batch a ~now:0.0 ~src ~dst:mid ~count:batch in
+      let d = Gateway.inbound_batch b ~now:0.0 ~src:mid ~dst:out ~count:batch in
+      if o <> batch || d <> batch then
+        failwith "dataplane: batch dropped packets"
+    done
+  in
+  let batches = max 1 (packets / batch) in
+  forward (max 1 (batches / 10));
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  forward batches;
+  let dt = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. minor0 in
+  let n = float_of_int (batches * batch) in
+  (n /. dt, words /. n)
+
+(* Byte-identity + replay-verdict equivalence of the kernels against
+   the scalar reference: mirrored SA universes fed identical traffic
+   and RNG streams must emit identical wire bytes, accept the first
+   delivery identically, and reject the replayed delivery with the
+   same verdict. *)
+let dataplane_identical ~transform =
+  let tx_s, rx_s = dataplane_sa_pair ~transform () in
+  let tx_f, rx_f = dataplane_sa_pair ~transform () in
+  let rng_s = Rng.create 721L and rng_f = Rng.create 721L in
+  let replay_s = Replay.create () and replay_f = Replay.create () in
+  let scratch = Esp.make_scratch () in
+  let traffic_s = dataplane_traffic ~flows:5 ~payload_len:64 in
+  let traffic_f = dataplane_traffic ~flows:5 ~payload_len:64 in
+  let outer_src = Ip.addr_of_string "192.1.99.34" in
+  let outer_dst = Ip.addr_of_string "192.1.99.35" in
+  let pool = Pktbuf.create ~capacity:2048 3 in
+  let sbuf = Pktbuf.alloc pool in
+  let wbuf = Pktbuf.alloc pool in
+  let obuf = Pktbuf.alloc pool in
+  let ok = ref true in
+  for _ = 1 to 96 do
+    let p = Traffic.next_packet traffic_s in
+    ignore (Traffic.next_into traffic_f sbuf);
+    let outer =
+      match Esp.encapsulate tx_s ~rng:rng_s ~outer_src ~outer_dst p with
+      | Ok o -> o
+      | Error _ -> failwith "dataplane: scalar encap failed"
+    in
+    let wire_s = Ip.serialize outer in
+    let n =
+      Esp.encap_into tx_f ~scratch ~rng:rng_f ~outer_src ~outer_dst
+        ~src:sbuf.Pktbuf.data ~src_pos:0 ~len:sbuf.Pktbuf.len
+        ~dst:wbuf.Pktbuf.data ~dst_pos:0
+    in
+    if n <> Bytes.length wire_s
+       || not (Bytes.equal wire_s (Bytes.sub wbuf.Pktbuf.data 0 n))
+    then ok := false;
+    (match Esp.decapsulate rx_s ~replay:replay_s outer with
+    | Ok inner -> if inner <> p then ok := false
+    | Error _ -> ok := false);
+    let m =
+      Esp.decap_into rx_f ~scratch ~replay:replay_f ~src:wbuf.Pktbuf.data
+        ~src_pos:0 ~len:n ~dst:obuf.Pktbuf.data ~dst_pos:0
+    in
+    if m < 0 || not (Bytes.equal (Ip.serialize p) (Bytes.sub obuf.Pktbuf.data 0 m))
+    then ok := false;
+    (* the replayed delivery must be rejected with the same verdict *)
+    let verdict_s =
+      match Esp.decapsulate rx_s ~replay:replay_s outer with
+      | Error e -> e
+      | Ok _ -> Esp.Auth_failed (* accepted replay: mismatches below *)
+    in
+    let code =
+      Esp.decap_into rx_f ~scratch ~replay:replay_f ~src:wbuf.Pktbuf.data
+        ~src_pos:0 ~len:n ~dst:obuf.Pktbuf.data ~dst_pos:0
+    in
+    let seq = match verdict_s with Esp.Replay { seq } -> seq | _ -> 0 in
+    if code >= 0 || Esp.error_of_code code ~seq ~spi:rx_f.Sa.spi <> verdict_s
+    then ok := false
+  done;
+  !ok
+
+(* Committed steady-state allocation budget for the batched dataplane:
+   minor-heap words per forwarded packet (encap + decap, single flow).
+   The ESP/AES/HMAC kernels and the batch path allocate nothing; the
+   residual is the per-packet IV draw, where the splitmix64 mix boxes
+   Int64 intermediates under the non-flambda compiler (~30 words/pkt
+   measured; changing the draw would change the seeded RNG streams the
+   test suite pins).  48 covers that plus multi-flow memo misses with
+   headroom — versus ~1.2k words/pkt on the seed path. *)
+let dataplane_words_budget = 48.0
+
+let bench_dataplane ~quick ~out () =
+  let packets = if quick then 20_000 else 200_000 in
+  let reps = if quick then 1 else 3 in
+  let sizes = if quick then [ 64; 1024 ] else [ 64; 256; 1024 ] in
+  let buf = Buffer.create 4096 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"pr\": 7,\n";
+  bpf "  \"preset\": %S,\n" (if quick then "quick" else "full");
+  bpf "  \"packets_per_leg\": %d,\n" packets;
+  bpf "  \"batch_size\": %d,\n" dataplane_batch_size;
+  Format.printf "fast path vs scalar byte-identity (all transforms)...@.";
+  let identical =
+    List.for_all
+      (fun transform -> dataplane_identical ~transform)
+      [ Sa.Aes128_cbc; Sa.Aes256_cbc; Sa.Des3_cbc; Sa.Otp ]
+  in
+  Format.printf "seed-path reproduction vs reference byte-identity...@.";
+  let seed_faithful = dataplane_seed_faithful () in
+  let gate_speedup = ref 0.0 and gate_words = ref infinity in
+  let scalar_speedup_64 = ref 0.0 in
+  bpf "  \"dataplane\": [\n";
+  List.iteri
+    (fun i payload_len ->
+      Format.printf "dataplane %4dB payload (%d packets/leg)...@." payload_len
+        packets;
+      (* The seed leg is ~6x slower per packet; a tenth of the packets
+         still times it for tens of milliseconds at minimum. *)
+      let seed_pps = ref 0.0 in
+      for _ = 1 to reps do
+        seed_pps :=
+          max !seed_pps
+            (dataplane_seed ~payload_len ~flows:1
+               ~packets:(max 1_000 (packets / 10)))
+      done;
+      let scalar_pps = ref 0.0 in
+      for _ = 1 to reps do
+        scalar_pps :=
+          max !scalar_pps (dataplane_scalar ~payload_len ~flows:1 ~packets)
+      done;
+      let batched_pps = ref 0.0 and words_pp = ref infinity in
+      for _ = 1 to reps do
+        let pps, words = dataplane_batched ~payload_len ~flows:1 ~packets in
+        if pps > !batched_pps then batched_pps := pps;
+        if words < !words_pp then words_pp := words
+      done;
+      let vs_seed = !batched_pps /. !seed_pps in
+      let vs_scalar = !batched_pps /. !scalar_pps in
+      if payload_len = 64 then begin
+        gate_speedup := vs_seed;
+        scalar_speedup_64 := vs_scalar;
+        gate_words := !words_pp
+      end;
+      bpf
+        "    { \"payload_bytes\": %d, \"seed_pps\": %.0f, \"scalar_pps\": \
+         %.0f, \"batched_pps\": %.0f, \"speedup_vs_seed\": %.2f, \
+         \"speedup_vs_scalar\": %.2f, \"batched_minor_words_per_packet\": \
+         %.3f }%s\n"
+        payload_len !seed_pps !scalar_pps !batched_pps vs_seed vs_scalar
+        !words_pp
+        (if i = List.length sizes - 1 then "" else ",");
+      Format.printf
+        "  seed %8.0f pps, scalar %8.0f pps, batched %8.0f pps (%.2fx vs \
+         seed, %.2fx vs scalar), %.3f words/pkt@."
+        !seed_pps !scalar_pps !batched_pps vs_seed vs_scalar !words_pp)
+    sizes;
+  bpf "  ],\n";
+  (* Per-packet flow cycling defeats the single-entry flow memo, so
+     classification is paid per packet — recorded, not gated. *)
+  let mf_pps, mf_words = dataplane_batched ~payload_len:64 ~flows:32 ~packets in
+  bpf
+    "  \"multi_flow_64B\": { \"flows\": 32, \"batched_pps\": %.0f, \
+     \"minor_words_per_packet\": %.3f },\n"
+    mf_pps mf_words;
+  Format.printf "  32 flows: batched %10.0f pps, %.3f words/pkt@." mf_pps
+    mf_words;
+  bpf "  \"fast_path_byte_identical\": %b,\n" identical;
+  bpf "  \"seed_path_faithful\": %b,\n" seed_faithful;
+  bpf "  \"speedup_vs_seed_64B\": %.2f,\n" !gate_speedup;
+  bpf "  \"speedup_vs_scalar_64B\": %.2f,\n" !scalar_speedup_64;
+  bpf "  \"minor_words_per_packet_64B\": %.3f,\n" !gate_words;
+  bpf "  \"words_per_packet_budget\": %.1f,\n" dataplane_words_budget;
+  bpf "  \"speedup_gate_3x\": %b,\n" (!gate_speedup >= 3.0);
+  bpf "  \"alloc_gate\": %b\n" (!gate_words <= dataplane_words_budget);
+  bpf "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf
+    "wrote %s@.byte-identical %b, seed-faithful %b, 64B speedup vs seed \
+     %.2fx, %.3f words/pkt (budget %.1f)@."
+    out identical seed_faithful !gate_speedup !gate_words
+    dataplane_words_budget;
+  let fail = ref false in
+  if not identical then begin
+    Format.eprintf "FAIL: fast path is not byte-identical to the scalar path@.";
+    fail := true
+  end;
+  if not seed_faithful then begin
+    Format.eprintf
+      "FAIL: seed-path baseline is not byte-identical to the reference path@.";
+    fail := true
+  end;
+  if !gate_speedup < 3.0 then begin
+    Format.eprintf
+      "FAIL: batched speedup %.2fx < 3x over the seed scalar path at 64B \
+       payload@."
+      !gate_speedup;
+    fail := true
+  end;
+  if !gate_words > dataplane_words_budget then begin
+    Format.eprintf "FAIL: %.3f minor words/packet > budget %.1f@." !gate_words
+      dataplane_words_budget;
+    fail := true
+  end;
+  if !fail then exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let metrics, args = List.partition (( = ) "--metrics") args in
@@ -827,6 +1214,20 @@ let () =
       in
       let quick, out = parse ~quick:false ~out:"BENCH_pr6.json" rest in
       bench_campaign ~quick ~out ()
+  | "dataplane" :: rest ->
+      let rec parse ~quick ~out = function
+        | [] -> (quick, out)
+        | "--quick" :: tl -> parse ~quick:true ~out tl
+        | "--out" :: file :: tl -> parse ~quick ~out:file tl
+        | arg :: _ ->
+            Format.eprintf
+              "unknown dataplane option %S; usage: main.exe dataplane \
+               [--quick] [--out FILE]@."
+              arg;
+            exit 1
+      in
+      let quick, out = parse ~quick:false ~out:"BENCH_pr7.json" rest in
+      bench_dataplane ~quick ~out ()
   | [ name ] -> (
       match Experiments.by_name name with
       | Some f -> f ()
@@ -834,7 +1235,7 @@ let () =
           Format.eprintf "unknown experiment %S; available: %s@." name
             (String.concat ", "
                ("micro" :: "tables" :: "obs" :: "json" :: "campaign"
-              :: Experiments.names));
+              :: "dataplane" :: Experiments.names));
           exit 1)
   | _ ->
       Format.eprintf "usage: main.exe [experiment] [--metrics]@.";

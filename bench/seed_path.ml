@@ -1,0 +1,284 @@
+(* The growth seed's scalar ESP path (commit 993054b), reproduced here
+   as the dataplane benchmark's baseline leg.  The PR 7 gate reads
+   "batched fast path >= 3x scalar-path packets/s on the benched seed":
+   the seed recomputed the AES key schedule on every packet, ran the
+   cipher rounds byte-wise through gmul/shift tables, assembled the ESP
+   payload with three [Bytes.cat] copies, and paid the generic
+   allocating HMAC (fresh pads + two extra key-block compressions per
+   MAC).  Those costs are exactly what the library no longer has, so
+   they are reconstructed here, verbatim-in-spirit, to give the gate an
+   honest same-machine baseline.  Faithfulness is cross-checked at
+   bench startup: this path must emit wire bytes byte-identical to the
+   current reference path (the ESP format never changed, only its
+   cost).  AES-CBC only — the one transform the throughput legs run. *)
+
+module Sa = Qkd_ipsec.Sa
+module Packet = Qkd_ipsec.Packet
+module Hmac = Qkd_crypto.Hmac
+module Rng = Qkd_util.Rng
+
+(* ---- seed lib/crypto/aes.ml: byte-wise state, table-free rounds ---- *)
+
+let xtime a =
+  let a = a lsl 1 in
+  if a land 0x100 <> 0 then (a lxor 0x11B) land 0xFF else a
+
+let gmul a b =
+  let acc = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 <> 0 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc
+
+let sbox, inv_sbox =
+  let inv = Array.make 256 0 in
+  for a = 1 to 255 do
+    for b = 1 to 255 do
+      if gmul a b = 1 then inv.(a) <- b
+    done
+  done;
+  let affine b =
+    let bit x i = (x lsr i) land 1 in
+    let out = ref 0 in
+    for i = 0 to 7 do
+      let v =
+        bit b i lxor bit b ((i + 4) mod 8) lxor bit b ((i + 5) mod 8)
+        lxor bit b ((i + 6) mod 8)
+        lxor bit b ((i + 7) mod 8)
+        lxor bit 0x63 i
+      in
+      out := !out lor (v lsl i)
+    done;
+    !out
+  in
+  let s = Array.init 256 (fun i -> affine inv.(i)) in
+  let si = Array.make 256 0 in
+  Array.iteri (fun i v -> si.(v) <- i) s;
+  (s, si)
+
+type key = { rounds : int; rk : int array array }
+
+let expand_key raw =
+  let nk =
+    match Bytes.length raw with
+    | 16 -> 4
+    | 24 -> 6
+    | 32 -> 8
+    | _ -> invalid_arg "Seed_path.expand_key"
+  in
+  let rounds = nk + 6 in
+  let words = Array.make (4 * (rounds + 1)) 0 in
+  for i = 0 to nk - 1 do
+    let b j = Char.code (Bytes.get raw ((4 * i) + j)) in
+    words.(i) <- (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+  done;
+  let sub_word w =
+    (sbox.((w lsr 24) land 0xFF) lsl 24)
+    lor (sbox.((w lsr 16) land 0xFF) lsl 16)
+    lor (sbox.((w lsr 8) land 0xFF) lsl 8)
+    lor sbox.(w land 0xFF)
+  in
+  let rot_word w = ((w lsl 8) lor (w lsr 24)) land 0xFFFFFFFF in
+  let rcon = ref 1 in
+  for i = nk to (4 * (rounds + 1)) - 1 do
+    let temp = ref words.(i - 1) in
+    if i mod nk = 0 then begin
+      temp := sub_word (rot_word !temp) lxor (!rcon lsl 24);
+      rcon := xtime !rcon
+    end
+    else if nk = 8 && i mod nk = 4 then temp := sub_word !temp;
+    words.(i) <- words.(i - nk) lxor !temp
+  done;
+  let rk =
+    Array.init (rounds + 1) (fun r ->
+        Array.init 16 (fun i ->
+            let w = words.((4 * r) + (i / 4)) in
+            (w lsr (8 * (3 - (i mod 4)))) land 0xFF))
+  in
+  { rounds; rk }
+
+let add_round_key state rk =
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor rk.(i)
+  done
+
+let sub_bytes state tbl =
+  for i = 0 to 15 do
+    state.(i) <- tbl.(state.(i))
+  done
+
+let shift_rows state =
+  for r = 1 to 3 do
+    let row = Array.init 4 (fun c -> state.((4 * c) + r)) in
+    for c = 0 to 3 do
+      state.((4 * c) + r) <- row.((c + r) mod 4)
+    done
+  done
+
+let inv_shift_rows state =
+  for r = 1 to 3 do
+    let row = Array.init 4 (fun c -> state.((4 * c) + r)) in
+    for c = 0 to 3 do
+      state.((4 * c) + r) <- row.((c - r + 4) mod 4)
+    done
+  done
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c) and a1 = state.((4 * c) + 1) in
+    let a2 = state.((4 * c) + 2) and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- gmul a0 2 lxor gmul a1 3 lxor a2 lxor a3;
+    state.((4 * c) + 1) <- a0 lxor gmul a1 2 lxor gmul a2 3 lxor a3;
+    state.((4 * c) + 2) <- a0 lxor a1 lxor gmul a2 2 lxor gmul a3 3;
+    state.((4 * c) + 3) <- gmul a0 3 lxor a1 lxor a2 lxor gmul a3 2
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c) and a1 = state.((4 * c) + 1) in
+    let a2 = state.((4 * c) + 2) and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- gmul a0 14 lxor gmul a1 11 lxor gmul a2 13 lxor gmul a3 9;
+    state.((4 * c) + 1) <-
+      gmul a0 9 lxor gmul a1 14 lxor gmul a2 11 lxor gmul a3 13;
+    state.((4 * c) + 2) <-
+      gmul a0 13 lxor gmul a1 9 lxor gmul a2 14 lxor gmul a3 11;
+    state.((4 * c) + 3) <-
+      gmul a0 11 lxor gmul a1 13 lxor gmul a2 9 lxor gmul a3 14
+  done
+
+let state_of_bytes b = Array.init 16 (fun i -> Char.code (Bytes.get b i))
+let bytes_of_state s = Bytes.init 16 (fun i -> Char.chr s.(i))
+
+let encrypt_block key src =
+  let state = state_of_bytes src in
+  add_round_key state key.rk.(0);
+  for round = 1 to key.rounds - 1 do
+    sub_bytes state sbox;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state key.rk.(round)
+  done;
+  sub_bytes state sbox;
+  shift_rows state;
+  add_round_key state key.rk.(key.rounds);
+  bytes_of_state state
+
+let decrypt_block key src =
+  let state = state_of_bytes src in
+  add_round_key state key.rk.(key.rounds);
+  for round = key.rounds - 1 downto 1 do
+    inv_shift_rows state;
+    sub_bytes state inv_sbox;
+    add_round_key state key.rk.(round);
+    inv_mix_columns state
+  done;
+  inv_shift_rows state;
+  sub_bytes state inv_sbox;
+  add_round_key state key.rk.(0);
+  bytes_of_state state
+
+let xor16 a b =
+  Bytes.init 16 (fun i ->
+      Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+
+let pkcs7_pad data =
+  let pad = 16 - (Bytes.length data mod 16) in
+  Bytes.cat data (Bytes.make pad (Char.chr pad))
+
+let pkcs7_unpad data =
+  let n = Bytes.length data in
+  if n = 0 || n mod 16 <> 0 then invalid_arg "Seed_path: bad CBC length";
+  let pad = Char.code (Bytes.get data (n - 1)) in
+  if pad = 0 || pad > 16 || pad > n then invalid_arg "Seed_path: bad padding";
+  for i = n - pad to n - 1 do
+    if Char.code (Bytes.get data i) <> pad then
+      invalid_arg "Seed_path: bad padding"
+  done;
+  Bytes.sub data 0 (n - pad)
+
+let encrypt_cbc key ~iv plaintext =
+  let data = pkcs7_pad plaintext in
+  let blocks = Bytes.length data / 16 in
+  let out = Bytes.create (Bytes.length data) in
+  let prev = ref iv in
+  for i = 0 to blocks - 1 do
+    let blk = Bytes.sub data (16 * i) 16 in
+    let ct = encrypt_block key (xor16 blk !prev) in
+    Bytes.blit ct 0 out (16 * i) 16;
+    prev := ct
+  done;
+  out
+
+let decrypt_cbc key ~iv ciphertext =
+  let n = Bytes.length ciphertext in
+  if n = 0 || n mod 16 <> 0 then invalid_arg "Seed_path: bad CBC length";
+  let out = Bytes.create n in
+  let prev = ref iv in
+  for i = 0 to (n / 16) - 1 do
+    let ct = Bytes.sub ciphertext (16 * i) 16 in
+    let pt = xor16 (decrypt_block key ct) !prev in
+    Bytes.blit pt 0 out (16 * i) 16;
+    prev := ct
+  done;
+  pkcs7_unpad out
+
+(* ---- seed lib/ipsec/esp.ml: per-packet schedule, Bytes.cat chains,
+   generic HMAC, strict-counter replay check ---- *)
+
+let put32 b off (v : int32) =
+  for i = 0 to 3 do
+    Bytes.set b (off + i)
+      (Char.chr
+         (Int32.to_int
+            (Int32.logand (Int32.shift_right_logical v (8 * (3 - i))) 0xFFl)))
+  done
+
+let get32 b off =
+  let v = ref 0l in
+  for i = 0 to 3 do
+    v :=
+      Int32.logor (Int32.shift_left !v 8)
+        (Int32.of_int (Char.code (Bytes.get b (off + i))))
+  done;
+  !v
+
+let encapsulate (sa : Sa.t) ~rng ~outer_src ~outer_dst packet =
+  (match sa.Sa.transform with
+  | Sa.Aes128_cbc | Sa.Aes256_cbc -> ()
+  | _ -> invalid_arg "Seed_path.encapsulate: AES-CBC only");
+  let inner = Packet.serialize packet in
+  let iv = Rng.bytes rng 16 in
+  let key = expand_key sa.Sa.enc_key in
+  let ciphertext = Bytes.cat iv (encrypt_cbc key ~iv inner) in
+  sa.Sa.seq <- sa.Sa.seq + 1;
+  let header = Bytes.create 8 in
+  put32 header 0 sa.Sa.spi;
+  put32 header 4 (Int32.of_int sa.Sa.seq);
+  let body = Bytes.cat header ciphertext in
+  let icv = Hmac.mac_96 ~hash:Hmac.SHA1 ~key:sa.Sa.auth_key body in
+  let payload = Bytes.cat body icv in
+  Sa.note_bytes sa (Bytes.length payload);
+  Packet.make ~src:outer_src ~dst:outer_dst ~protocol:Packet.proto_esp
+    ~ident:sa.Sa.seq payload
+
+let decapsulate (sa : Sa.t) ~expected_seq packet =
+  let payload = packet.Packet.payload in
+  if Bytes.length payload < 8 + 12 then failwith "Seed_path: short packet";
+  let body = Bytes.sub payload 0 (Bytes.length payload - 12) in
+  let icv = Bytes.sub payload (Bytes.length payload - 12) 12 in
+  let spi = get32 body 0 in
+  if spi <> sa.Sa.spi then failwith "Seed_path: wrong SPI";
+  if not (Hmac.verify ~hash:Hmac.SHA1 ~key:sa.Sa.auth_key ~tag:icv body) then
+    failwith "Seed_path: auth failed";
+  let seq = Int32.to_int (get32 body 4) in
+  if seq < expected_seq then failwith "Seed_path: replay";
+  let ciphertext = Bytes.sub body 8 (Bytes.length body - 8) in
+  if Bytes.length ciphertext < 16 then failwith "Seed_path: short ciphertext";
+  let iv = Bytes.sub ciphertext 0 16 in
+  let enc = Bytes.sub ciphertext 16 (Bytes.length ciphertext - 16) in
+  let key = expand_key sa.Sa.enc_key in
+  let inner = decrypt_cbc key ~iv enc in
+  Sa.note_bytes sa (Bytes.length payload);
+  (Packet.parse inner, seq)

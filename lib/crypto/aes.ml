@@ -40,9 +40,63 @@ let sbox, inv_sbox =
   Array.iteri (fun i v -> si.(v) <- i) s;
   (s, si)
 
-type key = { rounds : int; rk : int array array (* round keys as 16-byte states *) }
+(* MixColumns multipliers as 256-entry tables instead of the bit-loop
+   [gmul]: one load per byte instead of ~8 iterations of shift/branch. *)
+let mul2 = Array.init 256 (fun a -> gmul a 2)
+let mul3 = Array.init 256 (fun a -> gmul a 3)
+let mul9 = Array.init 256 (fun a -> gmul a 9)
+let mul11 = Array.init 256 (fun a -> gmul a 11)
+let mul13 = Array.init 256 (fun a -> gmul a 13)
+let mul14 = Array.init 256 (fun a -> gmul a 14)
+
+(* T-tables: SubBytes and MixColumns fused into four 256-entry word
+   tables per direction (the classic 32-bit software AES).  A round
+   over the four column words is 16 table loads and ~20 xors instead
+   of byte-wise SubBytes/ShiftRows/MixColumns passes — this sits under
+   every ESP packet, once per 16 bytes.  Entry [te_r x] is the column
+   contribution of substituted byte [x] arriving from row [r]; the
+   MixColumns coefficient matrix rows are (2 3 1 1) rotated. *)
+let te0, te1, te2, te3 =
+  let t = Array.init 4 (fun _ -> Array.make 256 0) in
+  for x = 0 to 255 do
+    let s = sbox.(x) in
+    let s2 = mul2.(s) and s3 = mul3.(s) in
+    t.(0).(x) <- (s2 lsl 24) lor (s lsl 16) lor (s lsl 8) lor s3;
+    t.(1).(x) <- (s3 lsl 24) lor (s2 lsl 16) lor (s lsl 8) lor s;
+    t.(2).(x) <- (s lsl 24) lor (s3 lsl 16) lor (s2 lsl 8) lor s;
+    t.(3).(x) <- (s lsl 24) lor (s lsl 16) lor (s3 lsl 8) lor s2
+  done;
+  (t.(0), t.(1), t.(2), t.(3))
+
+(* Inverse tables over [inv_sbox]; coefficients (14 11 13 9) rotated. *)
+let td0, td1, td2, td3 =
+  let t = Array.init 4 (fun _ -> Array.make 256 0) in
+  for x = 0 to 255 do
+    let s = inv_sbox.(x) in
+    let s9 = mul9.(s) and s11 = mul11.(s) in
+    let s13 = mul13.(s) and s14 = mul14.(s) in
+    t.(0).(x) <- (s14 lsl 24) lor (s9 lsl 16) lor (s13 lsl 8) lor s11;
+    t.(1).(x) <- (s11 lsl 24) lor (s14 lsl 16) lor (s9 lsl 8) lor s13;
+    t.(2).(x) <- (s13 lsl 24) lor (s11 lsl 16) lor (s14 lsl 8) lor s9;
+    t.(3).(x) <- (s9 lsl 24) lor (s13 lsl 16) lor (s11 lsl 8) lor s14
+  done;
+  (t.(0), t.(1), t.(2), t.(3))
+
+(* [ek]: encryption round keys as big-endian column words, 4 per
+   round.  [dk]: the equivalent-inverse-cipher round keys — the
+   encryption schedule reversed, with InvMixColumns applied to the
+   interior rounds so decryption can run the same table shape. *)
+type key = { rounds : int; ek : int array; dk : int array }
 
 let key_bits k = match k.rounds with 10 -> 128 | 12 -> 192 | 14 -> 256 | _ -> assert false
+
+(* InvMixColumns of one schedule word: [td_r (sbox x)] undoes the
+   substitution baked into the td tables, leaving the pure column mix. *)
+let inv_mix_word w =
+  td0.(sbox.((w lsr 24) land 0xFF))
+  lxor td1.(sbox.((w lsr 16) land 0xFF))
+  lxor td2.(sbox.((w lsr 8) land 0xFF))
+  lxor td3.(sbox.(w land 0xFF))
 
 let expand_key raw =
   let nk =
@@ -75,65 +129,181 @@ let expand_key raw =
     else if nk = 8 && i mod nk = 4 then temp := sub_word !temp;
     words.(i) <- words.(i - nk) lxor !temp
   done;
-  (* Flatten words into per-round 16-byte arrays, column order. *)
-  let rk =
-    Array.init (rounds + 1) (fun r ->
-        Array.init 16 (fun i ->
-            let w = words.((4 * r) + (i / 4)) in
-            (w lsr (8 * (3 - (i mod 4)))) land 0xFF))
+  let dk = Array.make (4 * (rounds + 1)) 0 in
+  for j = 0 to 3 do
+    dk.(j) <- words.((4 * rounds) + j);
+    dk.((4 * rounds) + j) <- words.(j)
+  done;
+  for r = 1 to rounds - 1 do
+    for j = 0 to 3 do
+      dk.((4 * r) + j) <- inv_mix_word words.((4 * (rounds - r)) + j)
+    done
+  done;
+  { rounds; ek = words; dk }
+
+(* State is a 16-element int array; on entry to the block transforms it
+   holds the block's bytes (column-major, matching input byte order),
+   on exit the transformed bytes.  Internally the rounds run on the
+   four packed column words, double-buffered through slots 0..7 of the
+   same array, so nothing is allocated — the ESP dataplane runs these
+   kernels once per 16 payload bytes. *)
+
+let[@inline] pack state i =
+  (state.(i) lsl 24)
+  lor (state.(i + 1) lsl 16)
+  lor (state.(i + 2) lsl 8)
+  lor state.(i + 3)
+
+let[@inline] unpack state i w =
+  state.(i) <- (w lsr 24) land 0xFF;
+  state.(i + 1) <- (w lsr 16) land 0xFF;
+  state.(i + 2) <- (w lsr 8) land 0xFF;
+  state.(i + 3) <- w land 0xFF
+
+let encrypt_state key state =
+  let ek = key.ek in
+  let w0 = pack state 0 lxor ek.(0) in
+  let w1 = pack state 4 lxor ek.(1) in
+  let w2 = pack state 8 lxor ek.(2) in
+  let w3 = pack state 12 lxor ek.(3) in
+  state.(0) <- w0;
+  state.(1) <- w1;
+  state.(2) <- w2;
+  state.(3) <- w3;
+  for r = 1 to key.rounds - 1 do
+    let w0 = state.(0) and w1 = state.(1) in
+    let w2 = state.(2) and w3 = state.(3) in
+    let k = 4 * r in
+    state.(0) <-
+      Array.unsafe_get te0 (w0 lsr 24)
+      lxor Array.unsafe_get te1 ((w1 lsr 16) land 0xFF)
+      lxor Array.unsafe_get te2 ((w2 lsr 8) land 0xFF)
+      lxor Array.unsafe_get te3 (w3 land 0xFF)
+      lxor Array.unsafe_get ek k;
+    state.(1) <-
+      Array.unsafe_get te0 (w1 lsr 24)
+      lxor Array.unsafe_get te1 ((w2 lsr 16) land 0xFF)
+      lxor Array.unsafe_get te2 ((w3 lsr 8) land 0xFF)
+      lxor Array.unsafe_get te3 (w0 land 0xFF)
+      lxor Array.unsafe_get ek (k + 1);
+    state.(2) <-
+      Array.unsafe_get te0 (w2 lsr 24)
+      lxor Array.unsafe_get te1 ((w3 lsr 16) land 0xFF)
+      lxor Array.unsafe_get te2 ((w0 lsr 8) land 0xFF)
+      lxor Array.unsafe_get te3 (w1 land 0xFF)
+      lxor Array.unsafe_get ek (k + 2);
+    state.(3) <-
+      Array.unsafe_get te0 (w3 lsr 24)
+      lxor Array.unsafe_get te1 ((w0 lsr 16) land 0xFF)
+      lxor Array.unsafe_get te2 ((w1 lsr 8) land 0xFF)
+      lxor Array.unsafe_get te3 (w2 land 0xFF)
+      lxor Array.unsafe_get ek (k + 3)
+  done;
+  let w0 = state.(0) and w1 = state.(1) in
+  let w2 = state.(2) and w3 = state.(3) in
+  let k = 4 * key.rounds in
+  let n0 =
+    (sbox.(w0 lsr 24) lsl 24)
+    lor (sbox.((w1 lsr 16) land 0xFF) lsl 16)
+    lor (sbox.((w2 lsr 8) land 0xFF) lsl 8)
+    lor sbox.(w3 land 0xFF)
   in
-  { rounds; rk }
+  let n1 =
+    (sbox.(w1 lsr 24) lsl 24)
+    lor (sbox.((w2 lsr 16) land 0xFF) lsl 16)
+    lor (sbox.((w3 lsr 8) land 0xFF) lsl 8)
+    lor sbox.(w0 land 0xFF)
+  in
+  let n2 =
+    (sbox.(w2 lsr 24) lsl 24)
+    lor (sbox.((w3 lsr 16) land 0xFF) lsl 16)
+    lor (sbox.((w0 lsr 8) land 0xFF) lsl 8)
+    lor sbox.(w1 land 0xFF)
+  in
+  let n3 =
+    (sbox.(w3 lsr 24) lsl 24)
+    lor (sbox.((w0 lsr 16) land 0xFF) lsl 16)
+    lor (sbox.((w1 lsr 8) land 0xFF) lsl 8)
+    lor sbox.(w2 land 0xFF)
+  in
+  unpack state 0 (n0 lxor ek.(k));
+  unpack state 4 (n1 lxor ek.(k + 1));
+  unpack state 8 (n2 lxor ek.(k + 2));
+  unpack state 12 (n3 lxor ek.(k + 3))
 
-(* State is a 16-element int array in column-major order: state.(4*c+r)
-   is row r, column c, matching the byte order of the input block. *)
-
-let add_round_key state rk =
-  for i = 0 to 15 do
-    state.(i) <- state.(i) lxor rk.(i)
-  done
-
-let sub_bytes state tbl =
-  for i = 0 to 15 do
-    state.(i) <- tbl.(state.(i))
-  done
-
-let shift_rows state =
-  (* Row r rotates left by r; with column-major layout row r lives at
-     indices r, r+4, r+8, r+12. *)
-  for r = 1 to 3 do
-    let row = Array.init 4 (fun c -> state.((4 * c) + r)) in
-    for c = 0 to 3 do
-      state.((4 * c) + r) <- row.((c + r) mod 4)
-    done
-  done
-
-let inv_shift_rows state =
-  for r = 1 to 3 do
-    let row = Array.init 4 (fun c -> state.((4 * c) + r)) in
-    for c = 0 to 3 do
-      state.((4 * c) + r) <- row.((c - r + 4) mod 4)
-    done
-  done
-
-let mix_columns state =
-  for c = 0 to 3 do
-    let a0 = state.(4 * c) and a1 = state.((4 * c) + 1) in
-    let a2 = state.((4 * c) + 2) and a3 = state.((4 * c) + 3) in
-    state.(4 * c) <- gmul a0 2 lxor gmul a1 3 lxor a2 lxor a3;
-    state.((4 * c) + 1) <- a0 lxor gmul a1 2 lxor gmul a2 3 lxor a3;
-    state.((4 * c) + 2) <- a0 lxor a1 lxor gmul a2 2 lxor gmul a3 3;
-    state.((4 * c) + 3) <- gmul a0 3 lxor a1 lxor a2 lxor gmul a3 2
-  done
-
-let inv_mix_columns state =
-  for c = 0 to 3 do
-    let a0 = state.(4 * c) and a1 = state.((4 * c) + 1) in
-    let a2 = state.((4 * c) + 2) and a3 = state.((4 * c) + 3) in
-    state.(4 * c) <- gmul a0 14 lxor gmul a1 11 lxor gmul a2 13 lxor gmul a3 9;
-    state.((4 * c) + 1) <- gmul a0 9 lxor gmul a1 14 lxor gmul a2 11 lxor gmul a3 13;
-    state.((4 * c) + 2) <- gmul a0 13 lxor gmul a1 9 lxor gmul a2 14 lxor gmul a3 11;
-    state.((4 * c) + 3) <- gmul a0 11 lxor gmul a1 13 lxor gmul a2 9 lxor gmul a3 14
-  done
+(* Equivalent inverse cipher: same shape as [encrypt_state] with the
+   td tables, [dk] schedule and InvShiftRows byte sourcing (row r
+   shifts right by r, so word j draws from columns j, j-1, j-2, j-3). *)
+let decrypt_state key state =
+  let dk = key.dk in
+  let w0 = pack state 0 lxor dk.(0) in
+  let w1 = pack state 4 lxor dk.(1) in
+  let w2 = pack state 8 lxor dk.(2) in
+  let w3 = pack state 12 lxor dk.(3) in
+  state.(0) <- w0;
+  state.(1) <- w1;
+  state.(2) <- w2;
+  state.(3) <- w3;
+  for r = 1 to key.rounds - 1 do
+    let w0 = state.(0) and w1 = state.(1) in
+    let w2 = state.(2) and w3 = state.(3) in
+    let k = 4 * r in
+    state.(0) <-
+      Array.unsafe_get td0 (w0 lsr 24)
+      lxor Array.unsafe_get td1 ((w3 lsr 16) land 0xFF)
+      lxor Array.unsafe_get td2 ((w2 lsr 8) land 0xFF)
+      lxor Array.unsafe_get td3 (w1 land 0xFF)
+      lxor Array.unsafe_get dk k;
+    state.(1) <-
+      Array.unsafe_get td0 (w1 lsr 24)
+      lxor Array.unsafe_get td1 ((w0 lsr 16) land 0xFF)
+      lxor Array.unsafe_get td2 ((w3 lsr 8) land 0xFF)
+      lxor Array.unsafe_get td3 (w2 land 0xFF)
+      lxor Array.unsafe_get dk (k + 1);
+    state.(2) <-
+      Array.unsafe_get td0 (w2 lsr 24)
+      lxor Array.unsafe_get td1 ((w1 lsr 16) land 0xFF)
+      lxor Array.unsafe_get td2 ((w0 lsr 8) land 0xFF)
+      lxor Array.unsafe_get td3 (w3 land 0xFF)
+      lxor Array.unsafe_get dk (k + 2);
+    state.(3) <-
+      Array.unsafe_get td0 (w3 lsr 24)
+      lxor Array.unsafe_get td1 ((w2 lsr 16) land 0xFF)
+      lxor Array.unsafe_get td2 ((w1 lsr 8) land 0xFF)
+      lxor Array.unsafe_get td3 (w0 land 0xFF)
+      lxor Array.unsafe_get dk (k + 3)
+  done;
+  let w0 = state.(0) and w1 = state.(1) in
+  let w2 = state.(2) and w3 = state.(3) in
+  let k = 4 * key.rounds in
+  let n0 =
+    (inv_sbox.(w0 lsr 24) lsl 24)
+    lor (inv_sbox.((w3 lsr 16) land 0xFF) lsl 16)
+    lor (inv_sbox.((w2 lsr 8) land 0xFF) lsl 8)
+    lor inv_sbox.(w1 land 0xFF)
+  in
+  let n1 =
+    (inv_sbox.(w1 lsr 24) lsl 24)
+    lor (inv_sbox.((w0 lsr 16) land 0xFF) lsl 16)
+    lor (inv_sbox.((w3 lsr 8) land 0xFF) lsl 8)
+    lor inv_sbox.(w2 land 0xFF)
+  in
+  let n2 =
+    (inv_sbox.(w2 lsr 24) lsl 24)
+    lor (inv_sbox.((w1 lsr 16) land 0xFF) lsl 16)
+    lor (inv_sbox.((w0 lsr 8) land 0xFF) lsl 8)
+    lor inv_sbox.(w3 land 0xFF)
+  in
+  let n3 =
+    (inv_sbox.(w3 lsr 24) lsl 24)
+    lor (inv_sbox.((w2 lsr 16) land 0xFF) lsl 16)
+    lor (inv_sbox.((w1 lsr 8) land 0xFF) lsl 8)
+    lor inv_sbox.(w0 land 0xFF)
+  in
+  unpack state 0 (n0 lxor dk.(k));
+  unpack state 4 (n1 lxor dk.(k + 1));
+  unpack state 8 (n2 lxor dk.(k + 2));
+  unpack state 12 (n3 lxor dk.(k + 3))
 
 let check_block b =
   if Bytes.length b <> 16 then invalid_arg "Aes: block must be 16 bytes"
@@ -144,76 +314,117 @@ let bytes_of_state s = Bytes.init 16 (fun i -> Char.chr s.(i))
 let encrypt_block key src =
   check_block src;
   let state = state_of_bytes src in
-  add_round_key state key.rk.(0);
-  for round = 1 to key.rounds - 1 do
-    sub_bytes state sbox;
-    shift_rows state;
-    mix_columns state;
-    add_round_key state key.rk.(round)
-  done;
-  sub_bytes state sbox;
-  shift_rows state;
-  add_round_key state key.rk.(key.rounds);
+  encrypt_state key state;
   bytes_of_state state
 
 let decrypt_block key src =
   check_block src;
   let state = state_of_bytes src in
-  add_round_key state key.rk.(key.rounds);
-  for round = key.rounds - 1 downto 1 do
-    inv_shift_rows state;
-    sub_bytes state inv_sbox;
-    add_round_key state key.rk.(round);
-    inv_mix_columns state
-  done;
-  inv_shift_rows state;
-  sub_bytes state inv_sbox;
-  add_round_key state key.rk.(0);
+  decrypt_state key state;
   bytes_of_state state
 
-let xor16 a b = Bytes.init 16 (fun i -> Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+(* CBC with PKCS#7 padding, writing into caller-supplied storage.  The
+   16-int [scratch] holds the in-flight block so steady-state encap and
+   decap allocate nothing; [encrypt_cbc]/[decrypt_cbc] below are thin
+   allocating wrappers over the same kernels, which keeps the reference
+   path and the dataplane byte-identical by construction. *)
 
-let pkcs7_pad data =
-  let pad = 16 - (Bytes.length data mod 16) in
-  Bytes.cat data (Bytes.make pad (Char.chr pad))
+let check_scratch scratch =
+  if Array.length scratch < 16 then
+    invalid_arg "Aes: scratch must hold at least 16 ints"
 
-let pkcs7_unpad data =
-  let n = Bytes.length data in
-  if n = 0 || n mod 16 <> 0 then invalid_arg "Aes: bad CBC length";
-  let pad = Char.code (Bytes.get data (n - 1)) in
-  if pad = 0 || pad > 16 || pad > n then invalid_arg "Aes: bad padding";
-  for i = n - pad to n - 1 do
-    if Char.code (Bytes.get data i) <> pad then invalid_arg "Aes: bad padding"
+let encrypt_cbc_into key ~scratch ~src ~src_pos ~len ~iv ~iv_pos ~dst ~dst_pos
+    =
+  check_scratch scratch;
+  if src_pos < 0 || len < 0 || src_pos + len > Bytes.length src then
+    invalid_arg "Aes.encrypt_cbc_into: bad source slice";
+  if iv_pos < 0 || iv_pos + 16 > Bytes.length iv then
+    invalid_arg "Aes.encrypt_cbc_into: bad IV slice";
+  let pad = 16 - (len mod 16) in
+  let padded = len + pad in
+  if dst_pos < 0 || dst_pos + padded > Bytes.length dst then
+    invalid_arg "Aes.encrypt_cbc_into: destination too small";
+  let st = scratch in
+  for blk = 0 to (padded / 16) - 1 do
+    let off = 16 * blk in
+    for i = 0 to 15 do
+      let j = off + i in
+      let p =
+        if j < len then Char.code (Bytes.unsafe_get src (src_pos + j)) else pad
+      in
+      let c =
+        if blk = 0 then Char.code (Bytes.unsafe_get iv (iv_pos + i))
+        else Char.code (Bytes.unsafe_get dst (dst_pos + off - 16 + i))
+      in
+      st.(i) <- p lxor c
+    done;
+    encrypt_state key st;
+    for i = 0 to 15 do
+      Bytes.unsafe_set dst (dst_pos + off + i) (Char.unsafe_chr st.(i))
+    done
   done;
-  Bytes.sub data 0 (n - pad)
+  padded
+
+let decrypt_cbc_into key ~scratch ~src ~src_pos ~len ~iv ~iv_pos ~dst ~dst_pos
+    =
+  check_scratch scratch;
+  if src_pos < 0 || len < 0 || src_pos + len > Bytes.length src then
+    invalid_arg "Aes.decrypt_cbc_into: bad source slice";
+  if iv_pos < 0 || iv_pos + 16 > Bytes.length iv then
+    invalid_arg "Aes.decrypt_cbc_into: bad IV slice";
+  if len = 0 || len mod 16 <> 0 then -1
+  else begin
+    if dst_pos < 0 || dst_pos + len > Bytes.length dst then
+      invalid_arg "Aes.decrypt_cbc_into: destination too small";
+    let st = scratch in
+    for blk = 0 to (len / 16) - 1 do
+      let off = 16 * blk in
+      for i = 0 to 15 do
+        st.(i) <- Char.code (Bytes.unsafe_get src (src_pos + off + i))
+      done;
+      decrypt_state key st;
+      for i = 0 to 15 do
+        let c =
+          if blk = 0 then Char.code (Bytes.unsafe_get iv (iv_pos + i))
+          else Char.code (Bytes.unsafe_get src (src_pos + off - 16 + i))
+        in
+        Bytes.unsafe_set dst (dst_pos + off + i)
+          (Char.unsafe_chr (st.(i) lxor c))
+      done
+    done;
+    let pad = Char.code (Bytes.get dst (dst_pos + len - 1)) in
+    if pad = 0 || pad > 16 || pad > len then -1
+    else begin
+      let bad = ref 0 in
+      for i = len - pad to len - 1 do
+        bad := !bad lor (Char.code (Bytes.get dst (dst_pos + i)) lxor pad)
+      done;
+      if !bad = 0 then len - pad else -1
+    end
+  end
 
 let encrypt_cbc key ~iv plaintext =
   check_block iv;
-  let data = pkcs7_pad plaintext in
-  let blocks = Bytes.length data / 16 in
-  let out = Bytes.create (Bytes.length data) in
-  let prev = ref iv in
-  for i = 0 to blocks - 1 do
-    let blk = Bytes.sub data (16 * i) 16 in
-    let ct = encrypt_block key (xor16 blk !prev) in
-    Bytes.blit ct 0 out (16 * i) 16;
-    prev := ct
-  done;
+  let len = Bytes.length plaintext in
+  let out = Bytes.create (len + 16 - (len mod 16)) in
+  let scratch = Array.make 16 0 in
+  ignore
+    (encrypt_cbc_into key ~scratch ~src:plaintext ~src_pos:0 ~len ~iv ~iv_pos:0
+       ~dst:out ~dst_pos:0);
   out
 
 let decrypt_cbc key ~iv ciphertext =
   check_block iv;
   let n = Bytes.length ciphertext in
   if n = 0 || n mod 16 <> 0 then invalid_arg "Aes: bad CBC length";
-  let out = Bytes.create n in
-  let prev = ref iv in
-  for i = 0 to (n / 16) - 1 do
-    let ct = Bytes.sub ciphertext (16 * i) 16 in
-    let pt = xor16 (decrypt_block key ct) !prev in
-    Bytes.blit pt 0 out (16 * i) 16;
-    prev := ct
-  done;
-  pkcs7_unpad out
+  let tmp = Bytes.create n in
+  let scratch = Array.make 16 0 in
+  let plen =
+    decrypt_cbc_into key ~scratch ~src:ciphertext ~src_pos:0 ~len:n ~iv
+      ~iv_pos:0 ~dst:tmp ~dst_pos:0
+  in
+  if plen < 0 then invalid_arg "Aes: bad padding";
+  Bytes.sub tmp 0 plen
 
 let incr_counter ctr =
   let rec go i =

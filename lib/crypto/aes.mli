@@ -33,3 +33,47 @@ val decrypt_cbc : key -> iv:bytes -> bytes -> bytes
 (** [ctr k ~nonce data] encrypts/decrypts (its own inverse) in counter
     mode; [nonce] is 16 bytes used as the initial counter block. *)
 val ctr : key -> nonce:bytes -> bytes -> bytes
+
+(** {2 Zero-allocation CBC kernels}
+
+    The ESP dataplane encrypts packets in place inside preallocated
+    buffers; these kernels write into caller storage and keep the
+    in-flight block in a caller-supplied [scratch] of at least 16 ints,
+    so steady state allocates nothing.  [encrypt_cbc]/[decrypt_cbc]
+    above are allocating wrappers over the same code, which makes the
+    reference path byte-identical by construction. *)
+
+(** [encrypt_cbc_into k ~scratch ~src ~src_pos ~len ~iv ~iv_pos ~dst
+    ~dst_pos] CBC-encrypts [src[src_pos..src_pos+len)] with PKCS#7
+    padding, writing ciphertext at [dst_pos].  Returns the padded
+    length ([len] rounded up to the next multiple of 16, always
+    [> len]).  [src] and [dst] must not overlap.
+    @raise Invalid_argument on bad slices or a too-small [dst]. *)
+val encrypt_cbc_into :
+  key ->
+  scratch:int array ->
+  src:bytes ->
+  src_pos:int ->
+  len:int ->
+  iv:bytes ->
+  iv_pos:int ->
+  dst:bytes ->
+  dst_pos:int ->
+  int
+
+(** [decrypt_cbc_into k ~scratch ~src ~src_pos ~len ~iv ~iv_pos ~dst
+    ~dst_pos] inverts [encrypt_cbc_into], writing the plaintext at
+    [dst_pos] and returning its unpadded length, or [-1] on a
+    non-block-multiple length or bad PKCS#7 padding (never raises for
+    malformed ciphertext).  [src] and [dst] must not overlap. *)
+val decrypt_cbc_into :
+  key ->
+  scratch:int array ->
+  src:bytes ->
+  src_pos:int ->
+  len:int ->
+  iv:bytes ->
+  iv_pos:int ->
+  dst:bytes ->
+  dst_pos:int ->
+  int

@@ -147,52 +147,114 @@ let block_of_int64 v =
 
 let check_block b = if Bytes.length b <> 8 then invalid_arg "Des: block must be 8 bytes"
 
+let crypt key v ~decrypt =
+  match key with
+  | Single ks -> rounds ks v ~decrypt
+  | Ede3 (k1, k2, k3) ->
+      if decrypt then
+        rounds k1 (rounds k2 (rounds k3 v ~decrypt:true) ~decrypt:false) ~decrypt:true
+      else rounds k3 (rounds k2 (rounds k1 v ~decrypt:false) ~decrypt:true) ~decrypt:false
+
 let apply key b ~decrypt =
   check_block b;
-  let v = int64_of_block b in
-  let out =
-    match key with
-    | Single ks -> rounds ks v ~decrypt
-    | Ede3 (k1, k2, k3) ->
-        if decrypt then
-          rounds k1 (rounds k2 (rounds k3 v ~decrypt:true) ~decrypt:false) ~decrypt:true
-        else rounds k3 (rounds k2 (rounds k1 v ~decrypt:false) ~decrypt:true) ~decrypt:false
-  in
-  block_of_int64 out
+  block_of_int64 (crypt key (int64_of_block b) ~decrypt)
 
 let encrypt_block key b = apply key b ~decrypt:false
 let decrypt_block key b = apply key b ~decrypt:true
 
-let xor8 a b = Bytes.init 8 (fun i -> Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+(* CBC kernels writing into caller storage (the ESP dataplane encrypts
+   inside preallocated packet buffers).  Blocks are handled as int64
+   words read/written at byte offsets, so no per-block Bytes appear;
+   [encrypt_cbc]/[decrypt_cbc] below wrap these, keeping the reference
+   path byte-identical to the dataplane by construction. *)
+
+let get64 b pos =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v :=
+      Int64.logor (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code (Bytes.unsafe_get b (pos + i))))
+  done;
+  !v
+
+let put64 b pos v =
+  for i = 0 to 7 do
+    Bytes.unsafe_set b (pos + i)
+      (Char.unsafe_chr
+         (Int64.to_int (Int64.shift_right_logical v (8 * (7 - i))) land 0xFF))
+  done
+
+let encrypt_cbc_into key ~src ~src_pos ~len ~iv ~iv_pos ~dst ~dst_pos =
+  if src_pos < 0 || len < 0 || src_pos + len > Bytes.length src then
+    invalid_arg "Des.encrypt_cbc_into: bad source slice";
+  if iv_pos < 0 || iv_pos + 8 > Bytes.length iv then
+    invalid_arg "Des.encrypt_cbc_into: bad IV slice";
+  let pad = 8 - (len mod 8) in
+  let padded = len + pad in
+  if dst_pos < 0 || dst_pos + padded > Bytes.length dst then
+    invalid_arg "Des.encrypt_cbc_into: destination too small";
+  let prev = ref (get64 iv iv_pos) in
+  for blk = 0 to (padded / 8) - 1 do
+    let off = 8 * blk in
+    let pt = ref 0L in
+    for i = 0 to 7 do
+      let j = off + i in
+      let byte =
+        if j < len then Char.code (Bytes.unsafe_get src (src_pos + j)) else pad
+      in
+      pt := Int64.logor (Int64.shift_left !pt 8) (Int64.of_int byte)
+    done;
+    let ct = crypt key (Int64.logxor !pt !prev) ~decrypt:false in
+    put64 dst (dst_pos + off) ct;
+    prev := ct
+  done;
+  padded
+
+let decrypt_cbc_into key ~src ~src_pos ~len ~iv ~iv_pos ~dst ~dst_pos =
+  if src_pos < 0 || len < 0 || src_pos + len > Bytes.length src then
+    invalid_arg "Des.decrypt_cbc_into: bad source slice";
+  if iv_pos < 0 || iv_pos + 8 > Bytes.length iv then
+    invalid_arg "Des.decrypt_cbc_into: bad IV slice";
+  if len = 0 || len mod 8 <> 0 then -1
+  else begin
+    if dst_pos < 0 || dst_pos + len > Bytes.length dst then
+      invalid_arg "Des.decrypt_cbc_into: destination too small";
+    let prev = ref (get64 iv iv_pos) in
+    for blk = 0 to (len / 8) - 1 do
+      let off = 8 * blk in
+      let ct = get64 src (src_pos + off) in
+      put64 dst (dst_pos + off)
+        (Int64.logxor (crypt key ct ~decrypt:true) !prev);
+      prev := ct
+    done;
+    let pad = Char.code (Bytes.get dst (dst_pos + len - 1)) in
+    if pad = 0 || pad > 8 || pad > len then -1
+    else begin
+      let bad = ref 0 in
+      for i = len - pad to len - 1 do
+        bad := !bad lor (Char.code (Bytes.get dst (dst_pos + i)) lxor pad)
+      done;
+      if !bad = 0 then len - pad else -1
+    end
+  end
 
 let encrypt_cbc key ~iv plaintext =
   check_block iv;
-  let pad = 8 - (Bytes.length plaintext mod 8) in
-  let data = Bytes.cat plaintext (Bytes.make pad (Char.chr pad)) in
-  let out = Bytes.create (Bytes.length data) in
-  let prev = ref iv in
-  for i = 0 to (Bytes.length data / 8) - 1 do
-    let ct = encrypt_block key (xor8 (Bytes.sub data (8 * i) 8) !prev) in
-    Bytes.blit ct 0 out (8 * i) 8;
-    prev := ct
-  done;
+  let len = Bytes.length plaintext in
+  let out = Bytes.create (len + 8 - (len mod 8)) in
+  ignore
+    (encrypt_cbc_into key ~src:plaintext ~src_pos:0 ~len ~iv ~iv_pos:0 ~dst:out
+       ~dst_pos:0);
   out
 
 let decrypt_cbc key ~iv ciphertext =
   check_block iv;
   let n = Bytes.length ciphertext in
   if n = 0 || n mod 8 <> 0 then invalid_arg "Des: bad CBC length";
-  let out = Bytes.create n in
-  let prev = ref iv in
-  for i = 0 to (n / 8) - 1 do
-    let ct = Bytes.sub ciphertext (8 * i) 8 in
-    let pt = xor8 (decrypt_block key ct) !prev in
-    Bytes.blit pt 0 out (8 * i) 8;
-    prev := ct
-  done;
-  let pad = Char.code (Bytes.get out (n - 1)) in
-  if pad = 0 || pad > 8 || pad > n then invalid_arg "Des: bad padding";
-  for i = n - pad to n - 1 do
-    if Char.code (Bytes.get out i) <> pad then invalid_arg "Des: bad padding"
-  done;
-  Bytes.sub out 0 (n - pad)
+  let tmp = Bytes.create n in
+  let plen =
+    decrypt_cbc_into key ~src:ciphertext ~src_pos:0 ~len:n ~iv ~iv_pos:0
+      ~dst:tmp ~dst_pos:0
+  in
+  if plen < 0 then invalid_arg "Des: bad padding";
+  Bytes.sub tmp 0 plen

@@ -24,3 +24,38 @@ val decrypt_block : key -> bytes -> bytes
 val encrypt_cbc : key -> iv:bytes -> bytes -> bytes
 
 val decrypt_cbc : key -> iv:bytes -> bytes -> bytes
+
+(** {2 CBC kernels into caller storage}
+
+    Counterparts of [Aes.encrypt_cbc_into]/[Aes.decrypt_cbc_into] for
+    the ESP dataplane: blocks move as int64 words at byte offsets, with
+    no per-block [Bytes].  [encrypt_cbc]/[decrypt_cbc] wrap these, so
+    the two paths are byte-identical by construction. *)
+
+(** Returns the padded ciphertext length (always [> len]); [src] and
+    [dst] must not overlap.
+    @raise Invalid_argument on bad slices or a too-small [dst]. *)
+val encrypt_cbc_into :
+  key ->
+  src:bytes ->
+  src_pos:int ->
+  len:int ->
+  iv:bytes ->
+  iv_pos:int ->
+  dst:bytes ->
+  dst_pos:int ->
+  int
+
+(** Returns the unpadded plaintext length, or [-1] on a
+    non-block-multiple length or bad padding (never raises for
+    malformed ciphertext); [src] and [dst] must not overlap. *)
+val decrypt_cbc_into :
+  key ->
+  src:bytes ->
+  src_pos:int ->
+  len:int ->
+  iv:bytes ->
+  iv_pos:int ->
+  dst:bytes ->
+  dst_pos:int ->
+  int

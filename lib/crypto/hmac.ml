@@ -24,6 +24,65 @@ let const_time_equal a b =
   Bytes.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code (Bytes.get b i))) a;
   !acc = 0
 
+(* -- Precomputed HMAC-SHA1-96 for the ESP fast path: the key blocks
+   are derived once per SA, and the per-message MAC reuses one hashing
+   context and scratch digest, so tagging or verifying a packet
+   allocates nothing.  Byte-identical to [mac_96 ~hash:SHA1]. -- *)
+
+type sha1_key = {
+  i_mid : int array; (* chaining state after the inner key block *)
+  o_mid : int array; (* chaining state after the outer key block *)
+  ctx : Sha1.ctx; (* reusable hashing context *)
+  scratch : bytes; (* 20-byte digest scratch *)
+}
+
+let sha1_key key =
+  let bs = Sha1.block_size in
+  let key = if Bytes.length key > bs then Sha1.digest key else key in
+  let ctx = Sha1.init () in
+  (* The 64-byte ipad/opad blocks are fixed per key, so compress each
+     once here and keep only the midstates — two fewer compressions on
+     every packet's MAC. *)
+  let mid fill =
+    let p = Bytes.make bs fill in
+    Bytes.iteri
+      (fun i c -> Bytes.set p i (Char.chr (Char.code c lxor Char.code fill)))
+      key;
+    Sha1.reset ctx;
+    Sha1.feed ctx p ~pos:0 ~len:bs;
+    Sha1.capture ctx
+  in
+  {
+    i_mid = mid '\x36';
+    o_mid = mid '\x5c';
+    ctx;
+    scratch = Bytes.create Sha1.digest_size;
+  }
+
+(* Full HMAC into [k.scratch]. *)
+let sha1_compute k ~msg ~pos ~len =
+  Sha1.resume k.ctx k.i_mid ~total:Sha1.block_size;
+  Sha1.feed k.ctx msg ~pos ~len;
+  Sha1.finalize_into k.ctx ~dst:k.scratch ~pos:0;
+  Sha1.resume k.ctx k.o_mid ~total:Sha1.block_size;
+  Sha1.feed k.ctx k.scratch ~pos:0 ~len:Sha1.digest_size;
+  Sha1.finalize_into k.ctx ~dst:k.scratch ~pos:0
+
+let sha1_96_into k ~msg ~pos ~len ~dst ~dst_pos =
+  sha1_compute k ~msg ~pos ~len;
+  Bytes.blit k.scratch 0 dst dst_pos 12
+
+let sha1_96_verify k ~msg ~pos ~len ~tag ~tag_pos =
+  sha1_compute k ~msg ~pos ~len;
+  let acc = ref 0 in
+  for i = 0 to 11 do
+    acc :=
+      !acc
+      lor (Char.code (Bytes.get k.scratch i)
+          lxor Char.code (Bytes.get tag (tag_pos + i)))
+  done;
+  !acc = 0
+
 let verify ~hash ~key ~tag msg =
   let full = mac ~hash ~key msg in
   let expect =

@@ -14,3 +14,26 @@ val mac_96 : hash:hash -> key:bytes -> bytes -> bytes
 
 (** [verify ~hash ~key ~tag msg] is constant-time tag comparison. *)
 val verify : hash:hash -> key:bytes -> tag:bytes -> bytes -> bool
+
+(** {2 Zero-allocation HMAC-SHA1-96}
+
+    The ESP dataplane authenticates every tunnel packet; these entry
+    points precompute the padded key blocks once per SA and reuse one
+    hashing context, so the per-packet MAC allocates nothing.  Output
+    is byte-identical to [mac_96 ~hash:SHA1]. *)
+
+type sha1_key
+
+(** [sha1_key key] precomputes the HMAC-SHA1 inner/outer key blocks.
+    Not domain-safe: one [sha1_key] serves one dataplane thread. *)
+val sha1_key : bytes -> sha1_key
+
+(** [sha1_96_into k ~msg ~pos ~len ~dst ~dst_pos] writes the 12-byte
+    HMAC-SHA1-96 tag of [msg[pos..pos+len)] at [dst_pos]. *)
+val sha1_96_into :
+  sha1_key -> msg:bytes -> pos:int -> len:int -> dst:bytes -> dst_pos:int -> unit
+
+(** [sha1_96_verify k ~msg ~pos ~len ~tag ~tag_pos] is constant-time
+    comparison of the computed tag against [tag[tag_pos..tag_pos+12)]. *)
+val sha1_96_verify :
+  sha1_key -> msg:bytes -> pos:int -> len:int -> tag:bytes -> tag_pos:int -> bool

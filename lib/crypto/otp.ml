@@ -1,31 +1,56 @@
 module Bitstring = Qkd_util.Bitstring
 
-type pad = { mutable chunks : Bitstring.t list (* oldest first *) }
+(* Two-list queue (same idiom as [Key_pool]): [front] holds chunks
+   oldest-first, [back] newest-first.  [refill] conses onto [back] in
+   O(1); the old single-list representation appended with [@ [b]],
+   which made a long-lived pad's refills quadratic in the number of
+   chunks.  [bits] caches the unconsumed total so [remaining] is O(1)
+   too. *)
+type pad = {
+  mutable front : Bitstring.t list;
+  mutable back : Bitstring.t list;
+  mutable bits : int;
+}
 
 exception Exhausted
 
-let pad_of_bits b = { chunks = (if Bitstring.length b = 0 then [] else [ b ]) }
+let pad_of_bits b =
+  let n = Bitstring.length b in
+  { front = (if n = 0 then [] else [ b ]); back = []; bits = n }
 
-let remaining p = List.fold_left (fun acc c -> acc + Bitstring.length c) 0 p.chunks
+let remaining p = p.bits
 
-let refill p b = if Bitstring.length b > 0 then p.chunks <- p.chunks @ [ b ]
+let refill p b =
+  let n = Bitstring.length b in
+  if n > 0 then begin
+    p.back <- b :: p.back;
+    p.bits <- p.bits + n
+  end
 
 let take p nbits =
-  if remaining p < nbits then raise Exhausted;
-  let rec go acc need chunks =
-    if need = 0 then (Bitstring.concat_list (List.rev acc), chunks)
+  if p.bits < nbits then raise Exhausted;
+  let rec go acc need =
+    if need = 0 then Bitstring.concat_list (List.rev acc)
     else
-      match chunks with
-      | [] -> assert false
+      match p.front with
+      | [] ->
+          (* The remaining-bits check above guarantees back is non-empty. *)
+          p.front <- List.rev p.back;
+          p.back <- [];
+          go acc need
       | c :: rest ->
           let len = Bitstring.length c in
-          if len <= need then go (c :: acc) (need - len) rest
-          else
-            ( Bitstring.concat_list (List.rev (Bitstring.sub c 0 need :: acc)),
-              Bitstring.sub c need (len - need) :: rest )
+          if len <= need then begin
+            p.front <- rest;
+            go (c :: acc) (need - len)
+          end
+          else begin
+            p.front <- Bitstring.sub c need (len - need) :: rest;
+            Bitstring.concat_list (List.rev (Bitstring.sub c 0 need :: acc))
+          end
   in
-  let bits, rest = go [] nbits p.chunks in
-  p.chunks <- rest;
+  let bits = go [] nbits in
+  p.bits <- p.bits - nbits;
   bits
 
 let xor_bytes key data =
@@ -39,3 +64,18 @@ let encrypt p data =
   xor_bytes (Bitstring.to_bytes bits) data
 
 let decrypt = encrypt
+
+let encrypt_into p ~src ~src_pos ~len ~dst ~dst_pos =
+  if src_pos < 0 || len < 0 || src_pos + len > Bytes.length src then
+    invalid_arg "Otp.encrypt_into: bad source slice";
+  if dst_pos < 0 || dst_pos + len > Bytes.length dst then
+    invalid_arg "Otp.encrypt_into: bad destination slice";
+  let key = Bitstring.to_bytes (take p (8 * len)) in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set dst (dst_pos + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get src (src_pos + i))
+         lxor Char.code (Bytes.unsafe_get key i)))
+  done
+
+let decrypt_into = encrypt_into

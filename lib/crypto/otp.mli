@@ -28,3 +28,16 @@ val decrypt : pad -> bytes -> bytes
 (** [xor_bytes key data] is the raw stateless XOR used internally;
     lengths must match. *)
 val xor_bytes : bytes -> bytes -> bytes
+
+(** [encrypt_into p ~src ~src_pos ~len ~dst ~dst_pos] consumes
+    [8 * len] pad bits and XORs them over [src[src_pos..src_pos+len)]
+    into [dst] at [dst_pos] — same pad stream, hence same bytes, as
+    [encrypt] on the copied slice.  [src] and [dst] may be the same
+    buffer when the regions coincide.
+    @raise Exhausted if the pad is too short (no bits are consumed). *)
+val encrypt_into :
+  pad -> src:bytes -> src_pos:int -> len:int -> dst:bytes -> dst_pos:int -> unit
+
+(** [decrypt_into] is [encrypt_into] on the peer's synchronised pad. *)
+val decrypt_into :
+  pad -> src:bytes -> src_pos:int -> len:int -> dst:bytes -> dst_pos:int -> unit

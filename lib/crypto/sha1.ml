@@ -1,79 +1,107 @@
+(* The arithmetic runs on native ints masked to 32 bits rather than
+   boxed Int32: the compression function sits on the per-packet ESP
+   dataplane (HMAC-SHA1-96 over every tunnel packet), where Int32
+   intermediates would cost a minor-heap box per operation. *)
+
 type ctx = {
-  mutable h0 : int32;
-  mutable h1 : int32;
-  mutable h2 : int32;
-  mutable h3 : int32;
-  mutable h4 : int32;
+  mutable h0 : int;
+  mutable h1 : int;
+  mutable h2 : int;
+  mutable h3 : int;
+  mutable h4 : int;
   block : bytes; (* 64-byte staging buffer *)
   mutable fill : int; (* bytes currently staged *)
-  mutable total : int64; (* total message bytes *)
+  mutable total : int; (* total message bytes *)
   mutable finished : bool;
 }
 
 let digest_size = 20
 let block_size = 64
 
+let mask32 = 0xFFFFFFFF
+
 let init () =
   {
-    h0 = 0x67452301l;
-    h1 = 0xEFCDAB89l;
-    h2 = 0x98BADCFEl;
-    h3 = 0x10325476l;
-    h4 = 0xC3D2E1F0l;
+    h0 = 0x67452301;
+    h1 = 0xEFCDAB89;
+    h2 = 0x98BADCFE;
+    h3 = 0x10325476;
+    h4 = 0xC3D2E1F0;
     block = Bytes.create 64;
     fill = 0;
-    total = 0L;
+    total = 0;
     finished = false;
   }
 
-let rotl x n = Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+let reset ctx =
+  ctx.h0 <- 0x67452301;
+  ctx.h1 <- 0xEFCDAB89;
+  ctx.h2 <- 0x98BADCFE;
+  ctx.h3 <- 0x10325476;
+  ctx.h4 <- 0xC3D2E1F0;
+  ctx.fill <- 0;
+  ctx.total <- 0;
+  ctx.finished <- false
 
-let w = Array.make 80 0l
+let[@inline] rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let w = Array.make 80 0
+
+(* The 80 rounds as a tail recursion over the five chaining words:
+   the ints stay in registers, so compressing a block touches the
+   minor heap not at all — this sits under every HMAC'd ESP packet.
+   Top-level (not nested in [compress]) so no closure is built. *)
+let rec rounds ctx t a b c d e =
+  if t = 80 then begin
+    ctx.h0 <- (ctx.h0 + a) land mask32;
+    ctx.h1 <- (ctx.h1 + b) land mask32;
+    ctx.h2 <- (ctx.h2 + c) land mask32;
+    ctx.h3 <- (ctx.h3 + d) land mask32;
+    ctx.h4 <- (ctx.h4 + e) land mask32
+  end
+  else begin
+    let f =
+      if t < 20 then (b land c) lor (lnot b land d) land mask32
+      else if t < 40 then b lxor c lxor d
+      else if t < 60 then (b land c) lor (b land d) lor (c land d)
+      else b lxor c lxor d
+    in
+    let k =
+      if t < 20 then 0x5A827999
+      else if t < 40 then 0x6ED9EBA1
+      else if t < 60 then 0x8F1BBCDC
+      else 0xCA62C1D6
+    in
+    let temp =
+      (rotl a 5 + (f land mask32) + e + k + Array.unsafe_get w t) land mask32
+    in
+    rounds ctx (t + 1) temp a (rotl b 30) c d
+  end
 
 let compress ctx block pos =
   for t = 0 to 15 do
-    let b i = Int32.of_int (Char.code (Bytes.get block (pos + (4 * t) + i))) in
-    w.(t) <-
-      Int32.logor
-        (Int32.shift_left (b 0) 24)
-        (Int32.logor
-           (Int32.shift_left (b 1) 16)
-           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+    let o = pos + (4 * t) in
+    Array.unsafe_set w t
+      ((Char.code (Bytes.unsafe_get block o) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (o + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (o + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (o + 3)))
   done;
   for t = 16 to 79 do
-    w.(t) <- rotl (Int32.logxor (Int32.logxor w.(t - 3) w.(t - 8)) (Int32.logxor w.(t - 14) w.(t - 16))) 1
+    Array.unsafe_set w t
+      (rotl
+         (Array.unsafe_get w (t - 3)
+         lxor Array.unsafe_get w (t - 8)
+         lxor Array.unsafe_get w (t - 14)
+         lxor Array.unsafe_get w (t - 16))
+         1)
   done;
-  let a = ref ctx.h0 and b = ref ctx.h1 and c = ref ctx.h2 in
-  let d = ref ctx.h3 and e = ref ctx.h4 in
-  for t = 0 to 79 do
-    let f, k =
-      if t < 20 then
-        (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), 0x5A827999l)
-      else if t < 40 then (Int32.logxor !b (Int32.logxor !c !d), 0x6ED9EBA1l)
-      else if t < 60 then
-        ( Int32.logor
-            (Int32.logand !b !c)
-            (Int32.logor (Int32.logand !b !d) (Int32.logand !c !d)),
-          0x8F1BBCDCl )
-      else (Int32.logxor !b (Int32.logxor !c !d), 0xCA62C1D6l)
-    in
-    let temp = Int32.add (Int32.add (Int32.add (rotl !a 5) f) (Int32.add !e k)) w.(t) in
-    e := !d;
-    d := !c;
-    c := rotl !b 30;
-    b := !a;
-    a := temp
-  done;
-  ctx.h0 <- Int32.add ctx.h0 !a;
-  ctx.h1 <- Int32.add ctx.h1 !b;
-  ctx.h2 <- Int32.add ctx.h2 !c;
-  ctx.h3 <- Int32.add ctx.h3 !d;
-  ctx.h4 <- Int32.add ctx.h4 !e
+  rounds ctx 0 ctx.h0 ctx.h1 ctx.h2 ctx.h3 ctx.h4
 
 let feed ctx b ~pos ~len =
   if ctx.finished then invalid_arg "Sha1.feed: context finalised";
   if pos < 0 || len < 0 || pos + len > Bytes.length b then invalid_arg "Sha1.feed";
-  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  ctx.total <- ctx.total + len;
   let p = ref pos and remaining = ref len in
   (* Top up a partial staging block first. *)
   if ctx.fill > 0 then begin
@@ -97,38 +125,64 @@ let feed ctx b ~pos ~len =
     ctx.fill <- ctx.fill + !remaining
   end
 
-let finalize ctx =
+let finalize_into ctx ~dst ~pos =
   if ctx.finished then invalid_arg "Sha1.finalize: context finalised";
+  if pos < 0 || pos + 20 > Bytes.length dst then invalid_arg "Sha1.finalize_into";
   ctx.finished <- true;
-  let bitlen = Int64.mul ctx.total 8L in
-  let pad_len =
-    let r = (ctx.fill + 1 + 8) mod 64 in
-    if r = 0 then 1 + 8 else 1 + 8 + (64 - r)
-  in
-  let pad = Bytes.make pad_len '\000' in
-  Bytes.set pad 0 '\x80';
+  let bitlen = ctx.total * 8 in
+  let block = ctx.block in
+  (* Pad in the staging block: 0x80, zeros, 64-bit big-endian length. *)
+  Bytes.set block ctx.fill '\x80';
+  if ctx.fill + 1 > 56 then begin
+    Bytes.fill block (ctx.fill + 1) (64 - ctx.fill - 1) '\000';
+    compress ctx block 0;
+    Bytes.fill block 0 56 '\000'
+  end
+  else Bytes.fill block (ctx.fill + 1) (56 - ctx.fill - 1) '\000';
   for i = 0 to 7 do
-    Bytes.set pad
-      (pad_len - 1 - i)
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+    Bytes.unsafe_set block (56 + i)
+      (Char.unsafe_chr ((bitlen lsr (8 * (7 - i))) land 0xFF))
   done;
-  (* Bypass the finished flag for the padding feed. *)
-  ctx.finished <- false;
-  feed ctx pad ~pos:0 ~len:pad_len;
-  ctx.finished <- true;
-  let out = Bytes.create 20 in
+  compress ctx block 0;
+  ctx.fill <- 0;
   let put i v =
     for k = 0 to 3 do
-      Bytes.set out
-        ((4 * i) + k)
-        (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * (3 - k))) 0xFFl)))
+      Bytes.unsafe_set dst
+        (pos + (4 * i) + k)
+        (Char.unsafe_chr ((v lsr (8 * (3 - k))) land 0xFF))
     done
   in
   put 0 ctx.h0;
   put 1 ctx.h1;
   put 2 ctx.h2;
   put 3 ctx.h3;
-  put 4 ctx.h4;
+  put 4 ctx.h4
+
+(* Midstate capture for HMAC key-block caching: after feeding a whole
+   number of blocks, the five chaining words fully describe the
+   context, so HMAC can skip re-hashing its fixed 64-byte key blocks
+   on every message. *)
+let capture ctx =
+  if ctx.finished then invalid_arg "Sha1.capture: context finalised";
+  if ctx.fill <> 0 then invalid_arg "Sha1.capture: mid-block context";
+  [| ctx.h0; ctx.h1; ctx.h2; ctx.h3; ctx.h4 |]
+
+let resume ctx h ~total =
+  if Array.length h <> 5 then invalid_arg "Sha1.resume: need 5 words";
+  if total < 0 || total mod 64 <> 0 then
+    invalid_arg "Sha1.resume: total must be a non-negative block multiple";
+  ctx.h0 <- h.(0);
+  ctx.h1 <- h.(1);
+  ctx.h2 <- h.(2);
+  ctx.h3 <- h.(3);
+  ctx.h4 <- h.(4);
+  ctx.fill <- 0;
+  ctx.total <- total;
+  ctx.finished <- false
+
+let finalize ctx =
+  let out = Bytes.create 20 in
+  finalize_into ctx ~dst:out ~pos:0;
   out
 
 let digest b =

@@ -14,12 +14,32 @@ val block_size : int (** 64 bytes *)
 
 val init : unit -> ctx
 
+(** [reset ctx] returns a context (finalised or not) to the initial
+    state so it can be reused without allocating — the per-SA HMAC
+    contexts on the ESP fast path cycle through this once per packet. *)
+val reset : ctx -> unit
+
 (** [feed ctx b ~pos ~len] absorbs a slice; may be called repeatedly. *)
 val feed : ctx -> bytes -> pos:int -> len:int -> unit
+
+(** [capture ctx] snapshots the five chaining words after a whole
+    number of 64-byte blocks has been absorbed — HMAC caches the
+    states of its fixed key blocks this way, skipping two compressions
+    per MAC.  @raise Invalid_argument mid-block or after finalize. *)
+val capture : ctx -> int array
+
+(** [resume ctx h ~total] restores a {!capture}d state as if [total]
+    bytes ([total mod 64 = 0]) had been fed; subsequent [feed]/
+    [finalize] behave identically to a freshly fed context. *)
+val resume : ctx -> int array -> total:int -> unit
 
 (** [finalize ctx] pads, returns the 20-byte digest and invalidates
     [ctx] (further [feed] raises). *)
 val finalize : ctx -> bytes
+
+(** [finalize_into ctx ~dst ~pos] is [finalize] writing the 20-byte
+    digest into [dst] at [pos] without allocating. *)
+val finalize_into : ctx -> dst:bytes -> pos:int -> unit
 
 (** [digest b] is the one-shot digest of the whole buffer. *)
 val digest : bytes -> bytes

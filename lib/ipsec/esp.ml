@@ -9,6 +9,7 @@ type error =
   | Pad_exhausted
   | Decrypt_failed
   | Wrong_spi of int32
+  | Seq_exhausted
 
 let pp_error ppf = function
   | Auth_failed -> Format.pp_print_string ppf "ESP authentication failed"
@@ -16,6 +17,23 @@ let pp_error ppf = function
   | Pad_exhausted -> Format.pp_print_string ppf "one-time pad exhausted"
   | Decrypt_failed -> Format.pp_print_string ppf "ESP decryption failed"
   | Wrong_spi spi -> Format.fprintf ppf "unknown SPI 0x%lx" spi
+  | Seq_exhausted -> Format.pp_print_string ppf "ESP sequence number space exhausted"
+
+(* The 32-bit wire sequence field caps usable sequence numbers: past
+   this the old code silently truncated through [Int32.of_int],
+   restarting the wire counter at 0 and poisoning the peer's replay
+   state.  Encapsulation refuses instead, and the gateway turns the
+   refusal into a rekey. *)
+let seq_max = 0xFFFFFFFF
+
+let icv_len = 12
+let esp_hdr_len = 8
+
+let iv_len (sa : Sa.t) =
+  match sa.Sa.transform with
+  | Sa.Aes128_cbc | Sa.Aes256_cbc -> 16
+  | Sa.Des3_cbc -> 8
+  | Sa.Otp -> 4 (* plaintext length word, not an IV *)
 
 let put32 b off (v : int32) =
   for i = 0 to 3 do
@@ -30,17 +48,29 @@ let get32 b off =
   done;
   !v
 
+(* Unboxed 32-bit field access for the fast path (the Int32 versions
+   above box every intermediate). *)
+let put32u b off v =
+  Bytes.unsafe_set b off (Char.unsafe_chr ((v lsr 24) land 0xFF));
+  Bytes.unsafe_set b (off + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set b (off + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set b (off + 3) (Char.unsafe_chr (v land 0xFF))
+
+let get32u b off =
+  (Char.code (Bytes.unsafe_get b off) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get b (off + 3))
+
 let encrypt (sa : Sa.t) ~rng plaintext =
-  match sa.Sa.transform with
-  | Sa.Aes128_cbc | Sa.Aes256_cbc ->
+  match sa.Sa.sched with
+  | Sa.Aes_sched key ->
       let iv = Qkd_util.Rng.bytes rng 16 in
-      let key = Aes.expand_key sa.Sa.enc_key in
       Ok (Bytes.cat iv (Aes.encrypt_cbc key ~iv plaintext))
-  | Sa.Des3_cbc ->
+  | Sa.Des_sched key ->
       let iv = Qkd_util.Rng.bytes rng 8 in
-      let key = Des.ede3_key sa.Sa.enc_key in
       Ok (Bytes.cat iv (Des.encrypt_cbc key ~iv plaintext))
-  | Sa.Otp -> (
+  | Sa.Otp_sched -> (
       match sa.Sa.otp_pad with
       | None -> assert false
       | Some pad -> (
@@ -54,24 +84,22 @@ let encrypt (sa : Sa.t) ~rng plaintext =
 
 let decrypt (sa : Sa.t) ciphertext =
   try
-    match sa.Sa.transform with
-    | Sa.Aes128_cbc | Sa.Aes256_cbc ->
+    match sa.Sa.sched with
+    | Sa.Aes_sched key ->
         if Bytes.length ciphertext < 16 then Error Decrypt_failed
         else begin
           let iv = Bytes.sub ciphertext 0 16 in
           let body = Bytes.sub ciphertext 16 (Bytes.length ciphertext - 16) in
-          let key = Aes.expand_key sa.Sa.enc_key in
           Ok (Aes.decrypt_cbc key ~iv body)
         end
-    | Sa.Des3_cbc ->
+    | Sa.Des_sched key ->
         if Bytes.length ciphertext < 8 then Error Decrypt_failed
         else begin
           let iv = Bytes.sub ciphertext 0 8 in
           let body = Bytes.sub ciphertext 8 (Bytes.length ciphertext - 8) in
-          let key = Des.ede3_key sa.Sa.enc_key in
           Ok (Des.decrypt_cbc key ~iv body)
         end
-    | Sa.Otp -> (
+    | Sa.Otp_sched -> (
         match sa.Sa.otp_pad with
         | None -> assert false
         | Some pad ->
@@ -88,36 +116,44 @@ let decrypt (sa : Sa.t) ciphertext =
   with Invalid_argument _ -> Error Decrypt_failed
 
 let encapsulate (sa : Sa.t) ~rng ~outer_src ~outer_dst packet =
-  let inner = Packet.serialize packet in
-  match encrypt sa ~rng inner with
-  | Error _ as e -> e
-  | Ok ciphertext ->
-      sa.Sa.seq <- sa.Sa.seq + 1;
-      let header = Bytes.create 8 in
-      put32 header 0 sa.Sa.spi;
-      put32 header 4 (Int32.of_int sa.Sa.seq);
-      let body = Bytes.cat header ciphertext in
-      let icv = Hmac.mac_96 ~hash:Hmac.SHA1 ~key:sa.Sa.auth_key body in
-      let payload = Bytes.cat body icv in
-      Sa.note_bytes sa (Bytes.length payload);
-      Ok
-        (Packet.make ~src:outer_src ~dst:outer_dst ~protocol:Packet.proto_esp
-           ~ident:sa.Sa.seq payload)
+  if sa.Sa.seq >= seq_max then Error Seq_exhausted
+  else
+    let inner = Packet.serialize packet in
+    match encrypt sa ~rng inner with
+    | Error _ as e -> e
+    | Ok ciphertext ->
+        sa.Sa.seq <- sa.Sa.seq + 1;
+        let header = Bytes.create 8 in
+        put32 header 0 sa.Sa.spi;
+        put32 header 4 (Int32.of_int sa.Sa.seq);
+        let body = Bytes.cat header ciphertext in
+        let icv = Hmac.mac_96 ~hash:Hmac.SHA1 ~key:sa.Sa.auth_key body in
+        let payload = Bytes.cat body icv in
+        Sa.note_bytes sa (Bytes.length payload);
+        Ok
+          (Packet.make ~src:outer_src ~dst:outer_dst ~protocol:Packet.proto_esp
+             ~ident:sa.Sa.seq payload)
 
-let decapsulate (sa : Sa.t) ~expected_seq packet =
+let decapsulate (sa : Sa.t) ~replay packet =
   let payload = packet.Packet.payload in
-  if Bytes.length payload < 8 + 12 then Error Decrypt_failed
+  if Bytes.length payload < esp_hdr_len + icv_len then Error Decrypt_failed
   else begin
-    let body = Bytes.sub payload 0 (Bytes.length payload - 12) in
-    let icv = Bytes.sub payload (Bytes.length payload - 12) 12 in
+    let body = Bytes.sub payload 0 (Bytes.length payload - icv_len) in
+    let icv = Bytes.sub payload (Bytes.length payload - icv_len) icv_len in
     let spi = get32 body 0 in
     if spi <> sa.Sa.spi then Error (Wrong_spi spi)
-    else if not (Hmac.verify ~hash:Hmac.SHA1 ~key:sa.Sa.auth_key ~tag:icv body)
-    then Error Auth_failed
     else begin
-      let seq = Int32.to_int (get32 body 4) in
-      if seq < expected_seq then Error (Replay { seq })
+      (* Sequence numbers are unsigned on the wire; decode accordingly
+         so the top half of the space doesn't read back negative. *)
+      let seq = Int32.to_int (get32 body 4) land 0xFFFFFFFF in
+      if not (Replay.check replay ~seq) then Error (Replay { seq })
+      else if
+        not (Hmac.verify ~hash:Hmac.SHA1 ~key:sa.Sa.auth_key ~tag:icv body)
+      then Error Auth_failed
       else begin
+        (* Window update only after the ICV verifies (RFC 4303): an
+           attacker must not be able to advance it with forgeries. *)
+        Replay.mark replay ~seq;
         let ciphertext = Bytes.sub body 8 (Bytes.length body - 8) in
         match decrypt sa ciphertext with
         | Error _ as e -> e
@@ -126,6 +162,168 @@ let decapsulate (sa : Sa.t) ~expected_seq packet =
             match Packet.parse inner with
             | p -> Ok p
             | exception Packet.Malformed _ -> Error Decrypt_failed)
+      end
+    end
+  end
+
+(* -- Zero-allocation batched kernels --------------------------------
+
+   Same wire format, same state transitions, same acceptance decisions
+   as [encapsulate]/[decapsulate] above — proven byte-identical by the
+   qcheck equivalence suite — but operating on serialized packets
+   inside caller-owned buffers.  Results are plain ints (a length, or
+   a negative code below) so the steady state allocates no [Ok]/
+   [Error] blocks either. *)
+
+type scratch = int array
+
+let make_scratch () = Array.make 16 0
+
+let err_auth = -1
+let err_replay = -2
+let err_pad_exhausted = -3
+let err_decrypt = -4
+let err_wrong_spi = -5
+let err_seq_exhausted = -6
+
+let error_of_code code ~seq ~spi =
+  if code = err_auth then Auth_failed
+  else if code = err_replay then Replay { seq }
+  else if code = err_pad_exhausted then Pad_exhausted
+  else if code = err_wrong_spi then Wrong_spi spi
+  else if code = err_seq_exhausted then Seq_exhausted
+  else Decrypt_failed
+
+(* Largest encapsulated size for an inner packet of [len] bytes:
+   outer header + ESP header + IV/length word + padded ciphertext +
+   ICV.  Callers size pool buffers against this. *)
+let max_encap_len (sa : Sa.t) len =
+  let block =
+    match sa.Sa.transform with
+    | Sa.Aes128_cbc | Sa.Aes256_cbc -> 16
+    | Sa.Des3_cbc -> 8
+    | Sa.Otp -> 0
+  in
+  Packet.header_len + esp_hdr_len + iv_len sa + len + block + icv_len
+
+let spi_bits (sa : Sa.t) = Int32.to_int sa.Sa.spi land 0xFFFFFFFF
+
+let encap_into (sa : Sa.t) ~scratch ~rng ~outer_src ~outer_dst ~src ~src_pos
+    ~len ~dst ~dst_pos =
+  if src_pos < 0 || len < 0 || src_pos + len > Bytes.length src then
+    invalid_arg "Esp.encap_into: bad source slice";
+  if dst_pos < 0 || dst_pos + max_encap_len sa len > Bytes.length dst then
+    invalid_arg "Esp.encap_into: destination too small";
+  if sa.Sa.seq >= seq_max then err_seq_exhausted
+  else begin
+    let seq' = sa.Sa.seq + 1 in
+    let body = dst_pos + Packet.header_len in
+    let cipher = body + esp_hdr_len in
+    let ct_len =
+      match sa.Sa.sched with
+      | Sa.Aes_sched key ->
+          Qkd_util.Rng.fill rng dst ~pos:cipher ~len:16;
+          Aes.encrypt_cbc_into key ~scratch ~src ~src_pos ~len ~iv:dst
+            ~iv_pos:cipher ~dst ~dst_pos:(cipher + 16)
+      | Sa.Des_sched key ->
+          Qkd_util.Rng.fill rng dst ~pos:cipher ~len:8;
+          Des.encrypt_cbc_into key ~src ~src_pos ~len ~iv:dst ~iv_pos:cipher
+            ~dst ~dst_pos:(cipher + 8)
+      | Sa.Otp_sched -> (
+          match sa.Sa.otp_pad with
+          | None -> assert false
+          | Some pad -> (
+              match
+                Otp.encrypt_into pad ~src ~src_pos ~len ~dst
+                  ~dst_pos:(cipher + 4)
+              with
+              | () ->
+                  put32u dst cipher len;
+                  len
+              | exception Otp.Exhausted -> err_pad_exhausted))
+    in
+    if ct_len < 0 then ct_len
+    else begin
+      put32u dst body (spi_bits sa);
+      put32u dst (body + 4) seq';
+      let body_len = esp_hdr_len + iv_len sa + ct_len in
+      Hmac.sha1_96_into sa.Sa.hmac ~msg:dst ~pos:body ~len:body_len ~dst
+        ~dst_pos:(body + body_len);
+      let payload_len = body_len + icv_len in
+      sa.Sa.seq <- seq';
+      Sa.note_bytes sa payload_len;
+      let total = Packet.header_len + payload_len in
+      Packet.write_header dst dst_pos ~src:outer_src ~dst:outer_dst
+        ~protocol:Packet.proto_esp ~ttl:64 ~ident:seq' ~total;
+      total
+    end
+  end
+
+let decap_into (sa : Sa.t) ~scratch ~replay ~src ~src_pos ~len ~dst ~dst_pos =
+  if src_pos < 0 || len < 0 || src_pos + len > Bytes.length src then
+    invalid_arg "Esp.decap_into: bad source slice";
+  if dst_pos < 0 || dst_pos + len > Bytes.length dst then
+    invalid_arg "Esp.decap_into: destination too small";
+  if
+    (not (Packet.valid_header src src_pos len))
+    || Packet.peek_protocol src src_pos <> Packet.proto_esp
+  then err_decrypt
+  else begin
+    let body = src_pos + Packet.header_len in
+    let payload_len = len - Packet.header_len in
+    if payload_len < esp_hdr_len + icv_len then err_decrypt
+    else if get32u src body <> spi_bits sa then err_wrong_spi
+    else begin
+      let seq = get32u src (body + 4) in
+      if not (Replay.check replay ~seq) then err_replay
+      else if
+        not
+          (Hmac.sha1_96_verify sa.Sa.hmac ~msg:src ~pos:body
+             ~len:(payload_len - icv_len) ~tag:src
+             ~tag_pos:(body + payload_len - icv_len))
+      then err_auth
+      else begin
+        Replay.mark replay ~seq;
+        let cipher = body + esp_hdr_len in
+        let inner_len =
+          match sa.Sa.sched with
+          | Sa.Aes_sched key ->
+              let ct_len =
+                payload_len - esp_hdr_len - 16 - icv_len
+              in
+              if ct_len < 0 then err_decrypt
+              else
+                Aes.decrypt_cbc_into key ~scratch ~src ~src_pos:(cipher + 16)
+                  ~len:ct_len ~iv:src ~iv_pos:cipher ~dst ~dst_pos
+          | Sa.Des_sched key ->
+              let ct_len = payload_len - esp_hdr_len - 8 - icv_len in
+              if ct_len < 0 then err_decrypt
+              else
+                Des.decrypt_cbc_into key ~src ~src_pos:(cipher + 8) ~len:ct_len
+                  ~iv:src ~iv_pos:cipher ~dst ~dst_pos
+          | Sa.Otp_sched -> (
+              match sa.Sa.otp_pad with
+              | None -> assert false
+              | Some pad ->
+                  let ct_len = payload_len - esp_hdr_len - 4 - icv_len in
+                  if ct_len < 0 || get32u src cipher <> ct_len then err_decrypt
+                  else (
+                    match
+                      Otp.decrypt_into pad ~src ~src_pos:(cipher + 4)
+                        ~len:ct_len ~dst ~dst_pos
+                    with
+                    | () -> ct_len
+                    | exception Otp.Exhausted -> err_pad_exhausted))
+        in
+        if inner_len < 0 then
+          if inner_len = err_pad_exhausted then err_pad_exhausted
+          else err_decrypt
+        else if not (Packet.valid_header dst dst_pos inner_len) then
+          err_decrypt
+        else begin
+          Sa.note_bytes sa payload_len;
+          inner_len
+        end
       end
     end
   end

@@ -4,11 +4,18 @@
     transform (IV-prefixed CBC, or one-time pad), wrapped in an ESP
     header [SPI, sequence], authenticated with HMAC-SHA1-96, and
     carried as the payload of a new outer packet between the two
-    gateways.  Inbound inverts and verifies.
+    gateways.  Inbound inverts and verifies, guarded by an RFC 4303
+    anti-replay window.
 
     For OTP SAs the pad bits are consumed in transmission order on
     both ends; integrity still uses HMAC (the keys for which are
-    themselves QKD-derived when the SA is). *)
+    themselves QKD-derived when the SA is).
+
+    Two equivalent paths are provided: the reference scalar path on
+    [Packet.t] values, and zero-allocation kernels ([encap_into] /
+    [decap_into]) that transform serialized packets inside
+    caller-owned buffers for the batched dataplane.  The test suite
+    proves the two byte-identical across all transforms. *)
 
 type error =
   | Auth_failed
@@ -16,12 +23,21 @@ type error =
   | Pad_exhausted  (** OTP pad ran dry — key race lost *)
   | Decrypt_failed
   | Wrong_spi of int32
+  | Seq_exhausted
+      (** outbound sequence number would wrap the 32-bit wire field;
+          the SA must be rekeyed *)
 
 val pp_error : Format.formatter -> error -> unit
 
+(** Highest usable sequence number (2^32 - 1): the wire field is 32
+    bits and wrapping it would silently restart the peer's replay
+    window. *)
+val seq_max : int
+
 (** [encapsulate sa ~rng ~outer_src ~outer_dst packet] builds the
     tunnel packet.  Consumes pad bits for OTP SAs and bumps the SA's
-    sequence and byte counters. *)
+    sequence and byte counters; refuses with [Seq_exhausted] once the
+    sequence space is spent. *)
 val encapsulate :
   Sa.t ->
   rng:Qkd_util.Rng.t ->
@@ -30,7 +46,74 @@ val encapsulate :
   Packet.t ->
   (Packet.t, error) result
 
-(** [decapsulate sa ~expected_seq packet] verifies and unwraps,
-    returning the inner packet.  [expected_seq] implements a strict
-    in-order replay check (the simulator delivers in order). *)
-val decapsulate : Sa.t -> expected_seq:int -> Packet.t -> (Packet.t, error) result
+(** [decapsulate sa ~replay packet] verifies and unwraps, returning the
+    inner packet.  [replay] is the inbound SA's anti-replay window:
+    checked (cheaply) before the ICV, marked only after it verifies. *)
+val decapsulate : Sa.t -> replay:Replay.t -> Packet.t -> (Packet.t, error) result
+
+(** {2 Zero-allocation batched kernels}
+
+    These operate on serialized packets at offsets in caller buffers
+    and return plain ints — a byte length on success, one of the
+    negative codes below on failure — so steady-state processing
+    allocates nothing.  State transitions (sequence numbers, byte
+    counters, pad consumption, replay windows) and accept/reject
+    decisions are identical to the scalar path. *)
+
+(** Reusable per-caller cipher scratch (16 ints). *)
+type scratch = int array
+
+val make_scratch : unit -> scratch
+
+val err_auth : int
+val err_replay : int
+val err_pad_exhausted : int
+val err_decrypt : int
+val err_wrong_spi : int
+val err_seq_exhausted : int
+
+(** [error_of_code code ~seq ~spi] maps a kernel code to the scalar
+    [error] (for reporting; [seq]/[spi] fill the payload fields). *)
+val error_of_code : int -> seq:int -> spi:int32 -> error
+
+(** [max_encap_len sa len] bounds the encapsulated size of an inner
+    packet of [len] bytes under [sa]'s transform — size pool buffers
+    against this. *)
+val max_encap_len : Sa.t -> int -> int
+
+(** [encap_into sa ~scratch ~rng ~outer_src ~outer_dst ~src ~src_pos
+    ~len ~dst ~dst_pos] encapsulates the serialized inner packet
+    [src[src_pos..src_pos+len)] into [dst] at [dst_pos], returning the
+    outer packet's total length or a negative code.  Byte-identical to
+    [encapsulate] + [Packet.serialize] given the same SA state and RNG
+    stream.  [src] and [dst] must not overlap.
+    @raise Invalid_argument if [dst] cannot hold [max_encap_len]. *)
+val encap_into :
+  Sa.t ->
+  scratch:scratch ->
+  rng:Qkd_util.Rng.t ->
+  outer_src:Packet.addr ->
+  outer_dst:Packet.addr ->
+  src:bytes ->
+  src_pos:int ->
+  len:int ->
+  dst:bytes ->
+  dst_pos:int ->
+  int
+
+(** [decap_into sa ~scratch ~replay ~src ~src_pos ~len ~dst ~dst_pos]
+    verifies and unwraps the serialized outer packet at
+    [src[src_pos..src_pos+len)], writing the serialized inner packet at
+    [dst_pos] and returning its length or a negative code.  [src] and
+    [dst] must not overlap.
+    @raise Invalid_argument if [dst] is smaller than [len]. *)
+val decap_into :
+  Sa.t ->
+  scratch:scratch ->
+  replay:Replay.t ->
+  src:bytes ->
+  src_pos:int ->
+  len:int ->
+  dst:bytes ->
+  dst_pos:int ->
+  int

@@ -4,7 +4,7 @@ type tunnel = {
   protect : Spd.protect;
   mutable out_sa : Sa.t option;
   mutable in_sa : Sa.t option;
-  mutable expected_seq : int;
+  replay : Replay.t; (* inbound anti-replay window, reset on rekey *)
   mutable rekeys : int;
 }
 
@@ -16,6 +16,15 @@ type stats = {
   rekeys : int;
 }
 
+(* Memoized SPD verdict for the last outbound flow seen — batches are
+   dominated by runs of packets from the same flow, so this skips the
+   policy walk (and the tunnel lookup) for all but the first. *)
+type flow_verdict =
+  | Memo_none
+  | Memo_bypass
+  | Memo_drop
+  | Memo_tunnel of tunnel
+
 type t = {
   name : string;
   wan : Packet.addr;
@@ -25,6 +34,16 @@ type t = {
   ike : Ike.endpoint;
   rng : Rng.t;
   tunnels : (Packet.addr, tunnel) Hashtbl.t;
+  spi_index : (int32, tunnel) Hashtbl.t; (* O(1) inbound SPI -> tunnel *)
+  scratch : Esp.scratch; (* cipher scratch for the batch kernels *)
+  (* Outbound flow memo: raw header fields of the last flow classified. *)
+  mutable memo_src : int;
+  mutable memo_dst : int;
+  mutable memo_proto : int;
+  mutable memo_verdict : flow_verdict;
+  (* Inbound memo: last SPI resolved (as an unboxed int). *)
+  mutable memo_spi : int;
+  mutable memo_spi_tunnel : tunnel option;
   mutable sent : int;
   mutable received : int;
   mutable dropped : int;
@@ -42,6 +61,14 @@ let create ~name ~wan ~lan ~lan_prefix ~psk ~key_pool ~seed =
     ike = Ike.create_endpoint ~identity:{ Ike.name; addr = wan } ~psk ~key_pool ~seed;
     rng = Rng.create seed;
     tunnels = Hashtbl.create 4;
+    spi_index = Hashtbl.create 4;
+    scratch = Esp.make_scratch ();
+    memo_src = -1;
+    memo_dst = -1;
+    memo_proto = -1;
+    memo_verdict = Memo_none;
+    memo_spi = -1;
+    memo_spi_tunnel = None;
     sent = 0;
     received = 0;
     dropped = 0;
@@ -52,6 +79,14 @@ let name t = t.name
 let wan_addr t = t.wan
 let spd t = t.spd
 let ike t = t.ike
+
+let invalidate_memos t =
+  t.memo_src <- -1;
+  t.memo_dst <- -1;
+  t.memo_proto <- -1;
+  t.memo_verdict <- Memo_none;
+  t.memo_spi <- -1;
+  t.memo_spi_tunnel <- None
 
 let add_protect_policy t ~lan_remote ~remote_prefix (protect : Spd.protect) =
   let selector =
@@ -65,15 +100,27 @@ let add_protect_policy t ~lan_remote ~remote_prefix (protect : Spd.protect) =
   in
   Spd.add t.spd { Spd.selector; action = Spd.Protect protect };
   Hashtbl.replace t.tunnels protect.Spd.peer
-    { protect; out_sa = None; in_sa = None; expected_seq = 1; rekeys = 0 }
+    {
+      protect;
+      out_sa = None;
+      in_sa = None;
+      replay = Replay.create ();
+      rekeys = 0;
+    };
+  invalidate_memos t
 
 let install_sas t ~peer ~outbound ~inbound =
   match Hashtbl.find_opt t.tunnels peer with
   | None -> invalid_arg "Gateway.install_sas: unknown tunnel"
   | Some tunnel ->
+      (match tunnel.in_sa with
+      | Some old -> Hashtbl.remove t.spi_index old.Sa.spi
+      | None -> ());
       tunnel.out_sa <- Some outbound;
       tunnel.in_sa <- Some inbound;
-      tunnel.expected_seq <- 1
+      Hashtbl.replace t.spi_index inbound.Sa.spi tunnel;
+      Replay.reset tunnel.replay;
+      invalidate_memos t
 
 let note_rekey t ~peer =
   match Hashtbl.find_opt t.tunnels peer with
@@ -107,8 +154,10 @@ let outbound t ~now packet =
               | Ok outer ->
                   t.sent <- t.sent + 1;
                   Tunnel outer
-              | Error Esp.Pad_exhausted ->
-                  (* Pad ran dry before the lifetime: force rollover. *)
+              | Error (Esp.Pad_exhausted | Esp.Seq_exhausted) ->
+                  (* Pad ran dry or the 32-bit sequence space did,
+                     before the lifetime tripped: force rollover rather
+                     than reuse pad bits / wrap the wire counter. *)
                   tunnel.out_sa <- None;
                   Need_rekey protect
               | Error e ->
@@ -121,16 +170,7 @@ type inbound_result =
   | Bypass_in of Packet.t
   | Rejected of string
 
-let find_tunnel_by_spi t spi =
-  Hashtbl.fold
-    (fun _peer tunnel acc ->
-      match acc with
-      | Some _ -> acc
-      | None -> (
-          match tunnel.in_sa with
-          | Some sa when sa.Sa.spi = spi -> Some tunnel
-          | Some _ | None -> None))
-    t.tunnels None
+let find_tunnel_by_spi t spi = Hashtbl.find_opt t.spi_index spi
 
 let get32 b off =
   let v = ref 0l in
@@ -138,6 +178,13 @@ let get32 b off =
     v := Int32.logor (Int32.shift_left !v 8) (Int32.of_int (Char.code (Bytes.get b (off + i))))
   done;
   !v
+
+(* Unboxed big-endian 32-bit read for the batch path. *)
+let get32i b off =
+  (Char.code (Bytes.unsafe_get b off) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get b (off + 3))
 
 let reject t reason =
   t.dropped <- t.dropped + 1;
@@ -161,17 +208,164 @@ let inbound t ~now packet =
                next outbound packet trigger the rekey path. *)
             tunnel.in_sa <- None;
             tunnel.out_sa <- None;
+            Hashtbl.remove t.spi_index sa.Sa.spi;
+            invalidate_memos t;
             reject t "inbound SA expired"
         | Some sa -> (
-            match Esp.decapsulate sa ~expected_seq:tunnel.expected_seq packet with
+            match Esp.decapsulate sa ~replay:tunnel.replay packet with
             | Ok inner ->
-                tunnel.expected_seq <- tunnel.expected_seq + 1;
                 t.received <- t.received + 1;
                 Deliver inner
             | Error e ->
                 t.esp_errors <- t.esp_errors + 1;
                 reject t (Format.asprintf "%a" Esp.pp_error e)))
   end
+
+(* -- Batch dataplane ------------------------------------------------
+
+   Same verdicts and counter updates as [outbound]/[inbound], applied
+   to serialized packets in pool buffers.  Per-packet results are
+   signalled through [dst.(i).len]: positive = a packet was produced
+   (tunnelled, or bypassed unchanged), zero = no packet (dropped, or
+   waiting on a rekey the control plane must run).  Returns the number
+   of packets produced.  Steady state allocates nothing: flow
+   classification is memoized on the raw header fields, and the ESP
+   work runs in the [_into] kernels. *)
+
+let classify_outbound t ~src_i ~dst_i ~proto =
+  match t.memo_verdict with
+  | (Memo_bypass | Memo_drop | Memo_tunnel _) as v
+    when src_i = t.memo_src && dst_i = t.memo_dst && proto = t.memo_proto ->
+      v
+  | _ -> begin
+    let verdict =
+      match
+        Spd.lookup_fields t.spd
+          ~src:(Int32.of_int src_i)
+          ~dst:(Int32.of_int dst_i)
+          ~protocol:proto
+      with
+      | None | Some { Spd.action = Spd.Bypass; _ } -> Memo_bypass
+      | Some { Spd.action = Spd.Drop; _ } -> Memo_drop
+      | Some { Spd.action = Spd.Protect protect; _ } -> (
+          match Hashtbl.find_opt t.tunnels protect.Spd.peer with
+          | None -> Memo_drop
+          | Some tunnel -> Memo_tunnel tunnel)
+    in
+    t.memo_src <- src_i;
+    t.memo_dst <- dst_i;
+    t.memo_proto <- proto;
+    t.memo_verdict <- verdict;
+    verdict
+  end
+
+let copy_buf (s : Pktbuf.buf) (d : Pktbuf.buf) =
+  Bytes.blit s.Pktbuf.data 0 d.Pktbuf.data 0 s.Pktbuf.len;
+  d.Pktbuf.len <- s.Pktbuf.len
+
+let outbound_batch t ~now ~(src : Pktbuf.buf array) ~(dst : Pktbuf.buf array)
+    ~count =
+  if count < 0 || count > Array.length src || count > Array.length dst then
+    invalid_arg "Gateway.outbound_batch: bad count";
+  let produced = ref 0 in
+  for i = 0 to count - 1 do
+    let s = src.(i) and d = dst.(i) in
+    d.Pktbuf.len <- 0;
+    if s.Pktbuf.len >= Packet.header_len then begin
+      let data = s.Pktbuf.data in
+      let src_i = get32i data 12 and dst_i = get32i data 16 in
+      let proto = Char.code (Bytes.unsafe_get data 9) in
+      match classify_outbound t ~src_i ~dst_i ~proto with
+      | Memo_none -> assert false
+      | Memo_bypass ->
+          copy_buf s d;
+          incr produced
+      | Memo_drop -> t.dropped <- t.dropped + 1
+      | Memo_tunnel tunnel -> (
+          match tunnel.out_sa with
+          | Some sa when not (Sa.expired sa ~now) ->
+              let n =
+                Esp.encap_into sa ~scratch:t.scratch ~rng:t.rng
+                  ~outer_src:t.wan ~outer_dst:tunnel.protect.Spd.peer
+                  ~src:data ~src_pos:0 ~len:s.Pktbuf.len ~dst:d.Pktbuf.data
+                  ~dst_pos:0
+              in
+              if n > 0 then begin
+                d.Pktbuf.len <- n;
+                t.sent <- t.sent + 1;
+                incr produced
+              end
+              else if n = Esp.err_pad_exhausted || n = Esp.err_seq_exhausted
+              then tunnel.out_sa <- None (* control plane must rekey *)
+              else begin
+                t.esp_errors <- t.esp_errors + 1;
+                t.dropped <- t.dropped + 1
+              end
+          | Some _ | None -> (* no usable SA: rekey needed *) ())
+    end
+    else t.dropped <- t.dropped + 1
+  done;
+  !produced
+
+let inbound_tunnel_for_spi t spi_i =
+  match t.memo_spi_tunnel with
+  | Some _ when spi_i = t.memo_spi -> t.memo_spi_tunnel
+  | _ ->
+      let found = Hashtbl.find_opt t.spi_index (Int32.of_int spi_i) in
+      (match found with
+      | Some _ ->
+          t.memo_spi <- spi_i;
+          t.memo_spi_tunnel <- found
+      | None -> ());
+      found
+
+let inbound_batch t ~now ~(src : Pktbuf.buf array) ~(dst : Pktbuf.buf array)
+    ~count =
+  if count < 0 || count > Array.length src || count > Array.length dst then
+    invalid_arg "Gateway.inbound_batch: bad count";
+  let produced = ref 0 in
+  for i = 0 to count - 1 do
+    let s = src.(i) and d = dst.(i) in
+    d.Pktbuf.len <- 0;
+    let data = s.Pktbuf.data and len = s.Pktbuf.len in
+    if len < Packet.header_len then t.dropped <- t.dropped + 1
+    else if Char.code (Bytes.unsafe_get data 9) <> Packet.proto_esp then begin
+      copy_buf s d;
+      incr produced
+    end
+    else if len < Packet.header_len + 8 then t.dropped <- t.dropped + 1
+    else begin
+      let spi_i = get32i data Packet.header_len in
+      match inbound_tunnel_for_spi t spi_i with
+      | None ->
+          t.esp_errors <- t.esp_errors + 1;
+          t.dropped <- t.dropped + 1
+      | Some tunnel -> (
+          match tunnel.in_sa with
+          | None -> t.dropped <- t.dropped + 1
+          | Some sa when Sa.expired sa ~now ->
+              tunnel.in_sa <- None;
+              tunnel.out_sa <- None;
+              Hashtbl.remove t.spi_index sa.Sa.spi;
+              invalidate_memos t;
+              t.dropped <- t.dropped + 1
+          | Some sa ->
+              let n =
+                Esp.decap_into sa ~scratch:t.scratch ~replay:tunnel.replay
+                  ~src:data ~src_pos:0 ~len ~dst:d.Pktbuf.data ~dst_pos:0
+              in
+              if n > 0 then begin
+                d.Pktbuf.len <- n;
+                t.received <- t.received + 1;
+                incr produced
+              end
+              else begin
+                t.esp_errors <- t.esp_errors + 1;
+                t.dropped <- t.dropped + 1
+              end)
+    end
+  done;
+  !produced
 
 let stats t =
   let rekeys =

@@ -68,3 +68,26 @@ val stats : t -> stats
 (** [note_rekey t ~peer] bumps the tunnel's rekey counter (called by
     the orchestrator after a successful quick mode). *)
 val note_rekey : t -> peer:Packet.addr -> unit
+
+(** {2 Batch dataplane}
+
+    Zero-allocation counterparts of [outbound]/[inbound] over
+    serialized packets in {!Pktbuf} buffers — same verdicts, same
+    counter updates, amortized flow classification (the SPD verdict
+    and the inbound SPI resolution are memoized on raw header fields).
+    Intended for after the control plane has installed SAs: a packet
+    that would report [Need_rekey] produces no output and leaves the
+    rekey to the caller, clearing the outbound SA when the pad or
+    sequence space is exhausted.
+
+    For each [i < count], [dst.(i).len] is set positive when a packet
+    was produced (tunnelled/decapsulated, or bypassed unchanged) and 0
+    otherwise.  Returns the number of packets produced.  Destination
+    buffers must be able to hold {!Esp.max_encap_len} of the largest
+    source packet. *)
+
+val outbound_batch :
+  t -> now:float -> src:Pktbuf.buf array -> dst:Pktbuf.buf array -> count:int -> int
+
+val inbound_batch :
+  t -> now:float -> src:Pktbuf.buf array -> dst:Pktbuf.buf array -> count:int -> int

@@ -34,7 +34,7 @@ type hop = {
   right_addr : Packet.addr;
   mutable forward_sa : Sa.t option;  (** left -> right traffic *)
   mutable reverse_sa : Sa.t option;  (** right's inbound view *)
-  mutable expected_seq : int;
+  replay : Replay.t;  (** right's anti-replay window, reset on rekey *)
   mutable rekeys : int;
   mutable credit : float;
   fill_rng : Rng.t;
@@ -90,7 +90,7 @@ let create ?(seed = 77L) (config : config) =
       right_addr;
       forward_sa = None;
       reverse_sa = None;
-      expected_seq = 1;
+      replay = Replay.create ();
       rekeys = 0;
       credit = 0.0;
       fill_rng = Rng.split rng;
@@ -141,7 +141,7 @@ let rekey t h ~now =
     | Ok (left_pair, right_pair) ->
         h.forward_sa <- Some left_pair.Ike.outbound;
         h.reverse_sa <- Some right_pair.Ike.inbound;
-        h.expected_seq <- 1;
+        Replay.reset h.replay;
         h.rekeys <- h.rekeys + 1;
         true
     | Error _ -> false
@@ -177,7 +177,7 @@ let send t ~now payload =
               Esp.encapsulate tx ~rng:t.rng ~outer_src:h.left_addr
                 ~outer_dst:h.right_addr (inner_of payload)
             with
-            | Error Esp.Pad_exhausted ->
+            | Error (Esp.Pad_exhausted | Esp.Seq_exhausted) ->
                 h.forward_sa <- None;
                 if rekey t h ~now then through i payload
                 else begin
@@ -188,9 +188,8 @@ let send t ~now payload =
                 t.hop_errors <- t.hop_errors + 1;
                 Error (Hop_failed { hop = i; reason = Format.asprintf "%a" Esp.pp_error e })
             | Ok outer -> (
-                match Esp.decapsulate rx ~expected_seq:h.expected_seq outer with
+                match Esp.decapsulate rx ~replay:h.replay outer with
                 | Ok inner ->
-                    h.expected_seq <- h.expected_seq + 1;
                     (* the relay now holds the message in the clear and
                        forwards it into the next QKD tunnel *)
                     through (i + 1) inner.Packet.payload

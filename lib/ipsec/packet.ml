@@ -45,13 +45,14 @@ let header_len = 20
 
 let length t = header_len + Bytes.length t.payload
 
-(* RFC 791 ones-complement checksum over the header. *)
-let checksum header =
+(* RFC 791 ones-complement checksum over the header at [pos] — reads in
+   place so callers need no [Bytes.sub]. *)
+let checksum_at b pos =
   let sum = ref 0 in
   for i = 0 to (header_len / 2) - 1 do
     let word =
-      (Char.code (Bytes.get header (2 * i)) lsl 8)
-      lor Char.code (Bytes.get header ((2 * i) + 1))
+      (Char.code (Bytes.unsafe_get b (pos + (2 * i))) lsl 8)
+      lor Char.code (Bytes.unsafe_get b (pos + (2 * i) + 1))
     in
     sum := !sum + word
   done;
@@ -73,18 +74,42 @@ let get16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b
 
 let get32 b off = Int32.of_int ((get16 b off lsl 16) lor get16 b (off + 2))
 
+(* Writes all 20 header bytes (buffers are recycled, so the reserved
+   fields are explicitly zeroed) — byte-identical to [serialize]'s
+   header, including [put16]'s truncation of oversized idents. *)
+let write_header b pos ~src ~dst ~protocol ~ttl ~ident ~total =
+  Bytes.set b pos '\x45' (* version 4, IHL 5 *);
+  Bytes.set b (pos + 1) '\000';
+  put16 b (pos + 2) total;
+  put16 b (pos + 4) (ident land 0xFFFF);
+  put16 b (pos + 6) 0;
+  Bytes.set b (pos + 8) (Char.chr (ttl land 0xFF));
+  Bytes.set b (pos + 9) (Char.chr (protocol land 0xFF));
+  put16 b (pos + 10) 0;
+  put32 b (pos + 12) src;
+  put32 b (pos + 16) dst;
+  put16 b (pos + 10) (checksum_at b pos)
+
+(* In-place header validation/field access for the batch dataplane,
+   mirroring [parse]'s checks without constructing a [t]. *)
+let valid_header b pos len =
+  pos >= 0 && len >= header_len
+  && pos + len <= Bytes.length b
+  && Char.code (Bytes.get b pos) = 0x45
+  && get16 b (pos + 2) = len
+  && checksum_at b pos = 0
+
+let peek_src b pos = get32 b (pos + 12)
+let peek_dst b pos = get32 b (pos + 16)
+let peek_protocol b pos = Char.code (Bytes.get b (pos + 9))
+let peek_total b pos = get16 b (pos + 2)
+let peek_ident b pos = get16 b (pos + 4)
+
 let serialize t =
   let total = length t in
-  let b = Bytes.make total '\000' in
-  Bytes.set b 0 '\x45' (* version 4, IHL 5 *);
-  put16 b 2 total;
-  put16 b 4 t.ident;
-  Bytes.set b 8 (Char.chr (t.ttl land 0xFF));
-  Bytes.set b 9 (Char.chr (t.protocol land 0xFF));
-  put32 b 12 t.src;
-  put32 b 16 t.dst;
-  let csum = checksum (Bytes.sub b 0 header_len) in
-  put16 b 10 csum;
+  let b = Bytes.create total in
+  write_header b 0 ~src:t.src ~dst:t.dst ~protocol:t.protocol ~ttl:t.ttl
+    ~ident:t.ident ~total;
   Bytes.blit t.payload 0 b header_len (Bytes.length t.payload);
   b
 
@@ -95,7 +120,7 @@ let parse b =
   if Char.code (Bytes.get b 0) <> 0x45 then raise (Malformed "bad version/IHL");
   let total = get16 b 2 in
   if total <> Bytes.length b then raise (Malformed "length mismatch");
-  if checksum (Bytes.sub b 0 header_len) <> 0 then raise (Malformed "bad checksum");
+  if checksum_at b 0 <> 0 then raise (Malformed "bad checksum");
   {
     src = get32 b 12;
     dst = get32 b 16;

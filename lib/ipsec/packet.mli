@@ -47,3 +47,39 @@ val parse : bytes -> t
 val length : t -> int
 
 val pp : Format.formatter -> t -> unit
+
+(** Fixed header size, 20 bytes. *)
+val header_len : int
+
+(** {2 In-place header access}
+
+    The batch ESP dataplane works on serialized packets inside
+    preallocated buffers; these read and write headers at an offset
+    without constructing a [t] or allocating. *)
+
+(** [write_header b pos ~src ~dst ~protocol ~ttl ~ident ~total] writes
+    all 20 header bytes (checksum included) at [pos] — byte-identical
+    to the header [serialize] emits. *)
+val write_header :
+  bytes ->
+  int ->
+  src:addr ->
+  dst:addr ->
+  protocol:int ->
+  ttl:int ->
+  ident:int ->
+  total:int ->
+  unit
+
+(** [valid_header b pos len] checks what [parse] checks — bounds,
+    version/IHL, total length = [len], checksum — without raising. *)
+val valid_header : bytes -> int -> int -> bool
+
+(** Field reads from a serialized header at [pos]; the caller is
+    responsible for having validated bounds. *)
+val peek_src : bytes -> int -> addr
+
+val peek_dst : bytes -> int -> addr
+val peek_protocol : bytes -> int -> int
+val peek_total : bytes -> int -> int
+val peek_ident : bytes -> int -> int

@@ -1,0 +1,58 @@
+(* Fixed-capacity packet buffers recycled through a free-list stack, in
+   the style of a userspace dataplane's buffer pool: the pool is sized
+   once at startup and steady-state traffic allocates nothing.  A buf
+   is a flat [bytes] plus a length field; packet data always starts at
+   offset 0. *)
+
+type buf = {
+  data : bytes;
+  mutable len : int; (* valid bytes in [data], 0 when free *)
+}
+
+type t = {
+  capacity : int; (* bytes per buffer *)
+  free : buf array; (* free-list stack, entries [0..free_top) live *)
+  mutable free_top : int;
+  total : int;
+}
+
+let default_capacity = 2048
+
+let create ?(capacity = default_capacity) count =
+  if count <= 0 then invalid_arg "Pktbuf.create: count must be positive";
+  if capacity <= 0 then invalid_arg "Pktbuf.create: capacity must be positive";
+  {
+    capacity;
+    free = Array.init count (fun _ -> { data = Bytes.create capacity; len = 0 });
+    free_top = count;
+    total = count;
+  }
+
+let capacity t = t.capacity
+let total t = t.total
+let available t = t.free_top
+
+exception Empty
+
+let alloc t =
+  if t.free_top = 0 then raise Empty;
+  t.free_top <- t.free_top - 1;
+  let b = t.free.(t.free_top) in
+  b.len <- 0;
+  b
+
+let free t b =
+  if Bytes.length b.data <> t.capacity then
+    invalid_arg "Pktbuf.free: buffer from a different pool";
+  if t.free_top >= t.total then invalid_arg "Pktbuf.free: pool already full";
+  b.len <- 0;
+  t.free.(t.free_top) <- b;
+  t.free_top <- t.free_top + 1
+
+let fill b src =
+  let n = Bytes.length src in
+  if n > Bytes.length b.data then invalid_arg "Pktbuf.fill: packet too large";
+  Bytes.blit src 0 b.data 0 n;
+  b.len <- n
+
+let contents b = Bytes.sub b.data 0 b.len

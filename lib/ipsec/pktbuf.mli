@@ -1,0 +1,44 @@
+(** Preallocated packet-buffer pool for the ESP dataplane.
+
+    Sized once at startup; buffers cycle between the pool and the
+    gateways' batch APIs through a free-list stack, so steady-state
+    forwarding performs no [Bytes] allocation.  Packet data always
+    starts at offset 0 of [data] and occupies [len] bytes. *)
+
+type buf = { data : bytes; mutable len : int }
+
+type t
+
+(** 2048 bytes — comfortably above the largest tunnel packet the
+    simulator builds (inner packet + ESP overhead). *)
+val default_capacity : int
+
+(** [create ?capacity count] preallocates [count] buffers.
+    @raise Invalid_argument unless both are positive. *)
+val create : ?capacity:int -> int -> t
+
+val capacity : t -> int
+
+(** [total t] / [available t] — pool size and free buffers. *)
+val total : t -> int
+
+val available : t -> int
+
+exception Empty
+
+(** [alloc t] pops a free buffer ([len] reset to 0).
+    @raise Empty when the pool is exhausted — dataplane backpressure,
+    not an error to hide. *)
+val alloc : t -> buf
+
+(** [free t b] returns a buffer to the pool.
+    @raise Invalid_argument if [b] is foreign or the pool is full. *)
+val free : t -> buf -> unit
+
+(** [fill b src] copies a serialized packet into the buffer.
+    @raise Invalid_argument if it exceeds the capacity. *)
+val fill : buf -> bytes -> unit
+
+(** [contents b] copies out the valid bytes (test/debug helper — the
+    dataplane itself reads [b.data] in place). *)
+val contents : buf -> bytes

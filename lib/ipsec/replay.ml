@@ -1,0 +1,44 @@
+(* RFC 4303 §3.4.3-style anti-replay: track the highest authenticated
+   sequence number plus a sliding bitmap of recently seen ones.  The
+   bitmap lives in one native int, giving a 63-slot window (bit i set
+   means [top - i] was accepted) with no allocation on either the check
+   or the mark.
+
+   This replaces a strict in-order counter that advanced to [seq + 1]
+   on every accept: that version marked legitimate packets that had
+   merely been reordered (or followed a loss) as replays, and — worse —
+   accepting a replayed copy re-advanced the counter, so a recorded
+   packet could be replayed forever at the window's edge. *)
+
+type t = {
+  mutable top : int; (* highest sequence number accepted so far; 0 = none *)
+  mutable bitmap : int; (* bit i = (top - i) seen, bit 0 = top itself *)
+}
+
+let window_size = 63
+
+let create () = { top = 0; bitmap = 0 }
+
+let reset t =
+  t.top <- 0;
+  t.bitmap <- 0
+
+let top t = t.top
+
+let check t ~seq =
+  if seq <= 0 then false (* ESP sequence numbers start at 1 *)
+  else if seq > t.top then true
+  else
+    let behind = t.top - seq in
+    behind < window_size && t.bitmap land (1 lsl behind) = 0
+
+let mark t ~seq =
+  if seq > t.top then begin
+    let shift = seq - t.top in
+    t.bitmap <- (if shift >= 63 then 0 else t.bitmap lsl shift) lor 1;
+    t.top <- seq
+  end
+  else begin
+    let behind = t.top - seq in
+    if behind < window_size then t.bitmap <- t.bitmap lor (1 lsl behind)
+  end

@@ -1,0 +1,35 @@
+(** ESP anti-replay window (RFC 4303 §3.4.3).
+
+    One window guards one inbound SA.  The receiver records the highest
+    authenticated sequence number and a sliding bitmap of the
+    [window_size] numbers below it: packets ahead of the window are
+    accepted (advancing it), packets inside it are accepted once, and
+    packets behind it or already seen are replays.
+
+    Both operations are allocation-free; the ESP dataplane calls
+    [check] before integrity verification (cheap early drop) and [mark]
+    only after the ICV has been verified, per the RFC. *)
+
+type t
+
+(** Window width in sequence numbers, 63 (one native int of bitmap). *)
+val window_size : int
+
+(** [create ()] is an empty window: nothing accepted yet. *)
+val create : unit -> t
+
+(** [reset t] empties the window — used when an SA is replaced. *)
+val reset : t -> unit
+
+(** [top t] is the highest accepted sequence number, 0 if none. *)
+val top : t -> int
+
+(** [check t ~seq] — would a packet with this sequence number be
+    acceptable?  False for 0, for numbers [window_size] or more behind
+    the highest accepted, and for numbers already marked. *)
+val check : t -> seq:int -> bool
+
+(** [mark t ~seq] records an authenticated sequence number, advancing
+    the window when [seq] is ahead of it.  Call only after the ICV
+    verifies. *)
+val mark : t -> seq:int -> unit

@@ -18,11 +18,21 @@ type lifetime = { seconds : float; kilobytes : int }
 
 let default_lifetime = { seconds = 60.0; kilobytes = 4096 }
 
+(* Cipher key schedule, expanded once at SA creation.  The old code
+   re-ran [Aes.expand_key]/[Des.ede3_key] on every packet — pure
+   per-packet waste, since the keys are immutable for the SA's life. *)
+type sched =
+  | Aes_sched of Qkd_crypto.Aes.key
+  | Des_sched of Qkd_crypto.Des.key
+  | Otp_sched
+
 type t = {
   spi : int32;
   transform : transform;
   enc_key : bytes;
   auth_key : bytes;
+  sched : sched;
+  hmac : Qkd_crypto.Hmac.sha1_key;
   otp_pad : Qkd_crypto.Otp.pad option;
   lifetime : lifetime;
   created_s : float;
@@ -42,11 +52,19 @@ let create ~spi ~transform ~enc_key ~auth_key ?otp_pad ~lifetime ~now
   | Otp, Some _ | (Aes128_cbc | Aes256_cbc | Des3_cbc), None -> ()
   | (Aes128_cbc | Aes256_cbc | Des3_cbc), Some _ ->
       invalid_arg "Sa.create: pad given for a cipher transform");
+  let sched =
+    match transform with
+    | Aes128_cbc | Aes256_cbc -> Aes_sched (Qkd_crypto.Aes.expand_key enc_key)
+    | Des3_cbc -> Des_sched (Qkd_crypto.Des.ede3_key enc_key)
+    | Otp -> Otp_sched
+  in
   {
     spi;
     transform;
     enc_key;
     auth_key;
+    sched;
+    hmac = Qkd_crypto.Hmac.sha1_key auth_key;
     otp_pad;
     lifetime;
     created_s = now;

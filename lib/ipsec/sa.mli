@@ -25,11 +25,20 @@ type lifetime = { seconds : float; kilobytes : int }
 (** A minute of seconds and 4 MB — short, to make rollover visible. *)
 val default_lifetime : lifetime
 
+(** Cipher key schedule, expanded once at SA creation rather than per
+    packet. *)
+type sched =
+  | Aes_sched of Qkd_crypto.Aes.key
+  | Des_sched of Qkd_crypto.Des.key
+  | Otp_sched
+
 type t = {
   spi : int32;
   transform : transform;
   enc_key : bytes;
   auth_key : bytes;
+  sched : sched;  (** cached cipher schedule for [transform]/[enc_key] *)
+  hmac : Qkd_crypto.Hmac.sha1_key;  (** cached HMAC-SHA1 key blocks *)
   otp_pad : Qkd_crypto.Otp.pad option;  (** present iff transform = Otp *)
   lifetime : lifetime;
   created_s : float;

@@ -6,10 +6,14 @@ type selector = {
   protocol : int option;
 }
 
+let selector_matches_fields sel ~src ~dst ~protocol =
+  Packet.in_subnet src ~net:sel.src_net ~prefix:sel.src_prefix
+  && Packet.in_subnet dst ~net:sel.dst_net ~prefix:sel.dst_prefix
+  && match sel.protocol with None -> true | Some proto -> proto = protocol
+
 let selector_matches sel (p : Packet.t) =
-  Packet.in_subnet p.Packet.src ~net:sel.src_net ~prefix:sel.src_prefix
-  && Packet.in_subnet p.Packet.dst ~net:sel.dst_net ~prefix:sel.dst_prefix
-  && match sel.protocol with None -> true | Some proto -> proto = p.Packet.protocol
+  selector_matches_fields sel ~src:p.Packet.src ~dst:p.Packet.dst
+    ~protocol:p.Packet.protocol
 
 type qkd_mode = Disabled | Reseed | Otp_mode
 
@@ -30,16 +34,31 @@ type action = Bypass | Drop | Protect of protect
 
 type policy = { selector : selector; action : action }
 
-type t = { mutable policies : policy list (* reversed insertion order *) }
+(* [ordered] caches the forward (insertion-order) list so [lookup] —
+   which used to rebuild it with a [List.rev] per call — walks it with
+   no allocation.  [add] is config-time, so re-reversing there is
+   cheap. *)
+type t = {
+  mutable rev_policies : policy list; (* reversed insertion order *)
+  mutable ordered : policy list; (* insertion order *)
+}
 
-let create () = { policies = [] }
+let create () = { rev_policies = []; ordered = [] }
 
-let add t policy = t.policies <- policy :: t.policies
+let add t policy =
+  t.rev_policies <- policy :: t.rev_policies;
+  t.ordered <- List.rev t.rev_policies
 
-let policies t = List.rev t.policies
+let policies t = t.ordered
 
-let lookup t packet =
-  List.find_opt (fun p -> selector_matches p.selector packet) (policies t)
+let lookup_fields t ~src ~dst ~protocol =
+  List.find_opt
+    (fun p -> selector_matches_fields p.selector ~src ~dst ~protocol)
+    t.ordered
+
+let lookup t (packet : Packet.t) =
+  lookup_fields t ~src:packet.Packet.src ~dst:packet.Packet.dst
+    ~protocol:packet.Packet.protocol
 
 let subnet_selector ~src ~src_prefix ~dst ~dst_prefix =
   {

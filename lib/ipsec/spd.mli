@@ -19,6 +19,12 @@ type selector = {
 (** [selector_matches sel packet] *)
 val selector_matches : selector -> Packet.t -> bool
 
+(** [selector_matches_fields sel ~src ~dst ~protocol] is the same match
+    on raw header fields — used by the batch dataplane, which reads
+    them straight out of serialized packets. *)
+val selector_matches_fields :
+  selector -> src:Packet.addr -> dst:Packet.addr -> protocol:int -> bool
+
 type qkd_mode = Disabled | Reseed | Otp_mode
 
 val pp_qkd_mode : Format.formatter -> qkd_mode -> unit
@@ -44,6 +50,11 @@ val add : t -> policy -> unit
 
 (** [lookup t packet] is the first matching policy. *)
 val lookup : t -> Packet.t -> policy option
+
+(** [lookup_fields t ~src ~dst ~protocol] is [lookup] on raw header
+    fields. *)
+val lookup_fields :
+  t -> src:Packet.addr -> dst:Packet.addr -> protocol:int -> policy option
 
 val policies : t -> policy list
 

@@ -1,0 +1,65 @@
+module Rng = Qkd_util.Rng
+
+(* Synthetic LAN traffic for the batch dataplane: serialized UDP
+   packets written straight into pool buffers, cycling deterministically
+   through [flows] (src, dst) pairs inside the gateways' protected
+   subnets.  Addresses are precomputed per flow, so generation after
+   [create] is allocation-free. *)
+
+type t = {
+  srcs : Packet.addr array; (* per-flow source address *)
+  dsts : Packet.addr array; (* per-flow destination address *)
+  payload_len : int;
+  payload : bytes; (* pregenerated payload bytes, shared by all packets *)
+  mutable next_flow : int;
+  mutable generated : int;
+}
+
+let host base offset = Int32.add base (Int32.of_int (1 + (offset mod 254)))
+
+let create ?(seed = 424242L) ~src_net ~dst_net ~flows ~payload_len () =
+  if flows <= 0 then invalid_arg "Traffic.create: flows must be positive";
+  if payload_len < 0 then invalid_arg "Traffic.create: negative payload";
+  let rng = Rng.create seed in
+  let payload = Bytes.create (max payload_len 1) in
+  Rng.fill rng payload ~pos:0 ~len:(Bytes.length payload);
+  let src_base = Packet.addr_of_string src_net in
+  let dst_base = Packet.addr_of_string dst_net in
+  {
+    (* Hosts cycle through .1 .. .254 of each /24. *)
+    srcs = Array.init flows (fun f -> host src_base f);
+    dsts = Array.init flows (fun f -> host dst_base (f / 254));
+    payload_len;
+    payload;
+    next_flow = 0;
+    generated = 0;
+  }
+
+let flows t = Array.length t.srcs
+
+(* Writes the next flow's packet into [buf] and returns its flow id. *)
+let next_into t (buf : Pktbuf.buf) =
+  let flow = t.next_flow in
+  t.next_flow <- (if flow + 1 >= Array.length t.srcs then 0 else flow + 1);
+  t.generated <- t.generated + 1;
+  let total = Packet.header_len + t.payload_len in
+  if total > Bytes.length buf.Pktbuf.data then
+    invalid_arg "Traffic.next_into: buffer too small";
+  Packet.write_header buf.Pktbuf.data 0 ~src:t.srcs.(flow) ~dst:t.dsts.(flow)
+    ~protocol:Packet.proto_udp ~ttl:64 ~ident:(t.generated land 0xFFFF) ~total;
+  Bytes.blit t.payload 0 buf.Pktbuf.data Packet.header_len t.payload_len;
+  buf.Pktbuf.len <- total;
+  flow
+
+(* The same packet as a [Packet.t], for driving the scalar path with
+   identical traffic (equivalence tests and the scalar benchmark leg). *)
+let next_packet t =
+  let flow = t.next_flow in
+  t.next_flow <- (if flow + 1 >= Array.length t.srcs then 0 else flow + 1);
+  t.generated <- t.generated + 1;
+  Packet.make ~src:t.srcs.(flow) ~dst:t.dsts.(flow)
+    ~protocol:Packet.proto_udp
+    ~ident:(t.generated land 0xFFFF)
+    (Bytes.sub t.payload 0 t.payload_len)
+
+let generated t = t.generated

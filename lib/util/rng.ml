@@ -82,16 +82,27 @@ let shuffle t arr =
     arr.(j) <- tmp
   done
 
-let bytes t n =
-  let b = Bytes.create n in
+let fill t b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Rng.fill";
   let i = ref 0 in
-  while !i < n do
-    let w = ref (int64 t) in
-    let stop = min n (!i + 8) in
+  while !i < len do
+    (* Split the draw into native ints once (low 56 bits + top byte)
+       so the byte extraction below stays off the minor heap. *)
+    let w = int64 t in
+    let lo = Int64.to_int (Int64.logand w 0xFFFFFFFFFFFFFFL) in
+    let hi = Int64.to_int (Int64.shift_right_logical w 56) in
+    let base = !i in
+    let stop = min len (base + 8) in
     while !i < stop do
-      Bytes.set b !i (Char.chr (Int64.to_int (Int64.logand !w 0xFFL)));
-      w := Int64.shift_right_logical !w 8;
+      let k = !i - base in
+      Bytes.unsafe_set b (pos + !i)
+        (Char.unsafe_chr (if k = 7 then hi else (lo lsr (8 * k)) land 0xFF));
       incr i
     done
-  done;
+  done
+
+let bytes t n =
+  let b = Bytes.create n in
+  fill t b ~pos:0 ~len:n;
   b

@@ -56,3 +56,10 @@ val shuffle : t -> 'a array -> unit
 
 (** [bytes t n] is [n] uniformly random bytes. *)
 val bytes : t -> int -> bytes
+
+(** [fill t b ~pos ~len] writes [len] uniformly random bytes into [b]
+    at [pos] without allocating, consuming the stream exactly as
+    [bytes t len] would (one word per 8 bytes, little-endian fill) —
+    the zero-allocation dataplane draws its ESP IVs through this and
+    stays byte-identical to the allocating reference path. *)
+val fill : t -> bytes -> pos:int -> len:int -> unit

@@ -611,6 +611,129 @@ let prop_gf2_mul_degree =
       QCheck.assume (not (Gf2.Poly.is_zero a) && not (Gf2.Poly.is_zero b));
       Gf2.Poly.degree (Gf2.Poly.mul a b) = Gf2.Poly.degree a + Gf2.Poly.degree b)
 
+(* -- dataplane kernels vs their allocating wrappers -- *)
+
+let prop_otp_refill_preserves_order =
+  (* the pad is a two-list queue: interleaving refills with takes must
+     still hand out bits in exactly the order they were offered *)
+  QCheck.Test.make ~name:"otp refill preserves pad order" ~count:100
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 10)
+        (pair (int_range 1 32) (int_range 0 16)))
+    (fun steps ->
+      let rng = Rng.create 4242L in
+      let chunks = List.map (fun (c, _) -> Rng.bits rng (8 * c)) steps in
+      let reference = Otp.pad_of_bits (Bs.concat_list (List.map Bs.copy chunks)) in
+      let incremental = Otp.pad_of_bits (Bs.create 0) in
+      List.for_all2
+        (fun (_, take) chunk ->
+          Otp.refill incremental chunk;
+          (* encrypting zeros exposes the raw pad bytes *)
+          take = 0
+          || Otp.remaining incremental < 8 * take
+          ||
+          let src = Bytes.make (take + 2) '\000' in
+          let dst = Bytes.make (take + 3) '\xAA' in
+          Otp.encrypt_into incremental ~src ~src_pos:1 ~len:take ~dst ~dst_pos:3;
+          Bytes.equal (Bytes.sub dst 3 take)
+            (Otp.encrypt reference (Bytes.make take '\000')))
+        steps chunks)
+
+let prop_hmac_sha1_96_into_matches_mac96 =
+  QCheck.Test.make ~name:"hmac sha1-96 kernels = mac_96" ~count:100
+    QCheck.(pair (string_of_size Gen.(int_range 0 100)) string)
+    (fun (key, msg) ->
+      let key = Bytes.of_string key and msg = Bytes.of_string msg in
+      let k = Hmac.sha1_key key in
+      let len = Bytes.length msg in
+      let expect = Hmac.mac_96 ~hash:Hmac.SHA1 ~key msg in
+      let dst = Bytes.make 16 '\xAA' in
+      Hmac.sha1_96_into k ~msg ~pos:0 ~len ~dst ~dst_pos:2;
+      let matches = Bytes.equal expect (Bytes.sub dst 2 12) in
+      (* the key's context is reusable across packets *)
+      let again = Bytes.make 12 '\000' in
+      Hmac.sha1_96_into k ~msg ~pos:0 ~len ~dst:again ~dst_pos:0;
+      let reuse_ok = Bytes.equal expect again in
+      let verify_ok = Hmac.sha1_96_verify k ~msg ~pos:0 ~len ~tag:dst ~tag_pos:2 in
+      Bytes.set dst 5 (Char.chr (Char.code (Bytes.get dst 5) lxor 0x10));
+      let tampered_rejected =
+        not (Hmac.sha1_96_verify k ~msg ~pos:0 ~len ~tag:dst ~tag_pos:2)
+      in
+      matches && reuse_ok && verify_ok && tampered_rejected)
+
+let prop_aes_cbc_into_matches_wrapper =
+  QCheck.Test.make ~name:"aes cbc into-kernels = wrappers" ~count:100
+    QCheck.(pair bytes_gen (int_bound 24))
+    (fun (pt, off) ->
+      let key = Aes.expand_key (Bytes.make 16 'k') in
+      let scratch = Array.make 16 0 in
+      let iv = Bytes.init 16 (fun i -> Char.chr (i * 7 land 0xFF)) in
+      let len = Bytes.length pt in
+      let src = Bytes.make (off + len) '\000' in
+      Bytes.blit pt 0 src off len;
+      let dst = Bytes.make (off + len + 16) '\000' in
+      let n =
+        Aes.encrypt_cbc_into key ~scratch ~src ~src_pos:off ~len ~iv ~iv_pos:0
+          ~dst ~dst_pos:off
+      in
+      let expect = Aes.encrypt_cbc key ~iv pt in
+      let back = Bytes.make (off + n) '\000' in
+      let m =
+        Aes.decrypt_cbc_into key ~scratch ~src:dst ~src_pos:off ~len:n ~iv
+          ~iv_pos:0 ~dst:back ~dst_pos:off
+      in
+      n = Bytes.length expect
+      && Bytes.equal expect (Bytes.sub dst off n)
+      && m = len
+      && Bytes.equal pt (Bytes.sub back off m)
+      (* a truncated ciphertext reports -1 instead of raising *)
+      && Aes.decrypt_cbc_into key ~scratch ~src:dst ~src_pos:off ~len:(n - 1)
+           ~iv ~iv_pos:0 ~dst:back ~dst_pos:off
+         = -1)
+
+let prop_des_cbc_into_matches_wrapper =
+  QCheck.Test.make ~name:"3des cbc into-kernels = wrappers" ~count:50
+    QCheck.(pair bytes_gen (int_bound 16))
+    (fun (pt, off) ->
+      let key = Des.ede3_key (Bytes.make 24 'd') in
+      let iv = Bytes.init 8 (fun i -> Char.chr (i * 31 land 0xFF)) in
+      let len = Bytes.length pt in
+      let src = Bytes.make (off + len) '\000' in
+      Bytes.blit pt 0 src off len;
+      let dst = Bytes.make (off + len + 8) '\000' in
+      let n =
+        Des.encrypt_cbc_into key ~src ~src_pos:off ~len ~iv ~iv_pos:0 ~dst
+          ~dst_pos:off
+      in
+      let expect = Des.encrypt_cbc key ~iv pt in
+      let back = Bytes.make (off + n) '\000' in
+      let m =
+        Des.decrypt_cbc_into key ~src:dst ~src_pos:off ~len:n ~iv ~iv_pos:0
+          ~dst:back ~dst_pos:off
+      in
+      n = Bytes.length expect
+      && Bytes.equal expect (Bytes.sub dst off n)
+      && m = len
+      && Bytes.equal pt (Bytes.sub back off m)
+      && Des.decrypt_cbc_into key ~src:dst ~src_pos:off ~len:(n - 1) ~iv
+           ~iv_pos:0 ~dst:back ~dst_pos:off
+         = -1)
+
+let prop_sha1_reset_reuse_matches_digest =
+  QCheck.Test.make ~name:"sha1 reset/finalize_into = digest" ~count:100
+    QCheck.(pair string string)
+    (fun (s1, s2) ->
+      let b1 = Bytes.of_string s1 and b2 = Bytes.of_string s2 in
+      let ctx = Sha1.init () in
+      let out = Bytes.make 24 '\xFF' in
+      Sha1.feed ctx b1 ~pos:0 ~len:(Bytes.length b1);
+      Sha1.finalize_into ctx ~dst:out ~pos:4;
+      let first = Bytes.equal (Sha1.digest b1) (Bytes.sub out 4 20) in
+      Sha1.reset ctx;
+      Sha1.feed ctx b2 ~pos:0 ~len:(Bytes.length b2);
+      first && Bytes.equal (Sha1.finalize ctx) (Sha1.digest b2))
+
 let () =
   Alcotest.run "qkd_crypto"
     [
@@ -701,6 +824,11 @@ let () =
           qcheck prop_bignum_mul_commutative;
           qcheck prop_bignum_divmod_identity;
           qcheck prop_gf2_mul_degree;
+          qcheck prop_otp_refill_preserves_order;
+          qcheck prop_hmac_sha1_96_into_matches_mac96;
+          qcheck prop_aes_cbc_into_matches_wrapper;
+          qcheck prop_des_cbc_into_matches_wrapper;
+          qcheck prop_sha1_reset_reuse_matches_digest;
         ] );
       ( "prf",
         [

@@ -15,6 +15,9 @@ module Key_pool = Qkd_protocol.Key_pool
 module Otp = Qkd_crypto.Otp
 module Bs = Qkd_util.Bitstring
 module Rng = Qkd_util.Rng
+module Replay = Qkd_ipsec.Replay
+module Pktbuf = Qkd_ipsec.Pktbuf
+module Traffic = Qkd_ipsec.Traffic
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -144,7 +147,7 @@ let test_esp_roundtrip_transforms () =
       match Esp.encapsulate tx ~rng ~outer_src ~outer_dst p with
       | Ok outer -> (
           check "esp proto" true (outer.Packet.protocol = Packet.proto_esp);
-          match Esp.decapsulate rx ~expected_seq:1 outer with
+          match Esp.decapsulate rx ~replay:(Replay.create ()) outer with
           | Ok inner -> check "inner intact" true (inner = p)
           | Error e -> Alcotest.failf "decap: %a" Esp.pp_error e)
       | Error e -> Alcotest.failf "encap: %a" Esp.pp_error e)
@@ -158,7 +161,7 @@ let test_esp_auth_failure_on_tamper () =
       let payload = Bytes.copy outer.Packet.payload in
       Bytes.set payload 12 '\xFF';
       let tampered = { outer with Packet.payload = payload } in
-      match Esp.decapsulate rx ~expected_seq:1 tampered with
+      match Esp.decapsulate rx ~replay:(Replay.create ()) tampered with
       | Error Esp.Auth_failed -> ()
       | Ok _ -> Alcotest.fail "tamper accepted"
       | Error e -> Alcotest.failf "unexpected: %a" Esp.pp_error e)
@@ -179,7 +182,7 @@ let test_esp_wrong_key_fails () =
   let rng = Rng.create 605L in
   match Esp.encapsulate tx ~rng ~outer_src ~outer_dst (inner_packet ()) with
   | Ok outer -> (
-      match Esp.decapsulate rx2 ~expected_seq:1 outer with
+      match Esp.decapsulate rx2 ~replay:(Replay.create ()) outer with
       | Error Esp.Auth_failed -> ()
       | Ok _ -> Alcotest.fail "wrong key decrypted"
       | Error e -> Alcotest.failf "unexpected: %a" Esp.pp_error e)
@@ -188,12 +191,13 @@ let test_esp_wrong_key_fails () =
 let test_esp_replay_rejected () =
   let tx, rx = sa_pair () in
   let rng = Rng.create 606L in
+  let replay = Replay.create () in
   match Esp.encapsulate tx ~rng ~outer_src ~outer_dst (inner_packet ()) with
   | Ok outer -> (
-      (match Esp.decapsulate rx ~expected_seq:1 outer with
+      (match Esp.decapsulate rx ~replay outer with
       | Ok _ -> ()
       | Error e -> Alcotest.failf "first: %a" Esp.pp_error e);
-      match Esp.decapsulate rx ~expected_seq:2 outer with
+      match Esp.decapsulate rx ~replay outer with
       | Error (Esp.Replay _) -> ()
       | Ok _ -> Alcotest.fail "replay accepted"
       | Error e -> Alcotest.failf "unexpected: %a" Esp.pp_error e)
@@ -207,7 +211,7 @@ let test_esp_otp_consumes_pad () =
   in
   (match Esp.encapsulate tx ~rng ~outer_src ~outer_dst (inner_packet ()) with
   | Ok outer -> (
-      match Esp.decapsulate rx ~expected_seq:1 outer with
+      match Esp.decapsulate rx ~replay:(Replay.create ()) outer with
       | Ok _ -> ()
       | Error e -> Alcotest.failf "decap: %a" Esp.pp_error e)
   | Error e -> Alcotest.failf "encap: %a" Esp.pp_error e);
@@ -226,6 +230,139 @@ let test_esp_otp_exhaustion () =
   match Esp.encapsulate tx ~rng ~outer_src ~outer_dst (inner_packet ()) with
   | Error Esp.Pad_exhausted -> ()
   | Ok _ -> Alcotest.fail "should exhaust"
+  | Error e -> Alcotest.failf "unexpected: %a" Esp.pp_error e
+
+let encap_or_fail tx ~rng =
+  match Esp.encapsulate tx ~rng ~outer_src ~outer_dst (inner_packet ()) with
+  | Ok outer -> outer
+  | Error e -> Alcotest.failf "encap: %a" Esp.pp_error e
+
+let test_esp_replay_window_accepts_reorder () =
+  (* Regression for the expected_seq bug: the old strict counter
+     advanced on every acceptance, so a late (reordered) packet was
+     dropped and, worse, a replay of the latest packet could pass.
+     RFC 4303 windowing accepts the late arrival once and rejects
+     every replay. *)
+  let tx, rx = sa_pair () in
+  let rng = Rng.create 610L in
+  let replay = Replay.create () in
+  let o1 = encap_or_fail tx ~rng in
+  let o2 = encap_or_fail tx ~rng in
+  let o3 = encap_or_fail tx ~rng in
+  let expect_ok label outer =
+    match Esp.decapsulate rx ~replay outer with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "%s: %a" label Esp.pp_error e
+  in
+  let expect_replay label outer =
+    match Esp.decapsulate rx ~replay outer with
+    | Error (Esp.Replay _) -> ()
+    | Ok _ -> Alcotest.failf "%s accepted twice" label
+    | Error e -> Alcotest.failf "%s: %a" label Esp.pp_error e
+  in
+  expect_ok "seq 1" o1;
+  expect_ok "seq 3 (ahead)" o3;
+  expect_ok "seq 2 (late)" o2;
+  expect_replay "replay of seq 1" o1;
+  expect_replay "replay of seq 2" o2;
+  expect_replay "replay of seq 3" o3
+
+let test_esp_replay_window_expires_old () =
+  let tx, rx = sa_pair () in
+  let rng = Rng.create 611L in
+  let replay = Replay.create () in
+  let first = encap_or_fail tx ~rng in
+  let last = ref first in
+  for _ = 2 to Replay.window_size + 7 do
+    last := encap_or_fail tx ~rng
+  done;
+  (match Esp.decapsulate rx ~replay !last with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "latest: %a" Esp.pp_error e);
+  check_int "window top" (Replay.window_size + 7) (Replay.top replay);
+  (* seq 1 has fallen behind the window: even a first delivery is
+     indistinguishable from a replay and must be refused *)
+  match Esp.decapsulate rx ~replay first with
+  | Error (Esp.Replay { seq }) -> check_int "stale seq" 1 seq
+  | Ok _ -> Alcotest.fail "stale packet accepted"
+  | Error e -> Alcotest.failf "unexpected: %a" Esp.pp_error e
+
+let test_esp_seq_exhaustion_boundary () =
+  let tx, rx = sa_pair () in
+  let rng = Rng.create 612L in
+  tx.Sa.seq <- Esp.seq_max - 1;
+  (* the final sequence number is still usable... *)
+  (match Esp.encapsulate tx ~rng ~outer_src ~outer_dst (inner_packet ()) with
+  | Ok outer -> (
+      check_int "final seq consumed" Esp.seq_max tx.Sa.seq;
+      match Esp.decapsulate rx ~replay:(Replay.create ()) outer with
+      | Ok inner -> check "inner intact" true (inner = inner_packet ())
+      | Error e -> Alcotest.failf "peer rejects final seq: %a" Esp.pp_error e)
+  | Error e -> Alcotest.failf "penultimate must encap: %a" Esp.pp_error e);
+  (* ...but one more would truncate on the 32-bit wire field *)
+  (match Esp.encapsulate tx ~rng ~outer_src ~outer_dst (inner_packet ()) with
+  | Error Esp.Seq_exhausted -> ()
+  | Ok _ -> Alcotest.fail "wrapped the 32-bit counter"
+  | Error e -> Alcotest.failf "unexpected: %a" Esp.pp_error e);
+  let inner = Packet.serialize (inner_packet ()) in
+  let dst = Bytes.create 512 in
+  check_int "kernel refuses too" Esp.err_seq_exhausted
+    (Esp.encap_into tx ~scratch:(Esp.make_scratch ()) ~rng ~outer_src
+       ~outer_dst ~src:inner ~src_pos:0 ~len:(Bytes.length inner) ~dst
+       ~dst_pos:0)
+
+let test_esp_malformed_inputs_clean_errors () =
+  List.iter
+    (fun transform ->
+      let tx, rx = sa_pair ~transform () in
+      let rng = Rng.create 613L in
+      let outer = encap_or_fail tx ~rng in
+      let with_payload f =
+        let payload = Bytes.copy outer.Packet.payload in
+        f payload;
+        { outer with Packet.payload = payload }
+      in
+      let expect_error label p =
+        match Esp.decapsulate rx ~replay:(Replay.create ()) p with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "%s accepted" label
+      in
+      let plen = Bytes.length outer.Packet.payload in
+      expect_error "truncated ICV"
+        { outer with Packet.payload = Bytes.sub outer.Packet.payload 0 (plen - 4) };
+      expect_error "runt payload"
+        { outer with Packet.payload = Bytes.sub outer.Packet.payload 0 6 };
+      (match
+         Esp.decapsulate rx ~replay:(Replay.create ())
+           (with_payload (fun b -> Bytes.set b 0 '\xEE'))
+       with
+      | Error (Esp.Wrong_spi _) -> ()
+      | Ok _ -> Alcotest.fail "wrong SPI accepted"
+      | Error e -> Alcotest.failf "wrong spi: %a" Esp.pp_error e);
+      (* the sequence field is covered by the ICV *)
+      expect_error "corrupted seq" (with_payload (fun b -> Bytes.set b 7 '\xEE')))
+    [ Sa.Aes128_cbc; Sa.Aes256_cbc; Sa.Des3_cbc; Sa.Otp ]
+
+let test_esp_otp_forged_length_word () =
+  (* Even an attacker holding the MAC key (so the ICV verifies) must
+     not crash the receiver with a bad OTP length word. *)
+  let tx, rx = sa_pair ~transform:Sa.Otp () in
+  let rng = Rng.create 614L in
+  let outer = encap_or_fail tx ~rng in
+  let payload = Bytes.copy outer.Packet.payload in
+  Bytes.set payload 11 '\x7F' (* low byte of the length word at [8..12) *);
+  let body_len = Bytes.length payload - 12 in
+  let icv =
+    Qkd_crypto.Hmac.mac_96 ~hash:Qkd_crypto.Hmac.SHA1 ~key:rx.Sa.auth_key
+      (Bytes.sub payload 0 body_len)
+  in
+  Bytes.blit icv 0 payload body_len 12;
+  match
+    Esp.decapsulate rx ~replay:(Replay.create ())
+      { outer with Packet.payload = payload }
+  with
+  | Error Esp.Decrypt_failed -> ()
+  | Ok _ -> Alcotest.fail "forged length word accepted"
   | Error e -> Alcotest.failf "unexpected: %a" Esp.pp_error e
 
 (* -- SPD -- *)
@@ -554,6 +691,133 @@ let test_gateway_inbound_sa_expiry_forces_rekey () =
   | Gateway.Tunnel _ | Gateway.Bypass _ | Gateway.Dropped _ ->
       Alcotest.fail "cleared pair must renegotiate"
 
+(* A standalone gateway with one protect policy and directly installed
+   SAs — no IKE, so tests fully control the SA state. *)
+let mk_gateway ~name ~wan ~lan ~peer ~lan_remote ~seed =
+  let gw =
+    Gateway.create ~name ~wan ~lan ~lan_prefix:16
+      ~psk:(Bytes.of_string "batch-test") ~key_pool:(Key_pool.create ()) ~seed
+  in
+  Gateway.add_protect_policy gw ~lan_remote ~remote_prefix:16
+    {
+      Spd.transform = Sa.Aes128_cbc;
+      lifetime = Sa.default_lifetime;
+      qkd = Spd.Reseed;
+      peer = Packet.addr_of_string peer;
+      qblock_bits = 1024;
+    };
+  gw
+
+let test_gateway_seq_exhaustion_forces_rekey () =
+  let gw =
+    mk_gateway ~name:"gwA" ~wan:"192.1.99.34" ~lan:"10.1.0.0"
+      ~peer:"192.1.99.35" ~lan_remote:"10.2.0.0" ~seed:901L
+  in
+  let tx, rx = sa_pair () in
+  Gateway.install_sas gw
+    ~peer:(Packet.addr_of_string "192.1.99.35")
+    ~outbound:tx ~inbound:rx;
+  (* one sequence number left: the packet still goes out... *)
+  tx.Sa.seq <- Esp.seq_max - 1;
+  (match Gateway.outbound gw ~now:0.0 (udp ~src:"10.1.0.5" ~dst:"10.2.0.7" 64) with
+  | Gateway.Tunnel _ -> ()
+  | Gateway.Bypass _ | Gateway.Dropped _ | Gateway.Need_rekey _ ->
+      Alcotest.fail "final seq should tunnel");
+  (* ...and the next must roll the SA over, not wrap the counter *)
+  match Gateway.outbound gw ~now:0.0 (udp ~src:"10.1.0.5" ~dst:"10.2.0.7" 64) with
+  | Gateway.Need_rekey _ -> ()
+  | Gateway.Tunnel _ | Gateway.Bypass _ | Gateway.Dropped _ ->
+      Alcotest.fail "exhausted seq space must force rekey"
+
+let test_gateway_batch_matches_scalar () =
+  (* same seeds, same SAs, same traffic: the batch dataplane must emit
+     byte-identical wire packets and identical counters to the scalar
+     path *)
+  let build () =
+    let a =
+      mk_gateway ~name:"bgA" ~wan:"192.1.99.34" ~lan:"10.1.0.0"
+        ~peer:"192.1.99.35" ~lan_remote:"10.2.0.0" ~seed:905L
+    in
+    let b =
+      mk_gateway ~name:"bgB" ~wan:"192.1.99.35" ~lan:"10.2.0.0"
+        ~peer:"192.1.99.34" ~lan_remote:"10.1.0.0" ~seed:906L
+    in
+    let tx, rx_unused = sa_pair () in
+    let tx_unused, rx = sa_pair () in
+    Gateway.install_sas a
+      ~peer:(Packet.addr_of_string "192.1.99.35")
+      ~outbound:tx ~inbound:rx_unused;
+    Gateway.install_sas b
+      ~peer:(Packet.addr_of_string "192.1.99.34")
+      ~outbound:tx_unused ~inbound:rx;
+    (a, b)
+  in
+  let mk_traffic () =
+    Traffic.create ~src_net:"10.1.5.0" ~dst_net:"10.2.9.0" ~flows:6
+      ~payload_len:48 ()
+  in
+  let batch_a, batch_b = build () in
+  let scalar_a, scalar_b = build () in
+  let traffic_batch = mk_traffic () and traffic_scalar = mk_traffic () in
+  let n = 32 in
+  let pool = Pktbuf.create ~capacity:512 (3 * n) in
+  let src = Array.init n (fun _ -> Pktbuf.alloc pool) in
+  let mid = Array.init n (fun _ -> Pktbuf.alloc pool) in
+  let out = Array.init n (fun _ -> Pktbuf.alloc pool) in
+  Array.iter (fun b -> ignore (Traffic.next_into traffic_batch b)) src;
+  check_int "all encapsulated" n
+    (Gateway.outbound_batch batch_a ~now:0.0 ~src ~dst:mid ~count:n);
+  check_int "all decapsulated" n
+    (Gateway.inbound_batch batch_b ~now:0.0 ~src:mid ~dst:out ~count:n);
+  for i = 0 to n - 1 do
+    let p = Traffic.next_packet traffic_scalar in
+    let outer =
+      match Gateway.outbound scalar_a ~now:0.0 p with
+      | Gateway.Tunnel outer -> outer
+      | Gateway.Bypass _ | Gateway.Dropped _ | Gateway.Need_rekey _ ->
+          Alcotest.failf "scalar outbound %d did not tunnel" i
+    in
+    check "wire bytes identical" true
+      (Bytes.equal (Packet.serialize outer) (Pktbuf.contents mid.(i)));
+    match Gateway.inbound scalar_b ~now:0.0 outer with
+    | Gateway.Deliver inner ->
+        check "inner packets identical" true
+          (Bytes.equal (Packet.serialize inner) (Pktbuf.contents out.(i)));
+        check "traffic round-trips" true (inner = p)
+    | Gateway.Bypass_in _ | Gateway.Rejected _ ->
+        Alcotest.failf "scalar inbound %d did not deliver" i
+  done;
+  let sa = Gateway.stats scalar_a and ba = Gateway.stats batch_a in
+  let sb = Gateway.stats scalar_b and bb = Gateway.stats batch_b in
+  check_int "sent parity" sa.Gateway.sent ba.Gateway.sent;
+  check_int "received parity" sb.Gateway.received bb.Gateway.received;
+  check_int "no batch drops" 0 (ba.Gateway.dropped + bb.Gateway.dropped);
+  check_int "no batch esp errors" 0 (ba.Gateway.esp_errors + bb.Gateway.esp_errors);
+  (* a replayed batch is fully rejected and counted *)
+  let replayed = Gateway.inbound_batch batch_b ~now:0.0 ~src:mid ~dst:out ~count:n in
+  check_int "replays produce nothing" 0 replayed;
+  check_int "replays counted as esp errors" n (Gateway.stats batch_b).Gateway.esp_errors
+
+let test_gateway_batch_bypass_and_drop () =
+  let gw =
+    mk_gateway ~name:"bgC" ~wan:"192.1.99.34" ~lan:"10.1.0.0"
+      ~peer:"192.1.99.35" ~lan_remote:"10.2.0.0" ~seed:907L
+  in
+  (* no SA installed: protected traffic waits on a rekey (no output);
+     unprotected traffic is bypassed unchanged *)
+  let pool = Pktbuf.create ~capacity:512 4 in
+  let src = Array.init 2 (fun _ -> Pktbuf.alloc pool) in
+  let dst = Array.init 2 (fun _ -> Pktbuf.alloc pool) in
+  Pktbuf.fill src.(0)
+    (Packet.serialize (udp ~src:"10.1.0.5" ~dst:"10.2.0.7" 32));
+  Pktbuf.fill src.(1)
+    (Packet.serialize (udp ~src:"10.1.0.5" ~dst:"172.16.0.1" 32));
+  check_int "only the bypass emerges" 1
+    (Gateway.outbound_batch gw ~now:0.0 ~src ~dst ~count:2);
+  check_int "protected packet held for rekey" 0 dst.(0).Pktbuf.len;
+  check "bypass unchanged" true
+    (Bytes.equal (Pktbuf.contents src.(1)) (Pktbuf.contents dst.(1)))
+
 (* -- VPN end-to-end -- *)
 
 let test_vpn_reseed_delivers () =
@@ -720,10 +984,125 @@ let prop_esp_roundtrip_any_payload =
          in
          match Esp.encapsulate tx ~rng ~outer_src ~outer_dst p with
          | Ok outer -> (
-             match Esp.decapsulate rx ~expected_seq:1 outer with
+             match Esp.decapsulate rx ~replay:(Replay.create ()) outer with
              | Ok inner -> inner = p
              | Error _ -> false)
          | Error _ -> false))
+
+let transforms = [| Sa.Aes128_cbc; Sa.Aes256_cbc; Sa.Des3_cbc; Sa.Otp |]
+
+let prop_esp_roundtrip_all_transforms =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"esp roundtrip, every transform" ~count:60
+       QCheck.(pair (int_bound 3) (string_of_size Gen.(int_range 0 300)))
+       (fun (ti, payload) ->
+         let tx, rx = sa_pair ~transform:transforms.(ti) () in
+         let rng = Rng.create 902L in
+         let p =
+           Packet.make ~src:(Packet.addr_of_string "10.1.0.5")
+             ~dst:(Packet.addr_of_string "10.2.0.7")
+             ~protocol:Packet.proto_udp (Bytes.of_string payload)
+         in
+         match Esp.encapsulate tx ~rng ~outer_src ~outer_dst p with
+         | Ok outer -> (
+             match Esp.decapsulate rx ~replay:(Replay.create ()) outer with
+             | Ok inner -> inner = p
+             | Error _ -> false)
+         | Error _ -> false))
+
+let prop_esp_corruption_rejected_cleanly =
+  (* any single-byte corruption of the wire packet must come back as a
+     negative code / [Error] on both paths — never an exception *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"esp corruption rejected on both paths" ~count:100
+       QCheck.(triple (int_bound 3) small_nat (int_range 1 255))
+       (fun (ti, idx, flip) ->
+         let tx, rx = sa_pair ~transform:transforms.(ti) () in
+         let rng = Rng.create 903L in
+         let scratch = Esp.make_scratch () in
+         let inner = Packet.serialize (inner_packet ()) in
+         let wire = Bytes.create 512 in
+         let n =
+           Esp.encap_into tx ~scratch ~rng ~outer_src ~outer_dst ~src:inner
+             ~src_pos:0 ~len:(Bytes.length inner) ~dst:wire ~dst_pos:0
+         in
+         n > 0
+         &&
+         let pos = idx mod n in
+         Bytes.set wire pos (Char.chr (Char.code (Bytes.get wire pos) lxor flip));
+         let out = Bytes.create 512 in
+         Esp.decap_into rx ~scratch ~replay:(Replay.create ()) ~src:wire
+           ~src_pos:0 ~len:n ~dst:out ~dst_pos:0
+         < 0
+         && (* and the scalar path agrees the packet is bad *)
+         match Packet.parse (Bytes.sub wire 0 n) with
+         | exception Packet.Malformed _ -> true
+         | p -> (
+             match Esp.decapsulate rx ~replay:(Replay.create ()) p with
+             | Error _ -> true
+             | Ok _ -> false)))
+
+let prop_esp_fast_path_matches_scalar =
+  (* the tentpole equivalence: mirrored SA pairs and identical RNG
+     streams, then every encapsulation, decapsulation and replay
+     verdict must be byte-for-byte identical between the scalar path
+     and the zero-allocation kernels *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"esp kernels byte-identical to scalar path"
+       ~count:30
+       QCheck.(
+         pair (int_bound 3)
+           (list_of_size Gen.(int_range 1 8) (string_of_size Gen.(int_range 0 120))))
+       (fun (ti, payloads) ->
+         let transform = transforms.(ti) in
+         let tx_s, rx_s = sa_pair ~transform () in
+         let tx_f, rx_f = sa_pair ~transform () in
+         let rng_s = Rng.create 904L and rng_f = Rng.create 904L in
+         let replay_s = Replay.create () and replay_f = Replay.create () in
+         let scratch = Esp.make_scratch () in
+         List.for_all
+           (fun payload ->
+             let p =
+               Packet.make ~src:(Packet.addr_of_string "10.1.0.5")
+                 ~dst:(Packet.addr_of_string "10.2.0.7")
+                 ~protocol:Packet.proto_udp (Bytes.of_string payload)
+             in
+             let inner = Packet.serialize p in
+             let wire_f = Bytes.create 1024 and out_f = Bytes.create 1024 in
+             let n =
+               Esp.encap_into tx_f ~scratch ~rng:rng_f ~outer_src ~outer_dst
+                 ~src:inner ~src_pos:0 ~len:(Bytes.length inner) ~dst:wire_f
+                 ~dst_pos:0
+             in
+             match Esp.encapsulate tx_s ~rng:rng_s ~outer_src ~outer_dst p with
+             | Error _ -> n < 0
+             | Ok outer -> (
+                 let wire_s = Packet.serialize outer in
+                 n = Bytes.length wire_s
+                 && Bytes.equal wire_s (Bytes.sub wire_f 0 n)
+                 &&
+                 match Esp.decapsulate rx_s ~replay:replay_s outer with
+                 | Error _ -> false
+                 | Ok inner_s -> (
+                     let m =
+                       Esp.decap_into rx_f ~scratch ~replay:replay_f
+                         ~src:wire_f ~src_pos:0 ~len:n ~dst:out_f ~dst_pos:0
+                     in
+                     m = Bytes.length inner
+                     && Bytes.equal (Packet.serialize inner_s)
+                          (Bytes.sub out_f 0 m)
+                     &&
+                     (* a replay is refused identically on both paths *)
+                     match Esp.decapsulate rx_s ~replay:replay_s outer with
+                     | Error (Esp.Replay { seq }) ->
+                         Esp.error_of_code
+                           (Esp.decap_into rx_f ~scratch ~replay:replay_f
+                              ~src:wire_f ~src_pos:0 ~len:n ~dst:out_f
+                              ~dst_pos:0)
+                           ~seq ~spi:rx_f.Sa.spi
+                         = Esp.Replay { seq }
+                     | Ok _ | Error _ -> false)))
+           payloads))
 
 (* -- Quantum TLS (the §7 portability claim) -- *)
 
@@ -860,6 +1239,16 @@ let () =
           Alcotest.test_case "replay" `Quick test_esp_replay_rejected;
           Alcotest.test_case "otp consumes pad" `Quick test_esp_otp_consumes_pad;
           Alcotest.test_case "otp exhaustion" `Quick test_esp_otp_exhaustion;
+          Alcotest.test_case "replay window reorder" `Quick
+            test_esp_replay_window_accepts_reorder;
+          Alcotest.test_case "replay window expiry" `Quick
+            test_esp_replay_window_expires_old;
+          Alcotest.test_case "seq exhaustion boundary" `Quick
+            test_esp_seq_exhaustion_boundary;
+          Alcotest.test_case "malformed inputs" `Quick
+            test_esp_malformed_inputs_clean_errors;
+          Alcotest.test_case "otp forged length word" `Quick
+            test_esp_otp_forged_length_word;
         ] );
       ( "spd",
         [
@@ -888,6 +1277,9 @@ let () =
         [
           prop_packet_roundtrip;
           prop_esp_roundtrip_any_payload;
+          prop_esp_roundtrip_all_transforms;
+          prop_esp_corruption_rejected_cleanly;
+          prop_esp_fast_path_matches_scalar;
           prop_isakmp_roundtrip;
         ] );
       ( "quantum-tls",
@@ -913,6 +1305,12 @@ let () =
             test_gateway_dropped_counts_inbound_rejects;
           Alcotest.test_case "inbound expiry forces rekey" `Quick
             test_gateway_inbound_sa_expiry_forces_rekey;
+          Alcotest.test_case "seq exhaustion forces rekey" `Quick
+            test_gateway_seq_exhaustion_forces_rekey;
+          Alcotest.test_case "batch matches scalar" `Quick
+            test_gateway_batch_matches_scalar;
+          Alcotest.test_case "batch bypass and rekey hold" `Quick
+            test_gateway_batch_bypass_and_drop;
         ] );
       ( "vpn",
         [
