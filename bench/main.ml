@@ -1023,13 +1023,14 @@ let dataplane_identical ~transform =
 
 (* Committed steady-state allocation budget for the batched dataplane:
    minor-heap words per forwarded packet (encap + decap, single flow).
-   The ESP/AES/HMAC kernels and the batch path allocate nothing; the
-   residual is the per-packet IV draw, where the splitmix64 mix boxes
-   Int64 intermediates under the non-flambda compiler (~30 words/pkt
-   measured; changing the draw would change the seeded RNG streams the
-   test suite pins).  48 covers that plus multi-flow memo misses with
-   headroom — versus ~1.2k words/pkt on the seed path. *)
-let dataplane_words_budget = 48.0
+   The path is now measurably allocation-free — the RNG carries its
+   state in native-int halves and SHA-1 finalization no longer builds a
+   local closure, the last two per-packet allocators — so the single-
+   flow figure is 0.0 words/pkt.  16 leaves headroom for incidental
+   runtime noise (GC sampling, signal handling) without letting a real
+   per-packet allocation regress in — versus ~1.2k words/pkt on the
+   seed path. *)
+let dataplane_words_budget = 16.0
 
 let bench_dataplane ~quick ~out () =
   let packets = if quick then 20_000 else 200_000 in
@@ -1148,6 +1149,110 @@ let bench_dataplane ~quick ~out () =
   end;
   if !fail then exit 1
 
+(* ==== "kms" preset (PR 8): key-distribution-as-a-service over the
+   metro mesh ==== *)
+
+(* CI-gated service-level objectives for the metro KMS scenario: the
+   104-node mesh must sustain the offered 10k requests/s (simulated),
+   share scarce supply fairly across equal-weight tenants, and balance
+   its books to the bit. *)
+let kms_rps_gate = 10_000.0
+let kms_jain_gate = 0.9
+
+let bench_kms ~quick ~out () =
+  let profile = if quick then Qkd_kms.Load.quick else Qkd_kms.Load.default in
+  Format.printf
+    "kms: %d tenants, %d req/s offered for %.0f s over metro ring-of-rings...@."
+    profile.Qkd_kms.Load.tenants profile.Qkd_kms.Load.target_rps
+    profile.Qkd_kms.Load.duration_s;
+  let t0 = Unix.gettimeofday () in
+  let o = Qkd_kms.Load.run profile in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let s = o.Qkd_kms.Load.stats in
+  let buf = Buffer.create 4096 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"pr\": 8,\n";
+  bpf "  \"preset\": %S,\n" (if quick then "quick" else "full");
+  bpf "  \"topology\": \"metro_ring_of_rings\",\n";
+  bpf "  \"nodes\": %d,\n" o.Qkd_kms.Load.nodes;
+  bpf "  \"edges\": %d,\n" o.Qkd_kms.Load.edges;
+  bpf "  \"endpoints\": %d,\n" o.Qkd_kms.Load.endpoints;
+  bpf "  \"tenants\": %d,\n" s.Qkd_kms.Kms.tenants;
+  bpf "  \"bits_per_request\": %d,\n" profile.Qkd_kms.Load.bits;
+  bpf "  \"offered_rps\": %d,\n" profile.Qkd_kms.Load.target_rps;
+  bpf "  \"duration_s\": %.1f,\n" profile.Qkd_kms.Load.duration_s;
+  bpf "  \"wall_s\": %.2f,\n" wall_s;
+  bpf "  \"submitted\": %d,\n" s.Qkd_kms.Kms.submitted;
+  bpf "  \"delivered\": %d,\n" s.Qkd_kms.Kms.delivered;
+  bpf "  \"delivered_rps\": %.0f,\n" o.Qkd_kms.Load.delivered_rps;
+  bpf "  \"rejected\": %d,\n" s.Qkd_kms.Kms.rejected;
+  bpf "  \"shed\": %d,\n" s.Qkd_kms.Kms.shed;
+  bpf "  \"gave_up\": %d,\n" s.Qkd_kms.Kms.gave_up;
+  bpf "  \"retries\": %d,\n" s.Qkd_kms.Kms.retries;
+  bpf "  \"delivered_bits\": %d,\n" s.Qkd_kms.Kms.delivered_bits;
+  bpf "  \"pad_spend_bits\": %d,\n" s.Qkd_kms.Kms.pad_spend_bits;
+  bpf "  \"per_class\": [\n";
+  List.iteri
+    (fun i (c : Qkd_kms.Kms.class_stats) ->
+      bpf
+        "    { \"class\": %S, \"delivered\": %d, \"p50_latency_s\": %.4f, \
+         \"p95_latency_s\": %.4f }%s\n"
+        (Qkd_kms.Qos.label c.Qkd_kms.Kms.klass)
+        c.Qkd_kms.Kms.delivered c.Qkd_kms.Kms.p50_latency_s
+        c.Qkd_kms.Kms.p95_latency_s
+        (if i = 2 then "" else ","))
+    s.Qkd_kms.Kms.per_class;
+  bpf "  ],\n";
+  bpf "  \"jain_fairness\": %.4f,\n" s.Qkd_kms.Kms.jain_fairness;
+  bpf "  \"accounting_drift_bits\": %d,\n" s.Qkd_kms.Kms.accounting_drift_bits;
+  bpf "  \"in_flight_at_quiescence\": %d,\n" s.Qkd_kms.Kms.in_flight;
+  bpf "  \"shards_below_watermark\": %d,\n" s.Qkd_kms.Kms.shards_below_watermark;
+  let rps_ok = o.Qkd_kms.Load.delivered_rps >= kms_rps_gate in
+  let jain_ok = s.Qkd_kms.Kms.jain_fairness >= kms_jain_gate in
+  let drift_ok =
+    s.Qkd_kms.Kms.accounting_drift_bits = 0 && s.Qkd_kms.Kms.in_flight = 0
+  in
+  bpf "  \"rps_gate_10k\": %b,\n" rps_ok;
+  bpf "  \"jain_gate\": %b,\n" jain_ok;
+  bpf "  \"drift_gate\": %b\n" drift_ok;
+  bpf "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf
+    "wrote %s@.%d/%d delivered (%.0f req/s simulated, offered %d/s), jain \
+     %.4f, drift %d bits, %.2f s wall@."
+    out s.Qkd_kms.Kms.delivered s.Qkd_kms.Kms.submitted
+    o.Qkd_kms.Load.delivered_rps profile.Qkd_kms.Load.target_rps
+    s.Qkd_kms.Kms.jain_fairness s.Qkd_kms.Kms.accounting_drift_bits wall_s;
+  List.iter
+    (fun (c : Qkd_kms.Kms.class_stats) ->
+      Format.printf "  %-8s %6d delivered, p50 %.4f s, p95 %.4f s@."
+        (Qkd_kms.Qos.label c.Qkd_kms.Kms.klass)
+        c.Qkd_kms.Kms.delivered c.Qkd_kms.Kms.p50_latency_s
+        c.Qkd_kms.Kms.p95_latency_s)
+    s.Qkd_kms.Kms.per_class;
+  let fail = ref false in
+  if not rps_ok then begin
+    Format.eprintf "FAIL: delivered %.0f req/s < %.0f req/s gate@."
+      o.Qkd_kms.Load.delivered_rps kms_rps_gate;
+    fail := true
+  end;
+  if not jain_ok then begin
+    Format.eprintf "FAIL: jain fairness %.4f < %.2f gate@."
+      s.Qkd_kms.Kms.jain_fairness kms_jain_gate;
+    fail := true
+  end;
+  if not drift_ok then begin
+    Format.eprintf
+      "FAIL: accounting drift %d bits (in flight %d) — must be exactly 0 at \
+       quiescence@."
+      s.Qkd_kms.Kms.accounting_drift_bits s.Qkd_kms.Kms.in_flight;
+    fail := true
+  end;
+  if !fail then exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let metrics, args = List.partition (( = ) "--metrics") args in
@@ -1228,6 +1333,20 @@ let () =
       in
       let quick, out = parse ~quick:false ~out:"BENCH_pr7.json" rest in
       bench_dataplane ~quick ~out ()
+  | "kms" :: rest ->
+      let rec parse ~quick ~out = function
+        | [] -> (quick, out)
+        | "--quick" :: tl -> parse ~quick:true ~out tl
+        | "--out" :: file :: tl -> parse ~quick ~out:file tl
+        | arg :: _ ->
+            Format.eprintf
+              "unknown kms option %S; usage: main.exe kms [--quick] [--out \
+               FILE]@."
+              arg;
+            exit 1
+      in
+      let quick, out = parse ~quick:false ~out:"BENCH_pr8.json" rest in
+      bench_kms ~quick ~out ()
   | [ name ] -> (
       match Experiments.by_name name with
       | Some f -> f ()
@@ -1235,7 +1354,7 @@ let () =
           Format.eprintf "unknown experiment %S; available: %s@." name
             (String.concat ", "
                ("micro" :: "tables" :: "obs" :: "json" :: "campaign"
-              :: "dataplane" :: Experiments.names));
+              :: "dataplane" :: "kms" :: Experiments.names));
           exit 1)
   | _ ->
       Format.eprintf "usage: main.exe [experiment] [--metrics]@.";

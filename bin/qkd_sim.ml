@@ -616,6 +616,98 @@ let dataplane_cmd =
       const run_dataplane $ metrics_arg $ metrics_out_arg $ packets $ batch
       $ payload $ flows $ scalar $ seed)
 
+(* -- kms subcommand -- *)
+
+let run_kms metrics metrics_out health topology tenants rps bits duration quick
+    =
+  let base = if quick then Qkd_kms.Load.quick else Qkd_kms.Load.default in
+  let profile =
+    {
+      base with
+      Qkd_kms.Load.topology =
+        (match topology with
+        | "ring" -> Qkd_kms.Load.Ring_of_rings
+        | "hubspoke" -> Qkd_kms.Load.Hub_spoke
+        | other -> failwith (Printf.sprintf "unknown topology %S" other));
+      tenants = Option.value tenants ~default:base.Qkd_kms.Load.tenants;
+      target_rps = Option.value rps ~default:base.Qkd_kms.Load.target_rps;
+      bits = Option.value bits ~default:base.Qkd_kms.Load.bits;
+      duration_s = Option.value duration ~default:base.Qkd_kms.Load.duration_s;
+    }
+  in
+  let monitor = make_monitor health in
+  let o = Qkd_kms.Load.run ?monitor profile in
+  let s = o.Qkd_kms.Load.stats in
+  Format.printf
+    "metro %s: %d nodes, %d edges, %d endpoints, %d tenants@."
+    topology o.Qkd_kms.Load.nodes o.Qkd_kms.Load.edges
+    o.Qkd_kms.Load.endpoints s.Qkd_kms.Kms.tenants;
+  Format.printf
+    "offered %d req/s for %.0f s: %d submitted, %d delivered (%.0f req/s \
+     simulated)@."
+    profile.Qkd_kms.Load.target_rps profile.Qkd_kms.Load.duration_s
+    s.Qkd_kms.Kms.submitted s.Qkd_kms.Kms.delivered o.Qkd_kms.Load.delivered_rps;
+  Format.printf
+    "rejected %d, shed %d, gave up %d, retries %d, released %d@."
+    s.Qkd_kms.Kms.rejected s.Qkd_kms.Kms.shed s.Qkd_kms.Kms.gave_up
+    s.Qkd_kms.Kms.retries s.Qkd_kms.Kms.released;
+  List.iter
+    (fun (c : Qkd_kms.Kms.class_stats) ->
+      Format.printf "  %-8s %7d delivered, p50 %.4f s, p95 %.4f s@."
+        (Qkd_kms.Qos.label c.Qkd_kms.Kms.klass)
+        c.Qkd_kms.Kms.delivered c.Qkd_kms.Kms.p50_latency_s
+        c.Qkd_kms.Kms.p95_latency_s)
+    s.Qkd_kms.Kms.per_class;
+  Format.printf
+    "jain fairness %.4f, pad spend %d bits, accounting drift %d bits, %d \
+     shards below watermark@."
+    s.Qkd_kms.Kms.jain_fairness s.Qkd_kms.Kms.pad_spend_bits
+    s.Qkd_kms.Kms.accounting_drift_bits s.Qkd_kms.Kms.shards_below_watermark;
+  finish ~metrics ~metrics_out ~monitor
+    ~now:(profile.Qkd_kms.Load.duration_s +. profile.Qkd_kms.Load.drain_grace_s)
+    (if s.Qkd_kms.Kms.accounting_drift_bits = 0 then 0 else 1)
+
+let kms_cmd =
+  let topology =
+    Arg.(
+      value & opt string "ring"
+      & info [ "topology" ] ~docv:"KIND"
+          ~doc:"Metro preset: $(b,ring) (ring of rings) or $(b,hubspoke).")
+  in
+  let tenants =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tenants" ] ~doc:"Registered consumers.")
+  in
+  let rps =
+    Arg.(
+      value & opt (some int) None
+      & info [ "rps" ] ~doc:"Offered key requests per simulated second.")
+  in
+  let bits =
+    Arg.(
+      value & opt (some int) None & info [ "bits" ] ~doc:"Key bits per request.")
+  in
+  let duration =
+    Arg.(
+      value & opt (some float) None
+      & info [ "duration" ] ~doc:"Offered-load window, simulated seconds.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Use the smaller CI profile as the baseline.")
+  in
+  Cmd.v
+    (Cmd.info "kms"
+       ~doc:
+         "Run key-distribution-as-a-service over a metro mesh: tens of \
+          thousands of tenants drawing keys through weighted-fair admission \
+          with per-class QoS, reported with fairness and exact accounting")
+    Term.(
+      const run_kms $ metrics_arg $ metrics_out_arg $ health_arg $ topology
+      $ tenants $ rps $ bits $ duration $ quick)
+
 (* -- system subcommand -- *)
 
 let run_system metrics metrics_out health duration =
@@ -658,4 +750,5 @@ let () =
             system_cmd;
             campaign_cmd;
             dataplane_cmd;
+            kms_cmd;
           ]))

@@ -125,6 +125,15 @@ let feed ctx b ~pos ~len =
     ctx.fill <- ctx.fill + !remaining
   end
 
+(* Top level (not a local closure inside [finalize_into]): the classic-
+   mode compiler would allocate the closure on every finalization, which
+   is two minor-heap blocks per HMAC'd ESP packet. *)
+let[@inline] put32be dst pos v =
+  for k = 0 to 3 do
+    Bytes.unsafe_set dst (pos + k)
+      (Char.unsafe_chr ((v lsr (8 * (3 - k))) land 0xFF))
+  done
+
 let finalize_into ctx ~dst ~pos =
   if ctx.finished then invalid_arg "Sha1.finalize: context finalised";
   if pos < 0 || pos + 20 > Bytes.length dst then invalid_arg "Sha1.finalize_into";
@@ -145,18 +154,11 @@ let finalize_into ctx ~dst ~pos =
   done;
   compress ctx block 0;
   ctx.fill <- 0;
-  let put i v =
-    for k = 0 to 3 do
-      Bytes.unsafe_set dst
-        (pos + (4 * i) + k)
-        (Char.unsafe_chr ((v lsr (8 * (3 - k))) land 0xFF))
-    done
-  in
-  put 0 ctx.h0;
-  put 1 ctx.h1;
-  put 2 ctx.h2;
-  put 3 ctx.h3;
-  put 4 ctx.h4
+  put32be dst pos ctx.h0;
+  put32be dst (pos + 4) ctx.h1;
+  put32be dst (pos + 8) ctx.h2;
+  put32be dst (pos + 12) ctx.h3;
+  put32be dst (pos + 16) ctx.h4
 
 (* Midstate capture for HMAC key-block caching: after feeding a whole
    number of blocks, the five chaining words fully describe the

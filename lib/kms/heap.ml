@@ -1,0 +1,43 @@
+(* Pairing heap keyed (key, seq), the same structure [Sim] uses for
+   its event queue: O(1) push, O(log n) amortised pop, no rebalancing
+   arrays to grow.  The sequence number breaks key ties in insertion
+   order, so equal-finish-tag requests dispatch first-come-first-
+   served. *)
+
+type 'a tree = Empty | Node of 'a entry * 'a tree list
+and 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = { mutable root : 'a tree; mutable seq : int; mutable size : int }
+
+let create () = { root = Empty; seq = 0; size = 0 }
+
+let merge a b =
+  match (a, b) with
+  | Empty, h | h, Empty -> h
+  | Node (ea, ca), Node (eb, cb) ->
+      if (ea.key, ea.seq) <= (eb.key, eb.seq) then Node (ea, b :: ca)
+      else Node (eb, a :: cb)
+
+let rec merge_pairs = function
+  | [] -> Empty
+  | [ h ] -> h
+  | a :: b :: rest -> merge (merge a b) (merge_pairs rest)
+
+let push t ~key value =
+  let e = { key; seq = t.seq; value } in
+  t.seq <- t.seq + 1;
+  t.size <- t.size + 1;
+  t.root <- merge t.root (Node (e, []))
+
+let pop_min t =
+  match t.root with
+  | Empty -> None
+  | Node (e, children) ->
+      t.root <- merge_pairs children;
+      t.size <- t.size - 1;
+      Some (e.key, e.value)
+
+let peek_key t = match t.root with Empty -> None | Node (e, _) -> Some e.key
+
+let size t = t.size
+let is_empty t = t.size = 0

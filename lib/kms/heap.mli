@@ -1,0 +1,22 @@
+(** Pairing-heap priority queue, keyed by a float with FIFO
+    tie-breaking.
+
+    The KMS admission queue orders requests by weighted-fair-queueing
+    finish tag; at metro event volume (tens of thousands of queued
+    requests) it needs the same O(log n) amortised pop the event
+    simulator's heap gives — this is that heap, generalised over the
+    carried value. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** O(1).  Equal keys pop in push order. *)
+val push : 'a t -> key:float -> 'a -> unit
+
+(** Smallest key (then earliest pushed); O(log n) amortised. *)
+val pop_min : 'a t -> (float * 'a) option
+
+val peek_key : 'a t -> float option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

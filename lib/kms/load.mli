@@ -1,0 +1,47 @@
+(** Metro-scale load generator: the shared scenario behind
+    [bench kms] and [qkd_sim kms].
+
+    Builds a metro preset topology, registers tenants round-robin over
+    endpoint pairs and QoS classes, offers an open-loop request stream
+    at a fixed rate for [duration_s] simulated seconds with periodic
+    supply refresh, then lets the queue drain past the longest class
+    deadline so the accounting gates are checked at quiescence. *)
+
+type topology_kind = Ring_of_rings | Hub_spoke
+
+type profile = {
+  topology : topology_kind;
+  fiber_km : float;  (** core span; locals and access scale down *)
+  pulse_rate_hz : float;  (** cranked past the paper's 1 MHz *)
+  tenants : int;
+  target_rps : int;  (** offered request rate, per simulated second *)
+  bits : int;  (** key bits per request *)
+  duration_s : float;  (** offered-load window, simulated *)
+  advance_every_s : float;  (** supply refresh cadence *)
+  drain_grace_s : float;  (** must outlive the Bulk deadline *)
+  prefill_s : float;  (** distillation before the service starts *)
+  low_watermark : int;
+  high_watermark : int;
+}
+
+(** 104 nodes, 10k tenants, 10k req/s for 10 s. *)
+val default : profile
+
+(** [default] at 2k tenants for 2 s. *)
+val quick : profile
+
+type outcome = {
+  kms : Kms.t;
+  nodes : int;
+  edges : int;
+  endpoints : int;
+  offered : int;  (** requests actually submitted *)
+  stats : Kms.stats;  (** taken at quiescence *)
+  delivered_rps : float;  (** delivered / [duration_s] *)
+}
+
+(** [run ?monitor p] — with [monitor], installs the KMS watches and
+    rules ({!Kms.install_monitor}) and ticks it at each supply
+    refresh.
+    @raise Invalid_argument on a degenerate profile. *)
+val run : ?monitor:Qkd_obs.Health.monitor -> profile -> outcome

@@ -1,0 +1,55 @@
+type klass = Realtime | Standard | Bulk
+
+let all = [ Realtime; Standard; Bulk ]
+
+let label = function
+  | Realtime -> "realtime"
+  | Standard -> "standard"
+  | Bulk -> "bulk"
+
+type policy = {
+  weight : float;
+  deadline_s : float;
+  max_attempts : int;
+  base_backoff_s : float;
+  backoff_factor : float;
+  max_backoff_s : float;
+}
+
+(* 8 : 4 : 1 service shares; the latency-sensitive class gives up fast
+   (a stale realtime key is worthless), bulk keeps grinding. *)
+let default_policy = function
+  | Realtime ->
+      {
+        weight = 8.0;
+        deadline_s = 2.0;
+        max_attempts = 3;
+        base_backoff_s = 0.05;
+        backoff_factor = 2.0;
+        max_backoff_s = 0.4;
+      }
+  | Standard ->
+      {
+        weight = 4.0;
+        deadline_s = 10.0;
+        max_attempts = 5;
+        base_backoff_s = 0.2;
+        backoff_factor = 2.0;
+        max_backoff_s = 2.0;
+      }
+  | Bulk ->
+      {
+        weight = 1.0;
+        deadline_s = 60.0;
+        max_attempts = 8;
+        base_backoff_s = 1.0;
+        backoff_factor = 2.0;
+        max_backoff_s = 8.0;
+      }
+
+let validate_policy ~who p =
+  if p.weight <= 0.0 then invalid_arg (who ^ ": weight must be positive");
+  if p.max_attempts < 1 then invalid_arg (who ^ ": max_attempts < 1");
+  if p.base_backoff_s <= 0.0 || p.backoff_factor < 1.0 then
+    invalid_arg (who ^ ": bad backoff parameters");
+  if p.deadline_s <= 0.0 then invalid_arg (who ^ ": deadline must be positive")

@@ -1,0 +1,33 @@
+(** Quality-of-service classes for KMS consumers.
+
+    Three classes ordered by service share: [Realtime] (IKE rekeys on
+    live tunnels, 8x), [Standard] (session keying, 4x), [Bulk]
+    (pre-positioning pad material, 1x).  A class's policy sets its
+    weighted-fair-queueing share and its retry/deadline behaviour —
+    the scheduling half of the "key distribution as a service" layer;
+    tenants bring their own within-class weight on top. *)
+
+type klass = Realtime | Standard | Bulk
+
+(** In decreasing-priority order. *)
+val all : klass list
+
+(** ["realtime"] / ["standard"] / ["bulk"] — metric label values. *)
+val label : klass -> string
+
+type policy = {
+  weight : float;  (** WFQ service share, > 0 *)
+  deadline_s : float;  (** give up once the next retry would pass this *)
+  max_attempts : int;  (** total attempts, including the first *)
+  base_backoff_s : float;
+  backoff_factor : float;  (** >= 1 *)
+  max_backoff_s : float;
+}
+
+(** 8/4/1 weights; tighter deadlines and fewer attempts the more
+    latency-sensitive the class. *)
+val default_policy : klass -> policy
+
+(** @raise Invalid_argument (prefixed with [who]) on a nonsensical
+    policy. *)
+val validate_policy : who:string -> policy -> unit

@@ -1,0 +1,103 @@
+module Key_pool = Qkd_protocol.Key_pool
+module Relay = Qkd_net.Relay
+
+(* One shard per relay edge: the KMS's accounting view of that edge's
+   pairwise pool.  The pool itself lives in [Relay] (watermark-driven
+   rebalancing happens inside [Relay.advance]); the shard layer tracks
+   what the KMS spends through each edge, observes refill as the delta
+   of the pool's offered counter between refreshes, and flags shards
+   sitting below the service's low watermark so dispatch and alerting
+   can see scarcity per edge rather than as one global number. *)
+type shard = {
+  edge : int * int;
+  rate_bps : float;
+  mutable up : bool;
+  mutable available : int;
+  mutable spent_bits : int;
+  mutable refill_bits : int;
+  mutable last_offered : int;
+  mutable below_watermark : bool;
+}
+
+type t = {
+  by_pair : (int * int, shard) Hashtbl.t;
+  order : (int * int) list;  (** stable edge order, as [Relay.edge_stats] *)
+  low_watermark : int;
+  mutable below : int;
+}
+
+let create ~low_watermark relay =
+  if low_watermark < 0 then invalid_arg "Shard.create: negative watermark";
+  let stats = Relay.edge_stats relay in
+  let by_pair = Hashtbl.create (List.length stats) in
+  let order =
+    List.map
+      (fun (s : Relay.edge_stats) ->
+        Hashtbl.replace by_pair s.Relay.edge
+          {
+            edge = s.Relay.edge;
+            rate_bps = s.Relay.rate_bps;
+            up = s.Relay.up;
+            available = s.Relay.pool.Key_pool.available;
+            spent_bits = 0;
+            refill_bits = 0;
+            last_offered = s.Relay.pool.Key_pool.offered;
+            below_watermark =
+              s.Relay.pool.Key_pool.available < low_watermark;
+          };
+        s.Relay.edge)
+      stats
+  in
+  let t = { by_pair; order; low_watermark; below = 0 } in
+  t.below <-
+    Hashtbl.fold (fun _ s acc -> if s.below_watermark then acc + 1 else acc)
+      by_pair 0;
+  t
+
+let refresh t relay =
+  let below = ref 0 in
+  List.iter
+    (fun (s : Relay.edge_stats) ->
+      match Hashtbl.find_opt t.by_pair s.Relay.edge with
+      | None -> ()
+      | Some shard ->
+          shard.up <- s.Relay.up;
+          shard.available <- s.Relay.pool.Key_pool.available;
+          shard.refill_bits <-
+            shard.refill_bits
+            + (s.Relay.pool.Key_pool.offered - shard.last_offered);
+          shard.last_offered <- s.Relay.pool.Key_pool.offered;
+          shard.below_watermark <- shard.available < t.low_watermark;
+          if shard.below_watermark then incr below)
+    (Relay.edge_stats relay);
+  t.below <- !below
+
+let pair_key a b = (min a b, max a b)
+
+(* Charge a committed delivery's pad spend to every edge its path
+   crossed. *)
+let note_spend t ~path ~bits =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        (match Hashtbl.find_opt t.by_pair (pair_key a b) with
+        | Some shard -> shard.spent_bits <- shard.spent_bits + bits
+        | None -> ());
+        go rest
+    | [ _ ] | [] -> ()
+  in
+  go path
+
+let find t a b = Hashtbl.find_opt t.by_pair (pair_key a b)
+let below_watermark_count t = t.below
+let shard_count t = List.length t.order
+let low_watermark t = t.low_watermark
+
+let total_spent_bits t =
+  Hashtbl.fold (fun _ s acc -> acc + s.spent_bits) t.by_pair 0
+
+let min_available t =
+  Hashtbl.fold
+    (fun _ s acc -> if s.up then min acc s.available else acc)
+    t.by_pair max_int
+
+let iter f t = List.iter (fun e -> f (Hashtbl.find t.by_pair e)) t.order

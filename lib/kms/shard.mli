@@ -1,0 +1,48 @@
+(** Per-edge pool shards: the KMS accounting view over [Relay]'s
+    pairwise pools.
+
+    Distillation and watermark-driven rebalancing stay in
+    [Relay.advance]; this layer answers the service-side questions —
+    how much has the KMS spent through each edge, how fast is each
+    shard refilling, and how many shards sit below the service's low
+    watermark right now — per edge, in O(1) per lookup. *)
+
+type shard = {
+  edge : int * int;  (** (min, max) node pair *)
+  rate_bps : float;  (** modelled distilled rate *)
+  mutable up : bool;
+  mutable available : int;  (** pool depth at last [refresh] *)
+  mutable spent_bits : int;  (** KMS pad spend charged to this edge *)
+  mutable refill_bits : int;  (** cumulative observed refill *)
+  mutable last_offered : int;
+  mutable below_watermark : bool;
+}
+
+type t
+
+(** Seeds one shard per relay edge from [Relay.edge_stats].
+    @raise Invalid_argument on a negative watermark. *)
+val create : low_watermark:int -> Qkd_net.Relay.t -> t
+
+(** Pull fresh pool counters (call after [Relay.advance]); refill is
+    accumulated from the offered-counter delta. *)
+val refresh : t -> Qkd_net.Relay.t -> unit
+
+(** [note_spend t ~path ~bits] charges [bits] to every edge of a
+    committed delivery's path. *)
+val note_spend : t -> path:int list -> bits:int -> unit
+
+val find : t -> int -> int -> shard option
+val below_watermark_count : t -> int
+val shard_count : t -> int
+val low_watermark : t -> int
+
+(** Σ [spent_bits] — must equal the KMS's own pad-spend total (the
+    per-edge decomposition of the conservation law). *)
+val total_spent_bits : t -> int
+
+(** Depth of the shallowest up shard ([max_int] if none are up). *)
+val min_available : t -> int
+
+(** In stable edge order. *)
+val iter : (shard -> unit) -> t -> unit

@@ -1,0 +1,51 @@
+type t = {
+  id : int;
+  name : string;
+  klass : Qos.klass;
+  weight : float;
+  src : int;
+  dst : int;
+  quota_bits : int;
+  mutable requested : int;
+  mutable delivered : int;
+  mutable rejected : int;
+  mutable shed : int;
+  mutable gave_up : int;
+  mutable released : int;
+  mutable in_flight : int;
+  mutable delivered_bits : int;
+  mutable reserved_bits : int;
+  mutable pad_spend_bits : int;
+  mutable finish_tag : float;
+}
+
+let make ~id ~name ~klass ~weight ~src ~dst ~quota_bits =
+  if weight <= 0.0 then invalid_arg "Tenant: weight must be positive";
+  if quota_bits < 0 then invalid_arg "Tenant: negative quota";
+  {
+    id;
+    name;
+    klass;
+    weight;
+    src;
+    dst;
+    quota_bits;
+    requested = 0;
+    delivered = 0;
+    rejected = 0;
+    shed = 0;
+    gave_up = 0;
+    released = 0;
+    in_flight = 0;
+    delivered_bits = 0;
+    reserved_bits = 0;
+    pad_spend_bits = 0;
+    finish_tag = 0.0;
+  }
+
+(* Admission-time quota gate: bits already delivered plus bits
+   promised to work still in flight.  Checking the sum here is what
+   makes "quota never exceeded" a hard invariant rather than a race —
+   two queued requests cannot both fit if only one does. *)
+let would_exceed_quota t ~bits =
+  t.quota_bits < max_int && t.delivered_bits + t.reserved_bits + bits > t.quota_bits

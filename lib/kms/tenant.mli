@@ -1,0 +1,53 @@
+(** A registered KMS consumer: one key-consuming relationship between
+    two mesh endpoints (a VPN pair, in the paper's terms), with a QoS
+    class, a within-class weight, a lifetime key-bit quota, and exact
+    lifetime accounting.
+
+    The record is exposed for reading; the counters are mutated by
+    {!Kms} only.  The accounting identity the test suite pins: every
+    submitted request ends in exactly one of delivered / rejected /
+    shed / gave_up / released (+ [in_flight] transiently), and
+    [pad_spend_bits] sums bits x traversed edges over committed
+    deliveries only — aborted leases restore their pads and add
+    nothing. *)
+
+type t = {
+  id : int;
+  name : string;
+  klass : Qos.klass;
+  weight : float;  (** within-class WFQ weight *)
+  src : int;  (** home endpoint node *)
+  dst : int;  (** peer endpoint node *)
+  quota_bits : int;  (** lifetime cap on delivered bits; [max_int] = none *)
+  mutable requested : int;
+  mutable delivered : int;
+  mutable rejected : int;  (** admission rejections (over quota) *)
+  mutable shed : int;  (** shed at admission: service queue full *)
+  mutable gave_up : int;  (** attempts exhausted or deadline passed *)
+  mutable released : int;  (** leases aborted by the consumer *)
+  mutable in_flight : int;  (** accepted but not yet resolved *)
+  mutable delivered_bits : int;  (** end-to-end key bits received *)
+  mutable reserved_bits : int;
+      (** bits promised to in-flight work; counted against quota so
+          concurrent requests cannot oversubscribe it *)
+  mutable pad_spend_bits : int;
+      (** pad bits spent across the mesh (bits x traversed edges,
+          committed deliveries only) *)
+  mutable finish_tag : float;  (** WFQ virtual finish time, {!Kms} internal *)
+}
+
+(** @raise Invalid_argument if [weight <= 0] or [quota_bits < 0]. *)
+val make :
+  id:int ->
+  name:string ->
+  klass:Qos.klass ->
+  weight:float ->
+  src:int ->
+  dst:int ->
+  quota_bits:int ->
+  t
+
+(** [would_exceed_quota t ~bits] — admission gate over delivered plus
+    promised bits, so the quota is a hard invariant rather than a
+    race. *)
+val would_exceed_quota : t -> bits:int -> bool

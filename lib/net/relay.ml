@@ -224,6 +224,22 @@ let try_reserve t edges ~bits =
   in
   go [] edges
 
+(* A routed request whose per-hop pads are drawn but not yet spent:
+   the holder either commits (the key travels, counters move) or
+   releases (every pad returns to its pool head, conservation exact).
+   This is the primitive the KMS lease API is built on. *)
+type reservation = {
+  res_path : int list;
+  res_bits : int;
+  res_rerouted : bool;
+  res_pads : (pool * Bitstring.t) list;  (** path order *)
+  mutable res_open : bool;
+}
+
+let reservation_path r = r.res_path
+let reservation_bits r = r.res_bits
+let reservation_rerouted r = r.res_rerouted
+
 (* The source endpoint generates the end-to-end key and one-time-pads
    it across each hop: encrypted with the pairwise key on the wire,
    decrypted (back to cleartext) inside each relay, re-encrypted for
@@ -284,7 +300,7 @@ let fail_insufficient t (a, b) =
    quietly becomes the detour itself; comparing against the nominal
    hop count keeps down-link detours counted as reroutes. *)
 let nominal_hops t ~src ~dst =
-  let n = List.length (Topology.nodes t.topo) in
+  let n = Topology.node_count t.topo in
   let adj = Array.make n [] in
   List.iter
     (fun (e : Topology.edge) ->
@@ -317,7 +333,16 @@ let nominal_hops t ~src ~dst =
   in
   bfs ()
 
-let request_key_routed ~policy t ~src ~dst ~bits =
+let make_reservation path pads ~bits ~rerouted =
+  {
+    res_path = path;
+    res_bits = bits;
+    res_rerouted = rerouted;
+    res_pads = pads;
+    res_open = true;
+  }
+
+let reserve_routed ~policy t ~src ~dst ~bits =
   let static_path = Routing.shortest_path t.topo ~src ~dst ~weight:Routing.Hops in
   match (policy, static_path) with
   | Static, None -> fail_no_route t
@@ -331,7 +356,7 @@ let request_key_routed ~policy t ~src ~dst ~bits =
       | Some shortfall -> fail_insufficient t shortfall
       | None -> (
           match try_reserve t edges ~bits with
-          | Ok pads -> Ok (commit t path pads ~bits ~rerouted:false)
+          | Ok pads -> Ok (make_reservation path pads ~bits ~rerouted:false)
           | Error shortfall -> fail_insufficient t shortfall))
   | Resilient, _ -> (
       (* Could the nominal route have carried this?  It must still be
@@ -381,10 +406,37 @@ let request_key_routed ~policy t ~src ~dst ~bits =
         | path :: rest -> (
             match try_reserve t (hops_of_path path) ~bits with
             | Ok pads ->
-                Ok (commit t path pads ~bits ~rerouted:(not static_ok))
+                Ok (make_reservation path pads ~bits ~rerouted:(not static_ok))
             | Error shortfall -> attempt (Some shortfall) rest)
       in
       attempt None candidates)
+
+let commit_reservation t r =
+  if not r.res_open then
+    invalid_arg "Relay.commit_reservation: reservation already resolved";
+  r.res_open <- false;
+  commit t r.res_path r.res_pads ~bits:r.res_bits ~rerouted:r.res_rerouted
+
+let release_reservation (_ : t) r =
+  if not r.res_open then
+    invalid_arg "Relay.release_reservation: reservation already resolved";
+  r.res_open <- false;
+  (* Restore newest-draw-first (reverse path order), rebuilding each
+     pool head exactly as [try_reserve]'s mid-path rollback does. *)
+  List.iter
+    (fun (p, pad) -> Key_pool.restore p.material pad)
+    (List.rev r.res_pads);
+  (* A release is a client abort, not a relay failure: [failed_requests]
+     is untouched, only the outcome counter records it. *)
+  Qkd_obs.Counter.incr (request_counter "released")
+
+let reserve_key ?(policy = Resilient) t ~src ~dst ~bits =
+  reserve_routed ~policy t ~src ~dst ~bits
+
+let request_key_routed ~policy t ~src ~dst ~bits =
+  match reserve_routed ~policy t ~src ~dst ~bits with
+  | Error _ as e -> e
+  | Ok r -> Ok (commit_reservation t r)
 
 (* The relay has no clock of its own, so tracing here only annotates
    the caller's span (a scheduler attempt, a VPN request): outcome,
@@ -407,3 +459,21 @@ let request_key ?(policy = Resilient) ?(trace = Qkd_obs.Trace.null_id) t ~src
 let delivered_bits t = t.delivered
 let failed_requests t = t.failed
 let reroutes t = t.reroutes
+
+type edge_stats = {
+  edge : int * int;  (** (min, max) node pair *)
+  up : bool;
+  rate_bps : float;
+  pool : Key_pool.stats;
+}
+
+let edge_stats t =
+  List.map
+    (fun (p : pool) ->
+      {
+        edge = pair_key p.edge.Topology.a p.edge.Topology.b;
+        up = p.edge.Topology.up;
+        rate_bps = p.rate_bps;
+        pool = Key_pool.stats p.material;
+      })
+    t.pools

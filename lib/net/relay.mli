@@ -107,6 +107,42 @@ val request_key :
   bits:int ->
   (delivery, delivery_error) result
 
+(** {2 Leases}
+
+    A reservation is the routed-and-paid-for half of [request_key]:
+    pads are drawn on every hop, but the key has not travelled.  The
+    holder must resolve it exactly once — [commit_reservation] spends
+    it, [release_reservation] pushes every pad back (restoring the
+    consumption counters, so an aborted lease conserves bits exactly).
+    The KMS lease API ([Qkd_kms]) is built on this. *)
+
+type reservation
+
+val reservation_path : reservation -> int list
+val reservation_bits : reservation -> int
+val reservation_rerouted : reservation -> bool
+
+(** [reserve_key ?policy t ~src ~dst ~bits] routes exactly as
+    [request_key] (same policies, same failure accounting) but stops
+    after the per-hop reserve. *)
+val reserve_key :
+  ?policy:route_policy ->
+  t ->
+  src:int ->
+  dst:int ->
+  bits:int ->
+  (reservation, delivery_error) result
+
+(** [commit_reservation t r] performs the hop-by-hop OTP transport and
+    delivery accounting.  @raise Invalid_argument if [r] was already
+    committed or released. *)
+val commit_reservation : t -> reservation -> delivery
+
+(** [release_reservation t r] returns every reserved pad to its pool
+    head (the abort half of reserve-then-commit; not counted as a relay
+    failure).  @raise Invalid_argument if [r] was already resolved. *)
+val release_reservation : t -> reservation -> unit
+
 (** Totals for the experiment harness. *)
 val delivered_bits : t -> int
 
@@ -114,3 +150,16 @@ val failed_requests : t -> int
 
 (** [reroutes t] counts deliveries with [rerouted = true]. *)
 val reroutes : t -> int
+
+(** Per-edge link state, modelled rate and pool counters in one
+    snapshot — what a sharding layer needs to budget refills without
+    reaching into the pools themselves. *)
+type edge_stats = {
+  edge : int * int;  (** (min, max) node pair *)
+  up : bool;
+  rate_bps : float;
+  pool : Qkd_protocol.Key_pool.stats;
+}
+
+(** In the same stable order as pool filling (edge insertion order). *)
+val edge_stats : t -> edge_stats list

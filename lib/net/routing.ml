@@ -20,12 +20,15 @@ let transit_ok topo ~src ~dst id =
   | Topology.Trusted_relay | Topology.Untrusted_switch -> true
   | Topology.Endpoint -> false
 
-(* Dijkstra over the up edges; graphs are small (tens of nodes), so a
-   simple scan for the frontier minimum suffices. *)
+(* Dijkstra over the up edges.  The frontier minimum is a simple O(n)
+   scan — fine through metro scale (hundreds of nodes) — but transit
+   permission is precomputed once per call rather than re-resolving the
+   node on every relaxation. *)
 let shortest_path topo ~src ~dst ~weight =
-  let n = List.length (Topology.nodes topo) in
+  let n = Topology.node_count topo in
   if src < 0 || src >= n || dst < 0 || dst >= n then
     invalid_arg "Routing.shortest_path: unknown node";
+  let transit = Array.init n (fun id -> transit_ok topo ~src ~dst id) in
   let dist = Array.make n infinity in
   let prev = Array.make n (-1) in
   let visited = Array.make n false in
@@ -41,7 +44,7 @@ let shortest_path topo ~src ~dst ~weight =
       visited.(!u) <- true;
       List.iter
         (fun (peer, edge) ->
-          if (not visited.(peer)) && transit_ok topo ~src ~dst peer then begin
+          if (not visited.(peer)) && transit.(peer) then begin
             let alt = dist.(!u) +. edge_weight weight edge in
             if alt < dist.(peer) then begin
               dist.(peer) <- alt;

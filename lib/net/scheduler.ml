@@ -7,6 +7,7 @@ type config = {
   max_backoff_s : float;
   deadline_s : float;
   max_pending : int;
+  report_capacity : int;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     max_backoff_s = 8.0;
     deadline_s = 30.0;
     max_pending = 256;
+    report_capacity = 4096;
   }
 
 type give_up_reason = Queue_full | Deadline_exceeded | Attempts_exhausted
@@ -42,7 +44,15 @@ type t = {
   mutable delivered : int;
   mutable gave_up : int;
   mutable retries : int;
-  mutable reports : report list;  (** newest first *)
+  mutable delivered_pad_bits : int;
+  (* Resolved requests in a bounded ring: long-horizon runs (metro KMS
+     load, multi-day campaigns) resolve millions of requests, and the
+     old [report list] grew without bound.  Counts and pad accounting
+     stay exact through the running counters above; [reports] and the
+     latency percentiles see the last [report_capacity] resolutions. *)
+  ring : report option array;
+  mutable ring_next : int;  (* next slot to overwrite *)
+  mutable resolved : int;  (* total reports ever recorded *)
 }
 
 let create ?(config = default_config) ~sim relay =
@@ -50,6 +60,8 @@ let create ?(config = default_config) ~sim relay =
   if config.base_backoff_s <= 0.0 || config.backoff_factor < 1.0 then
     invalid_arg "Scheduler.create: bad backoff parameters";
   if config.max_pending < 1 then invalid_arg "Scheduler.create: max_pending < 1";
+  if config.report_capacity < 1 then
+    invalid_arg "Scheduler.create: report_capacity < 1";
   {
     sim;
     relay;
@@ -59,7 +71,10 @@ let create ?(config = default_config) ~sim relay =
     delivered = 0;
     gave_up = 0;
     retries = 0;
-    reports = [];
+    delivered_pad_bits = 0;
+    ring = Array.make config.report_capacity None;
+    ring_next = 0;
+    resolved = 0;
   }
 
 let request_counter result =
@@ -84,8 +99,13 @@ let reason_label = function
 let finish t ~span ~src ~dst ~bits ~submitted_s ~attempts outcome =
   let completed_s = Sim.now t.sim in
   (match outcome with
-  | Delivered _ ->
+  | Delivered d ->
       t.delivered <- t.delivered + 1;
+      (* Hop-by-hop OTP spends [bits] on every edge of the path; the
+         running total keeps conservation checks exact even after the
+         report itself rotates out of the ring. *)
+      t.delivered_pad_bits <-
+        t.delivered_pad_bits + (bits * (List.length d.Relay.path - 1));
       Qkd_obs.Counter.incr (request_counter "delivered");
       Qkd_obs.Histogram.observe (latency_histogram ()) (completed_s -. submitted_s);
       Qkd_obs.Trace.span_note span "outcome" "delivered"
@@ -95,8 +115,10 @@ let finish t ~span ~src ~dst ~bits ~submitted_s ~attempts outcome =
       Qkd_obs.Trace.span_note span "outcome" (reason_label reason));
   Qkd_obs.Trace.span_note span "attempts" (string_of_int attempts);
   Qkd_obs.Trace.span_end span ~at:completed_s;
-  t.reports <-
-    { src; dst; bits; submitted_s; completed_s; attempts; outcome } :: t.reports
+  t.ring.(t.ring_next) <-
+    Some { src; dst; bits; submitted_s; completed_s; attempts; outcome };
+  t.ring_next <- (t.ring_next + 1) mod Array.length t.ring;
+  t.resolved <- t.resolved + 1
 
 let submit t ~src ~dst ~bits =
   t.submitted <- t.submitted + 1;
@@ -162,14 +184,29 @@ type stats = {
   p95_latency_s : float;
 }
 
+(* Retained window, oldest first.  Until the ring wraps that is slots
+   [0, resolved); afterwards it starts at [ring_next] (the slot about
+   to be overwritten is the oldest survivor). *)
+let fold_window f acc t =
+  let cap = Array.length t.ring in
+  let n = min t.resolved cap in
+  let start = if t.resolved <= cap then 0 else t.ring_next in
+  let acc = ref acc in
+  for i = 0 to n - 1 do
+    match t.ring.((start + i) mod cap) with
+    | Some r -> acc := f !acc r
+    | None -> ()
+  done;
+  !acc
+
 let latencies t =
-  List.filter_map
-    (fun r ->
+  fold_window
+    (fun acc r ->
       match r.outcome with
-      | Delivered _ -> Some (r.completed_s -. r.submitted_s)
-      | Gave_up _ -> None)
-    t.reports
-  |> Array.of_list
+      | Delivered _ -> (r.completed_s -. r.submitted_s) :: acc
+      | Gave_up _ -> acc)
+    [] t
+  |> List.rev |> Array.of_list
 
 let stats t =
   let lats = latencies t in
@@ -184,4 +221,6 @@ let stats t =
     p95_latency_s = pct 95.0;
   }
 
-let reports t = List.rev t.reports
+let reports t = List.rev (fold_window (fun acc r -> r :: acc) [] t)
+let resolved t = t.resolved
+let delivered_pad_bits t = t.delivered_pad_bits

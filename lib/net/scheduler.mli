@@ -15,9 +15,15 @@ type config = {
   max_backoff_s : float;  (** backoff ceiling *)
   deadline_s : float;  (** give up once the next retry would pass this *)
   max_pending : int;  (** bounded queue: excess submissions are shed *)
+  report_capacity : int;
+      (** resolved reports retained for [reports]/latency percentiles;
+          older ones rotate out of a fixed ring, so long-horizon runs
+          stay O(capacity) not O(requests).  Counts and
+          [delivered_pad_bits] stay exact regardless. *)
 }
 
-(** 6 attempts, 0.5 s doubling to 8 s, 30 s deadline, 256 pending. *)
+(** 6 attempts, 0.5 s doubling to 8 s, 30 s deadline, 256 pending,
+    4096 retained reports. *)
 val default_config : config
 
 type give_up_reason = Queue_full | Deadline_exceeded | Attempts_exhausted
@@ -52,11 +58,24 @@ type stats = {
   gave_up : int;
   retries : int;
   pending : int;  (** submitted but not yet resolved *)
-  p50_latency_s : float;  (** over delivered requests, simulated time *)
+  p50_latency_s : float;
+      (** over delivered requests in the retained report window,
+          simulated time *)
   p95_latency_s : float;
 }
 
 val stats : t -> stats
 
-(** [reports t] — resolved requests, oldest first. *)
+(** [reports t] — the most recent [report_capacity] resolved requests,
+    oldest first. *)
 val reports : t -> report list
+
+(** [resolved t] — total requests ever resolved (delivered or given
+    up), independent of the report window. *)
+val resolved : t -> int
+
+(** [delivered_pad_bits t] — exact running total of pad bits consumed
+    by delivered requests ([bits] per traversed edge, i.e. bits x
+    (path length - 1) per delivery); the conservation-law counterpart
+    of [Relay.total_consumed_bits], unaffected by report rotation. *)
+val delivered_pad_bits : t -> int

@@ -9,42 +9,75 @@ type edge = {
   mutable up : bool;
 }
 
-type t = { mutable nodes : node list; mutable edges : edge list }
+(* Node and edge lookups are Hashtbl-indexed: [node]/[edge_between]
+   sit inside every Dijkstra relaxation, and at metro scale (100+
+   nodes, tens of thousands of routed requests) the old O(n) list
+   scans made routing O(V·E·n).  The public list views keep their
+   historical orders exactly — [nodes] oldest-first, [edges]
+   newest-first — because pool filling seeds per-edge RNGs in edge
+   order and the seeded tests pin those streams. *)
+type t = {
+  mutable rev_nodes : node list;  (** newest first; [nodes] reverses *)
+  mutable edges : edge list;  (** newest first, as historically *)
+  mutable n_nodes : int;
+  by_id : (int, node) Hashtbl.t;
+  by_pair : (int * int, edge) Hashtbl.t;  (** keyed (min a b, max a b) *)
+  adjacency : (int, (int * edge) list) Hashtbl.t;
+      (** per node, newest edge first — the same relative order a
+          filter over [edges] produces *)
+}
 
-let create () = { nodes = []; edges = [] }
+let create () =
+  {
+    rev_nodes = [];
+    edges = [];
+    n_nodes = 0;
+    by_id = Hashtbl.create 64;
+    by_pair = Hashtbl.create 64;
+    adjacency = Hashtbl.create 64;
+  }
 
 let add_node t ~name ~kind =
-  let id = List.length t.nodes in
-  t.nodes <- t.nodes @ [ { id; name; kind } ];
-  id
+  let id = t.n_nodes in
+  let n = { id; name; kind } in
+  t.rev_nodes <- n :: t.rev_nodes;
+  t.n_nodes <- t.n_nodes + 1;
+  Hashtbl.replace t.by_id id n;
+  n.id
 
 let node t id =
-  match List.find_opt (fun n -> n.id = id) t.nodes with
+  match Hashtbl.find_opt t.by_id id with
   | Some n -> n
   | None -> invalid_arg "Topology.node: unknown id"
 
-let connects e a b = (e.a = a && e.b = b) || (e.a = b && e.b = a)
+let node_count t = t.n_nodes
 
-let edge_between t a b = List.find_opt (fun e -> connects e a b) t.edges
+let pair_key a b = (min a b, max a b)
+
+let edge_between t a b = Hashtbl.find_opt t.by_pair (pair_key a b)
 
 let add_edge t a b fiber =
   ignore (node t a);
   ignore (node t b);
   if a = b then invalid_arg "Topology.add_edge: self-loop";
   if edge_between t a b <> None then invalid_arg "Topology.add_edge: duplicate";
-  t.edges <- { a; b; fiber; up = true } :: t.edges
+  let e = { a; b; fiber; up = true } in
+  t.edges <- e :: t.edges;
+  Hashtbl.replace t.by_pair (pair_key a b) e;
+  let push id peer =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt t.adjacency id) in
+    Hashtbl.replace t.adjacency id ((peer, e) :: cur)
+  in
+  push a b;
+  push b a
 
-let nodes t = t.nodes
+let nodes t = List.rev t.rev_nodes
 let edges t = t.edges
 
 let neighbors t id =
-  List.filter_map
-    (fun e ->
-      if not e.up then None
-      else if e.a = id then Some (e.b, e)
-      else if e.b = id then Some (e.a, e)
-      else None)
-    t.edges
+  match Hashtbl.find_opt t.adjacency id with
+  | None -> []
+  | Some l -> List.filter (fun (_, e) -> e.up) l
 
 let set_edge t a b ~up =
   match edge_between t a b with
@@ -128,5 +161,80 @@ let random_mesh ~nodes:count ~degree ~seed ~fiber_km =
     let b = Qkd_util.Rng.int rng count in
     if a <> b && edge_between t ids.(a) ids.(b) = None then
       add_edge t ids.(a) ids.(b) (fiber_of fiber_km)
+  done;
+  t
+
+(* -- Metro presets --------------------------------------------------
+
+   The DARPA network's metro-scale successor shape: a fiber backbone
+   ring of hub relays, each serving a neighbourhood — either its own
+   local relay ring (SONET-style dual-homing: cut any one local link
+   and the neighbourhood still reaches its hub) or a plain star of
+   access spokes.  Core spans are long-haul fiber, local rings
+   shorter, access drops shortest. *)
+
+let metro_ring_of_rings ?(rings = 8) ?(ring_size = 8) ?(endpoints_per_ring = 4)
+    ~fiber_km () =
+  if rings < 3 then invalid_arg "Topology.metro_ring_of_rings: rings < 3";
+  if ring_size < 2 then invalid_arg "Topology.metro_ring_of_rings: ring_size < 2";
+  if endpoints_per_ring < 0 || endpoints_per_ring > ring_size then
+    invalid_arg
+      "Topology.metro_ring_of_rings: endpoints_per_ring must be in [0, ring_size]";
+  let t = create () in
+  let core_fiber = fiber_of fiber_km in
+  let local_fiber = fiber_of (fiber_km /. 2.0) in
+  let access_fiber = fiber_of (fiber_km /. 4.0) in
+  let hubs =
+    Array.init rings (fun i ->
+        add_node t ~name:(Printf.sprintf "hub%d" i) ~kind:Trusted_relay)
+  in
+  for i = 0 to rings - 1 do
+    (* Local ring: hub -> r0 -> r1 -> ... -> hub, so every local relay
+       has two paths to the hub. *)
+    let locals =
+      Array.init ring_size (fun j ->
+          add_node t
+            ~name:(Printf.sprintf "r%d.%d" i j)
+            ~kind:Trusted_relay)
+    in
+    add_edge t hubs.(i) locals.(0) local_fiber;
+    for j = 0 to ring_size - 2 do
+      add_edge t locals.(j) locals.(j + 1) local_fiber
+    done;
+    add_edge t locals.(ring_size - 1) hubs.(i) local_fiber;
+    (* Endpoints spread evenly around the local ring. *)
+    for k = 0 to endpoints_per_ring - 1 do
+      let site = add_node t ~name:(Printf.sprintf "e%d.%d" i k) ~kind:Endpoint in
+      add_edge t site locals.(k * ring_size / endpoints_per_ring) access_fiber
+    done
+  done;
+  for i = 0 to rings - 1 do
+    add_edge t hubs.(i) hubs.((i + 1) mod rings) core_fiber
+  done;
+  t
+
+let metro_hub_spoke ?(hubs = 4) ?(spokes_per_hub = 24) ~fiber_km () =
+  if hubs < 2 then invalid_arg "Topology.metro_hub_spoke: hubs < 2";
+  if spokes_per_hub < 0 then
+    invalid_arg "Topology.metro_hub_spoke: negative spokes_per_hub";
+  let t = create () in
+  let core_fiber = fiber_of fiber_km in
+  let access_fiber = fiber_of (fiber_km /. 4.0) in
+  let ids =
+    Array.init hubs (fun i ->
+        add_node t ~name:(Printf.sprintf "hub%d" i) ~kind:Trusted_relay)
+  in
+  (* Full mesh between hubs: the core survives any single hub-to-hub
+     fiber cut without lengthening the inter-neighbourhood route. *)
+  for i = 0 to hubs - 1 do
+    for j = i + 1 to hubs - 1 do
+      add_edge t ids.(i) ids.(j) core_fiber
+    done
+  done;
+  for i = 0 to hubs - 1 do
+    for k = 0 to spokes_per_hub - 1 do
+      let site = add_node t ~name:(Printf.sprintf "e%d.%d" i k) ~kind:Endpoint in
+      add_edge t site ids.(i) access_fiber
+    done
   done;
   t

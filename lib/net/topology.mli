@@ -30,7 +30,13 @@ val add_node : t -> name:string -> kind:node_kind -> int
     @raise Invalid_argument on unknown ids, self-loops or duplicates. *)
 val add_edge : t -> int -> int -> Qkd_photonics.Fiber.t -> unit
 
+(** O(1): nodes and edges are hash-indexed internally, so routing's
+    per-relaxation lookups don't scan lists at metro scale. *)
 val node : t -> int -> node
+
+(** Ids are dense: [0 .. node_count - 1]. *)
+val node_count : t -> int
+
 val nodes : t -> node list
 val edges : t -> edge list
 
@@ -62,3 +68,29 @@ val ring : n:int -> fiber_km:float -> t
 (** [random_mesh ~nodes ~degree ~seed] — connected random graph of
     trusted relays with average degree about [degree]. *)
 val random_mesh : nodes:int -> degree:float -> seed:int64 -> fiber_km:float -> t
+
+(** {1 Metro presets}.  The metro-scale successor shapes of the DARPA
+    network: long-haul core spans of [fiber_km], local rings at half
+    that, access drops at a quarter. *)
+
+(** [metro_ring_of_rings ~fiber_km ()] — a core ring of [rings] hub
+    relays; each hub closes a local ring of [ring_size] relays (two
+    paths from any local relay to its hub), with [endpoints_per_ring]
+    endpoint sites spread evenly around it.  Defaults give
+    8·(1 + 8 + 4) = 104 nodes.
+    @raise Invalid_argument if [rings < 3], [ring_size < 2] or
+    [endpoints_per_ring] outside [0, ring_size]. *)
+val metro_ring_of_rings :
+  ?rings:int ->
+  ?ring_size:int ->
+  ?endpoints_per_ring:int ->
+  fiber_km:float ->
+  unit ->
+  t
+
+(** [metro_hub_spoke ~fiber_km ()] — [hubs] fully-meshed core relays,
+    each serving [spokes_per_hub] endpoint spokes.  Defaults give
+    4 + 4·24 = 100 nodes.
+    @raise Invalid_argument if [hubs < 2] or [spokes_per_hub < 0]. *)
+val metro_hub_spoke :
+  ?hubs:int -> ?spokes_per_hub:int -> fiber_km:float -> unit -> t

@@ -385,6 +385,49 @@ let detection_rate_low ~expected ?(tolerance = 0.08) ?(window_s = 300.0)
         };
   }
 
+let kms_backlog ~max_depth ?(window_s = 5.0) ?(for_s = 0.0) () =
+  {
+    name = "kms_backlog";
+    severity = Warning;
+    message =
+      Printf.sprintf
+        "KMS admission queue deeper than %d requests: mesh key supply \
+         behind demand"
+        max_depth;
+    for_s;
+    kind =
+      Threshold
+        {
+          series = "kms_queue_depth";
+          window_s;
+          condition = Above (float_of_int max_depth);
+        };
+  }
+
+let kms_delivery_slo_burn ?(objective = 0.95) ?(window_s = 60.0)
+    ?(max_burn = 1.0) ?(for_s = 0.0) () =
+  {
+    name = "kms_delivery_slo_burn";
+    severity = Critical;
+    message =
+      Printf.sprintf
+        "KMS delivery SLO burning error budget faster than the %.0f%% \
+         objective"
+        (100.0 *. objective);
+    for_s;
+    kind =
+      Burn_rate
+        {
+          good =
+            Series.labelled_name "kms_requests_total"
+              [ ("result", "delivered") ];
+          total = "kms_submitted_total";
+          objective;
+          window_s;
+          max_burn;
+        };
+  }
+
 let stabilization_drift ?(max_rad = 0.5) ?(window_s = 10.0) ?(for_s = 0.0) () =
   {
     name = "stabilization_drift";

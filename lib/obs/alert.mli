@@ -161,6 +161,23 @@ val delivery_slo_burn :
     ([net_scheduler_requests_total{result="delivered"}] /
     [net_scheduler_submitted_total]), fed by {!Qkd_net.Scheduler}. *)
 
+val kms_backlog :
+  max_depth:int -> ?window_s:float -> ?for_s:float -> unit -> rule
+(** Windowed mean of [kms_queue_depth] above [max_depth] requests:
+    the key-distribution service is admitting faster than the mesh
+    distills. *)
+
+val kms_delivery_slo_burn :
+  ?objective:float ->
+  ?window_s:float ->
+  ?max_burn:float ->
+  ?for_s:float ->
+  unit ->
+  rule
+(** Tenant-facing delivery SLO burn over the KMS counters
+    ([kms_requests_total{result="delivered"}] /
+    [kms_submitted_total]). *)
+
 val classical_dos :
   ?max_failure_ratio:float ->
   ?window_s:float ->

@@ -5,28 +5,36 @@ module Bitstring = Qkd_util.Bitstring
    [offer] conses onto [back]; when [front] runs dry the whole of
    [back] is reversed across at once, so every operation is amortised
    O(1) and offering many small chunks no longer degrades
-   quadratically the way the old [chunks @ [bits]] append did. *)
+   quadratically the way the old [chunks @ [bits]] append did.
+
+   Each front chunk carries a consumption offset instead of being
+   re-split on partial consume: taking 128 bits off a megabit chunk
+   copies 128 bits, not the megabit remainder.  Consumes are O(bits
+   taken) however large the distillation chunks are. *)
 type t = {
-  mutable front : Bitstring.t list;
+  mutable front : (Bitstring.t * int) list;  (** (chunk, start offset) *)
   mutable back : Bitstring.t list;
   mutable size : int;
   mutable offered : int;
   mutable consumed : int;
+  mutable restored : int;
 }
 
 exception Exhausted of { wanted : int; available : int }
 
 let create ?initial () =
   match initial with
-  | None -> { front = []; back = []; size = 0; offered = 0; consumed = 0 }
+  | None ->
+      { front = []; back = []; size = 0; offered = 0; consumed = 0; restored = 0 }
   | Some bits ->
       let n = Bitstring.length bits in
       {
-        front = (if n = 0 then [] else [ bits ]);
+        front = (if n = 0 then [] else [ (bits, 0) ]);
         back = [];
         size = n;
         offered = n;
         consumed = 0;
+        restored = 0;
       }
 
 let available t = t.size
@@ -47,9 +55,9 @@ let pop_front t =
   | [] -> (
       match List.rev t.back with
       | c :: rest ->
-          t.front <- rest;
+          t.front <- List.map (fun b -> (b, 0)) rest;
           t.back <- [];
-          c
+          (c, 0)
       | [] -> assert false)
 
 let consume t n =
@@ -58,12 +66,14 @@ let consume t n =
   let rec go acc need =
     if need = 0 then List.rev acc
     else begin
-      let c = pop_front t in
-      let len = Bitstring.length c in
-      if len <= need then go (c :: acc) (need - len)
+      let c, off = pop_front t in
+      let len = Bitstring.length c - off in
+      if len <= need then
+        let piece = if off = 0 then c else Bitstring.sub c off len in
+        go (piece :: acc) (need - len)
       else begin
-        t.front <- Bitstring.sub c need (len - need) :: t.front;
-        List.rev (Bitstring.sub c 0 need :: acc)
+        t.front <- (c, off + need) :: t.front;
+        List.rev (Bitstring.sub c off need :: acc)
       end
     end
   in
@@ -77,10 +87,27 @@ let consume_bytes t n = Bitstring.to_bytes (consume t (8 * n))
 let restore t bits =
   let n = Bitstring.length bits in
   if n > 0 then begin
-    t.front <- bits :: t.front;
+    t.front <- (bits, 0) :: t.front;
     t.size <- t.size + n;
-    t.consumed <- t.consumed - n
+    t.consumed <- t.consumed - n;
+    t.restored <- t.restored + n
   end
 
 let total_offered t = t.offered
 let total_consumed t = t.consumed
+let total_restored t = t.restored
+
+type stats = {
+  available : int;
+  offered : int;
+  consumed : int;
+  restored : int;
+}
+
+let stats t =
+  {
+    available = t.size;
+    offered = t.offered;
+    consumed = t.consumed;
+    restored = t.restored;
+  }

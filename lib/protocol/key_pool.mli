@@ -42,4 +42,23 @@ val consume_bytes : t -> int -> bytes
 (** Lifetime counters. *)
 val total_offered : t -> int
 
+(** Net spend: [restore] decrements this, so rolled-back reservations
+    never count. *)
 val total_consumed : t -> int
+
+(** Cumulative bits pushed back by [restore] — the abort traffic a
+    lease-style consumer generates, invisible in [total_consumed]
+    precisely because restores cancel there. *)
+val total_restored : t -> int
+
+(** One coherent snapshot of the counters, for shard accounting: always
+    [offered = available + consumed] (restores having cancelled out of
+    both sides). *)
+type stats = {
+  available : int;
+  offered : int;
+  consumed : int;  (** net of restores *)
+  restored : int;
+}
+
+val stats : t -> stats

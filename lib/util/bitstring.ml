@@ -165,12 +165,29 @@ let parity_masked t mask =
   done;
   !n land 1 = 1
 
+(* Trailing bits past [len] in the last byte stay zero — [hamming_distance]
+   and [parity] scan whole bytes and rely on that. *)
+let mask_tail r =
+  let rem = r.len land 7 in
+  if rem <> 0 then begin
+    let last = byte_len r.len - 1 in
+    Bytes.unsafe_set r.bits last
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get r.bits last) land ((1 lsl rem) - 1)))
+  end
+
 let sub t pos len =
   if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Bitstring.sub";
   let r = create len in
-  for i = 0 to len - 1 do
-    unsafe_set r i (unsafe_get t (pos + i))
-  done;
+  if pos land 7 = 0 then begin
+    (* Byte-aligned: one blit instead of a bit-by-bit copy. *)
+    Bytes.blit t.bits (pos lsr 3) r.bits 0 (byte_len len);
+    mask_tail r
+  end
+  else
+    for i = 0 to len - 1 do
+      unsafe_set r i (unsafe_get t (pos + i))
+    done;
   r
 
 let concat a b =
@@ -188,10 +205,19 @@ let concat_list ts =
   let r = create total in
   let off = ref 0 in
   let blit t =
-    for i = 0 to t.len - 1 do
-      unsafe_set r (!off + i) (unsafe_get t i)
-    done;
-    off := !off + t.len
+    if !off land 7 = 0 then begin
+      (* The blitted source byte's tail bits past [t.len] are zero, so
+         an unaligned continuation can fill that shared byte bit by
+         bit without clobbering. *)
+      Bytes.blit t.bits 0 r.bits (!off lsr 3) (byte_len t.len);
+      off := !off + t.len
+    end
+    else begin
+      for i = 0 to t.len - 1 do
+        unsafe_set r (!off + i) (unsafe_get t i)
+      done;
+      off := !off + t.len
+    end
   in
   List.iter blit ts;
   r

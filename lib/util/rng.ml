@@ -1,29 +1,56 @@
-type t = { mutable state : int64 }
+(* splitmix64, with the 64-bit state carried as two 32-bit halves in
+   immediate native ints.  A [{ mutable state : int64 }] record boxes a
+   fresh [Int64.t] on every state store (3 minor words per draw under
+   the non-flambda compiler), which was the last allocation left on the
+   ESP dataplane's per-packet IV draw.  Halves stored as immediates
+   allocate nothing; the mix itself is reconstructed into [Int64]
+   locals whose uses are all unboxing contexts, so cmmgen keeps the
+   whole step in registers.  The output stream is bit-identical to the
+   historical int64-state implementation. *)
+type t = { mutable hi : int; mutable lo : int }
 
+let mask32 = 0xFFFFFFFF
 let golden_gamma = 0x9E3779B97F4A7C15L
+let gamma_hi = 0x9E3779B9
+let gamma_lo = 0x7F4A7C15
 
-let create seed = { state = seed }
+let of_int64 seed =
+  {
+    hi = Int64.to_int (Int64.shift_right_logical seed 32);
+    lo = Int64.to_int (Int64.logand seed 0xFFFFFFFFL);
+  }
+
+let create seed = of_int64 seed
 
 (* splitmix64 output function (Steele, Lea & Flood 2014).  Inlined so
    the native compiler keeps the Int64 intermediates unboxed in the
-   per-pulse hot loops — only the state store and the returned word
-   allocate. *)
+   per-pulse hot loops. *)
 let[@inline] mix z =
   let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
   let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
   Int64.(logxor z (shift_right_logical z 31))
 
-let[@inline] int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+(* state <- state + golden_gamma (mod 2^64), in native halves with an
+   explicit carry — immediate stores, no boxing. *)
+let[@inline] advance t =
+  let l = t.lo + gamma_lo in
+  t.lo <- l land mask32;
+  t.hi <- (t.hi + gamma_hi + (l lsr 32)) land mask32
 
-let split t = { state = int64 t }
+let[@inline] current t =
+  Int64.logor (Int64.shift_left (Int64.of_int t.hi) 32) (Int64.of_int t.lo)
+
+let[@inline] int64 t =
+  advance t;
+  mix (current t)
+
+let split t = of_int64 (int64 t)
 
 (* Double-mixing decorrelates nearby (seed, index) pairs: distinct
    indexes land ~one golden-gamma apart before mixing, exactly the
    spacing splitmix64 is designed to scramble. *)
 let derive seed index =
-  { state = mix (Int64.add (mix seed) (Int64.mul golden_gamma index)) }
+  of_int64 (mix (Int64.add (mix seed) (Int64.mul golden_gamma index)))
 
 let bits t n =
   let b = Bitstring.create n in
@@ -87,9 +114,11 @@ let fill t b ~pos ~len =
     invalid_arg "Rng.fill";
   let i = ref 0 in
   while !i < len do
-    (* Split the draw into native ints once (low 56 bits + top byte)
-       so the byte extraction below stays off the minor heap. *)
-    let w = int64 t in
+    (* Advance in native halves, mix into a local whose uses are all
+       unboxing contexts (low 56 bits + top byte as native ints): the
+       whole word draw stays off the minor heap. *)
+    advance t;
+    let w = mix (current t) in
     let lo = Int64.to_int (Int64.logand w 0xFFFFFFFFFFFFFFL) in
     let hi = Int64.to_int (Int64.shift_right_logical w 56) in
     let base = !i in

@@ -5,7 +5,9 @@
     [Rng.t] so every experiment is reproducible from a seed.  The
     generator is splitmix64: small state, good statistical quality, and
     cheap [split] for giving independent streams to independent
-    subsystems. *)
+    subsystems.  The 64-bit state is carried as two native-int halves,
+    so advancing the stream never allocates — [fill] (the dataplane IV
+    draw) runs entirely off the minor heap. *)
 
 type t
 

@@ -1,0 +1,437 @@
+(* Tests for the PR 8 key-distribution service: tenant accounting that
+   sums exactly to mesh pool spend (aborted leases conserve), hard
+   quotas, weighted-fair queueing across QoS classes, per-edge shard
+   decomposition, and the metro topology presets. *)
+
+module Sim = Qkd_net.Sim
+module Topology = Qkd_net.Topology
+module Relay = Qkd_net.Relay
+module Routing = Qkd_net.Routing
+module Link = Qkd_photonics.Link
+module Kms = Qkd_kms.Kms
+module Qos = Qkd_kms.Qos
+module Tenant = Qkd_kms.Tenant
+module Shard = Qkd_kms.Shard
+module Heap = Qkd_kms.Heap
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Crank the trigger rate so pools fill in simulated seconds, not
+   hours — the service logic under test is rate-agnostic. *)
+let fast = { Link.darpa_default with Link.pulse_rate_hz = 1e8 }
+
+let make ?(config = Kms.default_config) ?(fill_s = 2.0) topo =
+  let sim = Sim.create () in
+  let relay = Relay.create ~base_config:fast topo in
+  Relay.advance relay ~seconds:fill_s;
+  let kms = Kms.create ~config ~sim relay in
+  (sim, relay, kms)
+
+(* Drain the (a, b) pairwise pool down to [leave] bits before the KMS
+   baseline snapshot, to stage scarcity. *)
+let drain relay a b ~leave =
+  let avail = int_of_float (Relay.pool_bits relay a b) in
+  if avail > leave then
+    match Relay.request_key relay ~src:a ~dst:b ~bits:(avail - leave) with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "drain request should succeed"
+
+let chain3 () = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0
+
+(* -- Leases ---------------------------------------------------------- *)
+
+let test_lease_commit_delivers () =
+  let _, _, kms = make (chain3 ()) in
+  let a = Kms.register kms ~name:"a" ~klass:Qos.Realtime ~src:0 ~dst:2 () in
+  (match Kms.lease kms ~tenant:a ~bits:256 with
+  | Error _ -> Alcotest.fail "lease should succeed on a filled chain"
+  | Ok l ->
+      let d = Kms.commit_lease kms l in
+      check_int "full key" 256 (Qkd_util.Bitstring.length d.Relay.key);
+      check_int "two hops" 3 (List.length d.Relay.path));
+  let s = Kms.stats kms in
+  check_int "delivered" 1 s.Kms.delivered;
+  check_int "delivered bits" 256 s.Kms.delivered_bits;
+  check_int "pad spend = bits x hops" 512 s.Kms.pad_spend_bits;
+  check_int "drift is exactly zero" 0 s.Kms.accounting_drift_bits;
+  check_int "shards agree" 512 (Shard.total_spent_bits (Kms.shards kms));
+  let tn = Kms.tenant kms a in
+  check_int "tenant bits" 256 tn.Tenant.delivered_bits;
+  check_int "tenant pad spend" 512 tn.Tenant.pad_spend_bits;
+  check_int "nothing in flight" 0 s.Kms.in_flight
+
+let test_lease_release_restores_pools () =
+  let _, relay, kms = make (chain3 ()) in
+  let a = Kms.register kms ~name:"a" ~klass:Qos.Standard ~src:0 ~dst:2 () in
+  let before01 = Relay.pool_bits relay 0 1 in
+  let before12 = Relay.pool_bits relay 1 2 in
+  (match Kms.lease kms ~tenant:a ~bits:512 with
+  | Error _ -> Alcotest.fail "lease should succeed"
+  | Ok l ->
+      check "pads held while open" true (Relay.pool_bits relay 0 1 < before01);
+      Kms.release_lease kms l;
+      (* Exactly-once: a second resolution must be refused. *)
+      check "double release refused" true
+        (try
+           Kms.release_lease kms l;
+           false
+         with Invalid_argument _ -> true));
+  check "pool (0,1) restored exactly" true
+    (Relay.pool_bits relay 0 1 = before01);
+  check "pool (1,2) restored exactly" true
+    (Relay.pool_bits relay 1 2 = before12);
+  let s = Kms.stats kms in
+  check_int "released" 1 s.Kms.released;
+  check_int "spent nothing" 0 s.Kms.pad_spend_bits;
+  check_int "drift is exactly zero" 0 s.Kms.accounting_drift_bits;
+  let tn = Kms.tenant kms a in
+  check_int "no reserved bits left" 0 tn.Tenant.reserved_bits;
+  check_int "tenant released" 1 tn.Tenant.released
+
+let test_quota_is_hard () =
+  let sim, _, kms = make (chain3 ()) in
+  let a =
+    Kms.register kms ~name:"a" ~klass:Qos.Standard ~quota_bits:300 ~src:0
+      ~dst:2 ()
+  in
+  (match Kms.lease kms ~tenant:a ~bits:256 with
+  | Ok l -> ignore (Kms.commit_lease kms l)
+  | Error _ -> Alcotest.fail "first lease fits the quota");
+  (match Kms.lease kms ~tenant:a ~bits:256 with
+  | Error Kms.Over_quota -> ()
+  | Ok _ | Error _ -> Alcotest.fail "second lease must be over quota");
+  Kms.submit kms ~tenant:a ~bits:256;
+  Sim.run sim ~until:30.0;
+  let s = Kms.stats kms in
+  check_int "queued over-quota request rejected" 2 s.Kms.rejected;
+  let tn = Kms.tenant kms a in
+  check "quota never exceeded" true (tn.Tenant.delivered_bits <= 300)
+
+(* -- Queued dispatch -------------------------------------------------- *)
+
+let test_submit_delivers_via_sim () =
+  let sim, _, kms = make (chain3 ()) in
+  let a = Kms.register kms ~name:"a" ~klass:Qos.Realtime ~src:0 ~dst:2 () in
+  for _ = 1 to 10 do
+    Kms.submit kms ~tenant:a ~bits:128
+  done;
+  Sim.run sim ~until:5.0;
+  let s = Kms.stats kms in
+  check_int "all delivered" 10 s.Kms.delivered;
+  check_int "queue drained" 0 s.Kms.queue_depth;
+  check_int "drift is exactly zero" 0 s.Kms.accounting_drift_bits;
+  check "p95 latency sampled" true
+    (List.for_all
+       (fun (c : Kms.class_stats) ->
+         c.Kms.p95_latency_s >= 0.0 && c.Kms.p95_latency_s < 5.0)
+       s.Kms.per_class)
+
+let test_deadline_give_up_conserves () =
+  let sim, relay, _ = make ~fill_s:2.0 (chain3 ()) in
+  drain relay 0 1 ~leave:10;
+  drain relay 1 2 ~leave:10;
+  let kms = Kms.create ~sim relay in
+  let a = Kms.register kms ~name:"a" ~klass:Qos.Realtime ~src:0 ~dst:2 () in
+  Kms.submit kms ~tenant:a ~bits:256;
+  Sim.run sim ~until:30.0;
+  let s = Kms.stats kms in
+  check_int "gave up" 1 s.Kms.gave_up;
+  check_int "nothing delivered" 0 s.Kms.delivered;
+  check_int "nothing in flight" 0 s.Kms.in_flight;
+  check_int "drift is exactly zero" 0 s.Kms.accounting_drift_bits;
+  check_int "no reserved bits left" 0 (Kms.tenant kms a).Tenant.reserved_bits
+
+let test_retry_succeeds_after_refill () =
+  let sim, relay, _ = make ~fill_s:2.0 (chain3 ()) in
+  drain relay 0 1 ~leave:10;
+  drain relay 1 2 ~leave:10;
+  let kms = Kms.create ~sim relay in
+  let a = Kms.register kms ~name:"a" ~klass:Qos.Bulk ~src:0 ~dst:2 () in
+  Kms.submit kms ~tenant:a ~bits:256;
+  (* Supply arrives while the request is backing off. *)
+  Sim.schedule sim ~at:2.5 (fun () -> Kms.advance kms ~seconds:2.0);
+  Sim.run sim ~until:60.0;
+  let s = Kms.stats kms in
+  check_int "delivered after retry" 1 s.Kms.delivered;
+  check "retried at least once" true (s.Kms.retries >= 1);
+  check_int "drift is exactly zero" 0 s.Kms.accounting_drift_bits
+
+(* -- Fairness --------------------------------------------------------- *)
+
+let test_jain_equal_weights_under_contention () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let sim, relay, _ = make ~fill_s:2.0 topo in
+  (* Stage scarcity: supply covers roughly half the aggregate demand. *)
+  drain relay 0 1 ~leave:4096;
+  drain relay 1 2 ~leave:4096;
+  let kms = Kms.create ~sim relay in
+  let tenants =
+    List.init 8 (fun i ->
+        Kms.register kms
+          ~name:(Printf.sprintf "t%d" i)
+          ~klass:Qos.Standard ~src:0 ~dst:2 ())
+  in
+  List.iter
+    (fun id ->
+      for _ = 1 to 8 do
+        Kms.submit kms ~tenant:id ~bits:128
+      done)
+    tenants;
+  Sim.run sim ~until:60.0;
+  let s = Kms.stats kms in
+  check "contention actually bites" true (s.Kms.gave_up > 0);
+  check "some deliveries" true (s.Kms.delivered > 0);
+  check "jain >= 0.9 with equal weights" true (s.Kms.jain_fairness >= 0.9);
+  check_int "drift is exactly zero" 0 s.Kms.accounting_drift_bits
+
+let test_wfq_class_weights_order_scarce_supply () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let sim, relay, _ = make ~fill_s:2.0 topo in
+  drain relay 0 1 ~leave:4096;
+  drain relay 1 2 ~leave:4096;
+  let kms = Kms.create ~sim relay in
+  let rt = Kms.register kms ~name:"rt" ~klass:Qos.Realtime ~src:0 ~dst:2 () in
+  let bk = Kms.register kms ~name:"bk" ~klass:Qos.Bulk ~src:0 ~dst:2 () in
+  (* Bulk submits first: dispatch order must come from the WFQ finish
+     tags, not arrival order. *)
+  for _ = 1 to 30 do
+    Kms.submit kms ~tenant:bk ~bits:128
+  done;
+  for _ = 1 to 30 do
+    Kms.submit kms ~tenant:rt ~bits:128
+  done;
+  Sim.run sim ~until:90.0;
+  let rt_bits = (Kms.tenant kms rt).Tenant.delivered_bits in
+  let bk_bits = (Kms.tenant kms bk).Tenant.delivered_bits in
+  check "realtime was served" true (rt_bits > 0);
+  check "realtime outweighs bulk on scarce supply" true
+    (rt_bits >= 2 * bk_bits);
+  check_int "drift is exactly zero" 0
+    (Kms.stats kms).Kms.accounting_drift_bits
+
+(* -- Properties ------------------------------------------------------- *)
+
+(* Random mixes of committed leases, released leases and queued
+   requests: tenant accounting must sum exactly to the mesh's pool
+   spend — aborted leases conserve bits exactly. *)
+let prop_accounting_conserves =
+  QCheck.Test.make ~name:"tenant accounting sums exactly to pool spend"
+    ~count:40
+    QCheck.(small_list (pair (int_bound 2) (int_range 1 300)))
+    (fun ops ->
+      let sim, _, kms = make (chain3 ()) in
+      let a = Kms.register kms ~name:"a" ~klass:Qos.Standard ~src:0 ~dst:2 () in
+      let b = Kms.register kms ~name:"b" ~klass:Qos.Bulk ~src:0 ~dst:1 () in
+      List.iteri
+        (fun i (action, bits) ->
+          let id = if i mod 2 = 0 then a else b in
+          match action with
+          | 0 -> Kms.submit kms ~tenant:id ~bits
+          | 1 -> (
+              match Kms.lease kms ~tenant:id ~bits with
+              | Ok l -> ignore (Kms.commit_lease kms l)
+              | Error _ -> ())
+          | _ -> (
+              match Kms.lease kms ~tenant:id ~bits with
+              | Ok l -> Kms.release_lease kms l
+              | Error _ -> ()))
+        ops;
+      Sim.run sim ~until:120.0;
+      let s = Kms.stats kms in
+      let tenant_pad =
+        List.fold_left
+          (fun acc (tn : Tenant.t) -> acc + tn.Tenant.pad_spend_bits)
+          0 (Kms.tenants kms)
+      in
+      s.Kms.in_flight = 0
+      && s.Kms.accounting_drift_bits = 0
+      && tenant_pad = s.Kms.pad_spend_bits
+      && Shard.total_spent_bits (Kms.shards kms) = s.Kms.pad_spend_bits
+      && s.Kms.submitted
+         = s.Kms.delivered + s.Kms.rejected + s.Kms.shed + s.Kms.gave_up
+           + s.Kms.released)
+
+let prop_quota_never_exceeded =
+  QCheck.Test.make ~name:"quota never exceeded" ~count:40
+    QCheck.(pair (int_range 0 2000) (small_list (int_range 1 500)))
+    (fun (quota, sizes) ->
+      let sim, _, kms = make (chain3 ()) in
+      let a =
+        Kms.register kms ~name:"a" ~klass:Qos.Realtime ~quota_bits:quota
+          ~src:0 ~dst:2 ()
+      in
+      List.iteri
+        (fun i bits ->
+          if i mod 2 = 0 then Kms.submit kms ~tenant:a ~bits
+          else
+            match Kms.lease kms ~tenant:a ~bits with
+            | Ok l -> if i mod 4 = 1 then ignore (Kms.commit_lease kms l) else Kms.release_lease kms l
+            | Error _ -> ())
+        sizes;
+      Sim.run sim ~until:60.0;
+      let tn = Kms.tenant kms a in
+      tn.Tenant.delivered_bits <= quota && tn.Tenant.reserved_bits = 0)
+
+let prop_heap_pops_sorted =
+  QCheck.Test.make ~name:"kms heap pops keys sorted, FIFO on ties" ~count:200
+    QCheck.(small_list (int_bound 20))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri
+        (fun i k -> Heap.push h ~key:(float_of_int k) (i, k))
+        keys;
+      let rec drain acc =
+        match Heap.pop_min h with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      let popped = drain [] in
+      let sorted =
+        List.stable_sort
+          (fun (_, k1) (_, k2) -> compare k1 k2)
+          (List.mapi (fun i k -> (i, k)) keys)
+      in
+      popped = sorted && Heap.is_empty h)
+
+(* -- Shards ----------------------------------------------------------- *)
+
+let test_shard_decomposition () =
+  let topo = Topology.chain ~n:2 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let _, _, kms = make topo in
+  let a = Kms.register kms ~name:"a" ~klass:Qos.Standard ~src:0 ~dst:3 () in
+  (match Kms.lease kms ~tenant:a ~bits:100 with
+  | Ok l -> ignore (Kms.commit_lease kms l)
+  | Error _ -> Alcotest.fail "lease should succeed");
+  let shards = Kms.shards kms in
+  check_int "three shards on a 3-hop chain" 3 (Shard.shard_count shards);
+  List.iter
+    (fun (x, y) ->
+      match Shard.find shards x y with
+      | Some sh -> check_int "each hop charged once" 100 sh.Shard.spent_bits
+      | None -> Alcotest.fail "edge shard missing")
+    [ (0, 1); (1, 2); (2, 3) ];
+  check_int "decomposition sums" 300 (Shard.total_spent_bits shards)
+
+let test_shard_refresh_tracks_refill () =
+  let _, _, kms = make (chain3 ()) in
+  let shards = Kms.shards kms in
+  let before =
+    match Shard.find shards 0 1 with
+    | Some sh -> sh.Shard.refill_bits
+    | None -> Alcotest.fail "shard missing"
+  in
+  Kms.advance kms ~seconds:1.0;
+  match Shard.find shards 0 1 with
+  | Some sh ->
+      check "refill observed" true (sh.Shard.refill_bits > before);
+      check "available positive" true (sh.Shard.available > 0)
+  | None -> Alcotest.fail "shard missing after refresh"
+
+(* -- Metro presets ---------------------------------------------------- *)
+
+let test_metro_ring_of_rings () =
+  let topo = Topology.metro_ring_of_rings ~fiber_km:20.0 () in
+  (* 8 hubs + 8 rings x 8 locals + 8 x 4 endpoints. *)
+  check_int "104 nodes" 104 (Topology.node_count topo);
+  let endpoints =
+    List.filter
+      (fun (n : Topology.node) -> n.Topology.kind = Topology.Endpoint)
+      (Topology.nodes topo)
+  in
+  check_int "32 endpoints" 32 (List.length endpoints);
+  (* Any two endpoints in different rings are connected through the
+     relay core. *)
+  match endpoints with
+  | e0 :: rest ->
+      let far = List.nth rest (List.length rest - 1) in
+      (match
+         Routing.shortest_path topo ~src:e0.Topology.id ~dst:far.Topology.id
+           ~weight:Routing.Hops
+       with
+      | Some path -> check "multi-hop metro path" true (List.length path >= 4)
+      | None -> Alcotest.fail "metro mesh must connect endpoints")
+  | [] -> Alcotest.fail "no endpoints"
+
+let test_metro_hub_spoke () =
+  let topo = Topology.metro_hub_spoke ~fiber_km:15.0 () in
+  check_int "100 nodes" 100 (Topology.node_count topo);
+  let sim, relay, _ = make ~fill_s:1.0 topo in
+  let kms = Kms.create ~sim relay in
+  (* First two spokes of hub 0 and hub 1: ids 4.. are endpoints. *)
+  let a = Kms.register kms ~name:"a" ~klass:Qos.Realtime ~src:4 ~dst:29 () in
+  match Kms.lease kms ~tenant:a ~bits:64 with
+  | Ok l ->
+      let d = Kms.commit_lease kms l in
+      check "spoke-hub-hub-spoke" true (List.length d.Relay.path >= 3)
+  | Error _ -> Alcotest.fail "hub-and-spoke lease should deliver"
+
+(* -- Monitoring ------------------------------------------------------- *)
+
+let test_monitor_smoke () =
+  let sim, _, kms = make (chain3 ()) in
+  let a = Kms.register kms ~name:"alpha" ~klass:Qos.Realtime ~src:0 ~dst:2 () in
+  let monitor = Qkd_obs.Health.create () in
+  Kms.install_monitor kms monitor;
+  Kms.watch_tenant kms monitor a;
+  for _ = 1 to 4 do
+    Kms.submit kms ~tenant:a ~bits:128
+  done;
+  Sim.run sim ~until:5.0;
+  Qkd_obs.Health.tick monitor ~now:5.0;
+  (* Healthy run: deliveries at 100%, queue empty — nothing fires. *)
+  let engine = Qkd_obs.Health.engine monitor in
+  check "no backlog alert" false (Qkd_obs.Alert.is_firing engine "kms_backlog");
+  check "no slo burn alert" false
+    (Qkd_obs.Alert.is_firing engine "kms_delivery_slo_burn");
+  check_int "delivered" 4 (Kms.stats kms).Kms.delivered
+
+let () =
+  Alcotest.run "qkd_kms"
+    [
+      ( "leases",
+        [
+          Alcotest.test_case "commit delivers and accounts" `Quick
+            test_lease_commit_delivers;
+          Alcotest.test_case "release restores pools exactly" `Quick
+            test_lease_release_restores_pools;
+          Alcotest.test_case "quota is hard" `Quick test_quota_is_hard;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "submit delivers via sim" `Quick
+            test_submit_delivers_via_sim;
+          Alcotest.test_case "deadline give-up conserves" `Quick
+            test_deadline_give_up_conserves;
+          Alcotest.test_case "retry succeeds after refill" `Quick
+            test_retry_succeeds_after_refill;
+        ] );
+      ( "fairness",
+        [
+          Alcotest.test_case "jain >= 0.9 equal weights" `Quick
+            test_jain_equal_weights_under_contention;
+          Alcotest.test_case "class weights order scarce supply" `Quick
+            test_wfq_class_weights_order_scarce_supply;
+        ] );
+      ( "properties",
+        [
+          qcheck prop_accounting_conserves;
+          qcheck prop_quota_never_exceeded;
+          qcheck prop_heap_pops_sorted;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "per-edge decomposition" `Quick
+            test_shard_decomposition;
+          Alcotest.test_case "refresh tracks refill" `Quick
+            test_shard_refresh_tracks_refill;
+        ] );
+      ( "metro",
+        [
+          Alcotest.test_case "ring of rings" `Quick test_metro_ring_of_rings;
+          Alcotest.test_case "hub and spoke" `Quick test_metro_hub_spoke;
+        ] );
+      ( "monitoring",
+        [ Alcotest.test_case "monitor smoke" `Quick test_monitor_smoke ] );
+    ]

@@ -236,6 +236,32 @@ let test_scheduler_deadline_exceeded () =
       check_int "three attempts made" 3 rep.Scheduler.attempts
   | _ -> Alcotest.fail "exactly one report"
 
+let test_scheduler_report_ring_bounded () =
+  let topo = Topology.chain ~n:1 ~kind:Topology.Trusted_relay ~fiber_km:10.0 in
+  let r = Relay.create topo in
+  Relay.advance r ~seconds:120.0;
+  let sim = Sim.create () in
+  let config = { Scheduler.default_config with Scheduler.report_capacity = 4 } in
+  let sched = Scheduler.create ~config ~sim r in
+  for _ = 1 to 10 do
+    Scheduler.submit sched ~src:0 ~dst:2 ~bits:64
+  done;
+  Sim.run sim ~until:10.0;
+  let s = Scheduler.stats sched in
+  (* Counts stay exact past the window; the window holds the newest 4. *)
+  check_int "all delivered" 10 s.Scheduler.delivered;
+  check_int "all resolved" 10 (Scheduler.resolved sched);
+  check_int "window bounded" 4 (List.length (Scheduler.reports sched));
+  (* 0 -> 2 crosses two edges, so each 64-bit delivery spends 128. *)
+  check_int "pad bits exact" (10 * 64 * 2) (Scheduler.delivered_pad_bits sched);
+  List.iter
+    (fun rep ->
+      check "window reports delivered" true
+        (match rep.Scheduler.outcome with
+        | Scheduler.Delivered _ -> true
+        | Scheduler.Gave_up _ -> false))
+    (Scheduler.reports sched)
+
 (* -- Failure churn: the acceptance experiment -- *)
 
 let churn_run scheduler =
@@ -354,6 +380,8 @@ let () =
             test_scheduler_attempts_exhausted;
           Alcotest.test_case "deadline exceeded" `Quick
             test_scheduler_deadline_exceeded;
+          Alcotest.test_case "report ring bounded" `Quick
+            test_scheduler_report_ring_bounded;
         ] );
       ( "churn",
         [
