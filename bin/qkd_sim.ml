@@ -66,8 +66,10 @@ let finish ~metrics ~metrics_out ~monitor ~now rc =
 (* -- link subcommand -- *)
 
 let run_link metrics metrics_out health pulses length_km mu eve_fraction
-    beamsplit seed domains =
+    beamsplit seed domains rounds pipeline_depth =
   if domains < 1 then failwith "--domains must be >= 1";
+  if rounds < 1 then failwith "--rounds must be >= 1";
+  if pipeline_depth < 1 then failwith "--pipeline-depth must be >= 1";
   let monitor = make_monitor health in
   tick_monitor monitor ~now:0.0;
   let eve =
@@ -93,18 +95,49 @@ let run_link metrics metrics_out health pulses length_km mu eve_fraction
     }
   in
   let engine = Engine.create ~seed:(Int64.of_int seed) engine_config in
-  (match Engine.run_round engine ~pulses with
-  | Ok m ->
-      Format.printf "%a@." Engine.pp_round_metrics m;
-      Format.printf "entropy: leak=%.0f multi-photon=%.0f secure=%d@."
-        m.Engine.entropy.Qkd_protocol.Entropy.eavesdrop_leak
-        m.Engine.entropy.Qkd_protocol.Entropy.multiphoton_leak
-        m.Engine.entropy.Qkd_protocol.Entropy.secure_bits;
-      if m.Engine.eve_known_sifted_bits > 0 then
-        Format.printf "eve actually knew %d sifted bits@." m.Engine.eve_known_sifted_bits
-  | Error f -> Format.printf "round failed: %a@." Engine.pp_failure f);
+  if rounds = 1 && pipeline_depth = 1 then
+    (match Engine.run_round engine ~pulses with
+    | Ok m ->
+        Format.printf "%a@." Engine.pp_round_metrics m;
+        Format.printf "entropy: leak=%.0f multi-photon=%.0f secure=%d@."
+          m.Engine.entropy.Qkd_protocol.Entropy.eavesdrop_leak
+          m.Engine.entropy.Qkd_protocol.Entropy.multiphoton_leak
+          m.Engine.entropy.Qkd_protocol.Entropy.secure_bits;
+        if m.Engine.eve_known_sifted_bits > 0 then
+          Format.printf "eve actually knew %d sifted bits@." m.Engine.eve_known_sifted_bits
+    | Error f -> Format.printf "round failed: %a@." Engine.pp_failure f)
+  else begin
+    (* Multi-round: run the staged pipeline and print one line per
+       round plus the aggregate.  Depth 1 is the serial reference;
+       any depth yields bit-identical output (see Engine.run_rounds). *)
+    let distilled = ref 0 and sifted = ref 0 and elapsed = ref 0.0 in
+    Engine.run_rounds ~pipeline_depth engine ~rounds ~pulses (fun result ->
+        match result with
+        | Ok m ->
+            distilled := !distilled + m.Engine.distilled_bits;
+            sifted := !sifted + m.Engine.sifted_bits;
+            elapsed := !elapsed +. m.Engine.elapsed_s;
+            Format.printf
+              "round %d: sifted %d, QBER %.4f, distilled %d bits@."
+              (Engine.rounds_attempted engine)
+              m.Engine.sifted_bits m.Engine.qber m.Engine.distilled_bits
+        | Error f ->
+            Format.printf "round %d failed: %a@."
+              (Engine.rounds_attempted engine)
+              Engine.pp_failure f);
+    Format.printf
+      "%d rounds (depth %d): %d completed, %d failed; sifted %d bits, \
+       distilled %d bits over %.2f simulated s@."
+      rounds pipeline_depth
+      (Engine.rounds_completed engine)
+      (Engine.rounds_failed engine)
+      !sifted !distilled !elapsed;
+    if !elapsed > 0.0 then
+      Format.printf "distilled rate: %.1f bits/s@."
+        (float_of_int !distilled /. !elapsed)
+  end;
   finish ~metrics ~metrics_out ~monitor
-    ~now:(float_of_int pulses /. config.Link.pulse_rate_hz)
+    ~now:(float_of_int (pulses * rounds) /. config.Link.pulse_rate_hz)
     0
 
 let link_cmd =
@@ -132,11 +165,26 @@ let link_cmd =
             "OCaml domains for the photonics fast path; the result is \
              bit-identical for any count.")
   in
+  let rounds =
+    Arg.(
+      value & opt int 1
+      & info [ "rounds" ] ~doc:"Protocol rounds to run back to back.")
+  in
+  let pipeline_depth =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline-depth" ]
+          ~doc:
+            "Rounds in flight through the staged distillation pipeline \
+             (link/EC/PA on separate domains); the result is bit-identical \
+             for any depth.")
+  in
   Cmd.v
-    (Cmd.info "link" ~doc:"Run one QKD protocol round over a simulated link")
+    (Cmd.info "link" ~doc:"Run QKD protocol rounds over a simulated link")
     Term.(
       const run_link $ metrics_arg $ metrics_out_arg $ health_arg $ pulses
-      $ length $ mu $ eve $ beamsplit $ seed $ domains)
+      $ length $ mu $ eve $ beamsplit $ seed $ domains $ rounds
+      $ pipeline_depth)
 
 (* -- vpn subcommand -- *)
 

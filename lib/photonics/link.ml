@@ -426,6 +426,12 @@ let run_batched ~seed ~domains (config : config) ~pulses =
 
 let run ?(seed = 1L) ?(mode = default_mode) (config : config) ~pulses =
   if pulses <= 0 then invalid_arg "Link.run: pulses must be positive";
+  (* A non-positive or NaN pulse rate would poison every derived
+     quantity (slot_dt, elapsed_s, throughput series) with inf/nan;
+     +infinity is legal and models an instantaneous batch
+     (elapsed_s = 0), which downstream consumers must guard. *)
+  if not (config.pulse_rate_hz > 0.0) then
+    invalid_arg "Link.run: pulse_rate_hz must be positive";
   match mode with
   | Reference -> run_reference ~seed config ~pulses
   | Batched { domains } -> run_batched ~seed ~domains config ~pulses

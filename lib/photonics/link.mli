@@ -88,12 +88,16 @@ type result = {
   detections : detection array;  (** ascending slot order *)
   frames_lost : int;
   eve : Eve.t;
-  elapsed_s : float;  (** simulated wall-clock, pulses / rate *)
+  elapsed_s : float;
+      (** simulated wall-clock, pulses / rate — exactly 0 when the
+          configured rate is [infinity], so per-second consumers must
+          guard the division *)
 }
 
 (** [run ?seed ?mode config ~pulses] simulates a batch.  [mode]
     defaults to [default_mode].
-    @raise Invalid_argument if [pulses <= 0]. *)
+    @raise Invalid_argument if [pulses <= 0] or the configured
+    [pulse_rate_hz] is not positive ([infinity] is allowed). *)
 val run : ?seed:int64 -> ?mode:mode -> config -> pulses:int -> result
 
 (** [alice_basis r slot] / [alice_value r slot] decode Alice's record. *)

@@ -79,6 +79,10 @@ let range_parity bits positions lo hi =
   done;
   !p
 
+(* Pure kernel: all randomness (shuffles, verification subsets) comes
+   from [seed]; no ambient state is read.  The staged engine relies on
+   this to reconcile rounds on a worker domain bit-identically to the
+   serial path. *)
 let reconcile ?(seed = 7L) ?estimated_qber config ~alice ~bob =
   Qkd_obs.Trace.with_span "cascade" @@ fun () ->
   if Bitstring.length alice <> Bitstring.length bob then

@@ -54,6 +54,12 @@ type result = {
     the first block pass (e.g. the previous round's measured rate);
     without it the pass assumes the top of the paper's 6-8 % band.
     Strings must have equal length.
+
+    The run is a pure kernel of its arguments: every shuffle and
+    subset choice derives from [seed] alone, never from ambient
+    state.  The engine exploits this to run reconciliation on a
+    pipeline stage (one derived seed per round) while staying
+    bit-identical to the serial path.
     @raise Invalid_argument on length mismatch. *)
 val reconcile :
   ?seed:int64 ->

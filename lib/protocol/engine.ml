@@ -1,5 +1,6 @@
 module Bitstring = Qkd_util.Bitstring
 module Rng = Qkd_util.Rng
+module Chan = Qkd_util.Chan
 module Link = Qkd_photonics.Link
 module Eve = Qkd_photonics.Eve
 module Obs = Qkd_obs
@@ -78,7 +79,8 @@ type t = {
   bob_auth : Auth.t;
   alice_pool : Key_pool.t;
   bob_pool : Key_pool.t;
-  mutable round : int;
+  mutable rounds_completed : int;
+  mutable rounds_failed : int;
   mutable last_qber : float option;  (** running estimate feeding EC *)
 }
 
@@ -92,7 +94,8 @@ let create ?(seed = 2003L) config =
     bob_auth = Auth.create ~prepositioned:preposition;
     alice_pool = Key_pool.create ();
     bob_pool = Key_pool.create ();
-    round = 0;
+    rounds_completed = 0;
+    rounds_failed = 0;
     last_qber = None;
   }
 
@@ -107,6 +110,10 @@ let alice_pool t = t.alice_pool
 let bob_pool t = t.bob_pool
 let alice_auth t = t.alice_auth
 let bob_auth t = t.bob_auth
+let rounds_completed t = t.rounds_completed
+let rounds_failed t = t.rounds_failed
+let rounds_attempted t = t.rounds_completed + t.rounds_failed
+let last_qber t = t.last_qber
 
 (* Authenticate one direction of a protocol transaction: the sender
    tags [payload], the receiver verifies.  [tampered] flips a payload
@@ -131,30 +138,92 @@ let authenticated_transfer ~sender ~receiver ~tampered payload =
 
 let ( let* ) = Result.bind
 
-let run_round_bare ~tamper t ~pulses =
-  t.round <- t.round + 1;
-  let seed = Rng.int64 t.rng in
+(* ---- Staged distillation kernels -----------------------------------
+
+   One round decomposes into three pure compute stages plus a commit:
+
+     link+sift ──▶ EC+entropy ──▶ privacy amp ──▶ commit
+      (seeded)      (seeded)       (seeded)      (ordered)
+
+   Each stage is a function of its inputs and a per-round seed derived
+   from one submission-order draw on the engine RNG, never of the
+   engine's mutable state — except the EC stage, which consumes the
+   running QBER estimate as an explicit chained value.  That makes the
+   stages safe to run on worker domains with several rounds in flight
+   while staying bit-identical to the serial path: the serial
+   [run_round] is these same kernels called back-to-back. *)
+
+type seeds = { link_seed : int64; ec_seed : int64; pa_seed : int64 }
+
+(* One submission-order draw per round, fanned into independent
+   streams with [Rng.derive] — the anchor of the determinism contract.
+   Pipelined and serial execution draw identical round seeds because
+   both draw exactly once per round, in round order. *)
+let derive_seeds round_seed =
+  {
+    link_seed = Rng.int64 (Rng.derive round_seed 1L);
+    ec_seed = Rng.int64 (Rng.derive round_seed 2L);
+    pa_seed = Rng.int64 (Rng.derive round_seed 3L);
+  }
+
+type linked = {
+  round_pulses : int;
+  link : Link.result;
+  sift : Sifting.outcome;
+  report_payload : bytes;
+  response_payload : bytes;
+  eve_known : int;
+}
+
+let stage_link (config : config) ~pulses ~seeds =
   let link =
     Obs.Trace.with_span "engine_link" (fun () ->
-        Link.run ~seed ~mode:t.config.link_mode t.config.link ~pulses)
+        Link.run ~seed:seeds.link_seed ~mode:config.link_mode config.link
+          ~pulses)
   in
   let sift = Obs.Trace.with_span "engine_sift" (fun () -> Sifting.sift link) in
-  let auth_before =
-    Auth.consumed_bits t.alice_auth + Auth.consumed_bits t.bob_auth
+  let report = Sifting.bob_report link in
+  let report_payload =
+    match report with
+    | Wire.Sift_report _ as m -> Wire.encode m
+    | _ -> assert false
   in
-  (* Error correction on the sifted strings (runs before the tags so
-     each direction's whole round transcript can be authenticated with
-     a single Wegman-Carter tag — "a complete authenticated
-     conversation", amortising the secret-bit cost).  The running QBER
-     estimate from the previous round sizes the first pass. *)
+  let response_payload = Wire.encode (Sifting.alice_response link report) in
+  let eve_known =
+    Eve.bits_known link.Link.eve
+      ~alice_basis:(Link.alice_basis link)
+      ~alice_value:(Link.alice_value link)
+      ~sifted_slots:(Array.to_list sift.Sifting.slots)
+  in
+  { round_pulses = pulses; link; sift; report_payload; response_payload; eve_known }
+
+type reconciled = {
+  ec_corrected : Bitstring.t;
+  ec_errors : int;
+  ec_disclosed : int;
+  ec_bytes : int;
+  ec_verified : bool;
+  entropy : Entropy.estimate option;  (** [Some] exactly when verified *)
+}
+
+(* Error correction on the sifted strings (runs before the tags so
+   each direction's whole round transcript can be authenticated with a
+   single Wegman-Carter tag — "a complete authenticated conversation",
+   amortising the secret-bit cost).  [estimated_qber] — the running
+   estimate from the previous round — sizes the first pass; the
+   returned value is the estimate the NEXT round should use.  A round
+   whose verification fails leaves the estimate unchanged: its error
+   count is untrustworthy (that is what the failed parities say), and
+   letting it skew the chain would contradict the "failed rounds never
+   skew series" contract below. *)
+let stage_ec (config : config) ~estimated_qber ~seeds (l : linked) =
   let ec_corrected, ec_errors, ec_disclosed, ec_bytes, ec_verified =
     Obs.Trace.with_span "engine_ec" @@ fun () ->
-    match t.config.ec with
+    match config.ec with
     | Ec_cascade ->
         let r =
-          Cascade.reconcile ~seed:(Rng.int64 t.rng)
-            ?estimated_qber:t.last_qber t.config.cascade
-            ~alice:sift.Sifting.alice_bits ~bob:sift.Sifting.bob_bits
+          Cascade.reconcile ~seed:seeds.ec_seed ?estimated_qber config.cascade
+            ~alice:l.sift.Sifting.alice_bits ~bob:l.sift.Sifting.bob_bits
         in
         ( r.Cascade.corrected,
           r.Cascade.errors_corrected,
@@ -163,9 +232,9 @@ let run_round_bare ~tamper t ~pulses =
           r.Cascade.verified )
     | Ec_parity_checks ->
         let r =
-          Parity_ec.reconcile ~seed:(Rng.int64 t.rng) Parity_ec.default_config
-            ~estimated_qber:(Option.value t.last_qber ~default:0.08)
-            ~alice:sift.Sifting.alice_bits ~bob:sift.Sifting.bob_bits
+          Parity_ec.reconcile ~seed:seeds.ec_seed Parity_ec.default_config
+            ~estimated_qber:(Option.value estimated_qber ~default:0.08)
+            ~alice:l.sift.Sifting.alice_bits ~bob:l.sift.Sifting.bob_bits
         in
         ( r.Parity_ec.corrected,
           r.Parity_ec.errors_corrected,
@@ -176,79 +245,121 @@ let run_round_bare ~tamper t ~pulses =
              which is exactly the §7 hazard the experiments exercise *)
           not r.Parity_ec.residual_mismatch )
   in
-  (if Array.length sift.Sifting.slots > 0 then
-     t.last_qber <-
-       Some
-         (float_of_int ec_errors /. float_of_int (Array.length sift.Sifting.slots)));
-  let* () = if ec_verified then Ok () else Error Ec_not_verified in
-  let report_payload =
-    match Sifting.bob_report link with
-    | Wire.Sift_report _ as m -> Wire.encode m
-    | _ -> assert false
-  in
-  (* Bob's side of the conversation: sift report + his EC echoes. *)
-  let* tag1 =
-    authenticated_transfer ~sender:t.bob_auth ~receiver:t.alice_auth
-      ~tampered:tamper report_payload
-  in
-  let response_payload =
-    Wire.encode (Sifting.alice_response link (Sifting.bob_report link))
+  let sifted_n = Array.length l.sift.Sifting.slots in
+  let next_qber =
+    if ec_verified && sifted_n > 0 then
+      Some (float_of_int ec_errors /. float_of_int sifted_n)
+    else estimated_qber
   in
   (* Entropy estimation on what the protocol observed.  The
      non-randomness measure r comes from live testing of the
      error-corrected bits when enabled (each side tests its own copy;
      they agree after reconciliation), plus any configured static
-     charge. *)
-  let r_measured =
-    if t.config.randomness_testing then
-      (Randomness.test ec_corrected).Randomness.shorten_bits
-    else 0
+     charge.  Skipped when verification failed — the round is doomed
+     to abort and its corrected string is not trustworthy input. *)
+  let entropy =
+    if not ec_verified then None
+    else begin
+      let r_measured =
+        if config.randomness_testing then
+          (Randomness.test ec_corrected).Randomness.shorten_bits
+        else 0
+      in
+      Some
+        (Entropy.estimate ~defense:config.defense ~accounting:config.accounting
+           ~confidence:config.confidence
+           {
+             Entropy.b = sifted_n;
+             e = ec_errors;
+             n = l.round_pulses;
+             d = ec_disclosed;
+             r = config.nonrandom_measure + r_measured;
+             source = config.link.Link.source;
+           })
+    end
   in
-  let inputs =
-    {
-      Entropy.b = sift.Sifting.slots |> Array.length;
-      e = ec_errors;
-      n = pulses;
-      d = ec_disclosed;
-      r = t.config.nonrandom_measure + r_measured;
-      source = t.config.link.Link.source;
-    }
+  ( { ec_corrected; ec_errors; ec_disclosed; ec_bytes; ec_verified; entropy },
+    next_qber )
+
+type amplified = { pa : Privacy_amp.result; bob_distilled : Bitstring.t }
+
+(* Privacy amplification: Alice chooses the hash and applies it to HER
+   string; Bob applies the same parameters to his corrected string.
+   If error correction left undetected residuals the two distillates
+   differ — and everything downstream (auth pools, key pools, the VPN)
+   inherits that divergence honestly. *)
+let stage_pa ~seeds (l : linked) (r : reconciled) =
+  match r.entropy with
+  | None -> None
+  | Some entropy ->
+      Obs.Trace.with_span "engine_pa" @@ fun () ->
+      let pa =
+        Privacy_amp.amplify_seeded ~seed:seeds.pa_seed
+          ~bits:l.sift.Sifting.alice_bits
+          ~secure_bits:entropy.Entropy.secure_bits
+      in
+      Some
+        {
+          pa;
+          bob_distilled =
+            Privacy_amp.apply_params pa.Privacy_amp.params_messages
+              r.ec_corrected;
+        }
+
+(* A zero-duration batch (infinite-rate link) must not launder an
+   inf/nan into the throughput histograms — Stats.percentile rejects
+   NaN samples, so one poisoned observation would crash every later
+   health-series read. *)
+let per_simulated_second n elapsed_s =
+  if elapsed_s > 0.0 then float_of_int n /. elapsed_s else 0.0
+
+(* The commit applies a round's side effects — authentication spend,
+   auth replenishment, pool fill, the QBER chain — against the engine
+   state.  Under the pipeline this runs on the submitting domain, in
+   round order, one round at a time: out-of-order stage completion can
+   never reorder side effects because they all live here. *)
+let commit_round ~tamper t (l : linked) (r : reconciled)
+    (p : amplified option) ~next_qber =
+  t.last_qber <- next_qber;
+  let* () = if r.ec_verified then Ok () else Error Ec_not_verified in
+  let auth_before =
+    Auth.consumed_bits t.alice_auth + Auth.consumed_bits t.bob_auth
+  in
+  (* Bob's side of the conversation: sift report + his EC echoes. *)
+  let* tag1 =
+    authenticated_transfer ~sender:t.bob_auth ~receiver:t.alice_auth
+      ~tampered:tamper l.report_payload
+  in
+  let { pa; bob_distilled } =
+    match p with Some p -> p | None -> assert false (* verified ⇒ amplified *)
   in
   let entropy =
-    Entropy.estimate ~defense:t.config.defense ~accounting:t.config.accounting
-      ~confidence:t.config.confidence inputs
-  in
-  (* Privacy amplification: Alice chooses the hash and applies it to
-     HER string; Bob applies the same parameters to his corrected
-     string.  If error correction left undetected residuals the two
-     distillates differ — and everything downstream (auth pools, key
-     pools, the VPN) inherits that divergence honestly. *)
-  let pa, bob_distilled =
-    Obs.Trace.with_span "engine_pa" @@ fun () ->
-    let pa =
-      Privacy_amp.amplify t.rng ~bits:sift.Sifting.alice_bits
-        ~secure_bits:entropy.Entropy.secure_bits
-    in
-    (pa, Privacy_amp.apply_params pa.Privacy_amp.params_messages ec_corrected)
+    match r.entropy with Some e -> e | None -> assert false
   in
   let pa_payload =
-    Bytes.concat Bytes.empty (List.map Wire.encode pa.Privacy_amp.params_messages)
+    Bytes.concat Bytes.empty
+      (List.map Wire.encode pa.Privacy_amp.params_messages)
   in
   (* Alice's side: sift response + her EC parities + PA parameters. *)
   let* tag2 =
     authenticated_transfer ~sender:t.alice_auth ~receiver:t.bob_auth
-      ~tampered:false (Bytes.cat response_payload pa_payload)
+      ~tampered:false (Bytes.cat l.response_payload pa_payload)
   in
   (* Replenish authentication first, then deliver the remainder; each
      side pays from its own distillate. *)
   let alice_distilled = pa.Privacy_amp.distilled in
   let auth_spent_each =
-    (Auth.consumed_bits t.alice_auth + Auth.consumed_bits t.bob_auth - auth_before) / 2
+    (Auth.consumed_bits t.alice_auth + Auth.consumed_bits t.bob_auth
+   - auth_before)
+    / 2
   in
-  let replenish_amount = min (Bitstring.length alice_distilled) auth_spent_each in
+  let replenish_amount =
+    min (Bitstring.length alice_distilled) auth_spent_each
+  in
   let split side =
     ( Bitstring.sub side 0 replenish_amount,
-      Bitstring.sub side replenish_amount (Bitstring.length side - replenish_amount) )
+      Bitstring.sub side replenish_amount
+        (Bitstring.length side - replenish_amount) )
   in
   let alice_replenish, alice_delivered = split alice_distilled in
   let bob_replenish, bob_delivered = split bob_distilled in
@@ -257,41 +368,46 @@ let run_round_bare ~tamper t ~pulses =
   Key_pool.offer t.alice_pool alice_delivered;
   Key_pool.offer t.bob_pool bob_delivered;
   let delivered = alice_delivered in
-  let sifted_n = Array.length sift.Sifting.slots in
+  let sifted_n = Array.length l.sift.Sifting.slots in
   let qber =
-    if sifted_n = 0 then 0.0 else float_of_int ec_errors /. float_of_int sifted_n
+    if sifted_n = 0 then 0.0
+    else float_of_int r.ec_errors /. float_of_int sifted_n
   in
   let channel_bytes =
-    sift.Sifting.report_bytes + sift.Sifting.response_bytes
-    + ec_bytes + pa.Privacy_amp.bytes_on_channel + tag1 + tag2
-  in
-  let eve_known =
-    Eve.bits_known link.Link.eve
-      ~alice_basis:(Link.alice_basis link)
-      ~alice_value:(Link.alice_value link)
-      ~sifted_slots:(Array.to_list sift.Sifting.slots)
+    l.sift.Sifting.report_bytes + l.sift.Sifting.response_bytes + r.ec_bytes
+    + pa.Privacy_amp.bytes_on_channel + tag1 + tag2
   in
   Ok
     {
-      pulses;
-      gated_pulses = link.Link.gated_pulses;
-      detections = sift.Sifting.detections;
-      double_clicks = sift.Sifting.double_clicks;
-      frames_lost = link.Link.frames_lost;
+      pulses = l.round_pulses;
+      gated_pulses = l.link.Link.gated_pulses;
+      detections = l.sift.Sifting.detections;
+      double_clicks = l.sift.Sifting.double_clicks;
+      frames_lost = l.link.Link.frames_lost;
       sifted_bits = sifted_n;
       qber;
-      errors_corrected = ec_errors;
-      disclosed_bits = ec_disclosed;
+      errors_corrected = r.ec_errors;
+      disclosed_bits = r.ec_disclosed;
       entropy;
       distilled_bits = Bitstring.length delivered;
       auth_bits_consumed =
-        Auth.consumed_bits t.alice_auth + Auth.consumed_bits t.bob_auth - auth_before;
+        Auth.consumed_bits t.alice_auth + Auth.consumed_bits t.bob_auth
+        - auth_before;
       channel_bytes;
-      elapsed_s = link.Link.elapsed_s;
-      sifted_bps = float_of_int sifted_n /. link.Link.elapsed_s;
-      distilled_bps = float_of_int (Bitstring.length delivered) /. link.Link.elapsed_s;
-      eve_known_sifted_bits = eve_known;
+      elapsed_s = l.link.Link.elapsed_s;
+      sifted_bps = per_simulated_second sifted_n l.link.Link.elapsed_s;
+      distilled_bps =
+        per_simulated_second (Bitstring.length delivered)
+          l.link.Link.elapsed_s;
+      eve_known_sifted_bits = l.eve_known;
     }
+
+let run_round_bare ~tamper t ~pulses =
+  let seeds = derive_seeds (Rng.int64 t.rng) in
+  let l = stage_link t.config ~pulses ~seeds in
+  let r, next_qber = stage_ec t.config ~estimated_qber:t.last_qber ~seeds l in
+  let p = stage_pa ~seeds l r in
+  commit_round ~tamper t l r p ~next_qber
 
 let failure_reason = function
   | Auth_exhausted -> "auth_exhausted"
@@ -343,6 +459,20 @@ let observe_round (m : round_metrics) =
     m.distilled_bps;
   Trace.record_sim "engine_round" m.elapsed_s
 
+(* Book-keeping shared by the serial and pipelined paths: the
+   completed/failed counters (engine state and registry) and the
+   completed-round series. *)
+let record_outcome t = function
+  | Ok m ->
+      t.rounds_completed <- t.rounds_completed + 1;
+      observe_round m
+  | Error f ->
+      t.rounds_failed <- t.rounds_failed + 1;
+      Obs.Counter.incr
+        (Obs.Registry.counter "engine_rounds_failed"
+           ~labels:[ ("reason", failure_reason f) ]
+           ~help:"Protocol rounds aborted, by failure reason")
+
 let run_round ?(tamper = false) ?(trace = Obs.Trace.null_id) t ~pulses =
   Obs.Counter.incr
     (Obs.Registry.counter "engine_rounds_total"
@@ -356,17 +486,293 @@ let run_round ?(tamper = false) ?(trace = Obs.Trace.null_id) t ~pulses =
   in
   match run_round_bare ~tamper t ~pulses with
   | Ok m ->
-      observe_round m;
+      record_outcome t (Ok m);
       Obs.Trace.span_note span "qber" (Printf.sprintf "%.4f" m.qber);
       Obs.Trace.span_note span "distilled_bits"
         (string_of_int m.distilled_bits);
       Obs.Trace.span_end span;
       Ok m
   | Error f ->
-      Obs.Counter.incr
-        (Obs.Registry.counter "engine_rounds_failed"
-           ~labels:[ ("reason", failure_reason f) ]
-           ~help:"Protocol rounds aborted, by failure reason");
+      record_outcome t (Error f);
       Obs.Trace.span_note span "failed" (failure_reason f);
       Obs.Trace.span_end span;
       Error f
+
+(* ---- Pipelined runner ----------------------------------------------
+
+   link+sift, EC+entropy and PA each get a worker domain, connected by
+   bounded channels whose capacity is the in-flight depth; the calling
+   domain submits rounds (drawing each round seed in round order) and
+   commits results (applying side effects in round order).  FIFO
+   channels + single-worker stages mean rounds exit in submission
+   order, so the commit log IS round order by construction. *)
+
+type 'a slot = { idx : int; seeds : seeds; payload : ('a, exn) result }
+
+(* Registry creation mutates a Hashtbl and Histogram is plain-mutable,
+   so every metric a worker (or the concurrently committing caller)
+   can touch must exist before the first spawn; afterwards workers
+   only look up existing handles, and each histogram is written by
+   exactly one domain (link spans by the link worker, cascade by the
+   EC worker, throughput series by the committing caller). *)
+let ensure_pipeline_metrics (config : config) =
+  let open Obs in
+  let counter ?labels name help =
+    ignore (Registry.counter ?labels name ~help : Counter.t)
+  in
+  let gauge ?labels name help =
+    ignore (Registry.gauge ?labels name ~help : Gauge.t)
+  in
+  let histogram ?labels ?buckets name help =
+    ignore (Registry.histogram ?labels ?buckets name ~help : Histogram.t)
+  in
+  let sim_span name =
+    ignore
+      (Registry.histogram ~buckets:Histogram.default_sim_buckets
+         ~labels:[ ("span", name) ] Trace.sim_metric
+        : Histogram.t)
+  in
+  let wall_span name =
+    ignore
+      (Registry.histogram ~buckets:Histogram.default_time_buckets
+         ~labels:[ ("span", name) ] Trace.wall_metric
+        : Histogram.t)
+  in
+  (* photonics layer (link worker) — help strings must match the
+     originating sites so first-creation-wins keeps exports stable *)
+  counter "photonics_pulses_total" "Optical pulses emitted by Alice's source";
+  counter "photonics_gated_pulses_total"
+    "Pulses in frames whose annunciation arrived (Bob gated)";
+  counter "photonics_detections_total"
+    "Gates on which at least one of Bob's APDs fired";
+  counter "photonics_double_clicks_total"
+    "Gates on which both APDs fired (discarded by sifting)";
+  counter "photonics_dark_counts_total"
+    "Clicks attributable to dark counts alone";
+  counter "photonics_frames_lost_total"
+    "Transmission frames lost to missed annunciation";
+  if config.link.Link.stabilization <> None then begin
+    gauge "photonics_stabilization_phase_error_rad"
+      "Interferometer phase error at end of last run (abs, rad)";
+    counter "photonics_stabilization_corrections_total"
+      "Optical-process-control servo actuations"
+  end;
+  sim_span "link_run";
+  (* EC worker *)
+  (match config.ec with
+  | Ec_cascade ->
+      counter "cascade_reconciliations_total" "Cascade reconciliation runs";
+      counter "cascade_errors_corrected_total"
+        "Bit errors fixed by Cascade bisection";
+      counter "cascade_disclosed_bits_total"
+        "Parity bits Cascade disclosed on the public channel";
+      counter "cascade_channel_bytes_total"
+        "Cascade bytes on the classical channel";
+      histogram "cascade_rounds" ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32. |]
+        "Reconciliation passes used per run"
+  | Ec_parity_checks -> ());
+  (* PA worker *)
+  counter "pa_amplifications_total" "Privacy-amplification runs";
+  counter "pa_distilled_bits_total" "Bits output by privacy amplification";
+  (* committing caller *)
+  counter "engine_rounds_total" "Protocol rounds attempted";
+  List.iter
+    (fun reason ->
+      counter
+        ~labels:[ ("reason", failure_reason reason) ]
+        "engine_rounds_failed" "Protocol rounds aborted, by failure reason")
+    [ Auth_exhausted; Auth_tampered; Ec_not_verified ];
+  counter "protocol_sifted_bits_total"
+    "Sifted bits accumulated over completed rounds";
+  counter "protocol_errors_corrected_total"
+    "Bit errors corrected by error correction";
+  counter "protocol_disclosed_bits_total"
+    "Parity bits disclosed on the public channel";
+  counter "protocol_distilled_bits_total"
+    "Distilled key bits delivered to the key pools";
+  counter "protocol_auth_bits_consumed_total"
+    "Wegman-Carter authentication bits spent";
+  counter "protocol_channel_bytes_total"
+    "Bytes exchanged on the classical channel";
+  histogram "protocol_qber_ratio" ~buckets:Histogram.ratio_buckets
+    "Per-round quantum bit error rate";
+  histogram "protocol_sifted_bps" ~buckets:Histogram.size_buckets
+    "Per-round sifted throughput (bits per simulated second)";
+  histogram "protocol_distilled_bps" ~buckets:Histogram.size_buckets
+    "Per-round distilled throughput (bits per simulated second)";
+  sim_span "engine_round";
+  (* wall spans are only created when obs is live ([Trace.with_span]
+     short-circuits otherwise), so mirror that to keep registry
+     cardinality identical to a serial run *)
+  if Control.enabled () then begin
+    List.iter wall_span
+      [ "engine_link"; "engine_sift"; "engine_ec"; "engine_pa";
+        "engine_commit" ];
+    (match config.ec with
+    | Ec_cascade -> wall_span "cascade"
+    | Ec_parity_checks -> ());
+    wall_span "privacy_amp"
+  end;
+  (* pipeline's own health series *)
+  gauge "engine_pipeline_depth"
+    "Configured in-flight depth of the staged distillation pipeline";
+  gauge "engine_pipeline_inflight"
+    "Rounds currently in flight in the staged pipeline";
+  List.iter
+    (fun stage ->
+      gauge
+        ~labels:[ ("stage", stage) ]
+        "engine_stage_busy" "1 while the pipeline stage is processing a round";
+      counter
+        ~labels:[ ("stage", stage) ]
+        "engine_stage_rounds_total" "Rounds processed per pipeline stage")
+    [ "link"; "ec"; "pa"; "commit" ]
+
+(* One worker domain: drain [input], apply [f] under the stage's
+   busy/throughput instruments, forward to [output] preserving order,
+   and propagate channel close downstream.  A slot that arrives
+   poisoned (an upstream stage raised) is forwarded untouched so the
+   caller sees the error in round order. *)
+let stage_domain ~stage ~input ~output f =
+  Domain.spawn @@ fun () ->
+  let open Obs in
+  let busy = Registry.gauge "engine_stage_busy" ~labels:[ ("stage", stage) ] in
+  let processed =
+    Registry.counter "engine_stage_rounds_total" ~labels:[ ("stage", stage) ]
+  in
+  let rec loop () =
+    match Chan.recv input with
+    | None -> Chan.close output
+    | Some slot ->
+        Gauge.set busy 1.0;
+        let payload =
+          match slot.payload with
+          | Error _ as e -> e
+          | Ok x -> ( try Ok (f slot.seeds x) with e -> Error e)
+        in
+        Gauge.set busy 0.0;
+        Counter.incr processed;
+        Chan.send output { idx = slot.idx; seeds = slot.seeds; payload };
+        loop ()
+  in
+  loop ()
+
+let run_rounds ?(tamper = false) ?(pipeline_depth = 1) t ~rounds ~pulses f =
+  if rounds < 0 then invalid_arg "Engine.run_rounds: rounds must be >= 0";
+  if pipeline_depth < 1 then
+    invalid_arg "Engine.run_rounds: pipeline_depth must be >= 1";
+  let depth = min pipeline_depth (max 1 rounds) in
+  if rounds = 0 then ()
+  else if depth = 1 then
+    for _ = 1 to rounds do
+      f (run_round ~tamper t ~pulses)
+    done
+  else begin
+    let open Obs in
+    ensure_pipeline_metrics t.config;
+    Gauge.set (Registry.gauge "engine_pipeline_depth") (float_of_int depth);
+    let config = t.config in
+    let q0 = Chan.create ~capacity:depth in
+    let q1 = Chan.create ~capacity:depth in
+    let q2 = Chan.create ~capacity:depth in
+    let q3 = Chan.create ~capacity:depth in
+    (* The EC worker owns the QBER chain while the pipeline runs —
+       seeded from the engine state here, written back round-by-round
+       at commit so the engine after a pipelined batch is
+       indistinguishable from after the same batch run serially. *)
+    let qber_chain = ref t.last_qber in
+    let w_link =
+      stage_domain ~stage:"link" ~input:q0 ~output:q1 (fun seeds () ->
+          stage_link config ~pulses ~seeds)
+    in
+    let w_ec =
+      stage_domain ~stage:"ec" ~input:q1 ~output:q2 (fun seeds l ->
+          let r, next_qber =
+            stage_ec config ~estimated_qber:!qber_chain ~seeds l
+          in
+          qber_chain := next_qber;
+          (l, r, next_qber))
+    in
+    let w_pa =
+      stage_domain ~stage:"pa" ~input:q2 ~output:q3
+        (fun seeds (l, r, next_qber) -> (l, r, stage_pa ~seeds l r, next_qber))
+    in
+    let inflight = Registry.gauge "engine_pipeline_inflight" in
+    let commit_busy =
+      Registry.gauge "engine_stage_busy" ~labels:[ ("stage", "commit") ]
+    in
+    let commit_count =
+      Registry.counter "engine_stage_rounds_total"
+        ~labels:[ ("stage", "commit") ]
+    in
+    let submitted = ref 0 and drained = ref 0 in
+    let closed = ref false in
+    let close_input () =
+      if not !closed then begin
+        closed := true;
+        Chan.close q0
+      end
+    in
+    let submit () =
+      if !submitted < rounds then begin
+        incr submitted;
+        Chan.send q0
+          {
+            idx = !submitted;
+            seeds = derive_seeds (Rng.int64 t.rng);
+            payload = Ok ();
+          };
+        Gauge.set inflight (float_of_int (!submitted - !drained))
+      end;
+      if !submitted >= rounds then close_input ()
+    in
+    let abort = ref None in
+    let poison e = if !abort = None then abort := Some e in
+    for _ = 1 to depth do
+      submit ()
+    done;
+    (* Drain/commit loop.  After a poison (stage exception or callback
+       exception) no further round commits and no further round is
+       submitted, but every in-flight slot is still drained so the
+       workers can run to completion and join. *)
+    while !drained < !submitted do
+      match Chan.recv q3 with
+      | None ->
+          (* unreachable while slots are in flight: q3 closes only
+             after the workers drain everything upstream *)
+          drained := !submitted
+      | Some slot ->
+          incr drained;
+          assert (slot.idx = !drained);
+          Gauge.set inflight (float_of_int (!submitted - !drained));
+          (match (slot.payload, !abort) with
+          | Error e, _ -> poison e
+          | Ok _, Some _ -> ()
+          | Ok (l, r, p, next_qber), None -> (
+              Gauge.set commit_busy 1.0;
+              Counter.incr
+                (Registry.counter "engine_rounds_total"
+                   ~help:"Protocol rounds attempted");
+              match
+                let res =
+                  Trace.with_span "engine_commit" (fun () ->
+                      commit_round ~tamper t l r p ~next_qber)
+                in
+                record_outcome t res;
+                Counter.incr commit_count;
+                Gauge.set commit_busy 0.0;
+                f res
+              with
+              | () -> ()
+              | exception e ->
+                  Gauge.set commit_busy 0.0;
+                  poison e));
+          if !abort = None then submit () else close_input ()
+    done;
+    close_input ();
+    Gauge.set inflight 0.0;
+    Domain.join w_link;
+    Domain.join w_ec;
+    Domain.join w_pa;
+    match !abort with None -> () | Some e -> raise e
+  end

@@ -104,6 +104,13 @@ let amplify rng ~bits ~secure_bits =
       }
   end
 
+(* Pure per-round kernel: all randomness comes from [seed], so the
+   same (seed, bits, secure_bits) always yields the same hash choice —
+   the property the pipelined engine's bit-identity contract rests
+   on. *)
+let amplify_seeded ~seed ~bits ~secure_bits =
+  amplify (Qkd_util.Rng.create seed) ~bits ~secure_bits
+
 let apply_params msgs bits =
   let len = Bitstring.length bits in
   let bounds = chunk_bounds len in

@@ -26,6 +26,14 @@ type result = {
     string). *)
 val amplify : Qkd_util.Rng.t -> bits:Bitstring.t -> secure_bits:int -> result
 
+(** [amplify_seeded ~seed ~bits ~secure_bits] is {!amplify} from a
+    fresh generator seeded with [seed]: a pure per-round kernel whose
+    output depends only on its arguments.  The engine derives one such
+    seed per round ([Rng.derive]) so privacy amplification can run on
+    a pipeline stage out of submission order while staying
+    bit-identical to the serial path. *)
+val amplify_seeded : seed:int64 -> bits:Bitstring.t -> secure_bits:int -> result
+
 (** [apply_params params bits] is the responder side: recompute the
     distilled bits from received [Pa_params] messages.  Used by tests
     to confirm both ends agree.

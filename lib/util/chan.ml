@@ -1,0 +1,76 @@
+type 'a t = {
+  q : 'a Queue.t;
+  capacity : int;
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+}
+
+exception Closed
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Chan.create: capacity must be >= 1";
+  {
+    q = Queue.create ();
+    capacity;
+    m = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    closed = false;
+  }
+
+(* Every path unlocks before raising/returning; the waits re-check
+   their predicate in a loop because [Condition.wait] permits spurious
+   wakeups and broadcast races. *)
+let send t v =
+  Mutex.lock t.m;
+  let rec wait () =
+    if t.closed then begin
+      Mutex.unlock t.m;
+      raise Closed
+    end
+    else if Queue.length t.q >= t.capacity then begin
+      Condition.wait t.not_full t.m;
+      wait ()
+    end
+  in
+  wait ();
+  Queue.push v t.q;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.m
+
+let recv t =
+  Mutex.lock t.m;
+  let rec wait () =
+    if not (Queue.is_empty t.q) then begin
+      let v = Queue.pop t.q in
+      Condition.signal t.not_full;
+      Mutex.unlock t.m;
+      Some v
+    end
+    else if t.closed then begin
+      Mutex.unlock t.m;
+      None
+    end
+    else begin
+      Condition.wait t.not_empty t.m;
+      wait ()
+    end
+  in
+  wait ()
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.m
+
+let capacity t = t.capacity
+
+let length t =
+  Mutex.lock t.m;
+  let n = Queue.length t.q in
+  Mutex.unlock t.m;
+  n

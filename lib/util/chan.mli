@@ -1,0 +1,36 @@
+(** Bounded blocking FIFO channel between OCaml 5 domains.
+
+    The engine's staged distillation pipeline connects its stage
+    workers with these: capacity bounds the number of rounds in
+    flight, FIFO order preserves round order end-to-end (the ordered
+    commit of side effects depends on it), and the mutex publishes
+    every value safely across domains under the OCaml memory model.
+
+    Single producer / single consumer is the intended shape, but the
+    implementation is safe for any number of each. *)
+
+type 'a t
+
+exception Closed
+(** Raised by {!send} on a closed channel. *)
+
+(** [create ~capacity] makes an empty channel holding at most
+    [capacity] undelivered values.
+    @raise Invalid_argument if [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+(** [send t v] enqueues [v], blocking while the channel is full.
+    @raise Closed if the channel is (or becomes, while blocked)
+    closed — values already enqueued remain receivable. *)
+val send : 'a t -> 'a -> unit
+
+(** [recv t] dequeues the oldest value, blocking while the channel is
+    empty; [None] once the channel is closed {e and} drained. *)
+val recv : 'a t -> 'a option
+
+(** [close t] marks the channel finished and wakes all blocked
+    senders/receivers.  Idempotent. *)
+val close : 'a t -> unit
+
+val capacity : 'a t -> int
+val length : 'a t -> int

@@ -787,6 +787,159 @@ let test_engine_channel_bytes_metered () =
   | Ok m -> check "bytes counted" true (m.Engine.channel_bytes > 1000)
   | Error f -> Alcotest.failf "round failed: %a" Engine.pp_failure f
 
+(* -- Staged pipeline + engine bugfix regressions -- *)
+
+(* A Cascade config that corrects nothing but still runs the full
+   verification stage: any round with errors deterministically fails
+   verification, forcing [Ec_not_verified]. *)
+let no_correction_cascade =
+  {
+    Cascade.subsets_per_round = 0;
+    max_rounds = 0;
+    clean_rounds = 0;
+    verify_subsets = 16;
+    block_passes = 0;
+  }
+
+let test_engine_failed_ec_preserves_qber_chain () =
+  let config =
+    { Engine.default_config with Engine.cascade = no_correction_cascade }
+  in
+  let eng = Engine.create config in
+  (match Engine.run_round eng ~pulses:500_000 with
+  | Error Engine.Ec_not_verified -> ()
+  | Ok _ -> Alcotest.fail "crippled cascade should not verify"
+  | Error f -> Alcotest.failf "unexpected failure: %a" Engine.pp_failure f);
+  check "failed round leaves the QBER chain untouched" true
+    (Engine.last_qber eng = None);
+  (* and a verified round feeds it with its measured rate *)
+  let healthy = Engine.create Engine.default_config in
+  match Engine.run_round healthy ~pulses:2_000_000 with
+  | Ok m -> check "chain fed on success" true
+      (Engine.last_qber healthy = Some m.Engine.qber)
+  | Error f -> Alcotest.failf "round failed: %a" Engine.pp_failure f
+
+let test_engine_zero_elapsed_round_guarded () =
+  (* an infinite-rate link produces a zero-duration batch; the
+     throughput fields must clamp to 0 rather than emit inf/nan (which
+     would poison the health-series histograms and crash
+     Stats.percentile) *)
+  let config =
+    {
+      Engine.default_config with
+      Engine.link = { Link.darpa_default with Link.pulse_rate_hz = infinity };
+    }
+  in
+  let eng = Engine.create config in
+  match Engine.run_round eng ~pulses:1_000_000 with
+  | Ok m ->
+      check "elapsed is exactly zero" true (m.Engine.elapsed_s = 0.0);
+      check "sifted_bps clamped" true (m.Engine.sifted_bps = 0.0);
+      check "distilled_bps clamped" true (m.Engine.distilled_bps = 0.0)
+  | Error f -> Alcotest.failf "round failed: %a" Engine.pp_failure f
+
+let test_engine_round_counters_reconcile () =
+  let eng = Engine.create Engine.default_config in
+  (match Engine.run_round ~tamper:true eng ~pulses:200_000 with
+  | Error Engine.Auth_tampered -> ()
+  | _ -> Alcotest.fail "expected tamper abort");
+  check_int "aborted round attempted" 1 (Engine.rounds_attempted eng);
+  check_int "aborted round not completed" 0 (Engine.rounds_completed eng);
+  check_int "aborted round counted failed" 1 (Engine.rounds_failed eng);
+  (match Engine.run_round eng ~pulses:2_000_000 with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "round failed: %a" Engine.pp_failure f);
+  check_int "attempted counts both" 2 (Engine.rounds_attempted eng);
+  check_int "completed counts success" 1 (Engine.rounds_completed eng);
+  check_int "failed unchanged by success" 1 (Engine.rounds_failed eng)
+
+(* Everything the reproducibility contract promises: per-round
+   results, both pools' contents, both ends' auth spend/replenishment,
+   the QBER chain and the round counters.  Draining the pools makes
+   the comparison cover the actual key bits, not just counts. *)
+let engine_state_fingerprint eng =
+  let drain p =
+    let n = Key_pool.available p in
+    (n, Key_pool.consume p n)
+  in
+  ( drain (Engine.alice_pool eng),
+    drain (Engine.bob_pool eng),
+    Auth.consumed_bits (Engine.alice_auth eng),
+    Auth.consumed_bits (Engine.bob_auth eng),
+    Auth.replenished_bits (Engine.alice_auth eng),
+    Auth.replenished_bits (Engine.bob_auth eng),
+    Engine.last_qber eng,
+    Engine.rounds_completed eng,
+    Engine.rounds_failed eng )
+
+let run_serial config ~seed ~rounds ~pulses ~tamper =
+  let eng = Engine.create ~seed config in
+  let acc = ref [] in
+  for _ = 1 to rounds do
+    acc := Engine.run_round ~tamper eng ~pulses :: !acc
+  done;
+  (eng, List.rev !acc)
+
+let run_pipelined config ~seed ~rounds ~pulses ~tamper ~depth =
+  let eng = Engine.create ~seed config in
+  let acc = ref [] in
+  Engine.run_rounds ~tamper ~pipeline_depth:depth eng ~rounds ~pulses (fun r ->
+      acc := r :: !acc);
+  (eng, List.rev !acc)
+
+let prop_pipeline_bit_identical =
+  QCheck.Test.make ~count:8
+    ~name:"pipelined engine bit-identical to serial (any depth/domains/Eve)"
+    QCheck.(quad (int_bound 1000) (int_range 2 5) (int_range 1 3) bool)
+    (fun (seed, depth, domains, eve) ->
+      let config =
+        {
+          Engine.default_config with
+          Engine.link =
+            {
+              Link.darpa_default with
+              Link.eve = (if eve then Eve.Intercept_resend 1.0 else Eve.Passive);
+            };
+          link_mode = Link.Batched { domains };
+        }
+      in
+      let seed = Int64.of_int ((seed * 13) + 11) in
+      let rounds = 4 and pulses = 60_000 in
+      let e1, r1 = run_serial config ~seed ~rounds ~pulses ~tamper:false in
+      let e2, r2 = run_pipelined config ~seed ~rounds ~pulses ~tamper:false ~depth in
+      r1 = r2 && engine_state_fingerprint e1 = engine_state_fingerprint e2)
+
+let test_pipeline_aborted_round_commits_nothing () =
+  (* rounds killed in flight (tampered tags) must leave the engine
+     exactly as the serial failure path does: no pool fill, no auth
+     replenishment, failure counters only *)
+  let rounds = 3 and pulses = 200_000 in
+  let eng, piped =
+    run_pipelined Engine.default_config ~seed:2003L ~rounds ~pulses
+      ~tamper:true ~depth:3
+  in
+  check_int "three results" rounds (List.length piped);
+  List.iter
+    (function
+      | Error Engine.Auth_tampered -> ()
+      | Ok _ -> Alcotest.fail "tampered round completed"
+      | Error f -> Alcotest.failf "unexpected failure: %a" Engine.pp_failure f)
+    piped;
+  check_int "no key committed (alice)" 0
+    (Key_pool.available (Engine.alice_pool eng));
+  check_int "no key committed (bob)" 0
+    (Key_pool.available (Engine.bob_pool eng));
+  check_int "nothing replenished" 0
+    (Auth.replenished_bits (Engine.alice_auth eng));
+  check_int "no round completed" 0 (Engine.rounds_completed eng);
+  check_int "all rounds failed" rounds (Engine.rounds_failed eng);
+  let e_serial, r_serial =
+    run_serial Engine.default_config ~seed:2003L ~rounds ~pulses ~tamper:true
+  in
+  check "identical to the serial tamper run" true
+    (piped = r_serial
+    && engine_state_fingerprint eng = engine_state_fingerprint e_serial)
+
 let () =
   Alcotest.run "qkd_protocol"
     [
@@ -931,5 +1084,17 @@ let () =
           Alcotest.test_case "parity baseline diverges" `Slow test_engine_parity_baseline_diverges;
           Alcotest.test_case "running qber estimate" `Slow test_engine_running_qber_estimate_helps;
           Alcotest.test_case "channel metered" `Slow test_engine_channel_bytes_metered;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "failed EC preserves qber chain" `Slow
+            test_engine_failed_ec_preserves_qber_chain;
+          Alcotest.test_case "zero-elapsed round guarded" `Slow
+            test_engine_zero_elapsed_round_guarded;
+          Alcotest.test_case "round counters reconcile" `Slow
+            test_engine_round_counters_reconcile;
+          qcheck prop_pipeline_bit_identical;
+          Alcotest.test_case "aborted in-flight round commits nothing" `Slow
+            test_pipeline_aborted_round_commits_nothing;
         ] );
     ]

@@ -174,16 +174,36 @@ let test_drift_does_not_mask_attacks () =
 (* -- campaign SLO grading sanity -- *)
 
 let test_detection_grading () =
-  let spec = mini_spec ~seed:2L ~domains:1 in
+  (* A hard intercept-resend on a cold link surfaces through either
+     signal: rounds that still verify feed the QBER series (the
+     4-sigma alarm), rounds that don't show up as a verification-
+     failure spike (the failure-ratio alarm).  Since failed rounds no
+     longer skew the QBER chain, grade the scenario against both and
+     require the attack to be caught by at least one.  Steps carry
+     more pulses than the property-iteration spec: the 4-sigma Wilson
+     bound needs tens of sifted bits per window to clear the budget
+     confidently. *)
+  let spec =
+    Scenario.with_slos
+      (Scenario.with_step
+         (mini_spec ~seed:2L ~domains:1)
+         ~step_s:60.0 ~pulses_per_step:25_000)
+      [
+        { Scenario.alarm = "qber_above_budget"; within_s = 900.0 };
+        { Scenario.alarm = "classical_channel_dos"; within_s = 900.0 };
+      ]
+  in
   let c = run_uninterrupted spec in
   let r = Campaign.report c in
   (match r.Campaign.detections with
-  | [ d ] ->
-      check_str "graded alarm" "qber_above_budget" d.Campaign.alarm;
+  | [ dq; dd ] ->
+      check_str "graded alarms" "qber_above_budget/classical_channel_dos"
+        (dq.Campaign.alarm ^ "/" ^ dd.Campaign.alarm);
       check "injection time is the earliest injection" true
-        (d.Campaign.injected_at_s = 180.0);
-      check "attack detected" true (d.Campaign.detected_at_s <> None)
-  | ds -> Alcotest.failf "expected 1 graded SLO, got %d" (List.length ds));
+        (dq.Campaign.injected_at_s = 180.0);
+      check "attack detected" true
+        (dq.Campaign.detected_at_s <> None || dd.Campaign.detected_at_s <> None)
+  | ds -> Alcotest.failf "expected 2 graded SLOs, got %d" (List.length ds));
   let clean = run_uninterrupted (Scenario.clean spec) in
   let rc = Campaign.report clean in
   check_int "clean twin fires zero alarms" 0 rc.Campaign.alerts_fired;
