@@ -1374,6 +1374,224 @@ let bench_kms ~quick ~out () =
   end;
   if !fail then exit 1
 
+(* ==== "flight" preset (PR 10): the black-box flight recorder ====
+
+   Gates: wide-event emission must cost < 5% on both hot paths
+   (protocol rounds and the metro KMS), the per-lane rings must stay
+   bounded under overflow, a seeded run's dump fingerprint must be
+   deterministic (and survive a save/load round trip), and the
+   recorder must not perturb the two invariants earlier PRs committed
+   to: pipelined bit-identity and the batched dataplane's 16
+   words/packet allocation budget. -- *)
+
+module Recorder = Qkd_obs.Recorder
+
+(* Recorder overhead on the engine hot path: the interleaved loop of
+   [measure_obs_overhead], but both legs keep Control enabled (metric
+   cost identical) and only toggle [Recorder.set_recording] — isolating
+   the wide-event emission itself. *)
+let measure_recorder_overhead ~rounds =
+  let time ~recording =
+    let reg = Qkd_obs.Registry.create () in
+    Qkd_obs.Registry.with_registry reg (fun () ->
+        Recorder.with_recorder (Recorder.create ()) (fun () ->
+            Recorder.set_recording recording;
+            let engine = Engine.create ~seed:2003L Engine.default_config in
+            ignore (Engine.run_round engine ~pulses:10_000);
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to rounds do
+              ignore (Engine.run_round engine ~pulses:10_000)
+            done;
+            Unix.gettimeofday () -. t0))
+  in
+  (* Best-of-3 per mode, alternating: noise only ever adds time, so
+     the min/min ratio is far steadier than summed interleaves. *)
+  ignore (time ~recording:false);
+  let best_off = ref infinity and best_on = ref infinity in
+  for _ = 1 to 3 do
+    best_off := Float.min !best_off (time ~recording:false);
+    best_on := Float.min !best_on (time ~recording:true)
+  done;
+  Recorder.set_recording true;
+  !best_on /. !best_off
+
+(* Same discipline on the KMS: a full quick-profile load run per leg,
+   with per-request events (and latency exemplars) on vs off.  A load
+   run allocates enough that single-run wall clock is GC-noisy, so the
+   ratio compares best-of-3 per mode (noise only ever adds time;
+   [time_best]'s estimator), alternating modes against frequency
+   drift, with a warm-up run and a compact before each timed leg. *)
+let measure_kms_recorder_overhead () =
+  let time ~recording =
+    let reg = Qkd_obs.Registry.create () in
+    Qkd_obs.Registry.with_registry reg (fun () ->
+        Recorder.with_recorder (Recorder.create ()) (fun () ->
+            Recorder.set_recording recording;
+            Gc.compact ();
+            let t0 = Unix.gettimeofday () in
+            ignore (Qkd_kms.Load.run Qkd_kms.Load.quick);
+            Unix.gettimeofday () -. t0))
+  in
+  ignore (time ~recording:false);
+  let best_off = ref infinity and best_on = ref infinity in
+  for _ = 1 to 3 do
+    best_off := Float.min !best_off (time ~recording:false);
+    best_on := Float.min !best_on (time ~recording:true)
+  done;
+  Recorder.set_recording true;
+  !best_on /. !best_off
+
+(* Overflow a deliberately tiny ring and check drop-oldest holds:
+   retained can never exceed capacity x lanes however many rounds run. *)
+let flight_rings_bounded () =
+  let capacity = 16 in
+  let r = Recorder.create ~capacity () in
+  Recorder.with_recorder r (fun () ->
+      let engine = Engine.create ~seed:2003L Engine.default_config in
+      for _ = 1 to 5 * capacity do
+        ignore (Engine.run_round engine ~pulses:1_000)
+      done);
+  let retained = Recorder.retained r in
+  let dropped = Recorder.dropped r in
+  (retained, dropped, retained <= capacity * Recorder.lane_count && dropped > 0)
+
+(* One seeded engine run captured into a private recorder; the dump
+   fingerprint (wall-clock fields canonicalized away) must be equal
+   across repeats. *)
+let flight_dump ~rounds ~pulses =
+  let r = Recorder.create () in
+  let reg = Qkd_obs.Registry.create () in
+  Qkd_obs.Registry.with_registry reg (fun () ->
+      Recorder.with_recorder r (fun () ->
+          let engine = Engine.create ~seed:2003L Engine.default_config in
+          for _ = 1 to rounds do
+            ignore (Engine.run_round engine ~pulses)
+          done));
+  Recorder.snapshot ~reason:"bench" r
+
+let flight_dump_file = "blackbox_flight.bbox"
+
+let bench_flight ~quick ~out () =
+  let rounds = 40 in
+  Format.printf "flight: engine recorder overhead (%d rounds x2, median of 3)...@."
+    rounds;
+  let engine_ratio =
+    median3
+      (measure_recorder_overhead ~rounds)
+      (measure_recorder_overhead ~rounds)
+      (measure_recorder_overhead ~rounds)
+  in
+  Format.printf
+    "flight: kms recorder overhead (quick load profile, best of 3)...@.";
+  let kms_ratio = measure_kms_recorder_overhead () in
+  Format.printf "flight: ring bound under overflow...@.";
+  let retained, dropped, rings_bounded = flight_rings_bounded () in
+  Format.printf "flight: seeded dump fingerprint x2 + save/load round trip...@.";
+  let dump_rounds = 8 and dump_pulses = 10_000 in
+  let d1 = flight_dump ~rounds:dump_rounds ~pulses:dump_pulses in
+  let d2 = flight_dump ~rounds:dump_rounds ~pulses:dump_pulses in
+  let fp1 = Recorder.fingerprint d1 and fp2 = Recorder.fingerprint d2 in
+  Recorder.save d1 flight_dump_file;
+  let roundtrip_ok =
+    Recorder.fingerprint (Recorder.load flight_dump_file) = fp1
+  in
+  let fingerprint_deterministic = fp1 = fp2 in
+  let pipeline_rounds = if quick then 2 else 6 in
+  let pipeline_pulses = 1_000_000 in
+  Format.printf
+    "flight: pipelined bit-identity with recorder on (%d rounds x %d pulses)...@."
+    pipeline_rounds pipeline_pulses;
+  let with_fresh_recorder f =
+    Recorder.with_recorder (Recorder.create ()) f
+  in
+  let serial_fp, _, _ =
+    with_fresh_recorder (fun () ->
+        pipeline_leg ~depth:1 ~rounds:pipeline_rounds ~pulses:pipeline_pulses)
+  in
+  let bit_identical =
+    List.for_all
+      (fun depth ->
+        let fp, _, _ =
+          with_fresh_recorder (fun () ->
+              pipeline_leg ~depth ~rounds:pipeline_rounds
+                ~pulses:pipeline_pulses)
+        in
+        fp = serial_fp)
+      [ 2; 4 ]
+  in
+  Format.printf "flight: dataplane allocation budget with recorder on...@.";
+  (* Same configuration as the PR 7 alloc gate (64B, single flow),
+     min-of-2 to shrug off a GC-unlucky rep. *)
+  let packets = if quick then 20_000 else 100_000 in
+  let pps, words =
+    with_fresh_recorder (fun () ->
+        let pps1, w1 = dataplane_batched ~payload_len:64 ~flows:1 ~packets in
+        let pps2, w2 = dataplane_batched ~payload_len:64 ~flows:1 ~packets in
+        (Float.max pps1 pps2, Float.min w1 w2))
+  in
+  let words_ok = words <= dataplane_words_budget in
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"pr\": 10,\n";
+  bpf "  \"preset\": %S,\n" (if quick then "quick" else "full");
+  bpf "  \"engine_overhead_ratio\": %.4f,\n" engine_ratio;
+  bpf "  \"kms_overhead_ratio\": %.4f,\n" kms_ratio;
+  bpf "  \"ring_capacity_per_lane\": 16,\n";
+  bpf "  \"ring_retained\": %d,\n" retained;
+  bpf "  \"ring_dropped\": %d,\n" dropped;
+  bpf "  \"rings_bounded\": %b,\n" rings_bounded;
+  bpf "  \"dump_fingerprint\": %S,\n" fp1;
+  bpf "  \"dump_fingerprint_deterministic\": %b,\n" fingerprint_deterministic;
+  bpf "  \"dump_roundtrip_ok\": %b,\n" roundtrip_ok;
+  bpf "  \"bit_identical_with_recorder\": %b,\n" bit_identical;
+  bpf "  \"recorder_dataplane_pps\": %.0f,\n" pps;
+  bpf "  \"recorder_words_per_packet\": %.3f,\n" words;
+  bpf "  \"words_per_packet_budget\": %.1f\n" dataplane_words_budget;
+  bpf "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf
+    "wrote %s@.engine ratio %.4f, kms ratio %.4f, rings %d retained / %d \
+     dropped, fingerprint %s, bit-identical %b, %.3f words/pkt@."
+    out engine_ratio kms_ratio retained dropped fp1 bit_identical words;
+  let fail = ref false in
+  if engine_ratio >= 1.05 then begin
+    Format.eprintf "FAIL: engine recorder overhead ratio %.4f >= 1.05@."
+      engine_ratio;
+    fail := true
+  end;
+  if kms_ratio >= 1.05 then begin
+    Format.eprintf "FAIL: kms recorder overhead ratio %.4f >= 1.05@." kms_ratio;
+    fail := true
+  end;
+  if not rings_bounded then begin
+    Format.eprintf "FAIL: ring bound violated (%d retained, %d dropped)@."
+      retained dropped;
+    fail := true
+  end;
+  if not fingerprint_deterministic then begin
+    Format.eprintf "FAIL: dump fingerprint differs across identical seeded runs@.";
+    fail := true
+  end;
+  if not roundtrip_ok then begin
+    Format.eprintf "FAIL: dump save/load round trip changed the fingerprint@.";
+    fail := true
+  end;
+  if not bit_identical then begin
+    Format.eprintf
+      "FAIL: pipelined run with recorder on is not bit-identical to serial@.";
+    fail := true
+  end;
+  if not words_ok then begin
+    Format.eprintf
+      "FAIL: %.3f words/packet with recorder on exceeds the %.1f budget@."
+      words dataplane_words_budget;
+    fail := true
+  end;
+  if !fail then exit 1
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let metrics, args = List.partition (( = ) "--metrics") args in
@@ -1482,6 +1700,20 @@ let () =
       in
       let quick, out = parse ~quick:false ~out:"BENCH_pr8.json" rest in
       bench_kms ~quick ~out ()
+  | "flight" :: rest ->
+      let rec parse ~quick ~out = function
+        | [] -> (quick, out)
+        | "--quick" :: tl -> parse ~quick:true ~out tl
+        | "--out" :: file :: tl -> parse ~quick ~out:file tl
+        | arg :: _ ->
+            Format.eprintf
+              "unknown flight option %S; usage: main.exe flight [--quick] \
+               [--out FILE]@."
+              arg;
+            exit 1
+      in
+      let quick, out = parse ~quick:false ~out:"BENCH_pr10.json" rest in
+      bench_flight ~quick ~out ()
   | [ name ] -> (
       match Experiments.by_name name with
       | Some f -> f ()
@@ -1489,7 +1721,8 @@ let () =
           Format.eprintf "unknown experiment %S; available: %s@." name
             (String.concat ", "
                ("micro" :: "tables" :: "obs" :: "json" :: "campaign"
-              :: "dataplane" :: "kms" :: "pipeline" :: Experiments.names));
+              :: "dataplane" :: "kms" :: "pipeline" :: "flight"
+              :: Experiments.names));
           exit 1)
   | _ ->
       Format.eprintf "usage: main.exe [experiment] [--metrics]@.";

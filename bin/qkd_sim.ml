@@ -340,8 +340,8 @@ module Scenario = Qkd_scenario.Scenario
 module Campaign = Qkd_scenario.Campaign
 module Checkpoint = Qkd_scenario.Checkpoint
 
-let print_campaign c =
-  let r = Campaign.report c in
+let print_campaign ?blackbox c =
+  let r = Campaign.report ?blackbox c in
   Format.printf
     "@[<v>campaign %s: %d steps / %.0f s simulated@ rounds: %d ok, %d failed@ \
      sifted %d bits, distilled %d bits@ mean QBER %.4f@ alarms fired: %d%s@]@."
@@ -392,7 +392,7 @@ let grade (spec : Scenario.t) (r : Campaign.report) =
   end
 
 let run_campaign metrics metrics_out list_scenarios name clean quick seed
-    checkpoint checkpoint_at resume =
+    checkpoint checkpoint_at resume blackbox =
   if list_scenarios then begin
     List.iter print_endline (Scenario.names ());
     0
@@ -445,7 +445,7 @@ let run_campaign metrics metrics_out list_scenarios name clean quick seed
           ~now:(Campaign.now_s campaign) 0
     | None ->
         Campaign.run campaign;
-        let r = print_campaign campaign in
+        let r = print_campaign ?blackbox campaign in
         let rc = grade (Campaign.spec campaign) r in
         finish ~metrics ~metrics_out ~monitor:None
           ~now:(Campaign.now_s campaign) rc
@@ -505,6 +505,16 @@ let campaign_cmd =
             "Resume from a checkpoint file and run to completion — \
              bit-identical to the uninterrupted run.")
   in
+  let blackbox =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "blackbox" ] ~docv:"FILE"
+          ~doc:
+            "When any detection-latency SLO is missed, write the flight \
+             recorder's event window to $(docv) for $(b,qkd_sim blackbox) \
+             post-mortems.  Nothing is written on a clean grade.")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
@@ -513,7 +523,136 @@ let campaign_cmd =
     Term.(
       const run_campaign $ metrics_arg $ metrics_out_arg $ list_scenarios
       $ scenario_name $ clean $ quick $ seed $ checkpoint $ checkpoint_at
-      $ resume)
+      $ resume $ blackbox)
+
+(* -- blackbox subcommand: post-mortem queries over a flight dump -- *)
+
+module Recorder = Qkd_obs.Recorder
+module Query = Qkd_obs.Query
+module Event = Qkd_obs.Event
+
+(* The dump carries a flat span list, not a live tracer, so render the
+   forest here: children under their parent, depth-first in recorded
+   order, orphans (parent rotated out of the tracer ring) at the root. *)
+let print_span_tree spans =
+  let ids = List.fold_left (fun acc (s : Qkd_obs.Trace.span) ->
+      s.Qkd_obs.Trace.id :: acc) [] spans in
+  let known id = List.mem id ids in
+  let children parent =
+    List.filter
+      (fun (s : Qkd_obs.Trace.span) -> s.Qkd_obs.Trace.parent = parent)
+      spans
+  in
+  let rec print depth (s : Qkd_obs.Trace.span) =
+    let open Qkd_obs.Trace in
+    Format.printf "%s%s [%d] %.4f s%s%s@."
+      (String.make (2 * depth) ' ')
+      s.name s.id
+      (if s.finished then s.end_s -. s.start_s else 0.0)
+      (if s.finished then "" else " (unfinished)")
+      (match s.notes with
+      | [] -> ""
+      | notes ->
+          " " ^ String.concat " "
+            (List.rev_map (fun (k, v) -> Printf.sprintf "%s=%s" k v) notes));
+    List.iter (print (depth + 1)) (children (Some s.id))
+  in
+  List.iter
+    (fun (s : Qkd_obs.Trace.span) ->
+      match s.Qkd_obs.Trace.parent with
+      | None -> print 0 s
+      | Some p -> if not (known p) then print 0 s)
+    spans
+
+let run_blackbox file filters group_by field spans_flag events_n =
+  let dump = Recorder.load file in
+  let filters =
+    List.map
+      (fun spec ->
+        match Query.parse_filter spec with
+        | Ok f -> f
+        | Error msg -> failwith msg)
+      filters
+  in
+  let field =
+    match Query.field_of_string field with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "unknown field %S" field)
+  in
+  let events = Query.apply filters dump.Recorder.events in
+  Format.printf
+    "@[<v>dump %s: reason %S, t=%.1f s, window %.0f s@ %d events retained \
+     (%d matched, %d overwritten before capture), %d spans@]@."
+    file dump.Recorder.reason dump.Recorder.at_s dump.Recorder.window_s
+    (List.length dump.Recorder.events)
+    (List.length events) dump.Recorder.dropped
+    (List.length dump.Recorder.spans);
+  Format.printf "@.%a@."
+    (Query.pp_summaries ~field ~by:group_by)
+    (Query.summarize ~field ~by:group_by events);
+  if events_n > 0 then begin
+    let tail =
+      let n = List.length events in
+      List.filteri (fun i _ -> i >= n - events_n) events
+    in
+    Format.printf "@.last %d matching events:@." (List.length tail);
+    List.iter (fun ev -> Format.printf "  %a@." Event.pp ev) tail
+  end;
+  if spans_flag then begin
+    Format.printf "@.spans:@.";
+    print_span_tree dump.Recorder.spans
+  end;
+  0
+
+let blackbox_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DUMP" ~doc:"Flight-recorder dump file (.bbox).")
+  in
+  let filters =
+    Arg.(
+      value & opt_all string []
+      & info [ "filter"; "f" ] ~docv:"KEY=VALUE"
+          ~doc:
+            "Keep only matching events; repeatable (conjunction).  Keys \
+             $(b,source), $(b,tenant), $(b,qos), $(b,verdict), $(b,trace), \
+             $(b,since), $(b,until) hit schema fields; any other key \
+             matches a label.")
+  in
+  let group_by =
+    Arg.(
+      value & opt string "source"
+      & info [ "group-by" ] ~docv:"KEY"
+          ~doc:"Grouping key for the summary table (same keys as filters).")
+  in
+  let field =
+    Arg.(
+      value & opt string "latency"
+      & info [ "field" ] ~docv:"FIELD"
+          ~doc:
+            "Percentile field: $(b,latency), $(b,qber) or $(b,bits).")
+  in
+  let spans =
+    Arg.(
+      value & flag
+      & info [ "spans" ] ~doc:"Print the captured causal span tree.")
+  in
+  let events_n =
+    Arg.(
+      value & opt int 0
+      & info [ "events" ] ~docv:"N"
+          ~doc:"Also print the last $(docv) matching events verbatim.")
+  in
+  Cmd.v
+    (Cmd.info "blackbox"
+       ~doc:
+         "Query a flight-recorder dump post-mortem: filter the wide-event \
+          stream, group it, and print p50/p95/p99 summaries")
+    Term.(
+      const run_blackbox $ file $ filters $ group_by $ field $ spans
+      $ events_n)
 
 (* -- dataplane subcommand: batched ESP forwarding throughput -- *)
 
@@ -797,6 +936,7 @@ let () =
             network_cmd;
             system_cmd;
             campaign_cmd;
+            blackbox_cmd;
             dataplane_cmd;
             kms_cmd;
           ]))

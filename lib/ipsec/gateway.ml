@@ -48,7 +48,21 @@ type t = {
   mutable received : int;
   mutable dropped : int;
   mutable esp_errors : int;
+  (* Flight-recorder sampling: batch ordinals per direction.  Every
+     64th batch emits one wide event; the other 63 pay one increment
+     and one mask — nothing else — so the <=16 words/packet dataplane
+     budget is untouched. *)
+  mutable out_batches : int;
+  mutable in_batches : int;
 }
+
+let batch_sample_mask = 63
+
+let emit_batch_event ~dir ~id ~now ~produced =
+  Qkd_obs.Recorder.record ~lane:Qkd_obs.Recorder.lane_esp
+    (Qkd_obs.Event.make ~source:Qkd_obs.Event.Esp ~id ~at_s:now ~bits:produced
+       ~labels:[ ("dir", dir) ]
+       ())
 
 let create ~name ~wan ~lan ~lan_prefix ~psk ~key_pool ~seed =
   let wan = Packet.addr_of_string wan in
@@ -73,6 +87,8 @@ let create ~name ~wan ~lan ~lan_prefix ~psk ~key_pool ~seed =
     received = 0;
     dropped = 0;
     esp_errors = 0;
+    out_batches = 0;
+    in_batches = 0;
   }
 
 let name t = t.name
@@ -305,6 +321,9 @@ let outbound_batch t ~now ~(src : Pktbuf.buf array) ~(dst : Pktbuf.buf array)
     end
     else t.dropped <- t.dropped + 1
   done;
+  t.out_batches <- t.out_batches + 1;
+  if t.out_batches land batch_sample_mask = 0 then
+    emit_batch_event ~dir:"out" ~id:t.out_batches ~now ~produced:!produced;
   !produced
 
 let inbound_tunnel_for_spi t spi_i =
@@ -365,6 +384,9 @@ let inbound_batch t ~now ~(src : Pktbuf.buf array) ~(dst : Pktbuf.buf array)
               end)
     end
   done;
+  t.in_batches <- t.in_batches + 1;
+  if t.in_batches land batch_sample_mask = 0 then
+    emit_batch_event ~dir:"in" ~id:t.in_batches ~now ~produced:!produced;
   !produced
 
 let stats t =

@@ -1,6 +1,5 @@
 module Relay = Qkd_net.Relay
 module Sim = Qkd_net.Sim
-module Stats = Qkd_util.Stats
 
 type config = {
   dispatch_interval_s : float;
@@ -31,29 +30,17 @@ let policy_for config = function
   | Qos.Bulk -> config.bulk
 
 (* A queued request travelling through admission -> WFQ -> dispatch ->
-   (retry loop) -> resolution. *)
+   (retry loop) -> resolution.  [rq_id] is the submission ordinal —
+   the id the request's wide events and exemplars carry, so a p95
+   bucket witness leads straight back to the request. *)
 type request = {
+  rq_id : int;
   rq_tenant : Tenant.t;
   rq_bits : int;
   rq_submitted_s : float;
   mutable rq_attempts : int;
   mutable rq_backoff_s : float;
 }
-
-(* Per-class delivery-latency ring; percentile reads copy the filled
-   prefix (order is irrelevant to [Stats.percentile]). *)
-type lat_ring = { buf : float array; mutable len : int; mutable pos : int }
-
-let lat_create capacity = { buf = Array.make capacity 0.0; len = 0; pos = 0 }
-
-let lat_push r v =
-  let cap = Array.length r.buf in
-  r.buf.(r.pos) <- v;
-  r.pos <- (r.pos + 1) mod cap;
-  if r.len < cap then r.len <- r.len + 1
-
-let lat_percentile r p =
-  if r.len = 0 then 0.0 else Stats.percentile (Array.sub r.buf 0 r.len) p
 
 let class_index = function Qos.Realtime -> 0 | Qos.Standard -> 1 | Qos.Bulk -> 2
 
@@ -79,7 +66,10 @@ type t = {
   mutable in_flight : int;
   mutable delivered_bits : int;
   mutable pad_spend_bits : int;
-  lat : lat_ring array;  (** indexed by [class_index] *)
+  lat : Qkd_obs.Histogram.t array;
+      (** per-class delivery latency, indexed by [class_index]; stats
+          read bucket-interpolated {!Qkd_obs.Histogram.quantile}s, so
+          memory is a fixed bucket ladder instead of a sample ring *)
 }
 
 let create ?(config = default_config) ~sim relay =
@@ -113,7 +103,9 @@ let create ?(config = default_config) ~sim relay =
     in_flight = 0;
     delivered_bits = 0;
     pad_spend_bits = 0;
-    lat = Array.init 3 (fun _ -> lat_create config.latency_window);
+    lat =
+      Array.init 3 (fun _ ->
+          Qkd_obs.Histogram.make ~buckets:Qkd_obs.Histogram.default_sim_buckets);
   }
 
 let relay t = t.relay
@@ -160,6 +152,18 @@ let latency_histogram () =
 
 let set_queue_gauge t =
   Qkd_obs.Gauge.set (queue_gauge ()) (float_of_int (Heap.size t.queue))
+
+(* One wide event per request resolution (and per admission
+   rejection), into the flight recorder's KMS lane.  [at_s] is
+   simulated time, so seeded-run dumps fingerprint deterministically;
+   [id] is the submission ordinal. *)
+let emit_event t (tn : Tenant.t) ~id ?(stage_s = [||]) ?(bits = 0)
+    ?(labels = []) verdict =
+  Qkd_obs.Recorder.record ~lane:Qkd_obs.Recorder.lane_kms
+    (Qkd_obs.Event.make ~source:Qkd_obs.Event.Kms ~id ~at_s:(Sim.now t.sim)
+       ~tenant:tn.Tenant.name
+       ~qos:(Qos.label tn.Tenant.klass)
+       ~stage_s ~bits ~labels ~verdict ())
 
 let tenant_watch_gauges (tn : Tenant.t) =
   ( Qkd_obs.Registry.gauge "kms_tenant_delivered_bits"
@@ -215,7 +219,8 @@ let resolve_in_flight t (tn : Tenant.t) ~bits =
   tn.Tenant.in_flight <- tn.Tenant.in_flight - 1;
   t.in_flight <- t.in_flight - 1
 
-let record_delivery t (tn : Tenant.t) (d : Relay.delivery) ~latency_s =
+let record_delivery t (tn : Tenant.t) (d : Relay.delivery) ~latency_s ~event_id
+    =
   let bits = d.Relay.bits in
   let hops = List.length d.Relay.path - 1 in
   resolve_in_flight t tn ~bits;
@@ -228,23 +233,29 @@ let record_delivery t (tn : Tenant.t) (d : Relay.delivery) ~latency_s =
   Shard.note_spend t.shards ~path:d.Relay.path ~bits;
   (match latency_s with
   | Some l ->
-      lat_push t.lat.(class_index tn.Tenant.klass) l;
-      Qkd_obs.Histogram.observe (latency_histogram ()) l
-  | None -> ());
+      Qkd_obs.Histogram.observe t.lat.(class_index tn.Tenant.klass) l;
+      (* observe_ex: the bucket keeps this request's id as its
+         exemplar, so an exported p95 bucket names a concrete
+         request. *)
+      Qkd_obs.Histogram.observe_ex (latency_histogram ()) ~event_id l;
+      emit_event t tn ~id:event_id ~stage_s:[| l |] ~bits "ok"
+  | None -> emit_event t tn ~id:event_id ~bits "ok");
   Qkd_obs.Counter.incr (result_counter ~klass:tn.Tenant.klass "delivered");
   Qkd_obs.Counter.incr (delivered_counter ());
   Qkd_obs.Counter.add (bits_counter ()) bits;
   note_tenant_gauges t tn
 
-let record_gave_up t (tn : Tenant.t) ~bits reason =
+let record_gave_up t (tn : Tenant.t) ~bits ~event_id reason =
   resolve_in_flight t tn ~bits;
   tn.Tenant.gave_up <- tn.Tenant.gave_up + 1;
   t.gave_up <- t.gave_up + 1;
+  emit_event t tn ~id:event_id ~bits reason;
   Qkd_obs.Counter.incr (result_counter ~klass:tn.Tenant.klass reason)
 
 (* -- Leases --------------------------------------------------------- *)
 
 type lease = {
+  ls_id : int;  (** submission ordinal, for the lease's wide events *)
   ls_tenant : Tenant.t;
   ls_bits : int;
   ls_reservation : Relay.reservation;
@@ -265,6 +276,7 @@ let lease t ~tenant:id ~bits =
   if Tenant.would_exceed_quota tn ~bits then begin
     tn.Tenant.rejected <- tn.Tenant.rejected + 1;
     t.rejected <- t.rejected + 1;
+    emit_event t tn ~id:t.submitted ~bits "over_quota";
     Qkd_obs.Counter.incr (result_counter ~klass:tn.Tenant.klass "over_quota");
     Error Over_quota
   end
@@ -275,19 +287,27 @@ let lease t ~tenant:id ~bits =
     | Error e ->
         tn.Tenant.gave_up <- tn.Tenant.gave_up + 1;
         t.gave_up <- t.gave_up + 1;
+        emit_event t tn ~id:t.submitted ~bits "no_capacity";
         Qkd_obs.Counter.incr (result_counter ~klass:tn.Tenant.klass "no_capacity");
         Error (No_capacity e)
     | Ok resv ->
         tn.Tenant.reserved_bits <- tn.Tenant.reserved_bits + bits;
         tn.Tenant.in_flight <- tn.Tenant.in_flight + 1;
         t.in_flight <- t.in_flight + 1;
-        Ok { ls_tenant = tn; ls_bits = bits; ls_reservation = resv; ls_open = true }
+        Ok
+          {
+            ls_id = t.submitted;
+            ls_tenant = tn;
+            ls_bits = bits;
+            ls_reservation = resv;
+            ls_open = true;
+          }
 
 let commit_lease t l =
   if not l.ls_open then invalid_arg "Kms.commit_lease: lease already resolved";
   l.ls_open <- false;
   let d = Relay.commit_reservation t.relay l.ls_reservation in
-  record_delivery t l.ls_tenant d ~latency_s:None;
+  record_delivery t l.ls_tenant d ~latency_s:None ~event_id:l.ls_id;
   d
 
 let release_lease t l =
@@ -298,6 +318,7 @@ let release_lease t l =
   resolve_in_flight t tn ~bits:l.ls_bits;
   tn.Tenant.released <- tn.Tenant.released + 1;
   t.released <- t.released + 1;
+  emit_event t tn ~id:l.ls_id ~bits:l.ls_bits "released";
   Qkd_obs.Counter.incr (result_counter ~klass:tn.Tenant.klass "released")
 
 (* -- WFQ admission and dispatch ------------------------------------- *)
@@ -354,16 +375,19 @@ and attempt t (rq : request) =
       let d = Relay.commit_reservation t.relay resv in
       record_delivery t tn d
         ~latency_s:(Some (Sim.now t.sim -. rq.rq_submitted_s))
+        ~event_id:rq.rq_id
   | Error _ ->
       let p = policy_for t.config tn.Tenant.klass in
       if rq.rq_attempts >= p.Qos.max_attempts then
-        record_gave_up t tn ~bits:rq.rq_bits "attempts_exhausted"
+        record_gave_up t tn ~bits:rq.rq_bits ~event_id:rq.rq_id
+          "attempts_exhausted"
       else begin
         let backoff = rq.rq_backoff_s in
         rq.rq_backoff_s <-
           Float.min (backoff *. p.Qos.backoff_factor) p.Qos.max_backoff_s;
         if Sim.now t.sim +. backoff -. rq.rq_submitted_s > p.Qos.deadline_s then
-          record_gave_up t tn ~bits:rq.rq_bits "deadline_exceeded"
+          record_gave_up t tn ~bits:rq.rq_bits ~event_id:rq.rq_id
+            "deadline_exceeded"
         else begin
           t.retries <- t.retries + 1;
           Qkd_obs.Counter.incr (retry_counter ());
@@ -382,6 +406,7 @@ let submit t ~tenant:id ~bits =
   if Tenant.would_exceed_quota tn ~bits then begin
     tn.Tenant.rejected <- tn.Tenant.rejected + 1;
     t.rejected <- t.rejected + 1;
+    emit_event t tn ~id:t.submitted ~bits "over_quota";
     Qkd_obs.Counter.incr (result_counter ~klass:tn.Tenant.klass "over_quota")
   end
   else if t.in_flight >= t.config.max_in_flight then begin
@@ -389,6 +414,7 @@ let submit t ~tenant:id ~bits =
        backlog that nobody's deadline survives. *)
     tn.Tenant.shed <- tn.Tenant.shed + 1;
     t.shed <- t.shed + 1;
+    emit_event t tn ~id:t.submitted ~bits "shed";
     Qkd_obs.Counter.incr (result_counter ~klass:tn.Tenant.klass "shed")
   end
   else begin
@@ -397,6 +423,7 @@ let submit t ~tenant:id ~bits =
     t.in_flight <- t.in_flight + 1;
     enqueue t
       {
+        rq_id = t.submitted;
         rq_tenant = tn;
         rq_bits = bits;
         rq_submitted_s = Sim.now t.sim;
@@ -496,12 +523,19 @@ let stats (t : t) =
     per_class =
       List.map
         (fun k ->
-          let r = t.lat.(class_index k) in
+          let h = t.lat.(class_index k) in
+          (* Bucket-interpolated quantiles (0.0 before any delivery):
+             fixed memory where the old per-class sample rings held
+             [latency_window] floats each. *)
+          let q p =
+            let v = Qkd_obs.Histogram.quantile h p in
+            if Float.is_nan v then 0.0 else v
+          in
           {
             klass = k;
             delivered = per_class_delivered t k;
-            p50_latency_s = lat_percentile r 50.0;
-            p95_latency_s = lat_percentile r 95.0;
+            p50_latency_s = q 0.50;
+            p95_latency_s = q 0.95;
           })
         Qos.all;
   }

@@ -115,6 +115,28 @@ let finish t ~span ~src ~dst ~bits ~submitted_s ~attempts outcome =
       Qkd_obs.Trace.span_note span "outcome" (reason_label reason));
   Qkd_obs.Trace.span_note span "attempts" (string_of_int attempts);
   Qkd_obs.Trace.span_end span ~at:completed_s;
+  (* The request's wide event, one per resolution: id is the
+     resolution ordinal, latency rides [stage_s], the causal span id
+     links the event to the retry/attempt tree. *)
+  Qkd_obs.Recorder.record ~lane:Qkd_obs.Recorder.lane_net
+    (Qkd_obs.Event.make ~source:Qkd_obs.Event.Sched ~id:(t.resolved + 1)
+       ~at_s:completed_s ~trace:span
+       ~stage_s:
+         (match outcome with
+         | Delivered _ -> [| completed_s -. submitted_s |]
+         | Gave_up _ -> [||])
+       ~bits
+       ~verdict:
+         (match outcome with
+         | Delivered _ -> "delivered"
+         | Gave_up reason -> reason_label reason)
+       ~labels:
+         [
+           ("src", string_of_int src);
+           ("dst", string_of_int dst);
+           ("attempts", string_of_int attempts);
+         ]
+       ());
   t.ring.(t.ring_next) <-
     Some { src; dst; bits; submitted_s; completed_s; attempts; outcome };
   t.ring_next <- (t.ring_next + 1) mod Array.length t.ring;

@@ -77,11 +77,30 @@ let create ?(max_events = 4096) set =
   if max_events <= 0 then invalid_arg "Alert.create: max_events must be positive";
   { set; max_events; entries = []; events = []; events_len = 0; fired_total = 0 }
 
+(* A process-global observer of Fired transitions, for the flight
+   recorder: Recorder.arm_alerts installs a hook that snapshots the
+   recent event stream to disk the moment an alarm fires — before the
+   evidence ages out of the rings.  Exceptions from the hook are
+   swallowed: a failed forensic dump (full disk, bad path) must never
+   take down the alerting path it is meant to explain. *)
+let fired_hook : (event -> unit) option ref = ref None
+let set_fired_hook f = fired_hook := Some f
+let clear_fired_hook () = fired_hook := None
+
 (* Transitions are rare (state-machine edges, not samples), so the
    O(max_events) trim on overflow is cheap; the log stays bounded over
    weeks-long campaign runs. *)
 let record t ev =
-  if ev.transition = Fired then t.fired_total <- t.fired_total + 1;
+  if ev.transition = Fired then begin
+    t.fired_total <- t.fired_total + 1;
+    Counter.incr
+      (Registry.counter "alert_fired_total"
+         ~labels:[ ("rule", ev.rule) ]
+         ~help:"Alert Fired transitions, by rule");
+    match !fired_hook with
+    | None -> ()
+    | Some f -> ( try f ev with _ -> ())
+  end;
   if t.events_len >= t.max_events then begin
     let rec take n = function
       | x :: tl when n > 0 -> x :: take (n - 1) tl

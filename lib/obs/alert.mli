@@ -99,7 +99,18 @@ val log : engine -> event list
 
 val fired_count : engine -> int
 (** Total [Fired] transitions over the engine's lifetime — exact even
-    after the event log has trimmed older entries. *)
+    after the event log has trimmed older entries.  Every [Fired]
+    transition also increments the registry counter
+    [alert_fired_total{rule="..."}]. *)
+
+val set_fired_hook : (event -> unit) -> unit
+(** Install a process-global observer of [Fired] transitions (the
+    flight recorder's dump-on-alarm trigger).  At most one hook is
+    live; installing replaces the previous one.  Exceptions raised by
+    the hook are swallowed — a failed forensic dump must not break the
+    alerting path.  Not invoked by {!restore}. *)
+
+val clear_fired_hook : unit -> unit
 
 (** {1 State dump/restore}
 

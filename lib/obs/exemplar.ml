@@ -1,0 +1,10 @@
+(* An exemplar is a witness for a histogram bucket: the most recent
+   (value, event id, trace id) observed into it.  Aggregation answers
+   "how many requests were slow"; the exemplar answers "which one" —
+   the ids link back into the flight recorder's wide-event stream and
+   the causal span tree, so a p99 bucket is one lookup away from the
+   request that produced it. *)
+
+type t = { value : float; event_id : int; trace_id : int }
+
+let make ?(event_id = 0) ?(trace_id = 0) value = { value; event_id; trace_id }

@@ -1,0 +1,8 @@
+(** A bucket witness: the most recent (value, event id, trace id)
+    observed into a histogram bucket.  [event_id] references a flight
+    recorder {!Event} id, [trace_id] a causal {!Trace.id}; either may
+    be 0 (unknown). *)
+
+type t = { value : float; event_id : int; trace_id : int }
+
+val make : ?event_id:int -> ?trace_id:int -> float -> t

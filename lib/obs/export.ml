@@ -46,12 +46,25 @@ let metric_lines (key : Registry.key) metric =
       [ Printf.sprintf "%s%s %s" key.Registry.name labels
           (format_float (Gauge.value g)) ]
   | Registry.Histogram h ->
-      let bucket (bound, cum) =
-        Printf.sprintf "%s_bucket%s %d" key.Registry.name
-          (format_labels (key.Registry.labels @ [ ("le", format_bound bound) ]))
-          cum
+      (* OpenMetrics-style exemplar suffix on the bucket's own line:
+         `..._bucket{le=".."} N # {event_id="..",trace_id=".."} v`.
+         Staying on one line keeps line-oriented golden filters and
+         diffing intact; buckets without a witness are unchanged. *)
+      let bucket i (bound, cum) =
+        let base =
+          Printf.sprintf "%s_bucket%s %d" key.Registry.name
+            (format_labels
+               (key.Registry.labels @ [ ("le", format_bound bound) ]))
+            cum
+        in
+        match Histogram.exemplar h i with
+        | None -> base
+        | Some e ->
+            Printf.sprintf "%s # {event_id=\"%d\",trace_id=\"%d\"} %s" base
+              e.Exemplar.event_id e.Exemplar.trace_id
+              (format_float e.Exemplar.value)
       in
-      List.map bucket (Histogram.cumulative h)
+      List.mapi bucket (Histogram.cumulative h)
       @ [
           Printf.sprintf "%s_sum%s %s" key.Registry.name labels
             (format_float (Histogram.sum h));

@@ -3,6 +3,10 @@ type t = {
   counts : int array;  (** length = bounds + 1; last slot is the +Inf overflow *)
   mutable sum : float;
   mutable count : int;
+  (* Lazily allocated on the first [record_exemplar]: histograms that
+     never record witnesses pay nothing and export identically to
+     before exemplars existed. *)
+  mutable exemplars : Exemplar.t option array;
 }
 
 (* Decade-ish bucket ladders.  [default_time_buckets] spans microsecond
@@ -42,19 +46,41 @@ let make ~buckets =
     counts = Array.make (Array.length buckets + 1) 0;
     sum = 0.0;
     count = 0;
+    exemplars = [||];
   }
+
+let bucket_index t v =
+  let n = Array.length t.upper_bounds in
+  let i = ref 0 in
+  while !i < n && v > t.upper_bounds.(!i) do
+    incr i
+  done;
+  !i
 
 let observe t v =
   if Control.enabled () then begin
-    let n = Array.length t.upper_bounds in
-    let i = ref 0 in
-    while !i < n && v > t.upper_bounds.(!i) do
-      incr i
-    done;
-    t.counts.(!i) <- t.counts.(!i) + 1;
+    let i = bucket_index t v in
+    t.counts.(i) <- t.counts.(i) + 1;
     t.sum <- t.sum +. v;
     t.count <- t.count + 1
   end
+
+let record_exemplar t ?(event_id = 0) ?(trace_id = 0) v =
+  if Control.enabled () then begin
+    if Array.length t.exemplars = 0 then
+      t.exemplars <- Array.make (Array.length t.counts) None;
+    t.exemplars.(bucket_index t v) <-
+      Some (Exemplar.make ~event_id ~trace_id v)
+  end
+
+let observe_ex t ?event_id ?trace_id v =
+  observe t v;
+  record_exemplar t ?event_id ?trace_id v
+
+let exemplar t i =
+  if i < 0 || i >= Array.length t.counts then None
+  else if Array.length t.exemplars = 0 then None
+  else t.exemplars.(i)
 
 let count t = t.count
 let sum t = t.sum
@@ -80,3 +106,35 @@ let cumulative t =
       acc := !acc + c;
       (bound, !acc))
     (bucket_counts t)
+
+(* Prometheus-style bucket quantile: find the bucket holding the
+   rank-[q * count] observation and linearly interpolate inside it.
+   The first bucket interpolates from 0 (durations/sizes are
+   non-negative here); ranks landing in the +Inf overflow clamp to the
+   last finite bound — the histogram cannot know more.  NaN on an
+   empty histogram or a NaN [q], so report paths can distinguish "no
+   data" from a legitimate 0. *)
+let quantile t q =
+  if t.count = 0 || Float.is_nan q then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let n = Array.length t.upper_bounds in
+    let rank = Float.max 1e-12 (q *. float_of_int t.count) in
+    let i = ref 0 and cum = ref t.counts.(0) in
+    while float_of_int !cum < rank && !i < n do
+      incr i;
+      cum := !cum + t.counts.(!i)
+    done;
+    if !i >= n then t.upper_bounds.(n - 1)
+    else begin
+      let lower = if !i = 0 then 0.0 else t.upper_bounds.(!i - 1) in
+      let upper = t.upper_bounds.(!i) in
+      let in_bucket = t.counts.(!i) in
+      let below = !cum - in_bucket in
+      if in_bucket = 0 then upper
+      else
+        lower
+        +. (upper -. lower)
+           *. ((rank -. float_of_int below) /. float_of_int in_bucket)
+    end
+  end

@@ -11,6 +11,26 @@ val make : buckets:float array -> t
 
 val observe : t -> float -> unit
 
+val record_exemplar : t -> ?event_id:int -> ?trace_id:int -> float -> unit
+(** Remember [(v, event_id, trace_id)] as the witness for [v]'s bucket,
+    replacing any earlier witness there.  Does not change counts; pair
+    with {!observe} (or use {!observe_ex}).  Histograms that never
+    record exemplars export exactly as before. *)
+
+val observe_ex : t -> ?event_id:int -> ?trace_id:int -> float -> unit
+(** {!observe} + {!record_exemplar} in one call. *)
+
+val exemplar : t -> int -> Exemplar.t option
+(** The current witness for bucket index [i] (0-based, the last index
+    being the [+Inf] overflow); [None] out of range or never set. *)
+
+val quantile : t -> float -> float
+(** Bucket-interpolated quantile in [0..1]: locates the bucket holding
+    the rank-[q*count] observation and linearly interpolates inside it
+    (the first bucket interpolates from 0; ranks in the [+Inf]
+    overflow clamp to the last finite bound).  Returns [nan] on an
+    empty histogram or NaN [q]; [q] outside [0..1] is clamped. *)
+
 val count : t -> int
 val sum : t -> float
 val mean : t -> float

@@ -1,0 +1,147 @@
+(* Post-mortem slicing over a dump's wide-event stream: filter on
+   schema fields or labels, group by a dimension, and summarize a
+   numeric field per group (count + p50/p95/p99 over the raw retained
+   events — a dump holds at most lanes x capacity events, so exact
+   raw-sample percentiles are the right tool here, unlike the live
+   bucketed histograms). *)
+
+type filter =
+  | Source of Event.source
+  | Tenant of string
+  | Qos of string
+  | Verdict of string
+  | Trace of int
+  | Since of float
+  | Until of float
+  | Label of string * string
+
+let matches (e : Event.t) = function
+  | Source s -> e.Event.source = s
+  | Tenant t -> e.Event.tenant = t
+  | Qos q -> e.Event.qos = q
+  | Verdict v -> e.Event.verdict = v
+  | Trace id -> e.Event.trace = id
+  | Since s -> e.Event.at_s >= s
+  | Until s -> e.Event.at_s <= s
+  | Label (k, v) -> List.mem_assoc k e.Event.labels
+                    && List.assoc k e.Event.labels = v
+
+let apply filters events =
+  List.filter (fun e -> List.for_all (matches e) filters) events
+
+(* "key=value" filter syntax for the CLI: schema keys first, any other
+   key falls through to label matching. *)
+let parse_filter s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "filter %S is not key=value" s)
+  | Some i -> (
+      let k = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      match k with
+      | "source" -> (
+          match Event.source_of_label v with
+          | Some src -> Ok (Source src)
+          | None -> Error (Printf.sprintf "unknown source %S" v))
+      | "tenant" -> Ok (Tenant v)
+      | "qos" -> Ok (Qos v)
+      | "verdict" -> Ok (Verdict v)
+      | "trace" -> (
+          match int_of_string_opt v with
+          | Some id -> Ok (Trace id)
+          | None -> Error (Printf.sprintf "trace id %S is not an int" v))
+      | "since" | "until" -> (
+          match float_of_string_opt v with
+          | Some t -> Ok (if k = "since" then Since t else Until t)
+          | None -> Error (Printf.sprintf "%s %S is not a float" k v))
+      | _ -> Ok (Label (k, v)))
+
+(* Grouping dimensions share the filter keys; an unknown key groups by
+   that label's value ("" for events without it). *)
+let group_key ~by (e : Event.t) =
+  match by with
+  | "source" -> Event.source_label e.Event.source
+  | "tenant" -> e.Event.tenant
+  | "qos" -> e.Event.qos
+  | "verdict" -> e.Event.verdict
+  | k -> ( match List.assoc_opt k e.Event.labels with Some v -> v | None -> "")
+
+let group_by ~by events =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let k = group_key ~by e in
+      match Hashtbl.find_opt tbl k with
+      | Some l -> l := e :: !l
+      | None ->
+          Hashtbl.add tbl k (ref [ e ]);
+          order := k :: !order)
+    events;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+
+(* Numeric fields a post-mortem slices on.  Events where the field is
+   not applicable (NaN qber, empty stage_s) are excluded from the
+   sample rather than polluting it with zeros. *)
+type field = Latency | Qber | Bits
+
+let field_of_string = function
+  | "latency" -> Some Latency
+  | "qber" -> Some Qber
+  | "bits" -> Some Bits
+  | _ -> None
+
+let field_label = function
+  | Latency -> "latency_s"
+  | Qber -> "qber"
+  | Bits -> "bits"
+
+let field_value field (e : Event.t) =
+  match field with
+  | Latency ->
+      if Array.length e.Event.stage_s = 0 then None
+      else Some (Event.latency_s e)
+  | Qber -> if Float.is_nan e.Event.qber then None else Some e.Event.qber
+  | Bits -> Some (float_of_int e.Event.bits)
+
+type summary = {
+  group : string;
+  count : int;  (** all matching events, with or without the field *)
+  samples : int;  (** events contributing to the percentiles *)
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summarize ?(field = Latency) ~by events =
+  List.map
+    (fun (group, evs) ->
+      let xs =
+        List.filter_map (field_value field) evs |> Array.of_list
+      in
+      let pct p =
+        if Array.length xs = 0 then Float.nan else Qkd_util.Stats.percentile xs p
+      in
+      {
+        group;
+        count = List.length evs;
+        samples = Array.length xs;
+        p50 = pct 50.0;
+        p95 = pct 95.0;
+        p99 = pct 99.0;
+      })
+    (group_by ~by events)
+
+let pp_summaries ?(field = Latency) ~by ppf rows =
+  Format.fprintf ppf "%-24s %8s %8s %12s %12s %12s@." by "events" "samples"
+    ("p50_" ^ field_label field)
+    ("p95_" ^ field_label field)
+    ("p99_" ^ field_label field);
+  List.iter
+    (fun r ->
+      let f v =
+        if Float.is_nan v then "-" else Printf.sprintf "%.6g" v
+      in
+      Format.fprintf ppf "%-24s %8d %8d %12s %12s %12s@."
+        (if r.group = "" then "(none)" else r.group)
+        r.count r.samples (f r.p50) (f r.p95) (f r.p99))
+    rows

@@ -1,0 +1,54 @@
+(** Post-mortem slicing over a dump's wide-event stream: filters over
+    schema fields and labels, grouping, and exact raw-sample
+    p50/p95/p99 summaries (a dump is bounded, so raw percentiles are
+    affordable — the live paths use bucketed {!Histogram.quantile}
+    instead). *)
+
+type filter =
+  | Source of Event.source
+  | Tenant of string
+  | Qos of string
+  | Verdict of string
+  | Trace of int
+  | Since of float  (** [at_s >= t] *)
+  | Until of float  (** [at_s <= t] *)
+  | Label of string * string
+
+val matches : Event.t -> filter -> bool
+val apply : filter list -> Event.t list -> Event.t list
+
+val parse_filter : string -> (filter, string) result
+(** ["key=value"]: keys [source]/[tenant]/[qos]/[verdict]/[trace]/
+    [since]/[until] hit schema fields; any other key matches a
+    label. *)
+
+val group_by : by:string -> Event.t list -> (string * Event.t list) list
+(** Same keys as {!parse_filter}; unknown keys group by that label's
+    value ([""] when absent).  Groups in first-seen order, events in
+    stream order. *)
+
+type field = Latency | Qber | Bits
+
+val field_of_string : string -> field option
+(** ["latency" | "qber" | "bits"] *)
+
+val field_label : field -> string
+
+val field_value : field -> Event.t -> float option
+(** [None] when the field is not applicable to the event (NaN QBER,
+    no recorded stages). *)
+
+type summary = {
+  group : string;
+  count : int;  (** all matching events, with or without the field *)
+  samples : int;  (** events contributing to the percentiles *)
+  p50 : float;
+  p95 : float;
+  p99 : float;  (** [nan] when [samples = 0] *)
+}
+
+val summarize :
+  ?field:field -> by:string -> Event.t list -> summary list
+
+val pp_summaries :
+  ?field:field -> by:string -> Format.formatter -> summary list -> unit

@@ -14,6 +14,7 @@ let default_clock = Sys.time
 let clock = ref default_clock
 let set_clock f = clock := f
 let reset_clock () = clock := default_clock
+let now () = !clock ()
 
 let wall_metric = "span_wall_seconds"
 let sim_metric = "span_sim_seconds"
@@ -116,6 +117,9 @@ let span_begin ?tracer ?parent ?at name =
     let t = resolve tracer in
     if t.count >= t.tracer_capacity then begin
       t.dropped <- t.dropped + 1;
+      (* Silent drops hide saturation from operators; the counter makes
+         a full tracer visible in every metrics export. *)
+      Counter.incr (Registry.counter "trace_spans_dropped_total");
       null_id
     end
     else begin

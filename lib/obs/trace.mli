@@ -39,6 +39,11 @@ val set_clock : (unit -> float) -> unit
 val reset_clock : unit -> unit
 (** Restore the default [Sys.time] clock. *)
 
+val now : unit -> float
+(** The installed span clock, for callers timing their own stages
+    (e.g. the flight recorder's per-stage latencies) consistently with
+    span timestamps. *)
+
 val wall_metric : string
 (** ["span_wall_seconds"] — the nondeterministic series golden tests
     must filter out. *)

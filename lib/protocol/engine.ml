@@ -402,12 +402,27 @@ let commit_round ~tamper t (l : linked) (r : reconciled)
       eve_known_sifted_bits = l.eve_known;
     }
 
-let run_round_bare ~tamper t ~pulses =
+(* [durs], when given, receives the wall-clock stage latencies
+   (link/ec/pa/commit) for the flight recorder's round event.  Timing
+   uses the Trace clock only — no RNG, no engine state — so recording
+   never perturbs the seeded bit stream. *)
+let run_round_bare ?durs ~tamper t ~pulses =
   let seeds = derive_seeds (Rng.int64 t.rng) in
-  let l = stage_link t.config ~pulses ~seeds in
-  let r, next_qber = stage_ec t.config ~estimated_qber:t.last_qber ~seeds l in
-  let p = stage_pa ~seeds l r in
-  commit_round ~tamper t l r p ~next_qber
+  let timed i f =
+    match durs with
+    | None -> f ()
+    | Some d ->
+        let t0 = Obs.Trace.now () in
+        let r = f () in
+        d.(i) <- Float.max 0.0 (Obs.Trace.now () -. t0);
+        r
+  in
+  let l = timed 0 (fun () -> stage_link t.config ~pulses ~seeds) in
+  let r, next_qber =
+    timed 1 (fun () -> stage_ec t.config ~estimated_qber:t.last_qber ~seeds l)
+  in
+  let p = timed 2 (fun () -> stage_pa ~seeds l r) in
+  timed 3 (fun () -> commit_round ~tamper t l r p ~next_qber)
 
 let failure_reason = function
   | Auth_exhausted -> "auth_exhausted"
@@ -473,6 +488,20 @@ let record_outcome t = function
            ~labels:[ ("reason", failure_reason f) ]
            ~help:"Protocol rounds aborted, by failure reason")
 
+(* The round's wide event: one record per attempted round, emitted
+   into the engine lane after the outcome is booked (serial path) or
+   at in-order commit (pipelined path), so lane order IS commit
+   order.  [stage_s] = wall latencies [link; ec; pa; commit]. *)
+let emit_round_event ~recorder ~id ~trace ~durs res =
+  let qber, bits, verdict =
+    match res with
+    | Ok m -> (m.qber, m.distilled_bits, "ok")
+    | Error f -> (Float.nan, 0, failure_reason f)
+  in
+  Obs.Recorder.emit recorder ~lane:Obs.Recorder.lane_engine
+    (Obs.Event.make ~source:Obs.Event.Round ~id ~trace ~stage_s:durs ~qber
+       ~bits ~verdict ())
+
 let run_round ?(tamper = false) ?(trace = Obs.Trace.null_id) t ~pulses =
   Obs.Counter.incr
     (Obs.Registry.counter "engine_rounds_total"
@@ -484,16 +513,23 @@ let run_round ?(tamper = false) ?(trace = Obs.Trace.null_id) t ~pulses =
     if trace = Obs.Trace.null_id then Obs.Trace.null_id
     else Obs.Trace.span_begin ~parent:trace "engine_round"
   in
-  match run_round_bare ~tamper t ~pulses with
+  let durs = Array.make 4 0.0 in
+  let finish res =
+    record_outcome t res;
+    emit_round_event ~recorder:(Obs.Recorder.default ())
+      ~id:(t.rounds_completed + t.rounds_failed)
+      ~trace:span ~durs res
+  in
+  match run_round_bare ~durs ~tamper t ~pulses with
   | Ok m ->
-      record_outcome t (Ok m);
+      finish (Ok m);
       Obs.Trace.span_note span "qber" (Printf.sprintf "%.4f" m.qber);
       Obs.Trace.span_note span "distilled_bits"
         (string_of_int m.distilled_bits);
       Obs.Trace.span_end span;
       Ok m
   | Error f ->
-      record_outcome t (Error f);
+      finish (Error f);
       Obs.Trace.span_note span "failed" (failure_reason f);
       Obs.Trace.span_end span;
       Error f
@@ -507,7 +543,16 @@ let run_round ?(tamper = false) ?(trace = Obs.Trace.null_id) t ~pulses =
    channels + single-worker stages mean rounds exit in submission
    order, so the commit log IS round order by construction. *)
 
-type 'a slot = { idx : int; seeds : seeds; payload : ('a, exn) result }
+(* [durs] rides the slot through the pipeline: each stage domain
+   writes its own wall latency at a distinct index (the channel
+   handoff publishes the write), and the committing domain adds the
+   commit latency before the round's wide event is emitted. *)
+type 'a slot = {
+  idx : int;
+  seeds : seeds;
+  payload : ('a, exn) result;
+  durs : float array;  (** [link; ec; pa; commit] wall seconds *)
+}
 
 (* Registry creation mutates a Hashtbl and Histogram is plain-mutable,
    so every metric a worker (or the concurrently committing caller)
@@ -633,7 +678,7 @@ let ensure_pipeline_metrics (config : config) =
    and propagate channel close downstream.  A slot that arrives
    poisoned (an upstream stage raised) is forwarded untouched so the
    caller sees the error in round order. *)
-let stage_domain ~stage ~input ~output f =
+let stage_domain ~recorder ~lane ~stage_index ~stage ~input ~output f =
   Domain.spawn @@ fun () ->
   let open Obs in
   let busy = Registry.gauge "engine_stage_busy" ~labels:[ ("stage", stage) ] in
@@ -648,11 +693,27 @@ let stage_domain ~stage ~input ~output f =
         let payload =
           match slot.payload with
           | Error _ as e -> e
-          | Ok x -> ( try Ok (f slot.seeds x) with e -> Error e)
+          | Ok x -> (
+              let t0 = Trace.now () in
+              match f slot.seeds x with
+              | y ->
+                  let dt = Float.max 0.0 (Trace.now () -. t0) in
+                  slot.durs.(stage_index) <- dt;
+                  (* This domain is the lane's only writer; the stage
+                     event mirrors the work just finished so a
+                     post-mortem can see where a slow round spent its
+                     time even if it never commits. *)
+                  Recorder.emit recorder ~lane
+                    (Event.make ~source:Event.Stage ~id:slot.idx
+                       ~stage_s:[| dt |]
+                       ~labels:[ ("stage", stage) ]
+                       ());
+                  Ok y
+              | exception e -> Error e)
         in
         Gauge.set busy 0.0;
         Counter.incr processed;
-        Chan.send output { idx = slot.idx; seeds = slot.seeds; payload };
+        Chan.send output { slot with payload };
         loop ()
   in
   loop ()
@@ -681,12 +742,17 @@ let run_rounds ?(tamper = false) ?(pipeline_depth = 1) t ~rounds ~pulses f =
        at commit so the engine after a pipelined batch is
        indistinguishable from after the same batch run serially. *)
     let qber_chain = ref t.last_qber in
+    (* Captured once, pre-spawn: stage domains must not race a
+       mid-run [Recorder.use] swap on the coordinating domain. *)
+    let recorder = Recorder.default () in
     let w_link =
-      stage_domain ~stage:"link" ~input:q0 ~output:q1 (fun seeds () ->
+      stage_domain ~recorder ~lane:Recorder.lane_link ~stage_index:0
+        ~stage:"link" ~input:q0 ~output:q1 (fun seeds () ->
           stage_link config ~pulses ~seeds)
     in
     let w_ec =
-      stage_domain ~stage:"ec" ~input:q1 ~output:q2 (fun seeds l ->
+      stage_domain ~recorder ~lane:Recorder.lane_ec ~stage_index:1 ~stage:"ec"
+        ~input:q1 ~output:q2 (fun seeds l ->
           let r, next_qber =
             stage_ec config ~estimated_qber:!qber_chain ~seeds l
           in
@@ -694,8 +760,9 @@ let run_rounds ?(tamper = false) ?(pipeline_depth = 1) t ~rounds ~pulses f =
           (l, r, next_qber))
     in
     let w_pa =
-      stage_domain ~stage:"pa" ~input:q2 ~output:q3
-        (fun seeds (l, r, next_qber) -> (l, r, stage_pa ~seeds l r, next_qber))
+      stage_domain ~recorder ~lane:Recorder.lane_pa ~stage_index:2 ~stage:"pa"
+        ~input:q2 ~output:q3 (fun seeds (l, r, next_qber) ->
+          (l, r, stage_pa ~seeds l r, next_qber))
     in
     let inflight = Registry.gauge "engine_pipeline_inflight" in
     let commit_busy =
@@ -721,6 +788,7 @@ let run_rounds ?(tamper = false) ?(pipeline_depth = 1) t ~rounds ~pulses f =
             idx = !submitted;
             seeds = derive_seeds (Rng.int64 t.rng);
             payload = Ok ();
+            durs = Array.make 4 0.0;
           };
         Gauge.set inflight (float_of_int (!submitted - !drained))
       end;
@@ -754,11 +822,15 @@ let run_rounds ?(tamper = false) ?(pipeline_depth = 1) t ~rounds ~pulses f =
                 (Registry.counter "engine_rounds_total"
                    ~help:"Protocol rounds attempted");
               match
+                let t0 = Trace.now () in
                 let res =
                   Trace.with_span "engine_commit" (fun () ->
                       commit_round ~tamper t l r p ~next_qber)
                 in
+                slot.durs.(3) <- Float.max 0.0 (Trace.now () -. t0);
                 record_outcome t res;
+                emit_round_event ~recorder ~id:slot.idx
+                  ~trace:Trace.null_id ~durs:slot.durs res;
                 Counter.incr commit_count;
                 Gauge.set commit_busy 0.0;
                 f res

@@ -457,6 +457,16 @@ let step t =
   core.now_s <- now +. core.spec.step_s;
   core.step <- core.step + 1;
   Health.tick t.monitor ~now:core.now_s;
+  (* The campaign's trail in the flight recorder: one Mark per step,
+     so a dump taken when an alarm fires mid-campaign shows how many
+     steps in — and which scenario — the evidence belongs to.
+     Recorder state lives outside the checkpointed core, so snapshots
+     and restart-equivalence fingerprints are unaffected. *)
+  Qkd_obs.Recorder.record ~lane:Qkd_obs.Recorder.lane_scenario
+    (Qkd_obs.Event.make ~source:Qkd_obs.Event.Mark ~id:core.step
+       ~at_s:core.now_s ~verdict:"step"
+       ~labels:[ ("scenario", core.spec.name) ]
+       ());
   List.iter
     (fun s -> core.max_series_len <- max core.max_series_len (Series.length s))
     (Series.all (Health.set t.monitor))
@@ -533,7 +543,11 @@ let detections t =
       })
     spec.slos
 
-let report t =
+(* [blackbox]: a file path to write a flight-recorder dump to when the
+   grade misses — any SLO'd alarm silent or late gets the merged event
+   stream and span tree saved for the post-mortem (`qkd_sim blackbox`
+   reads it).  Nothing is written on a clean grade. *)
+let report ?blackbox t =
   let core = t.core in
   let engine = Health.engine t.monitor in
   let fired_rules =
@@ -548,6 +562,20 @@ let report t =
     | None -> (0, 0, 0)
     | Some ns -> (ns.ns_submitted, ns.ns_delivered, ns.ns_link_failures)
   in
+  let graded = detections t in
+  (match blackbox with
+  | Some path when List.exists (fun d -> not d.within_slo) graded ->
+      let missed =
+        List.filter_map
+          (fun d -> if d.within_slo then None else Some d.alarm)
+          graded
+      in
+      Qkd_obs.Recorder.save
+        (Qkd_obs.Recorder.snapshot ~now:core.now_s
+           ~reason:("slo_miss:" ^ String.concat "," missed)
+           (Qkd_obs.Recorder.default ()))
+        path
+  | Some _ | None -> ());
   {
     scenario = core.spec.name;
     duration_s = core.now_s;
@@ -567,7 +595,7 @@ let report t =
     link_failures;
     alerts_fired = Alert.fired_count engine;
     fired_rules;
-    detections = detections t;
+    detections = graded;
     max_series_len = core.max_series_len;
     series_capacity = core.spec.series_capacity;
   }

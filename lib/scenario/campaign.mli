@@ -75,7 +75,11 @@ type report = {
 }
 
 val detections : t -> detection list
-val report : t -> report
+val report : ?blackbox:string -> t -> report
+(** [blackbox]: write a flight-recorder dump ({!Qkd_obs.Recorder.save})
+    to this path when any graded SLO is missed — the post-mortem
+    evidence for `qkd_sim blackbox`.  Nothing is written on a clean
+    grade. *)
 
 (** {1 Snapshots}
 

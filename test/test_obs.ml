@@ -737,6 +737,356 @@ let test_golden_snapshot () =
            -- expected --\n%s\n-- actual --\n%s"
           golden_file expected actual
 
+(* -- histogram quantiles and exemplars -- *)
+
+module Exemplar = Qkd_obs.Exemplar
+
+let close msg a b = check msg true (Float.abs (a -. b) < 1e-9)
+
+let test_histogram_quantile () =
+  let h = Histogram.make ~buckets:[| 1.0; 2.0; 4.0 |] in
+  check "empty is nan" true (Float.is_nan (Histogram.quantile h 0.5));
+  for _ = 1 to 4 do
+    Histogram.observe h 0.5
+  done;
+  (* all mass in the first bucket: interpolate from 0 *)
+  close "median in first bucket" 0.5 (Histogram.quantile h 0.5);
+  close "q=0.25" 0.25 (Histogram.quantile h 0.25);
+  check "nan q is nan" true (Float.is_nan (Histogram.quantile h Float.nan));
+  Histogram.observe h 100.0;
+  (* rank lands in the +Inf overflow: clamp to the last finite bound *)
+  close "overflow clamps" 4.0 (Histogram.quantile h 1.0);
+  let h2 = Histogram.make ~buckets:[| 1.0; 2.0; 4.0 |] in
+  Histogram.observe h2 1.5;
+  Histogram.observe h2 1.5;
+  Histogram.observe h2 3.0;
+  Histogram.observe h2 3.0;
+  close "median at bucket boundary" 2.0 (Histogram.quantile h2 0.5);
+  close "clamped q>1" 4.0 (Histogram.quantile h2 2.0)
+
+let test_histogram_exemplar () =
+  let h = Histogram.make ~buckets:[| 1.0; 2.0 |] in
+  check "unset exemplar" true (Histogram.exemplar h 0 = None);
+  Histogram.observe_ex h ~event_id:7 ~trace_id:3 0.5;
+  (match Histogram.exemplar h 0 with
+  | Some e ->
+      check_int "event id" 7 e.Exemplar.event_id;
+      check_int "trace id" 3 e.Exemplar.trace_id;
+      close "value" 0.5 e.Exemplar.value
+  | None -> Alcotest.fail "exemplar not recorded");
+  check "other bucket untouched" true (Histogram.exemplar h 1 = None);
+  check "out of range" true (Histogram.exemplar h 99 = None);
+  (* later witness replaces the earlier one in the same bucket *)
+  Histogram.observe_ex h ~event_id:9 0.8;
+  (match Histogram.exemplar h 0 with
+  | Some e -> check_int "replaced" 9 e.Exemplar.event_id
+  | None -> Alcotest.fail "exemplar lost");
+  check_int "counts track observe_ex" 2 (Histogram.count h)
+
+let test_export_exemplar_suffix () =
+  let r = Registry.create () in
+  let h =
+    Registry.histogram ~registry:r "latency" ~buckets:[| 1.0; 2.0 |]
+      ~help:"h"
+  in
+  Histogram.observe_ex h ~event_id:7 ~trace_id:3 0.5;
+  let s = Export.snapshot ~registry:r () in
+  check "bucket line carries exemplar" true
+    (contains s "# {event_id=\"7\",trace_id=\"3\"}");
+  let r2 = Registry.create () in
+  let h2 =
+    Registry.histogram ~registry:r2 "latency" ~buckets:[| 1.0; 2.0 |]
+      ~help:"h"
+  in
+  Histogram.observe h2 0.5;
+  check "plain histogram exports without exemplars" false
+    (contains (Export.snapshot ~registry:r2 ()) "# {")
+
+let test_spans_dropped_counter () =
+  let r = Registry.create () in
+  Registry.with_registry r (fun () ->
+      let tracer = Trace.tracer_create ~capacity:1 () in
+      Trace.with_tracer tracer (fun () ->
+          ignore (Trace.span_begin "a");
+          ignore (Trace.span_begin "b");
+          ignore (Trace.span_begin "c")));
+  check_int "dropped spans exported" 2
+    (counter_value r "trace_spans_dropped_total")
+
+(* Drive a rule through Fired inside [r]; returns the alert engine. *)
+let fire_alert_in () =
+  let set = Series.create_set () in
+  let v = ref 0.0 in
+  ignore (Series.watch set "g" (fun () -> !v));
+  let e = Alert.create set in
+  Alert.add_rule e
+    {
+      Alert.name = "hot";
+      severity = Alert.Warning;
+      message = "too hot";
+      for_s = 0.0;
+      kind =
+        Alert.Threshold
+          { series = "g"; window_s = 1.0; condition = Alert.Above 10.0 };
+    };
+  let step now value =
+    v := value;
+    Series.tick set ~now;
+    Alert.evaluate e ~now
+  in
+  step 0.0 5.0;
+  step 1.0 20.0;
+  step 2.0 20.0;
+  e
+
+let test_alert_fired_counter () =
+  let r = Registry.create () in
+  let e = Registry.with_registry r (fun () -> fire_alert_in ()) in
+  check "rule is firing" true (Alert.is_firing e "hot");
+  check_int "labelled fired counter" 1
+    (counter_value r "alert_fired_total" ~labels:[ ("rule", "hot") ])
+
+let test_alert_fired_hook () =
+  let r = Registry.create () in
+  let seen = ref [] in
+  Alert.set_fired_hook (fun ev -> seen := ev.Alert.rule :: !seen);
+  Fun.protect ~finally:Alert.clear_fired_hook (fun () ->
+      ignore (Registry.with_registry r (fun () -> fire_alert_in ())));
+  check "hook saw the transition" true (!seen = [ "hot" ]);
+  (* a raising hook must not leak into the evaluation path *)
+  let r2 = Registry.create () in
+  Alert.set_fired_hook (fun _ -> failwith "boom");
+  let e =
+    Fun.protect ~finally:Alert.clear_fired_hook (fun () ->
+        Registry.with_registry r2 (fun () -> fire_alert_in ()))
+  in
+  check "fired despite raising hook" true (Alert.is_firing e "hot")
+
+(* -- flight recorder -- *)
+
+module Recorder = Qkd_obs.Recorder
+module Event = Qkd_obs.Event
+module Query = Qkd_obs.Query
+
+let mk_event ?(at_s = 0.0) ?(verdict = "ok") ?stage_s ?(bits = 0)
+    ?(labels = []) ~source ~id () =
+  Event.make ?stage_s ~at_s ~verdict ~bits ~labels ~source ~id ()
+
+let test_recorder_merge_order () =
+  let r = Recorder.create ~capacity:8 () in
+  Recorder.emit r ~lane:Recorder.lane_engine
+    (mk_event ~source:Event.Round ~id:1 ());
+  Recorder.emit r ~lane:Recorder.lane_kms (mk_event ~source:Event.Kms ~id:2 ());
+  Recorder.emit r ~lane:Recorder.lane_engine
+    (mk_event ~source:Event.Round ~id:3 ());
+  let evs = Recorder.events r in
+  check_int "all retained" 3 (List.length evs);
+  check "merged in emission order" true
+    (List.map (fun (e : Event.t) -> e.Event.id) evs = [ 1; 2; 3 ]);
+  let seqs = List.map (fun (e : Event.t) -> e.Event.seq) evs in
+  check "seq strictly increasing" true
+    (List.sort_uniq compare seqs = seqs);
+  check_int "emitted" 3 (Recorder.emitted r);
+  check_int "dropped" 0 (Recorder.dropped r);
+  Recorder.reset r;
+  check_int "reset empties" 0 (List.length (Recorder.events r))
+
+let test_recorder_drop_oldest () =
+  let r = Recorder.create ~capacity:2 () in
+  for i = 1 to 5 do
+    Recorder.emit r ~lane:Recorder.lane_net
+      (mk_event ~source:Event.Sched ~id:i ())
+  done;
+  check_int "retained bounded" 2 (Recorder.retained r);
+  check_int "dropped" 3 (Recorder.dropped r);
+  check "newest survive" true
+    (List.map
+       (fun (e : Event.t) -> e.Event.id)
+       (Recorder.lane_events r Recorder.lane_net)
+    = [ 4; 5 ])
+
+let test_recorder_pause () =
+  let r = Recorder.create () in
+  Recorder.with_recorder r (fun () ->
+      Recorder.set_recording false;
+      Recorder.record ~lane:Recorder.lane_esp
+        (mk_event ~source:Event.Esp ~id:1 ());
+      Recorder.set_recording true;
+      Recorder.record ~lane:Recorder.lane_esp
+        (mk_event ~source:Event.Esp ~id:2 ()));
+  check "paused emission dropped" true
+    (List.map
+       (fun (e : Event.t) -> e.Event.id)
+       (Recorder.lane_events r Recorder.lane_esp)
+    = [ 2 ])
+
+let test_recorder_snapshot_window () =
+  let r = Recorder.create () in
+  Recorder.emit r ~lane:Recorder.lane_engine
+    (mk_event ~at_s:5.0 ~source:Event.Round ~id:1 ());
+  Recorder.emit r ~lane:Recorder.lane_engine
+    (mk_event ~at_s:50.0 ~source:Event.Round ~id:2 ());
+  Recorder.emit r ~lane:Recorder.lane_esp
+    (mk_event ~at_s:0.0 ~source:Event.Esp ~id:3 ());
+  let d = Recorder.snapshot ~window_s:10.0 ~now:55.0 ~reason:"test" r in
+  check "window keeps recent and clockless" true
+    (List.sort compare (List.map (fun (e : Event.t) -> e.Event.id) d.Recorder.events)
+    = [ 2; 3 ]);
+  check_string "reason" "test" d.Recorder.reason;
+  let all = Recorder.snapshot r in
+  check_int "no window keeps everything" 3 (List.length all.Recorder.events)
+
+let test_dump_roundtrip_and_crc () =
+  let r = Recorder.create () in
+  Recorder.emit r ~lane:Recorder.lane_kms
+    (mk_event ~at_s:1.0 ~verdict:"shed" ~bits:128 ~source:Event.Kms ~id:9 ());
+  let d = Recorder.snapshot ~reason:"rt" r in
+  let b = Recorder.to_bytes d in
+  check "round trip preserves dump" true
+    (compare (Recorder.of_bytes b) d = 0);
+  (* flip one payload byte: the CRC must catch it *)
+  let corrupt = Bytes.copy b in
+  let i = Bytes.length corrupt - 1 in
+  Bytes.set corrupt i (Char.chr (Char.code (Bytes.get corrupt i) lxor 0xFF));
+  check "corrupted payload rejected" true
+    (match Recorder.of_bytes corrupt with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "truncated rejected" true
+    (match Recorder.of_bytes (Bytes.sub b 0 8) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_fingerprint_canonicalizes_wall_clock () =
+  let dump_with ~stage ~verdict =
+    let r = Recorder.create () in
+    Recorder.emit r ~lane:Recorder.lane_engine
+      (mk_event ~stage_s:[| stage |] ~verdict ~source:Event.Round ~id:1 ());
+    Recorder.snapshot ~reason:"fp" r
+  in
+  check "stage latencies are canonicalized away" true
+    (Recorder.fingerprint (dump_with ~stage:0.1 ~verdict:"ok")
+    = Recorder.fingerprint (dump_with ~stage:0.9 ~verdict:"ok"));
+  check "semantic fields are not" false
+    (Recorder.fingerprint (dump_with ~stage:0.1 ~verdict:"ok")
+    = Recorder.fingerprint (dump_with ~stage:0.1 ~verdict:"bad"))
+
+let test_arm_alerts_writes_dump () =
+  let dir = Filename.temp_file "qkd_bbox" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Recorder.dump_path ~dir "hot" in
+  let r = Recorder.create () in
+  let reg = Registry.create () in
+  Recorder.with_recorder r (fun () ->
+      Recorder.record ~lane:Recorder.lane_engine
+        (mk_event ~at_s:1.5 ~source:Event.Round ~id:1 ());
+      Recorder.arm_alerts ~dir ();
+      Fun.protect ~finally:Recorder.disarm_alerts (fun () ->
+          ignore (Registry.with_registry reg (fun () -> fire_alert_in ()))));
+  check "dump written on Fired" true (Sys.file_exists path);
+  let d = Recorder.load path in
+  check_string "reason names the rule" "alert:hot" d.Recorder.reason;
+  check_int "window holds the event" 1 (List.length d.Recorder.events);
+  Sys.remove path;
+  Unix.rmdir dir
+
+let prop_dump_crc_roundtrip =
+  QCheck.Test.make ~name:"dump survives to_bytes/of_bytes" ~count:100
+    QCheck.(
+      list (triple (int_range 0 1000) (int_range 0 100_000) printable_string))
+    (fun specs ->
+      let r = Recorder.create ~capacity:(max 1 (List.length specs)) () in
+      List.iter
+        (fun (id, bits, verdict) ->
+          Recorder.emit r ~lane:Recorder.lane_scenario
+            (mk_event ~source:Event.Mark ~id ~bits ~verdict
+               ~labels:[ ("v", verdict) ]
+               ()))
+        specs;
+      let d = Recorder.snapshot ~reason:"prop" r in
+      compare (Recorder.of_bytes (Recorder.to_bytes d)) d = 0)
+
+(* -- post-mortem queries -- *)
+
+let test_query_parse_filter () =
+  check "source" true (Query.parse_filter "source=round" = Ok (Query.Source Event.Round));
+  check "tenant" true (Query.parse_filter "tenant=t1" = Ok (Query.Tenant "t1"));
+  check "verdict" true (Query.parse_filter "verdict=ok" = Ok (Query.Verdict "ok"));
+  check "since" true (Query.parse_filter "since=5" = Ok (Query.Since 5.0));
+  check "label fallthrough" true
+    (Query.parse_filter "stage=ec" = Ok (Query.Label ("stage", "ec")));
+  check "missing =" true
+    (match Query.parse_filter "qos" with Error _ -> true | Ok _ -> false);
+  check "bad source" true
+    (match Query.parse_filter "source=warp" with Error _ -> true | Ok _ -> false)
+
+let query_fixture () =
+  [
+    mk_event ~at_s:1.0 ~stage_s:[| 0.5 |] ~source:Event.Round ~id:1 ();
+    mk_event ~at_s:2.0 ~stage_s:[| 1.5 |] ~source:Event.Round ~id:2 ();
+    mk_event ~at_s:3.0 ~verdict:"shed" ~source:Event.Kms ~id:3
+      ~labels:[ ("stage", "admit") ] ();
+    mk_event ~at_s:9.0 ~stage_s:[| 2.5 |] ~source:Event.Round ~id:4 ();
+  ]
+
+let test_query_apply_and_group () =
+  let evs = query_fixture () in
+  let only_rounds = Query.apply [ Query.Source Event.Round ] evs in
+  check_int "source filter" 3 (List.length only_rounds);
+  check_int "conjunction" 1
+    (List.length (Query.apply [ Query.Source Event.Round; Query.Since 2.0; Query.Until 3.0 ] evs));
+  check_int "label filter" 1
+    (List.length (Query.apply [ Query.Label ("stage", "admit") ] evs));
+  (match Query.group_by ~by:"source" evs with
+  | [ ("round", rs); ("kms", ks) ] ->
+      check_int "rounds grouped" 3 (List.length rs);
+      check_int "kms grouped" 1 (List.length ks)
+  | gs -> Alcotest.failf "unexpected grouping (%d groups)" (List.length gs));
+  match Query.summarize ~field:Query.Latency ~by:"source" evs with
+  | [ s_round; s_kms ] ->
+      check_int "round count" 3 s_round.Query.count;
+      check_int "round samples" 3 s_round.Query.samples;
+      check "p50 within sample range" true
+        (s_round.Query.p50 >= 0.5 && s_round.Query.p50 <= 2.5);
+      check_int "kms has no latency samples" 0 s_kms.Query.samples;
+      check "empty percentiles are nan" true (Float.is_nan s_kms.Query.p50)
+  | ss -> Alcotest.failf "unexpected summaries (%d)" (List.length ss)
+
+(* -- pipelined stream integrity (PR 10 stress property) --
+
+   At every pipeline depth the merged stream's Round events must be
+   exactly rounds 1..N in commit order — nothing lost, duplicated or
+   reordered — and carry the same verdict/qber/bits as the serial
+   engine (the recorder must not perturb the seeded run). *)
+
+let round_digest depth ~rounds ~pulses =
+  let r = Recorder.create () in
+  let reg = Registry.create () in
+  Registry.with_registry reg (fun () ->
+      Recorder.with_recorder r (fun () ->
+          let engine = Engine.create ~seed:2003L Engine.default_config in
+          Engine.run_rounds ~pipeline_depth:depth engine ~rounds ~pulses
+            (fun _ -> ())));
+  List.map
+    (fun (e : Event.t) -> (e.Event.id, e.Event.verdict, e.Event.qber, e.Event.bits))
+    (Recorder.lane_events r Recorder.lane_engine)
+
+let stress_rounds = 4
+let stress_pulses = 10_000
+let serial_round_digest =
+  lazy (round_digest 1 ~rounds:stress_rounds ~pulses:stress_pulses)
+
+let prop_pipeline_round_events_intact =
+  QCheck.Test.make ~name:"round events complete and in order at any depth"
+    ~count:6
+    QCheck.(int_range 1 4)
+    (fun depth ->
+      let d = round_digest depth ~rounds:stress_rounds ~pulses:stress_pulses in
+      List.map (fun (id, _, _, _) -> id) d
+      = List.init stress_rounds (fun i -> i + 1)
+      && compare d (Lazy.force serial_round_digest) = 0)
+
 let () =
   Alcotest.run "qkd_obs"
     [
@@ -810,6 +1160,43 @@ let () =
             test_engine_failure_does_not_leak;
           Alcotest.test_case "success observes" `Slow test_engine_success_observes;
         ] );
+      ( "quantiles and exemplars",
+        [
+          Alcotest.test_case "bucket quantile" `Quick test_histogram_quantile;
+          Alcotest.test_case "exemplar witnesses" `Quick test_histogram_exemplar;
+          Alcotest.test_case "export exemplar suffix" `Quick
+            test_export_exemplar_suffix;
+        ] );
+      ( "alert counters and hook",
+        [
+          Alcotest.test_case "spans dropped counter" `Quick
+            test_spans_dropped_counter;
+          Alcotest.test_case "fired counter" `Quick test_alert_fired_counter;
+          Alcotest.test_case "fired hook" `Quick test_alert_fired_hook;
+        ] );
+      ( "flight recorder",
+        [
+          Alcotest.test_case "merge order" `Quick test_recorder_merge_order;
+          Alcotest.test_case "drop oldest" `Quick test_recorder_drop_oldest;
+          Alcotest.test_case "pause" `Quick test_recorder_pause;
+          Alcotest.test_case "snapshot window" `Quick
+            test_recorder_snapshot_window;
+          Alcotest.test_case "dump round trip and crc" `Quick
+            test_dump_roundtrip_and_crc;
+          Alcotest.test_case "fingerprint canonical" `Quick
+            test_fingerprint_canonicalizes_wall_clock;
+          Alcotest.test_case "arm alerts dumps" `Quick
+            test_arm_alerts_writes_dump;
+          qcheck prop_dump_crc_roundtrip;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "parse filter" `Quick test_query_parse_filter;
+          Alcotest.test_case "apply group summarize" `Quick
+            test_query_apply_and_group;
+        ] );
+      ( "pipeline stream integrity",
+        [ qcheck prop_pipeline_round_events_intact ] );
       ( "golden",
         [ Alcotest.test_case "golden" `Slow test_golden_snapshot ] );
     ]
